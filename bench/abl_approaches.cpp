@@ -1,0 +1,92 @@
+// The introduction's comparison (Section 1), made quantitative: traditional
+// parallel scheduling (best effort), traditional real-time scheduling
+// (conservative admission control), and the paper's reservation-based
+// greedy heuristic without and with tunability — all on the Figure-4
+// workload.
+//
+// Expected shape:
+//  * best effort completes many jobs but misses deadlines freely under
+//    load ("arbitrary delay which may grow with the number of applications
+//    contending for the resources");
+//  * conservative meets every deadline it accepts but admits few jobs and
+//    wastes capacity ("predictability at the cost of system utilization");
+//  * reservation + tunability meets every accepted deadline AND approaches
+//    best-effort completion counts — the paper's thesis.
+#include <cstdio>
+
+#include "common/flags.h"
+#include "sched/baselines.h"
+#include "sched/greedy_arbitrator.h"
+#include "sim/engine.h"
+#include "workload/fig4.h"
+
+namespace {
+
+using namespace tprm;
+
+struct Row {
+  std::uint64_t onTime;
+  std::uint64_t admitted;
+  double utilization;
+};
+
+Row run(sched::Arbitrator& arbitrator, workload::Fig4Shape shape,
+        double interval, std::size_t jobs, int processors,
+        std::uint64_t seed, double laxity) {
+  workload::Fig4Params params;
+  params.laxity = laxity;
+  const auto stream =
+      workload::makeFig4PoissonStream(params, shape, interval, jobs, seed);
+  sim::SimulationConfig config;
+  config.processors = processors;
+  const auto result = sim::runSimulation(stream, arbitrator, config);
+  return Row{result.onTime, result.admitted, result.utilization};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto jobs = static_cast<std::size_t>(flags.getInt("jobs", 10'000));
+  const int processors = static_cast<int>(flags.getInt("procs", 16));
+  const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 42));
+  const double laxity = flags.getDouble("laxity", 0.5);
+
+  std::printf("# Resource-management approaches on the Figure-4 workload\n");
+  std::printf("# procs=%d laxity=%g jobs=%zu seed=%llu\n", processors, laxity,
+              jobs, static_cast<unsigned long long>(seed));
+  std::printf("# ontime = jobs finishing by their declared deadline;\n");
+  std::printf("# done   = jobs the scheduler ran to completion (best effort "
+              "runs everything)\n");
+  std::printf("%-9s | %8s %8s | %8s %6s | %8s %6s | %8s %6s\n", "interval",
+              "be_ontime", "be_done", "cons_ot", "c_util", "resv_ot",
+              "r_util", "tune_ot", "t_util");
+
+  for (double interval = 10.0; interval <= 85.0; interval += 5.0) {
+    sched::BestEffortArbitrator bestEffort;
+    const auto be = run(bestEffort, workload::Fig4Shape::Tunable, interval,
+                        jobs, processors, seed, laxity);
+    sched::ConservativeArbitrator conservative;
+    const auto cons = run(conservative, workload::Fig4Shape::Tunable,
+                          interval, jobs, processors, seed, laxity);
+    sched::GreedyArbitrator rigid;  // reservation, single shape (shape 2:
+                                    // the stronger non-tunable baseline)
+    const auto resv = run(rigid, workload::Fig4Shape::Shape2, interval, jobs,
+                          processors, seed, laxity);
+    sched::GreedyArbitrator tunableArb;
+    const auto tun = run(tunableArb, workload::Fig4Shape::Tunable, interval,
+                         jobs, processors, seed, laxity);
+    std::printf("%-9.4g | %8llu %8llu | %8llu %6.3f | %8llu %6.3f | %8llu "
+                "%6.3f\n",
+                interval,
+                static_cast<unsigned long long>(be.onTime),
+                static_cast<unsigned long long>(be.admitted),
+                static_cast<unsigned long long>(cons.onTime),
+                cons.utilization,
+                static_cast<unsigned long long>(resv.onTime),
+                resv.utilization,
+                static_cast<unsigned long long>(tun.onTime),
+                tun.utilization);
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation (beyond the paper): first-fit vs best-fit placement into the
+// processor-time holes, and widest-fit vs earliest-finish malleable policy.
+#include <cstdio>
+
+#include "fig_common.h"
+
+namespace {
+
+tprm::bench::Cell run(const tprm::workload::Fig4Params& params,
+                      double interval, const tprm::bench::FigDefaults& d,
+                      tprm::sched::FitPolicy fit,
+                      tprm::sched::MalleablePolicy mpolicy) {
+  using namespace tprm;
+  const auto stream = workload::makeFig4PoissonStream(
+      params, workload::Fig4Shape::Tunable, interval, d.jobs, d.seed);
+  sched::GreedyArbitrator arbitrator(
+      sched::GreedyOptions{.malleable = params.malleable,
+                           .malleablePolicy = mpolicy,
+                           .fitPolicy = fit});
+  sim::SimulationConfig config;
+  config.processors = d.processors;
+  config.verify = d.verify;
+  const auto result = sim::runSimulation(stream, arbitrator, config);
+  return bench::Cell{result.utilization, result.admitted};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tprm;
+  const Flags flags(argc, argv);
+  bench::FigDefaults defaults;
+  defaults.processors = 16;
+  // Best-fit enumerates maximal holes per placement; keep the default sweep
+  // affordable.
+  defaults.jobs = 4000;
+  const auto d = bench::parseFigFlags(flags, defaults);
+
+  std::printf("# Ablation: fit policy and malleable policy (tunable system)\n");
+  std::printf("# x=%g t=%g alpha=%g laxity=%g procs=%d jobs=%zu\n", d.x, d.t,
+              d.alpha, d.laxity, d.processors, d.jobs);
+  std::printf("%-10s %14s %14s %16s %16s\n", "interval", "firstfit",
+              "bestfit", "mall_widest", "mall_finish");
+
+  workload::Fig4Params rigid;
+  rigid.x = static_cast<int>(d.x);
+  rigid.t = d.t;
+  rigid.alpha = d.alpha;
+  rigid.laxity = d.laxity;
+  workload::Fig4Params malleable = rigid;
+  malleable.malleable = true;
+
+  for (double interval = 20.0; interval <= 60.0; interval += 10.0) {
+    const auto first = run(rigid, interval, d, sched::FitPolicy::FirstFit,
+                           sched::MalleablePolicy::WidestFit);
+    const auto best = run(rigid, interval, d, sched::FitPolicy::BestFit,
+                          sched::MalleablePolicy::WidestFit);
+    const auto widest = run(malleable, interval, d,
+                            sched::FitPolicy::FirstFit,
+                            sched::MalleablePolicy::WidestFit);
+    const auto finish = run(malleable, interval, d,
+                            sched::FitPolicy::FirstFit,
+                            sched::MalleablePolicy::EarliestFinish);
+    std::printf("%-10.4g %14llu %14llu %16llu %16llu\n", interval,
+                static_cast<unsigned long long>(first.throughput),
+                static_cast<unsigned long long>(best.throughput),
+                static_cast<unsigned long long>(widest.throughput),
+                static_cast<unsigned long long>(finish.throughput));
+  }
+  return 0;
+}

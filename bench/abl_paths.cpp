@@ -1,0 +1,77 @@
+// Ablation (beyond the paper): benefit as a function of the number of
+// alternative chains per job.
+//
+// The paper's Figure-4 job has exactly two chains.  Here the tunable job
+// offers k chains, k = 1..6: each chain is a distinct interleaving/shape of
+// the same total work (same area per chain, per the paper's equal-resources
+// assumption), built by splitting the work into two tasks with different
+// width/duration splits.  More alternatives = more scheduling freedom; the
+// marginal benefit should taper.
+#include <cstdio>
+
+#include "fig_common.h"
+
+namespace {
+
+/// Builds a k-chain tunable job: chain j uses width x_j = x >> j (>= 1)
+/// first and the transposed order for odd j, always with task area x*t.
+tprm::task::TunableJobSpec makeKChainJob(int x, double t, double laxity,
+                                         int chains) {
+  using namespace tprm;
+  task::TunableJobSpec spec;
+  spec.name = "kchain-" + std::to_string(chains);
+  const Time area = ticksFromUnits(t) * x;
+  for (int j = 0; j < chains; ++j) {
+    const int wide = std::max(1, x >> (j / 2));
+    const int thin = std::max(1, wide / 4);
+    const Time wideDur = area / wide;
+    const Time thinDur = area / thin;
+    const double stretch = 1.0 / (1.0 - laxity);
+    const Time d1 = static_cast<Time>(
+        static_cast<double>(std::max(wideDur, thinDur)) * stretch);
+    const Time d2 = static_cast<Time>(
+        static_cast<double>(wideDur + thinDur) * stretch);
+    task::Chain chain;
+    chain.name = "alt" + std::to_string(j);
+    task::TaskSpec first =
+        task::TaskSpec::rigid("a", j % 2 == 0 ? wide : thin,
+                              j % 2 == 0 ? wideDur : thinDur, d1);
+    task::TaskSpec second =
+        task::TaskSpec::rigid("b", j % 2 == 0 ? thin : wide,
+                              j % 2 == 0 ? thinDur : wideDur, d2);
+    chain.tasks = {first, second};
+    spec.chains.push_back(std::move(chain));
+  }
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tprm;
+  const Flags flags(argc, argv);
+  bench::FigDefaults defaults;
+  defaults.processors = 16;
+  defaults.interval = 40.0;
+  const auto d = bench::parseFigFlags(flags, defaults);
+
+  std::printf("# Ablation: number of alternative chains per job\n");
+  std::printf("# x=%g t=%g laxity=%g interval=%g procs=%d jobs=%zu\n", d.x,
+              d.t, d.laxity, d.interval, d.processors, d.jobs);
+  std::printf("%-8s %12s %12s\n", "chains", "throughput", "utilization");
+
+  for (int k = 1; k <= 6; ++k) {
+    const auto spec = makeKChainJob(static_cast<int>(d.x), d.t, d.laxity, k);
+    sim::PoissonArrivals arrivals(d.interval, Rng(d.seed));
+    const auto jobs = workload::makeStream(spec, arrivals, d.jobs);
+    sched::GreedyArbitrator arbitrator;
+    sim::SimulationConfig config;
+    config.processors = d.processors;
+    config.verify = d.verify;
+    const auto result = sim::runSimulation(jobs, arbitrator, config);
+    std::printf("%-8d %12llu %12.4f\n", k,
+                static_cast<unsigned long long>(result.admitted),
+                result.utilization);
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation (beyond the paper): how much does the chain-selection rule of the
+// greedy heuristic matter?
+//
+// Compares, for the tunable task system at the default operating point
+// sweep, the Section-5.2 rule (earliest finish with utilization/prefix tie
+// breaks), the window-utilization-primary reading, first-schedulable, and a
+// uniformly random choice among schedulable chains.
+#include <cstdio>
+
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  using namespace tprm;
+  const Flags flags(argc, argv);
+  bench::FigDefaults defaults;
+  defaults.processors = 16;
+  const auto d = bench::parseFigFlags(flags, defaults);
+
+  std::printf("# Ablation: chain-selection rule (tunable system)\n");
+  std::printf("# x=%g t=%g alpha=%g laxity=%g procs=%d jobs=%zu seed=%llu\n",
+              d.x, d.t, d.alpha, d.laxity, d.processors, d.jobs,
+              static_cast<unsigned long long>(d.seed));
+  std::printf("%-10s %12s %12s %12s %12s\n", "interval", "paper",
+              "windowutil", "firstchain", "random");
+
+  workload::Fig4Params params;
+  params.x = static_cast<int>(d.x);
+  params.t = d.t;
+  params.alpha = d.alpha;
+  params.laxity = d.laxity;
+  params.malleable = d.malleable;
+
+  for (double interval = 10.0; interval <= 85.0; interval += 5.0) {
+    const auto paper =
+        bench::runCell(params, workload::Fig4Shape::Tunable, interval, d.jobs,
+                       d.processors, d.seed, d.verify,
+                       sched::ChainChoice::Paper);
+    const auto wu = bench::runCell(params, workload::Fig4Shape::Tunable,
+                                   interval, d.jobs, d.processors, d.seed,
+                                   d.verify,
+                                   sched::ChainChoice::WindowUtilization);
+    const auto first = bench::runCell(params, workload::Fig4Shape::Tunable,
+                                      interval, d.jobs, d.processors, d.seed,
+                                      d.verify,
+                                      sched::ChainChoice::FirstSchedulable);
+    const auto random = bench::runCell(params, workload::Fig4Shape::Tunable,
+                                       interval, d.jobs, d.processors, d.seed,
+                                       d.verify, sched::ChainChoice::Random);
+    std::printf("%-10.4g %12llu %12llu %12llu %12llu\n", interval,
+                static_cast<unsigned long long>(paper.throughput),
+                static_cast<unsigned long long>(wu.throughput),
+                static_cast<unsigned long long>(first.throughput),
+                static_cast<unsigned long long>(random.throughput));
+  }
+  return 0;
+}

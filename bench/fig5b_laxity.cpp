@@ -1,0 +1,35 @@
+// Figure 5(b): system utilization and throughput vs laxity (0.05 - 0.95).
+//
+// Paper: improvement is small at tight deadlines and grows with laxity;
+// above ~60% laxity shape 2 packs well and catches up with the tunable
+// system, while shape 1's wide first task keeps it handicapped regardless.
+#include <cstdio>
+
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  using namespace tprm;
+  const Flags flags(argc, argv);
+  bench::FigDefaults defaults;
+  defaults.processors = 16;
+  defaults.interval = 40.0;
+  const auto d = bench::parseFigFlags(flags, defaults);
+
+  std::printf("# Figure 5(b): sensitivity to laxity\n");
+  std::printf("# x=%g t=%g alpha=%g interval=%g procs=%d jobs=%zu seed=%llu\n",
+              d.x, d.t, d.alpha, d.interval, d.processors, d.jobs,
+              static_cast<unsigned long long>(d.seed));
+  bench::printHeader("laxity");
+
+  workload::Fig4Params params;
+  params.x = static_cast<int>(d.x);
+  params.t = d.t;
+  params.alpha = d.alpha;
+  params.malleable = d.malleable;
+
+  for (double laxity = 0.05; laxity <= 0.951; laxity += 0.05) {
+    params.laxity = laxity;
+    bench::runAndPrintRow(laxity, params, d.interval, d);
+  }
+  return 0;
+}

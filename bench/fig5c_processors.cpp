@@ -1,0 +1,38 @@
+// Figure 5(c): system utilization and throughput vs machine size (16 - 64
+// processors; recall x = 16).
+//
+// Paper: more processors would seem to give non-tunable systems enough
+// flexibility to erase the benefit, but the tunable system keeps using the
+// resources better; the non-tunable shapes are not always able to take
+// advantage of more processors.
+#include <cstdio>
+
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  using namespace tprm;
+  const Flags flags(argc, argv);
+  bench::FigDefaults defaults;
+  defaults.interval = 40.0;
+  const auto d = bench::parseFigFlags(flags, defaults);
+
+  std::printf("# Figure 5(c): sensitivity to the number of processors\n");
+  std::printf("# x=%g t=%g alpha=%g laxity=%g interval=%g jobs=%zu seed=%llu\n",
+              d.x, d.t, d.alpha, d.laxity, d.interval, d.jobs,
+              static_cast<unsigned long long>(d.seed));
+  bench::printHeader("procs");
+
+  workload::Fig4Params params;
+  params.x = static_cast<int>(d.x);
+  params.t = d.t;
+  params.alpha = d.alpha;
+  params.laxity = d.laxity;
+  params.malleable = d.malleable;
+
+  for (int procs = 16; procs <= 64; procs += 4) {
+    bench::FigDefaults point = d;
+    point.processors = procs;
+    bench::runAndPrintRow(procs, params, d.interval, point);
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 5(d): system utilization and throughput vs the shape parameter
+// alpha (x*alpha must be integral; x = 16 gives alpha = k/16).
+//
+// Paper: tunability improves performance while alpha is not too large (up
+// to ~0.625); it has negligible effect once the two task shapes are close
+// (alpha -> 1 makes them identical).
+#include <cstdio>
+
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  using namespace tprm;
+  const Flags flags(argc, argv);
+  bench::FigDefaults defaults;
+  defaults.processors = 16;
+  defaults.interval = 40.0;
+  const auto d = bench::parseFigFlags(flags, defaults);
+
+  std::printf("# Figure 5(d): sensitivity to the job shape (alpha)\n");
+  std::printf("# x=%g t=%g laxity=%g interval=%g procs=%d jobs=%zu seed=%llu\n",
+              d.x, d.t, d.laxity, d.interval, d.processors, d.jobs,
+              static_cast<unsigned long long>(d.seed));
+  bench::printHeader("alpha");
+
+  workload::Fig4Params params;
+  params.x = static_cast<int>(d.x);
+  params.t = d.t;
+  params.laxity = d.laxity;
+  params.malleable = d.malleable;
+
+  // Every alpha with integral x*alpha, from 1/16 to 1.
+  for (int k = 1; k <= 16; ++k) {
+    params.alpha = static_cast<double>(k) / 16.0;
+    bench::runAndPrintRow(params.alpha, params, d.interval, d);
+  }
+  return 0;
+}

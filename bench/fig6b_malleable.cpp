@@ -1,0 +1,80 @@
+// Figure 6(b): throughput benefit of tunability for MALLEABLE tasks
+// (Section 5.4), as job arrival interval and laxity are varied.
+//
+// Same sweeps as fig6a, but every task carries a MalleableSpec (degree of
+// concurrency = its own processor request) and the heuristic tries
+// processor counts from the highest downward.  Expected shape: benefits are
+// smaller than in 6(a) — malleability already gives the non-tunable shapes
+// per-task flexibility — but remain positive at moderate load and laxity
+// because tunability crosses task boundaries.
+#include <cstdio>
+
+#include "fig_common.h"
+
+namespace {
+
+void sweep(const char* title, const char* axis,
+           const std::vector<double>& values, bool sweepInterval,
+           const tprm::bench::FigDefaults& d) {
+  using namespace tprm;
+  std::printf("%s\n", title);
+  std::printf("%-10s %12s %12s %12s %14s %14s\n", axis, "thru_tun", "thru_s1",
+              "thru_s2", "benefit_s1", "benefit_s2");
+  for (const double v : values) {
+    workload::Fig4Params params;
+    params.x = static_cast<int>(d.x);
+    params.t = d.t;
+    params.alpha = d.alpha;
+    params.laxity = sweepInterval ? d.laxity : v;
+    params.malleable = true;
+    const double interval = sweepInterval ? v : d.interval;
+    const auto tun = bench::runCell(params, workload::Fig4Shape::Tunable,
+                                    interval, d.jobs, d.processors, d.seed,
+                                    d.verify, d.chainChoice);
+    const auto s1 = bench::runCell(params, workload::Fig4Shape::Shape1,
+                                   interval, d.jobs, d.processors, d.seed,
+                                   d.verify, d.chainChoice);
+    const auto s2 = bench::runCell(params, workload::Fig4Shape::Shape2,
+                                   interval, d.jobs, d.processors, d.seed,
+                                   d.verify, d.chainChoice);
+    std::printf("%-10.4g %12llu %12llu %12llu %+14lld %+14lld\n", v,
+                static_cast<unsigned long long>(tun.throughput),
+                static_cast<unsigned long long>(s1.throughput),
+                static_cast<unsigned long long>(s2.throughput),
+                static_cast<long long>(tun.throughput) -
+                    static_cast<long long>(s1.throughput),
+                static_cast<long long>(tun.throughput) -
+                    static_cast<long long>(s2.throughput));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tprm;
+  const Flags flags(argc, argv);
+  bench::FigDefaults defaults;
+  defaults.processors = 16;
+  defaults.interval = 40.0;
+  defaults.malleable = true;
+  auto d = bench::parseFigFlags(flags, defaults);
+
+  std::printf("# Figure 6(b): tunability benefit, malleable tasks\n");
+  std::printf("# x=%g t=%g alpha=%g procs=%d jobs=%zu seed=%llu mpolicy=%s\n",
+              d.x, d.t, d.alpha, d.processors, d.jobs,
+              static_cast<unsigned long long>(d.seed),
+              bench::gMalleablePolicy == sched::MalleablePolicy::WidestFit
+                  ? "widest"
+                  : "finish");
+
+  std::vector<double> intervals;
+  for (double i = 10.0; i <= 85.0; i += 5.0) intervals.push_back(i);
+  sweep("## vs arrival interval (laxity = 0.5)", "interval", intervals,
+        /*sweepInterval=*/true, d);
+
+  std::vector<double> laxities;
+  for (double l = 0.05; l <= 0.951; l += 0.05) laxities.push_back(l);
+  sweep("## vs laxity (interval = 40)", "laxity", laxities,
+        /*sweepInterval=*/false, d);
+  return 0;
+}

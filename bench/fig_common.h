@@ -1,0 +1,178 @@
+// Shared scaffolding for the figure-reproduction harnesses.
+//
+// Each `fig*` binary regenerates one figure of the paper's evaluation
+// (Section 5): it sweeps the figure's x-axis parameter, runs the three task
+// systems (tunable, shape 1, shape 2) through the greedy arbitrator, and
+// prints one row per sweep point with the paper's two metrics (system
+// utilization and throughput = number of on-time jobs).
+//
+// Parameters the paper states are pinned to the stated values (x = 16,
+// t = 25, Poisson arrivals, 10,000 arrivals).  Parameters the paper leaves
+// implicit are pinned per figure (see each harness) and recorded in
+// EXPERIMENTS.md.  Calibrated base configuration:
+//   processors = 16  (= x; Figure 5(c) sweeps "from 16", and only at P = x
+//                     do the paper's qualitative claims emerge: shape 1's
+//                     whole-machine first task cannot pack, shape 2 catches
+//                     up with the tunable system above ~60% laxity)
+//   alpha      = 0.25 (wide 16p x 25t vs thin 4p x 100t; comfortably inside
+//                      the "shapes differ" regime of Figure 5(d))
+//   laxity     = 0.5  (moderate laxity, the regime Figures 5/6 highlight)
+//   interval   = 40   (moderate load for the non-interval sweeps)
+// Every pin is overridable from the command line (--jobs, --procs, --alpha,
+// --laxity, --interval, --seed, --verify, --choice, --mpolicy).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "sched/greedy_arbitrator.h"
+#include "sim/engine.h"
+#include "workload/fig4.h"
+
+namespace tprm::bench {
+
+/// Defaults shared by every figure harness (see header comment).
+struct FigDefaults {
+  std::size_t jobs = 10'000;
+  int processors = 32;
+  double x = 16;
+  double t = 25.0;
+  double alpha = 0.25;
+  double laxity = 0.5;
+  double interval = 30.0;
+  std::uint64_t seed = 42;
+  bool verify = false;
+  bool malleable = false;
+  sched::ChainChoice chainChoice = sched::ChainChoice::Paper;
+  /// Replications per sweep point (--runs).  With runs > 1 each printed
+  /// cell is the mean across seeds seed..seed+runs-1 (see sim/replicate.h).
+  int runs = 1;
+};
+
+/// Malleable-policy pin shared by the harnesses (--mpolicy=widest|finish).
+inline sched::MalleablePolicy gMalleablePolicy =
+    sched::MalleablePolicy::WidestFit;
+
+/// Parses the shared flags over the defaults.
+inline FigDefaults parseFigFlags(const Flags& flags, FigDefaults d = {}) {
+  d.jobs = static_cast<std::size_t>(flags.getInt("jobs",
+      static_cast<std::int64_t>(d.jobs)));
+  d.processors = static_cast<int>(flags.getInt("procs", d.processors));
+  d.alpha = flags.getDouble("alpha", d.alpha);
+  d.laxity = flags.getDouble("laxity", d.laxity);
+  d.interval = flags.getDouble("interval", d.interval);
+  d.seed = static_cast<std::uint64_t>(flags.getInt("seed",
+      static_cast<std::int64_t>(d.seed)));
+  d.verify = flags.getBool("verify", d.verify);
+  d.malleable = flags.getBool("malleable", d.malleable);
+  d.runs = static_cast<int>(flags.getInt("runs", d.runs));
+  const std::string choice = flags.getString("choice", "paper");
+  if (choice == "paper") {
+    d.chainChoice = sched::ChainChoice::Paper;
+  } else if (choice == "windowutil") {
+    d.chainChoice = sched::ChainChoice::WindowUtilization;
+  } else if (choice == "firstchain") {
+    d.chainChoice = sched::ChainChoice::FirstSchedulable;
+  } else if (choice == "random") {
+    d.chainChoice = sched::ChainChoice::Random;
+  } else {
+    std::fprintf(stderr, "unknown --choice '%s'\n", choice.c_str());
+    std::exit(2);
+  }
+  const std::string mpolicy = flags.getString("mpolicy", "widest");
+  if (mpolicy == "widest") {
+    gMalleablePolicy = sched::MalleablePolicy::WidestFit;
+  } else if (mpolicy == "finish") {
+    gMalleablePolicy = sched::MalleablePolicy::EarliestFinish;
+  } else {
+    std::fprintf(stderr, "unknown --mpolicy '%s'\n", mpolicy.c_str());
+    std::exit(2);
+  }
+  return d;
+}
+
+/// Result of one (task system, sweep point) cell.
+struct Cell {
+  double utilization = 0.0;
+  std::uint64_t throughput = 0;
+};
+
+/// Runs one task system at one sweep point.
+inline Cell runCell(const workload::Fig4Params& params,
+                    workload::Fig4Shape shape, double interval,
+                    std::size_t jobs, int processors, std::uint64_t seed,
+                    bool verify,
+                    sched::ChainChoice choice = sched::ChainChoice::Paper) {
+  // Same seed => identical arrival instants across the three task systems,
+  // as in the paper's controlled comparison.
+  const auto stream =
+      workload::makeFig4PoissonStream(params, shape, interval, jobs, seed);
+  sched::GreedyArbitrator arbitrator(sched::GreedyOptions{
+      .malleable = params.malleable, .chainChoice = choice,
+      .malleablePolicy = gMalleablePolicy});
+  sim::SimulationConfig config;
+  config.processors = processors;
+  config.verify = verify;
+  const auto result = sim::runSimulation(stream, arbitrator, config);
+  if (result.verification && !result.verification->ok) {
+    std::fprintf(stderr, "SCHEDULE VERIFICATION FAILED: %s\n",
+                 result.verification->firstViolation.c_str());
+    std::exit(1);
+  }
+  return Cell{result.utilization, result.admitted};
+}
+
+/// Prints the standard six-column row for one sweep point.
+inline void printHeader(const std::string& sweepName) {
+  std::printf("%-10s %10s %10s %10s %12s %12s %12s\n", sweepName.c_str(),
+              "util_tun", "util_s1", "util_s2", "thru_tun", "thru_s1",
+              "thru_s2");
+}
+
+inline void printRow(double sweepValue, const Cell& tunable, const Cell& s1,
+                     const Cell& s2) {
+  std::printf("%-10.4g %10.4f %10.4f %10.4f %12llu %12llu %12llu\n",
+              sweepValue, tunable.utilization, s1.utilization, s2.utilization,
+              static_cast<unsigned long long>(tunable.throughput),
+              static_cast<unsigned long long>(s1.throughput),
+              static_cast<unsigned long long>(s2.throughput));
+}
+
+/// Runs one task system at one sweep point, replicated d.runs times
+/// (cells are means across seeds when runs > 1).
+inline Cell runCellReplicated(const workload::Fig4Params& params,
+                              workload::Fig4Shape shape, double interval,
+                              const FigDefaults& d) {
+  if (d.runs <= 1) {
+    return runCell(params, shape, interval, d.jobs, d.processors, d.seed,
+                   d.verify, d.chainChoice);
+  }
+  double util = 0.0;
+  double thru = 0.0;
+  for (int r = 0; r < d.runs; ++r) {
+    const Cell cell =
+        runCell(params, shape, interval, d.jobs, d.processors,
+                d.seed + static_cast<std::uint64_t>(r), d.verify,
+                d.chainChoice);
+    util += cell.utilization;
+    thru += static_cast<double>(cell.throughput);
+  }
+  return Cell{util / d.runs,
+              static_cast<std::uint64_t>(thru / d.runs + 0.5)};
+}
+
+/// Runs all three task systems at one sweep point and prints the row.
+inline void runAndPrintRow(double sweepValue, const workload::Fig4Params& p,
+                           double interval, const FigDefaults& d) {
+  const Cell tunable =
+      runCellReplicated(p, workload::Fig4Shape::Tunable, interval, d);
+  const Cell s1 =
+      runCellReplicated(p, workload::Fig4Shape::Shape1, interval, d);
+  const Cell s2 =
+      runCellReplicated(p, workload::Fig4Shape::Shape2, interval, d);
+  printRow(sweepValue, tunable, s1, s2);
+}
+
+}  // namespace tprm::bench

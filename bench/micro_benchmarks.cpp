@@ -1,0 +1,138 @@
+// Engineering microbenchmarks (google-benchmark): the hot paths of the
+// arbitrator and the Calypso runtime.  Not part of the paper's evaluation;
+// used to keep the 10,000-job figure sweeps fast and to quantify runtime
+// overheads.
+#include <benchmark/benchmark.h>
+
+#include "calypso/runtime.h"
+#include "common/rng.h"
+#include "resource/availability_profile.h"
+#include "sched/greedy_arbitrator.h"
+#include "sim/engine.h"
+#include "workload/fig4.h"
+
+namespace {
+
+using namespace tprm;
+
+void BM_ProfileReserveRelease(benchmark::State& state) {
+  resource::AvailabilityProfile profile(64);
+  Rng rng(1);
+  Time clock = 0;
+  for (auto _ : state) {
+    clock += 5;
+    profile.discardBefore(clock);
+    const Time b = clock + rng.uniformInt(0, 50);
+    const TimeInterval iv{b, b + rng.uniformInt(1, 100)};
+    const int procs = static_cast<int>(rng.uniformInt(1, 8));
+    if (profile.minAvailable(iv) >= procs) {
+      profile.reserve(iv, procs);
+    }
+    benchmark::DoNotOptimize(profile.segmentCount());
+  }
+}
+BENCHMARK(BM_ProfileReserveRelease);
+
+void BM_FindEarliestFit(benchmark::State& state) {
+  resource::AvailabilityProfile profile(64);
+  Rng rng(2);
+  // Fragmented profile with ~64 segments.
+  for (int i = 0; i < 64; ++i) {
+    const Time b = rng.uniformInt(0, 2000);
+    const TimeInterval iv{b, b + rng.uniformInt(1, 80)};
+    const int procs = static_cast<int>(rng.uniformInt(1, 4));
+    if (profile.minAvailable(iv) >= procs) profile.reserve(iv, procs);
+  }
+  for (auto _ : state) {
+    const Time earliest = rng.uniformInt(0, 1000);
+    benchmark::DoNotOptimize(
+        profile.findEarliestFit(earliest, 50, 16, kTimeInfinity));
+  }
+}
+BENCHMARK(BM_FindEarliestFit);
+
+void BM_MaximalHoles(benchmark::State& state) {
+  resource::AvailabilityProfile profile(64);
+  Rng rng(3);
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    const Time b = rng.uniformInt(0, 2000);
+    const TimeInterval iv{b, b + rng.uniformInt(1, 80)};
+    const int procs = static_cast<int>(rng.uniformInt(1, 4));
+    if (profile.minAvailable(iv) >= procs) profile.reserve(iv, procs);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profile.maximalHoles(TimeInterval{0, 2500}));
+  }
+}
+BENCHMARK(BM_MaximalHoles)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_AdmitTunableJob(benchmark::State& state) {
+  const auto spec =
+      workload::makeFig4Job(workload::Fig4Params{}, workload::Fig4Shape::Tunable);
+  sched::GreedyArbitrator arbitrator;
+  resource::AvailabilityProfile profile(16);
+  Time release = 0;
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    release += ticksFromUnits(30.0);
+    profile.discardBefore(release);
+    task::JobInstance job;
+    job.id = id++;
+    job.release = release;
+    job.spec = spec;
+    benchmark::DoNotOptimize(arbitrator.admit(job, profile));
+  }
+}
+BENCHMARK(BM_AdmitTunableJob);
+
+void BM_SimulationThroughput(benchmark::State& state) {
+  const auto jobs = workload::makeFig4PoissonStream(
+      workload::Fig4Params{}, workload::Fig4Shape::Tunable, 30.0,
+      static_cast<std::size_t>(state.range(0)), 42);
+  for (auto _ : state) {
+    sched::GreedyArbitrator arbitrator;
+    sim::SimulationConfig config;
+    config.processors = 16;
+    benchmark::DoNotOptimize(sim::runSimulation(jobs, arbitrator, config));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulationThroughput)->Arg(1000)->Arg(10000);
+
+void BM_CalypsoStepOverhead(benchmark::State& state) {
+  calypso::Runtime runtime(
+      calypso::RuntimeOptions{.workers = static_cast<int>(state.range(0))});
+  calypso::SharedArray<int> out(64, 0);
+  for (auto _ : state) {
+    calypso::ParallelStep step;
+    step.routine(64, [&](calypso::TaskContext& ctx) {
+      ctx.write(out, static_cast<std::size_t>(ctx.number()), ctx.number());
+    });
+    benchmark::DoNotOptimize(runtime.run(step));
+  }
+}
+BENCHMARK(BM_CalypsoStepOverhead)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_CalypsoWriteCommit(benchmark::State& state) {
+  calypso::Runtime runtime(calypso::RuntimeOptions{.workers = 2});
+  const auto writes = static_cast<std::size_t>(state.range(0));
+  calypso::SharedArray<int> out(writes, 0);
+  for (auto _ : state) {
+    calypso::ParallelStep step;
+    step.routine(2, [&](calypso::TaskContext& ctx) {
+      const auto half = writes / 2;
+      const auto base = static_cast<std::size_t>(ctx.number()) * half;
+      for (std::size_t i = 0; i < half; ++i) {
+        ctx.write(out, base + i, static_cast<int>(i));
+      }
+    });
+    benchmark::DoNotOptimize(runtime.run(step));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(writes));
+}
+BENCHMARK(BM_CalypsoWriteCommit)->Arg(1024)->Arg(16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

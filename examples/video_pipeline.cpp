@@ -1,0 +1,141 @@
+// Soft real-time media processing: the motivating workload of the paper's
+// introduction ("an application analyzing a live video feed ... needs to
+// complete its processing by the time the next frame arrives").
+//
+// A stream of frames arrives at a fixed rate.  Each frame spawns a tunable
+// analysis job with two paths:
+//   high quality:  detect at fine granularity  (more resources, q = 1.0)
+//   low quality:   detect at coarse granularity (fewer resources, q = 0.8)
+// and a hard per-frame deadline (the next frame's arrival plus a small
+// pipeline depth).  The demo sweeps the frame rate and reports, for the
+// tunable pipeline and the two fixed-quality pipelines, how many frames
+// finish on time and the average delivered quality — showing the graceful
+// quality degradation tunability buys under load.
+//
+//   ./build/examples/video_pipeline [--frames=N] [--procs=P]
+#include <cstdio>
+#include <vector>
+
+#include "common/flags.h"
+#include "sched/greedy_arbitrator.h"
+#include "sim/engine.h"
+#include "taskmodel/chain.h"
+
+namespace {
+
+using namespace tprm;
+
+/// Per-frame analysis job: prefilter step + analysis step.
+/// The high path spends more on analysis at quality 1.0; the low path has a
+/// lighter analysis at quality 0.8.  `pipelineDepth` frames of slack.
+task::TunableJobSpec frameJob(bool allowHigh, bool allowLow,
+                              double frameInterval, int pipelineDepth) {
+  const Time deadline =
+      ticksFromUnits(frameInterval * (1 + pipelineDepth));
+  task::TunableJobSpec spec;
+  spec.name = "frame";
+  if (allowHigh) {
+    task::Chain high;
+    high.name = "high-quality";
+    high.tasks = {
+        task::TaskSpec::rigid("prefilter", 2, ticksFromUnits(6.0), deadline,
+                              1.0),
+        task::TaskSpec::rigid("analyze", 8, ticksFromUnits(20.0), deadline,
+                              1.0),
+    };
+    spec.chains.push_back(high);
+  }
+  if (allowLow) {
+    task::Chain low;
+    low.name = "low-quality";
+    low.tasks = {
+        task::TaskSpec::rigid("prefilter", 2, ticksFromUnits(6.0), deadline,
+                              1.0),
+        task::TaskSpec::rigid("analyze", 4, ticksFromUnits(16.0), deadline,
+                              0.8),
+    };
+    spec.chains.push_back(low);
+  }
+  return spec;
+}
+
+struct PipelineOutcome {
+  std::uint64_t onTime = 0;
+  double meanQuality = 0.0;
+  double utilization = 0.0;
+};
+
+PipelineOutcome runPipeline(bool allowHigh, bool allowLow, double interval,
+                            std::size_t frames, int processors) {
+  const auto spec = frameJob(allowHigh, allowLow, interval,
+                             /*pipelineDepth=*/2);
+  std::vector<task::JobInstance> jobs;
+  for (std::size_t i = 0; i < frames; ++i) {
+    task::JobInstance job;
+    job.id = i;
+    job.release = ticksFromUnits(interval * static_cast<double>(i));
+    job.spec = spec;
+    jobs.push_back(std::move(job));
+  }
+  // Quality-maximizing chain choice: prefer the high-quality path whenever
+  // it is schedulable, falling back to the cheap path under load.
+  sched::GreedyArbitrator arbitrator(
+      sched::GreedyOptions{.chainChoice = sched::ChainChoice::QualityFirst});
+  sim::SimulationConfig config;
+  config.processors = processors;
+  config.verify = true;
+  const auto result = sim::runSimulation(jobs, arbitrator, config);
+  if (result.verification && !result.verification->ok) {
+    std::fprintf(stderr, "verification failed: %s\n",
+                 result.verification->firstViolation.c_str());
+    std::exit(1);
+  }
+  PipelineOutcome outcome;
+  outcome.onTime = result.admitted;
+  outcome.meanQuality =
+      result.admitted == 0
+          ? 0.0
+          : result.qualitySum / static_cast<double>(result.admitted);
+  outcome.utilization = result.utilization;
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto frames = static_cast<std::size_t>(flags.getInt("frames", 2000));
+  const int processors = static_cast<int>(flags.getInt("procs", 16));
+
+  std::printf("# Soft real-time video pipeline, %zu frames, %d processors\n",
+              frames, processors);
+  std::printf("# Each frame must finish within 3 frame intervals.\n");
+  std::printf("%-10s | %10s %8s | %10s %8s | %10s %8s\n", "interval",
+              "tun_ontime", "tun_q", "high_only", "high_q", "low_only",
+              "low_q");
+
+  // Sweep the frame interval from comfortable to impossible.
+  for (const double interval :
+       {40.0, 32.0, 26.0, 22.0, 18.0, 14.0, 10.0, 8.0, 6.0}) {
+    const auto tunable =
+        runPipeline(true, true, interval, frames, processors);
+    const auto highOnly =
+        runPipeline(true, false, interval, frames, processors);
+    const auto lowOnly =
+        runPipeline(false, true, interval, frames, processors);
+    std::printf("%-10.4g | %10llu %8.3f | %10llu %8.3f | %10llu %8.3f\n",
+                interval,
+                static_cast<unsigned long long>(tunable.onTime),
+                tunable.meanQuality,
+                static_cast<unsigned long long>(highOnly.onTime),
+                highOnly.meanQuality,
+                static_cast<unsigned long long>(lowOnly.onTime),
+                lowOnly.meanQuality);
+  }
+  std::printf(
+      "\nReading: as frames arrive faster, the high-quality-only pipeline\n"
+      "starts dropping frames; the tunable pipeline keeps frames on time by\n"
+      "degrading some frames to the low-quality path, and converges to the\n"
+      "low-only pipeline under extreme load.\n");
+  return 0;
+}

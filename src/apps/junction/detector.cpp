@@ -1,0 +1,285 @@
+#include "apps/junction/detector.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace tprm::junction {
+
+// ---------------------------------------------------------------------------
+// Step 1: sampling
+// ---------------------------------------------------------------------------
+
+bool isInteresting(const Image& image, int x, int y, float threshold) {
+  float lo = image.atClamped(x, y);
+  float hi = lo;
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      const float v = image.atClamped(x + dx, y + dy);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  return hi - lo >= threshold;
+}
+
+std::size_t sampleCount(const Image& image, int granularity) {
+  TPRM_CHECK(granularity >= 1, "granularity must be >= 1");
+  return (image.pixelCount() + static_cast<std::size_t>(granularity) - 1) /
+         static_cast<std::size_t>(granularity);
+}
+
+std::vector<Point> samplePixels(const Image& image, const SampleParams& params,
+                                std::size_t firstSample,
+                                std::size_t lastSample) {
+  TPRM_CHECK(params.granularity >= 1, "granularity must be >= 1");
+  const std::size_t total = sampleCount(image, params.granularity);
+  lastSample = std::min(lastSample, total);
+  std::vector<Point> interesting;
+  for (std::size_t k = firstSample; k < lastSample; ++k) {
+    const std::size_t index = k * static_cast<std::size_t>(params.granularity);
+    const int x = static_cast<int>(index % static_cast<std::size_t>(
+        image.width()));
+    const int y = static_cast<int>(index / static_cast<std::size_t>(
+        image.width()));
+    if (isInteresting(image, x, y, params.interestThreshold)) {
+      interesting.push_back(Point{x, y});
+    }
+  }
+  return interesting;
+}
+
+// ---------------------------------------------------------------------------
+// Step 2: regions of interest
+// ---------------------------------------------------------------------------
+
+namespace {
+
+long long cross(Point o, Point a, Point b) {
+  return static_cast<long long>(a.x - o.x) * (b.y - o.y) -
+         static_cast<long long>(a.y - o.y) * (b.x - o.x);
+}
+
+/// Union-find for clustering.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<Point> convexHull(std::vector<Point> points) {
+  std::sort(points.begin(), points.end(), [](Point a, Point b) {
+    return a.x != b.x ? a.x < b.x : a.y < b.y;
+  });
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  const std::size_t n = points.size();
+  if (n <= 2) return points;
+  std::vector<Point> hull(2 * n);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) {  // lower hull
+    while (k >= 2 && cross(hull[k - 2], hull[k - 1], points[i]) <= 0) --k;
+    hull[k++] = points[i];
+  }
+  const std::size_t lower = k + 1;
+  for (std::size_t i = n - 1; i-- > 0;) {  // upper hull
+    while (k >= lower && cross(hull[k - 2], hull[k - 1], points[i]) <= 0) --k;
+    hull[k++] = points[i];
+  }
+  hull.resize(k - 1);
+  return hull;
+}
+
+bool Region::contains(int x, int y) const {
+  if (x < x0 || x > x1 || y < y0 || y > y1) return false;
+  if (hull.size() <= 2) return true;  // degenerate: bounding box test only
+  // Inside the hull expanded by `margin`: a point is accepted if it is
+  // within `margin` (Chebyshev) of the unexpanded hull or inside it.  Exact
+  // polygon offsetting is overkill; test the point against each edge with a
+  // margin slack, which is conservative and cheap.
+  const Point p{x, y};
+  for (std::size_t i = 0; i < hull.size(); ++i) {
+    const Point a = hull[i];
+    const Point b = hull[(i + 1) % hull.size()];
+    // Signed area; for CCW hulls, inside points have cross >= 0 for every
+    // edge.  Allow a slack proportional to margin times edge length.
+    const long long c = cross(a, b, p);
+    const long long dx = b.x - a.x;
+    const long long dy = b.y - a.y;
+    // |edge| * margin bounds the distance-slack expansion (L2 <= L1 here).
+    const long long slack =
+        static_cast<long long>(margin) * (std::abs(dx) + std::abs(dy));
+    if (c < -slack) return false;
+  }
+  return true;
+}
+
+std::vector<Region> markRegions(const Image& image,
+                                const std::vector<Point>& points,
+                                const RegionParams& params) {
+  TPRM_CHECK(params.searchDistance >= 1, "search distance must be >= 1");
+  TPRM_CHECK(params.minClusterSize >= 1, "min cluster size must be >= 1");
+  std::vector<Region> regions;
+  if (points.empty()) return regions;
+
+  // Grid-bucketed clustering: points within searchDistance unite.
+  const int cell = params.searchDistance;
+  std::unordered_map<long long, std::vector<std::size_t>> grid;
+  auto key = [cell](Point p) {
+    return (static_cast<long long>(p.x / cell) << 32) ^
+           static_cast<long long>(p.y / cell);
+  };
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    grid[key(points[i])].push_back(i);
+  }
+  DisjointSets sets(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point p = points[i];
+    for (int gx = p.x / cell - 1; gx <= p.x / cell + 1; ++gx) {
+      for (int gy = p.y / cell - 1; gy <= p.y / cell + 1; ++gy) {
+        const long long k =
+            (static_cast<long long>(gx) << 32) ^ static_cast<long long>(gy);
+        const auto it = grid.find(k);
+        if (it == grid.end()) continue;
+        for (const std::size_t j : it->second) {
+          if (j <= i) continue;
+          if (chebyshev(p, points[j]) <= params.searchDistance) {
+            sets.unite(i, j);
+          }
+        }
+      }
+    }
+  }
+
+  std::unordered_map<std::size_t, std::vector<Point>> clusters;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    clusters[sets.find(i)].push_back(points[i]);
+  }
+
+  for (auto& [root, members] : clusters) {
+    (void)root;
+    if (static_cast<int>(members.size()) < params.minClusterSize) continue;
+    Region region;
+    region.hull = convexHull(std::move(members));
+    region.margin = params.searchDistance;
+    int x0 = image.width(), y0 = image.height(), x1 = 0, y1 = 0;
+    for (const auto& p : region.hull) {
+      x0 = std::min(x0, p.x);
+      y0 = std::min(y0, p.y);
+      x1 = std::max(x1, p.x);
+      y1 = std::max(y1, p.y);
+    }
+    region.x0 = std::max(0, x0 - region.margin);
+    region.y0 = std::max(0, y0 - region.margin);
+    region.x1 = std::min(image.width() - 1, x1 + region.margin);
+    region.y1 = std::min(image.height() - 1, y1 + region.margin);
+    regions.push_back(std::move(region));
+  }
+  // Deterministic order (hash maps above are unordered).
+  std::sort(regions.begin(), regions.end(), [](const Region& a,
+                                               const Region& b) {
+    if (a.y0 != b.y0) return a.y0 < b.y0;
+    return a.x0 < b.x0;
+  });
+  return regions;
+}
+
+// ---------------------------------------------------------------------------
+// Step 3: junction computation (Harris corner measure)
+// ---------------------------------------------------------------------------
+
+float harrisResponse(const Image& image, int x, int y,
+                     const JunctionParams& params) {
+  float sxx = 0.0F;
+  float syy = 0.0F;
+  float sxy = 0.0F;
+  for (int dy = -params.windowRadius; dy <= params.windowRadius; ++dy) {
+    for (int dx = -params.windowRadius; dx <= params.windowRadius; ++dx) {
+      const int px = x + dx;
+      const int py = y + dy;
+      // Sobel gradients.
+      const float ix =
+          (image.atClamped(px + 1, py - 1) - image.atClamped(px - 1, py - 1)) +
+          2.0F * (image.atClamped(px + 1, py) - image.atClamped(px - 1, py)) +
+          (image.atClamped(px + 1, py + 1) - image.atClamped(px - 1, py + 1));
+      const float iy =
+          (image.atClamped(px - 1, py + 1) - image.atClamped(px - 1, py - 1)) +
+          2.0F * (image.atClamped(px, py + 1) - image.atClamped(px, py - 1)) +
+          (image.atClamped(px + 1, py + 1) - image.atClamped(px + 1, py - 1));
+      sxx += ix * ix;
+      syy += iy * iy;
+      sxy += ix * iy;
+    }
+  }
+  const float det = sxx * syy - sxy * sxy;
+  const float trace = sxx + syy;
+  return det - params.harrisK * trace * trace;
+}
+
+std::vector<Point> computeJunctions(const Image& image, const Region& region,
+                                    const JunctionParams& params, int rowBegin,
+                                    int rowEnd) {
+  std::vector<Point> junctions;
+  rowBegin = std::max(rowBegin, region.y0);
+  rowEnd = std::min(rowEnd, region.y1 + 1);
+  for (int y = rowBegin; y < rowEnd; ++y) {
+    for (int x = region.x0; x <= region.x1; ++x) {
+      if (!region.contains(x, y)) continue;
+      const float response = harrisResponse(image, x, y, params);
+      if (response < params.responseThreshold) continue;
+      // 3x3 non-max suppression (ties broken toward the lexicographically
+      // first pixel so duplicated plateaus yield one detection).
+      bool isMax = true;
+      for (int dy = -1; dy <= 1 && isMax; ++dy) {
+        for (int dx = -1; dx <= 1 && isMax; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          const float other = harrisResponse(image, x + dx, y + dy, params);
+          if (other > response ||
+              (other == response && (dy < 0 || (dy == 0 && dx < 0)))) {
+            isMax = false;
+          }
+        }
+      }
+      if (isMax) junctions.push_back(Point{x, y});
+    }
+  }
+  return junctions;
+}
+
+std::vector<Point> mergeDetections(std::vector<Point> points,
+                                   int mergeDistance) {
+  std::sort(points.begin(), points.end(), [](Point a, Point b) {
+    return a.y != b.y ? a.y < b.y : a.x < b.x;
+  });
+  std::vector<Point> merged;
+  for (const auto& p : points) {
+    bool duplicate = false;
+    for (auto it = merged.rbegin(); it != merged.rend(); ++it) {
+      if (p.y - it->y > mergeDistance) break;
+      if (chebyshev(p, *it) <= mergeDistance) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) merged.push_back(p);
+  }
+  return merged;
+}
+
+}  // namespace tprm::junction

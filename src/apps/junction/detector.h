@@ -1,0 +1,119 @@
+// The three algorithmic steps of the junction-detection application
+// (Section 3.2):
+//
+//   1. sampleImage: test a parameterizable subset of pixels for "interest"
+//      (abrupt local intensity change).  Tunable knob: sampling granularity
+//      (fine-continuous in principle; the program exposes discrete levels).
+//   2. markRegions: draw regions of interest around clusters of interesting
+//      pixels — a convex hull containing at least a certain number of
+//      interesting pixels in close proximity.  Tunable knob: search distance
+//      (coarse sampling is compensated by larger/more regions).
+//   3. computeJunctions: run a compute-intensive corner measure (Harris) on
+//      every pixel inside the regions of interest.
+//
+// The functions here are pure and single-threaded; `pipeline.h` wires them
+// into Calypso parallel steps.
+#pragma once
+
+#include <vector>
+
+#include "apps/junction/image.h"
+
+namespace tprm::junction {
+
+/// Step-1 parameters.
+struct SampleParams {
+  /// Sample every `granularity`-th pixel in row-major order (16 = fine,
+  /// 64 = coarse; matches the configurations in Figure 3 of the paper).
+  int granularity = 16;
+  /// Minimum max-min intensity difference over the 3x3 neighbourhood for a
+  /// pixel to be "of interest".
+  float interestThreshold = 0.12F;
+};
+
+/// Tests a single pixel for interest (exposed for tests and for splitting
+/// the work across routines).
+[[nodiscard]] bool isInteresting(const Image& image, int x, int y,
+                                 float threshold);
+
+/// Step 1 over an index sub-range [firstIndex, lastIndex) of the sampled
+/// sequence; appends interesting pixels.  The k-th sample is the pixel with
+/// row-major index k * granularity.
+[[nodiscard]] std::vector<Point> samplePixels(const Image& image,
+                                              const SampleParams& params,
+                                              std::size_t firstSample,
+                                              std::size_t lastSample);
+
+/// Number of samples step 1 visits for the given image/granularity.
+[[nodiscard]] std::size_t sampleCount(const Image& image, int granularity);
+
+/// A region of interest: convex hull of a cluster, expanded by `margin`.
+struct Region {
+  /// Hull vertices in counter-clockwise order (may be 1 or 2 points for
+  /// degenerate clusters).
+  std::vector<Point> hull;
+  /// Expansion margin applied by containment tests.
+  int margin = 0;
+  /// Bounding box including the margin: [x0, x1] x [y0, y1].
+  int x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+
+  /// True iff (x, y) lies inside the margin-expanded hull.
+  [[nodiscard]] bool contains(int x, int y) const;
+  /// Number of pixels in the bounding box (the step-3 work estimate).
+  [[nodiscard]] std::int64_t boundingArea() const {
+    return static_cast<std::int64_t>(x1 - x0 + 1) *
+           static_cast<std::int64_t>(y1 - y0 + 1);
+  }
+};
+
+/// Step-2 parameters.
+struct RegionParams {
+  /// Two interesting pixels within this Chebyshev distance belong to the
+  /// same cluster; the hull is also expanded by this margin.  The paper's
+  /// "search distance metric".
+  int searchDistance = 12;
+  /// Minimum cluster size to produce a region ("at least a certain number
+  /// of interesting pixels in close proximity").
+  int minClusterSize = 3;
+};
+
+/// Step 2: clusters interesting pixels and builds margin-expanded convex
+/// hull regions, clipped to the image bounds.
+[[nodiscard]] std::vector<Region> markRegions(const Image& image,
+                                              const std::vector<Point>& points,
+                                              const RegionParams& params);
+
+/// Andrew's monotone-chain convex hull (exposed for tests).  Input order is
+/// irrelevant; duplicates are tolerated.  Returns CCW vertices.
+[[nodiscard]] std::vector<Point> convexHull(std::vector<Point> points);
+
+/// Step-3 parameters.
+struct JunctionParams {
+  /// Harris detector constant.
+  float harrisK = 0.06F;
+  /// Response threshold for a pixel to count as a junction candidate.
+  /// Calibrated against the synthetic scenes: true corners (contrast >=
+  /// 0.35) score well above 1.0; pixel-noise responses stay below ~0.02.
+  float responseThreshold = 0.05F;
+  /// Structure-tensor window radius.
+  int windowRadius = 2;
+};
+
+/// Harris corner response at one pixel (exposed for tests and routines).
+[[nodiscard]] float harrisResponse(const Image& image, int x, int y,
+                                   const JunctionParams& params);
+
+/// Step 3 over the rows [rowBegin, rowEnd) of `region`'s bounding box:
+/// computes responses for contained pixels and returns local maxima above
+/// the threshold (3x3 non-max suppression computed from responses).
+[[nodiscard]] std::vector<Point> computeJunctions(const Image& image,
+                                                  const Region& region,
+                                                  const JunctionParams& params,
+                                                  int rowBegin, int rowEnd);
+
+/// Deduplicates near-coincident detections across regions (two detections
+/// within `mergeDistance` collapse to one).
+[[nodiscard]] std::vector<Point> mergeDetections(std::vector<Point> points,
+                                                 int mergeDistance);
+
+}  // namespace tprm::junction

@@ -1,0 +1,122 @@
+#include "apps/junction/image.h"
+
+#include <algorithm>
+
+namespace tprm::junction {
+namespace {
+
+struct Rect {
+  int x0, y0, x1, y1;  // inclusive corners, x0<=x1, y0<=y1
+  [[nodiscard]] bool overlaps(const Rect& other, int margin) const {
+    return x0 - margin <= other.x1 && other.x0 - margin <= x1 &&
+           y0 - margin <= other.y1 && other.y0 - margin <= y1;
+  }
+};
+
+}  // namespace
+
+Scene synthesizeScene(Rng& rng, const SceneSpec& spec) {
+  TPRM_CHECK(spec.width > 8 && spec.height > 8, "scene too small");
+  TPRM_CHECK(spec.minSide >= 4 && spec.maxSide >= spec.minSide,
+             "bad rectangle side range");
+  Scene scene;
+  // Mid-gray background leaves room for minContrast in both directions.
+  const float background = 0.5F;
+  TPRM_CHECK(spec.minContrast > 0.0 && spec.minContrast < 0.5,
+             "minContrast must be in (0, 0.5) around the mid-gray background");
+  scene.image = Image(spec.width, spec.height, background);
+
+  std::vector<Rect> placed;
+  int attempts = 0;
+  // Keep rectangles away from the border so every corner is a genuine
+  // 4-neighbourhood junction.
+  const int border = 4;
+  while (static_cast<int>(placed.size()) < spec.rectangles &&
+         attempts < spec.rectangles * 50) {
+    ++attempts;
+    const int w = static_cast<int>(rng.uniformInt(spec.minSide, spec.maxSide));
+    const int h = static_cast<int>(rng.uniformInt(spec.minSide, spec.maxSide));
+    if (spec.width - w - 2 * border <= 0 || spec.height - h - 2 * border <= 0) {
+      continue;
+    }
+    const int x0 =
+        static_cast<int>(rng.uniformInt(border, spec.width - w - border - 1));
+    const int y0 =
+        static_cast<int>(rng.uniformInt(border, spec.height - h - border - 1));
+    const Rect rect{x0, y0, x0 + w - 1, y0 + h - 1};
+    bool collides = false;
+    for (const auto& other : placed) {
+      // Margin keeps distinct rectangles' corners separable.
+      if (rect.overlaps(other, 6)) {
+        collides = true;
+        break;
+      }
+    }
+    if (collides) continue;
+    placed.push_back(rect);
+
+    // Intensity contrasting with the background in either direction.
+    const auto contrast =
+        static_cast<float>(rng.uniformReal(spec.minContrast, 0.5));
+    const float intensity = std::clamp(
+        rng.bernoulli(0.5) ? background + contrast : background - contrast,
+        0.0F, 1.0F);
+    for (int y = rect.y0; y <= rect.y1; ++y) {
+      for (int x = rect.x0; x <= rect.x1; ++x) {
+        scene.image.set(x, y, intensity);
+      }
+    }
+    scene.junctions.push_back(Point{rect.x0, rect.y0});
+    scene.junctions.push_back(Point{rect.x1, rect.y0});
+    scene.junctions.push_back(Point{rect.x0, rect.y1});
+    scene.junctions.push_back(Point{rect.x1, rect.y1});
+  }
+
+  if (spec.noiseSigma > 0.0) {
+    for (int y = 0; y < spec.height; ++y) {
+      for (int x = 0; x < spec.width; ++x) {
+        const float noisy = scene.image.at(x, y) +
+                            static_cast<float>(rng.normal(0.0, spec.noiseSigma));
+        scene.image.set(x, y, std::clamp(noisy, 0.0F, 1.0F));
+      }
+    }
+  }
+  return scene;
+}
+
+QualityScore scoreDetections(const std::vector<Point>& detected,
+                             const std::vector<Point>& truth, int tolerance) {
+  QualityScore score;
+  score.detections = static_cast<int>(detected.size());
+  score.truths = static_cast<int>(truth.size());
+  std::vector<bool> used(detected.size(), false);
+  for (const auto& t : truth) {
+    int best = -1;
+    int bestDist = tolerance + 1;
+    for (std::size_t i = 0; i < detected.size(); ++i) {
+      if (used[i]) continue;
+      const int d = chebyshev(t, detected[i]);
+      if (d < bestDist) {
+        bestDist = d;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best >= 0) {
+      used[static_cast<std::size_t>(best)] = true;
+      ++score.matched;
+    }
+  }
+  score.recall = score.truths == 0
+                     ? 1.0
+                     : static_cast<double>(score.matched) / score.truths;
+  score.precision = score.detections == 0
+                        ? (score.truths == 0 ? 1.0 : 0.0)
+                        : static_cast<double>(score.matched) / score.detections;
+  score.f1 = (score.precision + score.recall) == 0.0
+                 ? 0.0
+                 : 2.0 * score.precision * score.recall /
+                       (score.precision + score.recall);
+  return score;
+}
+
+}  // namespace tprm::junction

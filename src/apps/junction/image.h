@@ -1,0 +1,122 @@
+// Synthetic grayscale images with planted junctions.
+//
+// The paper's junction-detection application (Section 3.2) detects
+// "distinguished pixels in an image where the intensity or color changes
+// abruptly" — corner points.  The paper profiles it on real images; we
+// substitute synthetic scenes of non-overlapping axis-aligned rectangles on
+// a noisy background, whose corners are *known*, so output quality (the
+// value the QoS agent trades against resources) is measurable exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace tprm::junction {
+
+/// Integer pixel coordinate.
+struct Point {
+  int x = 0;
+  int y = 0;
+  constexpr bool operator==(const Point&) const = default;
+};
+
+/// Row-major grayscale image with float intensities in [0, 1].
+class Image {
+ public:
+  Image(int width, int height, float fill = 0.0F)
+      : width_(width), height_(height),
+        pixels_(checkedSize(width, height), fill) {}
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] std::size_t pixelCount() const { return pixels_.size(); }
+
+  [[nodiscard]] float at(int x, int y) const {
+    TPRM_DCHECK(contains(x, y), "pixel out of range");
+    return pixels_[index(x, y)];
+  }
+  void set(int x, int y, float value) {
+    TPRM_DCHECK(contains(x, y), "pixel out of range");
+    pixels_[index(x, y)] = value;
+  }
+
+  /// Clamped read: coordinates outside the image read the nearest edge
+  /// pixel (used by convolution kernels).
+  [[nodiscard]] float atClamped(int x, int y) const {
+    x = x < 0 ? 0 : (x >= width_ ? width_ - 1 : x);
+    y = y < 0 ? 0 : (y >= height_ ? height_ - 1 : y);
+    return pixels_[index(x, y)];
+  }
+
+  [[nodiscard]] bool contains(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  [[nodiscard]] const std::vector<float>& data() const { return pixels_; }
+
+ private:
+  [[nodiscard]] static std::size_t checkedSize(int width, int height) {
+    TPRM_CHECK(width > 0 && height > 0, "image dimensions must be positive");
+    return static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
+  }
+
+  [[nodiscard]] std::size_t index(int x, int y) const {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(x);
+  }
+
+  int width_;
+  int height_;
+  std::vector<float> pixels_;
+};
+
+/// Parameters for the synthetic scene generator.
+struct SceneSpec {
+  int width = 256;
+  int height = 256;
+  /// Number of rectangles to place (non-overlapping; placement gives up
+  /// after bounded retries, so the actual count may be lower).
+  int rectangles = 10;
+  int minSide = 24;
+  int maxSide = 72;
+  /// Gaussian pixel noise standard deviation.
+  double noiseSigma = 0.015;
+  /// Minimum intensity contrast between a rectangle and the background.
+  double minContrast = 0.35;
+};
+
+/// A synthesized scene: the image plus its ground-truth junction corners.
+struct Scene {
+  Image image{1, 1};
+  std::vector<Point> junctions;
+};
+
+/// Generates a scene with known junctions.  Deterministic per RNG state.
+[[nodiscard]] Scene synthesizeScene(Rng& rng, const SceneSpec& spec);
+
+/// Greatest distance metric used throughout the app (Chebyshev).
+[[nodiscard]] inline int chebyshev(Point a, Point b) {
+  const int dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+  const int dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+  return dx > dy ? dx : dy;
+}
+
+/// Detection quality against ground truth: a detected point matches a true
+/// junction if within `tolerance` (Chebyshev); each truth point matches at
+/// most one detection.
+struct QualityScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  int matched = 0;
+  int detections = 0;
+  int truths = 0;
+};
+[[nodiscard]] QualityScore scoreDetections(const std::vector<Point>& detected,
+                                           const std::vector<Point>& truth,
+                                           int tolerance);
+
+}  // namespace tprm::junction

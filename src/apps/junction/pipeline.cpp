@@ -1,0 +1,257 @@
+#include "apps/junction/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.h"
+
+namespace tprm::junction {
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+DetectionResult detectJunctions(calypso::Runtime& runtime, const Scene& scene,
+                                const PipelineConfig& config) {
+  TPRM_CHECK(config.routines >= 1, "need at least one routine");
+  DetectionResult result;
+  const Image& image = scene.image;
+
+  SampleParams sampleParams = config.sample;
+  sampleParams.granularity = config.sampleGranularity;
+  RegionParams regionParams = config.region;
+  regionParams.searchDistance = config.searchDistance;
+
+  // -------------------------------------------------------------------
+  // Step 1 (parallel): sample pixels, each routine takes a contiguous
+  // band of the sample sequence and publishes into its own slot (CREW).
+  // -------------------------------------------------------------------
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::size_t samples = sampleCount(image, sampleParams.granularity);
+  const auto width = static_cast<std::size_t>(config.routines);
+  calypso::SharedArray<std::vector<Point>> slots(width);
+  {
+    calypso::ParallelStep step;
+    step.routine(config.routines, [&](calypso::TaskContext& ctx) {
+      const auto w = static_cast<std::size_t>(ctx.width());
+      const auto n = static_cast<std::size_t>(ctx.number());
+      const std::size_t chunk = (samples + w - 1) / w;
+      const std::size_t first = n * chunk;
+      const std::size_t last = std::min(first + chunk, samples);
+      ctx.write(slots, n,
+                samplePixels(image, sampleParams, first, last));
+    });
+    runtime.run(step);
+  }
+  std::vector<Point> interesting;
+  for (std::size_t i = 0; i < width; ++i) {
+    const auto& part = slots.read(i);
+    interesting.insert(interesting.end(), part.begin(), part.end());
+  }
+  result.interestingPixels = interesting.size();
+  result.sampleSeconds = secondsSince(t1);
+
+  // -------------------------------------------------------------------
+  // Step 2 (sequential control code): regions of interest.
+  // -------------------------------------------------------------------
+  const auto t2 = std::chrono::steady_clock::now();
+  const auto regions = markRegions(image, interesting, regionParams);
+  result.regionCount = regions.size();
+  for (const auto& region : regions) result.regionArea += region.boundingArea();
+  result.regionSeconds = secondsSince(t2);
+
+  // -------------------------------------------------------------------
+  // Step 3 (parallel): Harris responses over region row-bands.  Work is
+  // split by region-rows so large regions don't serialize.
+  // -------------------------------------------------------------------
+  const auto t3 = std::chrono::steady_clock::now();
+  struct Band {
+    const Region* region;
+    int rowBegin;
+    int rowEnd;
+  };
+  std::vector<Band> bands;
+  for (const auto& region : regions) {
+    const int rows = region.y1 - region.y0 + 1;
+    const int bandRows = std::max(8, rows / config.routines);
+    for (int y = region.y0; y <= region.y1; y += bandRows) {
+      bands.push_back(Band{&region, y, std::min(y + bandRows, region.y1 + 1)});
+    }
+  }
+  std::vector<Point> rawDetections;
+  if (!bands.empty()) {
+    calypso::SharedArray<std::vector<Point>> found(bands.size());
+    calypso::ParallelStep step;
+    step.routine(static_cast<int>(bands.size()),
+                 [&](calypso::TaskContext& ctx) {
+                   const auto n = static_cast<std::size_t>(ctx.number());
+                   const Band& band = bands[n];
+                   ctx.write(found, n,
+                             computeJunctions(image, *band.region,
+                                              config.junction, band.rowBegin,
+                                              band.rowEnd));
+                 });
+    runtime.run(step);
+    for (std::size_t i = 0; i < bands.size(); ++i) {
+      const auto& part = found.read(i);
+      rawDetections.insert(rawDetections.end(), part.begin(), part.end());
+    }
+  }
+  result.computeSeconds = secondsSince(t3);
+
+  result.junctions = mergeDetections(std::move(rawDetections), 3);
+  result.quality = scoreDetections(result.junctions, scene.junctions, 4);
+  return result;
+}
+
+std::vector<ProfiledConfig> profileConfigurations(
+    calypso::Runtime& runtime, const std::vector<Scene>& trainingScenes,
+    const PipelineConfig& base,
+    const std::vector<std::pair<int, int>>& granularityAndDistance,
+    double unitSeconds) {
+  TPRM_CHECK(!trainingScenes.empty(), "profiling needs training scenes");
+  TPRM_CHECK(unitSeconds > 0.0, "unitSeconds must be positive");
+  std::vector<ProfiledConfig> profiles;
+  for (const auto& [granularity, distance] : granularityAndDistance) {
+    PipelineConfig config = base;
+    config.sampleGranularity = granularity;
+    config.searchDistance = distance;
+    double sampleSec = 0.0;
+    double regionSec = 0.0;
+    double computeSec = 0.0;
+    double f1 = 0.0;
+    for (const auto& scene : trainingScenes) {
+      const auto run = detectJunctions(runtime, scene, config);
+      sampleSec += run.sampleSeconds;
+      regionSec += run.regionSeconds;
+      computeSec += run.computeSeconds;
+      f1 += run.quality.f1;
+    }
+    const auto n = static_cast<double>(trainingScenes.size());
+    ProfiledConfig profile;
+    profile.sampleGranularity = granularity;
+    profile.searchDistance = distance;
+    const int procs = base.routines;
+    // Floor of 0.01 unit keeps degenerate measurements schedulable without
+    // flattening real differences between configurations.
+    const Time floorTicks = kTicksPerUnit / 100;
+    auto toRequest = [&](double seconds) {
+      const Time duration = std::max<Time>(
+          ticksFromUnits(seconds / n / unitSeconds), floorTicks);
+      return task::ResourceRequest{procs, duration};
+    };
+    profile.sampleRequest = toRequest(sampleSec);
+    profile.regionRequest = task::ResourceRequest{
+        1, std::max<Time>(ticksFromUnits(regionSec / n / unitSeconds),
+                          floorTicks)};
+    profile.computeRequest = toRequest(computeSec);
+    profile.quality = f1 / n;
+    profiles.push_back(profile);
+  }
+  return profiles;
+}
+
+std::unique_ptr<tunable::Program> makeTunableProgram(
+    calypso::Runtime& runtime, const Scene& scene,
+    const std::vector<ProfiledConfig>& profiles, double deadlineSlack,
+    DetectionResult* result) {
+  TPRM_CHECK(profiles.size() == 2,
+             "the Figure-3 program has exactly two configurations");
+  TPRM_CHECK(deadlineSlack >= 1.0, "deadline slack must be >= 1");
+  TPRM_CHECK(result != nullptr, "result sink required");
+  const ProfiledConfig& fine = profiles[0];
+  const ProfiledConfig& coarse = profiles[1];
+  TPRM_CHECK(fine.sampleGranularity < coarse.sampleGranularity,
+             "profiles must be ordered fine, coarse");
+
+  auto program = std::make_unique<tunable::Program>("junction-detection");
+  program->controlParameter("sampleGranularity", fine.sampleGranularity);
+  program->controlParameter("searchDistance", fine.searchDistance);
+  program->controlParameter("c", 0);  // derived: which branch ran
+
+  auto budget = [deadlineSlack](const task::ResourceRequest& request) {
+    return static_cast<Time>(static_cast<double>(request.duration) *
+                             deadlineSlack);
+  };
+
+  // Body helpers: the actual computation runs once, in the computeJunctions
+  // task, because the steps share intermediate state most naturally through
+  // one pipeline invocation; sampleImage/markRegion bodies validate the
+  // parameter wiring.  (The scheduler only sees the declared requests.)
+  tunable::TaskBody runAll = [&runtime, &scene, result](
+                                 const tunable::Env& env) {
+    PipelineConfig config;
+    config.sampleGranularity =
+        static_cast<int>(env.at("sampleGranularity"));
+    config.searchDistance = static_cast<int>(env.at("searchDistance"));
+    *result = detectJunctions(runtime, scene, config);
+  };
+
+  // --- task sampleImage [deadline][sampleGranularity][configs] ---
+  tunable::TaskNode sampleTask;
+  sampleTask.name = "sampleImage";
+  sampleTask.deadlineBudget =
+      std::max(budget(fine.sampleRequest), budget(coarse.sampleRequest));
+  sampleTask.parameterList = {"sampleGranularity"};
+  sampleTask.configs = {
+      tunable::TaskConfig{{{"sampleGranularity", fine.sampleGranularity}},
+                          fine.sampleRequest, 1.0},
+      tunable::TaskConfig{{{"sampleGranularity", coarse.sampleGranularity}},
+                          coarse.sampleRequest, 1.0},
+  };
+  program->root().task(std::move(sampleTask));
+
+  // --- task_select markRegion: coarse-discrete choice of algorithm ---
+  auto& select = program->root().select();
+  auto& fineBranch = select.when(
+      [g = fine.sampleGranularity](const tunable::Env& env) {
+        return env.at("sampleGranularity") == g;
+      },
+      [](tunable::Env& env) { env["c"] = 1; });
+  {
+    tunable::TaskNode node;
+    node.name = "markRegionFine";
+    node.deadlineBudget = budget(fine.regionRequest);
+    node.parameterList = {"searchDistance"};
+    node.configs = {tunable::TaskConfig{
+        {{"searchDistance", fine.searchDistance}}, fine.regionRequest, 1.0}};
+    fineBranch.task(std::move(node));
+  }
+  auto& coarseBranch = select.when(
+      [g = coarse.sampleGranularity](const tunable::Env& env) {
+        return env.at("sampleGranularity") == g;
+      },
+      [](tunable::Env& env) { env["c"] = 2; });
+  {
+    tunable::TaskNode node;
+    node.name = "markRegionCoarse";
+    node.deadlineBudget = budget(coarse.regionRequest);
+    node.parameterList = {"searchDistance"};
+    node.configs = {tunable::TaskConfig{
+        {{"searchDistance", coarse.searchDistance}}, coarse.regionRequest,
+        1.0}};
+    coarseBranch.task(std::move(node));
+  }
+
+  // --- task computeJunctions: configuration restricted by c ---
+  tunable::TaskNode computeTask;
+  computeTask.name = "computeJunctions";
+  computeTask.deadlineBudget =
+      std::max(budget(fine.computeRequest), budget(coarse.computeRequest));
+  computeTask.parameterList = {"c"};
+  computeTask.configs = {
+      tunable::TaskConfig{{{"c", 1}}, fine.computeRequest, fine.quality},
+      tunable::TaskConfig{{{"c", 2}}, coarse.computeRequest, coarse.quality},
+  };
+  computeTask.body = runAll;
+  program->root().task(std::move(computeTask));
+
+  return program;
+}
+
+}  // namespace tprm::junction

@@ -1,0 +1,93 @@
+// The runnable, tunable junction-detection application: the detector steps
+// wired into Calypso parallel steps, plus the tunable Program declaration
+// mirroring Figure 3 of the paper.
+//
+// Step 1 runs as a parallel step of `routines` tasks partitioning the sample
+// sequence; step 2 is sequential control code (as in the paper's pseudo
+// code); step 3 runs as a parallel step over row-bands of the regions of
+// interest.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/junction/detector.h"
+#include "apps/junction/image.h"
+#include "calypso/runtime.h"
+#include "tunable/program.h"
+
+namespace tprm::junction {
+
+/// End-to-end result of one detection run.
+struct DetectionResult {
+  std::vector<Point> junctions;
+  QualityScore quality;
+  /// Per-step elapsed wall time, seconds (profiling input for the QoS agent).
+  double sampleSeconds = 0.0;
+  double regionSeconds = 0.0;
+  double computeSeconds = 0.0;
+  /// Work indicators.
+  std::size_t interestingPixels = 0;
+  std::size_t regionCount = 0;
+  std::int64_t regionArea = 0;
+};
+
+/// Tunable knobs (the application's control parameters; Section 4.3).
+struct PipelineConfig {
+  int sampleGranularity = 16;
+  int searchDistance = 12;
+  /// Routine count for each parallel step (logical concurrency; the paper's
+  /// Figure 3 uses 4).
+  int routines = 4;
+  SampleParams sample;
+  RegionParams region;
+  JunctionParams junction;
+};
+
+/// Runs the three steps on `scene` using `runtime` for the parallel steps.
+/// The knobs in `config` override the embedded step parameters
+/// (sampleGranularity -> sample.granularity, searchDistance ->
+/// region.searchDistance), mirroring how the QoS agent configures the
+/// program.
+[[nodiscard]] DetectionResult detectJunctions(calypso::Runtime& runtime,
+                                              const Scene& scene,
+                                              const PipelineConfig& config);
+
+/// Resource profile of one configuration, obtained by profiling
+/// (Section 3.2: requirements "can be obtained by profiling on a training
+/// set of representative images").
+struct ProfiledConfig {
+  int sampleGranularity = 0;
+  int searchDistance = 0;
+  /// Measured per-step resource requests (processors fixed at the logical
+  /// concurrency; durations measured, in paper time units where one unit is
+  /// `unitSeconds` of wall time).
+  task::ResourceRequest sampleRequest;
+  task::ResourceRequest regionRequest;
+  task::ResourceRequest computeRequest;
+  double quality = 0.0;  // measured F1 against ground truth
+};
+
+/// Profiles the given configurations over `trainingScenes` synthetic scenes.
+[[nodiscard]] std::vector<ProfiledConfig> profileConfigurations(
+    calypso::Runtime& runtime, const std::vector<Scene>& trainingScenes,
+    const PipelineConfig& base, const std::vector<std::pair<int, int>>&
+        granularityAndDistance, double unitSeconds = 0.0001);
+
+/// Builds the tunable Program of Figure 3: control parameters
+/// sampleGranularity / searchDistance (+ derived `c`), a `task` for
+/// sampleImage, a `task_select` for markRegion, and a `task` for
+/// computeJunctions whose admissible configuration is restricted by `c`.
+///
+/// `profiles` must contain exactly two entries: the fine configuration
+/// (small granularity) first, the coarse one second.  Deadline budgets are
+/// derived from the profiled durations times `deadlineSlack`.
+///
+/// The returned Program's task bodies execute the real pipeline against
+/// `scene` via `runtime`, storing the outcome in `*result`.
+[[nodiscard]] std::unique_ptr<tunable::Program> makeTunableProgram(
+    calypso::Runtime& runtime, const Scene& scene,
+    const std::vector<ProfiledConfig>& profiles, double deadlineSlack,
+    DetectionResult* result);
+
+}  // namespace tprm::junction

@@ -1,0 +1,77 @@
+// Block-matching motion estimation over the Calypso runtime, with the
+// paper's tunability pattern: a downsampling factor trades per-frame
+// resource requirements against motion-vector precision.
+//
+//  * fine   (factor 2): expensive matching on a 1/2-resolution grid,
+//    vectors accurate to ±2 pixels;
+//  * coarse (factor 4): ~4x cheaper matching on a 1/4-resolution grid,
+//    vectors accurate to ±4 pixels.
+//
+// The per-frame-pair work is a Calypso parallel step over block rows; the
+// tunable program wraps the per-frame task in a task_loop over the clip.
+#pragma once
+
+#include <memory>
+
+#include "apps/motion/video.h"
+#include "calypso/runtime.h"
+#include "tunable/program.h"
+
+namespace tprm::motion {
+
+/// Estimator knobs (the application's control parameters).
+struct EstimatorConfig {
+  /// Downsampling factor (the tunable knob; 1 = full resolution).
+  int factor = 2;
+  /// Search radius on the downsampled grid.
+  int radius = 4;
+  /// Block edge on the downsampled grid.
+  int blockSize = 8;
+  /// Routine count per parallel step (logical concurrency).
+  int routines = 4;
+};
+
+/// Estimated motion for one frame pair (scaled back to full resolution).
+struct FrameEstimate {
+  MotionVector motion;
+  /// Number of blocks that voted.
+  int blocks = 0;
+};
+
+/// Estimates the dominant (global) motion between `previous` and `next`
+/// via block matching on the downsampled grid; the winning vector is the
+/// component-wise median of the per-block SAD minimisers, scaled by factor.
+[[nodiscard]] FrameEstimate estimateMotion(calypso::Runtime& runtime,
+                                           const Image& previous,
+                                           const Image& next,
+                                           const EstimatorConfig& config);
+
+/// Result of running the estimator over a whole clip.
+struct ClipResult {
+  std::vector<MotionVector> estimates;
+  /// Fraction of frame pairs whose estimate is within `tolerance` of the
+  /// truth (Chebyshev).
+  double accuracy = 0.0;
+  double elapsedSeconds = 0.0;
+};
+
+/// Runs the estimator over every consecutive frame pair and scores against
+/// the clip's ground truth.
+[[nodiscard]] ClipResult estimateClip(calypso::Runtime& runtime,
+                                      const Clip& clip,
+                                      const EstimatorConfig& config,
+                                      int tolerance = 4);
+
+/// Builds the tunable program for a clip: a `task_loop` over the frame
+/// pairs whose body is a tunable per-frame estimation task with a fine
+/// (factor 2) and a coarse (factor 4) configuration.  Resource requests are
+/// taken from `fineRequest`/`coarseRequest` (profiled by the caller);
+/// qualities from the measured accuracies.  Executing a path runs the real
+/// estimator and stores the outcome in `*result`.
+[[nodiscard]] std::unique_ptr<tunable::Program> makeMotionProgram(
+    calypso::Runtime& runtime, const Clip& clip,
+    const task::ResourceRequest& fineRequest, double fineQuality,
+    const task::ResourceRequest& coarseRequest, double coarseQuality,
+    double deadlineSlack, ClipResult* result);
+
+}  // namespace tprm::motion

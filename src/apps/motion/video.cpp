@@ -1,0 +1,122 @@
+#include "apps/motion/video.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tprm::motion {
+namespace {
+
+/// Periodic textured background sampled at (x, y): a sum of soft blobs laid
+/// out on a torus so translation wraps cleanly.
+class Texture {
+ public:
+  Texture(Rng& rng, int width, int height, int blobs)
+      : width_(width), height_(height) {
+    for (int i = 0; i < blobs; ++i) {
+      Blob blob;
+      blob.x = rng.uniformReal(0.0, static_cast<double>(width));
+      blob.y = rng.uniformReal(0.0, static_cast<double>(height));
+      blob.sigma = rng.uniformReal(2.0, 8.0);
+      blob.amplitude = rng.uniformReal(0.2, 0.8);
+      blobs_.push_back(blob);
+    }
+  }
+
+  [[nodiscard]] float sample(int x, int y) const {
+    double v = 0.15;
+    for (const auto& blob : blobs_) {
+      // Toroidal distance.
+      double dx = std::abs(static_cast<double>(x) - blob.x);
+      double dy = std::abs(static_cast<double>(y) - blob.y);
+      dx = std::min(dx, static_cast<double>(width_) - dx);
+      dy = std::min(dy, static_cast<double>(height_) - dy);
+      const double d2 = dx * dx + dy * dy;
+      v += blob.amplitude * std::exp(-d2 / (2.0 * blob.sigma * blob.sigma));
+    }
+    return static_cast<float>(std::clamp(v, 0.0, 1.0));
+  }
+
+ private:
+  struct Blob {
+    double x, y, sigma, amplitude;
+  };
+  int width_;
+  int height_;
+  std::vector<Blob> blobs_;
+};
+
+}  // namespace
+
+Clip synthesizeClip(Rng& rng, const ClipSpec& spec) {
+  TPRM_CHECK(spec.width > 16 && spec.height > 16, "clip too small");
+  TPRM_CHECK(spec.frames >= 2, "clip needs at least two frames");
+  TPRM_CHECK(spec.maxShift >= 0, "maxShift must be non-negative");
+  const Texture texture(rng, spec.width, spec.height, spec.blobs);
+
+  Clip clip;
+  int offsetX = 0;
+  int offsetY = 0;
+  for (int f = 0; f < spec.frames; ++f) {
+    if (f > 0) {
+      MotionVector v;
+      v.dx = static_cast<int>(rng.uniformInt(-spec.maxShift, spec.maxShift));
+      v.dy = static_cast<int>(rng.uniformInt(-spec.maxShift, spec.maxShift));
+      clip.trueMotion.push_back(v);
+      offsetX += v.dx;
+      offsetY += v.dy;
+    }
+    Image frame(spec.width, spec.height);
+    for (int y = 0; y < spec.height; ++y) {
+      for (int x = 0; x < spec.width; ++x) {
+        // The scene moves by (offsetX, offsetY); sample the texture at the
+        // inverse offset (torus wrap).
+        const int sx = ((x - offsetX) % spec.width + spec.width) % spec.width;
+        const int sy =
+            ((y - offsetY) % spec.height + spec.height) % spec.height;
+        float v = texture.sample(sx, sy);
+        if (spec.noiseSigma > 0.0) {
+          v += static_cast<float>(rng.normal(0.0, spec.noiseSigma));
+        }
+        frame.set(x, y, std::clamp(v, 0.0F, 1.0F));
+      }
+    }
+    clip.frames.push_back(std::move(frame));
+  }
+  return clip;
+}
+
+Image downsample(const Image& image, int factor) {
+  TPRM_CHECK(factor >= 1, "downsample factor must be >= 1");
+  if (factor == 1) {
+    Image copy(image.width(), image.height());
+    for (int y = 0; y < image.height(); ++y) {
+      for (int x = 0; x < image.width(); ++x) copy.set(x, y, image.at(x, y));
+    }
+    return copy;
+  }
+  const int w = std::max(1, image.width() / factor);
+  const int h = std::max(1, image.height() / factor);
+  Image out(w, h);
+  for (int cy = 0; cy < h; ++cy) {
+    for (int cx = 0; cx < w; ++cx) {
+      const int x0 = cx * factor;
+      const int y0 = cy * factor;
+      const int x1 = (cx == w - 1) ? image.width() : x0 + factor;
+      const int y1 = (cy == h - 1) ? image.height() : y0 + factor;
+      double sum = 0.0;
+      int count = 0;
+      for (int y = y0; y < y1; ++y) {
+        for (int x = x0; x < x1; ++x) {
+          sum += static_cast<double>(image.at(x, y));
+          ++count;
+        }
+      }
+      out.set(cx, cy, static_cast<float>(sum / count));
+    }
+  }
+  return out;
+}
+
+}  // namespace tprm::motion

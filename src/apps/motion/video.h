@@ -1,0 +1,54 @@
+// Synthetic video with known global motion, for the media-processing
+// application (the paper's second motivating domain).
+//
+// Each clip is a textured background that translates by a known integer
+// vector between consecutive frames (with optional pixel noise).  Ground
+// truth is the per-step displacement, so the quality of a motion estimator
+// is measurable exactly — the same substitution pattern as the junction
+// app's planted corners.
+#pragma once
+
+#include <vector>
+
+#include "apps/junction/image.h"
+#include "common/rng.h"
+
+namespace tprm::motion {
+
+using junction::Image;
+
+/// Integer 2-D displacement.
+struct MotionVector {
+  int dx = 0;
+  int dy = 0;
+  constexpr bool operator==(const MotionVector&) const = default;
+};
+
+/// Clip generation parameters.
+struct ClipSpec {
+  int width = 128;
+  int height = 128;
+  int frames = 6;
+  /// Per-step displacement magnitude bound (Chebyshev).
+  int maxShift = 6;
+  /// Gaussian pixel noise added independently per frame.
+  double noiseSigma = 0.01;
+  /// Texture feature count (random soft blobs).
+  int blobs = 40;
+};
+
+/// A synthesized clip: frames plus the true displacement between frame i
+/// and frame i+1 (size frames-1).
+struct Clip {
+  std::vector<Image> frames;
+  std::vector<MotionVector> trueMotion;
+};
+
+/// Generates a clip.  Deterministic per RNG state.
+[[nodiscard]] Clip synthesizeClip(Rng& rng, const ClipSpec& spec);
+
+/// Box-downsamples `image` by integer `factor` (average pooling; edge
+/// remainder pixels are folded into the last cell).  factor >= 1.
+[[nodiscard]] Image downsample(const Image& image, int factor);
+
+}  // namespace tprm::motion

@@ -1,0 +1,194 @@
+#include "broker/resource_broker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tprm::broker {
+namespace {
+
+void validateSpec(const ComputationSpec& spec) {
+  TPRM_CHECK(spec.minWorkers >= 1, "minWorkers must be >= 1");
+  TPRM_CHECK(spec.maxWorkers >= spec.minWorkers,
+             "maxWorkers must be >= minWorkers");
+  TPRM_CHECK(spec.weight > 0.0, "weight must be positive");
+}
+
+}  // namespace
+
+ResourceBroker::ResourceBroker(int totalWorkers, Policy policy)
+    : total_(totalWorkers), policy_(policy) {
+  TPRM_CHECK(totalWorkers >= 0, "pool size must be non-negative");
+}
+
+ComputationId ResourceBroker::registerComputation(
+    const ComputationSpec& spec) {
+  validateSpec(spec);
+  const ComputationId id = nextId_++;
+  specs_[id] = spec;
+  granted_[id] = 0;
+  rebalance();
+  return id;
+}
+
+void ResourceBroker::unregisterComputation(ComputationId id) {
+  TPRM_CHECK(specs_.erase(id) == 1, "unknown computation id");
+  granted_.erase(id);
+  rebalance();
+}
+
+void ResourceBroker::updateComputation(ComputationId id,
+                                       const ComputationSpec& spec) {
+  validateSpec(spec);
+  const auto it = specs_.find(id);
+  TPRM_CHECK(it != specs_.end(), "unknown computation id");
+  it->second = spec;
+  rebalance();
+}
+
+void ResourceBroker::setTotalWorkers(int totalWorkers) {
+  TPRM_CHECK(totalWorkers >= 0, "pool size must be non-negative");
+  total_ = totalWorkers;
+  rebalance();
+}
+
+void ResourceBroker::setListener(RebalanceListener listener) {
+  listener_ = std::move(listener);
+}
+
+int ResourceBroker::workersOf(ComputationId id) const {
+  const auto it = granted_.find(id);
+  TPRM_CHECK(it != granted_.end(), "unknown computation id");
+  return it->second;
+}
+
+int ResourceBroker::idleWorkers() const {
+  int used = 0;
+  for (const auto& [id, workers] : granted_) {
+    (void)id;
+    used += workers;
+  }
+  return total_ - used;
+}
+
+void ResourceBroker::rebalance() {
+  std::map<ComputationId, int> next;
+  for (const auto& [id, spec] : specs_) {
+    (void)spec;
+    next[id] = 0;
+  }
+
+  // Admission/allotment order per policy.
+  std::vector<ComputationId> order;
+  order.reserve(specs_.size());
+  for (const auto& [id, spec] : specs_) {
+    (void)spec;
+    order.push_back(id);
+  }
+  switch (policy_) {
+    case Policy::FirstComeFirstServed:
+      break;  // ascending id = registration order
+    case Policy::Priority:
+      std::stable_sort(order.begin(), order.end(),
+                       [this](ComputationId a, ComputationId b) {
+                         return specs_.at(a).priority > specs_.at(b).priority;
+                       });
+      break;
+    case Policy::FairShare:
+      std::stable_sort(order.begin(), order.end(),
+                       [this](ComputationId a, ComputationId b) {
+                         return specs_.at(a).weight > specs_.at(b).weight;
+                       });
+      break;
+  }
+
+  if (policy_ == Policy::FairShare) {
+    // Admit minima in weight order.
+    int remaining = total_;
+    std::vector<ComputationId> admitted;
+    for (const ComputationId id : order) {
+      const auto& spec = specs_.at(id);
+      if (spec.minWorkers <= remaining) {
+        next[id] = spec.minWorkers;
+        remaining -= spec.minWorkers;
+        admitted.push_back(id);
+      }
+    }
+    // Distribute the surplus proportionally to weight (largest remainder),
+    // iterating because caps at maxWorkers can free surplus again.
+    bool progress = true;
+    while (remaining > 0 && progress) {
+      progress = false;
+      double weightSum = 0.0;
+      std::vector<ComputationId> hungry;
+      for (const ComputationId id : admitted) {
+        if (next[id] < specs_.at(id).maxWorkers) {
+          hungry.push_back(id);
+          weightSum += specs_.at(id).weight;
+        }
+      }
+      if (hungry.empty()) break;
+      // Ideal (fractional) share of this round's surplus.
+      struct Share {
+        ComputationId id;
+        int whole;
+        double frac;
+      };
+      std::vector<Share> shares;
+      int distributed = 0;
+      for (const ComputationId id : hungry) {
+        const auto& spec = specs_.at(id);
+        const double ideal = static_cast<double>(remaining) * spec.weight /
+                             weightSum;
+        int whole = static_cast<int>(ideal);
+        whole = std::min(whole, spec.maxWorkers - next[id]);
+        shares.push_back(Share{id, whole, ideal - static_cast<double>(whole)});
+        distributed += whole;
+      }
+      // Largest remainders get the leftover single workers.
+      std::stable_sort(shares.begin(), shares.end(),
+                       [](const Share& a, const Share& b) {
+                         return a.frac > b.frac;
+                       });
+      int leftover = remaining - distributed;
+      for (auto& share : shares) {
+        const int headroom =
+            specs_.at(share.id).maxWorkers - next[share.id] - share.whole;
+        if (leftover > 0 && headroom > 0) {
+          ++share.whole;
+          --leftover;
+        }
+      }
+      for (const auto& share : shares) {
+        if (share.whole > 0) {
+          next[share.id] += share.whole;
+          remaining -= share.whole;
+          progress = true;
+        }
+      }
+    }
+  } else {
+    int remaining = total_;
+    for (const ComputationId id : order) {
+      const auto& spec = specs_.at(id);
+      if (spec.minWorkers > remaining) continue;  // parked
+      const int grant = std::min(spec.maxWorkers, remaining);
+      next[id] = grant;
+      remaining -= grant;
+    }
+  }
+
+  // Deliver changes in id order, after the assignment is final.
+  std::vector<WorkerChange> changes;
+  for (const auto& [id, workers] : next) {
+    const int before = granted_.at(id);
+    if (before != workers) {
+      changes.push_back(WorkerChange{id, before, workers});
+    }
+  }
+  granted_ = std::move(next);
+  if (listener_) {
+    for (const auto& change : changes) listener_(change);
+  }
+}
+
+}  // namespace tprm::broker

@@ -1,0 +1,112 @@
+// The MILAN ResourceBroker (Section 2): "a system for dynamically managing
+// the association and integration of resources into multiple parallel
+// computations according to user-specified policies."
+//
+// The broker owns a pool of interchangeable workers and divides it among
+// registered computations.  Each computation declares how many workers it
+// can use (min/max, its degree of concurrency), a weight (for fair-share)
+// and a priority (for the priority policy).  Whenever the membership or the
+// pool size changes, the broker recomputes the assignment under the active
+// policy and notifies the affected computations, which react through their
+// own malleability — a Calypso runtime resizes its worker pool
+// (`Runtime::setWorkerCount`), a QoS arbitrator renegotiates
+// (`QoSArbitrator::resize`).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tprm::broker {
+
+/// Identifier of a registered computation.
+using ComputationId = std::uint64_t;
+
+/// Declaration a computation registers with (its resource appetite).
+struct ComputationSpec {
+  std::string name;
+  /// Fewest workers the computation can run with; if the policy cannot
+  /// grant at least this many, the computation is granted zero (parked).
+  int minWorkers = 1;
+  /// Degree of concurrency: workers beyond this are useless to it.
+  int maxWorkers = 1;
+  /// Fair-share weight (> 0).
+  double weight = 1.0;
+  /// Priority (larger = more important) for Policy::Priority.
+  int priority = 0;
+};
+
+/// User-specified division policies.
+enum class Policy {
+  /// Registration order; each computation gets up to its max while workers
+  /// remain (at least min or nothing).
+  FirstComeFirstServed,
+  /// Strict priority order (ties by registration order), then like FCFS.
+  Priority,
+  /// Weighted max-min fairness: every admitted computation gets its min;
+  /// the surplus is divided in proportion to weight (capped at max, integer
+  /// apportionment by largest remainder).  If the pool cannot cover every
+  /// min, computations are admitted in weight order (ties by registration).
+  FairShare,
+};
+
+/// One (re)assignment event delivered to a listener.
+struct WorkerChange {
+  ComputationId id = 0;
+  int before = 0;
+  int after = 0;
+};
+
+/// Callback invoked when a computation's grant changes.  Invoked after the
+/// whole new assignment is computed, one call per changed computation, in
+/// id order.
+using RebalanceListener = std::function<void(const WorkerChange&)>;
+
+/// The broker.  Not thread-safe (callers serialize, as with the arbitrator).
+class ResourceBroker {
+ public:
+  /// A pool of `totalWorkers` (>= 0) managed under `policy`.
+  explicit ResourceBroker(int totalWorkers,
+                          Policy policy = Policy::FairShare);
+
+  /// Registers a computation and rebalances.  Returns its id.
+  ComputationId registerComputation(const ComputationSpec& spec);
+  /// Unregisters (freeing its workers) and rebalances.  Unknown ids abort.
+  void unregisterComputation(ComputationId id);
+  /// Updates a computation's appetite and rebalances.
+  void updateComputation(ComputationId id, const ComputationSpec& spec);
+
+  /// Resource-level change: grows or shrinks the pool and rebalances.
+  void setTotalWorkers(int totalWorkers);
+
+  /// Installs the change listener (replaces any previous one).
+  void setListener(RebalanceListener listener);
+
+  /// Workers currently granted to `id` (0 if parked).  Unknown ids abort.
+  [[nodiscard]] int workersOf(ComputationId id) const;
+  /// Current grants for all registered computations (id -> workers).
+  [[nodiscard]] const std::map<ComputationId, int>& assignment() const {
+    return granted_;
+  }
+  [[nodiscard]] int totalWorkers() const { return total_; }
+  [[nodiscard]] Policy policy() const { return policy_; }
+  /// Workers granted to nobody under the current assignment.
+  [[nodiscard]] int idleWorkers() const;
+
+ private:
+  void rebalance();
+
+  int total_;
+  Policy policy_;
+  RebalanceListener listener_;
+  ComputationId nextId_ = 1;
+  // Registration order preserved via ordered map on ascending ids.
+  std::map<ComputationId, ComputationSpec> specs_;
+  std::map<ComputationId, int> granted_;
+};
+
+}  // namespace tprm::broker

@@ -1,0 +1,83 @@
+// Convenience parallel patterns over the Calypso runtime.
+//
+// The raw programming model (ParallelStep + routine) mirrors the paper's
+// language; these helpers capture the three idioms every Calypso program in
+// this repository uses, with CREW discipline built in:
+//   * parallelFor   — partition an index range over W tasks;
+//   * parallelMap   — fill a SharedArray element-wise;
+//   * parallelReduce— per-task partials combined sequentially at step end.
+// All of them are deterministic for deterministic bodies regardless of the
+// worker count (malleability) and remain correct under eager re-execution
+// (bodies must stay idempotent: they see pre-step state only).
+#pragma once
+
+#include <functional>
+
+#include "calypso/runtime.h"
+
+namespace tprm::calypso {
+
+/// Runs `body(ctx, begin, end)` over a partition of [0, total) into `tasks`
+/// near-equal contiguous chunks, one per routine instance.
+/// `body` must follow CREW rules (buffered writes via ctx only).
+template <typename Body>
+StepStats parallelFor(Runtime& runtime, std::size_t total, int tasks,
+                      Body body) {
+  TPRM_CHECK(tasks >= 1, "parallelFor needs at least one task");
+  ParallelStep step;
+  step.routine(tasks, [total, body](TaskContext& ctx) {
+    const auto w = static_cast<std::size_t>(ctx.width());
+    const auto n = static_cast<std::size_t>(ctx.number());
+    const std::size_t chunk = (total + w - 1) / w;
+    const std::size_t begin = n * chunk;
+    const std::size_t end = begin + chunk < total ? begin + chunk : total;
+    if (begin < end) body(ctx, begin, end);
+  });
+  return runtime.run(step);
+}
+
+/// Fills `out[i] = fn(i)` for every i in [0, out.size()) using `tasks`
+/// parallel tasks.  Each element is written by exactly one task (CREW-clean
+/// by construction).
+template <typename T, typename Fn>
+StepStats parallelMap(Runtime& runtime, SharedArray<T>& out, int tasks,
+                      Fn fn) {
+  return parallelFor(runtime, out.size(), tasks,
+                     [&out, fn](TaskContext& ctx, std::size_t begin,
+                                std::size_t end) {
+                       for (std::size_t i = begin; i < end; ++i) {
+                         ctx.write(out, i, fn(i));
+                       }
+                     });
+}
+
+/// Parallel reduction: combines `fn(i)` over i in [0, total) with the
+/// associative `combine`.  `identity` must be the *neutral element* of
+/// `combine` (combine(identity, x) == x): it seeds every per-task partial
+/// and the final fold, so a non-neutral value would be counted once per
+/// task.  Per-task partials flow through a scratch SharedArray (the
+/// canonical CREW reduction pattern); the final fold runs sequentially
+/// after the step commits.
+template <typename T, typename Fn, typename Combine>
+T parallelReduce(Runtime& runtime, std::size_t total, int tasks, T identity,
+                 Fn fn, Combine combine) {
+  TPRM_CHECK(tasks >= 1, "parallelReduce needs at least one task");
+  SharedArray<T> partials(static_cast<std::size_t>(tasks), identity);
+  parallelFor(runtime, total, tasks,
+              [&partials, identity, fn, combine](
+                  TaskContext& ctx, std::size_t begin, std::size_t end) {
+                T acc = identity;
+                for (std::size_t i = begin; i < end; ++i) {
+                  acc = combine(acc, fn(i));
+                }
+                ctx.write(partials, static_cast<std::size_t>(ctx.number()),
+                          acc);
+              });
+  T result = identity;
+  for (std::size_t i = 0; i < partials.size(); ++i) {
+    result = combine(result, partials.read(i));
+  }
+  return result;
+}
+
+}  // namespace tprm::calypso

@@ -1,0 +1,339 @@
+#include "calypso/runtime.h"
+
+#include <chrono>
+#include <optional>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace tprm::calypso {
+
+// ---------------------------------------------------------------------------
+// Internal state
+// ---------------------------------------------------------------------------
+
+struct Runtime::Worker {
+  explicit Worker(std::size_t idx) : index(idx) {}
+  std::size_t index;
+  std::thread thread;
+  std::atomic<bool> dead{false};
+  std::atomic<bool> exit{false};
+  FaultPlan plan;  // written only between steps
+};
+
+struct Runtime::StepState {
+  const ParallelStep* step = nullptr;
+  int width = 0;
+  std::atomic<int> nextFresh{0};
+  std::atomic<int> eagerCursor{0};
+  std::atomic<bool> doneFlag{false};
+  /// Executions currently inside a task body; run() must not return (and
+  /// destroy this state) while any are in flight.
+  std::atomic<int> active{0};
+  std::unique_ptr<std::atomic<bool>[]> completed;
+  // Winner write sets, one slot per task; each slot written only by the CAS
+  // winner, read by the main thread after the step completes.
+  std::vector<std::optional<WriteSet>> winners;
+  // Stats.
+  std::atomic<int> executionsStarted{0};
+  std::atomic<int> executionsDiscarded{0};
+  std::atomic<int> workerDeaths{0};
+  // Guarded by the runtime mutex:
+  int completedCount = 0;
+  bool allWorkersDead = false;
+};
+
+// ---------------------------------------------------------------------------
+// ParallelStep
+// ---------------------------------------------------------------------------
+
+int ParallelStep::routine(int copies, Body body) {
+  TPRM_CHECK(copies >= 0, "routine copy count must be non-negative");
+  TPRM_CHECK(body != nullptr, "routine body must be callable");
+  const int first = width();
+  for (int i = 0; i < copies; ++i) tasks_.push_back(body);
+  return first;
+}
+
+// ---------------------------------------------------------------------------
+// TaskContext
+// ---------------------------------------------------------------------------
+
+void TaskContext::checkpoint() {
+  runtime_->maybeInjectFault(static_cast<Runtime::Worker*>(worker_));
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(RuntimeOptions options)
+    : options_(options), faultRng_(options.seed) {
+  TPRM_CHECK(options.workers >= 1, "runtime needs at least one worker");
+  for (int i = 0; i < options.workers; ++i) {
+    auto worker = std::make_unique<Worker>(static_cast<std::size_t>(i));
+    worker->thread = std::thread([this, w = worker.get()] { workerLoop(w); });
+    workers_.push_back(std::move(worker));
+  }
+}
+
+Runtime::~Runtime() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shuttingDown_ = true;
+  }
+  wakeWorkers_.notify_all();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+int Runtime::workerCount() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(workers_.size());
+}
+
+int Runtime::deadWorkerCount() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  int dead = 0;
+  for (const auto& w : workers_) {
+    if (w->dead.load(std::memory_order_relaxed)) ++dead;
+  }
+  return dead;
+}
+
+void Runtime::setWorkerCount(int workers) {
+  TPRM_CHECK(workers >= 1, "runtime needs at least one worker");
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    TPRM_CHECK(currentStep_ == nullptr,
+               "cannot resize the worker pool during a step");
+  }
+  // Grow.
+  while (static_cast<int>(workers_.size()) < workers) {
+    auto worker = std::make_unique<Worker>(workers_.size());
+    worker->thread = std::thread([this, w = worker.get()] { workerLoop(w); });
+    workers_.push_back(std::move(worker));
+  }
+  // Shrink from the back.
+  while (static_cast<int>(workers_.size()) > workers) {
+    auto& victim = workers_.back();
+    victim->exit.store(true);
+    wakeWorkers_.notify_all();
+    if (victim->thread.joinable()) victim->thread.join();
+    workers_.pop_back();
+  }
+}
+
+void Runtime::setFaultPlan(std::size_t index, FaultPlan plan) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TPRM_CHECK(currentStep_ == nullptr,
+             "cannot change fault plans during a step");
+  TPRM_CHECK(index < workers_.size(), "worker index out of range");
+  workers_[index]->plan = plan;
+}
+
+void Runtime::reviveAll() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TPRM_CHECK(currentStep_ == nullptr, "cannot revive during a step");
+  for (auto& w : workers_) {
+    w->plan = FaultPlan{};
+    w->dead.store(false);
+  }
+}
+
+void Runtime::maybeInjectFault(Worker* self) {
+  // Plans are only mutated between steps, so plan reads are race-free; the
+  // RNG takes the lock because all workers share one deterministic stream.
+  const FaultPlan& plan = self->plan;
+  bool death = false;
+  bool stall = false;
+  if (plan.deathProbability > 0.0 || plan.stallProbability > 0.0) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (plan.deathProbability > 0.0) {
+      death = faultRng_.bernoulli(plan.deathProbability);
+    }
+    if (!death && plan.stallProbability > 0.0) {
+      stall = faultRng_.bernoulli(plan.stallProbability);
+    }
+  }
+  if (death) {
+    self->dead.store(true);
+    throw WorkerFault{self->index};
+  }
+  if (stall) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(plan.stallMs));
+  }
+}
+
+int Runtime::claimTask(StepState& state) {
+  // Fresh tasks first.
+  const int fresh = state.nextFresh.fetch_add(1, std::memory_order_relaxed);
+  if (fresh < state.width) return fresh;
+  state.nextFresh.store(state.width, std::memory_order_relaxed);
+  // Eager scheduling: re-issue any uncompleted task (possibly already
+  // executing elsewhere; idempotence makes the duplicate safe).
+  const int start = state.eagerCursor.fetch_add(1, std::memory_order_relaxed);
+  for (int i = 0; i < state.width; ++i) {
+    const int task = (start + i) % state.width;
+    if (!state.completed[static_cast<std::size_t>(task)].load(
+            std::memory_order_acquire)) {
+      return task;
+    }
+  }
+  return -1;
+}
+
+void Runtime::executeClaimed(StepState& stepState, Worker* self, int task) {
+  // The caller (workerLoop) pins the StepState via state->active, so this
+  // reference stays valid even if the step completes concurrently.
+  StepState* state = &stepState;
+  state->executionsStarted.fetch_add(1, std::memory_order_relaxed);
+
+  TaskContext ctx(state->width, task, this, self);
+  bool faulted = false;
+  try {
+    // Give fault injection a shot even for bodies without checkpoints.
+    ctx.checkpoint();
+    state->step->tasks_[static_cast<std::size_t>(task)](ctx);
+  } catch (const WorkerFault&) {
+    faulted = true;
+  }
+
+  if (faulted) {
+    state->executionsDiscarded.fetch_add(1, std::memory_order_relaxed);
+    state->workerDeaths.fetch_add(1, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    bool anyAlive = false;
+    for (const auto& w : workers_) {
+      if (!w->dead.load() && !w->exit.load()) anyAlive = true;
+    }
+    if (!anyAlive && !state->doneFlag.load()) {
+      // Unblock run() so it can fail loudly instead of hanging.
+      state->allWorkersDead = true;
+      stepDone_.notify_all();
+    }
+    return;
+  }
+
+  auto& completedFlag = state->completed[static_cast<std::size_t>(task)];
+  bool expected = false;
+  if (completedFlag.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    state->winners[static_cast<std::size_t>(task)].emplace(
+        std::move(ctx.writeSet_));
+    if (++state->completedCount == state->width) {
+      state->doneFlag.store(true, std::memory_order_release);
+      stepDone_.notify_all();
+    }
+  } else {
+    // Lost the completion race: this duplicate's writes are discarded
+    // (two-phase idempotent execution).
+    state->executionsDiscarded.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Runtime::workerLoop(Worker* self) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wakeWorkers_.wait(lock, [&] {
+      return shuttingDown_ || self->exit.load() ||
+             (currentStep_ != nullptr && !currentStep_->doneFlag.load() &&
+              !self->dead.load());
+    });
+    if (shuttingDown_ || self->exit.load()) return;
+    StepState* state = currentStep_;
+    // Pin the state so run() cannot destroy it while we execute.
+    state->active.fetch_add(1, std::memory_order_acq_rel);
+    lock.unlock();
+
+    while (!self->dead.load() && !state->doneFlag.load()) {
+      const int task = claimTask(*state);
+      if (task < 0) break;
+      if (state->completed[static_cast<std::size_t>(task)].load(
+              std::memory_order_acquire)) {
+        continue;  // completed between claim and execute
+      }
+      executeClaimed(*state, self, task);
+    }
+
+    lock.lock();
+    if (state->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      stepDone_.notify_all();  // last one out lets run() reclaim the state
+    }
+  }
+}
+
+StepStats Runtime::run(const ParallelStep& step) {
+  StepState state;
+  state.step = &step;
+  state.width = step.width();
+  state.completed = std::make_unique<std::atomic<bool>[]>(
+      static_cast<std::size_t>(std::max(state.width, 1)));
+  for (int i = 0; i < state.width; ++i) {
+    state.completed[static_cast<std::size_t>(i)].store(false);
+  }
+  state.winners.resize(static_cast<std::size_t>(state.width));
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    TPRM_CHECK(currentStep_ == nullptr, "steps cannot nest or overlap");
+    bool anyAlive = false;
+    for (const auto& w : workers_) {
+      if (!w->dead.load()) anyAlive = true;
+    }
+    TPRM_CHECK(anyAlive, "no live workers: revive or resize the pool first");
+    if (state.width == 0) {
+      state.doneFlag.store(true);
+    } else {
+      currentStep_ = &state;
+      wakeWorkers_.notify_all();
+    }
+    stepDone_.wait(lock, [&] {
+      return (state.doneFlag.load() && state.active.load() == 0) ||
+             state.allWorkersDead;
+    });
+    currentStep_ = nullptr;
+    TPRM_CHECK(!state.allWorkersDead || state.doneFlag.load(),
+               "every worker died before the step completed");
+    // Drain stragglers still holding the state (e.g. losers of the final
+    // completion race).
+    stepDone_.wait(lock, [&] { return state.active.load() == 0; });
+  }
+
+  // Commit winners in task order and gather stats.  Single-threaded: the
+  // paper's two-phase strategy applies updates at the end of the step.
+  StepStats stats;
+  stats.width = state.width;
+  stats.executionsStarted = state.executionsStarted.load();
+  stats.executionsDiscarded = state.executionsDiscarded.load();
+  stats.workerDeaths = state.workerDeaths.load();
+  stats.executionsCommitted = state.width;
+
+  std::unordered_map<const void*, std::unordered_map<std::size_t, int>>
+      writers;
+  for (int taskIdx = 0; taskIdx < state.width; ++taskIdx) {
+    auto& winner = state.winners[static_cast<std::size_t>(taskIdx)];
+    TPRM_CHECK(winner.has_value(), "completed task lost its write set");
+    if (options_.detectCrewViolations) {
+      for (const auto& buffer : winner->buffers()) {
+        buffer->visitIndices([&](const void* obj, std::size_t element) {
+          auto [it, inserted] = writers[obj].try_emplace(element, taskIdx);
+          if (!inserted && it->second != taskIdx) {
+            ++stats.crewViolations;
+            TPRM_CHECK(!options_.abortOnCrewViolation,
+                       "CREW violation: two tasks wrote the same shared "
+                       "element in one parallel step");
+          }
+        });
+      }
+    }
+    stats.writesCommitted += winner->totalWrites();
+    winner->commit();
+  }
+  return stats;
+}
+
+}  // namespace tprm::calypso

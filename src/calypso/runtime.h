@@ -1,0 +1,207 @@
+// The Calypso execution runtime: parallel steps of idempotent routines over a
+// malleable worker pool, with two-phase idempotent execution and eager
+// scheduling (Section 2 of the paper; the MILAN execution techniques of [5]).
+//
+// Programming model mirror:
+//
+//   parbegin
+//     routine [n](int width, int number) { body }
+//     ...
+//   parend;
+//
+// becomes
+//
+//   ParallelStep step;
+//   step.routine(n, [&](TaskContext& ctx) { ...ctx.width()/ctx.number()... });
+//   runtime.run(step);
+//
+// Semantics provided:
+//  * CREW shared memory: routines read pre-step values of SharedArray /
+//    SharedVar; writes are buffered per execution and commit at step end.
+//  * Idempotent, exactly-once effects: a task may be executed several times
+//    (eager scheduling re-issues uncompleted tasks to idle workers, masking
+//    slow or dead workers); only the first completed execution's writes are
+//    committed.
+//  * Malleability: the logical width of a step is independent of the worker
+//    count, which may change between steps (setWorkerCount).
+//  * Fault masking: workers can be configured to die or stall; the step still
+//    completes as long as one worker survives.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "calypso/shared_memory.h"
+#include "calypso/write_set.h"
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace tprm::calypso {
+
+class Runtime;
+
+/// Handle passed to each routine execution: the (width, number) arguments of
+/// the Calypso routine statement, plus the write API into shared memory.
+class TaskContext {
+ public:
+  /// Total number of tasks in the current parallel step.
+  [[nodiscard]] int width() const { return width_; }
+  /// Sequence number of this task within the step, in [0, width).
+  [[nodiscard]] int number() const { return number_; }
+
+  /// Buffered (two-phase) write: becomes visible in `array` only after the
+  /// step completes, and only if this execution wins the completion race.
+  template <typename T>
+  void write(SharedArray<T>& array, std::size_t index, T value) {
+    auto& buffer =
+        writeSet_.bufferFor<typename SharedArray<T>::Buffer>(&array);
+    buffer.record(index, std::move(value));
+  }
+
+  /// Buffered write to a shared scalar.
+  template <typename T>
+  void write(SharedVar<T>& var, T value) {
+    write(var.array(), 0, std::move(value));
+  }
+
+  /// Cooperative fault-injection point: routines that loop should call this
+  /// periodically so injected worker faults can take effect mid-task.
+  /// Returns normally or throws WorkerFault (caught by the runtime).
+  void checkpoint();
+
+ private:
+  friend class Runtime;
+  TaskContext(int width, int number, Runtime* runtime, void* worker)
+      : width_(width), number_(number), runtime_(runtime), worker_(worker) {}
+
+  int width_;
+  int number_;
+  Runtime* runtime_;
+  void* worker_;  // Runtime::Worker*, opaque here
+  WriteSet writeSet_;
+};
+
+/// One parallel step: an ordered list of routine groups, exactly like the
+/// parbegin...parend block (concurrency exists both inside one routine and
+/// among routines of the same step).
+class ParallelStep {
+ public:
+  using Body = std::function<void(TaskContext&)>;
+
+  /// Adds `copies` tasks running `body` (the `routine [copies](...)` form).
+  /// Returns the index of the first task of this group within the step.
+  int routine(int copies, Body body);
+
+  /// Total task count (the `width` every task sees).
+  [[nodiscard]] int width() const { return static_cast<int>(tasks_.size()); }
+
+ private:
+  friend class Runtime;
+  std::vector<Body> tasks_;
+};
+
+/// Per-worker fault injection plan (test/bench hook; a production MILAN
+/// worker would fail for real).
+struct FaultPlan {
+  /// Probability that a given task *execution* on this worker dies at a
+  /// checkpoint (the worker is lost for the rest of the run).
+  double deathProbability = 0.0;
+  /// Probability that an execution stalls at a checkpoint for `stallMs`.
+  double stallProbability = 0.0;
+  int stallMs = 0;
+};
+
+/// Statistics of one parallel step execution.
+struct StepStats {
+  int width = 0;
+  /// Task executions started (>= width under eager re-execution).
+  int executionsStarted = 0;
+  /// Executions that completed and won the commit race.
+  int executionsCommitted = 0;
+  /// Executions discarded: completed after another execution of the same
+  /// task, or killed by fault injection.
+  int executionsDiscarded = 0;
+  /// Injected worker deaths observed during this step.
+  int workerDeaths = 0;
+  /// Total buffered writes committed.
+  std::size_t writesCommitted = 0;
+  /// CREW write-write violations detected at commit (distinct tasks writing
+  /// the same shared element in one step).
+  int crewViolations = 0;
+};
+
+/// Runtime options.
+struct RuntimeOptions {
+  /// Initial worker count (malleable; see setWorkerCount).
+  int workers = 2;
+  /// Seed for fault injection randomness.
+  std::uint64_t seed = 1;
+  /// Detect CREW write-write conflicts at commit time (O(writes) hashing).
+  bool detectCrewViolations = true;
+  /// Abort the process on a CREW violation instead of recording it.
+  bool abortOnCrewViolation = false;
+};
+
+/// Exception thrown at a checkpoint to simulate a worker crash.
+struct WorkerFault {
+  std::size_t worker;
+};
+
+/// The Calypso runtime.  Not reentrant: one step runs at a time (matching
+/// the language model of parallel steps embedded in a sequential program).
+class Runtime {
+ public:
+  explicit Runtime(RuntimeOptions options = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Executes all tasks of `step` to completion and commits their writes.
+  /// Blocks until done.  Aborts if every worker has died.
+  StepStats run(const ParallelStep& step);
+
+  /// Malleability: resizes the worker pool (takes effect immediately for
+  /// subsequent steps; must not be called while a step is running).
+  void setWorkerCount(int workers);
+  [[nodiscard]] int workerCount() const;
+  /// Workers that have died from injected faults (cumulative).
+  [[nodiscard]] int deadWorkerCount() const;
+
+  /// Installs a fault plan for worker `index` (applies to future executions).
+  void setFaultPlan(std::size_t index, FaultPlan plan);
+  /// Clears all fault plans and revives dead workers.
+  void reviveAll();
+
+ private:
+  friend class TaskContext;
+
+  struct Worker;
+  struct StepState;
+
+  void workerLoop(Worker* self);
+  /// Claims a task for execution (fresh first, then eager duplicates).
+  /// Returns -1 when nothing is left to execute.
+  int claimTask(StepState& state);
+  void executeClaimed(StepState& state, Worker* self, int task);
+  /// Fault-injection hook called from TaskContext::checkpoint.
+  void maybeInjectFault(Worker* self);
+
+  RuntimeOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wakeWorkers_;
+  std::condition_variable stepDone_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  StepState* currentStep_ = nullptr;  // guarded by mutex_
+  bool shuttingDown_ = false;
+  Rng faultRng_;
+};
+
+}  // namespace tprm::calypso

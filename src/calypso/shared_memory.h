@@ -1,0 +1,112 @@
+// Calypso shared data structures (the `shared` keyword of the source
+// language) with CREW, two-phase semantics.
+//
+// Reads always return the master copy (the state at the beginning of the
+// current parallel step); writes go through a TaskContext and land in the
+// execution's private WriteSet.  The runtime commits the winning write sets
+// at step end, in task order, and (in checked mode) flags CREW violations —
+// two distinct tasks writing the same element within one step.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "calypso/write_set.h"
+#include "common/check.h"
+
+namespace tprm::calypso {
+
+class TaskContext;
+
+/// A shared 1-D array of POD-ish elements (the workhorse shared structure;
+/// scalars are SharedVar below).  Not itself thread-safe for *mutation* —
+/// all mutation flows through write sets committed single-threaded.
+template <typename T>
+class SharedArray {
+ public:
+  SharedArray() = default;
+  explicit SharedArray(std::size_t size, T initial = T{})
+      : master_(size, initial) {}
+
+  SharedArray(const SharedArray&) = delete;
+  SharedArray& operator=(const SharedArray&) = delete;
+
+  /// CREW read of the pre-step master value.  Safe to call concurrently from
+  /// any routine.
+  [[nodiscard]] const T& read(std::size_t index) const {
+    TPRM_DCHECK(index < master_.size(), "SharedArray read out of range");
+    return master_[index];
+  }
+  [[nodiscard]] const T& operator[](std::size_t index) const {
+    return read(index);
+  }
+
+  [[nodiscard]] std::size_t size() const { return master_.size(); }
+
+  /// Whole-array snapshot access for sequential code between steps.
+  [[nodiscard]] const std::vector<T>& snapshot() const { return master_; }
+
+  /// Direct mutation for sequential code between steps (not allowed inside a
+  /// parallel step; the runtime cannot detect this, so it is documented
+  /// rather than enforced).
+  void sequentialWrite(std::size_t index, T value) {
+    TPRM_CHECK(index < master_.size(), "SharedArray write out of range");
+    master_[index] = std::move(value);
+  }
+  void sequentialResize(std::size_t size, T fill = T{}) {
+    master_.resize(size, std::move(fill));
+  }
+
+ private:
+  friend class TaskContext;
+
+  /// Typed shadow buffer of deferred writes against this array.
+  class Buffer final : public ShadowBuffer {
+   public:
+    explicit Buffer(SharedArray* target) : target_(target) {}
+    void record(std::size_t index, T value) {
+      writes_.emplace_back(index, std::move(value));
+    }
+    void apply() override {
+      for (auto& [index, value] : writes_) {
+        TPRM_CHECK(index < target_->master_.size(),
+                   "deferred SharedArray write out of range");
+        target_->master_[index] = std::move(value);
+      }
+    }
+    [[nodiscard]] const void* target() const override { return target_; }
+    [[nodiscard]] std::size_t size() const override { return writes_.size(); }
+    void visitIndices(const std::function<void(const void*, std::size_t)>&
+                          visit) const override {
+      for (const auto& [index, value] : writes_) {
+        (void)value;
+        visit(target_, index);
+      }
+    }
+
+   private:
+    SharedArray* target_;
+    std::vector<std::pair<std::size_t, T>> writes_;
+  };
+
+  std::vector<T> master_;
+};
+
+/// A shared scalar: a one-element SharedArray with value syntax.
+template <typename T>
+class SharedVar {
+ public:
+  explicit SharedVar(T initial = T{}) : array_(1, std::move(initial)) {}
+
+  [[nodiscard]] const T& read() const { return array_.read(0); }
+  void sequentialWrite(T value) { array_.sequentialWrite(0, std::move(value)); }
+
+  /// Underlying array, for TaskContext::write.
+  [[nodiscard]] SharedArray<T>& array() { return array_; }
+  [[nodiscard]] const SharedArray<T>& array() const { return array_; }
+
+ private:
+  SharedArray<T> array_;
+};
+
+}  // namespace tprm::calypso

@@ -1,0 +1,82 @@
+// Two-phase write capture for the Calypso runtime.
+//
+// Within a parallel step, Calypso gives routines CREW access to shared data:
+// reads see the values from before the step; writes are buffered and become
+// visible only when the step ends (Section 2: "updates visible only at the
+// end of the current step").  Because eager scheduling may execute the same
+// task multiple times, each *execution* owns a private WriteSet; only the
+// write set of the first execution to complete is committed, giving
+// exactly-once semantics for idempotent tasks.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace tprm::calypso {
+
+/// Type-erased buffer of pending writes against one shared object.
+class ShadowBuffer {
+ public:
+  virtual ~ShadowBuffer() = default;
+
+  /// Applies all buffered writes to the master copy.  Called single-threaded
+  /// at step end, in task order.
+  virtual void apply() = 0;
+
+  /// Identity of the shared object this buffer targets.
+  [[nodiscard]] virtual const void* target() const = 0;
+
+  /// Number of buffered writes.
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Visits (target, elementIndex) pairs for CREW conflict checking.
+  virtual void visitIndices(
+      const std::function<void(const void*, std::size_t)>& visit) const = 0;
+};
+
+/// All writes performed by one task execution, across all shared objects.
+class WriteSet {
+ public:
+  WriteSet() = default;
+  WriteSet(const WriteSet&) = delete;
+  WriteSet& operator=(const WriteSet&) = delete;
+  WriteSet(WriteSet&&) = default;
+  WriteSet& operator=(WriteSet&&) = default;
+
+  /// Finds or creates the typed buffer for `target`.  `make` constructs the
+  /// buffer on first use.
+  template <typename Buffer, typename Target>
+  Buffer& bufferFor(Target* target) {
+    for (const auto& b : buffers_) {
+      if (b->target() == target) return static_cast<Buffer&>(*b);
+    }
+    buffers_.push_back(std::make_unique<Buffer>(target));
+    return static_cast<Buffer&>(*buffers_.back());
+  }
+
+  /// Applies every buffer to its master copy.
+  void commit() {
+    for (const auto& b : buffers_) b->apply();
+  }
+
+  /// Discards all buffered writes (losing execution of a duplicated task).
+  void discard() { buffers_.clear(); }
+
+  [[nodiscard]] std::size_t totalWrites() const {
+    std::size_t n = 0;
+    for (const auto& b : buffers_) n += b->size();
+    return n;
+  }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<ShadowBuffer>>& buffers()
+      const {
+    return buffers_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<ShadowBuffer>> buffers_;
+};
+
+}  // namespace tprm::calypso

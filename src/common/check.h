@@ -1,0 +1,35 @@
+// Invariant-checking macros used across the TPRM library.
+//
+// TPRM_CHECK is always on (it guards API contracts and scheduler invariants
+// whose violation would silently corrupt a schedule); TPRM_DCHECK compiles out
+// in NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tprm::detail {
+
+[[noreturn]] inline void checkFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "TPRM_CHECK failed at %s:%d: (%s) %s\n", file, line,
+               expr, msg);
+  std::abort();
+}
+
+}  // namespace tprm::detail
+
+#define TPRM_CHECK(expr, msg)                                       \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::tprm::detail::checkFailed(__FILE__, __LINE__, #expr, msg);  \
+    }                                                               \
+  } while (false)
+
+#ifdef NDEBUG
+#define TPRM_DCHECK(expr, msg) \
+  do {                         \
+  } while (false)
+#else
+#define TPRM_DCHECK(expr, msg) TPRM_CHECK(expr, msg)
+#endif

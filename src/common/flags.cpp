@@ -1,0 +1,103 @@
+#include "common/flags.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace tprm {
+namespace {
+
+bool looksLikeFlag(const std::string& arg) {
+  return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
+}
+
+}  // namespace
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!looksLikeFlag(arg)) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` form, unless the next token is itself a flag (then this
+    // is a bare boolean).
+    if (i + 1 < argc && !looksLikeFlag(argv[i + 1])) {
+      values_[body] = argv[i + 1];
+      ++i;
+    } else {
+      values_[body] = "true";
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  return values_.contains(name);
+}
+
+std::string Flags::getString(const std::string& name,
+                             const std::string& defaultValue) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? defaultValue : it->second;
+}
+
+std::int64_t Flags::getInt(const std::string& name,
+                           std::int64_t defaultValue) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return defaultValue;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(it->second, &pos);
+    TPRM_CHECK(pos == it->second.size(), "trailing garbage in integer flag");
+    return v;
+  } catch (const std::exception&) {
+    TPRM_CHECK(false, ("flag --" + name + " is not an integer").c_str());
+  }
+  return defaultValue;  // unreachable
+}
+
+double Flags::getDouble(const std::string& name, double defaultValue) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return defaultValue;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    TPRM_CHECK(pos == it->second.size(), "trailing garbage in double flag");
+    return v;
+  } catch (const std::exception&) {
+    TPRM_CHECK(false, ("flag --" + name + " is not a number").c_str());
+  }
+  return defaultValue;  // unreachable
+}
+
+bool Flags::getBool(const std::string& name, bool defaultValue) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return defaultValue;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  TPRM_CHECK(false, ("flag --" + name + " is not a boolean").c_str());
+  return defaultValue;  // unreachable
+}
+
+std::vector<std::string> Flags::unknownAgainst(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      unknown.push_back(name);
+    }
+  }
+  return unknown;
+}
+
+}  // namespace tprm

@@ -1,0 +1,47 @@
+// Minimal command-line flag parser used by the benchmark/figure harnesses and
+// examples.  Accepts `--name=value`, `--name value`, and bare `--name` for
+// booleans; everything else is a positional argument.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tprm {
+
+/// Parsed command line.  Lookup helpers return defaults for absent flags and
+/// abort with a clear message on malformed values (harnesses are
+/// developer-facing; failing fast beats silently running the wrong sweep).
+class Flags {
+ public:
+  /// Parses argv (argv[0] is skipped).  Unknown flags are retained and can be
+  /// enumerated with `unknownAgainst` for typo detection.
+  Flags(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string getString(const std::string& name,
+                                      const std::string& defaultValue) const;
+  [[nodiscard]] std::int64_t getInt(const std::string& name,
+                                    std::int64_t defaultValue) const;
+  [[nodiscard]] double getDouble(const std::string& name,
+                                 double defaultValue) const;
+  [[nodiscard]] bool getBool(const std::string& name, bool defaultValue) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Returns flags that are present but not in `known` (for usage errors).
+  [[nodiscard]] std::vector<std::string> unknownAgainst(
+      const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tprm

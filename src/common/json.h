@@ -1,0 +1,93 @@
+// Minimal JSON reader/writer (no external dependencies).
+//
+// Supports the JSON subset the library's serialization needs: objects,
+// arrays, strings (with \" \\ \/ \b \f \n \r \t and \uXXXX escapes),
+// numbers (doubles), booleans, and null.  Parsing is strict: trailing
+// garbage, unterminated constructs, and invalid escapes are errors.
+// Errors are reported with a byte offset rather than by aborting, so
+// callers can reject malformed user files gracefully.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace tprm {
+
+/// A parsed JSON value.  Objects preserve no duplicate keys (last wins) and
+/// iterate in key order.
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : value_(nullptr) {}                        // null
+  JsonValue(std::nullptr_t) : value_(nullptr) {}          // NOLINT(runtime/explicit)
+  JsonValue(bool b) : value_(b) {}                        // NOLINT(runtime/explicit)
+  JsonValue(double d) : value_(d) {}                      // NOLINT(runtime/explicit)
+  JsonValue(int i) : value_(static_cast<double>(i)) {}    // NOLINT(runtime/explicit)
+  JsonValue(std::int64_t i) : value_(static_cast<double>(i)) {}  // NOLINT
+  JsonValue(const char* s) : value_(std::string(s)) {}    // NOLINT(runtime/explicit)
+  JsonValue(std::string s) : value_(std::move(s)) {}      // NOLINT(runtime/explicit)
+  JsonValue(Array a) : value_(std::move(a)) {}            // NOLINT(runtime/explicit)
+  JsonValue(Object o) : value_(std::move(o)) {}           // NOLINT(runtime/explicit)
+
+  [[nodiscard]] bool isNull() const {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+  [[nodiscard]] bool isBool() const {
+    return std::holds_alternative<bool>(value_);
+  }
+  [[nodiscard]] bool isNumber() const {
+    return std::holds_alternative<double>(value_);
+  }
+  [[nodiscard]] bool isString() const {
+    return std::holds_alternative<std::string>(value_);
+  }
+  [[nodiscard]] bool isArray() const {
+    return std::holds_alternative<Array>(value_);
+  }
+  [[nodiscard]] bool isObject() const {
+    return std::holds_alternative<Object>(value_);
+  }
+
+  /// Typed accessors; abort on type mismatch (check first, or use the
+  /// lookup helpers below which produce descriptive errors).
+  [[nodiscard]] bool asBool() const;
+  [[nodiscard]] double asNumber() const;
+  [[nodiscard]] const std::string& asString() const;
+  [[nodiscard]] const Array& asArray() const;
+  [[nodiscard]] const Object& asObject() const;
+
+  /// Object field lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  /// Serialises with 2-space indentation and sorted keys (stable output).
+  [[nodiscard]] std::string dump() const;
+
+  bool operator==(const JsonValue& other) const = default;
+
+ private:
+  void dumpTo(std::string& out, int indent) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_;
+};
+
+/// Parse outcome: a value or an error message with a byte offset.
+struct JsonParseResult {
+  std::optional<JsonValue> value;
+  std::string error;       // empty on success
+  std::size_t errorOffset = 0;
+
+  [[nodiscard]] bool ok() const { return value.has_value(); }
+};
+
+/// Parses a complete JSON document (rejects trailing garbage).
+[[nodiscard]] JsonParseResult parseJson(const std::string& text);
+
+}  // namespace tprm

@@ -1,0 +1,46 @@
+// Leveled, thread-safe logging.  Default level is Warn so library users see
+// problems but simulations stay quiet; harnesses raise it with --verbose.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tprm {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global minimum level that will be emitted.
+void setLogLevel(LogLevel level);
+
+/// Current global minimum level.
+[[nodiscard]] LogLevel logLevel();
+
+/// Emits one line to stderr if `level` passes the global threshold.
+/// Thread-safe (single atomic write of the formatted line).
+void logMessage(LogLevel level, const std::string& message);
+
+namespace detail {
+
+/// RAII line builder behind the TPRM_LOG macro.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { logMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace tprm
+
+#define TPRM_LOG(level) ::tprm::detail::LogLine(::tprm::LogLevel::level)

@@ -1,0 +1,63 @@
+// Deterministic random-number generation for workloads and fault injection.
+//
+// All stochastic behaviour in the library (Poisson arrivals, synthetic image
+// content, fault injection) flows through this generator so that experiments
+// are reproducible from a single seed.  The engine is xoshiro256** seeded via
+// splitmix64, which is fast, has a 2^256-1 period, and passes BigCrush.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace tprm {
+
+/// Deterministic pseudo-random generator (xoshiro256**).
+///
+/// Satisfies the UniformRandomBitGenerator concept, so it can also be used
+/// with <random> distributions, but the member helpers below are preferred:
+/// they are stable across standard-library implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit state words from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  result_type operator()();
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased method.
+  /// `bound` must be nonzero.
+  [[nodiscard]] std::uint64_t uniformBelow(std::uint64_t bound);
+
+  /// Uniform integer in the closed range [lo, hi].
+  [[nodiscard]] std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  [[nodiscard]] double uniform01();
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniformReal(double lo, double hi);
+
+  /// Exponentially distributed double with the given mean (> 0).
+  /// Used for Poisson inter-arrival times (Section 5.3 of the paper).
+  [[nodiscard]] double exponential(double mean);
+
+  /// Standard normal via Box-Muller (no cached spare; deterministic stream).
+  [[nodiscard]] double normal(double mean, double stddev);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Forks an independent, deterministic child stream.  The child's sequence
+  /// is a pure function of this generator's state at the fork point.
+  [[nodiscard]] Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace tprm

@@ -1,0 +1,100 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace tprm {
+
+void StreamingStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void StreamingStats::merge(const StreamingStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * n2 / (n1 + n2);
+  m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double StreamingStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double StreamingStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+double StreamingStats::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double StreamingStats::max() const { return count_ == 0 ? 0.0 : max_; }
+
+std::string StreamingStats::summary() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << mean() << " sd=" << stddev() << " ["
+     << min() << ", " << max() << "]";
+  return os.str();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  TPRM_CHECK(lo < hi, "Histogram requires lo < hi");
+  TPRM_CHECK(buckets >= 1, "Histogram requires at least one bucket");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;  // fp edge case
+  ++counts_[idx];
+}
+
+double Histogram::quantile(double q) const {
+  TPRM_CHECK(total_ > 0, "quantile of empty histogram");
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cumulative = static_cast<double>(underflow_);
+  if (target <= cumulative) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto mass = static_cast<double>(counts_[i]);
+    if (cumulative + mass >= target && mass > 0) {
+      const double frac = (target - cumulative) / mass;
+      return lo_ + (static_cast<double>(i) + frac) * width_;
+    }
+    cumulative += mass;
+  }
+  return hi_;
+}
+
+}  // namespace tprm

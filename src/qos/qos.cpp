@@ -1,0 +1,296 @@
+#include "qos/qos.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace tprm::qos {
+
+// ---------------------------------------------------------------------------
+// QoSArbitrator
+// ---------------------------------------------------------------------------
+
+QoSArbitrator::QoSArbitrator(int processors, sched::GreedyOptions options)
+    : profile_(processors), ledger_(processors), options_(options),
+      heuristic_(options) {}
+
+void QoSArbitrator::retireFinished() {
+  for (auto it = live_.begin(); it != live_.end();) {
+    const auto& placements = it->second.placements;
+    if (!placements.empty() && placements.back().interval.end <= clock_) {
+      it = live_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void QoSArbitrator::record(std::uint64_t jobId, std::size_t chainIndex,
+                           const std::vector<sched::TaskPlacement>& placements,
+                           std::size_t firstTaskIndex) {
+  for (std::size_t k = 0; k < placements.size(); ++k) {
+    const auto& p = placements[k];
+    ledger_.add(resource::Reservation{
+        jobId, static_cast<int>(firstTaskIndex + k),
+        static_cast<int>(chainIndex), p.interval, p.processors, p.deadline});
+  }
+}
+
+sched::AdmissionDecision QoSArbitrator::submit(
+    const task::TunableJobSpec& spec, Time release) {
+  TPRM_CHECK(release >= clock_,
+             "negotiations must arrive in non-decreasing release order");
+  clock_ = release;
+  profile_.discardBefore(clock_);
+  retireFinished();
+
+  task::JobInstance job;
+  job.id = nextJobId_++;
+  job.release = release;
+  job.spec = spec;
+  const auto decision = heuristic_.admit(job, profile_);
+  if (!decision.admitted) {
+    ++rejected_;
+    return decision;
+  }
+  ++admitted_;
+  record(job.id, decision.schedule.chainIndex, decision.schedule.placements);
+  live_[job.id] = LiveJob{spec, release, decision.schedule.chainIndex,
+                          decision.schedule.placements};
+  return decision;
+}
+
+std::int64_t QoSArbitrator::cancel(std::uint64_t jobId) {
+  const auto it = live_.find(jobId);
+  if (it == live_.end()) return 0;
+  std::int64_t freed = 0;
+  for (const auto& placement : it->second.placements) {
+    // Only capacity that has not yet been consumed can be returned: clip to
+    // [clock, end).
+    const TimeInterval remaining =
+        placement.interval.intersect(TimeInterval{clock_, kTimeInfinity});
+    if (!remaining.empty()) {
+      profile_.release(remaining, placement.processors);
+      freed += static_cast<std::int64_t>(placement.processors) *
+               remaining.length();
+    }
+  }
+  live_.erase(it);
+  return freed;
+}
+
+RenegotiationReport QoSArbitrator::resize(int processors, Time when) {
+  TPRM_CHECK(processors > 0, "machine needs at least one processor");
+  TPRM_CHECK(when >= clock_, "resize cannot happen in the past");
+  clock_ = when;
+  retireFinished();
+
+  RenegotiationReport report;
+  report.processorsBefore = profile_.totalProcessors();
+  report.processorsAfter = processors;
+
+  // Start a new machine era: fresh profile and ledger at the new capacity.
+  pastEras_.push_back(std::move(ledger_));
+  ledger_ = resource::ReservationLedger(processors);
+  resource::AvailabilityProfile fresh(processors);
+  fresh.discardBefore(clock_);
+  profile_ = std::move(fresh);
+
+  // Phase 1: running tasks are non-preemptible — pin their remainders where
+  // they are.  A running task that no longer fits kills its job outright.
+  std::vector<std::uint64_t> doomed;
+  for (auto& [jobId, job] : live_) {
+    for (const auto& p : job.placements) {
+      // Strictly-started only: a task beginning exactly at the resize
+      // instant has consumed nothing and is re-placed in phase 2 instead.
+      if (p.interval.begin < clock_ && clock_ < p.interval.end) {
+        const TimeInterval rest{clock_, p.interval.end};
+        if (profile_.minAvailable(rest) >= p.processors) {
+          profile_.reserve(rest, p.processors);
+          ledger_.add(resource::Reservation{jobId, /*taskIndex=*/0,
+                                            static_cast<int>(job.chainIndex),
+                                            rest, p.processors, p.deadline});
+        } else {
+          doomed.push_back(jobId);
+        }
+        break;  // at most one task of a chain runs at a time
+      }
+    }
+  }
+  for (const auto jobId : doomed) {
+    live_.erase(jobId);
+    report.dropped.push_back(jobId);
+  }
+
+  // Phase 2: re-place each job's future tasks, in job-id (arrival) order.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(live_.size());
+  for (const auto& [jobId, job] : live_) {
+    (void)job;
+    ids.push_back(jobId);
+  }
+  std::sort(ids.begin(), ids.end());
+
+  for (const auto jobId : ids) {
+    LiveJob& job = live_.at(jobId);
+    // Partition this job's placements.
+    std::size_t firstFuture = 0;
+    Time earliestStart = clock_;
+    while (firstFuture < job.placements.size() &&
+           job.placements[firstFuture].interval.begin < clock_) {
+      earliestStart =
+          std::max(earliestStart, job.placements[firstFuture].interval.end);
+      ++firstFuture;
+    }
+    if (firstFuture == job.placements.size()) {
+      // Fully running/finished; phase 1 already pinned what matters.
+      report.kept.push_back(jobId);
+      continue;
+    }
+
+    // Cheapest outcome: the original future placements still fit verbatim.
+    bool verbatim = true;
+    {
+      resource::AvailabilityProfile trial = profile_;
+      for (std::size_t k = firstFuture; k < job.placements.size(); ++k) {
+        const auto& p = job.placements[k];
+        if (trial.minAvailable(p.interval) >= p.processors) {
+          trial.reserve(p.interval, p.processors);
+        } else {
+          verbatim = false;
+          break;
+        }
+      }
+      if (verbatim) {
+        profile_ = std::move(trial);
+        record(jobId, job.chainIndex,
+               {job.placements.begin() +
+                    static_cast<std::ptrdiff_t>(firstFuture),
+                job.placements.end()},
+               firstFuture);
+        report.kept.push_back(jobId);
+        continue;
+      }
+    }
+
+    // Full renegotiation.  If nothing has started, every chain of the
+    // original spec is still on the table; otherwise only the suffix of the
+    // committed chain (outputs of earlier tasks fix the path).
+    task::JobInstance instance;
+    instance.id = jobId;
+    instance.release = earliestStart;
+    bool feasibleSpec = true;
+    if (firstFuture == 0) {
+      instance.spec = job.spec;
+      // Rebase deadlines: relativeDeadline was relative to the original
+      // release; make it relative to the new one.
+      for (auto& chain : instance.spec.chains) {
+        for (auto& taskSpec : chain.tasks) {
+          if (taskSpec.relativeDeadline >= kTimeInfinity) continue;
+          const Time absolute = job.release + taskSpec.relativeDeadline;
+          if (absolute <= earliestStart + taskSpec.request.duration) {
+            feasibleSpec = false;
+          }
+          taskSpec.relativeDeadline = absolute - earliestStart;
+        }
+      }
+    } else {
+      const auto& chain = job.spec.chains[job.chainIndex];
+      task::Chain suffix;
+      suffix.name = chain.name + "-suffix";
+      for (std::size_t k = firstFuture; k < chain.tasks.size(); ++k) {
+        task::TaskSpec taskSpec = chain.tasks[k];
+        if (taskSpec.relativeDeadline < kTimeInfinity) {
+          const Time absolute = job.release + taskSpec.relativeDeadline;
+          if (absolute <= earliestStart + taskSpec.request.duration) {
+            feasibleSpec = false;
+          }
+          taskSpec.relativeDeadline = absolute - earliestStart;
+        }
+        suffix.tasks.push_back(std::move(taskSpec));
+      }
+      instance.spec.name = job.spec.name;
+      instance.spec.chains = {std::move(suffix)};
+    }
+
+    if (!feasibleSpec) {
+      report.dropped.push_back(jobId);
+      live_.erase(jobId);
+      continue;
+    }
+
+    const auto decision = heuristic_.admit(instance, profile_);
+    if (!decision.admitted) {
+      report.dropped.push_back(jobId);
+      live_.erase(jobId);
+      continue;
+    }
+    report.reconfigured.push_back(jobId);
+    // Splice the new placements (and possibly new chain) into the live job.
+    if (firstFuture == 0) {
+      job.chainIndex = decision.schedule.chainIndex;
+      job.release = earliestStart;
+      job.placements = decision.schedule.placements;
+      record(jobId, job.chainIndex, job.placements);
+    } else {
+      job.placements.resize(firstFuture);
+      job.placements.insert(job.placements.end(),
+                            decision.schedule.placements.begin(),
+                            decision.schedule.placements.end());
+      record(jobId, job.chainIndex, decision.schedule.placements, firstFuture);
+    }
+  }
+  return report;
+}
+
+resource::VerificationReport QoSArbitrator::verify() const {
+  for (const auto& era : pastEras_) {
+    const auto report = era.verify();
+    if (!report.ok) return report;
+  }
+  return ledger_.verify();
+}
+
+// ---------------------------------------------------------------------------
+// QoSAgent
+// ---------------------------------------------------------------------------
+
+QoSAgent::QoSAgent(tunable::Program& program) : program_(&program) {
+  paths_ = program.enumeratePaths();
+  TPRM_CHECK(!paths_.empty(), "program has no feasible execution path");
+  jobSpec_.name = program.name();
+  jobSpec_.chains.reserve(paths_.size());
+  for (const auto& path : paths_) jobSpec_.chains.push_back(path.chain);
+  const auto errors = task::validate(jobSpec_);
+  TPRM_CHECK(errors.empty(), "program job spec failed validation");
+}
+
+std::optional<Allocation> QoSAgent::negotiate(QoSArbitrator& arbitrator,
+                                              Time release) {
+  const auto decision = arbitrator.submit(jobSpec_, release);
+  if (!decision.admitted) {
+    allocation_.reset();
+    return std::nullopt;
+  }
+  Allocation allocation;
+  allocation.jobId = arbitrator.lastJobId();
+  allocation.pathIndex = decision.schedule.chainIndex;
+  allocation.quality = decision.quality;
+  allocation.bindings = paths_[decision.schedule.chainIndex].bindings;
+  allocation.schedule = decision.schedule;
+  // Configure the application: assign the control parameters of the granted
+  // path (Section 3.2: "application configuration just requires setting
+  // values for the ... parameters").
+  program_->parameters().assign(allocation.bindings);
+  allocation_ = std::move(allocation);
+  return allocation_;
+}
+
+void QoSAgent::run() {
+  TPRM_CHECK(allocation_.has_value(),
+             "run() requires a successful negotiation");
+  program_->execute(paths_[allocation_->pathIndex]);
+}
+
+}  // namespace tprm::qos

@@ -1,0 +1,174 @@
+// The MILAN resource-management architecture (Section 3): per-application
+// QoS agents negotiating with a system-wide QoS arbitrator.
+//
+// The negotiation model implemented is the paper's static one: at job
+// startup the agent communicates every execution path (with resource
+// requirements, deadlines and qualities) up front, and receives either a
+// rejection or a resource-allocation profile for one of the paths.  The
+// agent then configures the application (assigns control parameters) and the
+// application runs along that path.
+//
+// Hooks beyond the static model (release of reservations, renegotiation on
+// resource-level changes) are provided because Section 3 describes them as
+// part of the architecture, and the adaptive examples use them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "resource/availability_profile.h"
+#include "resource/reservation_ledger.h"
+#include "sched/greedy_arbitrator.h"
+#include "tunable/program.h"
+
+namespace tprm::qos {
+
+/// The arbitrator's answer to a negotiation: which path won, when each task
+/// will run, and the achieved quality.
+struct Allocation {
+  std::uint64_t jobId = 0;
+  std::size_t pathIndex = 0;
+  sched::ChainSchedule schedule;
+  double quality = 0.0;
+  /// Control-parameter assignment realising the chosen path.
+  tunable::Env bindings;
+};
+
+/// Outcome of a machine-size renegotiation (Section 3.1: the arbitrator
+/// "monitors system resources, and triggers renegotiation on detecting a
+/// significant change in resource levels (e.g., on a fault, or when new
+/// resources become available ...)").
+struct RenegotiationReport {
+  int processorsBefore = 0;
+  int processorsAfter = 0;
+  /// Jobs whose reservations carried over unchanged.
+  std::vector<std::uint64_t> kept;
+  /// Jobs whose remaining tasks were re-placed (possibly on a different
+  /// chain if no task had started yet).
+  std::vector<std::uint64_t> reconfigured;
+  /// Jobs whose guarantees could not be preserved on the new machine.
+  std::vector<std::uint64_t> dropped;
+};
+
+/// System-wide QoS arbitrator: owns the machine's availability profile,
+/// performs admission control, and records every commitment.
+///
+/// The arbitrator's clock only moves forward (negotiations carry release
+/// times); profile detail behind the clock is garbage-collected.
+class QoSArbitrator {
+ public:
+  /// `processors`: machine size.  `options`: heuristic configuration
+  /// (Section 5.2 defaults).
+  explicit QoSArbitrator(int processors,
+                         sched::GreedyOptions options = {});
+
+  /// Admission control + scheduling for a job that can run any chain of
+  /// `spec`, released `release`.  On admission the reservations are
+  /// committed.  Thread-compatible (callers serialize).
+  [[nodiscard]] sched::AdmissionDecision submit(
+      const task::TunableJobSpec& spec, Time release);
+
+  /// Cancels the remaining (not-yet-started) reservations of a job, freeing
+  /// the capacity — the renegotiation hook.  Returns freed processor-ticks.
+  std::int64_t cancel(std::uint64_t jobId);
+
+  /// Changes the machine size at time `when` (>= clock), renegotiating every
+  /// live commitment:
+  ///  * growing never drops a job (all reservations still fit);
+  ///  * shrinking keeps running tasks in place when possible (they are
+  ///    non-preemptible), then re-places each affected job's remaining
+  ///    tasks — jobs with no started task may switch to a different chain;
+  ///  * jobs that cannot be preserved are dropped (their guarantee is lost)
+  ///    and reported.
+  /// Commitments are re-verified per machine era: `verify()` checks every
+  /// era against the capacity that was in force.
+  RenegotiationReport resize(int processors, Time when);
+
+  /// Current logical clock (max release time seen).
+  [[nodiscard]] Time clock() const { return clock_; }
+  [[nodiscard]] int processors() const { return profile_.totalProcessors(); }
+
+  /// Read access for diagnostics and tests.
+  [[nodiscard]] const resource::AvailabilityProfile& profile() const {
+    return profile_;
+  }
+  /// Ledger of the current machine era.
+  [[nodiscard]] const resource::ReservationLedger& ledger() const {
+    return ledger_;
+  }
+  /// Verifies every commitment made so far, across all machine eras.
+  [[nodiscard]] resource::VerificationReport verify() const;
+
+  /// Jobs admitted / rejected so far.
+  [[nodiscard]] std::uint64_t admittedCount() const { return admitted_; }
+  [[nodiscard]] std::uint64_t rejectedCount() const { return rejected_; }
+
+  /// Id assigned to the most recently submitted job (admitted or not).
+  [[nodiscard]] std::uint64_t lastJobId() const { return nextJobId_ - 1; }
+
+ private:
+  /// Everything needed to renegotiate a job after a resource-level change.
+  struct LiveJob {
+    task::TunableJobSpec spec;
+    Time release = 0;
+    std::size_t chainIndex = 0;
+    std::vector<sched::TaskPlacement> placements;
+  };
+
+  /// Retires finished jobs from the live map.
+  void retireFinished();
+  /// Records a job's placements in the current-era ledger.
+  void record(std::uint64_t jobId, std::size_t chainIndex,
+              const std::vector<sched::TaskPlacement>& placements,
+              std::size_t firstTaskIndex = 0);
+
+  resource::AvailabilityProfile profile_;
+  resource::ReservationLedger ledger_;
+  std::vector<resource::ReservationLedger> pastEras_;
+  sched::GreedyOptions options_;
+  sched::GreedyArbitrator heuristic_;
+  Time clock_ = 0;
+  std::uint64_t nextJobId_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::map<std::uint64_t, LiveJob> live_;
+};
+
+/// Per-application QoS agent: wraps a tunable program, negotiates with the
+/// arbitrator, and configures the program along the granted path.
+class QoSAgent {
+ public:
+  /// The agent is generated from the program (in MILAN, by the Calypso
+  /// preprocessor; here, from the embedded DSL).
+  explicit QoSAgent(tunable::Program& program);
+
+  /// Static negotiation: communicates all paths, returns the allocation (and
+  /// configures the program's control parameters) or nullopt on rejection.
+  [[nodiscard]] std::optional<Allocation> negotiate(QoSArbitrator& arbitrator,
+                                                    Time release);
+
+  /// Runs the program along the negotiated path (task bodies execute with
+  /// the bound control parameters).  Requires a successful negotiate().
+  void run();
+
+  /// The enumerated paths (diagnostics; recomputed at construction).
+  [[nodiscard]] const std::vector<tunable::ExecutionPath>& paths() const {
+    return paths_;
+  }
+  [[nodiscard]] const std::optional<Allocation>& allocation() const {
+    return allocation_;
+  }
+
+ private:
+  tunable::Program* program_;
+  std::vector<tunable::ExecutionPath> paths_;
+  task::TunableJobSpec jobSpec_;
+  std::optional<Allocation> allocation_;
+};
+
+}  // namespace tprm::qos

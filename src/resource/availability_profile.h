@@ -1,0 +1,134 @@
+// Processor-availability profile over time: the QoS arbitrator's view of the
+// machine.
+//
+// Section 5.2 of the paper describes the heuristic as tracking "available
+// maximal holes in the processor-time 2D space", each hole a triple
+// (t_b, t_e, m).  This module keeps the *availability step function*
+// (free processors as a piecewise-constant function of time) as the
+// authoritative representation; maximal holes are derived from it on demand
+// (`maximalHoles`), and first-fit probes walk the step function directly
+// (`findEarliestFit`), which is equivalent to first-fit over maximal holes
+// but needs no hole list maintenance on reserve/release.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace tprm::resource {
+
+/// A maximal rectangle of free capacity: `processors` are simultaneously free
+/// throughout [begin, end), and the rectangle is not contained in any other
+/// such rectangle (Section 5.2's (t_b, t_e, m) triple).  `end` may be
+/// `kTimeInfinity` for the trailing hole.
+struct MaximalHole {
+  Time begin = 0;
+  Time end = 0;
+  int processors = 0;
+
+  [[nodiscard]] constexpr TimeInterval interval() const {
+    return TimeInterval{begin, end};
+  }
+  constexpr bool operator==(const MaximalHole&) const = default;
+};
+
+/// Piecewise-constant "free processors over time" function for a homogeneous
+/// machine with a fixed processor count (the paper's machine model).
+///
+/// Invariants:
+///  * every point in time has availability in [0, totalProcessors];
+///  * adjacent segments with equal availability are coalesced;
+///  * beyond the last reservation the availability is `totalProcessors`
+///    (reservations are finite).
+///
+/// The profile is a value type: the arbitrator copies it to trial-schedule a
+/// chain and commits by swap (transactional chain placement).
+class AvailabilityProfile {
+ public:
+  /// A machine with `totalProcessors` processors, fully free from time 0.
+  /// `totalProcessors` must be positive.
+  explicit AvailabilityProfile(int totalProcessors);
+
+  [[nodiscard]] int totalProcessors() const { return total_; }
+
+  /// Free processors at instant `t` (t >= horizon start).
+  [[nodiscard]] int availableAt(Time t) const;
+
+  /// Minimum free processors over [iv.begin, iv.end).  Empty interval
+  /// yields `totalProcessors`.
+  [[nodiscard]] int minAvailable(TimeInterval iv) const;
+
+  /// Subtracts `processors` from availability over `iv`.
+  /// Aborts if any instant would go negative (callers must probe first) or if
+  /// `iv` starts before the garbage-collected horizon.
+  void reserve(TimeInterval iv, int processors);
+
+  /// Adds `processors` back over `iv` (inverse of reserve).  Aborts if any
+  /// instant would exceed `totalProcessors`.
+  void release(TimeInterval iv, int processors);
+
+  /// Earliest start time s >= `earliest` such that `processors` are free over
+  /// [s, s + duration) and s + duration <= `deadline`.  Returns nullopt when
+  /// no such s exists.  Zero-duration tasks fit at `earliest` provided
+  /// earliest <= deadline.
+  [[nodiscard]] std::optional<Time> findEarliestFit(Time earliest,
+                                                    Time duration,
+                                                    int processors,
+                                                    Time deadline) const;
+
+  /// Busy processor-ticks (reserved capacity) over the window:
+  /// integral of (totalProcessors - available) dt.  Used by the heuristic's
+  /// window-utilization tie-break and by the simulator's metrics.
+  [[nodiscard]] std::int64_t busyProcessorTicks(TimeInterval window) const;
+
+  /// All maximal holes that intersect `window`, clipped to it, ordered by
+  /// begin time then by processor count.  The paper's hole representation;
+  /// O(segments^2) worst case, intended for inspection, tests, and
+  /// small-window tie-break analysis rather than the hot scheduling path.
+  [[nodiscard]] std::vector<MaximalHole> maximalHoles(TimeInterval window) const;
+
+  /// Drops all profile detail before `t` (the simulation clock can never
+  /// schedule in the past).  Busy capacity discarded this way is accumulated
+  /// and retrievable via `retiredBusyTicks` so utilization metrics stay exact.
+  void discardBefore(Time t);
+
+  /// Busy processor-ticks already discarded by `discardBefore`.
+  [[nodiscard]] std::int64_t retiredBusyTicks() const { return retiredBusy_; }
+
+  /// Earliest time the profile still represents (advanced by discardBefore).
+  [[nodiscard]] Time horizonStart() const { return segments_.begin()->first; }
+
+  /// Number of internal segments (diagnostics; bounded under steady state).
+  [[nodiscard]] std::size_t segmentCount() const { return segments_.size(); }
+
+  /// Times at which availability changes, in increasing order, including the
+  /// horizon start.  Mostly for tests and debugging output.
+  [[nodiscard]] std::vector<Time> breakpoints() const;
+
+  /// Multi-line human-readable dump, e.g. "[0, 25) 12 free".
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  /// Ensures a segment boundary exists exactly at `t` (t >= horizon start).
+  /// Returns an iterator to the segment starting at `t`.
+  std::map<Time, int>::iterator splitAt(Time t);
+
+  /// Merges adjacent equal-valued segments around the touched range.
+  void coalesce();
+
+  /// Applies +/-delta over iv with bounds checking.
+  void apply(TimeInterval iv, int delta);
+
+  // (startTime -> free processors from startTime until the next key).
+  // The map is never empty; the last segment extends to infinity and always
+  // has value `total_`.
+  std::map<Time, int> segments_;
+  int total_;
+  std::int64_t retiredBusy_ = 0;
+};
+
+}  // namespace tprm::resource

@@ -1,0 +1,95 @@
+#include "resource/gantt.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tprm::resource {
+
+std::string renderGantt(const ReservationLedger& ledger,
+                        const GanttOptions& options) {
+  TPRM_CHECK(options.columns >= 8, "need at least 8 columns");
+  TimeInterval window = options.window;
+  if (window.empty()) {
+    window = TimeInterval{0, std::max<Time>(ledger.makespan(), 1)};
+  }
+
+  const int lanes = ledger.totalProcessors();
+  const int cols = options.columns;
+  // laneGrid[lane][col] = cell character (0 = free).
+  std::vector<std::string> grid(static_cast<std::size_t>(lanes),
+                                std::string(static_cast<std::size_t>(cols),
+                                            ' '));
+  // Per-lane occupancy in time (end of the latest reservation per lane),
+  // tracked exactly to assign lanes greedily.
+  struct LaneSlot {
+    std::vector<TimeInterval> busy;
+    [[nodiscard]] bool freeOver(const TimeInterval& iv) const {
+      for (const auto& b : busy) {
+        if (b.overlaps(iv)) return false;
+      }
+      return true;
+    }
+  };
+  std::vector<LaneSlot> laneBusy(static_cast<std::size_t>(lanes));
+
+  auto sorted = ledger.reservations();
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Reservation& a, const Reservation& b) {
+              if (a.interval.begin != b.interval.begin) {
+                return a.interval.begin < b.interval.begin;
+              }
+              return a.jobId < b.jobId;
+            });
+
+  const double ticksPerCol =
+      static_cast<double>(window.length()) / static_cast<double>(cols);
+  auto colOf = [&](Time t) {
+    const auto c = static_cast<int>(
+        static_cast<double>(t - window.begin) / ticksPerCol);
+    return std::clamp(c, 0, cols - 1);
+  };
+  auto labelOf = [&](const Reservation& r) -> char {
+    if (!options.labelJobs) return '#';
+    const auto v = r.jobId % 62;
+    if (v < 10) return static_cast<char>('0' + v);
+    if (v < 36) return static_cast<char>('a' + (v - 10));
+    return static_cast<char>('A' + (v - 36));
+  };
+
+  for (const auto& r : sorted) {
+    const TimeInterval clipped = r.interval.intersect(window);
+    if (clipped.empty() || r.processors == 0) continue;
+    // Claim the first `processors` lanes free over the interval.
+    int needed = r.processors;
+    for (int lane = 0; lane < lanes && needed > 0; ++lane) {
+      auto& slot = laneBusy[static_cast<std::size_t>(lane)];
+      if (!slot.freeOver(r.interval)) continue;
+      slot.busy.push_back(r.interval);
+      --needed;
+      const int c0 = colOf(clipped.begin);
+      const int c1 = colOf(clipped.end - 1);
+      for (int c = c0; c <= c1; ++c) {
+        grid[static_cast<std::size_t>(lane)][static_cast<std::size_t>(c)] =
+            labelOf(r);
+      }
+    }
+    TPRM_CHECK(needed == 0,
+               "ledger overcommits capacity; run verify() before rendering");
+  }
+
+  std::ostringstream os;
+  os << "t=[" << formatTime(window.begin) << ", " << formatTime(window.end)
+     << ")  1 column = "
+     << formatTime(static_cast<Time>(ticksPerCol)) << " units\n";
+  for (int lane = 0; lane < lanes; ++lane) {
+    os << 'p';
+    if (lane < 10) os << '0';
+    os << lane << " |" << grid[static_cast<std::size_t>(lane)] << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace tprm::resource

@@ -1,0 +1,36 @@
+// ASCII Gantt rendering of reservation schedules, for examples and
+// debugging.  One row per processor lane; committed reservations are packed
+// into lanes greedily (the profile model is fungible processors, so lanes
+// are a visualization, not an assignment the scheduler made).
+#pragma once
+
+#include <string>
+
+#include "resource/reservation_ledger.h"
+
+namespace tprm::resource {
+
+/// Rendering options.
+struct GanttOptions {
+  /// Character columns available for the time axis.
+  int columns = 78;
+  /// Window to render; an empty interval means [0, ledger makespan).
+  TimeInterval window{0, 0};
+  /// Label each cell with the job id modulo 62 (0-9a-zA-Z); otherwise '#'.
+  bool labelJobs = true;
+};
+
+/// Renders the ledger's reservations as a multi-line ASCII chart:
+///
+///   t=[0, 250)  1 column = 3.2 units
+///   p00 |aaaaaaa...bbbbbbbbbb    |
+///   p01 |aaaaaaa...bbbbbbbbbb    |
+///   ...
+///
+/// Greedy lane assignment: reservations sorted by start time each claim the
+/// first `processors` lanes that are free for their interval.  Aborts if the
+/// ledger overcommits capacity (verify first).
+[[nodiscard]] std::string renderGantt(const ReservationLedger& ledger,
+                                      const GanttOptions& options = {});
+
+}  // namespace tprm::resource

@@ -1,0 +1,124 @@
+#include "sched/baselines.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tprm::sched {
+
+// ---------------------------------------------------------------------------
+// BestEffortArbitrator
+// ---------------------------------------------------------------------------
+
+AdmissionDecision BestEffortArbitrator::admit(
+    const task::JobInstance& job, resource::AvailabilityProfile& profile) {
+  AdmissionDecision decision;
+  decision.chainsConsidered = static_cast<int>(job.spec.chains.size());
+
+  // Earliest-finishing chain, ignoring all deadlines.
+  std::optional<ChainSchedule> best;
+  for (std::size_t c = 0; c < job.spec.chains.size(); ++c) {
+    const task::Chain& chain = job.spec.chains[c];
+    resource::AvailabilityProfile trial = profile;
+    ChainSchedule schedule;
+    schedule.chainIndex = c;
+    Time earliest = job.release;
+    bool ok = true;
+    for (const auto& taskSpec : chain.tasks) {
+      const auto start = trial.findEarliestFit(
+          earliest, taskSpec.request.duration, taskSpec.request.processors,
+          kTimeInfinity);
+      if (!start) {  // only possible if the task exceeds the machine
+        ok = false;
+        break;
+      }
+      const TimeInterval iv{*start, *start + taskSpec.request.duration};
+      trial.reserve(iv, taskSpec.request.processors);
+      // No guarantee attached: deadline recorded as infinity.
+      schedule.placements.push_back(
+          TaskPlacement{iv, taskSpec.request.processors, kTimeInfinity});
+      earliest = iv.end;
+    }
+    if (!ok) continue;
+    ++decision.chainsSchedulable;
+    if (!best || schedule.finishTime() < best->finishTime()) {
+      best = std::move(schedule);
+    }
+  }
+  if (!best) return decision;
+
+  for (const auto& p : best->placements) {
+    profile.reserve(p.interval, p.processors);
+  }
+  decision.admitted = true;
+  decision.quality = job.spec.chains[best->chainIndex].quality(
+      job.spec.qualityComposition);
+  decision.schedule = std::move(*best);
+  return decision;
+}
+
+// ---------------------------------------------------------------------------
+// ConservativeArbitrator
+// ---------------------------------------------------------------------------
+
+AdmissionDecision ConservativeArbitrator::admit(
+    const task::JobInstance& job, resource::AvailabilityProfile& profile) {
+  AdmissionDecision decision;
+  decision.chainsConsidered = static_cast<int>(job.spec.chains.size());
+
+  // Order chains by peak demand: the conservative scheduler wants the
+  // cheapest block that still guarantees the job.
+  std::vector<std::size_t> order(job.spec.chains.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return job.spec.chains[a].maxProcessors() <
+           job.spec.chains[b].maxProcessors();
+  });
+
+  for (const std::size_t c : order) {
+    const task::Chain& chain = job.spec.chains[c];
+    const int peak = chain.maxProcessors();
+    const Time lastRelDeadline = chain.tasks.back().relativeDeadline;
+    // Without a finite deadline there is no lifetime to dedicate; fall back
+    // to the critical path.
+    const Time blockEnd =
+        lastRelDeadline >= kTimeInfinity
+            ? job.release + chain.criticalPathLength()
+            : job.release + lastRelDeadline;
+    const TimeInterval block{job.release, blockEnd};
+    if (block.empty()) continue;
+    if (profile.minAvailable(block) < peak) continue;
+
+    ++decision.chainsSchedulable;
+    // Dedicate the peak for the whole block; tasks run back-to-back inside.
+    profile.reserve(block, peak);
+    ChainSchedule schedule;
+    schedule.chainIndex = c;
+    Time clock = job.release;
+    for (const auto& taskSpec : chain.tasks) {
+      const Time deadline =
+          taskSpec.relativeDeadline >= kTimeInfinity
+              ? kTimeInfinity
+              : job.release + taskSpec.relativeDeadline;
+      schedule.placements.push_back(TaskPlacement{
+          TimeInterval{clock, clock + taskSpec.request.duration},
+          taskSpec.request.processors, deadline});
+      clock += taskSpec.request.duration;
+    }
+    // The dedicated block outlives the tasks; account the tail as part of
+    // the job's consumption by extending the last placement's hold to the
+    // block end at the *peak* width minus what the placements already
+    // claim... keeping it simple and honest: placements reflect execution;
+    // the conservative scheme's wasted tail shows up as reserved-but-idle
+    // capacity in the profile (captured by the utilization metric via the
+    // profile, and by `admittedArea` via the block, below).
+    TPRM_CHECK(clock <= blockEnd, "conservative block too small");
+    decision.admitted = true;
+    decision.quality = chain.quality(job.spec.qualityComposition);
+    decision.schedule = std::move(schedule);
+    return decision;
+  }
+  return decision;
+}
+
+}  // namespace tprm::sched

@@ -1,0 +1,79 @@
+// Greedy arbitrator for DAG-structured jobs.
+//
+// Extends the Section-5.2 heuristic from chains to AND-dags: tasks are
+// placed in a deterministic topological order, each at the earliest start
+// that fits its processor request after all of its predecessors' finish
+// times, subject to its absolute deadline.  Among the schedulable
+// alternatives of a tunable dag job, selection follows the same rule as for
+// chains (earliest finish; ties by window utilization, then smaller
+// cumulative-area prefix in placement order).
+//
+// The chain arbitrator is the special case where every dag is a path;
+// `DagArbitrator` reproduces `GreedyArbitrator`'s schedules exactly on such
+// inputs (cross-checked in tests/sched/dag_arbitrator_test.cpp).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/rng.h"
+#include "resource/availability_profile.h"
+#include "sched/arbitrator.h"
+#include "taskmodel/dag.h"
+
+namespace tprm::sched {
+
+/// Outcome of one dag admission attempt.
+struct DagAdmissionDecision {
+  bool admitted = false;
+  /// Which alternative won.
+  std::size_t alternativeIndex = 0;
+  /// Placement of each task, indexed like DagSpec::tasks.
+  std::vector<TaskPlacement> placements;
+  /// Completion time of the whole dag.
+  Time finish = 0;
+  double quality = 0.0;
+  int alternativesConsidered = 0;
+  int alternativesSchedulable = 0;
+
+  /// Total reserved processor-ticks.
+  [[nodiscard]] std::int64_t area() const {
+    std::int64_t a = 0;
+    for (const auto& p : placements) {
+      a += static_cast<std::int64_t>(p.processors) * p.interval.length();
+    }
+    return a;
+  }
+};
+
+/// Options for the dag arbitrator (subset of GreedyOptions that applies).
+struct DagOptions {
+  /// Treat tasks with a MalleableSpec as malleable (widest-fit policy).
+  bool malleable = false;
+};
+
+/// Greedy first-fit arbitrator over availability holes, for dag jobs.
+class DagArbitrator {
+ public:
+  explicit DagArbitrator(DagOptions options = {});
+
+  /// Attempts to admit `job` against `profile`; reserves the winning
+  /// placements on success, leaves the profile untouched on rejection.
+  [[nodiscard]] DagAdmissionDecision admit(
+      const task::DagJobInstance& job,
+      resource::AvailabilityProfile& profile) const;
+
+  /// Places one alternative into a trial profile without committing.
+  /// Returns placements (indexed by task) and finish time iff every task
+  /// fits within its deadline.
+  [[nodiscard]] std::optional<std::vector<TaskPlacement>> tryAlternative(
+      const task::DagJobInstance& job, std::size_t alternativeIndex,
+      resource::AvailabilityProfile trial) const;
+
+  [[nodiscard]] std::string name() const;
+
+ private:
+  DagOptions options_;
+};
+
+}  // namespace tprm::sched

@@ -1,0 +1,47 @@
+#include "sim/arrivals.h"
+
+#include "common/check.h"
+
+namespace tprm::sim {
+
+PoissonArrivals::PoissonArrivals(double meanInterarrivalUnits, Rng rng)
+    : mean_(meanInterarrivalUnits), rng_(rng) {
+  TPRM_CHECK(meanInterarrivalUnits > 0.0, "mean inter-arrival must be > 0");
+}
+
+Time PoissonArrivals::next() {
+  clockUnits_ += rng_.exponential(mean_);
+  return ticksFromUnits(clockUnits_);
+}
+
+UniformArrivals::UniformArrivals(double intervalUnits, double startUnits)
+    : interval_(intervalUnits), clockUnits_(startUnits - intervalUnits) {
+  TPRM_CHECK(intervalUnits > 0.0, "arrival interval must be > 0");
+}
+
+Time UniformArrivals::next() {
+  clockUnits_ += interval_;
+  return ticksFromUnits(clockUnits_);
+}
+
+BurstyArrivals::BurstyArrivals(int burstSize, double withinBurstUnits,
+                               double meanGapUnits, Rng rng)
+    : burstSize_(burstSize), withinBurst_(withinBurstUnits),
+      meanGap_(meanGapUnits), rng_(rng) {
+  TPRM_CHECK(burstSize >= 1, "burst size must be >= 1");
+  TPRM_CHECK(withinBurstUnits >= 0.0, "within-burst spacing must be >= 0");
+  TPRM_CHECK(meanGapUnits > 0.0, "mean burst gap must be > 0");
+}
+
+Time BurstyArrivals::next() {
+  if (remainingInBurst_ == 0) {
+    clockUnits_ += rng_.exponential(meanGap_);
+    remainingInBurst_ = burstSize_ - 1;
+  } else {
+    clockUnits_ += withinBurst_;
+    --remainingInBurst_;
+  }
+  return ticksFromUnits(clockUnits_);
+}
+
+}  // namespace tprm::sim

@@ -1,0 +1,65 @@
+// Arrival processes for job streams.
+//
+// The paper's evaluation draws job arrivals "according to the Poisson
+// distribution" (Section 5.3).  Deterministic and bursty processes are also
+// provided for tests and for stress examples.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace tprm::sim {
+
+/// Generator of successive arrival instants (ticks), non-decreasing.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  /// Next arrival time; each call advances the process.
+  virtual Time next() = 0;
+};
+
+/// Poisson process: exponential inter-arrival times with the given mean
+/// (in paper time units).
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  PoissonArrivals(double meanInterarrivalUnits, Rng rng);
+  Time next() override;
+
+ private:
+  double mean_;
+  Rng rng_;
+  double clockUnits_ = 0.0;
+};
+
+/// Deterministic process: arrivals exactly `intervalUnits` apart.
+class UniformArrivals final : public ArrivalProcess {
+ public:
+  explicit UniformArrivals(double intervalUnits, double startUnits = 0.0);
+  Time next() override;
+
+ private:
+  double interval_;
+  double clockUnits_;
+};
+
+/// Bursty process: bursts of `burstSize` near-simultaneous arrivals
+/// (spread `withinBurstUnits` apart), bursts separated by exponential gaps
+/// with mean `meanGapUnits`.
+class BurstyArrivals final : public ArrivalProcess {
+ public:
+  BurstyArrivals(int burstSize, double withinBurstUnits, double meanGapUnits,
+                 Rng rng);
+  Time next() override;
+
+ private:
+  int burstSize_;
+  double withinBurst_;
+  double meanGap_;
+  Rng rng_;
+  double clockUnits_ = 0.0;
+  int remainingInBurst_ = 0;
+};
+
+}  // namespace tprm::sim

@@ -1,0 +1,83 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "sim/trace.h"
+
+namespace tprm::sim {
+
+SimulationResult runSimulation(const std::vector<task::JobInstance>& jobs,
+                               sched::Arbitrator& arbitrator,
+                               const SimulationConfig& config) {
+  TPRM_CHECK(config.processors > 0, "simulation needs processors");
+  resource::AvailabilityProfile profile(config.processors);
+  std::optional<resource::ReservationLedger> ledger;
+  if (config.verify) ledger.emplace(config.processors);
+
+  SimulationResult result;
+  Time previousRelease = 0;
+  for (const auto& job : jobs) {
+    TPRM_CHECK(job.release >= previousRelease,
+               "job stream must be sorted by release time");
+    previousRelease = job.release;
+
+    // Nothing can ever be scheduled before the current arrival: retire the
+    // profile detail behind the clock (keeps the segment count bounded).
+    profile.discardBefore(job.release);
+
+    const auto decision = arbitrator.admit(job, profile);
+    if (config.trace != nullptr) config.trace->record(job, decision);
+    ++result.arrivals;
+    result.horizon = std::max(result.horizon, job.release);
+    if (!decision.admitted) {
+      ++result.rejected;
+      continue;
+    }
+
+    ++result.admitted;
+    result.admittedArea += decision.schedule.area();
+    result.horizon = std::max(result.horizon, decision.schedule.finishTime());
+    result.qualitySum += decision.quality;
+    const std::size_t chainIndex = decision.schedule.chainIndex;
+    if (result.chainCounts.size() <= chainIndex) {
+      result.chainCounts.resize(chainIndex + 1, 0);
+    }
+    ++result.chainCounts[chainIndex];
+
+    const Time finish = decision.schedule.finishTime();
+    result.responseTime.add(unitsFromTicks(finish - job.release));
+    // Timeliness is judged against the job's own declared deadline (the
+    // arbitrator's recorded promise may be weaker, e.g. best effort).
+    const std::size_t lastTask =
+        job.spec.chains[chainIndex].tasks.size() - 1;
+    const Time declaredDeadline = job.absoluteDeadline(chainIndex, lastTask);
+    if (declaredDeadline >= kTimeInfinity || finish <= declaredDeadline) {
+      ++result.onTime;
+    }
+    if (declaredDeadline < kTimeInfinity) {
+      result.slack.add(unitsFromTicks(declaredDeadline - finish));
+    }
+
+    if (ledger) {
+      for (std::size_t k = 0; k < decision.schedule.placements.size(); ++k) {
+        const auto& p = decision.schedule.placements[k];
+        ledger->add(resource::Reservation{
+            job.id, static_cast<int>(k),
+            static_cast<int>(decision.schedule.chainIndex), p.interval,
+            p.processors, p.deadline});
+      }
+    }
+  }
+
+  if (result.horizon > 0) {
+    result.utilization =
+        static_cast<double>(result.admittedArea) /
+        (static_cast<double>(config.processors) *
+         static_cast<double>(result.horizon));
+  }
+  if (ledger) result.verification = ledger->verify();
+  return result;
+}
+
+}  // namespace tprm::sim

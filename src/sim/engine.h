@@ -1,0 +1,78 @@
+// Discrete-event simulation of the QoS arbitrator under a job stream.
+//
+// The paper's evaluation model (Section 5) is reservation-based: at each
+// arrival the arbitrator either admits the job — fixing the processor-time
+// reservation of every task of the chosen chain — or rejects it.  Admitted
+// jobs are guaranteed their deadlines (fault-free system), so the only events
+// that matter are arrivals, and the simulation reduces to replaying arrivals
+// against the availability profile while the profile garbage-collects detail
+// behind the arrival clock.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/time.h"
+#include "resource/availability_profile.h"
+#include "resource/reservation_ledger.h"
+#include "sched/arbitrator.h"
+#include "taskmodel/chain.h"
+
+namespace tprm::sim {
+
+/// Simulation configuration.
+struct SimulationConfig {
+  /// Machine size (homogeneous processors).
+  int processors = 32;
+  /// Record every reservation in a ledger and run full verification at the
+  /// end (capacity, deadlines, precedence).  O(n log n) extra memory/time.
+  bool verify = false;
+  /// Optional per-job decision trace (see sim/trace.h); not owned.
+  class TraceRecorder* trace = nullptr;
+};
+
+/// Aggregate results of one simulation run.
+struct SimulationResult {
+  std::uint64_t arrivals = 0;
+  /// Jobs the arbitrator accepted (for guarantee-based arbitrators this
+  /// equals onTime).
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  /// Jobs that finished by their declared final deadline — the paper's
+  /// "throughput" metric.  Judged against the job spec, not the
+  /// arbitrator's promises, so best-effort scheduling is measured fairly.
+  std::uint64_t onTime = 0;
+  /// Total reserved processor-ticks of admitted jobs.
+  std::int64_t admittedArea = 0;
+  /// End of the experiment: max(last arrival, last reservation end).
+  Time horizon = 0;
+  /// admittedArea / (processors * horizon) — the paper's system utilization.
+  double utilization = 0.0;
+  /// Response time (finish - release) of admitted jobs, in paper units.
+  StreamingStats responseTime;
+  /// Slack at completion (last deadline - finish) of admitted jobs, in units.
+  StreamingStats slack;
+  /// Sum of achieved quality over admitted jobs.
+  double qualitySum = 0.0;
+  /// chainCounts[c] = number of admitted jobs that ran chain c.
+  std::vector<std::uint64_t> chainCounts;
+  /// Present iff config.verify was set.
+  std::optional<resource::VerificationReport> verification;
+
+  /// Fraction of arrivals admitted.
+  [[nodiscard]] double admitRate() const {
+    return arrivals == 0
+               ? 0.0
+               : static_cast<double>(admitted) / static_cast<double>(arrivals);
+  }
+};
+
+/// Runs `jobs` (must be sorted by release time) through `arbitrator` on a
+/// machine with `config.processors` processors.
+[[nodiscard]] SimulationResult runSimulation(
+    const std::vector<task::JobInstance>& jobs, sched::Arbitrator& arbitrator,
+    const SimulationConfig& config);
+
+}  // namespace tprm::sim

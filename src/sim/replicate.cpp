@@ -1,0 +1,30 @@
+#include "sim/replicate.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tprm::sim {
+
+double Replicated::ci95(const StreamingStats& stats) {
+  if (stats.count() < 2) return 0.0;
+  return 1.96 * stats.stddev() /
+         std::sqrt(static_cast<double>(stats.count()));
+}
+
+Replicated replicate(
+    const std::function<SimulationResult(std::uint64_t seed)>& experiment,
+    std::uint64_t seedBase, int runs) {
+  TPRM_CHECK(runs >= 1, "need at least one replication");
+  TPRM_CHECK(experiment != nullptr, "experiment must be callable");
+  Replicated out;
+  for (int r = 0; r < runs; ++r) {
+    const auto result = experiment(seedBase + static_cast<std::uint64_t>(r));
+    out.utilization.add(result.utilization);
+    out.onTime.add(static_cast<double>(result.onTime));
+    out.admitted.add(static_cast<double>(result.admitted));
+  }
+  return out;
+}
+
+}  // namespace tprm::sim

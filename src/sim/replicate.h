@@ -1,0 +1,36 @@
+// Multi-seed replication of simulation experiments.
+//
+// The paper reports single runs of 10,000 arrivals.  For the reproduction
+// we additionally support replicating any experiment across independent
+// seeds and summarising each metric as mean ± sample standard deviation, so
+// EXPERIMENTS.md can state which differences are outside run-to-run noise.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/engine.h"
+
+namespace tprm::sim {
+
+/// Summary of one metric across replications.
+struct Replicated {
+  StreamingStats utilization;
+  StreamingStats onTime;
+  StreamingStats admitted;
+
+  /// Half-width of a ~95% normal-approximation confidence interval for the
+  /// mean of `stats` (1.96 * sd / sqrt(n); 0 for n < 2).
+  [[nodiscard]] static double ci95(const StreamingStats& stats);
+};
+
+/// Runs `experiment(seed)` once per seed in [seedBase, seedBase + runs) and
+/// aggregates the results.  The callable owns workload generation and
+/// simulation; it returns the run's SimulationResult.
+[[nodiscard]] Replicated replicate(
+    const std::function<SimulationResult(std::uint64_t seed)>& experiment,
+    std::uint64_t seedBase, int runs);
+
+}  // namespace tprm::sim

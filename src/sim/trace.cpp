@@ -1,0 +1,50 @@
+#include "sim/trace.h"
+
+namespace tprm::sim {
+
+void TraceRecorder::record(const task::JobInstance& job,
+                           const sched::AdmissionDecision& decision) {
+  TraceEvent event;
+  event.jobId = job.id;
+  event.jobName = job.spec.name;
+  event.release = job.release;
+  event.admitted = decision.admitted;
+  if (decision.admitted) {
+    event.chainIndex = decision.schedule.chainIndex;
+    event.finish = decision.schedule.finishTime();
+    event.quality = decision.quality;
+    event.placements = decision.schedule.placements;
+  }
+  events_.push_back(std::move(event));
+}
+
+JsonValue TraceRecorder::toJson() const {
+  JsonValue::Array out;
+  out.reserve(events_.size());
+  for (const auto& event : events_) {
+    JsonValue::Object o;
+    o["job"] = static_cast<std::int64_t>(event.jobId);
+    if (!event.jobName.empty()) o["name"] = event.jobName;
+    o["release"] = unitsFromTicks(event.release);
+    o["admitted"] = event.admitted;
+    if (event.admitted) {
+      o["chain"] = static_cast<std::int64_t>(event.chainIndex);
+      o["finish"] = unitsFromTicks(event.finish);
+      o["quality"] = event.quality;
+      JsonValue::Array placements;
+      placements.reserve(event.placements.size());
+      for (const auto& p : event.placements) {
+        JsonValue::Object po;
+        po["start"] = unitsFromTicks(p.interval.begin);
+        po["end"] = unitsFromTicks(p.interval.end);
+        po["processors"] = p.processors;
+        placements.emplace_back(std::move(po));
+      }
+      o["placements"] = std::move(placements);
+    }
+    out.emplace_back(std::move(o));
+  }
+  return JsonValue(std::move(out));
+}
+
+}  // namespace tprm::sim

@@ -1,0 +1,55 @@
+// Per-job decision traces for simulation runs.
+//
+// A trace records, for every arrival, what the arbitrator decided: admitted
+// or rejected, which chain, the exact placements, the finish time and
+// quality.  Traces serialise to JSON so runs can be archived, diffed across
+// code versions, and inspected with external tooling — the observability a
+// production resource manager would ship with.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/json.h"
+#include "sched/arbitrator.h"
+#include "taskmodel/chain.h"
+
+namespace tprm::sim {
+
+/// One recorded admission decision.
+struct TraceEvent {
+  std::uint64_t jobId = 0;
+  std::string jobName;
+  Time release = 0;
+  bool admitted = false;
+  /// Valid iff admitted:
+  std::size_t chainIndex = 0;
+  Time finish = 0;
+  double quality = 0.0;
+  std::vector<sched::TaskPlacement> placements;
+};
+
+/// Collects trace events during a run (see SimulationConfig::trace).
+class TraceRecorder {
+ public:
+  void record(const task::JobInstance& job,
+              const sched::AdmissionDecision& decision);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// Serialises all events:
+  ///   [{"job": 0, "name": "...", "release": 0.0, "admitted": true,
+  ///     "chain": 1, "finish": 125.0, "quality": 1.0,
+  ///     "placements": [{"start": 0.0, "end": 100.0, "processors": 4}]},
+  ///    ...]
+  /// Times in paper units.
+  [[nodiscard]] JsonValue toJson() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace tprm::sim

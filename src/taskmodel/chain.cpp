@@ -1,0 +1,119 @@
+#include "taskmodel/chain.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace tprm::task {
+
+std::int64_t Chain::totalArea() const {
+  std::int64_t area = 0;
+  for (const auto& t : tasks) area += t.request.area();
+  return area;
+}
+
+Time Chain::criticalPathLength() const {
+  Time length = 0;
+  for (const auto& t : tasks) length += t.request.duration;
+  return length;
+}
+
+int Chain::maxProcessors() const {
+  int maxProcs = 0;
+  for (const auto& t : tasks) maxProcs = std::max(maxProcs, t.request.processors);
+  return maxProcs;
+}
+
+double Chain::quality(QualityComposition comp) const {
+  if (tasks.empty()) return 0.0;
+  switch (comp) {
+    case QualityComposition::Multiplicative: {
+      double q = 1.0;
+      for (const auto& t : tasks) q *= t.quality;
+      return q;
+    }
+    case QualityComposition::Minimum: {
+      double q = 1.0;
+      for (const auto& t : tasks) q = std::min(q, t.quality);
+      return q;
+    }
+  }
+  return 0.0;
+}
+
+std::vector<std::int64_t> Chain::prefixAreas() const {
+  std::vector<std::int64_t> prefix;
+  prefix.reserve(tasks.size());
+  std::int64_t running = 0;
+  for (const auto& t : tasks) {
+    running += t.request.area();
+    prefix.push_back(running);
+  }
+  return prefix;
+}
+
+Time JobInstance::absoluteDeadline(std::size_t chainIndex,
+                                   std::size_t taskIndex) const {
+  TPRM_CHECK(chainIndex < spec.chains.size(), "chain index out of range");
+  const Chain& chain = spec.chains[chainIndex];
+  TPRM_CHECK(taskIndex < chain.tasks.size(), "task index out of range");
+  const Time rel = chain.tasks[taskIndex].relativeDeadline;
+  if (rel >= kTimeInfinity) return kTimeInfinity;
+  return release + rel;
+}
+
+std::vector<std::string> validate(const TunableJobSpec& spec) {
+  std::vector<std::string> errors;
+  auto fail = [&errors](const std::string& what) { errors.push_back(what); };
+
+  if (spec.chains.empty()) {
+    fail("job '" + spec.name + "' has no chains");
+    return errors;
+  }
+  for (std::size_t c = 0; c < spec.chains.size(); ++c) {
+    const Chain& chain = spec.chains[c];
+    std::ostringstream where;
+    where << "job '" << spec.name << "' chain " << c << " ('" << chain.name
+          << "')";
+    if (chain.tasks.empty()) {
+      fail(where.str() + " is empty");
+      continue;
+    }
+    Time previousDeadline = 0;
+    Time earliestFinish = 0;
+    for (std::size_t k = 0; k < chain.tasks.size(); ++k) {
+      const TaskSpec& t = chain.tasks[k];
+      std::ostringstream at;
+      at << where.str() << " task " << k << " ('" << t.name << "')";
+      if (t.request.processors <= 0) fail(at.str() + ": processors <= 0");
+      if (t.request.duration <= 0) fail(at.str() + ": duration <= 0");
+      if (t.quality < 0.0 || t.quality > 1.0) {
+        fail(at.str() + ": quality outside [0, 1]");
+      }
+      if (t.malleable) {
+        if (t.malleable->work <= 0) fail(at.str() + ": malleable work <= 0");
+        if (t.malleable->maxConcurrency < t.request.processors) {
+          fail(at.str() +
+               ": degree of concurrency below the rigid shape's processors");
+        }
+      }
+      if (t.relativeDeadline < previousDeadline) {
+        fail(at.str() +
+             ": relative deadline decreases along the chain (a deadline "
+             "covers all predecessors, so it must be non-decreasing)");
+      }
+      previousDeadline = t.relativeDeadline;
+      earliestFinish += t.request.duration;
+      if (t.relativeDeadline < kTimeInfinity &&
+          earliestFinish > t.relativeDeadline) {
+        fail(at.str() + ": infeasible even on an idle machine (critical path " +
+             formatTime(earliestFinish) + " exceeds deadline " +
+             formatTime(t.relativeDeadline) + ")");
+      }
+    }
+  }
+  return errors;
+}
+
+}  // namespace tprm::task

@@ -1,0 +1,87 @@
+// Chains (execution paths) and tunable jobs (OR-sets of chains).
+//
+// Section 5.1: "a job is now represented by an OR task graph instead of a
+// chain ... For uniformity, we assume that all paths through an OR graph have
+// been enumerated, so a tunable application is represented by multiple task
+// chains."  The tunable DSL (src/tunable) performs that enumeration; the
+// scheduler consumes this enumerated form.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "taskmodel/task.h"
+
+namespace tprm::task {
+
+/// How per-task qualities compose into a path quality.
+enum class QualityComposition {
+  /// Product of task qualities (default; a bad stage degrades the output).
+  Multiplicative,
+  /// Minimum task quality (weakest-link model).
+  Minimum,
+};
+
+/// One execution path: a sequence of tasks executed back-to-back, each with a
+/// cumulative deadline.
+struct Chain {
+  std::string name;
+  std::vector<TaskSpec> tasks;
+
+  /// Total processor-ticks over all tasks.
+  [[nodiscard]] std::int64_t totalArea() const;
+
+  /// Sum of task durations (the path's minimum end-to-end running time,
+  /// assuming rigid shapes and no queueing).
+  [[nodiscard]] Time criticalPathLength() const;
+
+  /// Largest single-task processor request.
+  [[nodiscard]] int maxProcessors() const;
+
+  /// Path quality under the given composition rule.
+  [[nodiscard]] double quality(
+      QualityComposition comp = QualityComposition::Multiplicative) const;
+
+  /// Cumulative processor-tick prefix areas: prefix[k] = area of tasks
+  /// [0, k].  Used by the heuristic's "fewer total resources for some prefix"
+  /// tie-break (Section 5.2).
+  [[nodiscard]] std::vector<std::int64_t> prefixAreas() const;
+
+  bool operator==(const Chain&) const = default;
+};
+
+/// A tunable job: one of `chains` will be selected and executed.  Non-tunable
+/// jobs are the single-chain special case.
+struct TunableJobSpec {
+  std::string name;
+  std::vector<Chain> chains;
+  QualityComposition qualityComposition = QualityComposition::Multiplicative;
+
+  [[nodiscard]] bool tunable() const { return chains.size() > 1; }
+
+  bool operator==(const TunableJobSpec&) const = default;
+};
+
+/// An arrived instance of a job spec (release time bound).
+struct JobInstance {
+  std::uint64_t id = 0;
+  Time release = 0;
+  TunableJobSpec spec;
+
+  /// Absolute deadline of task `taskIndex` on chain `chainIndex`.
+  [[nodiscard]] Time absoluteDeadline(std::size_t chainIndex,
+                                      std::size_t taskIndex) const;
+};
+
+/// Structural validation failure descriptions; empty means the spec is valid.
+///
+/// Checks: at least one chain; every chain non-empty; positive processor
+/// counts and durations; qualities in [0, 1]; malleable specs consistent
+/// (work > 0, maxConcurrency >= shape processors); per-chain relative
+/// deadlines non-decreasing (a task's deadline covers its predecessors, so a
+/// decreasing deadline would be vacuous); every chain feasible in isolation
+/// (critical path fits within the last deadline).
+[[nodiscard]] std::vector<std::string> validate(const TunableJobSpec& spec);
+
+}  // namespace tprm::task

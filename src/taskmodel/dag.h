@@ -1,0 +1,84 @@
+// DAG-structured jobs: the general form of the paper's application model.
+//
+// Section 3.1 describes the QoS agent's view of an application as "an
+// execution path (a chain, or more generally, a dag) comprising several
+// tasks"; the evaluation restricts itself to chains (Section 5.1).  This
+// module implements the general AND-dag form: tasks with explicit
+// predecessor sets, where a task may start once *all* its predecessors have
+// finished.  Tunability composes the same way as for chains: a tunable dag
+// job is an OR-set of alternative dags (Gillies' AND/OR graphs, cited as
+// [8] in the paper, restricted to enumerated OR alternatives).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "taskmodel/chain.h"
+#include "taskmodel/task.h"
+
+namespace tprm::task {
+
+/// A task within a dag: its spec plus the indices of the tasks that must
+/// finish before it starts (indices into DagSpec::tasks, each < own index is
+/// NOT required, but the graph must be acyclic).
+struct DagTask {
+  TaskSpec spec;
+  std::vector<std::size_t> predecessors;
+
+  bool operator==(const DagTask&) const = default;
+};
+
+/// One alternative execution dag.
+struct DagSpec {
+  std::string name;
+  std::vector<DagTask> tasks;
+
+  /// Total processor-ticks over all tasks.
+  [[nodiscard]] std::int64_t totalArea() const;
+
+  /// Length of the longest path through the dag (sum of durations), i.e.
+  /// the minimum possible end-to-end running time on an idle, wide-enough
+  /// machine.  Requires a valid (acyclic) dag.
+  [[nodiscard]] Time criticalPathLength() const;
+
+  /// A topological order of task indices; aborts if the graph has a cycle
+  /// (use validateDag first for a soft check).  Kahn's algorithm; ties are
+  /// broken by index so the order is deterministic.
+  [[nodiscard]] std::vector<std::size_t> topologicalOrder() const;
+
+  bool operator==(const DagSpec&) const = default;
+};
+
+/// A tunable dag job: one of `alternatives` will be selected and executed.
+struct TunableDagJobSpec {
+  std::string name;
+  std::vector<DagSpec> alternatives;
+  QualityComposition qualityComposition = QualityComposition::Multiplicative;
+
+  [[nodiscard]] bool tunable() const { return alternatives.size() > 1; }
+
+  bool operator==(const TunableDagJobSpec&) const = default;
+};
+
+/// An arrived instance of a dag job.
+struct DagJobInstance {
+  std::uint64_t id = 0;
+  Time release = 0;
+  TunableDagJobSpec spec;
+};
+
+/// Structural validation; empty result means valid.
+/// Checks: at least one alternative; alternatives non-empty; predecessor
+/// indices in range, no self-loops, graph acyclic; task shapes positive;
+/// qualities in [0, 1]; per-path cumulative deadline feasibility along every
+/// dag path (critical-path prefix must fit within each task's deadline).
+[[nodiscard]] std::vector<std::string> validateDag(
+    const TunableDagJobSpec& spec);
+
+/// Converts a chain-structured job into the dag form (task k depends on
+/// task k-1).  Useful for running chain workloads through the dag
+/// arbitrator and cross-checking the two schedulers.
+[[nodiscard]] TunableDagJobSpec dagFromChains(const TunableJobSpec& chains);
+
+}  // namespace tprm::task

@@ -1,0 +1,54 @@
+// JSON serialization of tunable job specs.
+//
+// Lets workloads live in files: benchmark harnesses and deployments can load
+// custom job definitions instead of compiling them in, and the QoS agent's
+// "communicate all the possible application execution paths" message
+// (Section 3.1) has a concrete wire format.
+//
+// Schema (durations and deadlines in paper time units, doubles):
+//
+//   {
+//     "name": "fig4-tunable",
+//     "qualityComposition": "multiplicative" | "minimum",   // optional
+//     "chains": [
+//       {
+//         "name": "shape1",
+//         "tasks": [
+//           {
+//             "name": "wide",
+//             "processors": 16,
+//             "duration": 25.0,
+//             "deadline": 200.0,          // optional; absent = none
+//             "quality": 1.0,             // optional; default 1.0
+//             "maxConcurrency": 16        // optional; present = malleable
+//           }, ...
+//         ]
+//       }, ...
+//     ]
+//   }
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "taskmodel/chain.h"
+
+namespace tprm::task {
+
+/// Serialises a spec to the schema above (stable, pretty-printed).
+[[nodiscard]] std::string toJson(const TunableJobSpec& spec);
+
+/// Deserialisation outcome: a spec or a descriptive error.
+struct SpecParseResult {
+  std::optional<TunableJobSpec> spec;
+  std::string error;  // empty on success
+
+  [[nodiscard]] bool ok() const { return spec.has_value(); }
+};
+
+/// Parses a spec from JSON text.  Malformed documents, missing required
+/// fields, wrong types, and structurally invalid specs (per task::validate)
+/// are reported as errors, never aborts.
+[[nodiscard]] SpecParseResult jobSpecFromJson(const std::string& text);
+
+}  // namespace tprm::task

@@ -1,0 +1,40 @@
+#include "taskmodel/task.h"
+
+#include "common/check.h"
+
+namespace tprm::task {
+
+Time MalleableSpec::durationOn(int processors) const {
+  TPRM_CHECK(processors >= 1 && processors <= maxConcurrency,
+             "processor count outside malleable range");
+  // Ceiling division: the reservation must cover all the work.
+  return (work + processors - 1) / processors;
+}
+
+ResourceRequest MalleableSpec::requestOn(int processors) const {
+  return ResourceRequest{processors, durationOn(processors)};
+}
+
+TaskSpec TaskSpec::rigid(std::string name, int processors, Time duration,
+                         Time relativeDeadline, double quality) {
+  TPRM_CHECK(processors > 0, "task needs at least one processor");
+  TPRM_CHECK(duration > 0, "task duration must be positive");
+  TaskSpec spec;
+  spec.name = std::move(name);
+  spec.request = ResourceRequest{processors, duration};
+  spec.relativeDeadline = relativeDeadline;
+  spec.quality = quality;
+  return spec;
+}
+
+TaskSpec TaskSpec::malleableTask(std::string name, int processors,
+                                 Time duration, int maxConcurrency,
+                                 Time relativeDeadline, double quality) {
+  TaskSpec spec =
+      rigid(std::move(name), processors, duration, relativeDeadline, quality);
+  TPRM_CHECK(maxConcurrency >= 1, "degree of concurrency must be positive");
+  spec.malleable = MalleableSpec{spec.request.area(), maxConcurrency};
+  return spec;
+}
+
+}  // namespace tprm::task

@@ -1,0 +1,87 @@
+// Task-level model: resource requests, malleability, and per-task QoS
+// attributes.
+//
+// The paper's model (Sections 3-5): an application is a chain (more generally
+// a dag) of tasks; each task requests the non-preemptive allocation of a
+// specific number of processors for a fixed amount of time (footnote 1), has
+// an absolute deadline by which it and all its predecessors must finish, and
+// produces output of some quality.  Section 5.4 additionally considers
+// *malleable* tasks, which can run on any number of processors up to their
+// degree of concurrency.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/time.h"
+
+namespace tprm::task {
+
+/// A rigid processor-time request: `processors` processors held for
+/// `duration` ticks (the paper's "resource-request ... processor-time tuple").
+struct ResourceRequest {
+  int processors = 0;
+  Time duration = 0;
+
+  /// Processor-ticks consumed (the task "area" in the 2D plane).
+  [[nodiscard]] constexpr std::int64_t area() const {
+    return static_cast<std::int64_t>(processors) * duration;
+  }
+  constexpr bool operator==(const ResourceRequest&) const = default;
+};
+
+/// Malleability: the task exposes `work` processor-ticks of logical work that
+/// may be spread over 1..maxConcurrency processors with linear speedup
+/// (Calypso's programming model: the programmer specifies logical concurrency
+/// only; the runtime maps it onto available processors).
+struct MalleableSpec {
+  /// Total work in processor-ticks.
+  std::int64_t work = 0;
+  /// Degree of concurrency: the most processors the task can exploit.
+  int maxConcurrency = 1;
+
+  /// Running time on `processors` processors (linear speedup, rounded up so
+  /// the reservation always covers the work).  `processors` must be in
+  /// [1, maxConcurrency].
+  [[nodiscard]] Time durationOn(int processors) const;
+
+  /// The rigid request equivalent to running on `processors` processors.
+  [[nodiscard]] ResourceRequest requestOn(int processors) const;
+
+  constexpr bool operator==(const MalleableSpec&) const = default;
+};
+
+/// One task of an execution path.
+///
+/// `relativeDeadline` is measured from the *job release time*: the paper sets
+/// task deadlines as offsets from the release r (Section 5.3, d_i = r + ...),
+/// and defines the deadline as "the time by which the task and all its
+/// predecessors must finish".  The absolute deadline of an instance is
+/// release + relativeDeadline.
+struct TaskSpec {
+  std::string name;
+  /// Rigid shape.  For malleable tasks this is the shape at maximum
+  /// concurrency (and `malleable` is set).
+  ResourceRequest request;
+  /// Present iff the task is malleable (Section 5.4 model).
+  std::optional<MalleableSpec> malleable;
+  /// Deadline offset from job release; kTimeInfinity = unconstrained.
+  Time relativeDeadline = kTimeInfinity;
+  /// Output quality contributed by this task's configuration, in [0, 1].
+  double quality = 1.0;
+
+  /// Convenience: a rigid task.
+  static TaskSpec rigid(std::string name, int processors, Time duration,
+                        Time relativeDeadline, double quality = 1.0);
+
+  /// Convenience: a malleable task whose work equals processors*duration and
+  /// whose degree of concurrency is `maxConcurrency`.
+  static TaskSpec malleableTask(std::string name, int processors,
+                                Time duration, int maxConcurrency,
+                                Time relativeDeadline, double quality = 1.0);
+
+  bool operator==(const TaskSpec&) const = default;
+};
+
+}  // namespace tprm::task

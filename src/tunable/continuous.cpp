@@ -1,0 +1,49 @@
+#include "tunable/continuous.h"
+
+#include "common/check.h"
+
+namespace tprm::tunable {
+
+std::vector<TaskConfig> sampleKnob(const ContinuousKnob& knob, int samples) {
+  TPRM_CHECK(!knob.parameter.empty(), "knob needs a parameter name");
+  TPRM_CHECK(knob.lo <= knob.hi, "knob range must be non-empty");
+  TPRM_CHECK(samples >= 2, "need at least two samples (both endpoints)");
+  TPRM_CHECK(knob.profile != nullptr, "knob needs a profile function");
+
+  std::vector<TaskConfig> configs;
+  std::int64_t previous = knob.lo - 1;
+  for (int i = 0; i < samples; ++i) {
+    // Evenly spaced, endpoints included, rounded to integers.
+    const double fraction =
+        samples == 1 ? 0.0
+                     : static_cast<double>(i) / static_cast<double>(samples - 1);
+    const auto value = knob.lo + static_cast<std::int64_t>(
+        fraction * static_cast<double>(knob.hi - knob.lo) + 0.5);
+    if (value == previous) continue;  // collapsed by rounding
+    previous = value;
+
+    const KnobPoint point = knob.profile(value);
+    TPRM_CHECK(point.request.processors > 0,
+               "knob profile returned a degenerate processor count");
+    TPRM_CHECK(point.request.duration > 0,
+               "knob profile returned a degenerate duration");
+    TaskConfig config;
+    config.paramValues = {{knob.parameter, value}};
+    config.request = point.request;
+    config.quality = point.quality;
+    configs.push_back(std::move(config));
+  }
+  return configs;
+}
+
+TaskNode continuousTask(std::string name, Time deadlineBudget,
+                        const ContinuousKnob& knob, int samples) {
+  TaskNode node;
+  node.name = std::move(name);
+  node.deadlineBudget = deadlineBudget;
+  node.parameterList = {knob.parameter};
+  node.configs = sampleKnob(knob, samples);
+  return node;
+}
+
+}  // namespace tprm::tunable

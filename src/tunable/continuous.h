@@ -1,0 +1,59 @@
+// Fine-continuous tunability (Section 4.1).
+//
+// The paper identifies three practically occurring tunability models:
+// coarse-discrete, fine-discrete, and fine-continuous, and notes that its
+// preprocessor supports only the discrete two because fine-continuous
+// requires handling symbolic expressions for resource requirements and
+// deadlines ("more an implementation rather than a fundamental
+// limitation").  In an embedded DSL the "symbolic expression" is just a
+// callable, so this header lifts that limitation: a continuous knob is
+// described by its range and a profile function mapping the knob value to a
+// (resource-request, quality) pair, and is *sampled* into the discrete
+// configuration list the scheduler consumes.  The sampling density is the
+// caller's precision/search-cost tradeoff.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "taskmodel/task.h"
+#include "tunable/program.h"
+
+namespace tprm::tunable {
+
+/// Resource/quality profile of one knob setting.
+struct KnobPoint {
+  task::ResourceRequest request;
+  double quality = 1.0;
+};
+
+/// Maps a knob value to its profiled resource request and quality.  Must be
+/// evaluable at scheduling time (constants and control parameters only, per
+/// the paper's restriction on when/loop expressions).
+using KnobProfile = std::function<KnobPoint(std::int64_t)>;
+
+/// A continuous (integer-valued) tunability knob.
+struct ContinuousKnob {
+  /// Control-parameter name the knob binds.
+  std::string parameter;
+  /// Inclusive knob range.
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  KnobProfile profile;
+};
+
+/// Samples `knob` at `samples` (>= 2) evenly spaced values across [lo, hi]
+/// (always including both endpoints) and returns the resulting discrete
+/// configuration list for a task construct.  Duplicate knob values (when
+/// samples exceeds the range) are emitted once.
+[[nodiscard]] std::vector<TaskConfig> sampleKnob(const ContinuousKnob& knob,
+                                                 int samples);
+
+/// Convenience: builds a task construct from a continuous knob.
+/// `deadlineBudget` and `name` as in TaskNode.
+[[nodiscard]] TaskNode continuousTask(std::string name, Time deadlineBudget,
+                                      const ContinuousKnob& knob,
+                                      int samples);
+
+}  // namespace tprm::tunable

@@ -1,0 +1,306 @@
+#include "tunable/program.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace tprm::tunable {
+
+// ---------------------------------------------------------------------------
+// ControlParameters
+// ---------------------------------------------------------------------------
+
+void ControlParameters::declare(const std::string& name, std::int64_t initial) {
+  TPRM_CHECK(!values_.contains(name), "control parameter re-declared");
+  values_[name] = initial;
+}
+
+bool ControlParameters::declared(const std::string& name) const {
+  return values_.contains(name);
+}
+
+std::int64_t ControlParameters::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  TPRM_CHECK(it != values_.end(), "undeclared control parameter");
+  return it->second;
+}
+
+void ControlParameters::set(const std::string& name, std::int64_t value) {
+  const auto it = values_.find(name);
+  TPRM_CHECK(it != values_.end(), "undeclared control parameter");
+  it->second = value;
+}
+
+void ControlParameters::assign(const Env& env) {
+  for (const auto& [name, value] : env) {
+    // Derived parameters introduced by finally-code are adopted silently.
+    values_[name] = value;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structure constructs
+// ---------------------------------------------------------------------------
+
+std::int64_t evalCount(const CountExpr& expr, const Env& env) {
+  if (const auto* constant = std::get_if<std::int64_t>(&expr)) {
+    return *constant;
+  }
+  const auto& name = std::get<std::string>(expr);
+  const auto it = env.find(name);
+  TPRM_CHECK(it != env.end(), "loop count references unknown parameter");
+  return it->second;
+}
+
+Sequence& Select::when(WhenExpr predicate, FinallyAction finallyAction) {
+  Branch branch;
+  branch.when = std::move(predicate);
+  branch.bodySeq = std::make_unique<Sequence>();
+  branch.finallyAction = std::move(finallyAction);
+  branches.push_back(std::move(branch));
+  return *branches.back().bodySeq;
+}
+
+TaskNode& Sequence::task(TaskNode node) {
+  TPRM_CHECK(!node.configs.empty(),
+             "task construct needs at least one configuration");
+  for (const auto& config : node.configs) {
+    TPRM_CHECK(config.request.processors > 0,
+               "task configuration needs processors");
+    TPRM_CHECK(config.request.duration > 0,
+               "task configuration needs a positive duration");
+    for (const auto& [name, value] : config.paramValues) {
+      (void)value;
+      if (!node.parameterList.empty()) {
+        TPRM_CHECK(std::find(node.parameterList.begin(),
+                             node.parameterList.end(),
+                             name) != node.parameterList.end(),
+                   "configuration assigns a parameter not in the task's "
+                   "parameter list");
+      }
+    }
+  }
+  items_.emplace_back(std::move(node));
+  return std::get<TaskNode>(items_.back());
+}
+
+Select& Sequence::select() {
+  items_.emplace_back(std::make_unique<Select>());
+  return *std::get<std::unique_ptr<Select>>(items_.back());
+}
+
+Loop& Sequence::loop(CountExpr count) {
+  auto loop = std::make_unique<Loop>();
+  loop->count = std::move(count);
+  loop->bodySeq = std::make_unique<Sequence>();
+  items_.emplace_back(std::move(loop));
+  return *std::get<std::unique_ptr<Loop>>(items_.back());
+}
+
+// ---------------------------------------------------------------------------
+// Program / path enumeration
+// ---------------------------------------------------------------------------
+
+void Program::controlParameter(const std::string& name, std::int64_t initial) {
+  params_.declare(name, initial);
+}
+
+namespace {
+
+struct PathState {
+  Env env;
+  std::set<std::string> bound;
+  Time cumulativeDeadline = 0;  // kTimeInfinity once any budget is infinite
+  std::vector<task::TaskSpec> tasks;
+  std::vector<const TaskNode*> nodes;
+};
+
+class Enumerator {
+ public:
+  Enumerator(const ControlParameters& params, std::size_t maxPaths,
+             std::vector<ExecutionPath>& out)
+      : params_(params), maxPaths_(maxPaths), out_(out) {}
+
+  void run(const Sequence& root) {
+    PathState initial;
+    initial.env = params_.values();
+    sequence(root, 0, std::move(initial));
+  }
+
+ private:
+  void emit(PathState state) {
+    TPRM_CHECK(out_.size() < maxPaths_,
+               "path enumeration exceeded maxPaths (unbounded tunability "
+               "explosion; raise the limit or restructure the program)");
+    ExecutionPath path;
+    path.chain.name = "path" + std::to_string(out_.size());
+    path.chain.tasks = std::move(state.tasks);
+    path.bindings = std::move(state.env);
+    path.nodes = std::move(state.nodes);
+    out_.push_back(std::move(path));
+  }
+
+  void sequence(const Sequence& seq, std::size_t index, PathState state) {
+    if (index == seq.items().size()) {
+      pop(std::move(state));
+      return;
+    }
+    const auto& item = seq.items()[index];
+    if (const auto* taskNode = std::get_if<TaskNode>(&item)) {
+      taskAlternatives(*taskNode, seq, index, std::move(state));
+    } else if (const auto* select =
+                   std::get_if<std::unique_ptr<Select>>(&item)) {
+      selectAlternatives(**select, seq, index, std::move(state));
+    } else {
+      const auto& loop = *std::get<std::unique_ptr<Loop>>(item);
+      loopIterations(loop, seq, index, std::move(state));
+    }
+  }
+
+  /// Continues with the enclosing sequence after the current item.  The
+  /// continuation stack tracks where to resume when a nested sequence ends.
+  void pop(PathState state) {
+    if (stack_.empty()) {
+      emit(std::move(state));
+      return;
+    }
+    auto frame = stack_.back();
+    stack_.pop_back();
+    if (frame.finallyAction) {
+      // Mark parameters changed by finally-code as bound: later
+      // configurations must be consistent with them (the junction program's
+      // derived parameter `c`).
+      Env before = state.env;
+      frame.finallyAction(state.env);
+      for (const auto& [name, value] : state.env) {
+        const auto it = before.find(name);
+        if (it == before.end() || it->second != value) {
+          state.bound.insert(name);
+        }
+      }
+    }
+    frame.resume(std::move(state));
+    stack_.push_back(std::move(frame));  // restore for sibling alternatives
+  }
+
+  void taskAlternatives(const TaskNode& node, const Sequence& seq,
+                        std::size_t index, PathState state) {
+    for (const auto& config : node.configs) {
+      // A configuration is admissible iff it agrees with every parameter
+      // already bound on this path (Section 4.3: earlier selections restrict
+      // later configurations).
+      bool admissible = true;
+      for (const auto& [name, value] : config.paramValues) {
+        TPRM_CHECK(params_.declared(name),
+                   "configuration assigns an undeclared control parameter");
+        if (state.bound.contains(name) && state.env.at(name) != value) {
+          admissible = false;
+          break;
+        }
+      }
+      if (!admissible) continue;
+
+      PathState next = state;
+      for (const auto& [name, value] : config.paramValues) {
+        next.env[name] = value;
+        next.bound.insert(name);
+      }
+      if (node.deadlineBudget >= kTimeInfinity ||
+          next.cumulativeDeadline >= kTimeInfinity) {
+        next.cumulativeDeadline = kTimeInfinity;
+      } else {
+        next.cumulativeDeadline += node.deadlineBudget;
+      }
+      task::TaskSpec spec;
+      spec.name = node.name;
+      spec.request = config.request;
+      spec.relativeDeadline = next.cumulativeDeadline;
+      spec.quality = config.quality;
+      if (node.malleable) {
+        spec.malleable = task::MalleableSpec{config.request.area(),
+                                             config.request.processors};
+      }
+      next.tasks.push_back(std::move(spec));
+      next.nodes.push_back(&node);
+      sequence(seq, index + 1, std::move(next));
+    }
+  }
+
+  void selectAlternatives(const Select& select, const Sequence& seq,
+                          std::size_t index, PathState state) {
+    TPRM_CHECK(!select.branches.empty(), "task_select needs branches");
+    for (const auto& branch : select.branches) {
+      if (branch.when && !branch.when(state.env)) continue;
+      stack_.push_back(Frame{
+          branch.finallyAction,
+          [this, &seq, index](PathState st) {
+            sequence(seq, index + 1, std::move(st));
+          }});
+      sequence(*branch.bodySeq, 0, state);
+      stack_.pop_back();
+    }
+  }
+
+  void loopIterations(const Loop& loop, const Sequence& seq,
+                      std::size_t index, PathState state) {
+    const std::int64_t count = evalCount(loop.count, state.env);
+    TPRM_CHECK(count >= 0, "loop count must be non-negative");
+    iterate(loop, seq, index, 0, count, std::move(state));
+  }
+
+  void iterate(const Loop& loop, const Sequence& seq, std::size_t index,
+               std::int64_t i, std::int64_t count, PathState state) {
+    if (i == count) {
+      sequence(seq, index + 1, std::move(state));
+      return;
+    }
+    stack_.push_back(Frame{
+        nullptr,
+        [this, &loop, &seq, index, i, count](PathState st) {
+          iterate(loop, seq, index, i + 1, count, std::move(st));
+        }});
+    sequence(*loop.bodySeq, 0, state);
+    stack_.pop_back();
+  }
+
+  struct Frame {
+    FinallyAction finallyAction;
+    std::function<void(PathState)> resume;
+  };
+
+  const ControlParameters& params_;
+  std::size_t maxPaths_;
+  std::vector<ExecutionPath>& out_;
+  std::vector<Frame> stack_;
+};
+
+}  // namespace
+
+std::vector<ExecutionPath> Program::enumeratePaths(std::size_t maxPaths) const {
+  std::vector<ExecutionPath> paths;
+  Enumerator enumerator(params_, maxPaths, paths);
+  enumerator.run(root_);
+  return paths;
+}
+
+task::TunableJobSpec Program::toJobSpec(std::size_t maxPaths) const {
+  const auto paths = enumeratePaths(maxPaths);
+  TPRM_CHECK(!paths.empty(), "program has no feasible execution path");
+  task::TunableJobSpec spec;
+  spec.name = name_;
+  spec.chains.reserve(paths.size());
+  for (const auto& path : paths) spec.chains.push_back(path.chain);
+  const auto errors = task::validate(spec);
+  TPRM_CHECK(errors.empty(), "enumerated job spec failed validation");
+  return spec;
+}
+
+void Program::execute(const ExecutionPath& path) {
+  params_.assign(path.bindings);
+  for (const TaskNode* node : path.nodes) {
+    if (node->body) node->body(params_.values());
+  }
+}
+
+}  // namespace tprm::tunable

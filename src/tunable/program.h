@@ -1,0 +1,203 @@
+// Embedded-DSL equivalents of the Calypso tunability extensions (Section 4).
+//
+// The paper extends Calypso with four construct families, which this module
+// mirrors in plain C++20 (the preprocessor syntax is sugar; what matters for
+// the resource-management architecture is the information they convey):
+//
+//   task_control_parameters { int g = 16; ... }
+//     -> Program::controlParameter("g", 16)
+//
+//   task [name][deadline][params][ (param-values, resource-request, quality),
+//        ... ] ... taskend
+//     -> TaskNode{name, deadlineBudget, configs, body}
+//
+//   task_select when ... finally ... task_selectend
+//     -> Select with Branch{when-predicate, body-sequence, finally-action}
+//
+//   task_loop (loop-expr) ... task_loopend
+//     -> Loop{count-expression, body-sequence}
+//
+// `when` and loop-count expressions may depend only on constants and control
+// parameters (the paper's restriction), which makes every execution path
+// enumerable at scheduling time.  `enumeratePaths` performs that enumeration,
+// yielding one task chain (plus the control-parameter assignment that
+// realises it) per path — exactly the OR-graph-to-chains flattening the
+// scheduler assumes (Section 5.1).
+//
+// Deadline interpretation: each task construct carries a *deadline budget*,
+// the time within which the task must complete measured from the completion
+// bound of its predecessor.  Cumulative budget sums give the non-decreasing
+// relative deadlines of the task model ("the task deadline denotes the time
+// by which the task and all its predecessors must finish").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/time.h"
+#include "taskmodel/chain.h"
+
+namespace tprm::tunable {
+
+/// Control-parameter environment: name -> integer value.  The QoS agent
+/// assigns values exactly before execution (Section 4.2).
+using Env = std::map<std::string, std::int64_t>;
+
+/// Declared control parameters with defaults (the task_control_parameters
+/// block).
+class ControlParameters {
+ public:
+  /// Declares a parameter with a default value.  Re-declaration aborts.
+  void declare(const std::string& name, std::int64_t initial = 0);
+
+  [[nodiscard]] bool declared(const std::string& name) const;
+  /// Current value; aborts if undeclared.
+  [[nodiscard]] std::int64_t get(const std::string& name) const;
+  /// Sets a declared parameter; aborts if undeclared.
+  void set(const std::string& name, std::int64_t value);
+  /// Bulk-assign from an environment (e.g. a chosen path's bindings).
+  void assign(const Env& env);
+
+  [[nodiscard]] const Env& values() const { return values_; }
+
+ private:
+  Env values_;
+};
+
+/// One acceptable configuration of a task construct:
+/// (param-values, resource-request, quality).
+struct TaskConfig {
+  /// Control-parameter assignments this configuration realises.
+  std::vector<std::pair<std::string, std::int64_t>> paramValues;
+  task::ResourceRequest request;
+  double quality = 1.0;
+};
+
+/// Count expression of task_loop: a constant or a control parameter name.
+using CountExpr = std::variant<std::int64_t, std::string>;
+
+/// Evaluates a count expression against an environment.
+[[nodiscard]] std::int64_t evalCount(const CountExpr& expr, const Env& env);
+
+/// Predicate of a task_select `when` clause.  Must depend only on `env`.
+using WhenExpr = std::function<bool(const Env&)>;
+/// `finally` action: may set derived control parameters (like `c` in the
+/// junction program).
+using FinallyAction = std::function<void(Env&)>;
+/// Task body executed when the program runs (receives the final bindings).
+using TaskBody = std::function<void(const Env&)>;
+
+class Sequence;
+
+/// The `task ... taskend` construct.
+struct TaskNode {
+  std::string name;
+  /// Completion budget measured from the predecessor's deadline (see header
+  /// comment); kTimeInfinity = unconstrained.
+  Time deadlineBudget = kTimeInfinity;
+  /// Names of the control parameters this task is configured by.
+  std::vector<std::string> parameterList;
+  /// Acceptable configurations; at least one.
+  std::vector<TaskConfig> configs;
+  /// Optional executable body.
+  TaskBody body;
+  /// If true, the task may be reshaped by the malleable scheduler (its
+  /// MalleableSpec is derived from each config's request).
+  bool malleable = false;
+};
+
+/// One branch of a task_select.
+struct Branch {
+  WhenExpr when;                       // nullptr = always eligible
+  std::unique_ptr<Sequence> bodySeq;   // constructs inside the branch
+  FinallyAction finallyAction;         // nullptr = no-op
+};
+
+/// The `task_select ... task_selectend` construct.
+struct Select {
+  std::vector<Branch> branches;
+
+  /// Adds a branch; returns its body sequence for further construction.
+  Sequence& when(WhenExpr predicate, FinallyAction finallyAction = nullptr);
+};
+
+/// The `task_loop (expr) ... task_loopend` construct.
+struct Loop {
+  CountExpr count{std::int64_t{1}};
+  std::unique_ptr<Sequence> bodySeq;
+
+  [[nodiscard]] Sequence& body() { return *bodySeq; }
+};
+
+/// A sequence of constructs (the program text between two other constructs).
+class Sequence {
+ public:
+  using Item = std::variant<TaskNode, std::unique_ptr<Select>,
+                            std::unique_ptr<Loop>>;
+
+  /// Appends a task construct; returns a reference for body attachment.
+  TaskNode& task(TaskNode node);
+  /// Appends a task_select; returns it for `when` chaining.
+  Select& select();
+  /// Appends a task_loop with the given count expression.
+  Loop& loop(CountExpr count);
+
+  [[nodiscard]] const std::vector<Item>& items() const { return items_; }
+
+ private:
+  std::vector<Item> items_;
+};
+
+/// An enumerated execution path through the program.
+struct ExecutionPath {
+  /// The scheduler-facing chain (one TaskSpec per executed task construct).
+  task::Chain chain;
+  /// Control-parameter bindings that realise this path.
+  Env bindings;
+  /// The task nodes traversed, in execution order (for running bodies).
+  std::vector<const TaskNode*> nodes;
+};
+
+/// A tunable program: control parameters + a top-level sequence.
+class Program {
+ public:
+  explicit Program(std::string name = "program") : name_(std::move(name)) {}
+
+  Program(const Program&) = delete;
+  Program& operator=(const Program&) = delete;
+
+  /// Declares a control parameter (task_control_parameters entry).
+  void controlParameter(const std::string& name, std::int64_t initial = 0);
+
+  [[nodiscard]] ControlParameters& parameters() { return params_; }
+  [[nodiscard]] const ControlParameters& parameters() const { return params_; }
+  [[nodiscard]] Sequence& root() { return root_; }
+  [[nodiscard]] const Sequence& root() const { return root_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Enumerates every execution path (Section 5.1's OR-graph flattening).
+  /// Aborts if the path count would exceed `maxPaths` (guards loop blowup).
+  [[nodiscard]] std::vector<ExecutionPath> enumeratePaths(
+      std::size_t maxPaths = 1024) const;
+
+  /// Converts enumerated paths into the scheduler's job spec.
+  [[nodiscard]] task::TunableJobSpec toJobSpec(
+      std::size_t maxPaths = 1024) const;
+
+  /// Runs the bodies of `path` in order with its bindings applied to the
+  /// program's control parameters.  Tasks without bodies are skipped.
+  void execute(const ExecutionPath& path);
+
+ private:
+  std::string name_;
+  ControlParameters params_;
+  Sequence root_;
+};
+
+}  // namespace tprm::tunable

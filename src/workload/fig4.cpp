@@ -1,0 +1,157 @@
+#include "workload/fig4.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tprm::workload {
+namespace {
+
+/// Builds the two Figure-4 tasks with their relative deadlines.
+struct Fig4Tasks {
+  task::TaskSpec wide;
+  task::TaskSpec thin;
+  Time d1 = 0;  // relative deadline of the first task in a chain
+  Time d2 = 0;  // relative deadline of the second task
+};
+
+Fig4Tasks buildTasks(const Fig4Params& params) {
+  TPRM_CHECK(params.x > 0, "x must be positive");
+  TPRM_CHECK(params.alpha > 0.0 && params.alpha <= 1.0,
+             "alpha must be in (0, 1]");
+  TPRM_CHECK(params.t > 0.0, "t must be positive");
+  TPRM_CHECK(params.laxity >= 0.0 && params.laxity < 1.0,
+             "laxity must be in [0, 1)");
+
+  const int xThin = thinProcessors(params);
+  const double tWide = params.t;
+  const double tThin = params.t / params.alpha;
+
+  Fig4Tasks tasks;
+  tasks.wide = task::TaskSpec::rigid("wide", params.x, ticksFromUnits(tWide),
+                                     kTimeInfinity);
+  tasks.thin = task::TaskSpec::rigid("thin", xThin, ticksFromUnits(tThin),
+                                     kTimeInfinity);
+  if (params.malleable) {
+    tasks.wide.malleable =
+        task::MalleableSpec{tasks.wide.request.area(), params.x};
+    tasks.thin.malleable =
+        task::MalleableSpec{tasks.thin.request.area(), xThin};
+  }
+
+  const double stretch = 1.0 / (1.0 - params.laxity);
+  tasks.d1 = ticksFromUnits(std::max(tWide, tThin) * stretch);
+  tasks.d2 = ticksFromUnits((tWide + tThin) * stretch);
+  return tasks;
+}
+
+task::Chain makeChain(const Fig4Tasks& tasks, bool wideFirst) {
+  task::Chain chain;
+  chain.name = wideFirst ? "shape1" : "shape2";
+  task::TaskSpec first = wideFirst ? tasks.wide : tasks.thin;
+  task::TaskSpec second = wideFirst ? tasks.thin : tasks.wide;
+  first.relativeDeadline = tasks.d1;
+  second.relativeDeadline = tasks.d2;
+  chain.tasks = {std::move(first), std::move(second)};
+  return chain;
+}
+
+}  // namespace
+
+std::string toString(Fig4Shape shape) {
+  switch (shape) {
+    case Fig4Shape::Shape1: return "shape1";
+    case Fig4Shape::Shape2: return "shape2";
+    case Fig4Shape::Tunable: return "tunable";
+  }
+  return "?";
+}
+
+int thinProcessors(const Fig4Params& params) {
+  const double product = static_cast<double>(params.x) * params.alpha;
+  const double rounded = std::round(product);
+  TPRM_CHECK(std::abs(product - rounded) < 1e-9,
+             "x * alpha must be integral (paper restricts alpha so that the "
+             "thin task's processor count is a whole number)");
+  TPRM_CHECK(rounded >= 1.0, "x * alpha must be at least 1");
+  return static_cast<int>(rounded);
+}
+
+task::TunableJobSpec makeFig4Job(const Fig4Params& params, Fig4Shape shape) {
+  const Fig4Tasks tasks = buildTasks(params);
+  task::TunableJobSpec spec;
+  spec.name = "fig4-" + toString(shape);
+  switch (shape) {
+    case Fig4Shape::Shape1:
+      spec.chains = {makeChain(tasks, /*wideFirst=*/true)};
+      break;
+    case Fig4Shape::Shape2:
+      spec.chains = {makeChain(tasks, /*wideFirst=*/false)};
+      break;
+    case Fig4Shape::Tunable:
+      spec.chains = {makeChain(tasks, /*wideFirst=*/true),
+                     makeChain(tasks, /*wideFirst=*/false)};
+      break;
+  }
+  const auto errors = task::validate(spec);
+  TPRM_CHECK(errors.empty(), "figure-4 job failed validation");
+  return spec;
+}
+
+std::vector<task::JobInstance> makeStream(const task::TunableJobSpec& spec,
+                                          sim::ArrivalProcess& arrivals,
+                                          std::size_t count) {
+  std::vector<task::JobInstance> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    task::JobInstance job;
+    job.id = i;
+    job.release = arrivals.next();
+    job.spec = spec;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<task::JobInstance> makeFig4PoissonStream(
+    const Fig4Params& params, Fig4Shape shape, double meanInterarrivalUnits,
+    std::size_t count, std::uint64_t seed) {
+  const auto spec = makeFig4Job(params, shape);
+  sim::PoissonArrivals arrivals(meanInterarrivalUnits, Rng(seed));
+  return makeStream(spec, arrivals, count);
+}
+
+std::vector<task::JobInstance> makeMixedPoissonStream(
+    const std::vector<MixEntry>& mix, double meanInterarrivalUnits,
+    std::size_t count, std::uint64_t seed) {
+  TPRM_CHECK(!mix.empty(), "mixed stream needs at least one entry");
+  double totalWeight = 0.0;
+  for (const auto& entry : mix) {
+    TPRM_CHECK(entry.weight > 0.0, "mix weights must be positive");
+    totalWeight += entry.weight;
+  }
+  Rng rng(seed);
+  sim::PoissonArrivals arrivals(meanInterarrivalUnits, rng.fork());
+  std::vector<task::JobInstance> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    double pick = rng.uniform01() * totalWeight;
+    std::size_t chosen = 0;
+    for (std::size_t k = 0; k < mix.size(); ++k) {
+      pick -= mix[k].weight;
+      if (pick <= 0.0) {
+        chosen = k;
+        break;
+      }
+    }
+    task::JobInstance job;
+    job.id = i;
+    job.release = arrivals.next();
+    job.spec = mix[chosen].spec;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace tprm::workload

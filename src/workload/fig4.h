@@ -1,0 +1,81 @@
+// The paper's parameterizable tunable job (Figure 4) and job-stream
+// generators for the Section 5 experiments.
+//
+// The job has two tasks of equal area x*t: a "wide" task (x processors for
+// time t) and a "thin" task (x*alpha processors for time t/alpha), with
+// alpha in (0, 1] chosen so both processor counts are integral.  The two
+// chains transpose the task order:
+//   shape 1 = wide then thin; shape 2 = thin then wide;
+//   tunable = OR of both.
+// Deadlines, for a job released at r with laxity in [0, 1):
+//   d1 = r + max(t, t/alpha) / (1 - laxity)
+//   d2 = r + (t + t/alpha)   / (1 - laxity)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/arrivals.h"
+#include "taskmodel/chain.h"
+
+namespace tprm::workload {
+
+/// Which of the three Section-5.3 task systems to build.
+enum class Fig4Shape {
+  Shape1,   ///< wide task first, thin task second (non-tunable)
+  Shape2,   ///< thin task first, wide task second (non-tunable)
+  Tunable,  ///< OR of both chains
+};
+
+/// Printable name ("shape1", "shape2", "tunable").
+[[nodiscard]] std::string toString(Fig4Shape shape);
+
+/// Parameters of the Figure-4 job.  Paper defaults: x=16, t=25.
+struct Fig4Params {
+  /// Processors requested by the wide task.
+  int x = 16;
+  /// Shape parameter in (0, 1]; x*alpha must be integral.
+  double alpha = 0.25;
+  /// Duration of the wide task in paper units.
+  double t = 25.0;
+  /// Slack fraction in [0, 1).
+  double laxity = 0.5;
+  /// Attach MalleableSpec to each task (degree of concurrency = the task's
+  /// own processor request), enabling the Section 5.4 malleable experiments.
+  bool malleable = false;
+};
+
+/// Number of processors of the thin task (x*alpha).  Aborts unless the
+/// product is integral (the paper restricts alpha so that it is).
+[[nodiscard]] int thinProcessors(const Fig4Params& params);
+
+/// Builds the job spec for the given shape.  Validated (aborts on
+/// inconsistent parameters).
+[[nodiscard]] task::TunableJobSpec makeFig4Job(const Fig4Params& params,
+                                               Fig4Shape shape);
+
+/// Generates `count` arrivals of `spec` from an arrival process, ids
+/// 0..count-1, sorted by release.
+[[nodiscard]] std::vector<task::JobInstance> makeStream(
+    const task::TunableJobSpec& spec, sim::ArrivalProcess& arrivals,
+    std::size_t count);
+
+/// Convenience: Poisson stream of Figure-4 jobs, as in every Section 5
+/// experiment.
+[[nodiscard]] std::vector<task::JobInstance> makeFig4PoissonStream(
+    const Fig4Params& params, Fig4Shape shape, double meanInterarrivalUnits,
+    std::size_t count, std::uint64_t seed);
+
+/// A heterogeneous stream mixing several job specs with given weights
+/// (used by examples; not part of the paper's evaluation).
+struct MixEntry {
+  task::TunableJobSpec spec;
+  double weight = 1.0;
+};
+[[nodiscard]] std::vector<task::JobInstance> makeMixedPoissonStream(
+    const std::vector<MixEntry>& mix, double meanInterarrivalUnits,
+    std::size_t count, std::uint64_t seed);
+
+}  // namespace tprm::workload

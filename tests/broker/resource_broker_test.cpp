@@ -1,0 +1,192 @@
+#include "broker/resource_broker.h"
+
+#include <gtest/gtest.h>
+
+#include "calypso/runtime.h"
+
+namespace tprm::broker {
+namespace {
+
+ComputationSpec spec(const std::string& name, int minW, int maxW,
+                     double weight = 1.0, int priority = 0) {
+  ComputationSpec s;
+  s.name = name;
+  s.minWorkers = minW;
+  s.maxWorkers = maxW;
+  s.weight = weight;
+  s.priority = priority;
+  return s;
+}
+
+TEST(ResourceBroker, FcfsGrantsInRegistrationOrder) {
+  ResourceBroker broker(10, Policy::FirstComeFirstServed);
+  const auto a = broker.registerComputation(spec("a", 1, 6));
+  const auto b = broker.registerComputation(spec("b", 1, 6));
+  const auto c = broker.registerComputation(spec("c", 2, 6));
+  EXPECT_EQ(broker.workersOf(a), 6);
+  EXPECT_EQ(broker.workersOf(b), 4);
+  EXPECT_EQ(broker.workersOf(c), 0);  // parked: min 2 > remaining 0
+  EXPECT_EQ(broker.idleWorkers(), 0);
+}
+
+TEST(ResourceBroker, PriorityBeatsRegistrationOrder) {
+  ResourceBroker broker(8, Policy::Priority);
+  const auto low = broker.registerComputation(spec("low", 1, 8, 1.0, 0));
+  const auto high = broker.registerComputation(spec("high", 1, 8, 1.0, 5));
+  EXPECT_EQ(broker.workersOf(high), 8);
+  EXPECT_EQ(broker.workersOf(low), 0);
+}
+
+TEST(ResourceBroker, PriorityTiesFallBackToRegistration) {
+  ResourceBroker broker(8, Policy::Priority);
+  const auto first = broker.registerComputation(spec("first", 1, 6, 1.0, 3));
+  const auto second = broker.registerComputation(spec("second", 1, 6, 1.0, 3));
+  EXPECT_EQ(broker.workersOf(first), 6);
+  EXPECT_EQ(broker.workersOf(second), 2);
+}
+
+TEST(ResourceBroker, FairShareProportionalToWeight) {
+  ResourceBroker broker(12, Policy::FairShare);
+  const auto heavy = broker.registerComputation(spec("heavy", 1, 12, 2.0));
+  const auto light = broker.registerComputation(spec("light", 1, 12, 1.0));
+  // Minima: 1+1; surplus 10 split 2:1 -> ~6.67 vs ~3.33.
+  EXPECT_EQ(broker.workersOf(heavy) + broker.workersOf(light), 12);
+  EXPECT_GT(broker.workersOf(heavy), broker.workersOf(light));
+  EXPECT_NEAR(static_cast<double>(broker.workersOf(heavy)) /
+                  static_cast<double>(broker.workersOf(light)),
+              2.0, 0.7);
+}
+
+TEST(ResourceBroker, FairShareRespectsMaxAndRedistributes) {
+  ResourceBroker broker(12, Policy::FairShare);
+  const auto capped = broker.registerComputation(spec("capped", 1, 3, 10.0));
+  const auto open = broker.registerComputation(spec("open", 1, 12, 1.0));
+  EXPECT_EQ(broker.workersOf(capped), 3);   // capped at max
+  EXPECT_EQ(broker.workersOf(open), 9);     // takes the freed surplus
+}
+
+TEST(ResourceBroker, FairShareAdmitsMinimaByWeightUnderScarcity) {
+  ResourceBroker broker(4, Policy::FairShare);
+  const auto light = broker.registerComputation(spec("light", 3, 6, 1.0));
+  const auto heavy = broker.registerComputation(spec("heavy", 3, 6, 5.0));
+  // Only one min (3) fits; the heavier computation wins admission.
+  EXPECT_EQ(broker.workersOf(heavy), 4);  // min 3 + surplus 1
+  EXPECT_EQ(broker.workersOf(light), 0);
+}
+
+TEST(ResourceBroker, PoolResizeRebalances) {
+  ResourceBroker broker(8, Policy::FairShare);
+  const auto a = broker.registerComputation(spec("a", 1, 8, 1.0));
+  const auto b = broker.registerComputation(spec("b", 1, 8, 1.0));
+  EXPECT_EQ(broker.workersOf(a) + broker.workersOf(b), 8);
+  broker.setTotalWorkers(4);
+  EXPECT_EQ(broker.workersOf(a) + broker.workersOf(b), 4);
+  broker.setTotalWorkers(16);
+  EXPECT_EQ(broker.workersOf(a) + broker.workersOf(b), 16);
+}
+
+TEST(ResourceBroker, UnregisterFreesWorkers) {
+  ResourceBroker broker(8, Policy::FirstComeFirstServed);
+  const auto a = broker.registerComputation(spec("a", 1, 8));
+  const auto b = broker.registerComputation(spec("b", 1, 8));
+  EXPECT_EQ(broker.workersOf(b), 0);
+  broker.unregisterComputation(a);
+  EXPECT_EQ(broker.workersOf(b), 8);
+}
+
+TEST(ResourceBroker, UpdateComputationRebalances) {
+  ResourceBroker broker(8, Policy::FairShare);
+  const auto a = broker.registerComputation(spec("a", 1, 8, 1.0));
+  const auto b = broker.registerComputation(spec("b", 1, 8, 1.0));
+  broker.updateComputation(a, spec("a", 1, 2, 1.0));
+  EXPECT_EQ(broker.workersOf(a), 2);
+  EXPECT_EQ(broker.workersOf(b), 6);
+}
+
+TEST(ResourceBroker, ListenerSeesEveryChangeOnce) {
+  ResourceBroker broker(8, Policy::FairShare);
+  std::vector<WorkerChange> log;
+  broker.setListener([&log](const WorkerChange& c) { log.push_back(c); });
+  const auto a = broker.registerComputation(spec("a", 1, 8, 1.0));
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].id, a);
+  EXPECT_EQ(log[0].before, 0);
+  EXPECT_EQ(log[0].after, 8);
+  log.clear();
+  const auto b = broker.registerComputation(spec("b", 1, 8, 1.0));
+  // Both changed: a shrank, b grew.
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].id, a);
+  EXPECT_EQ(log[1].id, b);
+  log.clear();
+  broker.setTotalWorkers(8);  // no-op rebalance -> no events
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(ResourceBroker, GrantsNeverExceedPoolOrBounds) {
+  Rng rng(5);
+  ResourceBroker broker(16, Policy::FairShare);
+  std::vector<ComputationId> ids;
+  for (int step = 0; step < 200; ++step) {
+    const auto action = rng.uniformBelow(4);
+    if (action == 0 || ids.empty()) {
+      const int minW = static_cast<int>(rng.uniformInt(1, 4));
+      const int maxW = minW + static_cast<int>(rng.uniformInt(0, 8));
+      ids.push_back(broker.registerComputation(
+          spec("c", minW, maxW, rng.uniformReal(0.1, 5.0))));
+    } else if (action == 1 && ids.size() > 1) {
+      const auto idx = rng.uniformBelow(ids.size());
+      broker.unregisterComputation(ids[idx]);
+      ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else if (action == 2) {
+      broker.setTotalWorkers(static_cast<int>(rng.uniformInt(0, 32)));
+    }
+    // Invariants.
+    int used = 0;
+    for (const auto id : ids) {
+      const int w = broker.workersOf(id);
+      used += w;
+      if (w > 0) {
+        EXPECT_GE(w, 1);
+      }
+    }
+    EXPECT_LE(used, broker.totalWorkers());
+    EXPECT_GE(broker.idleWorkers(), 0);
+  }
+}
+
+TEST(ResourceBrokerDeath, Validation) {
+  ResourceBroker broker(4);
+  EXPECT_DEATH((void)broker.registerComputation(spec("x", 0, 4)), ">= 1");
+  EXPECT_DEATH((void)broker.registerComputation(spec("x", 4, 2)),
+               ">= minWorkers");
+  EXPECT_DEATH((void)broker.workersOf(999), "unknown");
+  EXPECT_DEATH(broker.unregisterComputation(999), "unknown");
+  EXPECT_DEATH(broker.setTotalWorkers(-1), "non-negative");
+}
+
+TEST(ResourceBroker, DrivesCalypsoRuntimeMalleability) {
+  // Integration: the broker's grants drive a Calypso runtime's worker pool
+  // (the "integration of resources into parallel computations").
+  ResourceBroker broker(6, Policy::FairShare);
+  calypso::Runtime runtime(calypso::RuntimeOptions{.workers = 1});
+  broker.setListener([&runtime](const WorkerChange& change) {
+    runtime.setWorkerCount(std::max(1, change.after));
+  });
+  const auto id = broker.registerComputation(spec("app", 1, 6, 1.0));
+  EXPECT_EQ(runtime.workerCount(), 6);
+  // A competitor arrives; our app shrinks, and the runtime follows.
+  (void)broker.registerComputation(spec("rival", 1, 6, 1.0));
+  EXPECT_EQ(runtime.workerCount(), broker.workersOf(id));
+  // The step still completes with the reduced pool.
+  calypso::SharedArray<int> out(8, 0);
+  calypso::ParallelStep step;
+  step.routine(8, [&](calypso::TaskContext& ctx) {
+    ctx.write(out, static_cast<std::size_t>(ctx.number()), 1);
+  });
+  runtime.run(step);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(out.read(i), 1);
+}
+
+}  // namespace
+}  // namespace tprm::broker

@@ -1,0 +1,117 @@
+#include "calypso/patterns.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace tprm::calypso {
+namespace {
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  Runtime runtime(RuntimeOptions{.workers = 3});
+  SharedArray<int> hits(100, 0);
+  parallelFor(runtime, 100, 7,
+              [&hits](TaskContext& ctx, std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) {
+                  ctx.write(hits, i, hits.read(i) + 1);
+                }
+              });
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(hits.read(i), 1);
+}
+
+TEST(ParallelFor, MoreTasksThanElements) {
+  Runtime runtime(RuntimeOptions{.workers = 2});
+  SharedArray<int> hits(3, 0);
+  const auto stats = parallelFor(
+      runtime, 3, 10,
+      [&hits](TaskContext& ctx, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) ctx.write(hits, i, 1);
+      });
+  EXPECT_EQ(stats.width, 10);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(hits.read(i), 1);
+  EXPECT_EQ(stats.crewViolations, 0);
+}
+
+TEST(ParallelFor, EmptyRange) {
+  Runtime runtime(RuntimeOptions{.workers = 2});
+  int calls = 0;
+  parallelFor(runtime, 0, 4,
+              [&calls](TaskContext&, std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForDeath, NeedsTasks) {
+  Runtime runtime(RuntimeOptions{.workers = 1});
+  EXPECT_DEATH(parallelFor(runtime, 10, 0,
+                           [](TaskContext&, std::size_t, std::size_t) {}),
+               "at least one");
+}
+
+TEST(ParallelMap, FillsElementwise) {
+  Runtime runtime(RuntimeOptions{.workers = 3});
+  SharedArray<int> out(64, -1);
+  const auto stats = parallelMap(runtime, out, 5, [](std::size_t i) {
+    return static_cast<int>(i * i);
+  });
+  EXPECT_EQ(stats.crewViolations, 0);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(out.read(i), static_cast<int>(i * i));
+  }
+}
+
+TEST(ParallelReduce, SumsRange) {
+  Runtime runtime(RuntimeOptions{.workers = 3});
+  const long total = parallelReduce(
+      runtime, 1000, 8, 0L,
+      [](std::size_t i) { return static_cast<long>(i) + 1; },
+      [](long a, long b) { return a + b; });
+  EXPECT_EQ(total, 1000L * 1001L / 2L);
+}
+
+TEST(ParallelReduce, MaxWithIdentity) {
+  Runtime runtime(RuntimeOptions{.workers = 2});
+  std::vector<int> data{3, 1, 4, 1, 5, 9, 2, 6};
+  const int best = parallelReduce(
+      runtime, data.size(), 3, -1,
+      [&data](std::size_t i) { return data[i]; },
+      [](int a, int b) { return a > b ? a : b; });
+  EXPECT_EQ(best, 9);
+}
+
+TEST(ParallelReduce, EmptyRangeYieldsIdentity) {
+  // The identity must be combine's neutral element (1 for multiplication);
+  // an empty range then reduces to it.
+  Runtime runtime(RuntimeOptions{.workers = 2});
+  const int result = parallelReduce(
+      runtime, 0, 4, 1, [](std::size_t) { return 9; },
+      [](int a, int b) { return a * b; });
+  EXPECT_EQ(result, 1);
+}
+
+TEST(ParallelReduce, DeterministicAcrossWorkerCounts) {
+  // Integer sums are associative and the fold order is fixed by task index,
+  // so any worker count yields the identical result.
+  std::vector<long> results;
+  for (const int workers : {1, 2, 4}) {
+    Runtime runtime(RuntimeOptions{.workers = workers});
+    results.push_back(parallelReduce(
+        runtime, 5000, 16, 0L,
+        [](std::size_t i) { return static_cast<long>(i % 97); },
+        [](long a, long b) { return a + b; }));
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[1], results[2]);
+}
+
+TEST(ParallelPatterns, SurviveFaultInjection) {
+  Runtime runtime(RuntimeOptions{.workers = 3, .seed = 99});
+  runtime.setFaultPlan(0, FaultPlan{.deathProbability = 0.4});
+  const long total = parallelReduce(
+      runtime, 300, 12, 0L,
+      [](std::size_t i) { return static_cast<long>(i); },
+      [](long a, long b) { return a + b; });
+  EXPECT_EQ(total, 299L * 300L / 2L);
+}
+
+}  // namespace
+}  // namespace tprm::calypso

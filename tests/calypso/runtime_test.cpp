@@ -1,0 +1,246 @@
+#include "calypso/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace tprm::calypso {
+namespace {
+
+TEST(ParallelStep, WidthCountsAllRoutineCopies) {
+  ParallelStep step;
+  EXPECT_EQ(step.width(), 0);
+  const int first = step.routine(3, [](TaskContext&) {});
+  EXPECT_EQ(first, 0);
+  const int second = step.routine(2, [](TaskContext&) {});
+  EXPECT_EQ(second, 3);
+  EXPECT_EQ(step.width(), 5);
+}
+
+TEST(ParallelStepDeath, ValidatesArguments) {
+  ParallelStep step;
+  EXPECT_DEATH(step.routine(-1, [](TaskContext&) {}), "non-negative");
+  EXPECT_DEATH(step.routine(1, nullptr), "callable");
+}
+
+TEST(Runtime, ExecutesEveryTaskExactlyOnceEffectively) {
+  Runtime runtime(RuntimeOptions{.workers = 4});
+  SharedArray<int> out(16, -1);
+  ParallelStep step;
+  step.routine(16, [&](TaskContext& ctx) {
+    ctx.write(out, static_cast<std::size_t>(ctx.number()), ctx.number() * 10);
+  });
+  const auto stats = runtime.run(step);
+  EXPECT_EQ(stats.width, 16);
+  EXPECT_EQ(stats.executionsCommitted, 16);
+  EXPECT_EQ(stats.crewViolations, 0);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(out.read(i), static_cast<int>(i) * 10);
+  }
+}
+
+TEST(Runtime, WidthAndNumberMatchCalypsoSemantics) {
+  Runtime runtime(RuntimeOptions{.workers = 2});
+  SharedArray<int> widths(8, 0);
+  SharedArray<int> numbers(8, -1);
+  ParallelStep step;
+  step.routine(8, [&](TaskContext& ctx) {
+    ctx.write(widths, static_cast<std::size_t>(ctx.number()), ctx.width());
+    ctx.write(numbers, static_cast<std::size_t>(ctx.number()), ctx.number());
+  });
+  runtime.run(step);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(widths.read(i), 8);
+    EXPECT_EQ(numbers.read(i), static_cast<int>(i));
+  }
+}
+
+TEST(Runtime, MultipleRoutinesShareOneStep) {
+  Runtime runtime(RuntimeOptions{.workers = 3});
+  SharedArray<int> out(6, 0);
+  ParallelStep step;
+  // Two routine groups, as in the paper's parbegin example.
+  step.routine(4, [&](TaskContext& ctx) {
+    ctx.write(out, static_cast<std::size_t>(ctx.number()), 1);
+  });
+  step.routine(2, [&](TaskContext& ctx) {
+    ctx.write(out, static_cast<std::size_t>(ctx.number()), 2);
+  });
+  runtime.run(step);
+  // Tasks 0-3 belong to the first routine, 4-5 to the second.
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(out.read(i), 1);
+  for (std::size_t i = 4; i < 6; ++i) EXPECT_EQ(out.read(i), 2);
+}
+
+TEST(Runtime, TwoPhaseWritesInvisibleDuringStep) {
+  Runtime runtime(RuntimeOptions{.workers = 2});
+  SharedVar<int> value(7);
+  SharedArray<int> observed(4, -1);
+  ParallelStep step;
+  step.routine(4, [&](TaskContext& ctx) {
+    // Every task reads the pre-step value even though every task also
+    // writes it... (distinct elements to stay CREW-clean).
+    ctx.write(observed, static_cast<std::size_t>(ctx.number()), value.read());
+    if (ctx.number() == 0) ctx.write(value, 99);
+  });
+  runtime.run(step);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(observed.read(i), 7);
+  EXPECT_EQ(value.read(), 99);  // committed at step end
+}
+
+TEST(Runtime, SequentialCodeBetweenStepsSeesCommits) {
+  Runtime runtime(RuntimeOptions{.workers = 2});
+  SharedArray<int> data(8, 0);
+  for (int round = 1; round <= 3; ++round) {
+    ParallelStep step;
+    step.routine(8, [&](TaskContext& ctx) {
+      const auto i = static_cast<std::size_t>(ctx.number());
+      ctx.write(data, i, data.read(i) + round);
+    });
+    runtime.run(step);
+  }
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(data.read(i), 6);
+}
+
+TEST(Runtime, EmptyStepCompletesImmediately) {
+  Runtime runtime(RuntimeOptions{.workers = 2});
+  ParallelStep step;
+  const auto stats = runtime.run(step);
+  EXPECT_EQ(stats.width, 0);
+  EXPECT_EQ(stats.executionsCommitted, 0);
+}
+
+TEST(Runtime, WidthLargerThanWorkerPool) {
+  // Malleability: logical concurrency maps onto fewer physical workers.
+  Runtime runtime(RuntimeOptions{.workers = 2});
+  SharedArray<int> out(64, 0);
+  ParallelStep step;
+  step.routine(64, [&](TaskContext& ctx) {
+    ctx.write(out, static_cast<std::size_t>(ctx.number()), 1);
+  });
+  runtime.run(step);
+  int sum = 0;
+  for (std::size_t i = 0; i < 64; ++i) sum += out.read(i);
+  EXPECT_EQ(sum, 64);
+}
+
+TEST(Runtime, WorkerPoolIsMalleableBetweenSteps) {
+  Runtime runtime(RuntimeOptions{.workers = 1});
+  SharedVar<int> dummy(0);
+  for (const int workers : {1, 4, 2, 3}) {
+    runtime.setWorkerCount(workers);
+    EXPECT_EQ(runtime.workerCount(), workers);
+    ParallelStep step;
+    step.routine(8, [&](TaskContext& ctx) {
+      if (ctx.number() == 0) ctx.write(dummy, workers);
+    });
+    runtime.run(step);
+    EXPECT_EQ(dummy.read(), workers);
+  }
+}
+
+TEST(RuntimeDeath, RequiresAtLeastOneWorker) {
+  EXPECT_DEATH(Runtime(RuntimeOptions{.workers = 0}), "at least one");
+  // setWorkerCount(0) aborts on its precondition before touching the worker
+  // pool, so a pre-forked runtime (whose threads don't survive the fork) is
+  // safe here.
+  Runtime runtime(RuntimeOptions{.workers = 2});
+  EXPECT_DEATH(runtime.setWorkerCount(0), "at least one");
+}
+
+TEST(Runtime, CrewViolationDetected) {
+  Runtime runtime(RuntimeOptions{.workers = 2});
+  SharedArray<int> out(1, 0);
+  ParallelStep step;
+  step.routine(2, [&](TaskContext& ctx) {
+    ctx.write(out, 0, ctx.number());  // both tasks write element 0
+  });
+  const auto stats = runtime.run(step);
+  EXPECT_EQ(stats.crewViolations, 1);
+}
+
+TEST(Runtime, CrewCleanWhenTasksWriteDistinctElements) {
+  Runtime runtime(RuntimeOptions{.workers = 4});
+  SharedArray<int> out(32, 0);
+  ParallelStep step;
+  step.routine(32, [&](TaskContext& ctx) {
+    ctx.write(out, static_cast<std::size_t>(ctx.number()), 1);
+    ctx.write(out, static_cast<std::size_t>(ctx.number()), 2);  // same task,
+    // same element: allowed (exclusive write means one *task* owns it).
+  });
+  const auto stats = runtime.run(step);
+  EXPECT_EQ(stats.crewViolations, 0);
+  for (std::size_t i = 0; i < 32; ++i) EXPECT_EQ(out.read(i), 2);
+}
+
+TEST(RuntimeDeath, AbortOnCrewViolationWhenConfigured) {
+  // The whole runtime must live inside the death statement: EXPECT_DEATH
+  // forks, and worker threads do not survive the fork.
+  EXPECT_DEATH(
+      {
+        RuntimeOptions options;
+        options.workers = 2;
+        options.abortOnCrewViolation = true;
+        Runtime runtime(options);
+        SharedArray<int> out(1, 0);
+        ParallelStep step;
+        step.routine(2,
+                     [&](TaskContext& ctx) { ctx.write(out, 0, ctx.number()); });
+        (void)runtime.run(step);
+      },
+      "CREW violation");
+}
+
+TEST(Runtime, LastWriteOfATaskWins) {
+  Runtime runtime(RuntimeOptions{.workers = 1});
+  SharedVar<int> v(0);
+  ParallelStep step;
+  step.routine(1, [&](TaskContext& ctx) {
+    ctx.write(v, 1);
+    ctx.write(v, 2);
+    ctx.write(v, 3);
+  });
+  runtime.run(step);
+  EXPECT_EQ(v.read(), 3);
+}
+
+TEST(Runtime, StatsCountWrites) {
+  Runtime runtime(RuntimeOptions{.workers = 2});
+  SharedArray<int> out(10, 0);
+  ParallelStep step;
+  step.routine(10, [&](TaskContext& ctx) {
+    ctx.write(out, static_cast<std::size_t>(ctx.number()), 1);
+  });
+  const auto stats = runtime.run(step);
+  EXPECT_EQ(stats.writesCommitted, 10u);
+  EXPECT_GE(stats.executionsStarted, 10);
+}
+
+TEST(Runtime, ReduceViaPerTaskSlots) {
+  // The canonical CREW pattern: tasks reduce into private slots; sequential
+  // code folds them after the step.
+  Runtime runtime(RuntimeOptions{.workers = 4});
+  const int width = 16;
+  std::vector<int> input(1600);
+  std::iota(input.begin(), input.end(), 1);
+  SharedArray<long> partial(static_cast<std::size_t>(width), 0);
+  ParallelStep step;
+  step.routine(width, [&](TaskContext& ctx) {
+    const auto w = static_cast<std::size_t>(ctx.width());
+    long sum = 0;
+    for (std::size_t i = static_cast<std::size_t>(ctx.number());
+         i < input.size(); i += w) {
+      sum += input[i];
+    }
+    ctx.write(partial, static_cast<std::size_t>(ctx.number()), sum);
+  });
+  runtime.run(step);
+  long total = 0;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(width); ++i) {
+    total += partial.read(i);
+  }
+  EXPECT_EQ(total, 1600L * 1601L / 2L);
+}
+
+}  // namespace
+}  // namespace tprm::calypso

@@ -1,0 +1,101 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace tprm {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsForm) {
+  const auto f = make({"--jobs=100", "--alpha=0.25"});
+  EXPECT_EQ(f.getInt("jobs", 0), 100);
+  EXPECT_DOUBLE_EQ(f.getDouble("alpha", 0.0), 0.25);
+}
+
+TEST(Flags, SpaceForm) {
+  const auto f = make({"--jobs", "100"});
+  EXPECT_EQ(f.getInt("jobs", 0), 100);
+}
+
+TEST(Flags, BareBoolean) {
+  const auto f = make({"--verbose"});
+  EXPECT_TRUE(f.getBool("verbose", false));
+}
+
+TEST(Flags, BareBooleanFollowedByFlag) {
+  const auto f = make({"--verbose", "--jobs=5"});
+  EXPECT_TRUE(f.getBool("verbose", false));
+  EXPECT_EQ(f.getInt("jobs", 0), 5);
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const auto f = make({});
+  EXPECT_EQ(f.getInt("jobs", 7), 7);
+  EXPECT_DOUBLE_EQ(f.getDouble("alpha", 0.5), 0.5);
+  EXPECT_EQ(f.getString("name", "x"), "x");
+  EXPECT_FALSE(f.getBool("verbose", false));
+  EXPECT_FALSE(f.has("jobs"));
+}
+
+TEST(Flags, BooleanSpellings) {
+  EXPECT_TRUE(make({"--a=true"}).getBool("a", false));
+  EXPECT_TRUE(make({"--a=1"}).getBool("a", false));
+  EXPECT_TRUE(make({"--a=yes"}).getBool("a", false));
+  EXPECT_TRUE(make({"--a=on"}).getBool("a", false));
+  EXPECT_FALSE(make({"--a=false"}).getBool("a", true));
+  EXPECT_FALSE(make({"--a=0"}).getBool("a", true));
+  EXPECT_FALSE(make({"--a=no"}).getBool("a", true));
+  EXPECT_FALSE(make({"--a=off"}).getBool("a", true));
+}
+
+TEST(Flags, Positional) {
+  const auto f = make({"input.txt", "--jobs=1", "output.txt"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "output.txt");
+}
+
+TEST(Flags, NegativeNumbersAsValues) {
+  const auto f = make({"--offset=-5"});
+  EXPECT_EQ(f.getInt("offset", 0), -5);
+}
+
+TEST(Flags, UnknownAgainstFindsTypos) {
+  const auto f = make({"--jobz=10", "--alpha=0.5"});
+  const auto unknown = f.unknownAgainst({"jobs", "alpha"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "jobz");
+}
+
+TEST(Flags, LastValueWins) {
+  const auto f = make({"--jobs=1", "--jobs=2"});
+  EXPECT_EQ(f.getInt("jobs", 0), 2);
+}
+
+TEST(FlagsDeath, MalformedInteger) {
+  const auto f = make({"--jobs=ten"});
+  EXPECT_DEATH((void)f.getInt("jobs", 0), "integer");
+}
+
+TEST(FlagsDeath, MalformedDouble) {
+  const auto f = make({"--alpha=half"});
+  EXPECT_DEATH((void)f.getDouble("alpha", 0.0), "number");
+}
+
+TEST(FlagsDeath, MalformedBoolean) {
+  const auto f = make({"--flag=maybe"});
+  EXPECT_DEATH((void)f.getBool("flag", false), "boolean");
+}
+
+TEST(FlagsDeath, TrailingGarbage) {
+  const auto f = make({"--jobs=10x"});
+  EXPECT_DEATH((void)f.getInt("jobs", 0), "garbage");
+}
+
+}  // namespace
+}  // namespace tprm

@@ -1,0 +1,134 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace tprm {
+namespace {
+
+JsonValue parseOk(const std::string& text) {
+  const auto result = parseJson(text);
+  EXPECT_TRUE(result.ok()) << result.error << " at " << result.errorOffset;
+  return result.ok() ? *result.value : JsonValue();
+}
+
+std::string parseError(const std::string& text) {
+  const auto result = parseJson(text);
+  EXPECT_FALSE(result.ok()) << "unexpectedly parsed: " << text;
+  return result.error;
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parseOk("null").isNull());
+  EXPECT_EQ(parseOk("true").asBool(), true);
+  EXPECT_EQ(parseOk("false").asBool(), false);
+  EXPECT_DOUBLE_EQ(parseOk("42").asNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(parseOk("-3.5").asNumber(), -3.5);
+  EXPECT_DOUBLE_EQ(parseOk("1e3").asNumber(), 1000.0);
+  EXPECT_DOUBLE_EQ(parseOk("2.5E-2").asNumber(), 0.025);
+  EXPECT_EQ(parseOk("\"hi\"").asString(), "hi");
+}
+
+TEST(JsonParse, Whitespace) {
+  EXPECT_DOUBLE_EQ(parseOk("  \n\t 7 \r\n").asNumber(), 7.0);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parseOk(R"("a\"b\\c\/d\ne\tf")").asString(), "a\"b\\c/d\ne\tf");
+  EXPECT_EQ(parseOk(R"("Aé")").asString(), "A\xC3\xA9");
+}
+
+TEST(JsonParse, Arrays) {
+  const auto v = parseOk("[1, \"two\", [3], {}]");
+  ASSERT_TRUE(v.isArray());
+  ASSERT_EQ(v.asArray().size(), 4u);
+  EXPECT_DOUBLE_EQ(v.asArray()[0].asNumber(), 1.0);
+  EXPECT_EQ(v.asArray()[1].asString(), "two");
+  EXPECT_TRUE(v.asArray()[2].isArray());
+  EXPECT_TRUE(v.asArray()[3].isObject());
+  EXPECT_TRUE(parseOk("[]").asArray().empty());
+}
+
+TEST(JsonParse, Objects) {
+  const auto v = parseOk(R"({"a": 1, "b": {"c": true}})");
+  ASSERT_TRUE(v.isObject());
+  ASSERT_NE(v.find("a"), nullptr);
+  EXPECT_DOUBLE_EQ(v.find("a")->asNumber(), 1.0);
+  ASSERT_NE(v.find("b"), nullptr);
+  EXPECT_TRUE(v.find("b")->find("c")->asBool());
+  EXPECT_EQ(v.find("zzz"), nullptr);
+  EXPECT_TRUE(parseOk("{}").asObject().empty());
+}
+
+TEST(JsonParse, DuplicateKeysLastWins) {
+  const auto v = parseOk(R"({"a": 1, "a": 2})");
+  EXPECT_DOUBLE_EQ(v.find("a")->asNumber(), 2.0);
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_NE(parseError(""), "");
+  EXPECT_NE(parseError("{"), "");
+  EXPECT_NE(parseError("[1, 2"), "");
+  EXPECT_NE(parseError("[1 2]"), "");
+  EXPECT_NE(parseError("\"unterminated"), "");
+  EXPECT_NE(parseError("truthy"), "");
+  EXPECT_NE(parseError("1 2"), "");        // trailing garbage
+  EXPECT_NE(parseError("{'a': 1}"), "");   // single quotes
+  EXPECT_NE(parseError("{\"a\" 1}"), "");  // missing colon
+  EXPECT_NE(parseError("-"), "");
+  EXPECT_NE(parseError(R"("\x41")"), "");  // invalid escape
+  EXPECT_NE(parseError(R"("\ud800")"), "");  // surrogate
+}
+
+TEST(JsonParse, ErrorOffsetPointsNearProblem) {
+  const auto result = parseJson("[1, 2, oops]");
+  ASSERT_FALSE(result.ok());
+  EXPECT_GE(result.errorOffset, 7u);
+}
+
+TEST(JsonDump, ScalarsAndContainers) {
+  EXPECT_EQ(JsonValue().dump(), "null");
+  EXPECT_EQ(JsonValue(true).dump(), "true");
+  EXPECT_EQ(JsonValue(42).dump(), "42");
+  EXPECT_EQ(JsonValue(2.5).dump(), "2.5");
+  EXPECT_EQ(JsonValue("hi").dump(), "\"hi\"");
+  EXPECT_EQ(JsonValue(JsonValue::Array{}).dump(), "[]");
+  EXPECT_EQ(JsonValue(JsonValue::Object{}).dump(), "{}");
+}
+
+TEST(JsonDump, EscapesStrings) {
+  EXPECT_EQ(JsonValue("a\"b\\c\nd").dump(), R"("a\"b\\c\nd")");
+}
+
+TEST(JsonRoundTrip, PreservesStructure) {
+  const std::string text = R"({
+  "chains": [
+    {
+      "name": "shape1",
+      "tasks": [1, 2.5, true, null, "x"]
+    }
+  ],
+  "name": "job"
+})";
+  const auto v = parseOk(text);
+  const auto reparsed = parseOk(v.dump());
+  EXPECT_EQ(v, reparsed);
+}
+
+TEST(JsonRoundTrip, NumbersSurvive) {
+  for (const double d : {0.0, 1.0, -1.0, 0.1, 1e-9, 123456789.0, 2.5e17}) {
+    const auto v = parseOk(JsonValue(d).dump());
+    EXPECT_DOUBLE_EQ(v.asNumber(), d);
+  }
+}
+
+TEST(JsonDeath, TypeMismatchAborts) {
+  const JsonValue v(42);
+  EXPECT_DEATH((void)v.asString(), "not a string");
+  EXPECT_DEATH((void)v.asArray(), "not an array");
+  EXPECT_DEATH((void)v.asObject(), "not an object");
+  EXPECT_DEATH((void)v.asBool(), "not a boolean");
+  EXPECT_DEATH((void)JsonValue("x").asNumber(), "not a number");
+}
+
+}  // namespace
+}  // namespace tprm

@@ -1,0 +1,166 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace tprm {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformBelowIsUnbiasedAcrossBuckets) {
+  Rng rng(13);
+  const std::uint64_t buckets = 7;
+  std::vector<int> counts(buckets, 0);
+  const int n = 70'000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = rng.uniformBelow(buckets);
+    ASSERT_LT(v, buckets);
+    ++counts[v];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / static_cast<int>(buckets), 600);
+  }
+}
+
+TEST(RngDeath, UniformBelowZeroBound) {
+  Rng rng(1);
+  EXPECT_DEATH((void)rng.uniformBelow(0), "nonzero");
+}
+
+TEST(Rng, UniformIntCoversClosedRange) {
+  Rng rng(17);
+  bool sawLo = false;
+  bool sawHi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.uniformInt(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    sawLo |= (v == -3);
+    sawHi |= (v == 3);
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(19);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniformInt(42, 42), 42);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(23);
+  const double mean = 25.0;
+  double sum = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(mean);
+  EXPECT_NEAR(sum / n, mean, 0.25);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng(29);
+  for (int i = 0; i < 10'000; ++i) EXPECT_GT(rng.exponential(1.0), 0.0);
+}
+
+TEST(RngDeath, ExponentialRequiresPositiveMean) {
+  Rng rng(1);
+  EXPECT_DEATH((void)rng.exponential(0.0), "positive");
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(31);
+  const int n = 200'000;
+  double sum = 0.0;
+  double sumSq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sumSq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sumSq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+  }
+}
+
+TEST(Rng, BernoulliRateMatches) {
+  Rng rng(41);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng parent1(99);
+  Rng parent2(99);
+  Rng child1 = parent1.fork();
+  Rng child2 = parent2.fork();
+  // Same parent state => same child stream.
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child1(), child2());
+  // Child differs from parent's continuation.
+  Rng parent3(99);
+  (void)parent3.fork();
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child1() == parent3()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForksAtDifferentPointsDiffer) {
+  Rng parent(5);
+  Rng childA = parent.fork();
+  Rng childB = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (childA() == childB()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace tprm

@@ -1,0 +1,91 @@
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace tprm {
+namespace {
+
+TEST(TimeConversion, WholeUnitsRoundTrip) {
+  EXPECT_EQ(ticksFromUnits(25.0), 25 * kTicksPerUnit);
+  EXPECT_DOUBLE_EQ(unitsFromTicks(25 * kTicksPerUnit), 25.0);
+}
+
+TEST(TimeConversion, FractionalUnitsRoundToNearestTick) {
+  EXPECT_EQ(ticksFromUnits(0.5), kTicksPerUnit / 2);
+  // 1/3 unit is not representable exactly; must round to nearest tick.
+  const Time third = ticksFromUnits(1.0 / 3.0);
+  EXPECT_NEAR(static_cast<double>(third),
+              static_cast<double>(kTicksPerUnit) / 3.0, 1.0);
+}
+
+TEST(TimeConversion, NegativeValues) {
+  EXPECT_EQ(ticksFromUnits(-2.0), -2 * kTicksPerUnit);
+  EXPECT_DOUBLE_EQ(unitsFromTicks(-kTicksPerUnit), -1.0);
+}
+
+TEST(TimeConversion, ZeroIsZero) {
+  EXPECT_EQ(ticksFromUnits(0.0), 0);
+  EXPECT_DOUBLE_EQ(unitsFromTicks(0), 0.0);
+}
+
+TEST(TimeConversionDeath, RejectsNonFinite) {
+  EXPECT_DEATH((void)ticksFromUnits(std::numeric_limits<double>::infinity()),
+               "finite");
+  EXPECT_DEATH((void)ticksFromUnits(std::numeric_limits<double>::quiet_NaN()),
+               "finite");
+}
+
+TEST(TimeConversionDeath, RejectsOverflow) {
+  EXPECT_DEATH((void)ticksFromUnits(1e18), "overflow");
+}
+
+TEST(FormatTime, WholeNumbers) {
+  EXPECT_EQ(formatTime(0), "0");
+  EXPECT_EQ(formatTime(25 * kTicksPerUnit), "25");
+}
+
+TEST(FormatTime, TrimsTrailingZeros) {
+  EXPECT_EQ(formatTime(ticksFromUnits(6.25)), "6.25");
+  EXPECT_EQ(formatTime(ticksFromUnits(0.5)), "0.5");
+  EXPECT_EQ(formatTime(ticksFromUnits(1.000001)), "1.000001");
+}
+
+TEST(FormatTime, Negative) {
+  EXPECT_EQ(formatTime(ticksFromUnits(-3.5)), "-3.5");
+}
+
+TEST(TimeInterval, LengthAndEmptiness) {
+  const TimeInterval iv{10, 30};
+  EXPECT_EQ(iv.length(), 20);
+  EXPECT_FALSE(iv.empty());
+  EXPECT_TRUE((TimeInterval{5, 5}).empty());
+  EXPECT_TRUE((TimeInterval{7, 3}).empty());
+}
+
+TEST(TimeInterval, ContainsIsHalfOpen) {
+  const TimeInterval iv{10, 30};
+  EXPECT_TRUE(iv.contains(10));
+  EXPECT_TRUE(iv.contains(29));
+  EXPECT_FALSE(iv.contains(30));
+  EXPECT_FALSE(iv.contains(9));
+}
+
+TEST(TimeInterval, OverlapsIsHalfOpen) {
+  const TimeInterval a{10, 30};
+  EXPECT_TRUE(a.overlaps(TimeInterval{29, 40}));
+  EXPECT_FALSE(a.overlaps(TimeInterval{30, 40}));  // touching, no overlap
+  EXPECT_FALSE(a.overlaps(TimeInterval{0, 10}));
+  EXPECT_TRUE(a.overlaps(TimeInterval{0, 11}));
+  EXPECT_TRUE(a.overlaps(TimeInterval{15, 20}));  // contained
+}
+
+TEST(TimeInterval, Intersect) {
+  const TimeInterval a{10, 30};
+  EXPECT_EQ(a.intersect(TimeInterval{20, 40}), (TimeInterval{20, 30}));
+  EXPECT_EQ(a.intersect(TimeInterval{0, 15}), (TimeInterval{10, 15}));
+  EXPECT_TRUE(a.intersect(TimeInterval{30, 40}).empty());
+  EXPECT_EQ(a.intersect(a), a);
+}
+
+}  // namespace
+}  // namespace tprm

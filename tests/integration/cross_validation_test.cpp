@@ -1,0 +1,182 @@
+// Cross-component property tests: independent subsystems must agree about
+// the same run (trace vs ledger vs metrics), inverse operations must cancel,
+// and randomized stress sequences must keep every invariant.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "qos/qos.h"
+#include "resource/gantt.h"
+#include "resource/reservation_ledger.h"
+#include "sched/greedy_arbitrator.h"
+#include "sim/engine.h"
+#include "sim/trace.h"
+#include "taskmodel/spec_io.h"
+#include "workload/fig4.h"
+
+namespace tprm {
+namespace {
+
+TEST(CrossValidation, TraceMetricsAndProfileAgree) {
+  const auto jobs = workload::makeFig4PoissonStream(
+      workload::Fig4Params{}, workload::Fig4Shape::Tunable, 30.0, 500, 11);
+  sched::GreedyArbitrator arbitrator;
+  sim::TraceRecorder trace;
+  sim::SimulationConfig config;
+  config.processors = 16;
+  config.verify = true;
+  config.trace = &trace;
+  const auto result = sim::runSimulation(jobs, arbitrator, config);
+  ASSERT_TRUE(result.verification->ok);
+
+  // The trace's admitted events reproduce the aggregate metrics exactly.
+  std::uint64_t admitted = 0;
+  std::int64_t area = 0;
+  double qualitySum = 0.0;
+  Time horizon = 0;
+  for (const auto& event : trace.events()) {
+    horizon = std::max(horizon, event.release);
+    if (!event.admitted) continue;
+    ++admitted;
+    qualitySum += event.quality;
+    horizon = std::max(horizon, event.finish);
+    for (const auto& p : event.placements) {
+      area += static_cast<std::int64_t>(p.processors) * p.interval.length();
+    }
+  }
+  EXPECT_EQ(admitted, result.admitted);
+  EXPECT_EQ(area, result.admittedArea);
+  EXPECT_DOUBLE_EQ(qualitySum, result.qualitySum);
+  EXPECT_EQ(horizon, result.horizon);
+}
+
+class RandomSpecRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomSpecRoundTrip, SerializationIsLossless) {
+  Rng rng(GetParam());
+  task::TunableJobSpec spec;
+  spec.name = "random-" + std::to_string(GetParam());
+  spec.qualityComposition = rng.bernoulli(0.5)
+                                ? task::QualityComposition::Multiplicative
+                                : task::QualityComposition::Minimum;
+  const int chains = static_cast<int>(rng.uniformInt(1, 4));
+  for (int c = 0; c < chains; ++c) {
+    task::Chain chain;
+    chain.name = "chain" + std::to_string(c);
+    const int tasks = static_cast<int>(rng.uniformInt(1, 5));
+    // A finite deadline after an infinite one would violate the
+    // non-decreasing-deadline rule, so deadlines occupy a prefix of the
+    // chain: tasks [0, deadlined) have them, the rest are unconstrained.
+    const int deadlined = static_cast<int>(rng.uniformInt(0, tasks));
+    Time cumulative = 0;
+    Time lastDeadline = 0;
+    for (int k = 0; k < tasks; ++k) {
+      const int procs = static_cast<int>(rng.uniformInt(1, 32));
+      // Durations in whole milli-units so the double round-trip is exact.
+      const Time dur = rng.uniformInt(1, 50'000) * (kTicksPerUnit / 1000);
+      cumulative += dur;
+      task::TaskSpec t;
+      t.name = "t" + std::to_string(k);
+      t.request = {procs, dur};
+      if (k < deadlined) {
+        t.relativeDeadline =
+            std::max(cumulative, lastDeadline) +
+            rng.uniformInt(0, 100) * (kTicksPerUnit / 10);
+        lastDeadline = t.relativeDeadline;
+      }
+      if (rng.bernoulli(0.3)) {
+        t.quality = static_cast<double>(rng.uniformInt(1, 100)) / 100.0;
+      }
+      if (rng.bernoulli(0.4)) {
+        t.malleable = task::MalleableSpec{
+            t.request.area(),
+            procs + static_cast<int>(rng.uniformInt(0, 8))};
+      }
+      chain.tasks.push_back(std::move(t));
+    }
+    spec.chains.push_back(std::move(chain));
+  }
+  ASSERT_TRUE(task::validate(spec).empty())
+      << "generator produced an invalid spec";
+
+  const auto text = task::toJson(spec);
+  const auto parsed = task::jobSpecFromJson(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error << "\n" << text;
+  EXPECT_EQ(*parsed.spec, spec);
+  // Idempotent: serialising the parse reproduces the text.
+  EXPECT_EQ(task::toJson(*parsed.spec), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSpecRoundTrip,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+TEST(InverseOperations, ReserveThenReleaseRestoresProfile) {
+  Rng rng(3);
+  resource::AvailabilityProfile profile(12);
+  // Background load that stays.
+  profile.reserve(TimeInterval{10, 60}, 5);
+  const auto before = profile.dump();
+  // A batch of temporary reservations, released in reverse order.
+  struct Res {
+    TimeInterval iv;
+    int procs;
+  };
+  std::vector<Res> temporary;
+  for (int i = 0; i < 40; ++i) {
+    const Time b = rng.uniformInt(0, 200);
+    const TimeInterval iv{b, b + rng.uniformInt(1, 50)};
+    const int procs = static_cast<int>(rng.uniformInt(1, 4));
+    if (profile.minAvailable(iv) >= procs) {
+      profile.reserve(iv, procs);
+      temporary.push_back(Res{iv, procs});
+    }
+  }
+  for (auto it = temporary.rbegin(); it != temporary.rend(); ++it) {
+    profile.release(it->iv, it->procs);
+  }
+  EXPECT_EQ(profile.dump(), before);
+}
+
+TEST(ResizeStorm, RandomResizeSequencesKeepAllEraLedgersValid) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed);
+    qos::QoSArbitrator arbitrator(16);
+    Time clock = 0;
+    const auto spec = workload::makeFig4Job(workload::Fig4Params{},
+                                            workload::Fig4Shape::Tunable);
+    for (int step = 0; step < 120; ++step) {
+      clock += ticksFromUnits(rng.uniformReal(0.0, 30.0));
+      if (rng.bernoulli(0.15)) {
+        const int newSize = static_cast<int>(rng.uniformInt(8, 32));
+        const auto report = arbitrator.resize(newSize, clock);
+        // Growth never drops.
+        if (report.processorsAfter >= report.processorsBefore) {
+          EXPECT_TRUE(report.dropped.empty())
+              << "seed " << seed << " step " << step;
+        }
+      } else {
+        (void)arbitrator.submit(spec, clock);
+      }
+    }
+    const auto report = arbitrator.verify();
+    EXPECT_TRUE(report.ok) << "seed " << seed << ": "
+                           << report.firstViolation;
+  }
+}
+
+TEST(CrossValidation, GanttAgreesWithLedgerCapacity) {
+  // renderGantt's greedy lane assignment succeeds exactly when the ledger
+  // verifies capacity; run both on a real simulation's commitments.
+  const auto jobs = workload::makeFig4PoissonStream(
+      workload::Fig4Params{}, workload::Fig4Shape::Tunable, 30.0, 60, 5);
+  qos::QoSArbitrator arbitrator(16);
+  for (const auto& job : jobs) {
+    (void)arbitrator.submit(job.spec, job.release);
+  }
+  ASSERT_TRUE(arbitrator.verify().ok);
+  const auto chart = resource::renderGantt(arbitrator.ledger());
+  EXPECT_NE(chart.find("p15 |"), std::string::npos);
+  EXPECT_EQ(chart.find("p16 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tprm

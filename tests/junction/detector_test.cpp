@@ -1,0 +1,212 @@
+#include "apps/junction/detector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace tprm::junction {
+namespace {
+
+/// A noiseless image with one bright rectangle.
+Image rectImage(int w = 64, int h = 64, int x0 = 20, int y0 = 20, int x1 = 40,
+                int y1 = 44) {
+  Image img(w, h, 0.2F);
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) img.set(x, y, 0.8F);
+  }
+  return img;
+}
+
+TEST(IsInteresting, EdgesAndFlats) {
+  const auto img = rectImage();
+  EXPECT_TRUE(isInteresting(img, 20, 20, 0.2F));   // corner
+  EXPECT_TRUE(isInteresting(img, 30, 20, 0.2F));   // edge
+  EXPECT_FALSE(isInteresting(img, 30, 30, 0.2F));  // interior
+  EXPECT_FALSE(isInteresting(img, 5, 5, 0.2F));    // background
+}
+
+TEST(SampleCount, CeilingDivision) {
+  const Image img(10, 10);
+  EXPECT_EQ(sampleCount(img, 1), 100u);
+  EXPECT_EQ(sampleCount(img, 16), 7u);
+  EXPECT_EQ(sampleCount(img, 100), 1u);
+  EXPECT_EQ(sampleCount(img, 101), 1u);
+}
+
+TEST(SamplePixels, GranularityControlsDensity) {
+  const auto img = rectImage();
+  SampleParams fine;
+  fine.granularity = 4;
+  SampleParams coarse;
+  coarse.granularity = 32;
+  const auto fineHits =
+      samplePixels(img, fine, 0, sampleCount(img, fine.granularity));
+  const auto coarseHits =
+      samplePixels(img, coarse, 0, sampleCount(img, coarse.granularity));
+  EXPECT_GT(fineHits.size(), coarseHits.size());
+  EXPECT_GT(fineHits.size(), 0u);
+}
+
+TEST(SamplePixels, RangePartitionCoversExactlyOnce) {
+  const auto img = rectImage();
+  SampleParams params;
+  params.granularity = 8;
+  const std::size_t total = sampleCount(img, params.granularity);
+  const auto whole = samplePixels(img, params, 0, total);
+  // Split into 3 ranges and concatenate.
+  std::vector<Point> pieces;
+  const std::size_t third = total / 3;
+  for (const auto& [b, e] :
+       std::vector<std::pair<std::size_t, std::size_t>>{
+           {0, third}, {third, 2 * third}, {2 * third, total}}) {
+    const auto part = samplePixels(img, params, b, e);
+    pieces.insert(pieces.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(whole, pieces);
+}
+
+TEST(SamplePixels, OutOfRangeClampsToTotal) {
+  const auto img = rectImage();
+  SampleParams params;
+  params.granularity = 8;
+  const auto hits = samplePixels(img, params, 0, 1 << 20);
+  EXPECT_FALSE(hits.empty());
+}
+
+TEST(ConvexHull, Basics) {
+  // Square plus interior point.
+  const auto hull = convexHull(
+      {{0, 0}, {4, 0}, {4, 4}, {0, 4}, {2, 2}});
+  EXPECT_EQ(hull.size(), 4u);
+  EXPECT_EQ(std::count(hull.begin(), hull.end(), Point{2, 2}), 0);
+}
+
+TEST(ConvexHull, DegenerateInputs) {
+  EXPECT_EQ(convexHull({}).size(), 0u);
+  EXPECT_EQ(convexHull({{1, 1}}).size(), 1u);
+  EXPECT_EQ(convexHull({{1, 1}, {1, 1}}).size(), 1u);  // duplicate
+  EXPECT_EQ(convexHull({{1, 1}, {3, 3}}).size(), 2u);
+  // Collinear points collapse to the two extremes.
+  const auto hull = convexHull({{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  EXPECT_EQ(hull.size(), 2u);
+}
+
+TEST(MarkRegions, ClustersBySearchDistance) {
+  const auto img = rectImage(128, 128);
+  // Two groups of points, far apart.
+  std::vector<Point> points{{10, 10}, {12, 12}, {14, 10},
+                            {100, 100}, {102, 98}, {104, 100}};
+  RegionParams params;
+  params.searchDistance = 6;
+  params.minClusterSize = 3;
+  const auto regions = markRegions(img, points, params);
+  ASSERT_EQ(regions.size(), 2u);
+}
+
+TEST(MarkRegions, LargerSearchDistanceMergesClusters) {
+  const auto img = rectImage(256, 256);
+  std::vector<Point> points{{10, 10}, {40, 10}, {70, 10}};
+  RegionParams close;
+  close.searchDistance = 10;
+  close.minClusterSize = 1;
+  RegionParams wide;
+  wide.searchDistance = 35;
+  wide.minClusterSize = 1;
+  EXPECT_EQ(markRegions(img, points, close).size(), 3u);
+  EXPECT_EQ(markRegions(img, points, wide).size(), 1u);
+}
+
+TEST(MarkRegions, MinClusterSizeFiltersNoise) {
+  const auto img = rectImage(128, 128);
+  std::vector<Point> points{{10, 10}, {12, 12}, {100, 100}};  // lone point
+  RegionParams params;
+  params.searchDistance = 6;
+  params.minClusterSize = 2;
+  const auto regions = markRegions(img, points, params);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_TRUE(regions[0].contains(11, 11));
+}
+
+TEST(MarkRegions, RegionContainsMarginAroundHull) {
+  const auto img = rectImage(128, 128);
+  std::vector<Point> points{{50, 50}, {60, 50}, {55, 60}};
+  RegionParams params;
+  params.searchDistance = 12;
+  params.minClusterSize = 3;
+  const auto regions = markRegions(img, points, params);
+  ASSERT_EQ(regions.size(), 1u);
+  const auto& region = regions[0];
+  EXPECT_TRUE(region.contains(55, 53));  // inside hull
+  EXPECT_TRUE(region.contains(45, 50));  // within margin
+  EXPECT_FALSE(region.contains(20, 20));  // far away
+  // Bounding box clipped to the image.
+  EXPECT_GE(region.x0, 0);
+  EXPECT_LE(region.x1, img.width() - 1);
+}
+
+TEST(MarkRegions, EmptyInput) {
+  const auto img = rectImage();
+  EXPECT_TRUE(markRegions(img, {}, RegionParams{}).empty());
+}
+
+TEST(HarrisResponse, CornersBeatEdgesBeatFlats) {
+  const auto img = rectImage();
+  JunctionParams params;
+  const float corner = harrisResponse(img, 20, 20, params);
+  const float edge = harrisResponse(img, 30, 20, params);
+  const float flat = harrisResponse(img, 30, 32, params);
+  EXPECT_GT(corner, params.responseThreshold);
+  EXPECT_GT(corner, edge);
+  EXPECT_GT(corner, flat);
+  // Edges have strongly negative or near-zero response; flats near zero.
+  EXPECT_LT(edge, params.responseThreshold);
+  EXPECT_NEAR(flat, 0.0F, 1e-6F);
+}
+
+TEST(ComputeJunctions, FindsRectangleCorners) {
+  const auto img = rectImage();
+  Region region;
+  region.hull = {{15, 15}, {45, 15}, {45, 49}, {15, 49}};
+  region.margin = 0;
+  region.x0 = 15;
+  region.y0 = 15;
+  region.x1 = 45;
+  region.y1 = 49;
+  const auto found = computeJunctions(img, region, JunctionParams{}, 0, 64);
+  const std::vector<Point> corners{{20, 20}, {40, 20}, {20, 44}, {40, 44}};
+  const auto score = scoreDetections(found, corners, 2);
+  EXPECT_EQ(score.matched, 4) << "found " << found.size() << " detections";
+}
+
+TEST(ComputeJunctions, RowBandsPartitionWork) {
+  const auto img = rectImage();
+  Region region;
+  region.hull = {{15, 15}, {45, 15}, {45, 49}, {15, 49}};
+  region.margin = 0;
+  region.x0 = 15;
+  region.y0 = 15;
+  region.x1 = 45;
+  region.y1 = 49;
+  const JunctionParams params;
+  const auto whole = computeJunctions(img, region, params, 0, 64);
+  std::vector<Point> pieces;
+  for (int y = 0; y < 64; y += 16) {
+    const auto part = computeJunctions(img, region, params, y, y + 16);
+    pieces.insert(pieces.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(whole, pieces);
+}
+
+TEST(MergeDetections, CollapsesNearbyPoints) {
+  const auto merged =
+      mergeDetections({{10, 10}, {11, 10}, {30, 30}}, 3);
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(MergeDetections, KeepsDistinctPoints) {
+  const auto merged = mergeDetections({{10, 10}, {20, 10}, {30, 30}}, 3);
+  EXPECT_EQ(merged.size(), 3u);
+}
+
+}  // namespace
+}  // namespace tprm::junction

@@ -1,0 +1,109 @@
+#include "apps/junction/image.h"
+
+#include <gtest/gtest.h>
+
+namespace tprm::junction {
+namespace {
+
+TEST(Image, BasicAccess) {
+  Image img(8, 4, 0.5F);
+  EXPECT_EQ(img.width(), 8);
+  EXPECT_EQ(img.height(), 4);
+  EXPECT_EQ(img.pixelCount(), 32u);
+  EXPECT_FLOAT_EQ(img.at(3, 2), 0.5F);
+  img.set(3, 2, 0.9F);
+  EXPECT_FLOAT_EQ(img.at(3, 2), 0.9F);
+}
+
+TEST(Image, ClampedReads) {
+  Image img(4, 4, 0.0F);
+  img.set(0, 0, 1.0F);
+  img.set(3, 3, 0.5F);
+  EXPECT_FLOAT_EQ(img.atClamped(-5, -5), 1.0F);
+  EXPECT_FLOAT_EQ(img.atClamped(10, 10), 0.5F);
+  EXPECT_FLOAT_EQ(img.atClamped(-1, 3), img.at(0, 3));
+}
+
+TEST(ImageDeath, RejectsDegenerateDimensions) {
+  EXPECT_DEATH(Image(0, 4), "positive");
+  EXPECT_DEATH(Image(4, -1), "positive");
+}
+
+TEST(Chebyshev, Distance) {
+  EXPECT_EQ(chebyshev({0, 0}, {3, 4}), 4);
+  EXPECT_EQ(chebyshev({5, 5}, {5, 5}), 0);
+  EXPECT_EQ(chebyshev({2, 1}, {-1, 1}), 3);
+}
+
+TEST(SynthesizeScene, ProducesRectanglesWithKnownCorners) {
+  Rng rng(42);
+  SceneSpec spec;
+  spec.rectangles = 6;
+  const auto scene = synthesizeScene(rng, spec);
+  EXPECT_GT(scene.junctions.size(), 0u);
+  EXPECT_EQ(scene.junctions.size() % 4, 0u);  // 4 corners per rectangle
+  // Corners must lie inside the image.
+  for (const auto& p : scene.junctions) {
+    EXPECT_TRUE(scene.image.contains(p.x, p.y));
+  }
+}
+
+TEST(SynthesizeScene, CornersHaveContrast) {
+  Rng rng(7);
+  SceneSpec spec;
+  spec.noiseSigma = 0.0;  // noiseless for exact contrast checks
+  const auto scene = synthesizeScene(rng, spec);
+  for (const auto& p : scene.junctions) {
+    float lo = 1.0F;
+    float hi = 0.0F;
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const float v = scene.image.atClamped(p.x + dx, p.y + dy);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    EXPECT_GE(hi - lo, static_cast<float>(spec.minContrast) - 1e-4F)
+        << "corner at " << p.x << "," << p.y;
+  }
+}
+
+TEST(SynthesizeScene, DeterministicPerSeed) {
+  Rng rngA(9);
+  Rng rngB(9);
+  const auto a = synthesizeScene(rngA, SceneSpec{});
+  const auto b = synthesizeScene(rngB, SceneSpec{});
+  EXPECT_EQ(a.junctions.size(), b.junctions.size());
+  EXPECT_EQ(a.image.data(), b.image.data());
+}
+
+TEST(ScoreDetections, PerfectDetection) {
+  const std::vector<Point> truth{{10, 10}, {20, 20}};
+  const auto score = scoreDetections(truth, truth, 2);
+  EXPECT_DOUBLE_EQ(score.precision, 1.0);
+  EXPECT_DOUBLE_EQ(score.recall, 1.0);
+  EXPECT_DOUBLE_EQ(score.f1, 1.0);
+}
+
+TEST(ScoreDetections, ToleranceWindow) {
+  const std::vector<Point> truth{{10, 10}};
+  EXPECT_EQ(scoreDetections({{12, 11}}, truth, 2).matched, 1);
+  EXPECT_EQ(scoreDetections({{13, 10}}, truth, 2).matched, 0);
+}
+
+TEST(ScoreDetections, EachTruthMatchesOnce) {
+  const std::vector<Point> truth{{10, 10}};
+  const auto score = scoreDetections({{10, 10}, {11, 10}}, truth, 2);
+  EXPECT_EQ(score.matched, 1);
+  EXPECT_DOUBLE_EQ(score.recall, 1.0);
+  EXPECT_DOUBLE_EQ(score.precision, 0.5);
+}
+
+TEST(ScoreDetections, EmptyCases) {
+  EXPECT_DOUBLE_EQ(scoreDetections({}, {}, 2).f1, 1.0);
+  EXPECT_DOUBLE_EQ(scoreDetections({}, {{1, 1}}, 2).recall, 0.0);
+  EXPECT_DOUBLE_EQ(scoreDetections({{1, 1}}, {}, 2).precision, 0.0);
+}
+
+}  // namespace
+}  // namespace tprm::junction

@@ -1,0 +1,157 @@
+// End-to-end tests of the tunable junction-detection application: detector
+// steps on the Calypso runtime, profiling, the Figure-3 program, and the
+// full agent/arbitrator loop.
+#include <gtest/gtest.h>
+
+#include "apps/junction/pipeline.h"
+#include "qos/qos.h"
+
+namespace tprm::junction {
+namespace {
+
+Scene testScene(std::uint64_t seed = 42) {
+  Rng rng(seed);
+  SceneSpec spec;
+  spec.width = 192;
+  spec.height = 192;
+  spec.rectangles = 6;
+  return synthesizeScene(rng, spec);
+}
+
+TEST(Pipeline, DetectsPlantedJunctions) {
+  calypso::Runtime runtime(calypso::RuntimeOptions{.workers = 2});
+  const auto scene = testScene();
+  PipelineConfig config;
+  config.sampleGranularity = 4;  // dense sampling: high quality expected
+  config.searchDistance = 10;
+  const auto result = detectJunctions(runtime, scene, config);
+  EXPECT_GT(result.quality.recall, 0.85) << "recall too low";
+  EXPECT_GT(result.quality.precision, 0.5);
+  EXPECT_GT(result.regionCount, 0u);
+}
+
+TEST(Pipeline, TunabilityTradeoff) {
+  // The paper's premise: coarser sampling costs quality little if the
+  // search distance compensates, while shifting work from step 1 to step 3.
+  calypso::Runtime runtime(calypso::RuntimeOptions{.workers = 2});
+  const auto scene = testScene(7);
+  PipelineConfig fine;
+  fine.sampleGranularity = 4;
+  fine.searchDistance = 8;
+  PipelineConfig coarse;
+  coarse.sampleGranularity = 16;
+  coarse.searchDistance = 24;
+  const auto fineResult = detectJunctions(runtime, scene, fine);
+  const auto coarseResult = detectJunctions(runtime, scene, coarse);
+  // Coarse sampling visits fewer pixels in step 1...
+  EXPECT_LT(coarseResult.interestingPixels, fineResult.interestingPixels);
+  // ...but compensates with larger regions (more step-3 work per region).
+  EXPECT_GT(coarseResult.regionArea / std::max<std::int64_t>(
+                1, static_cast<std::int64_t>(coarseResult.regionCount)),
+            fineResult.regionArea / std::max<std::int64_t>(
+                1, static_cast<std::int64_t>(fineResult.regionCount)));
+  // Quality stays in the same ballpark.
+  EXPECT_GT(coarseResult.quality.recall, 0.6);
+}
+
+TEST(Pipeline, DeterministicAcrossWorkerCounts) {
+  // Malleability must not change results: same detections with 1 or 3
+  // workers.
+  const auto scene = testScene(11);
+  PipelineConfig config;
+  config.sampleGranularity = 8;
+  calypso::Runtime one(calypso::RuntimeOptions{.workers = 1});
+  calypso::Runtime three(calypso::RuntimeOptions{.workers = 3});
+  const auto a = detectJunctions(one, scene, config);
+  const auto b = detectJunctions(three, scene, config);
+  EXPECT_EQ(a.junctions, b.junctions);
+}
+
+TEST(Pipeline, SurvivesWorkerFaults) {
+  const auto scene = testScene(13);
+  PipelineConfig config;
+  config.sampleGranularity = 8;
+  calypso::Runtime healthy(calypso::RuntimeOptions{.workers = 3, .seed = 1});
+  const auto expected = detectJunctions(healthy, scene, config);
+
+  calypso::Runtime faulty(calypso::RuntimeOptions{.workers = 3, .seed = 1});
+  faulty.setFaultPlan(0, calypso::FaultPlan{.deathProbability = 0.3});
+  faulty.setFaultPlan(1, calypso::FaultPlan{.stallProbability = 0.3,
+                                            .stallMs = 2});
+  const auto result = detectJunctions(faulty, scene, config);
+  EXPECT_EQ(result.junctions, expected.junctions)
+      << "fault masking must not change the output";
+}
+
+TEST(Profiling, ProducesOrderedProfiles) {
+  calypso::Runtime runtime(calypso::RuntimeOptions{.workers = 2});
+  const std::vector<Scene> training{testScene(1), testScene(2)};
+  PipelineConfig base;
+  const auto profiles = profileConfigurations(
+      runtime, training, base, {{4, 8}, {16, 24}});
+  ASSERT_EQ(profiles.size(), 2u);
+  EXPECT_EQ(profiles[0].sampleGranularity, 4);
+  EXPECT_EQ(profiles[1].sampleGranularity, 16);
+  // Requests are positive and the qualities are sane.
+  for (const auto& p : profiles) {
+    EXPECT_GT(p.sampleRequest.duration, 0);
+    EXPECT_GT(p.computeRequest.duration, 0);
+    EXPECT_GT(p.quality, 0.3);
+    EXPECT_LE(p.quality, 1.0);
+  }
+}
+
+TEST(TunableProgram, HasTwoPathsMatchingFigure3) {
+  calypso::Runtime runtime(calypso::RuntimeOptions{.workers = 2});
+  const auto scene = testScene(3);
+  const std::vector<Scene> training{testScene(1)};
+  const auto profiles = profileConfigurations(
+      runtime, training, PipelineConfig{}, {{4, 8}, {16, 24}});
+  DetectionResult result;
+  const auto program =
+      makeTunableProgram(runtime, scene, profiles, 2.0, &result);
+  const auto paths = program->enumeratePaths();
+  ASSERT_EQ(paths.size(), 2u);
+  // Path structure: sampleImage -> markRegion{Fine,Coarse} ->
+  // computeJunctions.
+  for (const auto& path : paths) {
+    ASSERT_EQ(path.chain.tasks.size(), 3u);
+    EXPECT_EQ(path.chain.tasks[0].name, "sampleImage");
+    EXPECT_EQ(path.chain.tasks[2].name, "computeJunctions");
+  }
+  EXPECT_EQ(paths[0].chain.tasks[1].name, "markRegionFine");
+  EXPECT_EQ(paths[1].chain.tasks[1].name, "markRegionCoarse");
+  EXPECT_EQ(paths[0].bindings.at("c"), 1);
+  EXPECT_EQ(paths[1].bindings.at("c"), 2);
+  // Deadlines are cumulative and non-decreasing.
+  EXPECT_LE(paths[0].chain.tasks[0].relativeDeadline,
+            paths[0].chain.tasks[1].relativeDeadline);
+  EXPECT_LE(paths[0].chain.tasks[1].relativeDeadline,
+            paths[0].chain.tasks[2].relativeDeadline);
+}
+
+TEST(TunableProgram, EndToEndNegotiationAndExecution) {
+  calypso::Runtime runtime(calypso::RuntimeOptions{.workers = 2});
+  const auto scene = testScene(5);
+  const std::vector<Scene> training{testScene(1)};
+  const auto profiles = profileConfigurations(
+      runtime, training, PipelineConfig{}, {{4, 8}, {16, 24}});
+  DetectionResult result;
+  auto program = makeTunableProgram(runtime, scene, profiles, 3.0, &result);
+
+  qos::QoSArbitrator arbitrator(8);
+  qos::QoSAgent agent(*program);
+  const auto allocation = agent.negotiate(arbitrator, 0);
+  ASSERT_TRUE(allocation.has_value());
+  agent.run();
+  // The pipeline actually ran and produced detections.
+  EXPECT_GT(result.junctions.size(), 0u);
+  EXPECT_GT(result.quality.recall, 0.4);
+  EXPECT_TRUE(arbitrator.verify().ok);
+  // The program's control parameters match the granted path.
+  const auto granularity = program->parameters().get("sampleGranularity");
+  EXPECT_EQ(granularity, allocation->pathIndex == 0 ? 4 : 16);
+}
+
+}  // namespace
+}  // namespace tprm::junction

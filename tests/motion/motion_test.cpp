@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "apps/motion/estimator.h"
+#include "qos/qos.h"
+
+namespace tprm::motion {
+namespace {
+
+Clip testClip(std::uint64_t seed = 42, int frames = 4, int maxShift = 5) {
+  Rng rng(seed);
+  ClipSpec spec;
+  spec.frames = frames;
+  spec.maxShift = maxShift;
+  return synthesizeClip(rng, spec);
+}
+
+TEST(Video, ClipHasGroundTruthPerFramePair) {
+  const auto clip = testClip();
+  EXPECT_EQ(clip.frames.size(), 4u);
+  EXPECT_EQ(clip.trueMotion.size(), 3u);
+  for (const auto& v : clip.trueMotion) {
+    EXPECT_LE(std::abs(v.dx), 5);
+    EXPECT_LE(std::abs(v.dy), 5);
+  }
+}
+
+TEST(Video, DeterministicPerSeed) {
+  const auto a = testClip(7);
+  const auto b = testClip(7);
+  EXPECT_EQ(a.trueMotion, b.trueMotion);
+  EXPECT_EQ(a.frames[0].data(), b.frames[0].data());
+}
+
+TEST(VideoDeath, Validation) {
+  Rng rng(1);
+  ClipSpec bad;
+  bad.frames = 1;
+  EXPECT_DEATH((void)synthesizeClip(rng, bad), "two frames");
+}
+
+TEST(Downsample, AveragesCells) {
+  Image img(4, 4, 0.0F);
+  img.set(0, 0, 1.0F);
+  img.set(1, 0, 1.0F);
+  img.set(0, 1, 1.0F);
+  img.set(1, 1, 1.0F);
+  const auto small = downsample(img, 2);
+  EXPECT_EQ(small.width(), 2);
+  EXPECT_EQ(small.height(), 2);
+  EXPECT_FLOAT_EQ(small.at(0, 0), 1.0F);
+  EXPECT_FLOAT_EQ(small.at(1, 0), 0.0F);
+  EXPECT_FLOAT_EQ(small.at(1, 1), 0.0F);
+}
+
+TEST(Downsample, FactorOneCopies) {
+  Image img(3, 3, 0.5F);
+  const auto copy = downsample(img, 1);
+  EXPECT_EQ(copy.data(), img.data());
+}
+
+TEST(Estimator, RecoversKnownMotion) {
+  calypso::Runtime runtime(calypso::RuntimeOptions{.workers = 2});
+  const auto clip = testClip(3, /*frames=*/5, /*maxShift=*/5);
+  EstimatorConfig fine;
+  fine.factor = 1;  // full resolution: exact vectors expected
+  fine.radius = 6;
+  const auto result = estimateClip(runtime, clip, fine, /*tolerance=*/1);
+  EXPECT_GE(result.accuracy, 0.75) << "full-resolution estimation failed";
+}
+
+TEST(Estimator, TunabilityTradeoff) {
+  calypso::Runtime runtime(calypso::RuntimeOptions{.workers = 2});
+  const auto clip = testClip(5, 4, 5);
+  EstimatorConfig fine;
+  fine.factor = 2;
+  fine.radius = 8;
+  EstimatorConfig coarse;
+  coarse.factor = 4;
+  coarse.radius = 4;
+  const auto fineResult = estimateClip(runtime, clip, fine, 4);
+  const auto coarseResult = estimateClip(runtime, clip, coarse, 4);
+  // Coarse is cheaper per frame.  Wall time on a loaded CI box is noisy, so
+  // allow generous slack: the true work ratio is ~4x.
+  EXPECT_LT(coarseResult.elapsedSeconds, fineResult.elapsedSeconds * 1.5);
+  // Both stay usable within the tolerance.
+  EXPECT_GE(fineResult.accuracy, 0.6);
+  EXPECT_GE(coarseResult.accuracy, 0.4);
+  EXPECT_GE(fineResult.accuracy, coarseResult.accuracy - 1e-9);
+}
+
+TEST(Estimator, DeterministicAcrossWorkerCounts) {
+  const auto clip = testClip(9, 3, 4);
+  EstimatorConfig config;
+  calypso::Runtime one(calypso::RuntimeOptions{.workers = 1});
+  calypso::Runtime three(calypso::RuntimeOptions{.workers = 3});
+  const auto a = estimateClip(one, clip, config);
+  const auto b = estimateClip(three, clip, config);
+  EXPECT_EQ(a.estimates, b.estimates);
+}
+
+TEST(MotionProgram, LoopYieldsExactlyTwoPaths) {
+  calypso::Runtime runtime(calypso::RuntimeOptions{.workers = 2});
+  const auto clip = testClip(11, 5, 4);
+  ClipResult result;
+  const auto program = makeMotionProgram(
+      runtime, clip, task::ResourceRequest{4, ticksFromUnits(8.0)}, 0.95,
+      task::ResourceRequest{4, ticksFromUnits(2.0)}, 0.8, 2.0, &result);
+  const auto paths = program->enumeratePaths();
+  // task_loop over 4 frame pairs x 2 configs, but the knob binds on the
+  // first iteration: exactly 2 consistent paths.
+  ASSERT_EQ(paths.size(), 2u);
+  for (const auto& path : paths) {
+    EXPECT_EQ(path.chain.tasks.size(), 4u);
+    // Cumulative deadlines grow per iteration.
+    for (std::size_t k = 1; k < path.chain.tasks.size(); ++k) {
+      EXPECT_GT(path.chain.tasks[k].relativeDeadline,
+                path.chain.tasks[k - 1].relativeDeadline);
+    }
+  }
+  EXPECT_EQ(paths[0].bindings.at("factor"), 2);
+  EXPECT_EQ(paths[1].bindings.at("factor"), 4);
+  EXPECT_EQ(paths[1].bindings.at("radius"), 4);
+}
+
+TEST(MotionProgram, NegotiatesAndExecutes) {
+  calypso::Runtime runtime(calypso::RuntimeOptions{.workers = 2});
+  const auto clip = testClip(13, 4, 4);
+  ClipResult result;
+  auto program = makeMotionProgram(
+      runtime, clip, task::ResourceRequest{4, ticksFromUnits(8.0)}, 0.95,
+      task::ResourceRequest{4, ticksFromUnits(2.0)}, 0.8, 2.0, &result);
+  qos::QoSArbitrator arbitrator(8);
+  qos::QoSAgent agent(*program);
+  const auto allocation = agent.negotiate(arbitrator, 0);
+  ASSERT_TRUE(allocation.has_value());
+  agent.run();
+  EXPECT_EQ(result.estimates.size(), clip.trueMotion.size());
+  EXPECT_GT(result.accuracy, 0.3);
+  EXPECT_TRUE(arbitrator.verify().ok);
+}
+
+}  // namespace
+}  // namespace tprm::motion

@@ -1,0 +1,103 @@
+#include "resource/gantt.h"
+
+#include <gtest/gtest.h>
+
+namespace tprm::resource {
+namespace {
+
+Reservation res(std::uint64_t job, TimeInterval iv, int procs) {
+  Reservation r;
+  r.jobId = job;
+  r.interval = iv;
+  r.processors = procs;
+  return r;
+}
+
+TEST(Gantt, RendersLanesAndHeader) {
+  ReservationLedger ledger(3);
+  ledger.add(res(0, {0, 50}, 2));
+  ledger.add(res(1, {50, 100}, 1));
+  GanttOptions options;
+  options.columns = 10;
+  const auto chart = renderGantt(ledger, options);
+  // One header line + 3 lanes.
+  EXPECT_NE(chart.find("p00 |"), std::string::npos);
+  EXPECT_NE(chart.find("p02 |"), std::string::npos);
+  EXPECT_EQ(chart.find("p03"), std::string::npos);
+  EXPECT_NE(chart.find("t=["), std::string::npos);
+}
+
+TEST(Gantt, JobLabelsAppear) {
+  ReservationLedger ledger(2);
+  ledger.add(res(0, {0, 100}, 1));
+  ledger.add(res(11, {0, 100}, 1));  // labels 'b'
+  GanttOptions options;
+  options.columns = 10;
+  const auto chart = renderGantt(ledger, options);
+  EXPECT_NE(chart.find('0'), std::string::npos);
+  EXPECT_NE(chart.find('b'), std::string::npos);
+}
+
+TEST(Gantt, UnlabeledMode) {
+  ReservationLedger ledger(1);
+  ledger.add(res(7, {0, 10}, 1));
+  GanttOptions options;
+  options.columns = 10;
+  options.labelJobs = false;
+  const auto chart = renderGantt(ledger, options);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+TEST(Gantt, ParallelReservationsFillMultipleLanes) {
+  ReservationLedger ledger(4);
+  ledger.add(res(0, {0, 100}, 3));
+  GanttOptions options;
+  options.columns = 10;
+  const auto chart = renderGantt(ledger, options);
+  // Three lanes carry '0'; lane p03 stays blank.
+  const auto lane3 = chart.find("p03 |");
+  ASSERT_NE(lane3, std::string::npos);
+  const auto row = chart.substr(lane3 + 5, 10);
+  EXPECT_EQ(row.find('0'), std::string::npos);
+}
+
+TEST(Gantt, WindowClipsContent) {
+  ReservationLedger ledger(1);
+  ledger.add(res(0, {0, 100}, 1));
+  ledger.add(res(1, {100, 200}, 1));
+  GanttOptions options;
+  options.columns = 10;
+  options.window = TimeInterval{100, 200};
+  const auto chart = renderGantt(ledger, options);
+  // Inspect only the cell content between the pipes ("p00 |cells|"): the
+  // header and the lane prefix both contain digits of their own.
+  const auto open = chart.find('|');
+  const auto close = chart.find('|', open + 1);
+  ASSERT_NE(close, std::string::npos);
+  const auto cells = chart.substr(open + 1, close - open - 1);
+  EXPECT_EQ(cells.find('0'), std::string::npos);
+  EXPECT_NE(cells.find('1'), std::string::npos);
+}
+
+TEST(Gantt, EmptyLedger) {
+  ReservationLedger ledger(2);
+  const auto chart = renderGantt(ledger);
+  EXPECT_NE(chart.find("p00 |"), std::string::npos);
+}
+
+TEST(GanttDeath, OvercommittedLedgerAborts) {
+  ReservationLedger ledger(1);
+  ledger.add(res(0, {0, 100}, 1));
+  ledger.add(res(1, {50, 150}, 1));  // overlaps on a 1-processor machine
+  EXPECT_DEATH((void)renderGantt(ledger), "overcommits");
+}
+
+TEST(GanttDeath, TooFewColumns) {
+  ReservationLedger ledger(1);
+  GanttOptions options;
+  options.columns = 2;
+  EXPECT_DEATH((void)renderGantt(ledger, options), "columns");
+}
+
+}  // namespace
+}  // namespace tprm::resource

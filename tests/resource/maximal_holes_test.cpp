@@ -1,0 +1,192 @@
+// Tests for the paper's maximal-hole representation (Section 5.2), including
+// a brute-force extractor used as the property-test oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "resource/availability_profile.h"
+
+namespace tprm::resource {
+namespace {
+
+/// Brute-force oracle: enumerate every candidate rectangle at per-tick
+/// granularity and keep those not contained in another.
+std::vector<MaximalHole> bruteForceHoles(const std::vector<int>& avail,
+                                         int total) {
+  (void)total;
+  const Time n = static_cast<Time>(avail.size());
+  std::vector<MaximalHole> candidates;
+  // For every start, extend while min availability stays positive; record
+  // (start, end, minOverRange) rectangles.
+  for (Time b = 0; b < n; ++b) {
+    int level = avail[static_cast<std::size_t>(b)];
+    for (Time e = b + 1; e <= n; ++e) {
+      level = std::min(level, avail[static_cast<std::size_t>(e - 1)]);
+      if (level <= 0) break;
+      candidates.push_back(MaximalHole{b, e, level});
+    }
+  }
+  // Keep maximal rectangles only.
+  std::vector<MaximalHole> maximal;
+  for (const auto& h : candidates) {
+    bool contained = false;
+    for (const auto& other : candidates) {
+      if (&h == &other) continue;
+      if (other.begin <= h.begin && other.end >= h.end &&
+          other.processors >= h.processors &&
+          (other.begin != h.begin || other.end != h.end ||
+           other.processors != h.processors)) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) maximal.push_back(h);
+  }
+  // Dedup and sort.
+  std::sort(maximal.begin(), maximal.end(),
+            [](const MaximalHole& a, const MaximalHole& b) {
+              if (a.begin != b.begin) return a.begin < b.begin;
+              if (a.processors != b.processors)
+                return a.processors < b.processors;
+              return a.end < b.end;
+            });
+  maximal.erase(std::unique(maximal.begin(), maximal.end()), maximal.end());
+  return maximal;
+}
+
+/// Builds a profile whose availability over [0, pattern.size()) matches
+/// `pattern` (tail is full).  Values must be in [0, total].
+AvailabilityProfile fromPattern(const std::vector<int>& pattern, int total) {
+  AvailabilityProfile p(total);
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    const int used = total - pattern[i];
+    if (used > 0) {
+      p.reserve(TimeInterval{static_cast<Time>(i), static_cast<Time>(i + 1)},
+                used);
+    }
+  }
+  return p;
+}
+
+TEST(MaximalHoles, EmptyMachineIsOneInfiniteHole) {
+  AvailabilityProfile p(8);
+  const auto holes = p.maximalHoles(TimeInterval{0, kTimeInfinity});
+  ASSERT_EQ(holes.size(), 1u);
+  EXPECT_EQ(holes[0], (MaximalHole{0, kTimeInfinity, 8}));
+}
+
+TEST(MaximalHoles, SingleReservationYieldsThreeHoles) {
+  AvailabilityProfile p(8);
+  p.reserve(TimeInterval{10, 20}, 3);
+  const auto holes = p.maximalHoles(TimeInterval{0, 100});
+  // Expected (sorted by begin, then processor count):
+  // [0,100)@5, [0,10)@8, [20,100)@8.
+  ASSERT_EQ(holes.size(), 3u);
+  EXPECT_EQ(holes[0], (MaximalHole{0, 100, 5}));
+  EXPECT_EQ(holes[1], (MaximalHole{0, 10, 8}));
+  EXPECT_EQ(holes[2], (MaximalHole{20, 100, 8}));
+}
+
+TEST(MaximalHoles, ValleyBetweenPeaks) {
+  // Availability pattern 3,1,3: the level-1 hole must span the whole window
+  // even though its minimum segment is in the middle.
+  const auto p = fromPattern({3, 1, 3}, 4);
+  const auto holes = p.maximalHoles(TimeInterval{0, 3});
+  const auto expected = bruteForceHoles({3, 1, 3}, 4);
+  EXPECT_EQ(holes, expected);
+  // Sanity: the level-1 hole spans [0,3).
+  EXPECT_NE(std::find(holes.begin(), holes.end(), MaximalHole{0, 3, 1}),
+            holes.end());
+}
+
+TEST(MaximalHoles, FullyBusyWindowHasNoHoles) {
+  AvailabilityProfile p(4);
+  p.reserve(TimeInterval{0, 50}, 4);
+  EXPECT_TRUE(p.maximalHoles(TimeInterval{0, 50}).empty());
+}
+
+TEST(MaximalHoles, EmptyWindow) {
+  AvailabilityProfile p(4);
+  EXPECT_TRUE(p.maximalHoles(TimeInterval{10, 10}).empty());
+}
+
+TEST(MaximalHoles, ClipsToWindow) {
+  AvailabilityProfile p(8);
+  p.reserve(TimeInterval{10, 20}, 3);
+  const auto holes = p.maximalHoles(TimeInterval{12, 18});
+  ASSERT_EQ(holes.size(), 1u);
+  EXPECT_EQ(holes[0], (MaximalHole{12, 18, 5}));
+}
+
+TEST(MaximalHoles, StaircaseUp) {
+  const std::vector<int> pattern{1, 2, 3, 4};
+  const auto p = fromPattern(pattern, 4);
+  EXPECT_EQ(p.maximalHoles(TimeInterval{0, 4}),
+            bruteForceHoles(pattern, 4));
+}
+
+TEST(MaximalHoles, StaircaseDown) {
+  const std::vector<int> pattern{4, 3, 2, 1};
+  const auto p = fromPattern(pattern, 4);
+  EXPECT_EQ(p.maximalHoles(TimeInterval{0, 4}),
+            bruteForceHoles(pattern, 4));
+}
+
+TEST(MaximalHoles, RepeatedMinimaEmitOnce) {
+  // Pattern 2,1,2,1,2: level-1 hole spans everything, two level-2 islands...
+  const std::vector<int> pattern{2, 1, 2, 1, 2};
+  const auto p = fromPattern(pattern, 4);
+  const auto holes = p.maximalHoles(TimeInterval{0, 5});
+  const auto expected = bruteForceHoles(pattern, 4);
+  EXPECT_EQ(holes, expected);
+  // Exactly one level-1 hole despite two minima.
+  const auto levelOne = std::count_if(
+      holes.begin(), holes.end(),
+      [](const MaximalHole& h) { return h.processors == 1; });
+  EXPECT_EQ(levelOne, 1);
+}
+
+class MaximalHolesPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaximalHolesPropertyTest, MatchesBruteForceOracle) {
+  Rng rng(GetParam());
+  const int total = static_cast<int>(rng.uniformInt(1, 6));
+  const int length = static_cast<int>(rng.uniformInt(1, 24));
+  std::vector<int> pattern;
+  pattern.reserve(static_cast<std::size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    pattern.push_back(static_cast<int>(rng.uniformInt(0, total)));
+  }
+  const auto p = fromPattern(pattern, total);
+  const auto got = p.maximalHoles(TimeInterval{0, length});
+  const auto want = bruteForceHoles(pattern, total);
+  ASSERT_EQ(got, want) << "pattern size " << pattern.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPatterns, MaximalHolesPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+TEST(MaximalHoles, EveryHoleIsActuallyFree) {
+  Rng rng(4242);
+  AvailabilityProfile p(8);
+  for (int i = 0; i < 30; ++i) {
+    const Time b = rng.uniformInt(0, 80);
+    const Time e = b + rng.uniformInt(1, 20);
+    const int procs = static_cast<int>(rng.uniformInt(1, 3));
+    if (p.minAvailable(TimeInterval{b, e}) >= procs) {
+      p.reserve(TimeInterval{b, e}, procs);
+    }
+  }
+  for (const auto& hole : p.maximalHoles(TimeInterval{0, 120})) {
+    EXPECT_GE(p.minAvailable(TimeInterval{hole.begin,
+                                          std::min<Time>(hole.end, 120)}),
+              hole.processors);
+  }
+}
+
+}  // namespace
+}  // namespace tprm::resource

@@ -1,0 +1,117 @@
+#include "resource/reservation_ledger.h"
+
+#include <gtest/gtest.h>
+
+namespace tprm::resource {
+namespace {
+
+Reservation res(std::uint64_t job, int task, TimeInterval iv, int procs,
+                Time deadline = kTimeInfinity, int chain = 0) {
+  Reservation r;
+  r.jobId = job;
+  r.taskIndex = task;
+  r.chainIndex = chain;
+  r.interval = iv;
+  r.processors = procs;
+  r.deadline = deadline;
+  return r;
+}
+
+TEST(ReservationLedger, AreaAndMakespan) {
+  ReservationLedger ledger(8);
+  ledger.add(res(0, 0, {0, 10}, 4));
+  ledger.add(res(0, 1, {10, 30}, 2));
+  EXPECT_EQ(ledger.totalArea(), 4 * 10 + 2 * 20);
+  EXPECT_EQ(ledger.makespan(), 30);
+  EXPECT_EQ(ledger.reservations().size(), 2u);
+}
+
+TEST(ReservationLedger, UtilizationClipsToHorizon) {
+  ReservationLedger ledger(10);
+  ledger.add(res(0, 0, {0, 100}, 5));
+  EXPECT_DOUBLE_EQ(ledger.utilization(100), 0.5);
+  // Only half the reservation falls inside [0, 50).
+  EXPECT_DOUBLE_EQ(ledger.utilization(50), 0.5);
+  // Horizon past the makespan dilutes utilization.
+  EXPECT_DOUBLE_EQ(ledger.utilization(200), 0.25);
+}
+
+TEST(ReservationLedgerDeath, InvalidInputs) {
+  ReservationLedger ledger(4);
+  EXPECT_DEATH(ledger.add(res(0, 0, {10, 5}, 2)), "non-empty");
+  EXPECT_DEATH(ledger.add(res(0, 0, {0, 10}, 5)), "out of range");
+  EXPECT_DEATH((void)ledger.utilization(0), "positive");
+  EXPECT_DEATH(ReservationLedger(0), "at least one");
+}
+
+TEST(ReservationLedgerVerify, CleanScheduleIsOk) {
+  ReservationLedger ledger(8);
+  ledger.add(res(1, 0, {0, 10}, 4, 20));
+  ledger.add(res(1, 1, {10, 20}, 4, 20));
+  ledger.add(res(2, 0, {0, 10}, 4, 50));
+  const auto report = ledger.verify();
+  EXPECT_TRUE(report.ok) << report.firstViolation;
+  EXPECT_EQ(report.violations, 0);
+}
+
+TEST(ReservationLedgerVerify, DetectsCapacityViolation) {
+  ReservationLedger ledger(8);
+  ledger.add(res(1, 0, {0, 10}, 5));
+  ledger.add(res(2, 0, {5, 15}, 5));
+  const auto report = ledger.verify();
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.firstViolation.find("capacity"), std::string::npos);
+}
+
+TEST(ReservationLedgerVerify, TouchingReservationsDoNotCollide) {
+  ReservationLedger ledger(8);
+  ledger.add(res(1, 0, {0, 10}, 8));
+  ledger.add(res(2, 0, {10, 20}, 8));
+  EXPECT_TRUE(ledger.verify().ok);
+}
+
+TEST(ReservationLedgerVerify, DetectsDeadlineViolation) {
+  ReservationLedger ledger(8);
+  ledger.add(res(1, 0, {0, 30}, 2, /*deadline=*/25));
+  const auto report = ledger.verify();
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.firstViolation.find("deadline"), std::string::npos);
+}
+
+TEST(ReservationLedgerVerify, DetectsPrecedenceViolation) {
+  ReservationLedger ledger(8);
+  ledger.add(res(1, 0, {10, 20}, 2));
+  ledger.add(res(1, 1, {15, 25}, 2));  // starts before task 0 ends
+  const auto report = ledger.verify();
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.firstViolation.find("predecessor"), std::string::npos);
+}
+
+TEST(ReservationLedgerVerify, PrecedenceIsPerJob) {
+  ReservationLedger ledger(8);
+  // Overlap between different jobs' tasks is fine.
+  ledger.add(res(1, 0, {10, 20}, 2));
+  ledger.add(res(2, 1, {15, 25}, 2));
+  EXPECT_TRUE(ledger.verify().ok);
+}
+
+TEST(ReservationLedgerVerify, DetectsDuplicateTask) {
+  ReservationLedger ledger(8);
+  ledger.add(res(1, 0, {0, 10}, 2));
+  ledger.add(res(1, 0, {20, 30}, 2));
+  const auto report = ledger.verify();
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.firstViolation.find("duplicate"), std::string::npos);
+}
+
+TEST(ReservationLedgerVerify, CountsMultipleViolations) {
+  ReservationLedger ledger(4);
+  ledger.add(res(1, 0, {0, 10}, 4, 5));   // deadline violation
+  ledger.add(res(2, 0, {0, 10}, 4));      // capacity violation with job 1
+  const auto report = ledger.verify();
+  EXPECT_FALSE(report.ok);
+  EXPECT_GE(report.violations, 2);
+}
+
+}  // namespace
+}  // namespace tprm::resource

@@ -1,0 +1,186 @@
+#include "sched/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/greedy_arbitrator.h"
+#include "sim/engine.h"
+#include "workload/fig4.h"
+
+namespace tprm::sched {
+namespace {
+
+using task::Chain;
+using task::JobInstance;
+using task::TaskSpec;
+
+JobInstance simpleJob(int procs, Time duration, Time relDeadline,
+                      Time release = 0) {
+  JobInstance job;
+  job.release = release;
+  Chain chain;
+  chain.tasks = {TaskSpec::rigid("t", procs, duration, relDeadline)};
+  job.spec.chains = {chain};
+  return job;
+}
+
+TEST(BestEffort, AdmitsEverythingThatFitsTheMachine) {
+  BestEffortArbitrator arb;
+  resource::AvailabilityProfile profile(4);
+  // Deadline is impossible, but best effort does not care.
+  profile.reserve(TimeInterval{0, 1000}, 4);
+  const auto d = arb.admit(simpleJob(4, 10, 5), profile);
+  ASSERT_TRUE(d.admitted);
+  EXPECT_EQ(d.schedule.placements[0].interval.begin, 1000);
+  // No guarantee recorded.
+  EXPECT_EQ(d.schedule.placements[0].deadline, kTimeInfinity);
+}
+
+TEST(BestEffort, RejectsOnlyImpossibleShapes) {
+  BestEffortArbitrator arb;
+  resource::AvailabilityProfile profile(4);
+  EXPECT_FALSE(arb.admit(simpleJob(5, 10, 1000), profile).admitted);
+}
+
+TEST(BestEffort, PicksEarliestFinishingChain) {
+  BestEffortArbitrator arb;
+  resource::AvailabilityProfile profile(4);
+  JobInstance job;
+  Chain slow;
+  slow.name = "slow";
+  slow.tasks = {TaskSpec::rigid("t", 1, 100, 10)};  // hopeless deadline
+  Chain fast;
+  fast.name = "fast";
+  fast.tasks = {TaskSpec::rigid("t", 1, 20, 10)};
+  job.spec.chains = {slow, fast};
+  const auto d = arb.admit(job, profile);
+  ASSERT_TRUE(d.admitted);
+  EXPECT_EQ(d.schedule.chainIndex, 1u);
+}
+
+TEST(BestEffort, MissesDeadlinesUnderLoadButCompletesJobs) {
+  BestEffortArbitrator arb;
+  // Full-machine jobs arriving back-to-back with tight deadlines: work
+  // queues up, everything completes, almost nothing is on time.
+  std::vector<JobInstance> jobs;
+  for (int i = 0; i < 50; ++i) {
+    auto job = simpleJob(8, 100, 120, i * 10);
+    job.id = static_cast<std::uint64_t>(i);
+    jobs.push_back(job);
+  }
+  sim::SimulationConfig config;
+  config.processors = 8;
+  const auto result = sim::runSimulation(jobs, arb, config);
+  EXPECT_EQ(result.admitted, 50u);
+  EXPECT_LT(result.onTime, 5u);
+}
+
+TEST(Conservative, DedicatesPeakForLifetime) {
+  ConservativeArbitrator arb;
+  resource::AvailabilityProfile profile(8);
+  const auto d = arb.admit(simpleJob(4, 10, 100), profile);
+  ASSERT_TRUE(d.admitted);
+  // Peak (4) held from release to deadline (100), not just 10.
+  EXPECT_EQ(profile.availableAt(50), 4);
+  EXPECT_EQ(profile.availableAt(99), 4);
+  EXPECT_EQ(profile.availableAt(100), 8);
+}
+
+TEST(Conservative, GuaranteesAreAlwaysMet) {
+  ConservativeArbitrator arb;
+  const auto jobs = [] {
+    std::vector<JobInstance> out;
+    for (int i = 0; i < 100; ++i) {
+      auto job = simpleJob(3, 20, 200, i * 15);
+      job.id = static_cast<std::uint64_t>(i);
+      out.push_back(job);
+    }
+    return out;
+  }();
+  sim::SimulationConfig config;
+  config.processors = 8;
+  config.verify = true;
+  const auto result = sim::runSimulation(jobs, arb, config);
+  EXPECT_TRUE(result.verification->ok)
+      << result.verification->firstViolation;
+  EXPECT_EQ(result.onTime, result.admitted);
+  EXPECT_GT(result.rejected, 0u);  // conservative must turn jobs away
+}
+
+TEST(Conservative, RejectsWhatGreedyAccepts) {
+  // Two jobs, each peak 4, lifetimes overlapping on an 8-processor machine
+  // with deadlines loose enough that time-multiplexing works: greedy admits
+  // three, conservative only two.
+  const auto makeJob = [](Time release) {
+    return simpleJob(4, 10, 500, release);
+  };
+  resource::AvailabilityProfile conservativeProfile(8);
+  resource::AvailabilityProfile greedyProfile(8);
+  ConservativeArbitrator conservative;
+  GreedyArbitrator greedy;
+  int conservativeAdmits = 0;
+  int greedyAdmits = 0;
+  for (int i = 0; i < 3; ++i) {
+    if (conservative.admit(makeJob(0), conservativeProfile).admitted) {
+      ++conservativeAdmits;
+    }
+    if (greedy.admit(makeJob(0), greedyProfile).admitted) ++greedyAdmits;
+  }
+  EXPECT_EQ(conservativeAdmits, 2);  // 2 x peak 4 fills the machine
+  EXPECT_EQ(greedyAdmits, 3);        // greedy packs them in time
+}
+
+TEST(Conservative, PrefersCheapestChain) {
+  ConservativeArbitrator arb;
+  resource::AvailabilityProfile profile(8);
+  JobInstance job;
+  Chain heavy;
+  heavy.name = "heavy";
+  heavy.tasks = {TaskSpec::rigid("t", 8, 10, 100)};
+  Chain light;
+  light.name = "light";
+  light.tasks = {TaskSpec::rigid("t", 2, 40, 100)};
+  job.spec.chains = {heavy, light};
+  const auto d = arb.admit(job, profile);
+  ASSERT_TRUE(d.admitted);
+  EXPECT_EQ(d.schedule.chainIndex, 1u);  // smallest peak demand
+  EXPECT_EQ(profile.availableAt(50), 6);
+}
+
+TEST(Conservative, InfiniteDeadlineFallsBackToCriticalPath) {
+  ConservativeArbitrator arb;
+  resource::AvailabilityProfile profile(8);
+  const auto d = arb.admit(simpleJob(4, 10, kTimeInfinity), profile);
+  ASSERT_TRUE(d.admitted);
+  // Block = critical path only.
+  EXPECT_EQ(profile.availableAt(5), 4);
+  EXPECT_EQ(profile.availableAt(10), 8);
+}
+
+TEST(Approaches, IntroductionNarrativeHolds) {
+  // The Section-1 story on one moderate-load point: best effort completes
+  // all but misses most deadlines; conservative meets all deadlines it
+  // accepts but accepts few; reservation+tunability accepts many and meets
+  // every accepted deadline.
+  workload::Fig4Params params;
+  const auto stream = workload::makeFig4PoissonStream(
+      params, workload::Fig4Shape::Tunable, 30.0, 800, 42);
+  sim::SimulationConfig config;
+  config.processors = 16;
+
+  BestEffortArbitrator bestEffort;
+  const auto be = sim::runSimulation(stream, bestEffort, config);
+  ConservativeArbitrator conservative;
+  const auto cons = sim::runSimulation(stream, conservative, config);
+  GreedyArbitrator greedy;
+  const auto resv = sim::runSimulation(stream, greedy, config);
+
+  EXPECT_EQ(be.admitted, 800u);
+  EXPECT_LT(be.onTime, resv.onTime / 2);
+  EXPECT_EQ(cons.onTime, cons.admitted);
+  EXPECT_LT(cons.onTime, resv.onTime / 2);
+  EXPECT_EQ(resv.onTime, resv.admitted);
+  EXPECT_GT(resv.utilization, 2.0 * cons.utilization);
+}
+
+}  // namespace
+}  // namespace tprm::sched

@@ -1,0 +1,232 @@
+#include "sched/dag_arbitrator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "resource/reservation_ledger.h"
+#include "sched/greedy_arbitrator.h"
+#include "workload/fig4.h"
+
+namespace tprm::sched {
+namespace {
+
+using task::DagJobInstance;
+using task::DagSpec;
+using task::DagTask;
+using task::TaskSpec;
+
+DagTask node(const std::string& name, int procs, Time dur, Time deadline,
+             std::vector<std::size_t> preds = {}) {
+  DagTask t;
+  t.spec = TaskSpec::rigid(name, procs, dur, deadline);
+  t.predecessors = std::move(preds);
+  return t;
+}
+
+DagJobInstance forkJoin(Time release = 0, int branches = 3,
+                        Time deadline = 1000) {
+  // source -> {b1..bk} -> sink
+  DagJobInstance job;
+  job.release = release;
+  DagSpec dag;
+  dag.name = "forkjoin";
+  dag.tasks.push_back(node("source", 1, 10, deadline));
+  std::vector<std::size_t> mids;
+  for (int i = 0; i < branches; ++i) {
+    dag.tasks.push_back(
+        node("branch" + std::to_string(i), 2, 20, deadline, {0}));
+    mids.push_back(static_cast<std::size_t>(i + 1));
+  }
+  dag.tasks.push_back(node("sink", 1, 10, deadline, mids));
+  job.spec.alternatives = {dag};
+  return job;
+}
+
+TEST(DagArbitrator, ForkJoinRunsBranchesInParallel) {
+  DagArbitrator arb;
+  resource::AvailabilityProfile profile(8);
+  const auto d = arb.admit(forkJoin(), profile);
+  ASSERT_TRUE(d.admitted);
+  ASSERT_EQ(d.placements.size(), 5u);
+  // Source [0,10); three 2-processor branches fit side by side [10,30);
+  // sink [30,40).
+  EXPECT_EQ(d.placements[0].interval, (TimeInterval{0, 10}));
+  for (std::size_t b = 1; b <= 3; ++b) {
+    EXPECT_EQ(d.placements[b].interval, (TimeInterval{10, 30}));
+  }
+  EXPECT_EQ(d.placements[4].interval, (TimeInterval{30, 40}));
+  EXPECT_EQ(d.finish, 40);
+}
+
+TEST(DagArbitrator, BranchesSerializeOnNarrowMachine) {
+  DagArbitrator arb;
+  resource::AvailabilityProfile profile(2);
+  const auto d = arb.admit(forkJoin(), profile);
+  ASSERT_TRUE(d.admitted);
+  // Only one 2-processor branch at a time: finish = 10 + 3*20 + 10 = 80.
+  EXPECT_EQ(d.finish, 80);
+}
+
+TEST(DagArbitrator, PrecedenceAlwaysRespected) {
+  DagArbitrator arb;
+  resource::AvailabilityProfile profile(4);
+  profile.reserve(TimeInterval{0, 15}, 3);  // clutter
+  const auto job = forkJoin();
+  const auto d = arb.admit(job, profile);
+  ASSERT_TRUE(d.admitted);
+  const auto& dag = job.spec.alternatives[0];
+  for (std::size_t v = 0; v < dag.tasks.size(); ++v) {
+    for (const std::size_t p : dag.tasks[v].predecessors) {
+      EXPECT_GE(d.placements[v].interval.begin,
+                d.placements[p].interval.end);
+    }
+  }
+}
+
+TEST(DagArbitrator, RejectsWhenDeadlineUnreachable) {
+  DagArbitrator arb;
+  resource::AvailabilityProfile profile(2);
+  // On 2 processors the fork-join needs 80; deadline 50 is unreachable.
+  const auto d = arb.admit(forkJoin(0, 3, 50), profile);
+  EXPECT_FALSE(d.admitted);
+  // Transactional rejection.
+  EXPECT_EQ(profile.busyProcessorTicks(TimeInterval{0, 1000}), 0);
+}
+
+TEST(DagArbitrator, PicksEarliestFinishingAlternative) {
+  DagArbitrator arb;
+  resource::AvailabilityProfile profile(8);
+  // Alternative 0: serial chain (40 units); alternative 1: fork-join that
+  // parallelizes to 40 as well... make branches shorter so dag wins.
+  DagJobInstance job;
+  DagSpec serial;
+  serial.name = "serial";
+  serial.tasks = {node("a", 2, 30, 1000), node("b", 2, 30, 1000, {0})};
+  DagSpec parallel = forkJoin().spec.alternatives[0];
+  job.spec.alternatives = {serial, parallel};
+  const auto d = arb.admit(job, profile);
+  ASSERT_TRUE(d.admitted);
+  EXPECT_EQ(d.alternativeIndex, 1u);  // 40 < 60
+  EXPECT_EQ(d.alternativesSchedulable, 2);
+}
+
+TEST(DagArbitrator, MatchesChainArbitratorOnChainJobs) {
+  // The dag arbitrator restricted to path-dags must reproduce the chain
+  // arbitrator's schedules exactly.
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    workload::Fig4Params params;
+    params.laxity = rng.uniformReal(0.1, 0.9);
+    const auto chainSpec =
+        workload::makeFig4Job(params, workload::Fig4Shape::Tunable);
+    const auto dagSpec = task::dagFromChains(chainSpec);
+
+    resource::AvailabilityProfile chainProfile(16);
+    resource::AvailabilityProfile dagProfile(16);
+    // Random pre-load.
+    for (int i = 0; i < 5; ++i) {
+      const Time b = rng.uniformInt(0, ticksFromUnits(100.0));
+      const Time e = b + rng.uniformInt(1, ticksFromUnits(80.0));
+      const int procs = static_cast<int>(rng.uniformInt(1, 8));
+      if (chainProfile.minAvailable(TimeInterval{b, e}) >= procs) {
+        chainProfile.reserve(TimeInterval{b, e}, procs);
+        dagProfile.reserve(TimeInterval{b, e}, procs);
+      }
+    }
+
+    GreedyArbitrator chainArb;
+    DagArbitrator dagArb;
+    task::JobInstance chainJob;
+    chainJob.release = 0;
+    chainJob.spec = chainSpec;
+    task::DagJobInstance dagJob;
+    dagJob.release = 0;
+    dagJob.spec = dagSpec;
+
+    const auto cd = chainArb.admit(chainJob, chainProfile);
+    const auto dd = dagArb.admit(dagJob, dagProfile);
+    ASSERT_EQ(cd.admitted, dd.admitted) << "trial " << trial;
+    if (!cd.admitted) continue;
+    ASSERT_EQ(cd.schedule.chainIndex, dd.alternativeIndex);
+    ASSERT_EQ(cd.schedule.placements.size(), dd.placements.size());
+    for (std::size_t k = 0; k < dd.placements.size(); ++k) {
+      EXPECT_EQ(cd.schedule.placements[k], dd.placements[k])
+          << "trial " << trial << " task " << k;
+    }
+  }
+}
+
+TEST(DagArbitrator, MalleableWidensAndShrinks) {
+  DagArbitrator arb(DagOptions{.malleable = true});
+  resource::AvailabilityProfile profile(8);
+  profile.reserve(TimeInterval{0, 380}, 6);  // 2 free until 380
+  DagJobInstance job;
+  DagSpec dag;
+  DagTask t;
+  t.spec = TaskSpec::malleableTask("m", 8, 50, 8, 420);
+  dag.tasks = {t};
+  job.spec.alternatives = {dag};
+  const auto d = arb.admit(job, profile);
+  ASSERT_TRUE(d.admitted);
+  // q=8 would finish at 430 > 420; q=2 runs [0, 200) within the deadline.
+  EXPECT_EQ(d.placements[0].processors, 2);
+  EXPECT_EQ(d.placements[0].interval, (TimeInterval{0, 200}));
+}
+
+TEST(DagArbitrator, RandomDagsVerifyInLedger) {
+  Rng rng(11);
+  DagArbitrator arb;
+  resource::AvailabilityProfile profile(12);
+  resource::ReservationLedger ledger(12);
+  Time clock = 0;
+  std::uint64_t admitted = 0;
+  for (std::uint64_t jobId = 0; jobId < 150; ++jobId) {
+    clock += rng.uniformInt(0, 30);
+    profile.discardBefore(clock);
+    DagJobInstance job;
+    job.id = jobId;
+    job.release = clock;
+    DagSpec dag;
+    const int n = static_cast<int>(rng.uniformInt(1, 6));
+    for (int v = 0; v < n; ++v) {
+      DagTask t;
+      const int procs = static_cast<int>(rng.uniformInt(1, 6));
+      const Time dur = rng.uniformInt(1, 40);
+      t.spec = TaskSpec::rigid("t" + std::to_string(v), procs, dur,
+                               rng.uniformInt(100, 600));
+      // Random predecessors among earlier nodes (keeps it acyclic).
+      for (int p = 0; p < v; ++p) {
+        if (rng.bernoulli(0.4)) {
+          t.predecessors.push_back(static_cast<std::size_t>(p));
+        }
+      }
+      dag.tasks.push_back(std::move(t));
+    }
+    job.spec.alternatives = {dag};
+    if (!task::validateDag(job.spec).empty()) continue;
+    const auto d = arb.admit(job, profile);
+    if (!d.admitted) continue;
+    ++admitted;
+    for (std::size_t v = 0; v < d.placements.size(); ++v) {
+      // Ledger precedence checks assume chain order; use task index per
+      // topological position instead: capacity and deadline checks are what
+      // matter here, so record each task as its own "chain".
+      ledger.add(resource::Reservation{job.id, 0, static_cast<int>(v),
+                                       d.placements[v].interval,
+                                       d.placements[v].processors,
+                                       d.placements[v].deadline});
+      // Precedence verified directly:
+      for (const std::size_t p :
+           job.spec.alternatives[0].tasks[v].predecessors) {
+        ASSERT_GE(d.placements[v].interval.begin,
+                  d.placements[p].interval.end);
+      }
+    }
+  }
+  EXPECT_GT(admitted, 20u);
+  const auto report = ledger.verify();
+  EXPECT_TRUE(report.ok) << report.firstViolation;
+}
+
+}  // namespace
+}  // namespace tprm::sched

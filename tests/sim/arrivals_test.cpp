@@ -1,0 +1,76 @@
+#include "sim/arrivals.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tprm::sim {
+namespace {
+
+TEST(PoissonArrivals, MonotoneNonDecreasing) {
+  PoissonArrivals arrivals(10.0, Rng(1));
+  Time prev = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const Time t = arrivals.next();
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(PoissonArrivals, MeanInterarrivalMatches) {
+  PoissonArrivals arrivals(25.0, Rng(2));
+  const int n = 100'000;
+  Time last = 0;
+  for (int i = 0; i < n; ++i) last = arrivals.next();
+  const double meanGap = unitsFromTicks(last) / n;
+  EXPECT_NEAR(meanGap, 25.0, 0.3);
+}
+
+TEST(PoissonArrivals, DeterministicPerSeed) {
+  PoissonArrivals a(10.0, Rng(3));
+  PoissonArrivals b(10.0, Rng(3));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(PoissonArrivalsDeath, RejectsNonPositiveMean) {
+  EXPECT_DEATH(PoissonArrivals(0.0, Rng(1)), "> 0");
+}
+
+TEST(UniformArrivals, ExactSpacing) {
+  UniformArrivals arrivals(10.0);
+  EXPECT_EQ(arrivals.next(), 0);
+  EXPECT_EQ(arrivals.next(), ticksFromUnits(10.0));
+  EXPECT_EQ(arrivals.next(), ticksFromUnits(20.0));
+}
+
+TEST(UniformArrivals, StartOffset) {
+  UniformArrivals arrivals(10.0, 5.0);
+  EXPECT_EQ(arrivals.next(), ticksFromUnits(5.0));
+  EXPECT_EQ(arrivals.next(), ticksFromUnits(15.0));
+}
+
+TEST(BurstyArrivals, BurstStructure) {
+  BurstyArrivals arrivals(3, 0.5, 100.0, Rng(4));
+  std::vector<Time> times;
+  for (int i = 0; i < 9; ++i) times.push_back(arrivals.next());
+  // Within each burst of 3 the spacing is exactly 0.5 units.
+  for (int b = 0; b < 3; ++b) {
+    EXPECT_EQ(times[static_cast<std::size_t>(b * 3 + 1)] -
+                  times[static_cast<std::size_t>(b * 3)],
+              ticksFromUnits(0.5));
+    EXPECT_EQ(times[static_cast<std::size_t>(b * 3 + 2)] -
+                  times[static_cast<std::size_t>(b * 3 + 1)],
+              ticksFromUnits(0.5));
+  }
+  // Gaps between bursts are (stochastically) much larger.
+  EXPECT_GT(times[3] - times[2], ticksFromUnits(0.5));
+}
+
+TEST(BurstyArrivalsDeath, ValidatesParameters) {
+  EXPECT_DEATH(BurstyArrivals(0, 1.0, 10.0, Rng(1)), ">= 1");
+  EXPECT_DEATH(BurstyArrivals(2, -1.0, 10.0, Rng(1)), ">= 0");
+  EXPECT_DEATH(BurstyArrivals(2, 1.0, 0.0, Rng(1)), "> 0");
+}
+
+}  // namespace
+}  // namespace tprm::sim

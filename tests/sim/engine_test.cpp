@@ -1,0 +1,179 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/greedy_arbitrator.h"
+#include "taskmodel/chain.h"
+
+namespace tprm::sim {
+namespace {
+
+using task::Chain;
+using task::JobInstance;
+using task::TaskSpec;
+
+std::vector<JobInstance> simpleStream(int count, Time spacing, int procs,
+                                      Time duration, Time relDeadline) {
+  std::vector<JobInstance> jobs;
+  for (int i = 0; i < count; ++i) {
+    JobInstance job;
+    job.id = static_cast<std::uint64_t>(i);
+    job.release = spacing * i;
+    Chain chain;
+    chain.tasks = {TaskSpec::rigid("t", procs, duration, relDeadline)};
+    job.spec.chains = {chain};
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+TEST(Engine, AdmitsEverythingUnderLightLoad) {
+  sched::GreedyArbitrator arb;
+  const auto jobs = simpleStream(100, /*spacing=*/20, 4, 10, 100);
+  SimulationConfig config;
+  config.processors = 8;
+  config.verify = true;
+  const auto result = runSimulation(jobs, arb, config);
+  EXPECT_EQ(result.arrivals, 100u);
+  EXPECT_EQ(result.admitted, 100u);
+  EXPECT_EQ(result.rejected, 0u);
+  ASSERT_TRUE(result.verification.has_value());
+  EXPECT_TRUE(result.verification->ok) << result.verification->firstViolation;
+}
+
+TEST(Engine, RejectsUnderOverload) {
+  sched::GreedyArbitrator arb;
+  // Full-machine tasks, back-to-back arrivals, tight deadlines: every other
+  // job must be rejected.
+  const auto jobs = simpleStream(50, /*spacing=*/5, 8, 10, 10);
+  SimulationConfig config;
+  config.processors = 8;
+  config.verify = true;
+  const auto result = runSimulation(jobs, arb, config);
+  EXPECT_GT(result.rejected, 0u);
+  EXPECT_EQ(result.admitted + result.rejected, result.arrivals);
+  EXPECT_TRUE(result.verification->ok);
+}
+
+TEST(Engine, UtilizationDefinition) {
+  sched::GreedyArbitrator arb;
+  // One job: 4 procs x 10 on an 8-proc machine, horizon = finish = 10.
+  const auto jobs = simpleStream(1, 1, 4, 10, 100);
+  SimulationConfig config;
+  config.processors = 8;
+  const auto result = runSimulation(jobs, arb, config);
+  EXPECT_EQ(result.admittedArea, 40);
+  EXPECT_EQ(result.horizon, 10);
+  EXPECT_DOUBLE_EQ(result.utilization, 40.0 / 80.0);
+}
+
+TEST(Engine, HorizonIncludesLateArrivalsEvenIfRejected) {
+  sched::GreedyArbitrator arb;
+  auto jobs = simpleStream(2, 1000, 4, 10, 100);
+  // Make the second job unschedulable (too many processors).
+  jobs[1].spec.chains[0].tasks[0].request.processors = 99;
+  SimulationConfig config;
+  config.processors = 8;
+  const auto result = runSimulation(jobs, arb, config);
+  EXPECT_EQ(result.admitted, 1u);
+  EXPECT_EQ(result.horizon, 1000);
+}
+
+TEST(Engine, ResponseAndSlackStats) {
+  sched::GreedyArbitrator arb;
+  const auto jobs = simpleStream(10, ticksFromUnits(100.0), 8,
+                                 ticksFromUnits(10.0), ticksFromUnits(25.0));
+  SimulationConfig config;
+  config.processors = 8;
+  const auto result = runSimulation(jobs, arb, config);
+  EXPECT_EQ(result.responseTime.count(), 10u);
+  EXPECT_DOUBLE_EQ(result.responseTime.mean(), 10.0);
+  EXPECT_DOUBLE_EQ(result.slack.mean(), 15.0);
+}
+
+TEST(Engine, ChainCountsTrackSelection) {
+  sched::GreedyArbitrator arb;
+  std::vector<JobInstance> jobs;
+  for (int i = 0; i < 10; ++i) {
+    JobInstance job;
+    job.id = static_cast<std::uint64_t>(i);
+    job.release = i * 200;
+    Chain a;
+    a.name = "a";
+    a.tasks = {TaskSpec::rigid("t", 2, 10, 1000)};
+    Chain b;
+    b.name = "b";
+    b.tasks = {TaskSpec::rigid("t", 2, 50, 1000)};
+    job.spec.chains = {a, b};
+    jobs.push_back(std::move(job));
+  }
+  SimulationConfig config;
+  config.processors = 4;
+  const auto result = runSimulation(jobs, arb, config);
+  ASSERT_GE(result.chainCounts.size(), 1u);
+  EXPECT_EQ(result.chainCounts[0], 10u);  // chain a always finishes earlier
+}
+
+TEST(Engine, QualitySumUsesChosenChain) {
+  sched::GreedyArbitrator arb;
+  std::vector<JobInstance> jobs;
+  JobInstance job;
+  job.release = 0;
+  Chain chain;
+  chain.tasks = {TaskSpec::rigid("t", 1, 10, 1000, 0.75)};
+  job.spec.chains = {chain};
+  jobs.push_back(job);
+  SimulationConfig config;
+  config.processors = 2;
+  const auto result = runSimulation(jobs, arb, config);
+  EXPECT_DOUBLE_EQ(result.qualitySum, 0.75);
+}
+
+TEST(Engine, AdmitRate) {
+  SimulationResult r;
+  r.arrivals = 4;
+  r.admitted = 3;
+  EXPECT_DOUBLE_EQ(r.admitRate(), 0.75);
+  EXPECT_DOUBLE_EQ(SimulationResult{}.admitRate(), 0.0);
+}
+
+TEST(EngineDeath, RequiresSortedStream) {
+  sched::GreedyArbitrator arb;
+  auto jobs = simpleStream(2, 100, 1, 10, 1000);
+  std::swap(jobs[0], jobs[1]);
+  SimulationConfig config;
+  config.processors = 2;
+  EXPECT_DEATH((void)runSimulation(jobs, arb, config), "sorted");
+}
+
+TEST(EngineDeath, RequiresProcessors) {
+  sched::GreedyArbitrator arb;
+  SimulationConfig config;
+  config.processors = 0;
+  EXPECT_DEATH((void)runSimulation({}, arb, config), "processors");
+}
+
+TEST(Engine, EmptyStream) {
+  sched::GreedyArbitrator arb;
+  SimulationConfig config;
+  config.processors = 4;
+  const auto result = runSimulation({}, arb, config);
+  EXPECT_EQ(result.arrivals, 0u);
+  EXPECT_DOUBLE_EQ(result.utilization, 0.0);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  const auto jobs = simpleStream(200, 7, 3, 13, 60);
+  SimulationConfig config;
+  config.processors = 8;
+  sched::GreedyArbitrator a1;
+  sched::GreedyArbitrator a2;
+  const auto r1 = runSimulation(jobs, a1, config);
+  const auto r2 = runSimulation(jobs, a2, config);
+  EXPECT_EQ(r1.admitted, r2.admitted);
+  EXPECT_EQ(r1.admittedArea, r2.admittedArea);
+  EXPECT_DOUBLE_EQ(r1.utilization, r2.utilization);
+}
+
+}  // namespace
+}  // namespace tprm::sim

@@ -1,0 +1,93 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/greedy_arbitrator.h"
+#include "sim/engine.h"
+#include "workload/fig4.h"
+
+namespace tprm::sim {
+namespace {
+
+TEST(Trace, RecordsEveryArrival) {
+  const auto jobs = workload::makeFig4PoissonStream(
+      workload::Fig4Params{}, workload::Fig4Shape::Tunable, 20.0, 100, 42);
+  sched::GreedyArbitrator arbitrator;
+  TraceRecorder trace;
+  SimulationConfig config;
+  config.processors = 16;
+  config.trace = &trace;
+  const auto result = runSimulation(jobs, arbitrator, config);
+  ASSERT_EQ(trace.size(), 100u);
+
+  std::uint64_t admitted = 0;
+  for (const auto& event : trace.events()) {
+    if (event.admitted) {
+      ++admitted;
+      EXPECT_FALSE(event.placements.empty());
+      EXPECT_GE(event.finish, event.release);
+    } else {
+      EXPECT_TRUE(event.placements.empty());
+    }
+  }
+  EXPECT_EQ(admitted, result.admitted);
+}
+
+TEST(Trace, EventsCarryJobIdentity) {
+  const auto jobs = workload::makeFig4PoissonStream(
+      workload::Fig4Params{}, workload::Fig4Shape::Shape1, 50.0, 5, 1);
+  sched::GreedyArbitrator arbitrator;
+  TraceRecorder trace;
+  SimulationConfig config;
+  config.processors = 16;
+  config.trace = &trace;
+  (void)runSimulation(jobs, arbitrator, config);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace.events()[i].jobId, i);
+    EXPECT_EQ(trace.events()[i].jobName, "fig4-shape1");
+  }
+}
+
+TEST(Trace, JsonIsWellFormedAndComplete) {
+  const auto jobs = workload::makeFig4PoissonStream(
+      workload::Fig4Params{}, workload::Fig4Shape::Tunable, 20.0, 30, 7);
+  sched::GreedyArbitrator arbitrator;
+  TraceRecorder trace;
+  SimulationConfig config;
+  config.processors = 16;
+  config.trace = &trace;
+  (void)runSimulation(jobs, arbitrator, config);
+
+  const auto json = trace.toJson();
+  ASSERT_TRUE(json.isArray());
+  ASSERT_EQ(json.asArray().size(), 30u);
+  // Round-trips through the parser.
+  const auto reparsed = parseJson(json.dump());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error;
+  EXPECT_EQ(*reparsed.value, json);
+  // Spot checks on the first admitted event.
+  for (const auto& event : json.asArray()) {
+    ASSERT_NE(event.find("admitted"), nullptr);
+    if (!event.find("admitted")->asBool()) continue;
+    ASSERT_NE(event.find("placements"), nullptr);
+    const auto& placements = event.find("placements")->asArray();
+    ASSERT_FALSE(placements.empty());
+    EXPECT_GE(placements[0].find("end")->asNumber(),
+              placements[0].find("start")->asNumber());
+    break;
+  }
+}
+
+TEST(Trace, NullTraceIsNoOverhead) {
+  // Contract: trace defaults to nullptr and the engine works without one.
+  const auto jobs = workload::makeFig4PoissonStream(
+      workload::Fig4Params{}, workload::Fig4Shape::Tunable, 20.0, 10, 7);
+  sched::GreedyArbitrator arbitrator;
+  SimulationConfig config;
+  config.processors = 16;
+  EXPECT_EQ(config.trace, nullptr);
+  (void)runSimulation(jobs, arbitrator, config);
+}
+
+}  // namespace
+}  // namespace tprm::sim

@@ -1,0 +1,115 @@
+#include "taskmodel/spec_io.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/fig4.h"
+
+namespace tprm::task {
+namespace {
+
+TEST(SpecIo, RoundTripsFig4Jobs) {
+  for (const auto shape : {workload::Fig4Shape::Shape1,
+                           workload::Fig4Shape::Shape2,
+                           workload::Fig4Shape::Tunable}) {
+    const auto original =
+        workload::makeFig4Job(workload::Fig4Params{}, shape);
+    const auto text = toJson(original);
+    const auto parsed = jobSpecFromJson(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    EXPECT_EQ(*parsed.spec, original) << toString(shape);
+  }
+}
+
+TEST(SpecIo, RoundTripsMalleableAndQuality) {
+  workload::Fig4Params params;
+  params.malleable = true;
+  auto original = workload::makeFig4Job(params, workload::Fig4Shape::Tunable);
+  original.chains[0].tasks[0].quality = 0.75;
+  original.qualityComposition = QualityComposition::Minimum;
+  const auto parsed = jobSpecFromJson(toJson(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(*parsed.spec, original);
+}
+
+TEST(SpecIo, ParsesHandWrittenSpec) {
+  const std::string text = R"({
+    "name": "demo",
+    "chains": [
+      {"name": "a",
+       "tasks": [
+         {"name": "t1", "processors": 4, "duration": 10.5, "deadline": 50},
+         {"name": "t2", "processors": 2, "duration": 20,
+          "deadline": 100, "quality": 0.9, "maxConcurrency": 8}
+       ]}
+    ]
+  })";
+  const auto parsed = jobSpecFromJson(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const auto& spec = *parsed.spec;
+  EXPECT_EQ(spec.name, "demo");
+  ASSERT_EQ(spec.chains.size(), 1u);
+  const auto& tasks = spec.chains[0].tasks;
+  ASSERT_EQ(tasks.size(), 2u);
+  EXPECT_EQ(tasks[0].request, (ResourceRequest{4, ticksFromUnits(10.5)}));
+  EXPECT_EQ(tasks[0].relativeDeadline, ticksFromUnits(50.0));
+  EXPECT_FALSE(tasks[0].malleable.has_value());
+  ASSERT_TRUE(tasks[1].malleable.has_value());
+  EXPECT_EQ(tasks[1].malleable->maxConcurrency, 8);
+  EXPECT_DOUBLE_EQ(tasks[1].quality, 0.9);
+}
+
+TEST(SpecIo, MissingDeadlineMeansInfinity) {
+  const std::string text = R"({
+    "chains": [{"tasks": [{"processors": 1, "duration": 5}]}]
+  })";
+  const auto parsed = jobSpecFromJson(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.spec->chains[0].tasks[0].relativeDeadline, kTimeInfinity);
+}
+
+TEST(SpecIo, ErrorsAreDescriptive) {
+  EXPECT_NE(jobSpecFromJson("not json").error.find("JSON error"),
+            std::string::npos);
+  EXPECT_NE(jobSpecFromJson("[1]").error.find("object"), std::string::npos);
+  EXPECT_NE(jobSpecFromJson("{}").error.find("chains"), std::string::npos);
+  EXPECT_NE(jobSpecFromJson(R"({"chains": [{"tasks": [{}]}]})")
+                .error.find("processors"),
+            std::string::npos);
+  EXPECT_NE(jobSpecFromJson(
+                R"({"chains": [{"tasks":
+                   [{"processors": 1, "duration": -5}]}]})")
+                .error.find("positive"),
+            std::string::npos);
+  EXPECT_NE(jobSpecFromJson(R"({"qualityComposition": "median",
+                                "chains": []})")
+                .error.find("qualityComposition"),
+            std::string::npos);
+}
+
+TEST(SpecIo, StructurallyInvalidSpecsRejected) {
+  // Decreasing deadline along the chain: caught by task::validate.
+  const std::string text = R"({
+    "chains": [{"tasks": [
+      {"processors": 1, "duration": 5, "deadline": 100},
+      {"processors": 1, "duration": 5, "deadline": 50}
+    ]}]
+  })";
+  const auto parsed = jobSpecFromJson(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("invalid spec"), std::string::npos);
+}
+
+TEST(SpecIo, SchedulesIdenticallyAfterRoundTrip) {
+  // The serialized spec drives the arbitrator to the same decisions.
+  const auto original = workload::makeFig4Job(workload::Fig4Params{},
+                                              workload::Fig4Shape::Tunable);
+  const auto parsed = jobSpecFromJson(toJson(original));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(original.chains[0].tasks[0].request.duration,
+            parsed.spec->chains[0].tasks[0].request.duration);
+  EXPECT_EQ(original.chains[1].tasks[1].relativeDeadline,
+            parsed.spec->chains[1].tasks[1].relativeDeadline);
+}
+
+}  // namespace
+}  // namespace tprm::task

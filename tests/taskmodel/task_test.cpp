@@ -1,0 +1,69 @@
+#include "taskmodel/task.h"
+
+#include <gtest/gtest.h>
+
+namespace tprm::task {
+namespace {
+
+TEST(ResourceRequest, Area) {
+  const ResourceRequest r{4, 25};
+  EXPECT_EQ(r.area(), 100);
+  EXPECT_EQ((ResourceRequest{0, 100}).area(), 0);
+}
+
+TEST(MalleableSpec, DurationScalesLinearly) {
+  const MalleableSpec m{400, 16};
+  EXPECT_EQ(m.durationOn(16), 25);
+  EXPECT_EQ(m.durationOn(8), 50);
+  EXPECT_EQ(m.durationOn(4), 100);
+  EXPECT_EQ(m.durationOn(1), 400);
+}
+
+TEST(MalleableSpec, DurationRoundsUpToCoverWork) {
+  const MalleableSpec m{10, 4};
+  EXPECT_EQ(m.durationOn(3), 4);  // ceil(10/3)
+  EXPECT_EQ(m.durationOn(4), 3);  // ceil(10/4)
+  // Reservation always covers the work.
+  for (int q = 1; q <= 4; ++q) {
+    EXPECT_GE(static_cast<std::int64_t>(q) * m.durationOn(q), m.work);
+  }
+}
+
+TEST(MalleableSpec, RequestOn) {
+  const MalleableSpec m{400, 16};
+  EXPECT_EQ(m.requestOn(8), (ResourceRequest{8, 50}));
+}
+
+TEST(MalleableSpecDeath, RejectsOutOfRangeProcessors) {
+  const MalleableSpec m{400, 16};
+  EXPECT_DEATH((void)m.durationOn(0), "range");
+  EXPECT_DEATH((void)m.durationOn(17), "range");
+}
+
+TEST(TaskSpec, RigidFactory) {
+  const auto t = TaskSpec::rigid("wide", 16, 25, 200, 0.9);
+  EXPECT_EQ(t.name, "wide");
+  EXPECT_EQ(t.request, (ResourceRequest{16, 25}));
+  EXPECT_FALSE(t.malleable.has_value());
+  EXPECT_EQ(t.relativeDeadline, 200);
+  EXPECT_DOUBLE_EQ(t.quality, 0.9);
+}
+
+TEST(TaskSpec, MalleableFactoryDerivesWorkFromShape) {
+  const auto t = TaskSpec::malleableTask("wide", 16, 25, 16, 200);
+  ASSERT_TRUE(t.malleable.has_value());
+  EXPECT_EQ(t.malleable->work, 400);
+  EXPECT_EQ(t.malleable->maxConcurrency, 16);
+  // The rigid shape is still recorded.
+  EXPECT_EQ(t.request, (ResourceRequest{16, 25}));
+}
+
+TEST(TaskSpecDeath, RejectsDegenerateShapes) {
+  EXPECT_DEATH((void)TaskSpec::rigid("t", 0, 10, 100), "processor");
+  EXPECT_DEATH((void)TaskSpec::rigid("t", 4, 0, 100), "duration");
+  EXPECT_DEATH((void)TaskSpec::malleableTask("t", 4, 10, 0, 100),
+               "concurrency");
+}
+
+}  // namespace
+}  // namespace tprm::task

@@ -1,0 +1,100 @@
+#include "tunable/continuous.h"
+
+#include <gtest/gtest.h>
+
+namespace tprm::tunable {
+namespace {
+
+ContinuousKnob granularityKnob() {
+  // Finer granularity (smaller value) = more sampling work, higher quality:
+  // duration = 1600/g, quality = 1 - g/200.
+  ContinuousKnob knob;
+  knob.parameter = "g";
+  knob.lo = 8;
+  knob.hi = 64;
+  knob.profile = [](std::int64_t g) {
+    KnobPoint point;
+    point.request = task::ResourceRequest{4, 1600 / g};
+    point.quality = 1.0 - static_cast<double>(g) / 200.0;
+    return point;
+  };
+  return knob;
+}
+
+TEST(SampleKnob, IncludesEndpoints) {
+  const auto configs = sampleKnob(granularityKnob(), 5);
+  ASSERT_GE(configs.size(), 2u);
+  EXPECT_EQ(configs.front().paramValues[0].second, 8);
+  EXPECT_EQ(configs.back().paramValues[0].second, 64);
+}
+
+TEST(SampleKnob, EvenSpacing) {
+  const auto configs = sampleKnob(granularityKnob(), 5);
+  ASSERT_EQ(configs.size(), 5u);
+  // 8, 22, 36, 50, 64.
+  EXPECT_EQ(configs[1].paramValues[0].second, 22);
+  EXPECT_EQ(configs[2].paramValues[0].second, 36);
+  EXPECT_EQ(configs[3].paramValues[0].second, 50);
+}
+
+TEST(SampleKnob, ProfileDrivesRequestAndQuality) {
+  const auto configs = sampleKnob(granularityKnob(), 2);
+  ASSERT_EQ(configs.size(), 2u);
+  EXPECT_EQ(configs[0].request, (task::ResourceRequest{4, 200}));
+  EXPECT_DOUBLE_EQ(configs[0].quality, 1.0 - 8.0 / 200.0);
+  EXPECT_EQ(configs[1].request, (task::ResourceRequest{4, 25}));
+  EXPECT_DOUBLE_EQ(configs[1].quality, 1.0 - 64.0 / 200.0);
+}
+
+TEST(SampleKnob, CollapsesDuplicateValues) {
+  ContinuousKnob narrow = granularityKnob();
+  narrow.lo = 10;
+  narrow.hi = 12;  // only 3 distinct integers
+  const auto configs = sampleKnob(narrow, 10);
+  EXPECT_EQ(configs.size(), 3u);
+}
+
+TEST(SampleKnobDeath, Validation) {
+  ContinuousKnob knob = granularityKnob();
+  EXPECT_DEATH((void)sampleKnob(knob, 1), "two samples");
+  knob.hi = knob.lo - 1;
+  EXPECT_DEATH((void)sampleKnob(knob, 3), "non-empty");
+  knob = granularityKnob();
+  knob.profile = nullptr;
+  EXPECT_DEATH((void)sampleKnob(knob, 3), "profile");
+  knob = granularityKnob();
+  knob.profile = [](std::int64_t) { return KnobPoint{{0, 0}, 1.0}; };
+  EXPECT_DEATH((void)sampleKnob(knob, 3), "degenerate");
+}
+
+TEST(ContinuousTask, BuildsEnumerableProgram) {
+  Program program("continuous");
+  program.controlParameter("g", 8);
+  program.root().task(
+      continuousTask("sample", /*deadlineBudget=*/2000, granularityKnob(),
+                     /*samples=*/4));
+  const auto paths = program.enumeratePaths();
+  EXPECT_EQ(paths.size(), 4u);
+  // Every path binds g and has the profiled shape.
+  for (const auto& path : paths) {
+    ASSERT_EQ(path.chain.tasks.size(), 1u);
+    const auto g = path.bindings.at("g");
+    EXPECT_EQ(path.chain.tasks[0].request.duration, 1600 / g);
+  }
+}
+
+TEST(ContinuousTask, DenserSamplingRefinesChoice) {
+  // The scheduler can only pick among sampled configurations; denser
+  // sampling strictly extends the choice set.
+  Program coarse("c");
+  coarse.controlParameter("g", 8);
+  coarse.root().task(continuousTask("t", 2000, granularityKnob(), 2));
+  Program fine("f");
+  fine.controlParameter("g", 8);
+  fine.root().task(continuousTask("t", 2000, granularityKnob(), 9));
+  EXPECT_EQ(coarse.enumeratePaths().size(), 2u);
+  EXPECT_EQ(fine.enumeratePaths().size(), 9u);
+}
+
+}  // namespace
+}  // namespace tprm::tunable

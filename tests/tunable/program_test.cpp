@@ -1,0 +1,425 @@
+#include "tunable/program.h"
+
+#include <gtest/gtest.h>
+
+namespace tprm::tunable {
+namespace {
+
+TaskConfig config(std::vector<std::pair<std::string, std::int64_t>> params,
+                  int procs, Time duration, double quality = 1.0) {
+  TaskConfig c;
+  c.paramValues = std::move(params);
+  c.request = task::ResourceRequest{procs, duration};
+  c.quality = quality;
+  return c;
+}
+
+TEST(ControlParameters, DeclareGetSet) {
+  ControlParameters params;
+  params.declare("g", 16);
+  EXPECT_TRUE(params.declared("g"));
+  EXPECT_FALSE(params.declared("h"));
+  EXPECT_EQ(params.get("g"), 16);
+  params.set("g", 64);
+  EXPECT_EQ(params.get("g"), 64);
+}
+
+TEST(ControlParametersDeath, Misuse) {
+  ControlParameters params;
+  params.declare("g");
+  EXPECT_DEATH(params.declare("g"), "re-declared");
+  EXPECT_DEATH((void)params.get("h"), "undeclared");
+  EXPECT_DEATH(params.set("h", 1), "undeclared");
+}
+
+TEST(ControlParameters, AssignAdoptsDerivedNames) {
+  ControlParameters params;
+  params.declare("g", 1);
+  params.assign(Env{{"g", 2}, {"c", 9}});
+  EXPECT_EQ(params.get("g"), 2);
+  EXPECT_EQ(params.get("c"), 9);  // derived parameter adopted
+}
+
+TEST(EvalCount, ConstantsAndParameters) {
+  EXPECT_EQ(evalCount(CountExpr{std::int64_t{3}}, {}), 3);
+  EXPECT_EQ(evalCount(CountExpr{std::string{"n"}}, {{"n", 5}}), 5);
+  EXPECT_DEATH((void)evalCount(CountExpr{std::string{"m"}}, {{"n", 5}}),
+               "unknown parameter");
+}
+
+TEST(Program, SingleTaskSingleConfig) {
+  Program p("simple");
+  p.controlParameter("g", 16);
+  TaskNode node;
+  node.name = "t";
+  node.deadlineBudget = 100;
+  node.parameterList = {"g"};
+  node.configs = {config({{"g", 16}}, 4, 50)};
+  p.root().task(std::move(node));
+
+  const auto paths = p.enumeratePaths();
+  ASSERT_EQ(paths.size(), 1u);
+  ASSERT_EQ(paths[0].chain.tasks.size(), 1u);
+  EXPECT_EQ(paths[0].chain.tasks[0].name, "t");
+  EXPECT_EQ(paths[0].chain.tasks[0].request, (task::ResourceRequest{4, 50}));
+  EXPECT_EQ(paths[0].chain.tasks[0].relativeDeadline, 100);
+  EXPECT_EQ(paths[0].bindings.at("g"), 16);
+}
+
+TEST(Program, TaskWithTwoConfigsYieldsTwoPaths) {
+  Program p;
+  p.controlParameter("g", 16);
+  TaskNode node;
+  node.name = "sample";
+  node.deadlineBudget = 100;
+  node.parameterList = {"g"};
+  node.configs = {config({{"g", 16}}, 4, 80), config({{"g", 64}}, 4, 20)};
+  p.root().task(std::move(node));
+
+  const auto paths = p.enumeratePaths();
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].bindings.at("g"), 16);
+  EXPECT_EQ(paths[1].bindings.at("g"), 64);
+  EXPECT_EQ(paths[0].chain.tasks[0].request.duration, 80);
+  EXPECT_EQ(paths[1].chain.tasks[0].request.duration, 20);
+}
+
+TEST(Program, BoundParameterRestrictsLaterConfigs) {
+  // The Figure-3 pattern: a later task's admissible configurations are
+  // restricted by what an earlier task bound.
+  Program p;
+  p.controlParameter("g", 16);
+  TaskNode first;
+  first.name = "first";
+  first.deadlineBudget = 10;
+  first.parameterList = {"g"};
+  first.configs = {config({{"g", 16}}, 1, 5), config({{"g", 64}}, 1, 2)};
+  p.root().task(std::move(first));
+
+  TaskNode second;
+  second.name = "second";
+  second.deadlineBudget = 100;
+  second.parameterList = {"g"};
+  // Only one config per g value; paths must pair them up consistently.
+  second.configs = {config({{"g", 16}}, 2, 10), config({{"g", 64}}, 8, 40)};
+  p.root().task(std::move(second));
+
+  const auto paths = p.enumeratePaths();
+  ASSERT_EQ(paths.size(), 2u);
+  // Path 0: g=16 -> second must use the g=16 config (2 procs).
+  EXPECT_EQ(paths[0].chain.tasks[1].request.processors, 2);
+  // Path 1: g=64 -> 8 procs.
+  EXPECT_EQ(paths[1].chain.tasks[1].request.processors, 8);
+}
+
+TEST(Program, DeadlineBudgetsAccumulate) {
+  Program p;
+  p.controlParameter("g", 0);
+  TaskNode a;
+  a.name = "a";
+  a.deadlineBudget = 10;
+  a.configs = {config({}, 1, 5)};
+  p.root().task(std::move(a));
+  TaskNode b;
+  b.name = "b";
+  b.deadlineBudget = 20;
+  b.configs = {config({}, 1, 5)};
+  p.root().task(std::move(b));
+
+  const auto paths = p.enumeratePaths();
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].chain.tasks[0].relativeDeadline, 10);
+  EXPECT_EQ(paths[0].chain.tasks[1].relativeDeadline, 30);
+}
+
+TEST(Program, InfiniteBudgetPropagates) {
+  Program p;
+  TaskNode a;
+  a.name = "a";
+  a.deadlineBudget = kTimeInfinity;
+  a.configs = {config({}, 1, 5)};
+  p.root().task(std::move(a));
+  TaskNode b;
+  b.name = "b";
+  b.deadlineBudget = 20;
+  b.configs = {config({}, 1, 5)};
+  p.root().task(std::move(b));
+  const auto paths = p.enumeratePaths();
+  EXPECT_EQ(paths[0].chain.tasks[0].relativeDeadline, kTimeInfinity);
+  EXPECT_EQ(paths[0].chain.tasks[1].relativeDeadline, kTimeInfinity);
+}
+
+TEST(Program, SelectBranchesMultiplyPaths) {
+  Program p;
+  p.controlParameter("mode", 0);
+  auto& select = p.root().select();
+  auto& left = select.when(nullptr);
+  TaskNode l;
+  l.name = "left";
+  l.deadlineBudget = 10;
+  l.configs = {config({}, 1, 5)};
+  left.task(std::move(l));
+  auto& right = select.when(nullptr);
+  TaskNode r;
+  r.name = "right";
+  r.deadlineBudget = 10;
+  r.configs = {config({}, 2, 5)};
+  right.task(std::move(r));
+
+  const auto paths = p.enumeratePaths();
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].chain.tasks[0].name, "left");
+  EXPECT_EQ(paths[1].chain.tasks[0].name, "right");
+}
+
+TEST(Program, WhenPredicateGatesBranches) {
+  Program p;
+  p.controlParameter("g", 16);
+  TaskNode first;
+  first.name = "first";
+  first.deadlineBudget = 10;
+  first.parameterList = {"g"};
+  first.configs = {config({{"g", 16}}, 1, 5), config({{"g", 64}}, 1, 2)};
+  p.root().task(std::move(first));
+
+  auto& select = p.root().select();
+  auto& fine = select.when(
+      [](const Env& env) { return env.at("g") == 16; });
+  TaskNode f;
+  f.name = "fine";
+  f.deadlineBudget = 10;
+  f.configs = {config({}, 1, 5)};
+  fine.task(std::move(f));
+  auto& coarse = select.when(
+      [](const Env& env) { return env.at("g") == 64; });
+  TaskNode c;
+  c.name = "coarse";
+  c.deadlineBudget = 10;
+  c.configs = {config({}, 1, 5)};
+  coarse.task(std::move(c));
+
+  const auto paths = p.enumeratePaths();
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].chain.tasks[1].name, "fine");
+  EXPECT_EQ(paths[1].chain.tasks[1].name, "coarse");
+}
+
+TEST(Program, FinallySetsDerivedParameterAndBindsIt) {
+  // Mirrors Figure 3: finally sets c, and the last task's configs are keyed
+  // on c.
+  Program p;
+  p.controlParameter("g", 16);
+  p.controlParameter("c", 0);
+  TaskNode first;
+  first.name = "first";
+  first.deadlineBudget = 10;
+  first.parameterList = {"g"};
+  first.configs = {config({{"g", 16}}, 1, 5), config({{"g", 64}}, 1, 2)};
+  p.root().task(std::move(first));
+
+  auto& select = p.root().select();
+  auto& fine = select.when(
+      [](const Env& env) { return env.at("g") == 16; },
+      [](Env& env) { env["c"] = 1; });
+  TaskNode mf;
+  mf.name = "markFine";
+  mf.deadlineBudget = 10;
+  mf.configs = {config({}, 1, 3)};
+  fine.task(std::move(mf));
+  auto& coarse = select.when(
+      [](const Env& env) { return env.at("g") == 64; },
+      [](Env& env) { env["c"] = 2; });
+  TaskNode mc;
+  mc.name = "markCoarse";
+  mc.deadlineBudget = 10;
+  mc.configs = {config({}, 1, 3)};
+  coarse.task(std::move(mc));
+
+  TaskNode last;
+  last.name = "compute";
+  last.deadlineBudget = 100;
+  last.parameterList = {"c"};
+  last.configs = {config({{"c", 1}}, 4, 20, 0.95),
+                  config({{"c", 2}}, 8, 60, 0.85)};
+  p.root().task(std::move(last));
+
+  const auto paths = p.enumeratePaths();
+  ASSERT_EQ(paths.size(), 2u);
+  // Fine path: c=1 -> compute uses 4 procs and quality 0.95.
+  EXPECT_EQ(paths[0].bindings.at("c"), 1);
+  EXPECT_EQ(paths[0].chain.tasks[2].request.processors, 4);
+  EXPECT_DOUBLE_EQ(paths[0].chain.tasks[2].quality, 0.95);
+  // Coarse path: c=2 -> 8 procs, quality 0.85.
+  EXPECT_EQ(paths[1].bindings.at("c"), 2);
+  EXPECT_EQ(paths[1].chain.tasks[2].request.processors, 8);
+  EXPECT_DOUBLE_EQ(paths[1].chain.tasks[2].quality, 0.85);
+}
+
+TEST(Program, LoopRepeatsBody) {
+  Program p;
+  TaskNode t;
+  t.name = "iter";
+  t.deadlineBudget = 10;
+  t.configs = {config({}, 1, 5)};
+  auto& loop = p.root().loop(CountExpr{std::int64_t{3}});
+  loop.body().task(std::move(t));
+
+  const auto paths = p.enumeratePaths();
+  ASSERT_EQ(paths.size(), 1u);
+  ASSERT_EQ(paths[0].chain.tasks.size(), 3u);
+  // Cumulative deadlines per iteration.
+  EXPECT_EQ(paths[0].chain.tasks[0].relativeDeadline, 10);
+  EXPECT_EQ(paths[0].chain.tasks[1].relativeDeadline, 20);
+  EXPECT_EQ(paths[0].chain.tasks[2].relativeDeadline, 30);
+}
+
+TEST(Program, LoopCountFromParameter) {
+  Program p;
+  p.controlParameter("n", 2);
+  TaskNode t;
+  t.name = "iter";
+  t.deadlineBudget = 10;
+  t.configs = {config({}, 1, 5)};
+  auto& loop = p.root().loop(CountExpr{std::string{"n"}});
+  loop.body().task(std::move(t));
+  const auto paths = p.enumeratePaths();
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].chain.tasks.size(), 2u);
+}
+
+TEST(Program, LoopWithChoiceExplodesCombinatorially) {
+  Program p;
+  p.controlParameter("unused", 0);
+  TaskNode t;
+  t.name = "iter";
+  t.deadlineBudget = 100;
+  t.configs = {config({}, 1, 5), config({}, 2, 5)};
+  // Configs bind no parameters, so every iteration chooses independently.
+  auto& loop = p.root().loop(CountExpr{std::int64_t{3}});
+  loop.body().task(std::move(t));
+  const auto paths = p.enumeratePaths();
+  EXPECT_EQ(paths.size(), 8u);  // 2^3
+}
+
+TEST(ProgramDeath, MaxPathsGuard) {
+  Program p;
+  TaskNode t;
+  t.name = "iter";
+  t.deadlineBudget = 100;
+  t.configs = {config({}, 1, 5), config({}, 2, 5)};
+  auto& loop = p.root().loop(CountExpr{std::int64_t{12}});
+  loop.body().task(std::move(t));
+  EXPECT_DEATH((void)p.enumeratePaths(64), "maxPaths");
+}
+
+TEST(Program, ZeroIterationLoop) {
+  Program p;
+  TaskNode pre;
+  pre.name = "pre";
+  pre.deadlineBudget = 10;
+  pre.configs = {config({}, 1, 5)};
+  p.root().task(std::move(pre));
+  TaskNode t;
+  t.name = "iter";
+  t.deadlineBudget = 10;
+  t.configs = {config({}, 1, 5)};
+  auto& loop = p.root().loop(CountExpr{std::int64_t{0}});
+  loop.body().task(std::move(t));
+  const auto paths = p.enumeratePaths();
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].chain.tasks.size(), 1u);
+}
+
+TEST(Program, InconsistentPathsArePruned) {
+  // If a bound parameter admits no consistent config downstream, the path
+  // disappears entirely.
+  Program p;
+  p.controlParameter("g", 16);
+  TaskNode first;
+  first.name = "first";
+  first.deadlineBudget = 10;
+  first.parameterList = {"g"};
+  first.configs = {config({{"g", 16}}, 1, 5), config({{"g", 64}}, 1, 2)};
+  p.root().task(std::move(first));
+  TaskNode second;
+  second.name = "second";
+  second.deadlineBudget = 10;
+  second.parameterList = {"g"};
+  second.configs = {config({{"g", 16}}, 1, 5)};  // no g=64 variant
+  p.root().task(std::move(second));
+  const auto paths = p.enumeratePaths();
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].bindings.at("g"), 16);
+}
+
+TEST(Program, ToJobSpecValidates) {
+  Program p("job");
+  TaskNode t;
+  t.name = "t";
+  t.deadlineBudget = 100;
+  t.configs = {config({}, 2, 30), config({}, 6, 10)};
+  p.root().task(std::move(t));
+  const auto spec = p.toJobSpec();
+  EXPECT_EQ(spec.name, "job");
+  ASSERT_EQ(spec.chains.size(), 2u);
+  EXPECT_TRUE(spec.tunable());
+  EXPECT_TRUE(task::validate(spec).empty());
+}
+
+TEST(Program, ExecuteRunsBodiesWithBindings) {
+  Program p;
+  p.controlParameter("g", 16);
+  std::vector<std::int64_t> observed;
+  TaskNode t;
+  t.name = "t";
+  t.deadlineBudget = 100;
+  t.parameterList = {"g"};
+  t.configs = {config({{"g", 16}}, 1, 5), config({{"g", 64}}, 1, 2)};
+  t.body = [&observed](const Env& env) {
+    observed.push_back(env.at("g"));
+  };
+  p.root().task(std::move(t));
+  const auto paths = p.enumeratePaths();
+  ASSERT_EQ(paths.size(), 2u);
+  p.execute(paths[1]);
+  ASSERT_EQ(observed.size(), 1u);
+  EXPECT_EQ(observed[0], 64);
+  EXPECT_EQ(p.parameters().get("g"), 64);
+}
+
+TEST(Program, MalleableTaskNodesProduceMalleableSpecs) {
+  Program p;
+  TaskNode t;
+  t.name = "m";
+  t.deadlineBudget = 100;
+  t.malleable = true;
+  t.configs = {config({}, 8, 10)};
+  p.root().task(std::move(t));
+  const auto paths = p.enumeratePaths();
+  ASSERT_TRUE(paths[0].chain.tasks[0].malleable.has_value());
+  EXPECT_EQ(paths[0].chain.tasks[0].malleable->work, 80);
+  EXPECT_EQ(paths[0].chain.tasks[0].malleable->maxConcurrency, 8);
+}
+
+TEST(ProgramDeath, ConfigValidation) {
+  Program p;
+  TaskNode empty;
+  empty.name = "bad";
+  EXPECT_DEATH(p.root().task(std::move(empty)), "at least one configuration");
+
+  TaskNode badParam;
+  badParam.name = "bad";
+  badParam.parameterList = {"g"};
+  badParam.configs = {config({{"other", 1}}, 1, 5)};
+  EXPECT_DEATH(p.root().task(std::move(badParam)), "parameter list");
+
+  Program q;
+  TaskNode undeclared;
+  undeclared.name = "bad";
+  undeclared.configs = {config({{"ghost", 1}}, 1, 5)};
+  q.root().task(std::move(undeclared));
+  EXPECT_DEATH((void)q.enumeratePaths(), "undeclared");
+}
+
+}  // namespace
+}  // namespace tprm::tunable

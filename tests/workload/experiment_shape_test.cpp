@@ -1,0 +1,172 @@
+// Integration tests asserting the paper's *qualitative* evaluation claims
+// (Section 5) on reduced job counts.  These are the guardrails for the
+// figure-reproduction harnesses in bench/: if one of these fails, a change
+// has broken the headline result, not just an implementation detail.
+#include <gtest/gtest.h>
+
+#include "sched/greedy_arbitrator.h"
+#include "sim/engine.h"
+#include "workload/fig4.h"
+
+namespace tprm::workload {
+namespace {
+
+struct Outcome {
+  double utilization;
+  std::uint64_t throughput;
+};
+
+Outcome run(Fig4Shape shape, double interval, double laxity, double alpha,
+            int processors, bool malleable, std::size_t jobs = 1200,
+            std::uint64_t seed = 42) {
+  Fig4Params params;
+  params.x = 16;
+  params.t = 25.0;
+  params.alpha = alpha;
+  params.laxity = laxity;
+  params.malleable = malleable;
+  const auto stream = makeFig4PoissonStream(params, shape, interval, jobs,
+                                            seed);
+  sched::GreedyArbitrator arbitrator(
+      sched::GreedyOptions{.malleable = malleable});
+  sim::SimulationConfig config;
+  config.processors = processors;
+  config.verify = true;
+  const auto result = sim::runSimulation(stream, arbitrator, config);
+  EXPECT_TRUE(result.verification->ok) << result.verification->firstViolation;
+  return Outcome{result.utilization, result.admitted};
+}
+
+// Paper defaults pinned for the figures: P=16 (= x), alpha=0.25, laxity=0.5.
+
+TEST(PaperClaims, TunableDominatesBothShapesAtModerateLoad) {
+  // Fig 5(a) middle range: tunability yields the largest improvement.
+  for (const double interval : {25.0, 35.0, 45.0}) {
+    const auto tun = run(Fig4Shape::Tunable, interval, 0.5, 0.25, 16, false);
+    const auto s1 = run(Fig4Shape::Shape1, interval, 0.5, 0.25, 16, false);
+    const auto s2 = run(Fig4Shape::Shape2, interval, 0.5, 0.25, 16, false);
+    EXPECT_GE(tun.throughput, s1.throughput) << "interval " << interval;
+    EXPECT_GE(tun.throughput, s2.throughput) << "interval " << interval;
+    // The improvement over the weaker shape is substantial (>25%).
+    EXPECT_GT(static_cast<double>(tun.throughput),
+              1.25 * static_cast<double>(s1.throughput))
+        << "interval " << interval;
+  }
+}
+
+TEST(PaperClaims, TunabilityNegligibleUnderSevereOverload) {
+  // Fig 5(a): at very small arrival intervals the system saturates and
+  // tunability cannot add much.
+  const auto tun = run(Fig4Shape::Tunable, 10.0, 0.5, 0.25, 16, false);
+  const auto s2 = run(Fig4Shape::Shape2, 10.0, 0.5, 0.25, 16, false);
+  const double ratio = static_cast<double>(tun.throughput) /
+                       static_cast<double>(s2.throughput);
+  EXPECT_LT(ratio, 1.1);
+  EXPECT_GE(ratio, 1.0 - 0.05);
+}
+
+TEST(PaperClaims, Shape1HandicappedRegardlessOfLaxity) {
+  // Fig 5(b): shape 1's wide first task prevents packing even when deadlines
+  // are loose.
+  const auto loose = run(Fig4Shape::Shape1, 40.0, 0.9, 0.25, 16, false);
+  const auto tight = run(Fig4Shape::Shape1, 40.0, 0.2, 0.25, 16, false);
+  const auto tunLoose = run(Fig4Shape::Tunable, 40.0, 0.9, 0.25, 16, false);
+  // Loosening deadlines barely helps shape 1 ...
+  EXPECT_LT(static_cast<double>(loose.throughput),
+            1.35 * static_cast<double>(tight.throughput));
+  // ... while the tunable system is far ahead at high laxity.
+  EXPECT_GT(static_cast<double>(tunLoose.throughput),
+            1.8 * static_cast<double>(loose.throughput));
+}
+
+TEST(PaperClaims, Shape2CatchesUpAtHighLaxity) {
+  // Fig 5(b): above ~60% laxity shape 2 packs well and approaches the
+  // tunable system.
+  const auto tun = run(Fig4Shape::Tunable, 40.0, 0.8, 0.25, 16, false);
+  const auto s2 = run(Fig4Shape::Shape2, 40.0, 0.8, 0.25, 16, false);
+  EXPECT_NEAR(static_cast<double>(s2.throughput),
+              static_cast<double>(tun.throughput),
+              0.05 * static_cast<double>(tun.throughput));
+  // At moderate laxity the gap is real.
+  const auto tunMid = run(Fig4Shape::Tunable, 40.0, 0.4, 0.25, 16, false);
+  const auto s2Mid = run(Fig4Shape::Shape2, 40.0, 0.4, 0.25, 16, false);
+  EXPECT_GT(static_cast<double>(tunMid.throughput),
+            1.1 * static_cast<double>(s2Mid.throughput));
+}
+
+TEST(PaperClaims, BenefitGrowsWithLaxityForTunable) {
+  // Fig 5(b): the tunable system's throughput rises with laxity.
+  std::uint64_t prev = 0;
+  for (const double laxity : {0.05, 0.35, 0.65, 0.95}) {
+    const auto tun = run(Fig4Shape::Tunable, 40.0, laxity, 0.25, 16, false);
+    EXPECT_GE(tun.throughput, prev) << "laxity " << laxity;
+    prev = tun.throughput;
+  }
+}
+
+TEST(PaperClaims, AlphaOneRemovesTunabilityBenefit) {
+  // Fig 5(d): when the two shapes coincide, the three systems are identical.
+  const auto tun = run(Fig4Shape::Tunable, 40.0, 0.5, 1.0, 16, false);
+  const auto s1 = run(Fig4Shape::Shape1, 40.0, 0.5, 1.0, 16, false);
+  const auto s2 = run(Fig4Shape::Shape2, 40.0, 0.5, 1.0, 16, false);
+  EXPECT_EQ(tun.throughput, s1.throughput);
+  EXPECT_EQ(tun.throughput, s2.throughput);
+}
+
+TEST(PaperClaims, SmallAlphaYieldsLargeBenefit) {
+  // Fig 5(d): benefit is large when the shapes differ strongly.
+  const auto tun = run(Fig4Shape::Tunable, 40.0, 0.5, 0.125, 16, false);
+  const auto s1 = run(Fig4Shape::Shape1, 40.0, 0.5, 0.125, 16, false);
+  EXPECT_GT(static_cast<double>(tun.throughput),
+            1.5 * static_cast<double>(s1.throughput));
+}
+
+TEST(PaperClaims, MalleabilityShrinksTunabilityBenefit) {
+  // Fig 6: the tunable-over-shape1 margin shrinks when tasks are malleable.
+  const auto tunRigid = run(Fig4Shape::Tunable, 35.0, 0.5, 0.25, 16, false);
+  const auto s1Rigid = run(Fig4Shape::Shape1, 35.0, 0.5, 0.25, 16, false);
+  const auto tunMall = run(Fig4Shape::Tunable, 35.0, 0.5, 0.25, 16, true);
+  const auto s1Mall = run(Fig4Shape::Shape1, 35.0, 0.5, 0.25, 16, true);
+  const double benefitRigid = static_cast<double>(tunRigid.throughput) /
+                              static_cast<double>(s1Rigid.throughput);
+  const double benefitMall = static_cast<double>(tunMall.throughput) /
+                             static_cast<double>(s1Mall.throughput);
+  EXPECT_LT(benefitMall, benefitRigid);
+  // But the benefit is still there at moderate load/laxity (Fig 6(b)).
+  EXPECT_GT(benefitMall, 1.05);
+}
+
+TEST(PaperClaims, MalleabilityHelpsNonTunableShapes) {
+  // Section 5.4 premise: malleable shape 1 beats rigid shape 1 outright.
+  const auto rigid = run(Fig4Shape::Shape1, 35.0, 0.5, 0.25, 16, false);
+  const auto mall = run(Fig4Shape::Shape1, 35.0, 0.5, 0.25, 16, true);
+  EXPECT_GT(static_cast<double>(mall.throughput),
+            1.2 * static_cast<double>(rigid.throughput));
+}
+
+TEST(PaperClaims, TunableBenefitShrinksWithMoreProcessors) {
+  // Fig 5(c): with abundant processors everything is admitted and the
+  // systems converge; at P=16 the tunable advantage is large.
+  const auto tun16 = run(Fig4Shape::Tunable, 40.0, 0.5, 0.25, 16, false);
+  const auto s116 = run(Fig4Shape::Shape1, 40.0, 0.5, 0.25, 16, false);
+  const auto tun64 = run(Fig4Shape::Tunable, 40.0, 0.5, 0.25, 64, false);
+  const auto s164 = run(Fig4Shape::Shape1, 40.0, 0.5, 0.25, 64, false);
+  const double benefit16 = static_cast<double>(tun16.throughput) /
+                           static_cast<double>(s116.throughput);
+  const double benefit64 = static_cast<double>(tun64.throughput) /
+                           static_cast<double>(s164.throughput);
+  EXPECT_GT(benefit16, benefit64);
+  EXPECT_NEAR(benefit64, 1.0, 0.05);
+}
+
+TEST(PaperClaims, UtilizationTracksThroughputOrdering) {
+  // Sanity: the two metrics tell the same story at the default point.
+  const auto tun = run(Fig4Shape::Tunable, 35.0, 0.5, 0.25, 16, false);
+  const auto s1 = run(Fig4Shape::Shape1, 35.0, 0.5, 0.25, 16, false);
+  const auto s2 = run(Fig4Shape::Shape2, 35.0, 0.5, 0.25, 16, false);
+  EXPECT_GT(tun.utilization, s1.utilization);
+  EXPECT_GT(tun.utilization, s2.utilization);
+}
+
+}  // namespace
+}  // namespace tprm::workload

@@ -1,0 +1,191 @@
+#include "workload/fig4.h"
+
+#include <gtest/gtest.h>
+
+namespace tprm::workload {
+namespace {
+
+TEST(Fig4, ShapeNames) {
+  EXPECT_EQ(toString(Fig4Shape::Shape1), "shape1");
+  EXPECT_EQ(toString(Fig4Shape::Shape2), "shape2");
+  EXPECT_EQ(toString(Fig4Shape::Tunable), "tunable");
+}
+
+TEST(Fig4, ThinProcessorsIntegral) {
+  Fig4Params p;
+  p.x = 16;
+  p.alpha = 0.25;
+  EXPECT_EQ(thinProcessors(p), 4);
+  p.alpha = 1.0;
+  EXPECT_EQ(thinProcessors(p), 16);
+  p.alpha = 0.0625;
+  EXPECT_EQ(thinProcessors(p), 1);
+}
+
+TEST(Fig4Death, RejectsNonIntegralAlphaX) {
+  Fig4Params p;
+  p.x = 16;
+  p.alpha = 0.3;  // 4.8 processors
+  EXPECT_DEATH((void)thinProcessors(p), "integral");
+}
+
+TEST(Fig4, Shape1IsWideThenThin) {
+  Fig4Params p;  // x=16, alpha=0.25, t=25, laxity=0.5
+  const auto spec = makeFig4Job(p, Fig4Shape::Shape1);
+  ASSERT_EQ(spec.chains.size(), 1u);
+  const auto& tasks = spec.chains[0].tasks;
+  ASSERT_EQ(tasks.size(), 2u);
+  EXPECT_EQ(tasks[0].request.processors, 16);
+  EXPECT_EQ(tasks[0].request.duration, ticksFromUnits(25.0));
+  EXPECT_EQ(tasks[1].request.processors, 4);
+  EXPECT_EQ(tasks[1].request.duration, ticksFromUnits(100.0));
+}
+
+TEST(Fig4, Shape2Transposes) {
+  Fig4Params p;
+  const auto spec = makeFig4Job(p, Fig4Shape::Shape2);
+  const auto& tasks = spec.chains[0].tasks;
+  EXPECT_EQ(tasks[0].request.processors, 4);
+  EXPECT_EQ(tasks[1].request.processors, 16);
+}
+
+TEST(Fig4, TasksHaveEqualArea) {
+  Fig4Params p;
+  for (const double alpha : {0.0625, 0.125, 0.25, 0.5, 1.0}) {
+    p.alpha = alpha;
+    const auto spec = makeFig4Job(p, Fig4Shape::Shape1);
+    const auto& tasks = spec.chains[0].tasks;
+    EXPECT_EQ(tasks[0].request.area(), tasks[1].request.area())
+        << "alpha=" << alpha;
+  }
+}
+
+TEST(Fig4, DeadlinesFollowPaperFormula) {
+  Fig4Params p;  // t=25, alpha=0.25 -> t/alpha=100; laxity=0.5 -> stretch 2
+  const auto spec = makeFig4Job(p, Fig4Shape::Shape1);
+  const auto& tasks = spec.chains[0].tasks;
+  // d1 = max(25, 100) / 0.5 = 200; d2 = 125 / 0.5 = 250.
+  EXPECT_EQ(tasks[0].relativeDeadline, ticksFromUnits(200.0));
+  EXPECT_EQ(tasks[1].relativeDeadline, ticksFromUnits(250.0));
+  // Both shapes share the same deadline offsets.
+  const auto spec2 = makeFig4Job(p, Fig4Shape::Shape2);
+  EXPECT_EQ(spec2.chains[0].tasks[0].relativeDeadline,
+            ticksFromUnits(200.0));
+  EXPECT_EQ(spec2.chains[0].tasks[1].relativeDeadline,
+            ticksFromUnits(250.0));
+}
+
+TEST(Fig4, ZeroLaxityMeansTightDeadlines) {
+  Fig4Params p;
+  p.laxity = 0.0;
+  const auto spec = makeFig4Job(p, Fig4Shape::Shape2);
+  const auto& tasks = spec.chains[0].tasks;
+  EXPECT_EQ(tasks[0].relativeDeadline, ticksFromUnits(100.0));
+  EXPECT_EQ(tasks[1].relativeDeadline, ticksFromUnits(125.0));
+}
+
+TEST(Fig4, TunableHasBothChains) {
+  Fig4Params p;
+  const auto spec = makeFig4Job(p, Fig4Shape::Tunable);
+  ASSERT_EQ(spec.chains.size(), 2u);
+  EXPECT_TRUE(spec.tunable());
+  EXPECT_EQ(spec.chains[0].name, "shape1");
+  EXPECT_EQ(spec.chains[1].name, "shape2");
+  // Equal total resources and quality (paper assumption).
+  EXPECT_EQ(spec.chains[0].totalArea(), spec.chains[1].totalArea());
+  EXPECT_DOUBLE_EQ(spec.chains[0].quality(), spec.chains[1].quality());
+}
+
+TEST(Fig4, AlphaOneMakesChainsIdentical) {
+  Fig4Params p;
+  p.alpha = 1.0;
+  const auto spec = makeFig4Job(p, Fig4Shape::Tunable);
+  EXPECT_EQ(spec.chains[0].tasks[0].request,
+            spec.chains[1].tasks[0].request);
+  EXPECT_EQ(spec.chains[0].tasks[1].request,
+            spec.chains[1].tasks[1].request);
+}
+
+TEST(Fig4, MalleableFlagAttachesSpecs) {
+  Fig4Params p;
+  p.malleable = true;
+  const auto spec = makeFig4Job(p, Fig4Shape::Shape1);
+  const auto& tasks = spec.chains[0].tasks;
+  ASSERT_TRUE(tasks[0].malleable.has_value());
+  ASSERT_TRUE(tasks[1].malleable.has_value());
+  EXPECT_EQ(tasks[0].malleable->maxConcurrency, 16);
+  EXPECT_EQ(tasks[1].malleable->maxConcurrency, 4);
+  EXPECT_EQ(tasks[0].malleable->work, tasks[0].request.area());
+}
+
+TEST(Fig4Death, ValidatesParameters) {
+  Fig4Params p;
+  p.laxity = 1.0;
+  EXPECT_DEATH((void)makeFig4Job(p, Fig4Shape::Shape1), "laxity");
+  p = Fig4Params{};
+  p.t = -1.0;
+  EXPECT_DEATH((void)makeFig4Job(p, Fig4Shape::Shape1), "positive");
+  p = Fig4Params{};
+  p.alpha = 2.0;
+  EXPECT_DEATH((void)makeFig4Job(p, Fig4Shape::Shape1), "alpha");
+}
+
+TEST(Fig4, StreamIdsAndOrdering) {
+  const auto jobs = makeFig4PoissonStream(Fig4Params{}, Fig4Shape::Tunable,
+                                          30.0, 100, /*seed=*/7);
+  ASSERT_EQ(jobs.size(), 100u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].id, i);
+    if (i > 0) {
+      EXPECT_GE(jobs[i].release, jobs[i - 1].release);
+    }
+  }
+}
+
+TEST(Fig4, StreamIsDeterministicPerSeed) {
+  const auto a = makeFig4PoissonStream(Fig4Params{}, Fig4Shape::Shape1, 30.0,
+                                       50, 7);
+  const auto b = makeFig4PoissonStream(Fig4Params{}, Fig4Shape::Shape1, 30.0,
+                                       50, 7);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].release, b[i].release);
+  }
+}
+
+TEST(Fig4, SameSeedSameArrivalsAcrossShapes) {
+  // The paper's controlled comparison: the three task systems see identical
+  // arrival instants.
+  const auto s1 = makeFig4PoissonStream(Fig4Params{}, Fig4Shape::Shape1, 30.0,
+                                        50, 7);
+  const auto tun = makeFig4PoissonStream(Fig4Params{}, Fig4Shape::Tunable,
+                                         30.0, 50, 7);
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].release, tun[i].release);
+  }
+}
+
+TEST(MixedStream, WeightsRoughlyRespected) {
+  MixEntry a;
+  a.spec = makeFig4Job(Fig4Params{}, Fig4Shape::Shape1);
+  a.weight = 3.0;
+  MixEntry b;
+  b.spec = makeFig4Job(Fig4Params{}, Fig4Shape::Shape2);
+  b.weight = 1.0;
+  const auto jobs = makeMixedPoissonStream({a, b}, 10.0, 2000, 11);
+  int countA = 0;
+  for (const auto& job : jobs) {
+    if (job.spec.name == a.spec.name) ++countA;
+  }
+  EXPECT_NEAR(static_cast<double>(countA) / 2000.0, 0.75, 0.05);
+}
+
+TEST(MixedStreamDeath, ValidatesMix) {
+  EXPECT_DEATH((void)makeMixedPoissonStream({}, 10.0, 10, 1), "at least one");
+  MixEntry bad;
+  bad.spec = makeFig4Job(Fig4Params{}, Fig4Shape::Shape1);
+  bad.weight = 0.0;
+  EXPECT_DEATH((void)makeMixedPoissonStream({bad}, 10.0, 10, 1), "positive");
+}
+
+}  // namespace
+}  // namespace tprm::workload
