@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_approaches.dir/abl_approaches.cpp.o"
+  "CMakeFiles/abl_approaches.dir/abl_approaches.cpp.o.d"
+  "abl_approaches"
+  "abl_approaches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_approaches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

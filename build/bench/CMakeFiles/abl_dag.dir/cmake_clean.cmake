@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dag.dir/abl_dag.cpp.o"
+  "CMakeFiles/abl_dag.dir/abl_dag.cpp.o.d"
+  "abl_dag"
+  "abl_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

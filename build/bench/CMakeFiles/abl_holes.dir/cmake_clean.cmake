@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_holes.dir/abl_holes.cpp.o"
+  "CMakeFiles/abl_holes.dir/abl_holes.cpp.o.d"
+  "abl_holes"
+  "abl_holes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_holes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

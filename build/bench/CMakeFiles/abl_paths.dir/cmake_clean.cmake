@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_paths.dir/abl_paths.cpp.o"
+  "CMakeFiles/abl_paths.dir/abl_paths.cpp.o.d"
+  "abl_paths"
+  "abl_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_quality.dir/abl_quality.cpp.o"
+  "CMakeFiles/abl_quality.dir/abl_quality.cpp.o.d"
+  "abl_quality"
+  "abl_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

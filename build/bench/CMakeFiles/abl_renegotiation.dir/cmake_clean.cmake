@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_renegotiation.dir/abl_renegotiation.cpp.o"
+  "CMakeFiles/abl_renegotiation.dir/abl_renegotiation.cpp.o.d"
+  "abl_renegotiation"
+  "abl_renegotiation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_renegotiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

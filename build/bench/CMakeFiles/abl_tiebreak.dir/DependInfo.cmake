@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_tiebreak.cpp" "bench/CMakeFiles/abl_tiebreak.dir/abl_tiebreak.cpp.o" "gcc" "bench/CMakeFiles/abl_tiebreak.dir/abl_tiebreak.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/tprm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tprm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tprm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/tprm_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskmodel/CMakeFiles/tprm_taskmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tprm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_tiebreak.dir/abl_tiebreak.cpp.o"
+  "CMakeFiles/abl_tiebreak.dir/abl_tiebreak.cpp.o.d"
+  "abl_tiebreak"
+  "abl_tiebreak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tiebreak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_junction.dir/fig2_junction.cpp.o"
+  "CMakeFiles/fig2_junction.dir/fig2_junction.cpp.o.d"
+  "fig2_junction"
+  "fig2_junction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_junction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_arrival.dir/fig5a_arrival.cpp.o"
+  "CMakeFiles/fig5a_arrival.dir/fig5a_arrival.cpp.o.d"
+  "fig5a_arrival"
+  "fig5a_arrival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_arrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

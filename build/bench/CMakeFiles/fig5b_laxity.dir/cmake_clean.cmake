@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_laxity.dir/fig5b_laxity.cpp.o"
+  "CMakeFiles/fig5b_laxity.dir/fig5b_laxity.cpp.o.d"
+  "fig5b_laxity"
+  "fig5b_laxity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_laxity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

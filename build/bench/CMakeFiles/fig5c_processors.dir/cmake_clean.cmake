@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_processors.dir/fig5c_processors.cpp.o"
+  "CMakeFiles/fig5c_processors.dir/fig5c_processors.cpp.o.d"
+  "fig5c_processors"
+  "fig5c_processors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_processors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5d_alpha.dir/fig5d_alpha.cpp.o"
+  "CMakeFiles/fig5d_alpha.dir/fig5d_alpha.cpp.o.d"
+  "fig5d_alpha"
+  "fig5d_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5d_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_nonmalleable.dir/fig6a_nonmalleable.cpp.o"
+  "CMakeFiles/fig6a_nonmalleable.dir/fig6a_nonmalleable.cpp.o.d"
+  "fig6a_nonmalleable"
+  "fig6a_nonmalleable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_nonmalleable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_malleable.dir/fig6b_malleable.cpp.o"
+  "CMakeFiles/fig6b_malleable.dir/fig6b_malleable.cpp.o.d"
+  "fig6b_malleable"
+  "fig6b_malleable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_malleable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broker_demo.dir/broker_demo.cpp.o"
+  "CMakeFiles/broker_demo.dir/broker_demo.cpp.o.d"
+  "broker_demo"
+  "broker_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broker_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

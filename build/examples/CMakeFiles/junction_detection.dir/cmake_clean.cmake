@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/junction_detection.dir/junction_detection.cpp.o"
+  "CMakeFiles/junction_detection.dir/junction_detection.cpp.o.d"
+  "junction_detection"
+  "junction_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/junction_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_cluster.dir/mixed_cluster.cpp.o"
+  "CMakeFiles/mixed_cluster.dir/mixed_cluster.cpp.o.d"
+  "mixed_cluster"
+  "mixed_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

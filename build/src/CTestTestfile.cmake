@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("resource")
+subdirs("taskmodel")
+subdirs("sched")
+subdirs("sim")
+subdirs("workload")
+subdirs("qos")
+subdirs("broker")
+subdirs("calypso")
+subdirs("tunable")
+subdirs("apps/junction")
+subdirs("apps/motion")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/junction/detector.cpp" "src/apps/junction/CMakeFiles/tprm_junction.dir/detector.cpp.o" "gcc" "src/apps/junction/CMakeFiles/tprm_junction.dir/detector.cpp.o.d"
+  "/root/repo/src/apps/junction/image.cpp" "src/apps/junction/CMakeFiles/tprm_junction.dir/image.cpp.o" "gcc" "src/apps/junction/CMakeFiles/tprm_junction.dir/image.cpp.o.d"
+  "/root/repo/src/apps/junction/pipeline.cpp" "src/apps/junction/CMakeFiles/tprm_junction.dir/pipeline.cpp.o" "gcc" "src/apps/junction/CMakeFiles/tprm_junction.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/calypso/CMakeFiles/tprm_calypso.dir/DependInfo.cmake"
+  "/root/repo/build/src/tunable/CMakeFiles/tprm_tunable.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tprm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskmodel/CMakeFiles/tprm_taskmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tprm_junction.dir/detector.cpp.o"
+  "CMakeFiles/tprm_junction.dir/detector.cpp.o.d"
+  "CMakeFiles/tprm_junction.dir/image.cpp.o"
+  "CMakeFiles/tprm_junction.dir/image.cpp.o.d"
+  "CMakeFiles/tprm_junction.dir/pipeline.cpp.o"
+  "CMakeFiles/tprm_junction.dir/pipeline.cpp.o.d"
+  "libtprm_junction.a"
+  "libtprm_junction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tprm_junction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tprm_motion.dir/estimator.cpp.o"
+  "CMakeFiles/tprm_motion.dir/estimator.cpp.o.d"
+  "CMakeFiles/tprm_motion.dir/video.cpp.o"
+  "CMakeFiles/tprm_motion.dir/video.cpp.o.d"
+  "libtprm_motion.a"
+  "libtprm_motion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tprm_motion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tprm_broker.dir/resource_broker.cpp.o"
+  "CMakeFiles/tprm_broker.dir/resource_broker.cpp.o.d"
+  "libtprm_broker.a"
+  "libtprm_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tprm_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

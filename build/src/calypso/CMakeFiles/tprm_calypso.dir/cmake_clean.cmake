@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tprm_calypso.dir/runtime.cpp.o"
+  "CMakeFiles/tprm_calypso.dir/runtime.cpp.o.d"
+  "libtprm_calypso.a"
+  "libtprm_calypso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tprm_calypso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

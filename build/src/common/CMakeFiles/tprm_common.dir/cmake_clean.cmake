@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tprm_common.dir/flags.cpp.o"
+  "CMakeFiles/tprm_common.dir/flags.cpp.o.d"
+  "CMakeFiles/tprm_common.dir/json.cpp.o"
+  "CMakeFiles/tprm_common.dir/json.cpp.o.d"
+  "CMakeFiles/tprm_common.dir/log.cpp.o"
+  "CMakeFiles/tprm_common.dir/log.cpp.o.d"
+  "CMakeFiles/tprm_common.dir/rng.cpp.o"
+  "CMakeFiles/tprm_common.dir/rng.cpp.o.d"
+  "CMakeFiles/tprm_common.dir/stats.cpp.o"
+  "CMakeFiles/tprm_common.dir/stats.cpp.o.d"
+  "CMakeFiles/tprm_common.dir/time.cpp.o"
+  "CMakeFiles/tprm_common.dir/time.cpp.o.d"
+  "libtprm_common.a"
+  "libtprm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tprm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tprm_qos.dir/qos.cpp.o"
+  "CMakeFiles/tprm_qos.dir/qos.cpp.o.d"
+  "libtprm_qos.a"
+  "libtprm_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tprm_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

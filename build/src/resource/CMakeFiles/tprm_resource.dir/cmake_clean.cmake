@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tprm_resource.dir/availability_profile.cpp.o"
+  "CMakeFiles/tprm_resource.dir/availability_profile.cpp.o.d"
+  "CMakeFiles/tprm_resource.dir/gantt.cpp.o"
+  "CMakeFiles/tprm_resource.dir/gantt.cpp.o.d"
+  "CMakeFiles/tprm_resource.dir/reservation_ledger.cpp.o"
+  "CMakeFiles/tprm_resource.dir/reservation_ledger.cpp.o.d"
+  "libtprm_resource.a"
+  "libtprm_resource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tprm_resource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtprm_resource.a"
+)

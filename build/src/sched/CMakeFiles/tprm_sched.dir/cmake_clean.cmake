@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tprm_sched.dir/baselines.cpp.o"
+  "CMakeFiles/tprm_sched.dir/baselines.cpp.o.d"
+  "CMakeFiles/tprm_sched.dir/dag_arbitrator.cpp.o"
+  "CMakeFiles/tprm_sched.dir/dag_arbitrator.cpp.o.d"
+  "CMakeFiles/tprm_sched.dir/greedy_arbitrator.cpp.o"
+  "CMakeFiles/tprm_sched.dir/greedy_arbitrator.cpp.o.d"
+  "libtprm_sched.a"
+  "libtprm_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tprm_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

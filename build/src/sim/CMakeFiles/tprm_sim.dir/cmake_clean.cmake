@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tprm_sim.dir/arrivals.cpp.o"
+  "CMakeFiles/tprm_sim.dir/arrivals.cpp.o.d"
+  "CMakeFiles/tprm_sim.dir/engine.cpp.o"
+  "CMakeFiles/tprm_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/tprm_sim.dir/replicate.cpp.o"
+  "CMakeFiles/tprm_sim.dir/replicate.cpp.o.d"
+  "CMakeFiles/tprm_sim.dir/trace.cpp.o"
+  "CMakeFiles/tprm_sim.dir/trace.cpp.o.d"
+  "libtprm_sim.a"
+  "libtprm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tprm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taskmodel/chain.cpp" "src/taskmodel/CMakeFiles/tprm_taskmodel.dir/chain.cpp.o" "gcc" "src/taskmodel/CMakeFiles/tprm_taskmodel.dir/chain.cpp.o.d"
+  "/root/repo/src/taskmodel/dag.cpp" "src/taskmodel/CMakeFiles/tprm_taskmodel.dir/dag.cpp.o" "gcc" "src/taskmodel/CMakeFiles/tprm_taskmodel.dir/dag.cpp.o.d"
+  "/root/repo/src/taskmodel/spec_io.cpp" "src/taskmodel/CMakeFiles/tprm_taskmodel.dir/spec_io.cpp.o" "gcc" "src/taskmodel/CMakeFiles/tprm_taskmodel.dir/spec_io.cpp.o.d"
+  "/root/repo/src/taskmodel/task.cpp" "src/taskmodel/CMakeFiles/tprm_taskmodel.dir/task.cpp.o" "gcc" "src/taskmodel/CMakeFiles/tprm_taskmodel.dir/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tprm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

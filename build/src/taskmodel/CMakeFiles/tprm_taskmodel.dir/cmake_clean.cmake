@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tprm_taskmodel.dir/chain.cpp.o"
+  "CMakeFiles/tprm_taskmodel.dir/chain.cpp.o.d"
+  "CMakeFiles/tprm_taskmodel.dir/dag.cpp.o"
+  "CMakeFiles/tprm_taskmodel.dir/dag.cpp.o.d"
+  "CMakeFiles/tprm_taskmodel.dir/spec_io.cpp.o"
+  "CMakeFiles/tprm_taskmodel.dir/spec_io.cpp.o.d"
+  "CMakeFiles/tprm_taskmodel.dir/task.cpp.o"
+  "CMakeFiles/tprm_taskmodel.dir/task.cpp.o.d"
+  "libtprm_taskmodel.a"
+  "libtprm_taskmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tprm_taskmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

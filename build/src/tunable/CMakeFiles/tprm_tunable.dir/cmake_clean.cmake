@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tprm_tunable.dir/continuous.cpp.o"
+  "CMakeFiles/tprm_tunable.dir/continuous.cpp.o.d"
+  "CMakeFiles/tprm_tunable.dir/program.cpp.o"
+  "CMakeFiles/tprm_tunable.dir/program.cpp.o.d"
+  "libtprm_tunable.a"
+  "libtprm_tunable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tprm_tunable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

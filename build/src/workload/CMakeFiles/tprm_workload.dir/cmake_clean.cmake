@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tprm_workload.dir/fig4.cpp.o"
+  "CMakeFiles/tprm_workload.dir/fig4.cpp.o.d"
+  "libtprm_workload.a"
+  "libtprm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tprm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

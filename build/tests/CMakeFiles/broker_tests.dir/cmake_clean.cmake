@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broker_tests.dir/broker/resource_broker_test.cpp.o"
+  "CMakeFiles/broker_tests.dir/broker/resource_broker_test.cpp.o.d"
+  "broker_tests"
+  "broker_tests.pdb"
+  "broker_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broker_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

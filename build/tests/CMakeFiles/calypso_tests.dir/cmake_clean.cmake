@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calypso_tests.dir/calypso/fault_test.cpp.o"
+  "CMakeFiles/calypso_tests.dir/calypso/fault_test.cpp.o.d"
+  "CMakeFiles/calypso_tests.dir/calypso/patterns_test.cpp.o"
+  "CMakeFiles/calypso_tests.dir/calypso/patterns_test.cpp.o.d"
+  "CMakeFiles/calypso_tests.dir/calypso/runtime_test.cpp.o"
+  "CMakeFiles/calypso_tests.dir/calypso/runtime_test.cpp.o.d"
+  "calypso_tests"
+  "calypso_tests.pdb"
+  "calypso_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calypso_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/junction_tests.dir/junction/detector_test.cpp.o"
+  "CMakeFiles/junction_tests.dir/junction/detector_test.cpp.o.d"
+  "CMakeFiles/junction_tests.dir/junction/image_test.cpp.o"
+  "CMakeFiles/junction_tests.dir/junction/image_test.cpp.o.d"
+  "CMakeFiles/junction_tests.dir/junction/pipeline_test.cpp.o"
+  "CMakeFiles/junction_tests.dir/junction/pipeline_test.cpp.o.d"
+  "junction_tests"
+  "junction_tests.pdb"
+  "junction_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/junction_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

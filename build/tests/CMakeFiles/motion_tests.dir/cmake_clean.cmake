@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motion_tests.dir/motion/motion_test.cpp.o"
+  "CMakeFiles/motion_tests.dir/motion/motion_test.cpp.o.d"
+  "motion_tests"
+  "motion_tests.pdb"
+  "motion_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motion_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

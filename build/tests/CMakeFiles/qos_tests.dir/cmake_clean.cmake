@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_tests.dir/qos/qos_test.cpp.o"
+  "CMakeFiles/qos_tests.dir/qos/qos_test.cpp.o.d"
+  "CMakeFiles/qos_tests.dir/qos/renegotiation_test.cpp.o"
+  "CMakeFiles/qos_tests.dir/qos/renegotiation_test.cpp.o.d"
+  "qos_tests"
+  "qos_tests.pdb"
+  "qos_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_tests.dir/resource/availability_profile_test.cpp.o"
+  "CMakeFiles/resource_tests.dir/resource/availability_profile_test.cpp.o.d"
+  "CMakeFiles/resource_tests.dir/resource/gantt_test.cpp.o"
+  "CMakeFiles/resource_tests.dir/resource/gantt_test.cpp.o.d"
+  "CMakeFiles/resource_tests.dir/resource/maximal_holes_test.cpp.o"
+  "CMakeFiles/resource_tests.dir/resource/maximal_holes_test.cpp.o.d"
+  "CMakeFiles/resource_tests.dir/resource/reservation_ledger_test.cpp.o"
+  "CMakeFiles/resource_tests.dir/resource/reservation_ledger_test.cpp.o.d"
+  "resource_tests"
+  "resource_tests.pdb"
+  "resource_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_tests.dir/sched/baselines_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/baselines_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/dag_arbitrator_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/dag_arbitrator_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/greedy_arbitrator_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/greedy_arbitrator_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/malleable_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/malleable_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/property_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/property_test.cpp.o.d"
+  "sched_tests"
+  "sched_tests.pdb"
+  "sched_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskmodel_tests.dir/taskmodel/chain_test.cpp.o"
+  "CMakeFiles/taskmodel_tests.dir/taskmodel/chain_test.cpp.o.d"
+  "CMakeFiles/taskmodel_tests.dir/taskmodel/dag_test.cpp.o"
+  "CMakeFiles/taskmodel_tests.dir/taskmodel/dag_test.cpp.o.d"
+  "CMakeFiles/taskmodel_tests.dir/taskmodel/spec_io_test.cpp.o"
+  "CMakeFiles/taskmodel_tests.dir/taskmodel/spec_io_test.cpp.o.d"
+  "CMakeFiles/taskmodel_tests.dir/taskmodel/task_test.cpp.o"
+  "CMakeFiles/taskmodel_tests.dir/taskmodel/task_test.cpp.o.d"
+  "taskmodel_tests"
+  "taskmodel_tests.pdb"
+  "taskmodel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskmodel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunable_tests.dir/tunable/continuous_test.cpp.o"
+  "CMakeFiles/tunable_tests.dir/tunable/continuous_test.cpp.o.d"
+  "CMakeFiles/tunable_tests.dir/tunable/program_test.cpp.o"
+  "CMakeFiles/tunable_tests.dir/tunable/program_test.cpp.o.d"
+  "tunable_tests"
+  "tunable_tests.pdb"
+  "tunable_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunable_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
