@@ -18,6 +18,7 @@
 #include "sched/baselines.h"
 #include "sched/greedy_arbitrator.h"
 #include "sim/engine.h"
+#include "sim/parallel.h"
 #include "workload/fig4.h"
 
 namespace {
@@ -51,6 +52,7 @@ int main(int argc, char** argv) {
   const int processors = static_cast<int>(flags.getInt("procs", 16));
   const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 42));
   const double laxity = flags.getDouble("laxity", 0.5);
+  const int threads = static_cast<int>(flags.getInt("threads", 0));
 
   std::printf("# Resource-management approaches on the Figure-4 workload\n");
   std::printf("# procs=%d laxity=%g jobs=%zu seed=%llu\n", processors, laxity,
@@ -62,23 +64,48 @@ int main(int argc, char** argv) {
               "be_ontime", "be_done", "cons_ot", "c_util", "resv_ot",
               "r_util", "tune_ot", "t_util");
 
+  std::vector<double> intervals;
   for (double interval = 10.0; interval <= 85.0; interval += 5.0) {
-    sched::BestEffortArbitrator bestEffort;
-    const auto be = run(bestEffort, workload::Fig4Shape::Tunable, interval,
-                        jobs, processors, seed, laxity);
-    sched::ConservativeArbitrator conservative;
-    const auto cons = run(conservative, workload::Fig4Shape::Tunable,
-                          interval, jobs, processors, seed, laxity);
-    sched::GreedyArbitrator rigid;  // reservation, single shape (shape 2:
-                                    // the stronger non-tunable baseline)
-    const auto resv = run(rigid, workload::Fig4Shape::Shape2, interval, jobs,
-                          processors, seed, laxity);
-    sched::GreedyArbitrator tunableArb;
-    const auto tun = run(tunableArb, workload::Fig4Shape::Tunable, interval,
-                         jobs, processors, seed, laxity);
+    intervals.push_back(interval);
+  }
+  // Four approaches per interval; each cell owns its arbitrator, so cells
+  // parallelise freely and --threads=N prints identical tables for any N.
+  const auto rows = sim::parallelMap<Row>(
+      intervals.size() * 4, threads, [&](std::size_t i) {
+        const double interval = intervals[i / 4];
+        switch (i % 4) {
+          case 0: {
+            sched::BestEffortArbitrator bestEffort;
+            return run(bestEffort, workload::Fig4Shape::Tunable, interval,
+                       jobs, processors, seed, laxity);
+          }
+          case 1: {
+            sched::ConservativeArbitrator conservative;
+            return run(conservative, workload::Fig4Shape::Tunable, interval,
+                       jobs, processors, seed, laxity);
+          }
+          case 2: {
+            // Reservation, single shape (shape 2: the stronger non-tunable
+            // baseline).
+            sched::GreedyArbitrator rigid;
+            return run(rigid, workload::Fig4Shape::Shape2, interval, jobs,
+                       processors, seed, laxity);
+          }
+          default: {
+            sched::GreedyArbitrator tunableArb;
+            return run(tunableArb, workload::Fig4Shape::Tunable, interval,
+                       jobs, processors, seed, laxity);
+          }
+        }
+      });
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    const Row& be = rows[i * 4 + 0];
+    const Row& cons = rows[i * 4 + 1];
+    const Row& resv = rows[i * 4 + 2];
+    const Row& tun = rows[i * 4 + 3];
     std::printf("%-9.4g | %8llu %8llu | %8llu %6.3f | %8llu %6.3f | %8llu "
                 "%6.3f\n",
-                interval,
+                intervals[i],
                 static_cast<unsigned long long>(be.onTime),
                 static_cast<unsigned long long>(be.admitted),
                 static_cast<unsigned long long>(cons.onTime),

@@ -15,6 +15,7 @@
 #include "common/flags.h"
 #include "sched/dag_arbitrator.h"
 #include "sim/arrivals.h"
+#include "sim/parallel.h"
 
 namespace {
 
@@ -90,6 +91,7 @@ int main(int argc, char** argv) {
   // off under load instead of one dominating.
   const int branches = static_cast<int>(flags.getInt("branches", 4));
   const double deadline = flags.getDouble("deadline", 150.0);
+  const int threads = static_cast<int>(flags.getInt("threads", 0));
 
   std::printf("# Ablation: dag-shaped tunability (fork-join, %d branches, "
               "deadline %g u)\n",
@@ -98,17 +100,25 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(seed));
   std::printf("%-10s %12s %12s %12s\n", "interval", "tunable", "dag_only",
               "chain_only");
+  std::vector<double> intervals;
   for (double interval = 10.0; interval <= 60.0; interval += 5.0) {
-    const auto tunable =
-        run(true, true, interval, jobs, processors, seed, branches, deadline);
-    const auto dagOnly =
-        run(false, true, interval, jobs, processors, seed, branches, deadline);
-    const auto chainOnly =
-        run(true, false, interval, jobs, processors, seed, branches, deadline);
-    std::printf("%-10.4g %12llu %12llu %12llu\n", interval,
-                static_cast<unsigned long long>(tunable),
-                static_cast<unsigned long long>(dagOnly),
-                static_cast<unsigned long long>(chainOnly));
+    intervals.push_back(interval);
+  }
+  // Systems: tunable (both alternatives), dag-only, chain-only.
+  const auto counts = sim::parallelMap<std::uint64_t>(
+      intervals.size() * 3, threads, [&](std::size_t i) {
+        const double interval = intervals[i / 3];
+        const std::size_t system = i % 3;
+        const bool withSerial = system != 1;
+        const bool withParallel = system != 2;
+        return run(withSerial, withParallel, interval, jobs, processors,
+                   seed, branches, deadline);
+      });
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    std::printf("%-10.4g %12llu %12llu %12llu\n", intervals[i],
+                static_cast<unsigned long long>(counts[i * 3 + 0]),
+                static_cast<unsigned long long>(counts[i * 3 + 1]),
+                static_cast<unsigned long long>(counts[i * 3 + 2]));
   }
   return 0;
 }

@@ -6,13 +6,15 @@
 
 namespace {
 
-tprm::bench::Cell run(const tprm::workload::Fig4Params& params,
-                      double interval, const tprm::bench::FigDefaults& d,
-                      tprm::sched::FitPolicy fit,
-                      tprm::sched::MalleablePolicy mpolicy) {
+tprm::sim::SimulationResult run(const tprm::workload::Fig4Params& params,
+                                double interval,
+                                const tprm::bench::FigDefaults& d,
+                                std::uint64_t seed,
+                                tprm::sched::FitPolicy fit,
+                                tprm::sched::MalleablePolicy mpolicy) {
   using namespace tprm;
   const auto stream = workload::makeFig4PoissonStream(
-      params, workload::Fig4Shape::Tunable, interval, d.jobs, d.seed);
+      params, workload::Fig4Shape::Tunable, interval, d.jobs, seed);
   sched::GreedyArbitrator arbitrator(
       sched::GreedyOptions{.malleable = params.malleable,
                            .malleablePolicy = mpolicy,
@@ -20,8 +22,11 @@ tprm::bench::Cell run(const tprm::workload::Fig4Params& params,
   sim::SimulationConfig config;
   config.processors = d.processors;
   config.verify = d.verify;
-  const auto result = sim::runSimulation(stream, arbitrator, config);
-  return bench::Cell{result.utilization, result.admitted};
+  auto result = sim::runSimulation(stream, arbitrator, config);
+  if (result.verification && !result.verification->ok) {
+    throw bench::VerificationError(result.verification->firstViolation);
+  }
+  return result;
 }
 
 }  // namespace
@@ -50,22 +55,34 @@ int main(int argc, char** argv) {
   workload::Fig4Params malleable = rigid;
   malleable.malleable = true;
 
+  std::vector<double> intervals;
   for (double interval = 20.0; interval <= 60.0; interval += 10.0) {
-    const auto first = run(rigid, interval, d, sched::FitPolicy::FirstFit,
-                           sched::MalleablePolicy::WidestFit);
-    const auto best = run(rigid, interval, d, sched::FitPolicy::BestFit,
-                          sched::MalleablePolicy::WidestFit);
-    const auto widest = run(malleable, interval, d,
-                            sched::FitPolicy::FirstFit,
-                            sched::MalleablePolicy::WidestFit);
-    const auto finish = run(malleable, interval, d,
-                            sched::FitPolicy::FirstFit,
-                            sched::MalleablePolicy::EarliestFinish);
-    std::printf("%-10.4g %14llu %14llu %16llu %16llu\n", interval,
-                static_cast<unsigned long long>(first.throughput),
-                static_cast<unsigned long long>(best.throughput),
-                static_cast<unsigned long long>(widest.throughput),
-                static_cast<unsigned long long>(finish.throughput));
+    intervals.push_back(interval);
+  }
+  // Systems: first-fit, best-fit (rigid); widest-fit, earliest-finish
+  // (malleable).
+  const auto reps = bench::computeSweep(
+      intervals.size(), 4, d,
+      [&](std::size_t p, std::size_t s, std::uint64_t seed,
+          sim::TraceRecorder*) {
+        const bool isMalleable = s >= 2;
+        const auto fit = s == 1 ? sched::FitPolicy::BestFit
+                                : sched::FitPolicy::FirstFit;
+        const auto mpolicy = s == 3 ? sched::MalleablePolicy::EarliestFinish
+                                    : sched::MalleablePolicy::WidestFit;
+        return run(isMalleable ? malleable : rigid, intervals[p], d, seed,
+                   fit, mpolicy);
+      });
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    std::printf("%-10.4g %14llu %14llu %16llu %16llu\n", intervals[i],
+                static_cast<unsigned long long>(
+                    bench::toCell(reps[i * 4 + 0]).throughput),
+                static_cast<unsigned long long>(
+                    bench::toCell(reps[i * 4 + 1]).throughput),
+                static_cast<unsigned long long>(
+                    bench::toCell(reps[i * 4 + 2]).throughput),
+                static_cast<unsigned long long>(
+                    bench::toCell(reps[i * 4 + 3]).throughput));
   }
   return 0;
 }

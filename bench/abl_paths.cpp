@@ -60,18 +60,31 @@ int main(int argc, char** argv) {
               d.t, d.laxity, d.interval, d.processors, d.jobs);
   std::printf("%-8s %12s %12s\n", "chains", "throughput", "utilization");
 
+  const auto reps = bench::computeSweep(
+      6, 1, d,
+      [&](std::size_t p, std::size_t, std::uint64_t seed,
+          sim::TraceRecorder* trace) {
+        const int k = static_cast<int>(p) + 1;
+        const auto spec =
+            makeKChainJob(static_cast<int>(d.x), d.t, d.laxity, k);
+        sim::PoissonArrivals arrivals(d.interval, Rng(seed));
+        const auto jobs = workload::makeStream(spec, arrivals, d.jobs);
+        sched::GreedyArbitrator arbitrator;
+        sim::SimulationConfig config;
+        config.processors = d.processors;
+        config.verify = d.verify;
+        config.trace = trace;
+        auto result = sim::runSimulation(jobs, arbitrator, config);
+        if (result.verification && !result.verification->ok) {
+          throw bench::VerificationError(result.verification->firstViolation);
+        }
+        return result;
+      });
   for (int k = 1; k <= 6; ++k) {
-    const auto spec = makeKChainJob(static_cast<int>(d.x), d.t, d.laxity, k);
-    sim::PoissonArrivals arrivals(d.interval, Rng(d.seed));
-    const auto jobs = workload::makeStream(spec, arrivals, d.jobs);
-    sched::GreedyArbitrator arbitrator;
-    sim::SimulationConfig config;
-    config.processors = d.processors;
-    config.verify = d.verify;
-    const auto result = sim::runSimulation(jobs, arbitrator, config);
+    const auto cell = bench::toCell(reps[static_cast<std::size_t>(k - 1)]);
     std::printf("%-8d %12llu %12.4f\n", k,
-                static_cast<unsigned long long>(result.admitted),
-                result.utilization);
+                static_cast<unsigned long long>(cell.throughput),
+                cell.utilization);
   }
   return 0;
 }

@@ -17,6 +17,7 @@
 #include "common/flags.h"
 #include "sched/greedy_arbitrator.h"
 #include "sim/engine.h"
+#include "sim/parallel.h"
 #include "workload/fig4.h"
 
 namespace {
@@ -78,6 +79,7 @@ int main(int argc, char** argv) {
   const int processors = static_cast<int>(flags.getInt("procs", 16));
   const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 42));
   const double deadline = flags.getDouble("deadline", 120.0);
+  const int threads = static_cast<int>(flags.getInt("threads", 0));
 
   std::printf("# Ablation: unequal-quality chains (Section 5.1 note)\n");
   std::printf("# procs=%d jobs=%zu deadline=%g seed=%llu\n", processors, jobs,
@@ -85,13 +87,22 @@ int main(int argc, char** argv) {
   std::printf("%-10s | %10s %8s %12s | %10s %8s %12s\n", "interval",
               "ef_thru", "ef_q", "ef_totalQ", "qf_thru", "qf_q",
               "qf_totalQ");
+  std::vector<double> intervals;
   for (double interval = 8.0; interval <= 48.0; interval += 4.0) {
-    const auto ef = run(sched::ChainChoice::Paper, interval, jobs, processors,
-                        seed, deadline);
-    const auto qf = run(sched::ChainChoice::QualityFirst, interval, jobs,
-                        processors, seed, deadline);
+    intervals.push_back(interval);
+  }
+  const auto rows = sim::parallelMap<Row>(
+      intervals.size() * 2, threads, [&](std::size_t i) {
+        const auto choice = i % 2 == 0 ? sched::ChainChoice::Paper
+                                       : sched::ChainChoice::QualityFirst;
+        return run(choice, intervals[i / 2], jobs, processors, seed,
+                   deadline);
+      });
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    const Row& ef = rows[i * 2 + 0];
+    const Row& qf = rows[i * 2 + 1];
     std::printf("%-10.4g | %10llu %8.3f %12.1f | %10llu %8.3f %12.1f\n",
-                interval, static_cast<unsigned long long>(ef.throughput),
+                intervals[i], static_cast<unsigned long long>(ef.throughput),
                 ef.meanQuality, ef.totalQuality,
                 static_cast<unsigned long long>(qf.throughput),
                 qf.meanQuality, qf.totalQuality);

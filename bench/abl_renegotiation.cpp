@@ -10,8 +10,11 @@
 // dropped at resizes, and the effective on-time total (admitted - dropped).
 #include <cstdio>
 
+#include <stdexcept>
+
 #include "common/flags.h"
 #include "qos/qos.h"
+#include "sim/parallel.h"
 #include "workload/fig4.h"
 
 namespace {
@@ -55,9 +58,9 @@ Outcome run(workload::Fig4Shape shape, double interval, std::size_t jobs,
   }
   const auto report = arbitrator.verify();
   if (!report.ok) {
-    std::fprintf(stderr, "VERIFICATION FAILED: %s\n",
-                 report.firstViolation.c_str());
-    std::exit(1);
+    // Cells run on worker threads; failure propagates as an exception and
+    // is reported from the main thread.
+    throw std::runtime_error(report.firstViolation);
   }
   return outcome;
 }
@@ -72,6 +75,7 @@ int main(int argc, char** argv) {
   const double faultPeriod = flags.getDouble("fault_period", 500.0);
   const int big = static_cast<int>(flags.getInt("procs", 24));
   const int small = static_cast<int>(flags.getInt("small_procs", 18));
+  const int threads = static_cast<int>(flags.getInt("threads", 0));
 
   std::printf("# Ablation: renegotiation under fault/repair cycles\n");
   std::printf("# machine %d <-> %d every %g units; laxity=%g jobs=%zu\n", big,
@@ -79,13 +83,29 @@ int main(int argc, char** argv) {
   std::printf("%-10s | %9s %8s %10s | %9s %8s %10s | %9s %8s %10s\n",
               "interval", "tun_adm", "tun_drop", "tun_eff", "s1_adm",
               "s1_drop", "s1_eff", "s2_adm", "s2_drop", "s2_eff");
+  std::vector<double> intervals;
   for (double interval = 15.0; interval <= 60.0; interval += 7.5) {
-    const auto tun = run(workload::Fig4Shape::Tunable, interval, jobs, seed,
-                         laxity, faultPeriod, big, small);
-    const auto s1 = run(workload::Fig4Shape::Shape1, interval, jobs, seed,
-                        laxity, faultPeriod, big, small);
-    const auto s2 = run(workload::Fig4Shape::Shape2, interval, jobs, seed,
-                        laxity, faultPeriod, big, small);
+    intervals.push_back(interval);
+  }
+  static constexpr workload::Fig4Shape kShapes[3] = {
+      workload::Fig4Shape::Tunable, workload::Fig4Shape::Shape1,
+      workload::Fig4Shape::Shape2};
+  std::vector<Outcome> outcomes;
+  try {
+    outcomes = sim::parallelMap<Outcome>(
+        intervals.size() * 3, threads, [&](std::size_t i) {
+          return run(kShapes[i % 3], intervals[i / 3], jobs, seed, laxity,
+                     faultPeriod, big, small);
+        });
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "VERIFICATION FAILED: %s\n", e.what());
+    return 1;
+  }
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    const double interval = intervals[i];
+    const Outcome& tun = outcomes[i * 3 + 0];
+    const Outcome& s1 = outcomes[i * 3 + 1];
+    const Outcome& s2 = outcomes[i * 3 + 2];
     std::printf(
         "%-10.4g | %9llu %8llu %10llu | %9llu %8llu %10llu | %9llu %8llu "
         "%10llu\n",

@@ -30,27 +30,31 @@ int main(int argc, char** argv) {
   params.laxity = d.laxity;
   params.malleable = d.malleable;
 
+  std::vector<bench::SweepPoint> points;
   for (double interval = 10.0; interval <= 85.0; interval += 5.0) {
-    const auto paper =
-        bench::runCell(params, workload::Fig4Shape::Tunable, interval, d.jobs,
-                       d.processors, d.seed, d.verify,
-                       sched::ChainChoice::Paper);
-    const auto wu = bench::runCell(params, workload::Fig4Shape::Tunable,
-                                   interval, d.jobs, d.processors, d.seed,
-                                   d.verify,
-                                   sched::ChainChoice::WindowUtilization);
-    const auto first = bench::runCell(params, workload::Fig4Shape::Tunable,
-                                      interval, d.jobs, d.processors, d.seed,
-                                      d.verify,
-                                      sched::ChainChoice::FirstSchedulable);
-    const auto random = bench::runCell(params, workload::Fig4Shape::Tunable,
-                                       interval, d.jobs, d.processors, d.seed,
-                                       d.verify, sched::ChainChoice::Random);
-    std::printf("%-10.4g %12llu %12llu %12llu %12llu\n", interval,
-                static_cast<unsigned long long>(paper.throughput),
-                static_cast<unsigned long long>(wu.throughput),
-                static_cast<unsigned long long>(first.throughput),
-                static_cast<unsigned long long>(random.throughput));
+    points.push_back(bench::SweepPoint{interval, params, interval,
+                                       d.processors});
+  }
+  static constexpr sched::ChainChoice kChoices[4] = {
+      sched::ChainChoice::Paper, sched::ChainChoice::WindowUtilization,
+      sched::ChainChoice::FirstSchedulable, sched::ChainChoice::Random};
+  const auto reps = bench::computeSweep(
+      points.size(), 4, d,
+      [&](std::size_t p, std::size_t s, std::uint64_t seed,
+          sim::TraceRecorder* trace) {
+        return bench::runFigCell(points[p], workload::Fig4Shape::Tunable,
+                                 d.jobs, d.verify, seed, kChoices[s], trace);
+      });
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    std::printf("%-10.4g %12llu %12llu %12llu %12llu\n", points[i].value,
+                static_cast<unsigned long long>(
+                    bench::toCell(reps[i * 4 + 0]).throughput),
+                static_cast<unsigned long long>(
+                    bench::toCell(reps[i * 4 + 1]).throughput),
+                static_cast<unsigned long long>(
+                    bench::toCell(reps[i * 4 + 2]).throughput),
+                static_cast<unsigned long long>(
+                    bench::toCell(reps[i * 4 + 3]).throughput));
   }
   return 0;
 }

@@ -28,8 +28,11 @@ int main(int argc, char** argv) {
   params.laxity = d.laxity;
   params.malleable = d.malleable;
 
+  std::vector<bench::SweepPoint> points;
   for (double interval = 10.0; interval <= 85.0; interval += 5.0) {
-    bench::runAndPrintRow(interval, params, interval, d);
+    points.push_back(bench::SweepPoint{interval, params, interval,
+                                       d.processors});
   }
+  bench::runAndPrintRows(points, d);
   return 0;
 }

@@ -27,9 +27,12 @@ int main(int argc, char** argv) {
   params.alpha = d.alpha;
   params.malleable = d.malleable;
 
+  std::vector<bench::SweepPoint> points;
   for (double laxity = 0.05; laxity <= 0.951; laxity += 0.05) {
     params.laxity = laxity;
-    bench::runAndPrintRow(laxity, params, d.interval, d);
+    points.push_back(bench::SweepPoint{laxity, params, d.interval,
+                                       d.processors});
   }
+  bench::runAndPrintRows(points, d);
   return 0;
 }

@@ -29,10 +29,11 @@ int main(int argc, char** argv) {
   params.laxity = d.laxity;
   params.malleable = d.malleable;
 
+  std::vector<bench::SweepPoint> points;
   for (int procs = 16; procs <= 64; procs += 4) {
-    bench::FigDefaults point = d;
-    point.processors = procs;
-    bench::runAndPrintRow(procs, params, d.interval, point);
+    points.push_back(bench::SweepPoint{static_cast<double>(procs), params,
+                                       d.interval, procs});
   }
+  bench::runAndPrintRows(points, d);
   return 0;
 }

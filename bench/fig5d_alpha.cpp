@@ -29,9 +29,12 @@ int main(int argc, char** argv) {
   params.malleable = d.malleable;
 
   // Every alpha with integral x*alpha, from 1/16 to 1.
+  std::vector<bench::SweepPoint> points;
   for (int k = 1; k <= 16; ++k) {
     params.alpha = static_cast<double>(k) / 16.0;
-    bench::runAndPrintRow(params.alpha, params, d.interval, d);
+    points.push_back(bench::SweepPoint{params.alpha, params, d.interval,
+                                       d.processors});
   }
+  bench::runAndPrintRows(points, d);
   return 0;
 }

@@ -20,6 +20,7 @@ void sweep(const char* title, const char* axis,
   std::printf("%s\n", title);
   std::printf("%-10s %12s %12s %12s %14s %14s\n", axis, "thru_tun", "thru_s1",
               "thru_s2", "benefit_s1", "benefit_s2");
+  std::vector<bench::SweepPoint> points;
   for (const double v : values) {
     workload::Fig4Params params;
     params.x = static_cast<int>(d.x);
@@ -28,16 +29,13 @@ void sweep(const char* title, const char* axis,
     params.laxity = sweepInterval ? d.laxity : v;
     params.malleable = true;
     const double interval = sweepInterval ? v : d.interval;
-    const auto tun = bench::runCell(params, workload::Fig4Shape::Tunable,
-                                    interval, d.jobs, d.processors, d.seed,
-                                    d.verify, d.chainChoice);
-    const auto s1 = bench::runCell(params, workload::Fig4Shape::Shape1,
-                                   interval, d.jobs, d.processors, d.seed,
-                                   d.verify, d.chainChoice);
-    const auto s2 = bench::runCell(params, workload::Fig4Shape::Shape2,
-                                   interval, d.jobs, d.processors, d.seed,
-                                   d.verify, d.chainChoice);
-    std::printf("%-10.4g %12llu %12llu %12llu %+14lld %+14lld\n", v,
+    points.push_back(bench::SweepPoint{v, params, interval, d.processors});
+  }
+  const auto cells = bench::computeShapeCells(points, d);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& [tun, s1, s2] = cells[i];
+    std::printf("%-10.4g %12llu %12llu %12llu %+14lld %+14lld\n",
+                points[i].value,
                 static_cast<unsigned long long>(tun.throughput),
                 static_cast<unsigned long long>(s1.throughput),
                 static_cast<unsigned long long>(s2.throughput),

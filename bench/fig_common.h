@@ -6,6 +6,12 @@
 // prints one row per sweep point with the paper's two metrics (system
 // utilization and throughput = number of on-time jobs).
 //
+// The (sweep point x task system x replication) cells are independent
+// simulations, so every harness computes them through the deterministic
+// parallel driver (sim/parallel.h): `--threads=N` produces byte-identical
+// tables to `--threads=1` for any N, because cells land in pre-sized slots
+// and rows are aggregated/printed on the main thread in sweep order.
+//
 // Parameters the paper states are pinned to the stated values (x = 16,
 // t = 25, Poisson arrivals, 10,000 arrivals).  Parameters the paper leaves
 // implicit are pinned per figure (see each harness) and recorded in
@@ -19,16 +25,20 @@
 //   laxity     = 0.5  (moderate laxity, the regime Figures 5/6 highlight)
 //   interval   = 40   (moderate load for the non-interval sweeps)
 // Every pin is overridable from the command line (--jobs, --procs, --alpha,
-// --laxity, --interval, --seed, --verify, --choice, --mpolicy).
+// --laxity, --interval, --seed, --verify, --choice, --mpolicy, --runs,
+// --threads).
 #pragma once
 
+#include <array>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/flags.h"
 #include "sched/greedy_arbitrator.h"
 #include "sim/engine.h"
+#include "sim/parallel.h"
 #include "workload/fig4.h"
 
 namespace tprm::bench {
@@ -47,11 +57,16 @@ struct FigDefaults {
   bool malleable = false;
   sched::ChainChoice chainChoice = sched::ChainChoice::Paper;
   /// Replications per sweep point (--runs).  With runs > 1 each printed
-  /// cell is the mean across seeds seed..seed+runs-1 (see sim/replicate.h).
+  /// cell is the mean across the seeds runSeed(seed, 0..runs-1) (see
+  /// sim/parallel.h).
   int runs = 1;
+  /// Worker threads for the cell sweep (--threads); <= 0 means
+  /// hardware_concurrency.  Any value prints identical tables.
+  int threads = 0;
 };
 
 /// Malleable-policy pin shared by the harnesses (--mpolicy=widest|finish).
+/// Written once during flag parsing, before any worker thread starts.
 inline sched::MalleablePolicy gMalleablePolicy =
     sched::MalleablePolicy::WidestFit;
 
@@ -68,6 +83,7 @@ inline FigDefaults parseFigFlags(const Flags& flags, FigDefaults d = {}) {
   d.verify = flags.getBool("verify", d.verify);
   d.malleable = flags.getBool("malleable", d.malleable);
   d.runs = static_cast<int>(flags.getInt("runs", d.runs));
+  d.threads = static_cast<int>(flags.getInt("threads", d.threads));
   const std::string choice = flags.getString("choice", "paper");
   if (choice == "paper") {
     d.chainChoice = sched::ChainChoice::Paper;
@@ -93,35 +109,101 @@ inline FigDefaults parseFigFlags(const Flags& flags, FigDefaults d = {}) {
   return d;
 }
 
+/// Parses just --threads for harnesses with bespoke flag sets.
+inline int parseThreadsFlag(const Flags& flags) {
+  return static_cast<int>(flags.getInt("threads", 0));
+}
+
 /// Result of one (task system, sweep point) cell.
 struct Cell {
   double utilization = 0.0;
   std::uint64_t throughput = 0;
 };
 
-/// Runs one task system at one sweep point.
-inline Cell runCell(const workload::Fig4Params& params,
-                    workload::Fig4Shape shape, double interval,
-                    std::size_t jobs, int processors, std::uint64_t seed,
-                    bool verify,
-                    sched::ChainChoice choice = sched::ChainChoice::Paper) {
+/// Raised by a cell whose end-of-run schedule verification fails; carries
+/// the ledger's first violation.  Cells run on worker threads, so failure is
+/// reported by exception and turned into exit(1) on the main thread.
+struct VerificationError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// One sweep point: x-axis label plus the full cell configuration.
+struct SweepPoint {
+  double value = 0.0;
+  workload::Fig4Params params;
+  double interval = 0.0;
+  int processors = 0;
+};
+
+/// Runs one task system at one sweep point.  Throws VerificationError if
+/// --verify finds a violated reservation.
+inline sim::SimulationResult runFigCell(
+    const SweepPoint& pt, workload::Fig4Shape shape, std::size_t jobs,
+    bool verify, std::uint64_t seed,
+    sched::ChainChoice choice = sched::ChainChoice::Paper,
+    sim::TraceRecorder* trace = nullptr) {
   // Same seed => identical arrival instants across the three task systems,
   // as in the paper's controlled comparison.
-  const auto stream =
-      workload::makeFig4PoissonStream(params, shape, interval, jobs, seed);
+  const auto stream = workload::makeFig4PoissonStream(pt.params, shape,
+                                                      pt.interval, jobs, seed);
   sched::GreedyArbitrator arbitrator(sched::GreedyOptions{
-      .malleable = params.malleable, .chainChoice = choice,
+      .malleable = pt.params.malleable, .chainChoice = choice,
       .malleablePolicy = gMalleablePolicy});
   sim::SimulationConfig config;
-  config.processors = processors;
+  config.processors = pt.processors;
   config.verify = verify;
-  const auto result = sim::runSimulation(stream, arbitrator, config);
+  config.trace = trace;
+  auto result = sim::runSimulation(stream, arbitrator, config);
   if (result.verification && !result.verification->ok) {
-    std::fprintf(stderr, "SCHEDULE VERIFICATION FAILED: %s\n",
-                 result.verification->firstViolation.c_str());
+    throw VerificationError(result.verification->firstViolation);
+  }
+  return result;
+}
+
+/// Collapses one replicated group to the printed cell (mean utilization,
+/// mean throughput rounded to the nearest job; exact values at runs=1).
+inline Cell toCell(const sim::Replicated& rep) {
+  return Cell{rep.utilization.mean(),
+              static_cast<std::uint64_t>(rep.admitted.mean() + 0.5)};
+}
+
+/// Runs `cell` over points x systems x d.runs on d.threads workers,
+/// exiting with the standard failure message if any cell's verification
+/// fails.  Results are row-major by point (see sim::sweepReplicated).
+inline std::vector<sim::Replicated> computeSweep(std::size_t points,
+                                                 std::size_t systems,
+                                                 const FigDefaults& d,
+                                                 const sim::SweepCell& cell) {
+  try {
+    sim::ParallelOptions options;
+    options.threads = d.threads;
+    return sim::sweepReplicated(points, systems, d.runs, d.seed, cell,
+                                options);
+  } catch (const VerificationError& e) {
+    std::fprintf(stderr, "SCHEDULE VERIFICATION FAILED: %s\n", e.what());
     std::exit(1);
   }
-  return Cell{result.utilization, result.admitted};
+}
+
+/// Computes the three task systems' cells for every sweep point in
+/// parallel; result[i] = {tunable, shape1, shape2} at points[i].
+inline std::vector<std::array<Cell, 3>> computeShapeCells(
+    const std::vector<SweepPoint>& points, const FigDefaults& d) {
+  static constexpr workload::Fig4Shape kShapes[3] = {
+      workload::Fig4Shape::Tunable, workload::Fig4Shape::Shape1,
+      workload::Fig4Shape::Shape2};
+  const auto reps = computeSweep(
+      points.size(), 3, d,
+      [&](std::size_t p, std::size_t s, std::uint64_t seed,
+          sim::TraceRecorder* trace) {
+        return runFigCell(points[p], kShapes[s], d.jobs, d.verify, seed,
+                          d.chainChoice, trace);
+      });
+  std::vector<std::array<Cell, 3>> out(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t s = 0; s < 3; ++s) out[i][s] = toCell(reps[i * 3 + s]);
+  }
+  return out;
 }
 
 /// Prints the standard six-column row for one sweep point.
@@ -140,39 +222,14 @@ inline void printRow(double sweepValue, const Cell& tunable, const Cell& s1,
               static_cast<unsigned long long>(s2.throughput));
 }
 
-/// Runs one task system at one sweep point, replicated d.runs times
-/// (cells are means across seeds when runs > 1).
-inline Cell runCellReplicated(const workload::Fig4Params& params,
-                              workload::Fig4Shape shape, double interval,
-                              const FigDefaults& d) {
-  if (d.runs <= 1) {
-    return runCell(params, shape, interval, d.jobs, d.processors, d.seed,
-                   d.verify, d.chainChoice);
+/// Runs all three task systems at every sweep point (in parallel across
+/// cells) and prints one standard row per point, in sweep order.
+inline void runAndPrintRows(const std::vector<SweepPoint>& points,
+                            const FigDefaults& d) {
+  const auto cells = computeShapeCells(points, d);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    printRow(points[i].value, cells[i][0], cells[i][1], cells[i][2]);
   }
-  double util = 0.0;
-  double thru = 0.0;
-  for (int r = 0; r < d.runs; ++r) {
-    const Cell cell =
-        runCell(params, shape, interval, d.jobs, d.processors,
-                d.seed + static_cast<std::uint64_t>(r), d.verify,
-                d.chainChoice);
-    util += cell.utilization;
-    thru += static_cast<double>(cell.throughput);
-  }
-  return Cell{util / d.runs,
-              static_cast<std::uint64_t>(thru / d.runs + 0.5)};
-}
-
-/// Runs all three task systems at one sweep point and prints the row.
-inline void runAndPrintRow(double sweepValue, const workload::Fig4Params& p,
-                           double interval, const FigDefaults& d) {
-  const Cell tunable =
-      runCellReplicated(p, workload::Fig4Shape::Tunable, interval, d);
-  const Cell s1 =
-      runCellReplicated(p, workload::Fig4Shape::Shape1, interval, d);
-  const Cell s2 =
-      runCellReplicated(p, workload::Fig4Shape::Shape2, interval, d);
-  printRow(sweepValue, tunable, s1, s2);
 }
 
 }  // namespace tprm::bench

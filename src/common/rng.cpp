@@ -21,6 +21,19 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
+std::uint64_t streamSeed(std::uint64_t seed, std::uint64_t stream) {
+  // Diffuse each 64-bit input independently, then mix the combination once
+  // more.  A collision between two distinct (seed, stream) pairs requires
+  // the combined 128 bits of mixed input to collide in 64 bits, which is
+  // the best a 64-bit seed derivation can do.
+  std::uint64_t a = seed;
+  std::uint64_t b = stream ^ 0xA3EC647659359ACDULL;
+  const std::uint64_t ma = splitmix64(a);
+  const std::uint64_t mb = splitmix64(b);
+  std::uint64_t z = ma + rotl(mb, 27);
+  return splitmix64(z);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t s = seed;
   for (auto& word : state_) word = splitmix64(s);

@@ -11,6 +11,17 @@
 
 namespace tprm {
 
+/// Derives the seed of an independent substream `stream` of a base `seed`.
+///
+/// Used to give each cell of a parallel replication/sweep its own generator
+/// with no shared state: distinct (seed, stream) pairs map to well-separated
+/// seeds (each input word is diffused through splitmix64 before combining, so
+/// nearby seeds or stream indices do not yield correlated generators).  The
+/// mapping is a frozen part of the experiment format — results published in
+/// EXPERIMENTS.md depend on it — and is pinned by a golden-vector test.
+[[nodiscard]] std::uint64_t streamSeed(std::uint64_t seed,
+                                       std::uint64_t stream);
+
 /// Deterministic pseudo-random generator (xoshiro256**).
 ///
 /// Satisfies the UniformRandomBitGenerator concept, so it can also be used

@@ -1,0 +1,137 @@
+#include "sim/parallel.h"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace tprm::sim {
+
+int defaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void parallelFor(std::size_t n, int threads,
+                 const std::function<void(std::size_t)>& body) {
+  TPRM_CHECK(body != nullptr, "parallelFor body must be callable");
+  if (n == 0) return;
+  const auto requested =
+      static_cast<std::size_t>(threads <= 0 ? defaultThreads() : threads);
+  const std::size_t workers = std::min(requested, n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Fixed contiguous blocks: worker w owns [w*block, min(n, (w+1)*block)).
+  const std::size_t block = (n + workers - 1) / workers;
+  // Failure slot per worker; after the join the error from the lowest global
+  // index wins, so which exception propagates is deterministic too.
+  std::vector<std::exception_ptr> errors(workers);
+  std::vector<std::size_t> errorIndex(workers, n);
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      const std::size_t begin = w * block;
+      const std::size_t end = std::min(n, begin + block);
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          body(i);
+        } catch (...) {
+          errors[w] = std::current_exception();
+          errorIndex[w] = i;
+          return;  // abandon the rest of this block; others run to completion
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  std::size_t firstFailure = n;
+  std::exception_ptr toThrow;
+  for (std::size_t w = 0; w < workers; ++w) {
+    if (errors[w] != nullptr && errorIndex[w] < firstFailure) {
+      firstFailure = errorIndex[w];
+      toThrow = errors[w];
+    }
+  }
+  if (toThrow != nullptr) std::rethrow_exception(toThrow);
+}
+
+std::uint64_t runSeed(std::uint64_t seedBase, int run) {
+  TPRM_CHECK(run >= 0, "run index must be non-negative");
+  if (run == 0) return seedBase;
+  return streamSeed(seedBase, static_cast<std::uint64_t>(run));
+}
+
+namespace {
+
+/// Folds one run's metrics into the group summary (run order fixed by the
+/// caller so the floating-point reduction is deterministic).
+void accumulate(Replicated& out, const SimulationResult& result) {
+  out.utilization.add(result.utilization);
+  out.onTime.add(static_cast<double>(result.onTime));
+  out.admitted.add(static_cast<double>(result.admitted));
+  out.quality.add(result.qualitySum);
+}
+
+}  // namespace
+
+Replicated replicateParallel(const CellExperiment& experiment,
+                             std::uint64_t seedBase, int runs,
+                             const ParallelOptions& options) {
+  TPRM_CHECK(runs >= 1, "need at least one replication");
+  TPRM_CHECK(experiment != nullptr, "experiment must be callable");
+  const auto n = static_cast<std::size_t>(runs);
+  if (options.traces != nullptr) {
+    options.traces->clear();
+    options.traces->resize(n);
+  }
+  const auto results = parallelMap<SimulationResult>(
+      n, options.threads, [&](std::size_t r) {
+        TraceRecorder* trace =
+            options.traces == nullptr ? nullptr : &(*options.traces)[r];
+        return experiment(runSeed(seedBase, static_cast<int>(r)), trace);
+      });
+  Replicated out;
+  for (const auto& result : results) accumulate(out, result);
+  return out;
+}
+
+std::vector<Replicated> sweepReplicated(std::size_t points,
+                                        std::size_t systems, int runs,
+                                        std::uint64_t seedBase,
+                                        const SweepCell& cell,
+                                        const ParallelOptions& options) {
+  TPRM_CHECK(runs >= 1, "need at least one replication");
+  TPRM_CHECK(cell != nullptr, "sweep cell must be callable");
+  const auto runCount = static_cast<std::size_t>(runs);
+  const std::size_t cells = points * systems * runCount;
+  if (options.traces != nullptr) {
+    options.traces->clear();
+    options.traces->resize(cells);
+  }
+  const auto results = parallelMap<SimulationResult>(
+      cells, options.threads, [&](std::size_t i) {
+        const std::size_t point = i / (systems * runCount);
+        const std::size_t system = (i / runCount) % systems;
+        const int run = static_cast<int>(i % runCount);
+        TraceRecorder* trace =
+            options.traces == nullptr ? nullptr : &(*options.traces)[i];
+        return cell(point, system, runSeed(seedBase, run), trace);
+      });
+  std::vector<Replicated> out(points * systems);
+  for (std::size_t g = 0; g < out.size(); ++g) {
+    for (std::size_t r = 0; r < runCount; ++r) {
+      accumulate(out[g], results[g * runCount + r]);
+    }
+  }
+  return out;
+}
+
+}  // namespace tprm::sim

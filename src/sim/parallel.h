@@ -1,0 +1,103 @@
+// Deterministic parallel execution of independent simulation cells.
+//
+// The evaluation harnesses replay thousands of independent simulations
+// (sweep points x task systems x replication seeds).  The cells share
+// nothing — each runs its own SimulationEngine over its own Rng stream — so
+// they parallelise embarrassingly, the same malleability story the paper
+// tells about applications.  The design constraint is *determinism*: a
+// table produced with --threads=N must be byte-identical to --threads=1 for
+// every N.  Three rules enforce it:
+//
+//   1. fixed block assignment — parallelFor splits the index range into one
+//      contiguous block per worker up front (no work stealing, no shared
+//      queue), so which thread runs which index is a pure function of
+//      (n, threads);
+//   2. pre-sized output slots — every cell writes only results[i]; nothing
+//      is appended concurrently;
+//   3. ordered aggregation — means/rows are folded on the calling thread in
+//      index order after the pool joins, so floating-point reduction order
+//      never depends on completion order.
+//
+// Per-cell seeds come from streamSeed() (splitmix64 over (seed, cell)); no
+// generator is shared across threads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/engine.h"
+#include "sim/replicate.h"
+#include "sim/trace.h"
+
+namespace tprm::sim {
+
+/// Default worker count: the machine's hardware concurrency (>= 1).
+[[nodiscard]] int defaultThreads();
+
+/// Runs body(i) for every i in [0, n).  `threads <= 0` means
+/// defaultThreads(); the range is split into one contiguous block per
+/// worker (fixed assignment, no stealing).  If any body throws, the
+/// exception raised by the lowest index is rethrown on the calling thread
+/// after all workers have joined — the pool never deadlocks on failure.
+/// With one worker (or n <= 1) the body runs inline on the calling thread.
+void parallelFor(std::size_t n, int threads,
+                 const std::function<void(std::size_t)>& body);
+
+/// Maps fn over [0, n) into a pre-sized vector; out[i] = fn(i).  Same
+/// determinism and exception contract as parallelFor.
+template <typename T>
+[[nodiscard]] std::vector<T> parallelMap(
+    std::size_t n, int threads, const std::function<T(std::size_t)>& fn) {
+  std::vector<T> out(n);
+  parallelFor(n, threads, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+/// Seed of replication cell `run` under base seed `seedBase`.  Run 0 replays
+/// the un-replicated experiment exactly (the base seed itself), so a
+/// single-run table equals the corresponding --runs=1 table; later runs draw
+/// decorrelated seeds via streamSeed.
+[[nodiscard]] std::uint64_t runSeed(std::uint64_t seedBase, int run);
+
+/// One replication cell: runs the experiment for `seed`, recording into
+/// `trace` when non-null (each cell gets its own recorder; see
+/// ParallelOptions::traces).
+using CellExperiment =
+    std::function<SimulationResult(std::uint64_t seed, TraceRecorder* trace)>;
+
+struct ParallelOptions {
+  /// Worker threads; <= 0 means defaultThreads().
+  int threads = 0;
+  /// When non-null, resized to one recorder per cell before the pool starts;
+  /// cell r records into (*traces)[r].  Owned by the caller.
+  std::vector<TraceRecorder>* traces = nullptr;
+};
+
+/// Parallel counterpart of replicate(): runs the cells for runs seeds
+/// runSeed(seedBase, 0..runs-1) across options.threads workers and
+/// aggregates on the calling thread in run order.  Byte-identical results
+/// for any thread count.
+[[nodiscard]] Replicated replicateParallel(const CellExperiment& experiment,
+                                           std::uint64_t seedBase, int runs,
+                                           const ParallelOptions& options = {});
+
+/// One sweep cell: task `system` at sweep point `point` under `seed`.
+using SweepCell = std::function<SimulationResult(
+    std::size_t point, std::size_t system, std::uint64_t seed,
+    TraceRecorder* trace)>;
+
+/// Parallel sweep driver: evaluates every (point, system, run) cell —
+/// point-major, then system, then run — and returns one Replicated per
+/// (point, system) group, row-major by point.  The run-r seed is
+/// runSeed(seedBase, r) for *every* (point, system), so controlled
+/// comparisons across task systems share arrival streams exactly as in the
+/// serial harnesses.  Aggregation happens on the calling thread in index
+/// order: output is byte-identical for any thread count.  Traces, when
+/// requested, hold one recorder per cell in the same flat order.
+[[nodiscard]] std::vector<Replicated> sweepReplicated(
+    std::size_t points, std::size_t systems, int runs, std::uint64_t seedBase,
+    const SweepCell& cell, const ParallelOptions& options = {});
+
+}  // namespace tprm::sim

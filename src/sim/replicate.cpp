@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "sim/parallel.h"
 
 namespace tprm::sim {
 
@@ -15,16 +16,12 @@ double Replicated::ci95(const StreamingStats& stats) {
 Replicated replicate(
     const std::function<SimulationResult(std::uint64_t seed)>& experiment,
     std::uint64_t seedBase, int runs) {
-  TPRM_CHECK(runs >= 1, "need at least one replication");
   TPRM_CHECK(experiment != nullptr, "experiment must be callable");
-  Replicated out;
-  for (int r = 0; r < runs; ++r) {
-    const auto result = experiment(seedBase + static_cast<std::uint64_t>(r));
-    out.utilization.add(result.utilization);
-    out.onTime.add(static_cast<double>(result.onTime));
-    out.admitted.add(static_cast<double>(result.admitted));
-  }
-  return out;
+  ParallelOptions serial;
+  serial.threads = 1;
+  return replicateParallel(
+      [&](std::uint64_t seed, TraceRecorder*) { return experiment(seed); },
+      seedBase, runs, serial);
 }
 
 }  // namespace tprm::sim

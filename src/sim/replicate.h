@@ -20,15 +20,20 @@ struct Replicated {
   StreamingStats utilization;
   StreamingStats onTime;
   StreamingStats admitted;
+  /// Per-run total delivered quality (SimulationResult::qualitySum).
+  StreamingStats quality;
 
   /// Half-width of a ~95% normal-approximation confidence interval for the
   /// mean of `stats` (1.96 * sd / sqrt(n); 0 for n < 2).
   [[nodiscard]] static double ci95(const StreamingStats& stats);
 };
 
-/// Runs `experiment(seed)` once per seed in [seedBase, seedBase + runs) and
-/// aggregates the results.  The callable owns workload generation and
-/// simulation; it returns the run's SimulationResult.
+/// Runs `experiment(seed)` once per replication seed and aggregates the
+/// results.  The callable owns workload generation and simulation; it
+/// returns the run's SimulationResult.  Run r's seed is runSeed(seedBase, r)
+/// (see sim/parallel.h): run 0 uses seedBase itself, later runs draw
+/// splitmix64-decorrelated seeds.  This is the serial (one-thread) path of
+/// replicateParallel and produces identical results by construction.
 [[nodiscard]] Replicated replicate(
     const std::function<SimulationResult(std::uint64_t seed)>& experiment,
     std::uint64_t seedBase, int runs);

@@ -3,10 +3,15 @@
 // admission must be monotone in obvious ways.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+
 #include "common/rng.h"
 #include "resource/reservation_ledger.h"
 #include "sched/greedy_arbitrator.h"
+#include "sim/parallel.h"
 #include "taskmodel/chain.h"
+#include "workload/fig4.h"
 
 namespace tprm::sched {
 namespace {
@@ -131,6 +136,92 @@ INSTANTIATE_TEST_SUITE_P(
         PropertyCase{8, true, ChainChoice::Random},
         PropertyCase{9, false, ChainChoice::WindowUtilization},
         PropertyCase{10, true, ChainChoice::WindowUtilization}));
+
+/// One randomized-workload replication cell: a fresh job stream and engine
+/// per seed, full end-of-run verification (capacity, deadlines, precedence)
+/// enabled.  Fails the test from the cell if the ledger reports a
+/// violation, so invariants are checked in *every* cell, not just in the
+/// aggregate.
+sim::SimulationResult verifiedRandomCell(std::uint64_t seed, bool malleable,
+                                         std::atomic<int>& verifiedCells) {
+  Rng rng(seed);
+  workload::Fig4Params params;
+  params.laxity = rng.uniformReal(0.2, 0.8);
+  params.alpha = 0.25;
+  params.malleable = malleable;
+  const double interval = rng.uniformReal(20.0, 60.0);
+  const auto jobs = workload::makeFig4PoissonStream(
+      params, workload::Fig4Shape::Tunable, interval, 250, seed);
+  GreedyArbitrator arbitrator(GreedyOptions{.malleable = malleable});
+  sim::SimulationConfig config;
+  config.processors = 16;
+  config.verify = true;
+  auto result = sim::runSimulation(jobs, arbitrator, config);
+  EXPECT_TRUE(result.verification.has_value());
+  if (result.verification) {
+    EXPECT_TRUE(result.verification->ok)
+        << "seed " << seed << ": " << result.verification->firstViolation;
+    if (result.verification->ok) ++verifiedCells;
+  }
+  return result;
+}
+
+TEST(ArbitratorProperty, ParallelReplicationsVerifyInEveryCell) {
+  for (const bool malleable : {false, true}) {
+    for (const int threads : {1, 2, 8}) {
+      std::atomic<int> verifiedCells{0};
+      sim::ParallelOptions options;
+      options.threads = threads;
+      const auto summary = sim::replicateParallel(
+          [&](std::uint64_t seed, sim::TraceRecorder*) {
+            return verifiedRandomCell(seed, malleable, verifiedCells);
+          },
+          /*seedBase=*/1234, /*runs=*/8, options);
+      EXPECT_EQ(verifiedCells.load(), 8)
+          << "malleable=" << malleable << " threads=" << threads;
+      EXPECT_EQ(summary.admitted.count(), 8u);
+      EXPECT_GT(summary.admitted.mean(), 0.0);
+    }
+  }
+}
+
+TEST(ArbitratorProperty, ReplicatedMeansMatchSerialAggregation) {
+  std::atomic<int> ignored{0};
+  const int runs = 8;
+  // Hand-rolled serial aggregation over the same derived seeds.
+  double utilSum = 0.0;
+  double onTimeSum = 0.0;
+  double admittedSum = 0.0;
+  std::vector<sim::SimulationResult> serial;
+  for (int r = 0; r < runs; ++r) {
+    serial.push_back(
+        verifiedRandomCell(sim::runSeed(777, r), /*malleable=*/false,
+                           ignored));
+    utilSum += serial.back().utilization;
+    onTimeSum += static_cast<double>(serial.back().onTime);
+    admittedSum += static_cast<double>(serial.back().admitted);
+  }
+  sim::ParallelOptions options;
+  options.threads = 8;
+  const auto summary = sim::replicateParallel(
+      [&](std::uint64_t seed, sim::TraceRecorder*) {
+        return verifiedRandomCell(seed, /*malleable=*/false, ignored);
+      },
+      777, runs, options);
+  ASSERT_EQ(summary.utilization.count(), static_cast<std::size_t>(runs));
+  // Welford's mean over the same values in the same order is within an ulp
+  // or two of the naive sum; compare with a tight tolerance.
+  EXPECT_NEAR(summary.utilization.mean(), utilSum / runs, 1e-12);
+  EXPECT_NEAR(summary.onTime.mean(), onTimeSum / runs, 1e-9);
+  EXPECT_NEAR(summary.admitted.mean(), admittedSum / runs, 1e-9);
+  EXPECT_DOUBLE_EQ(
+      summary.admitted.min(),
+      static_cast<double>(std::min_element(serial.begin(), serial.end(),
+                                           [](const auto& a, const auto& b) {
+                                             return a.admitted < b.admitted;
+                                           })
+                              ->admitted));
+}
 
 TEST(ArbitratorProperty, TunableAdmitsWheneverAnyChainAdmits) {
   // For any machine state, if job-with-chain-A-only or job-with-chain-B-only
