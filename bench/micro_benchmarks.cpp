@@ -7,6 +7,7 @@
 #include "calypso/runtime.h"
 #include "common/rng.h"
 #include "resource/availability_profile.h"
+#include "resource/reference_profile.h"
 #include "sched/greedy_arbitrator.h"
 #include "sim/engine.h"
 #include "workload/fig4.h"
@@ -14,6 +15,22 @@
 namespace {
 
 using namespace tprm;
+
+// Drives identical reservation sequences into the flat and the reference
+// profile (same Rng seed, and minAvailable agrees between the two), so the
+// before/after benchmarks below probe byte-identical step functions.
+template <typename Profile>
+void fragmentProfile(Profile& profile, std::size_t targetSegments) {
+  Rng rng(7);
+  Time t = 0;
+  while (profile.segmentCount() < targetSegments) {
+    const Time b = t + rng.uniformInt(5, 15);
+    const TimeInterval iv{b, b + rng.uniformInt(3, 9)};
+    const int procs = static_cast<int>(rng.uniformInt(1, 4));
+    if (profile.minAvailable(iv) >= procs) profile.reserve(iv, procs);
+    t = b;
+  }
+}
 
 void BM_ProfileReserveRelease(benchmark::State& state) {
   resource::AvailabilityProfile profile(64);
@@ -50,6 +67,96 @@ void BM_FindEarliestFit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FindEarliestFit);
+
+// --- Flat-profile fast path: before/after pairs -----------------------------
+//
+// The `...Reference` variants measure the pre-flat-vector implementation
+// (std::map segments, copy-on-use trial placement) on the same step
+// function; the unsuffixed/`...Flat` variants measure the production path
+// (flat sorted vector, undo-log trial, block-maxima skip index).  Their
+// ratio is the speedup reported in EXPERIMENTS.md and BENCH_sched.json.
+
+void BM_FragmentedFitFlat(benchmark::State& state) {
+  resource::AvailabilityProfile profile(64);
+  fragmentProfile(profile, static_cast<std::size_t>(state.range(0)));
+  Rng rng(11);
+  for (auto _ : state) {
+    const Time earliest = rng.uniformInt(0, 500);
+    benchmark::DoNotOptimize(
+        profile.findEarliestFit(earliest, 40, 62, kTimeInfinity));
+  }
+}
+BENCHMARK(BM_FragmentedFitFlat)->Arg(64)->Arg(256);
+
+void BM_FragmentedFitReference(benchmark::State& state) {
+  resource::ReferenceProfile profile(64);
+  fragmentProfile(profile, static_cast<std::size_t>(state.range(0)));
+  Rng rng(11);
+  for (auto _ : state) {
+    const Time earliest = rng.uniformInt(0, 500);
+    benchmark::DoNotOptimize(
+        profile.findEarliestFit(earliest, 40, 62, kTimeInfinity));
+  }
+}
+BENCHMARK(BM_FragmentedFitReference)->Arg(64)->Arg(256);
+
+// One admission: evaluate 6 candidate chains of 4 tasks each against a
+// fragmented profile, discarding every speculative placement (the worst case
+// for trial machinery — nothing is ever committed).
+constexpr int kBenchChains = 6;
+constexpr int kBenchTasksPerChain = 4;
+
+template <typename Profile, typename HintedFit>
+void placeBenchChain(Profile& profile, int chain, HintedFit&& fit) {
+  Time earliest = 0;
+  for (int k = 0; k < kBenchTasksPerChain; ++k) {
+    const Time duration = 20 + 5 * chain;
+    const int procs = 2 + (k % 3);
+    const auto start = fit(profile, earliest, duration, procs);
+    const TimeInterval iv{*start, *start + duration};
+    profile.reserve(iv, procs);
+    earliest = iv.end;
+  }
+}
+
+void BM_AdmissionLoopFlat(benchmark::State& state) {
+  resource::AvailabilityProfile profile(64);
+  fragmentProfile(profile, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    resource::AvailabilityProfile::Trial trial(profile);
+    for (int c = 0; c < kBenchChains; ++c) {
+      resource::FitHint hint;
+      placeBenchChain(profile, c,
+                      [&hint](resource::AvailabilityProfile& p, Time earliest,
+                              Time duration, int procs) {
+                        return p.findEarliestFit(earliest, duration, procs,
+                                                 kTimeInfinity, &hint);
+                      });
+      trial.rollback();
+    }
+    benchmark::DoNotOptimize(profile.segmentCount());
+    // ~Trial: already rolled back; the profile is unchanged across iterations.
+  }
+}
+BENCHMARK(BM_AdmissionLoopFlat)->Arg(64)->Arg(256);
+
+void BM_AdmissionLoopReference(benchmark::State& state) {
+  resource::ReferenceProfile profile(64);
+  fragmentProfile(profile, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    for (int c = 0; c < kBenchChains; ++c) {
+      resource::ReferenceProfile scratch = profile;  // copy-on-use trial
+      placeBenchChain(scratch, c,
+                      [](resource::ReferenceProfile& p, Time earliest,
+                         Time duration, int procs) {
+                        return p.findEarliestFit(earliest, duration, procs,
+                                                 kTimeInfinity);
+                      });
+      benchmark::DoNotOptimize(scratch.segmentCount());
+    }
+  }
+}
+BENCHMARK(BM_AdmissionLoopReference)->Arg(64)->Arg(256);
 
 void BM_MaximalHoles(benchmark::State& state) {
   resource::AvailabilityProfile profile(64);

@@ -150,20 +150,22 @@ RenegotiationReport QoSArbitrator::resize(int processors, Time when) {
     }
 
     // Cheapest outcome: the original future placements still fit verbatim.
+    // Probed under an undo-log trial scope: committed if they all fit,
+    // rolled back (by the scope's destructor) otherwise.
     bool verbatim = true;
     {
-      resource::AvailabilityProfile trial = profile_;
+      resource::AvailabilityProfile::Trial trial(profile_);
       for (std::size_t k = firstFuture; k < job.placements.size(); ++k) {
         const auto& p = job.placements[k];
-        if (trial.minAvailable(p.interval) >= p.processors) {
-          trial.reserve(p.interval, p.processors);
+        if (profile_.minAvailable(p.interval) >= p.processors) {
+          profile_.reserve(p.interval, p.processors);
         } else {
           verbatim = false;
           break;
         }
       }
       if (verbatim) {
-        profile_ = std::move(trial);
+        trial.commit();
         record(jobId, job.chainIndex,
                {job.placements.begin() +
                     static_cast<std::ptrdiff_t>(firstFuture),

@@ -10,67 +10,91 @@ namespace tprm::resource {
 AvailabilityProfile::AvailabilityProfile(int totalProcessors)
     : total_(totalProcessors) {
   TPRM_CHECK(totalProcessors > 0, "machine needs at least one processor");
-  segments_.emplace(Time{0}, total_);
+  segments_.push_back(Segment{Time{0}, total_});
+  blockMax_.push_back(total_);
+}
+
+std::size_t AvailabilityProfile::indexFor(Time t) const {
+  TPRM_CHECK(t >= segments_.front().start,
+             "query before the garbage-collected horizon");
+  // Last segment whose start is <= t.
+  const auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t,
+      [](Time value, const Segment& s) { return value < s.start; });
+  return static_cast<std::size_t>(it - segments_.begin()) - 1;
 }
 
 int AvailabilityProfile::availableAt(Time t) const {
-  TPRM_CHECK(t >= segments_.begin()->first,
-             "query before the garbage-collected horizon");
-  auto it = segments_.upper_bound(t);
-  --it;
-  return it->second;
+  return segments_[indexFor(t)].avail;
 }
 
 int AvailabilityProfile::minAvailable(TimeInterval iv) const {
   if (iv.empty()) return total_;
-  TPRM_CHECK(iv.begin >= segments_.begin()->first,
-             "query before the garbage-collected horizon");
-  auto it = segments_.upper_bound(iv.begin);
-  --it;
   int minFree = total_;
-  for (; it != segments_.end() && it->first < iv.end; ++it) {
-    minFree = std::min(minFree, it->second);
+  for (std::size_t i = indexFor(iv.begin);
+       i < segments_.size() && segments_[i].start < iv.end; ++i) {
+    minFree = std::min(minFree, segments_[i].avail);
   }
   return minFree;
 }
 
-std::map<Time, int>::iterator AvailabilityProfile::splitAt(Time t) {
-  auto it = segments_.lower_bound(t);
-  if (it != segments_.end() && it->first == t) return it;
-  TPRM_CHECK(it != segments_.begin(), "split before horizon start");
-  auto prev = std::prev(it);
-  return segments_.emplace_hint(it, t, prev->second);
-}
-
-void AvailabilityProfile::coalesce() {
-  // Full-pass coalesce.  Segment counts stay small under steady state (they
-  // are garbage collected behind the simulation clock), so a linear pass is
-  // cheap and keeps the invariant logic in one obvious place.
-  auto it = segments_.begin();
-  while (it != segments_.end()) {
-    auto next = std::next(it);
-    if (next != segments_.end() && next->second == it->second) {
-      segments_.erase(next);
-    } else {
-      it = next;
-    }
+std::size_t AvailabilityProfile::splitAt(Time t) {
+  const auto it = std::lower_bound(
+      segments_.begin(), segments_.end(), t,
+      [](const Segment& s, Time value) { return s.start < value; });
+  if (it != segments_.end() && it->start == t) {
+    return static_cast<std::size_t>(it - segments_.begin());
   }
+  TPRM_CHECK(it != segments_.begin(), "split before horizon start");
+  const std::size_t idx = static_cast<std::size_t>(it - segments_.begin());
+  segments_.insert(it, Segment{t, segments_[idx - 1].avail});
+  return idx;
 }
 
 void AvailabilityProfile::apply(TimeInterval iv, int delta) {
   if (iv.empty()) return;
-  TPRM_CHECK(iv.begin >= segments_.begin()->first,
+  TPRM_CHECK(iv.begin >= segments_.front().start,
              "reservation before the garbage-collected horizon");
   TPRM_CHECK(iv.end < kTimeInfinity, "reservations must be finite");
-  auto first = splitAt(iv.begin);
-  splitAt(iv.end);
-  for (auto it = first; it != segments_.end() && it->first < iv.end; ++it) {
-    const int updated = it->second + delta;
+  if (delta == 0) return;  // value-preserving; avoid pointless splits
+
+  const std::size_t first = splitAt(iv.begin);
+  std::size_t last = splitAt(iv.end);  // one past the touched range
+  for (std::size_t i = first; i < last; ++i) {
+    const int updated = segments_[i].avail + delta;
     TPRM_CHECK(updated >= 0, "overcommitted: reservation exceeds free capacity");
     TPRM_CHECK(updated <= total_, "release exceeds reserved capacity");
-    it->second = updated;
+    segments_[i].avail = updated;
   }
-  coalesce();
+
+  if (inTrial_ && !replaying_) trialLog_.push_back(TrialOp{iv, delta});
+
+  // Interior pairs shifted by the same delta keep their inequality, and the
+  // boundaries split above become unequal once delta lands, so only the two
+  // range-boundary pairs can need coalescing.
+  if (last < segments_.size() &&
+      segments_[last - 1].avail == segments_[last].avail) {
+    segments_.erase(segments_.begin() + static_cast<std::ptrdiff_t>(last));
+  }
+  if (first > 0 && segments_[first - 1].avail == segments_[first].avail) {
+    segments_.erase(segments_.begin() + static_cast<std::ptrdiff_t>(first));
+  }
+
+  ++version_;
+  rebuildBlocksFrom(first > 0 ? first - 1 : 0);
+}
+
+void AvailabilityProfile::rebuildBlocksFrom(std::size_t firstSegment) {
+  const std::size_t blocks =
+      (segments_.size() + kBlockSize - 1) / kBlockSize;
+  blockMax_.resize(blocks);
+  for (std::size_t b = firstSegment / kBlockSize; b < blocks; ++b) {
+    const std::size_t lo = b * kBlockSize;
+    const std::size_t hi = std::min(lo + kBlockSize, segments_.size());
+    int m = 0;
+    for (std::size_t i = lo; i < hi; ++i) m = std::max(m, segments_[i].avail);
+    blockMax_[b] = m;
+  }
 }
 
 void AvailabilityProfile::reserve(TimeInterval iv, int processors) {
@@ -86,25 +110,53 @@ void AvailabilityProfile::release(TimeInterval iv, int processors) {
 std::optional<Time> AvailabilityProfile::findEarliestFit(Time earliest,
                                                          Time duration,
                                                          int processors,
-                                                         Time deadline) const {
+                                                         Time deadline,
+                                                         FitHint* hint) const {
   TPRM_CHECK(duration >= 0, "negative duration");
   TPRM_CHECK(processors >= 0, "negative processor count");
   if (processors > total_) return std::nullopt;
   if (earliest + duration > deadline) return std::nullopt;
   if (duration == 0 || processors == 0) return earliest;
 
-  earliest = std::max(earliest, segments_.begin()->first);
+  earliest = std::max(earliest, segments_.front().start);
   if (earliest + duration > deadline) return std::nullopt;
 
-  auto it = segments_.upper_bound(earliest);
-  --it;
+  const std::size_t n = segments_.size();
+  std::size_t i;
+  if (hint != nullptr && hint->version == version_ && hint->time <= earliest &&
+      hint->index < n) {
+    // Resume: successive probes only move forward in time, so the segment
+    // containing `earliest` is at or after the hinted one.
+    i = hint->index;
+    while (i + 1 < n && segments_[i + 1].start <= earliest) ++i;
+  } else {
+    i = indexFor(earliest);
+  }
+  if (hint != nullptr) *hint = FitHint{version_, earliest, i};
+
   // Scan segments accumulating a contiguous run of sufficient availability.
+  // Between runs, whole skip-index blocks whose maximum availability is
+  // below the request are leapt over (their first insufficient segment
+  // would only reset the run again).
   std::optional<Time> runStart;
-  for (; it != segments_.end(); ++it) {
-    const Time segBegin = std::max(it->first, earliest);
-    const auto next = std::next(it);
-    const Time segEnd = next == segments_.end() ? kTimeInfinity : next->first;
-    if (it->second >= processors) {
+  while (i < n) {
+    if (!runStart && i % kBlockSize == 0) {
+      while (i < n && blockMax_[i / kBlockSize] < processors) {
+        const std::size_t nextBlock = i + kBlockSize;
+        const Time blockEnd =
+            nextBlock < n ? segments_[nextBlock].start : kTimeInfinity;
+        // The earliest start after an insufficient block is its end; bail if
+        // that already busts the deadline (the per-segment scan would bail
+        // inside the block for exactly the same windows).
+        if (blockEnd + duration > deadline) return std::nullopt;
+        i = nextBlock;
+      }
+      if (i >= n) break;  // unreachable: tail segment has full availability
+    }
+    const Segment& seg = segments_[i];
+    const Time segBegin = std::max(seg.start, earliest);
+    const Time segEnd = i + 1 < n ? segments_[i + 1].start : kTimeInfinity;
+    if (seg.avail >= processors) {
       if (!runStart) runStart = segBegin;
       if (*runStart + duration > deadline) return std::nullopt;
       if (segEnd - *runStart >= duration) return *runStart;
@@ -114,25 +166,24 @@ std::optional<Time> AvailabilityProfile::findEarliestFit(Time earliest,
       // the deadline.
       if (segEnd + duration > deadline) return std::nullopt;
     }
+    ++i;
   }
   return std::nullopt;  // unreachable: tail segment has full availability
 }
 
 std::int64_t AvailabilityProfile::busyProcessorTicks(TimeInterval window) const {
   if (window.empty()) return 0;
-  const Time start = std::max(window.begin, segments_.begin()->first);
+  const Time start = std::max(window.begin, segments_.front().start);
   if (start >= window.end) return 0;
-  auto it = segments_.upper_bound(start);
-  --it;
   std::int64_t busy = 0;
-  for (; it != segments_.end() && it->first < window.end; ++it) {
-    const Time segBegin = std::max(it->first, start);
-    const auto next = std::next(it);
-    const Time segEnd =
-        std::min(next == segments_.end() ? kTimeInfinity : next->first,
-                 window.end);
+  for (std::size_t i = indexFor(start);
+       i < segments_.size() && segments_[i].start < window.end; ++i) {
+    const Time segBegin = std::max(segments_[i].start, start);
+    const Time segEnd = std::min(
+        i + 1 < segments_.size() ? segments_[i + 1].start : kTimeInfinity,
+        window.end);
     if (segEnd > segBegin) {
-      busy += static_cast<std::int64_t>(total_ - it->second) *
+      busy += static_cast<std::int64_t>(total_ - segments_[i].avail) *
               (segEnd - segBegin);
     }
   }
@@ -142,10 +193,18 @@ std::int64_t AvailabilityProfile::busyProcessorTicks(TimeInterval window) const 
 std::vector<MaximalHole> AvailabilityProfile::maximalHoles(
     TimeInterval window) const {
   std::vector<MaximalHole> holes;
+  // Early-outs: an empty request window, or one that clips to nothing
+  // against the garbage-collected horizon, has no holes to report.
   if (window.empty()) return holes;
-  const Time lo = std::max(window.begin, segments_.begin()->first);
+  const Time lo = std::max(window.begin, segments_.front().start);
   const Time hi = window.end;
   if (lo >= hi) return holes;
+  // Fully-free profile: the single clipped segment is the only hole; skip
+  // the quadratic run-growing pass.
+  if (segments_.size() == 1) {
+    holes.push_back(MaximalHole{lo, hi, total_});
+    return holes;
+  }
 
   // Materialise the clipped step function as (begin, end, avail) triples.
   struct Seg {
@@ -154,12 +213,12 @@ std::vector<MaximalHole> AvailabilityProfile::maximalHoles(
     int avail;
   };
   std::vector<Seg> segs;
-  auto it = segments_.upper_bound(lo);
-  --it;
-  for (; it != segments_.end() && it->first < hi; ++it) {
-    const auto next = std::next(it);
-    const Time e = next == segments_.end() ? kTimeInfinity : next->first;
-    segs.push_back(Seg{std::max(it->first, lo), std::min(e, hi), it->second});
+  for (std::size_t i = indexFor(lo);
+       i < segments_.size() && segments_[i].start < hi; ++i) {
+    const Time e =
+        i + 1 < segments_.size() ? segments_[i + 1].start : kTimeInfinity;
+    segs.push_back(Seg{std::max(segments_[i].start, lo), std::min(e, hi),
+                       segments_[i].avail});
   }
 
   // For each segment i, grow the widest run [l, r] whose minimum equals
@@ -196,38 +255,80 @@ std::vector<MaximalHole> AvailabilityProfile::maximalHoles(
 }
 
 void AvailabilityProfile::discardBefore(Time t) {
-  auto first = segments_.begin();
-  if (t <= first->first) return;
+  TPRM_CHECK(!inTrial_, "discardBefore is forbidden inside a Trial scope");
+  if (t <= segments_.front().start) return;
   retiredBusy_ +=
-      busyProcessorTicks(TimeInterval{first->first, t});
+      busyProcessorTicks(TimeInterval{segments_.front().start, t});
   // Keep the segment covering t, re-keyed to start at t.
-  auto it = segments_.upper_bound(t);
-  --it;
-  const int value = it->second;
-  segments_.erase(segments_.begin(), std::next(it));
-  segments_.emplace(t, value);
-  coalesce();
+  const std::size_t keep = indexFor(t);
+  segments_.erase(segments_.begin(),
+                  segments_.begin() + static_cast<std::ptrdiff_t>(keep));
+  segments_.front().start = t;
+  ++version_;
+  rebuildBlocksFrom(0);
 }
 
 std::vector<Time> AvailabilityProfile::breakpoints() const {
   std::vector<Time> out;
   out.reserve(segments_.size());
-  for (const auto& [t, avail] : segments_) {
-    (void)avail;
-    out.push_back(t);
-  }
+  for (const auto& seg : segments_) out.push_back(seg.start);
   return out;
 }
 
 std::string AvailabilityProfile::dump() const {
   std::ostringstream os;
-  for (auto it = segments_.begin(); it != segments_.end(); ++it) {
-    const auto next = std::next(it);
-    os << '[' << formatTime(it->first) << ", "
-       << (next == segments_.end() ? "inf" : formatTime(next->first)) << ") "
-       << it->second << " free\n";
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    os << '[' << formatTime(segments_[i].start) << ", "
+       << (i + 1 < segments_.size() ? formatTime(segments_[i + 1].start)
+                                    : std::string("inf"))
+       << ") " << segments_[i].avail << " free\n";
   }
   return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Trial scope
+// ---------------------------------------------------------------------------
+
+void AvailabilityProfile::beginTrialImpl() {
+  TPRM_CHECK(!inTrial_, "Trial scopes do not nest");
+  TPRM_CHECK(trialLog_.empty(), "stale trial log");
+  inTrial_ = true;
+}
+
+void AvailabilityProfile::rollbackTrialImpl() {
+  TPRM_CHECK(inTrial_, "rollback without an open trial");
+  replaying_ = true;
+  for (auto it = trialLog_.rbegin(); it != trialLog_.rend(); ++it) {
+    apply(it->iv, -it->delta);
+  }
+  replaying_ = false;
+  trialLog_.clear();
+}
+
+void AvailabilityProfile::commitTrialImpl() {
+  TPRM_CHECK(inTrial_, "commit without an open trial");
+  trialLog_.clear();
+  inTrial_ = false;
+}
+
+AvailabilityProfile::Trial::Trial(AvailabilityProfile& profile)
+    : profile_(&profile) {
+  profile_->beginTrialImpl();
+}
+
+AvailabilityProfile::Trial::~Trial() {
+  if (profile_ != nullptr) {
+    profile_->rollbackTrialImpl();
+    profile_->inTrial_ = false;
+  }
+}
+
+void AvailabilityProfile::Trial::rollback() { profile_->rollbackTrialImpl(); }
+
+void AvailabilityProfile::Trial::commit() {
+  profile_->commitTrialImpl();
+  profile_ = nullptr;
 }
 
 }  // namespace tprm::resource

@@ -9,10 +9,18 @@
 // (`maximalHoles`), and first-fit probes walk the step function directly
 // (`findEarliestFit`), which is equivalent to first-fit over maximal holes
 // but needs no hole list maintenance on reserve/release.
+//
+// Storage is a flat sorted vector of segments (binary-search lookup,
+// in-place splice on reserve/release) rather than a node-based tree: the
+// admission loop probes and mutates the profile thousands of times per
+// simulated job stream, and the segment count stays small (it is garbage
+// collected behind the simulation clock), so contiguous storage wins on
+// every access.  A reference `std::map` implementation with identical
+// semantics is retained in reference_profile.h for differential testing and
+// before/after benchmarking.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -36,6 +44,18 @@ struct MaximalHole {
   constexpr bool operator==(const MaximalHole&) const = default;
 };
 
+/// Caller-owned resume hint for `findEarliestFit`.  A probe records where its
+/// scan entered the step function; the next probe with the same or a later
+/// `earliest` resumes there instead of binary-searching from scratch.  The
+/// hint is validated against the profile's mutation counter, so a stale hint
+/// (any reserve/release/discard since it was written) silently degrades to
+/// the full lookup — it can never change the result.
+struct FitHint {
+  std::uint64_t version = 0;
+  Time time = 0;
+  std::size_t index = 0;
+};
+
 /// Piecewise-constant "free processors over time" function for a homogeneous
 /// machine with a fixed processor count (the paper's machine model).
 ///
@@ -45,10 +65,38 @@ struct MaximalHole {
 ///  * beyond the last reservation the availability is `totalProcessors`
 ///    (reservations are finite).
 ///
-/// The profile is a value type: the arbitrator copies it to trial-schedule a
-/// chain and commits by swap (transactional chain placement).
+/// Trial placement: the arbitrator evaluates the OR-graph of a job's chains
+/// by reserving speculative placements directly into the shared profile
+/// under a `Trial` scope (an undo log of the applied operations).  Rolling
+/// back replays the inverse operations, which costs O(touched segments)
+/// instead of the O(profile) copy the previous copy-on-use scheme paid per
+/// candidate chain.
 class AvailabilityProfile {
  public:
+  /// RAII undo-log scope for speculative placement.  While a Trial is open,
+  /// every reserve/release on the profile is logged; `rollback()` undoes all
+  /// logged operations (the scope stays open for the next candidate), and
+  /// `commit()` keeps them and closes the scope.  Destruction without commit
+  /// rolls back.  Scopes do not nest, and `discardBefore` is forbidden while
+  /// one is open.
+  class Trial {
+   public:
+    explicit Trial(AvailabilityProfile& profile);
+    ~Trial();
+    Trial(const Trial&) = delete;
+    Trial& operator=(const Trial&) = delete;
+
+    /// Undoes every operation logged since the scope opened (or since the
+    /// last rollback).  The scope stays open.
+    void rollback();
+
+    /// Accepts the logged operations and closes the scope.
+    void commit();
+
+   private:
+    AvailabilityProfile* profile_;
+  };
+
   /// A machine with `totalProcessors` processors, fully free from time 0.
   /// `totalProcessors` must be positive.
   explicit AvailabilityProfile(int totalProcessors);
@@ -74,11 +122,11 @@ class AvailabilityProfile {
   /// Earliest start time s >= `earliest` such that `processors` are free over
   /// [s, s + duration) and s + duration <= `deadline`.  Returns nullopt when
   /// no such s exists.  Zero-duration tasks fit at `earliest` provided
-  /// earliest <= deadline.
-  [[nodiscard]] std::optional<Time> findEarliestFit(Time earliest,
-                                                    Time duration,
-                                                    int processors,
-                                                    Time deadline) const;
+  /// earliest <= deadline.  `hint`, when given, caches the scan entry point
+  /// across probes with non-decreasing `earliest` (see FitHint).
+  [[nodiscard]] std::optional<Time> findEarliestFit(
+      Time earliest, Time duration, int processors, Time deadline,
+      FitHint* hint = nullptr) const;
 
   /// Busy processor-ticks (reserved capacity) over the window:
   /// integral of (totalProcessors - available) dt.  Used by the heuristic's
@@ -93,17 +141,24 @@ class AvailabilityProfile {
 
   /// Drops all profile detail before `t` (the simulation clock can never
   /// schedule in the past).  Busy capacity discarded this way is accumulated
-  /// and retrievable via `retiredBusyTicks` so utilization metrics stay exact.
+  /// and retrievable via `retiredBusyTicks` so utilization metrics stay
+  /// exact.  Forbidden while a Trial scope is open.
   void discardBefore(Time t);
 
   /// Busy processor-ticks already discarded by `discardBefore`.
   [[nodiscard]] std::int64_t retiredBusyTicks() const { return retiredBusy_; }
 
   /// Earliest time the profile still represents (advanced by discardBefore).
-  [[nodiscard]] Time horizonStart() const { return segments_.begin()->first; }
+  [[nodiscard]] Time horizonStart() const { return segments_.front().start; }
 
   /// Number of internal segments (diagnostics; bounded under steady state).
   [[nodiscard]] std::size_t segmentCount() const { return segments_.size(); }
+
+  /// True while a Trial scope is open (diagnostics).
+  [[nodiscard]] bool inTrial() const { return inTrial_; }
+
+  /// Mutation counter; any state change invalidates outstanding FitHints.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
 
   /// Times at which availability changes, in increasing order, including the
   /// horizon start.  Mostly for tests and debugging output.
@@ -113,22 +168,55 @@ class AvailabilityProfile {
   [[nodiscard]] std::string dump() const;
 
  private:
-  /// Ensures a segment boundary exists exactly at `t` (t >= horizon start).
-  /// Returns an iterator to the segment starting at `t`.
-  std::map<Time, int>::iterator splitAt(Time t);
+  /// One step of the availability function: `avail` free processors from
+  /// `start` until the next segment's start (the last segment extends to
+  /// infinity and always has value `total_`).
+  struct Segment {
+    Time start;
+    int avail;
+  };
 
-  /// Merges adjacent equal-valued segments around the touched range.
-  void coalesce();
+  /// One logged trial operation (delta applied over iv).
+  struct TrialOp {
+    TimeInterval iv;
+    int delta;
+  };
 
-  /// Applies +/-delta over iv with bounds checking.
+  /// Segments per skip-index block.  Each block stores the maximum
+  /// availability of its segments so `findEarliestFit` can leap over whole
+  /// blocks that cannot satisfy a request.
+  static constexpr std::size_t kBlockSize = 32;
+
+  /// Index of the segment containing `t` (t >= horizon start).
+  [[nodiscard]] std::size_t indexFor(Time t) const;
+
+  /// Ensures a segment boundary exists exactly at `t` (t >= horizon start,
+  /// t < infinity).  Returns the index of the segment starting at `t`.
+  std::size_t splitAt(Time t);
+
+  /// Applies +/-delta over iv with bounds checking, boundary coalescing,
+  /// trial logging, and skip-index maintenance.
   void apply(TimeInterval iv, int delta);
 
-  // (startTime -> free processors from startTime until the next key).
-  // The map is never empty; the last segment extends to infinity and always
-  // has value `total_`.
-  std::map<Time, int> segments_;
+  /// Recomputes block maxima for every block at or after the one containing
+  /// `firstSegment` (earlier blocks are untouched by a splice at
+  /// `firstSegment`).
+  void rebuildBlocksFrom(std::size_t firstSegment);
+
+  void beginTrialImpl();
+  void rollbackTrialImpl();
+  void commitTrialImpl();
+
+  // Sorted by start; never empty; coalesced; last segment has avail total_.
+  std::vector<Segment> segments_;
+  // blockMax_[b] = max avail over segments [b*kBlockSize, (b+1)*kBlockSize).
+  std::vector<int> blockMax_;
   int total_;
   std::int64_t retiredBusy_ = 0;
+  std::uint64_t version_ = 0;
+  bool inTrial_ = false;
+  bool replaying_ = false;  // suppress logging while rollback replays
+  std::vector<TrialOp> trialLog_;
 };
 
 }  // namespace tprm::resource

@@ -1,0 +1,207 @@
+#include "resource/reference_profile.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tprm::resource {
+
+ReferenceProfile::ReferenceProfile(int totalProcessors)
+    : total_(totalProcessors) {
+  TPRM_CHECK(totalProcessors > 0, "machine needs at least one processor");
+  segments_.emplace(Time{0}, total_);
+}
+
+int ReferenceProfile::availableAt(Time t) const {
+  TPRM_CHECK(t >= segments_.begin()->first,
+             "query before the garbage-collected horizon");
+  auto it = segments_.upper_bound(t);
+  --it;
+  return it->second;
+}
+
+int ReferenceProfile::minAvailable(TimeInterval iv) const {
+  if (iv.empty()) return total_;
+  TPRM_CHECK(iv.begin >= segments_.begin()->first,
+             "query before the garbage-collected horizon");
+  auto it = segments_.upper_bound(iv.begin);
+  --it;
+  int minFree = total_;
+  for (; it != segments_.end() && it->first < iv.end; ++it) {
+    minFree = std::min(minFree, it->second);
+  }
+  return minFree;
+}
+
+std::map<Time, int>::iterator ReferenceProfile::splitAt(Time t) {
+  auto it = segments_.lower_bound(t);
+  if (it != segments_.end() && it->first == t) return it;
+  TPRM_CHECK(it != segments_.begin(), "split before horizon start");
+  auto prev = std::prev(it);
+  return segments_.emplace_hint(it, t, prev->second);
+}
+
+void ReferenceProfile::coalesce() {
+  // Full-pass coalesce, as in the original implementation.
+  auto it = segments_.begin();
+  while (it != segments_.end()) {
+    auto next = std::next(it);
+    if (next != segments_.end() && next->second == it->second) {
+      segments_.erase(next);
+    } else {
+      it = next;
+    }
+  }
+}
+
+void ReferenceProfile::apply(TimeInterval iv, int delta) {
+  if (iv.empty()) return;
+  TPRM_CHECK(iv.begin >= segments_.begin()->first,
+             "reservation before the garbage-collected horizon");
+  TPRM_CHECK(iv.end < kTimeInfinity, "reservations must be finite");
+  auto first = splitAt(iv.begin);
+  splitAt(iv.end);
+  for (auto it = first; it != segments_.end() && it->first < iv.end; ++it) {
+    const int updated = it->second + delta;
+    TPRM_CHECK(updated >= 0, "overcommitted: reservation exceeds free capacity");
+    TPRM_CHECK(updated <= total_, "release exceeds reserved capacity");
+    it->second = updated;
+  }
+  coalesce();
+}
+
+void ReferenceProfile::reserve(TimeInterval iv, int processors) {
+  TPRM_CHECK(processors >= 0, "negative processor count");
+  apply(iv, -processors);
+}
+
+void ReferenceProfile::release(TimeInterval iv, int processors) {
+  TPRM_CHECK(processors >= 0, "negative processor count");
+  apply(iv, processors);
+}
+
+std::optional<Time> ReferenceProfile::findEarliestFit(Time earliest,
+                                                      Time duration,
+                                                      int processors,
+                                                      Time deadline) const {
+  TPRM_CHECK(duration >= 0, "negative duration");
+  TPRM_CHECK(processors >= 0, "negative processor count");
+  if (processors > total_) return std::nullopt;
+  if (earliest + duration > deadline) return std::nullopt;
+  if (duration == 0 || processors == 0) return earliest;
+
+  earliest = std::max(earliest, segments_.begin()->first);
+  if (earliest + duration > deadline) return std::nullopt;
+
+  auto it = segments_.upper_bound(earliest);
+  --it;
+  // Scan segments accumulating a contiguous run of sufficient availability.
+  std::optional<Time> runStart;
+  for (; it != segments_.end(); ++it) {
+    const Time segBegin = std::max(it->first, earliest);
+    const auto next = std::next(it);
+    const Time segEnd = next == segments_.end() ? kTimeInfinity : next->first;
+    if (it->second >= processors) {
+      if (!runStart) runStart = segBegin;
+      if (*runStart + duration > deadline) return std::nullopt;
+      if (segEnd - *runStart >= duration) return *runStart;
+    } else {
+      runStart.reset();
+      if (segEnd + duration > deadline) return std::nullopt;
+    }
+  }
+  return std::nullopt;  // unreachable: tail segment has full availability
+}
+
+std::int64_t ReferenceProfile::busyProcessorTicks(TimeInterval window) const {
+  if (window.empty()) return 0;
+  const Time start = std::max(window.begin, segments_.begin()->first);
+  if (start >= window.end) return 0;
+  auto it = segments_.upper_bound(start);
+  --it;
+  std::int64_t busy = 0;
+  for (; it != segments_.end() && it->first < window.end; ++it) {
+    const Time segBegin = std::max(it->first, start);
+    const auto next = std::next(it);
+    const Time segEnd =
+        std::min(next == segments_.end() ? kTimeInfinity : next->first,
+                 window.end);
+    if (segEnd > segBegin) {
+      busy += static_cast<std::int64_t>(total_ - it->second) *
+              (segEnd - segBegin);
+    }
+  }
+  return busy;
+}
+
+std::vector<MaximalHole> ReferenceProfile::maximalHoles(
+    TimeInterval window) const {
+  std::vector<MaximalHole> holes;
+  if (window.empty()) return holes;
+  const Time lo = std::max(window.begin, segments_.begin()->first);
+  const Time hi = window.end;
+  if (lo >= hi) return holes;
+
+  struct Seg {
+    Time begin;
+    Time end;
+    int avail;
+  };
+  std::vector<Seg> segs;
+  auto it = segments_.upper_bound(lo);
+  --it;
+  for (; it != segments_.end() && it->first < hi; ++it) {
+    const auto next = std::next(it);
+    const Time e = next == segments_.end() ? kTimeInfinity : next->first;
+    segs.push_back(Seg{std::max(it->first, lo), std::min(e, hi), it->second});
+  }
+
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    const int level = segs[i].avail;
+    if (level <= 0) continue;
+    std::size_t l = i;
+    while (l > 0 && segs[l - 1].avail >= level) --l;
+    bool emittedEarlier = false;
+    for (std::size_t j = l; j < i; ++j) {
+      if (segs[j].avail == level) {
+        emittedEarlier = true;
+        break;
+      }
+    }
+    if (emittedEarlier) continue;
+    std::size_t r = i;
+    while (r + 1 < segs.size() && segs[r + 1].avail >= level) ++r;
+    holes.push_back(MaximalHole{segs[l].begin, segs[r].end, level});
+  }
+
+  std::sort(holes.begin(), holes.end(), [](const MaximalHole& a,
+                                           const MaximalHole& b) {
+    if (a.begin != b.begin) return a.begin < b.begin;
+    return a.processors < b.processors;
+  });
+  return holes;
+}
+
+void ReferenceProfile::discardBefore(Time t) {
+  auto first = segments_.begin();
+  if (t <= first->first) return;
+  retiredBusy_ += busyProcessorTicks(TimeInterval{first->first, t});
+  auto it = segments_.upper_bound(t);
+  --it;
+  const int value = it->second;
+  segments_.erase(segments_.begin(), std::next(it));
+  segments_.emplace(t, value);
+  coalesce();
+}
+
+std::vector<Time> ReferenceProfile::breakpoints() const {
+  std::vector<Time> out;
+  out.reserve(segments_.size());
+  for (const auto& [t, avail] : segments_) {
+    (void)avail;
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace tprm::resource

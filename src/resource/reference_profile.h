@@ -1,0 +1,64 @@
+// Reference availability profile: the original `std::map`-based
+// implementation, retained verbatim when the production profile moved to a
+// flat sorted segment vector (see availability_profile.h).
+//
+// This class is NOT used on any scheduling path.  It exists so that
+//  * the differential-equivalence test can replay randomized
+//    reserve/release/fit scripts against both implementations and assert
+//    identical answers, and
+//  * the microbenchmarks can report honest before/after numbers for the
+//    flat-profile + undo-log admission fast path without checking out an
+//    old revision.
+//
+// Trial placement on this implementation is the old copy-on-use scheme: copy
+// the whole profile, mutate the copy, drop it — exactly what the arbitrators
+// did before the undo log.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/time.h"
+#include "resource/availability_profile.h"  // MaximalHole
+
+namespace tprm::resource {
+
+/// The pre-flat-vector AvailabilityProfile.  Same invariants and semantics:
+///  * every point in time has availability in [0, totalProcessors];
+///  * adjacent segments with equal availability are coalesced;
+///  * beyond the last reservation the availability is `totalProcessors`.
+class ReferenceProfile {
+ public:
+  explicit ReferenceProfile(int totalProcessors);
+
+  [[nodiscard]] int totalProcessors() const { return total_; }
+  [[nodiscard]] int availableAt(Time t) const;
+  [[nodiscard]] int minAvailable(TimeInterval iv) const;
+  void reserve(TimeInterval iv, int processors);
+  void release(TimeInterval iv, int processors);
+  [[nodiscard]] std::optional<Time> findEarliestFit(Time earliest,
+                                                    Time duration,
+                                                    int processors,
+                                                    Time deadline) const;
+  [[nodiscard]] std::int64_t busyProcessorTicks(TimeInterval window) const;
+  [[nodiscard]] std::vector<MaximalHole> maximalHoles(TimeInterval window) const;
+  void discardBefore(Time t);
+  [[nodiscard]] std::int64_t retiredBusyTicks() const { return retiredBusy_; }
+  [[nodiscard]] Time horizonStart() const { return segments_.begin()->first; }
+  [[nodiscard]] std::size_t segmentCount() const { return segments_.size(); }
+  [[nodiscard]] std::vector<Time> breakpoints() const;
+
+ private:
+  std::map<Time, int>::iterator splitAt(Time t);
+  void coalesce();
+  void apply(TimeInterval iv, int delta);
+
+  // (startTime -> free processors from startTime until the next key).
+  std::map<Time, int> segments_;
+  int total_;
+  std::int64_t retiredBusy_ = 0;
+};
+
+}  // namespace tprm::resource

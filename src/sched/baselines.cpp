@@ -15,30 +15,34 @@ AdmissionDecision BestEffortArbitrator::admit(
   AdmissionDecision decision;
   decision.chainsConsidered = static_cast<int>(job.spec.chains.size());
 
-  // Earliest-finishing chain, ignoring all deadlines.
+  // Earliest-finishing chain, ignoring all deadlines.  Chains are placed
+  // speculatively under one undo-log trial scope (rolled back between
+  // candidates) instead of copying the profile per chain.
+  resource::AvailabilityProfile::Trial trial(profile);
   std::optional<ChainSchedule> best;
   for (std::size_t c = 0; c < job.spec.chains.size(); ++c) {
     const task::Chain& chain = job.spec.chains[c];
-    resource::AvailabilityProfile trial = profile;
     ChainSchedule schedule;
     schedule.chainIndex = c;
     Time earliest = job.release;
     bool ok = true;
+    resource::FitHint hint;
     for (const auto& taskSpec : chain.tasks) {
-      const auto start = trial.findEarliestFit(
+      const auto start = profile.findEarliestFit(
           earliest, taskSpec.request.duration, taskSpec.request.processors,
-          kTimeInfinity);
+          kTimeInfinity, &hint);
       if (!start) {  // only possible if the task exceeds the machine
         ok = false;
         break;
       }
       const TimeInterval iv{*start, *start + taskSpec.request.duration};
-      trial.reserve(iv, taskSpec.request.processors);
+      profile.reserve(iv, taskSpec.request.processors);
       // No guarantee attached: deadline recorded as infinity.
       schedule.placements.push_back(
           TaskPlacement{iv, taskSpec.request.processors, kTimeInfinity});
       earliest = iv.end;
     }
+    trial.rollback();
     if (!ok) continue;
     ++decision.chainsSchedulable;
     if (!best || schedule.finishTime() < best->finishTime()) {
@@ -50,6 +54,7 @@ AdmissionDecision BestEffortArbitrator::admit(
   for (const auto& p : best->placements) {
     profile.reserve(p.interval, p.processors);
   }
+  trial.commit();
   decision.admitted = true;
   decision.quality = job.spec.chains[best->chainIndex].quality(
       job.spec.qualityComposition);

@@ -12,13 +12,15 @@ std::string DagArbitrator::name() const {
   return options_.malleable ? "dag-greedy-malleable" : "dag-greedy";
 }
 
-std::optional<std::vector<TaskPlacement>> DagArbitrator::tryAlternative(
+std::optional<std::vector<TaskPlacement>> DagArbitrator::placeAlternative(
     const task::DagJobInstance& job, std::size_t alternativeIndex,
-    resource::AvailabilityProfile trial) const {
+    resource::AvailabilityProfile& profile) const {
+  TPRM_CHECK(profile.inTrial(), "placeAlternative requires an open Trial");
   const task::DagSpec& dag = job.spec.alternatives[alternativeIndex];
   const auto order = dag.topologicalOrder();
   std::vector<TaskPlacement> placements(dag.tasks.size());
 
+  resource::FitHint hint;
   for (const std::size_t v : order) {
     const task::DagTask& t = dag.tasks[v];
     Time earliest = job.release;
@@ -33,12 +35,13 @@ std::optional<std::vector<TaskPlacement>> DagArbitrator::tryAlternative(
     std::optional<TaskPlacement> placement;
     if (options_.malleable && t.spec.malleable) {
       // Widest-fit (Section 5.4 default): descend from the degree of
-      // concurrency, take the first configuration that fits.
+      // concurrency, take the first configuration that fits.  The probes
+      // share `hint` (no reservation happens between them).
       const auto& spec = *t.spec.malleable;
       for (int q = spec.maxConcurrency; q >= 1; --q) {
         const Time duration = spec.durationOn(q);
         const auto start =
-            trial.findEarliestFit(earliest, duration, q, deadline);
+            profile.findEarliestFit(earliest, duration, q, deadline, &hint);
         if (start) {
           placement = TaskPlacement{TimeInterval{*start, *start + duration},
                                     q, deadline};
@@ -46,9 +49,9 @@ std::optional<std::vector<TaskPlacement>> DagArbitrator::tryAlternative(
         }
       }
     } else {
-      const auto start = trial.findEarliestFit(
+      const auto start = profile.findEarliestFit(
           earliest, t.spec.request.duration, t.spec.request.processors,
-          deadline);
+          deadline, &hint);
       if (start) {
         placement =
             TaskPlacement{TimeInterval{*start, *start + t.spec.request.duration},
@@ -56,10 +59,18 @@ std::optional<std::vector<TaskPlacement>> DagArbitrator::tryAlternative(
       }
     }
     if (!placement) return std::nullopt;
-    trial.reserve(placement->interval, placement->processors);
+    profile.reserve(placement->interval, placement->processors);
     placements[v] = *placement;
   }
   return placements;
+}
+
+std::optional<std::vector<TaskPlacement>> DagArbitrator::tryAlternative(
+    const task::DagJobInstance& job, std::size_t alternativeIndex,
+    resource::AvailabilityProfile& profile) const {
+  resource::AvailabilityProfile::Trial trial(profile);
+  return placeAlternative(job, alternativeIndex, profile);
+  // ~Trial rolls the speculative reservations back.
 }
 
 DagAdmissionDecision DagArbitrator::admit(
@@ -78,8 +89,13 @@ DagAdmissionDecision DagArbitrator::admit(
   };
   std::vector<Candidate> candidates;
 
+  // One trial scope for the whole alternative set; rolled back between
+  // candidates, committed for the winner.
+  resource::AvailabilityProfile::Trial trial(profile);
+
   for (std::size_t a = 0; a < job.spec.alternatives.size(); ++a) {
-    auto placements = tryAlternative(job, a, profile);
+    auto placements = placeAlternative(job, a, profile);
+    trial.rollback();
     if (!placements) continue;
     Candidate candidate;
     candidate.index = a;
@@ -133,6 +149,7 @@ DagAdmissionDecision DagArbitrator::admit(
   for (const auto& placement : winner.placements) {
     profile.reserve(placement.interval, placement.processors);
   }
+  trial.commit();
   decision.admitted = true;
   decision.alternativeIndex = winner.index;
   decision.finish = winner.finish;

@@ -63,16 +63,22 @@ class DagArbitrator {
       const task::DagJobInstance& job,
       resource::AvailabilityProfile& profile) const;
 
-  /// Places one alternative into a trial profile without committing.
-  /// Returns placements (indexed by task) and finish time iff every task
-  /// fits within its deadline.
+  /// Places one alternative speculatively (own Trial scope, rolled back
+  /// before returning, so `profile` is unchanged).  Returns placements
+  /// (indexed by task) iff every task fits within its deadline.
   [[nodiscard]] std::optional<std::vector<TaskPlacement>> tryAlternative(
       const task::DagJobInstance& job, std::size_t alternativeIndex,
-      resource::AvailabilityProfile trial) const;
+      resource::AvailabilityProfile& profile) const;
 
   [[nodiscard]] std::string name() const;
 
  private:
+  /// Places one alternative, reserving into `profile`.  REQUIRES an open
+  /// Trial scope on `profile`; the caller rolls back (or commits).
+  [[nodiscard]] std::optional<std::vector<TaskPlacement>> placeAlternative(
+      const task::DagJobInstance& job, std::size_t alternativeIndex,
+      resource::AvailabilityProfile& profile) const;
+
   DagOptions options_;
 };
 

@@ -37,7 +37,7 @@ std::optional<TaskPlacement> bestFitPlace(
 }  // namespace
 
 GreedyArbitrator::GreedyArbitrator(GreedyOptions options)
-    : options_(options), rng_(options.seed) {}
+    : options_(options) {}
 
 std::string GreedyArbitrator::name() const {
   std::string n = "greedy";
@@ -49,20 +49,29 @@ std::string GreedyArbitrator::name() const {
     case ChainChoice::QualityFirst: n += "-quality"; break;
   }
   if (options_.fitPolicy == FitPolicy::BestFit) n += "-bestfit";
-  if (options_.malleable) n += "-malleable";
+  if (options_.malleable) {
+    n += "-malleable";
+    // The malleable policy is active only when malleability is on; the name
+    // reflects only options that can influence decisions.
+    if (options_.malleablePolicy == MalleablePolicy::EarliestFinish) {
+      n += "-earliestfinish";
+    }
+  }
   return n;
 }
 
 std::optional<TaskPlacement> GreedyArbitrator::placeTask(
     const task::TaskSpec& taskSpec, Time earliest, Time deadline,
-    const resource::AvailabilityProfile& profile) const {
+    const resource::AvailabilityProfile& profile,
+    resource::FitHint* hint) const {
   auto placeRigid = [&](int processors,
                         Time duration) -> std::optional<TaskPlacement> {
     if (options_.fitPolicy == FitPolicy::BestFit) {
       return bestFitPlace(profile, earliest, duration, processors, deadline);
     }
     const auto start =
-        profile.findEarliestFit(earliest, duration, processors, deadline);
+        profile.findEarliestFit(earliest, duration, processors, deadline,
+                                hint);
     if (!start) return std::nullopt;
     return TaskPlacement{TimeInterval{*start, *start + duration}, processors,
                          deadline};
@@ -73,7 +82,9 @@ std::optional<TaskPlacement> GreedyArbitrator::placeTask(
   }
 
   // Malleable placement (Section 5.4): try processor counts from the degree
-  // of concurrency downward.
+  // of concurrency downward.  The probes share `hint`: the profile does not
+  // change between them, so each q after the first resumes the step-function
+  // scan at `earliest` without a fresh binary search.
   const auto& spec = *taskSpec.malleable;
   std::optional<TaskPlacement> best;
   for (int q = spec.maxConcurrency; q >= 1; --q) {
@@ -91,25 +102,35 @@ std::optional<TaskPlacement> GreedyArbitrator::placeTask(
   return best;
 }
 
-std::optional<ChainSchedule> GreedyArbitrator::tryChain(
+std::optional<ChainSchedule> GreedyArbitrator::placeChain(
     const task::JobInstance& job, std::size_t chainIndex,
-    resource::AvailabilityProfile trial) const {
+    resource::AvailabilityProfile& profile) const {
+  TPRM_CHECK(profile.inTrial(), "placeChain requires an open Trial scope");
   const task::Chain& chain = job.spec.chains[chainIndex];
   ChainSchedule schedule;
   schedule.chainIndex = chainIndex;
   schedule.placements.reserve(chain.tasks.size());
 
   Time earliest = job.release;
+  resource::FitHint hint;
   for (std::size_t k = 0; k < chain.tasks.size(); ++k) {
     const Time deadline = job.absoluteDeadline(chainIndex, k);
     const auto placement =
-        placeTask(chain.tasks[k], earliest, deadline, trial);
+        placeTask(chain.tasks[k], earliest, deadline, profile, &hint);
     if (!placement) return std::nullopt;
-    trial.reserve(placement->interval, placement->processors);
+    profile.reserve(placement->interval, placement->processors);
     earliest = placement->interval.end;
     schedule.placements.push_back(*placement);
   }
   return schedule;
+}
+
+std::optional<ChainSchedule> GreedyArbitrator::tryChain(
+    const task::JobInstance& job, std::size_t chainIndex,
+    resource::AvailabilityProfile& profile) const {
+  resource::AvailabilityProfile::Trial trial(profile);
+  return placeChain(job, chainIndex, profile);
+  // ~Trial rolls the speculative reservations back.
 }
 
 AdmissionDecision GreedyArbitrator::admit(
@@ -126,8 +147,14 @@ AdmissionDecision GreedyArbitrator::admit(
   };
   std::vector<Candidate> candidates;
 
+  // One trial scope serves the whole OR-graph of chains: each candidate's
+  // speculative reservations are rolled back before the next is evaluated,
+  // and the winner is re-reserved and committed at the end.
+  resource::AvailabilityProfile::Trial trial(profile);
+
   for (std::size_t c = 0; c < job.spec.chains.size(); ++c) {
-    auto schedule = tryChain(job, c, profile);
+    auto schedule = placeChain(job, c, profile);
+    trial.rollback();  // profile is back to committed state either way
     if (!schedule) continue;
     Candidate candidate;
     candidate.finish = schedule->finishTime();
@@ -166,8 +193,9 @@ AdmissionDecision GreedyArbitrator::admit(
       chosen = 0;
       break;
     case ChainChoice::Random:
+      if (!rng_) rng_.emplace(options_.seed);
       chosen = static_cast<std::size_t>(
-          rng_.uniformBelow(static_cast<std::uint64_t>(candidates.size())));
+          rng_->uniformBelow(static_cast<std::uint64_t>(candidates.size())));
       break;
     case ChainChoice::Paper: {
       for (std::size_t i = 1; i < candidates.size(); ++i) {
@@ -213,6 +241,7 @@ AdmissionDecision GreedyArbitrator::admit(
   for (const auto& placement : winner.schedule.placements) {
     profile.reserve(placement.interval, placement.processors);
   }
+  trial.commit();
   decision.admitted = true;
   decision.quality = job.spec.chains[winner.schedule.chainIndex].quality(
       job.spec.qualityComposition);

@@ -15,6 +15,11 @@
 // q in [1, degreeOfConcurrency] processors with linearly scaled duration; the
 // heuristic tries q from the highest value downward and keeps the placement
 // that finishes earliest (ties to more processors, i.e. the first tried).
+//
+// Candidate chains are evaluated with speculative reservations under one
+// AvailabilityProfile::Trial scope (undo log), rolled back between chains —
+// O(touched segments) per candidate instead of the former per-chain profile
+// copy.
 #pragma once
 
 #include <optional>
@@ -74,7 +79,8 @@ struct GreedyOptions {
   ChainChoice chainChoice = ChainChoice::Paper;
   MalleablePolicy malleablePolicy = MalleablePolicy::WidestFit;
   FitPolicy fitPolicy = FitPolicy::FirstFit;
-  /// Seed for ChainChoice::Random.
+  /// Seed for ChainChoice::Random (unused — and never materialised — by the
+  /// deterministic chain choices).
   std::uint64_t seed = 1;
 };
 
@@ -88,21 +94,33 @@ class GreedyArbitrator final : public Arbitrator {
 
   [[nodiscard]] std::string name() const override;
 
-  /// Places one chain into a *copy-on-use* trial profile without committing.
-  /// Returns the schedule iff every task fits within its deadline.
-  /// Exposed for tests and for the ablation benches.
+  /// Places one chain speculatively (own Trial scope, rolled back before
+  /// returning, so `profile` is unchanged).  Returns the schedule iff every
+  /// task fits within its deadline.  Exposed for tests and for the ablation
+  /// benches.
   [[nodiscard]] std::optional<ChainSchedule> tryChain(
       const task::JobInstance& job, std::size_t chainIndex,
-      resource::AvailabilityProfile trial) const;
+      resource::AvailabilityProfile& profile) const;
 
  private:
+  /// Places one chain, reserving each placement into `profile`.  REQUIRES an
+  /// open Trial scope on `profile`; the caller rolls back (or commits).
+  [[nodiscard]] std::optional<ChainSchedule> placeChain(
+      const task::JobInstance& job, std::size_t chainIndex,
+      resource::AvailabilityProfile& profile) const;
+
   /// Places a single task at/after `earliest`; returns placement or nullopt.
+  /// `hint` accelerates repeated first-fit probes (the malleable q-downward
+  /// search probes the same `earliest` up to degreeOfConcurrency times).
   [[nodiscard]] std::optional<TaskPlacement> placeTask(
       const task::TaskSpec& taskSpec, Time earliest, Time deadline,
-      const resource::AvailabilityProfile& profile) const;
+      const resource::AvailabilityProfile& profile,
+      resource::FitHint* hint) const;
 
   GreedyOptions options_;
-  Rng rng_;
+  /// Materialised on first use by ChainChoice::Random; deterministic chain
+  /// choices never construct (or reseed) it.
+  std::optional<Rng> rng_;
 };
 
 }  // namespace tprm::sched

@@ -27,6 +27,8 @@ SimulationResult runSimulation(const std::vector<task::JobInstance>& jobs,
     profile.discardBefore(job.release);
 
     const auto decision = arbitrator.admit(job, profile);
+    result.peakProfileSegments =
+        std::max(result.peakProfileSegments, profile.segmentCount());
     if (config.trace != nullptr) config.trace->record(job, decision);
     ++result.arrivals;
     result.horizon = std::max(result.horizon, job.release);

@@ -58,6 +58,10 @@ struct SimulationResult {
   double qualitySum = 0.0;
   /// chainCounts[c] = number of admitted jobs that ran chain c.
   std::vector<std::uint64_t> chainCounts;
+  /// Largest availability-profile segment count observed after any
+  /// admission (diagnostics for the flat-profile fast path: the admission
+  /// cost scales with this, and garbage collection keeps it bounded).
+  std::size_t peakProfileSegments = 0;
   /// Present iff config.verify was set.
   std::optional<resource::VerificationReport> verification;
 

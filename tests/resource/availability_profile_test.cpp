@@ -208,6 +208,135 @@ TEST(AvailabilityProfile, FindEarliestFitZeroDuration) {
   EXPECT_EQ(*s, 5);
 }
 
+TEST(AvailabilityProfile, FindEarliestFitZeroDurationAtDeadlineBoundary) {
+  AvailabilityProfile p(8);
+  p.reserve(TimeInterval{0, 100}, 8);
+  // A zero-length task "fits" exactly at its deadline...
+  const auto s = p.findEarliestFit(50, 0, 4, 50);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(*s, 50);
+  // ...but not one tick past it.
+  EXPECT_FALSE(p.findEarliestFit(51, 0, 4, 50).has_value());
+}
+
+TEST(AvailabilityProfile, FindEarliestFitProbeBeforeHorizon) {
+  AvailabilityProfile p(8);
+  p.reserve(TimeInterval{0, 20}, 4);
+  p.discardBefore(10);
+  // A probe from before the horizon is clamped to the horizon start.
+  const auto s = p.findEarliestFit(0, 5, 8, kTimeInfinity);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(*s, 20);
+  const auto s2 = p.findEarliestFit(0, 5, 4, kTimeInfinity);
+  ASSERT_TRUE(s2.has_value());
+  EXPECT_EQ(*s2, 10);
+  // Zero-duration quirk: nothing to clamp, the probe time comes straight
+  // back even from before the horizon (preserved pre-rewrite behavior).
+  const auto s3 = p.findEarliestFit(3, 0, 4, kTimeInfinity);
+  ASSERT_TRUE(s3.has_value());
+  EXPECT_EQ(*s3, 3);
+}
+
+TEST(AvailabilityProfile, FindEarliestFitWholeMachineRequest) {
+  AvailabilityProfile p(8);
+  p.reserve(TimeInterval{10, 20}, 1);
+  p.reserve(TimeInterval{40, 50}, 1);
+  // processors == totalProcessors: only fully-free gaps qualify, and the
+  // run must not straddle either one-processor dip.
+  const auto s = p.findEarliestFit(0, 10, 8, kTimeInfinity);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(*s, 0);
+  const auto s2 = p.findEarliestFit(5, 25, 8, kTimeInfinity);
+  ASSERT_TRUE(s2.has_value());
+  EXPECT_EQ(*s2, 50);  // [20,40) is only 20 long; first fit is the tail
+  const auto s3 = p.findEarliestFit(5, 20, 8, kTimeInfinity);
+  ASSERT_TRUE(s3.has_value());
+  EXPECT_EQ(*s3, 20);
+}
+
+TEST(AvailabilityProfile, BusyTicksWindowTouchingInfiniteTail) {
+  AvailabilityProfile p(8);
+  p.reserve(TimeInterval{10, 20}, 3);
+  // Windows reaching past the last reservation into the (fully free)
+  // trailing segment only accumulate the finite busy part.
+  EXPECT_EQ(p.busyProcessorTicks(TimeInterval{0, 1'000'000}), 3 * 10);
+  EXPECT_EQ(p.busyProcessorTicks(TimeInterval{20, 1'000'000}), 0);
+  EXPECT_EQ(p.busyProcessorTicks(TimeInterval{15, 500}), 3 * 5);
+}
+
+// ---------------------------------------------------------------------------
+// Trial scopes (undo-log speculative placement).
+// ---------------------------------------------------------------------------
+
+TEST(ProfileTrial, DestructorRollsBackUncommitted) {
+  AvailabilityProfile p(8);
+  p.reserve(TimeInterval{0, 10}, 2);
+  const auto before = p.breakpoints();
+  {
+    AvailabilityProfile::Trial trial(p);
+    p.reserve(TimeInterval{5, 25}, 4);
+    p.release(TimeInterval{0, 3}, 2);
+    EXPECT_EQ(p.availableAt(6), 2);
+  }
+  EXPECT_EQ(p.breakpoints(), before);
+  EXPECT_EQ(p.availableAt(6), 6);
+  EXPECT_FALSE(p.inTrial());
+}
+
+TEST(ProfileTrial, RollbackKeepsScopeOpenForNextCandidate) {
+  AvailabilityProfile p(8);
+  AvailabilityProfile::Trial trial(p);
+  p.reserve(TimeInterval{0, 10}, 8);
+  trial.rollback();
+  EXPECT_TRUE(p.inTrial());
+  // The capacity is back, so an overlapping second candidate fits.
+  EXPECT_EQ(p.minAvailable(TimeInterval{0, 10}), 8);
+  p.reserve(TimeInterval{0, 10}, 8);
+  trial.commit();
+  EXPECT_FALSE(p.inTrial());
+  EXPECT_EQ(p.availableAt(5), 0);
+}
+
+TEST(ProfileTrial, CommitKeepsChanges) {
+  AvailabilityProfile p(8);
+  {
+    AvailabilityProfile::Trial trial(p);
+    p.reserve(TimeInterval{10, 20}, 5);
+    trial.commit();
+  }
+  EXPECT_EQ(p.availableAt(15), 3);
+}
+
+TEST(ProfileTrial, VersionAdvancesAcrossRollback) {
+  // A FitHint captured mid-trial must not validate after the rollback
+  // mutates the profile back.
+  AvailabilityProfile p(8);
+  AvailabilityProfile::Trial trial(p);
+  FitHint hint;
+  (void)p.findEarliestFit(0, 5, 2, kTimeInfinity, &hint);
+  p.reserve(TimeInterval{0, 10}, 4);
+  trial.rollback();
+  EXPECT_NE(hint.version, p.version());
+  // A stale hint degrades to the unhinted search, never changes the answer.
+  EXPECT_EQ(p.findEarliestFit(0, 5, 6, kTimeInfinity, &hint),
+            p.findEarliestFit(0, 5, 6, kTimeInfinity));
+  trial.commit();
+}
+
+TEST(ProfileTrialDeath, NestedTrialAborts) {
+  AvailabilityProfile p(8);
+  AvailabilityProfile::Trial outer(p);
+  EXPECT_DEATH(AvailabilityProfile::Trial inner(p), "nest");
+  outer.commit();
+}
+
+TEST(ProfileTrialDeath, DiscardBeforeInsideTrialAborts) {
+  AvailabilityProfile p(8);
+  AvailabilityProfile::Trial trial(p);
+  EXPECT_DEATH(p.discardBefore(10), "Trial");
+  trial.commit();
+}
+
 TEST(AvailabilityProfile, BusyProcessorTicks) {
   AvailabilityProfile p(10);
   p.reserve(TimeInterval{10, 20}, 4);

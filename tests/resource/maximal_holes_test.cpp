@@ -113,6 +113,42 @@ TEST(MaximalHoles, EmptyWindow) {
   EXPECT_TRUE(p.maximalHoles(TimeInterval{10, 10}).empty());
 }
 
+TEST(MaximalHoles, EmptyClipWindowEarlyOuts) {
+  AvailabilityProfile p(4);
+  p.reserve(TimeInterval{0, 50}, 2);
+  // Degenerate and inverted windows produce no holes (and take the early
+  // exit before any segment walk).
+  EXPECT_TRUE(p.maximalHoles(TimeInterval{10, 10}).empty());
+  EXPECT_TRUE(p.maximalHoles(TimeInterval{30, 10}).empty());
+  p.discardBefore(20);
+  // A window entirely behind the horizon clips to empty.
+  EXPECT_TRUE(p.maximalHoles(TimeInterval{0, 20}).empty());
+}
+
+TEST(MaximalHoles, FullyFreeWindowIsSingleHole) {
+  AvailabilityProfile p(4);
+  const auto holes = p.maximalHoles(TimeInterval{7, 30});
+  ASSERT_EQ(holes.size(), 1u);
+  EXPECT_EQ(holes[0], (MaximalHole{7, 30, 4}));
+}
+
+TEST(MaximalHoles, PinnedFragmentedProfile) {
+  // Twelve alternating segments; the full hole list is pinned so any change
+  // to the extraction (order, clipping, coalescing interplay) is caught
+  // even where the oracle-based property tests might shuffle coverage.
+  const std::vector<int> pattern{6, 2, 5, 2, 0, 3, 3, 1, 4, 6, 0, 5};
+  const auto p = fromPattern(pattern, 6);
+  EXPECT_EQ(p.segmentCount(), 12u);
+  const std::vector<MaximalHole> expected{
+      MaximalHole{0, 4, 2},  MaximalHole{0, 1, 6},  MaximalHole{2, 3, 5},
+      MaximalHole{5, 10, 1}, MaximalHole{5, 7, 3},  MaximalHole{8, 10, 4},
+      MaximalHole{9, 10, 6}, MaximalHole{11, 12, 5},
+  };
+  EXPECT_EQ(p.maximalHoles(TimeInterval{0, 12}), expected);
+  EXPECT_EQ(p.maximalHoles(TimeInterval{0, 12}),
+            bruteForceHoles(pattern, 6));
+}
+
 TEST(MaximalHoles, ClipsToWindow) {
   AvailabilityProfile p(8);
   p.reserve(TimeInterval{10, 20}, 3);

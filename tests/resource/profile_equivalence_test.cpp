@@ -1,0 +1,193 @@
+// Differential-equivalence suite: replays randomized operation scripts
+// against the production flat-vector AvailabilityProfile and the retained
+// std::map ReferenceProfile (the pre-rewrite implementation, kept verbatim
+// in reference_profile.h) and asserts every observable answer matches.
+//
+// This is the safety net for the flat-profile fast path: the skip index,
+// the in-place splice, the undo-log trial machinery, and the resume hint
+// must all be invisible at the API. 10 shards x 1,000 scripts = 10,000
+// randomized scripts per run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "resource/availability_profile.h"
+#include "resource/reference_profile.h"
+
+namespace tprm::resource {
+namespace {
+
+void expectSameHoles(const std::vector<MaximalHole>& got,
+                     const std::vector<MaximalHole>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].begin, want[i].begin);
+    EXPECT_EQ(got[i].end, want[i].end);
+    EXPECT_EQ(got[i].processors, want[i].processors);
+  }
+}
+
+// Full observable-state comparison.
+void expectEquivalent(const AvailabilityProfile& flat,
+                      const ReferenceProfile& ref, Time horizon) {
+  ASSERT_EQ(flat.totalProcessors(), ref.totalProcessors());
+  ASSERT_EQ(flat.horizonStart(), ref.horizonStart());
+  ASSERT_EQ(flat.segmentCount(), ref.segmentCount());
+  ASSERT_EQ(flat.retiredBusyTicks(), ref.retiredBusyTicks());
+  ASSERT_EQ(flat.breakpoints(), ref.breakpoints());
+  const Time lo = flat.horizonStart();
+  for (Time t = lo; t < horizon; t += 3) {
+    ASSERT_EQ(flat.availableAt(t), ref.availableAt(t)) << "t=" << t;
+  }
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EquivalenceTest, RandomScriptsMatchReference) {
+  const std::uint64_t shard = GetParam();
+  for (std::uint64_t script = 0; script < 1'000; ++script) {
+    Rng rng(shard * 1'000 + script);
+    const int total = static_cast<int>(rng.uniformInt(1, 16));
+    const Time horizon = 300;
+    AvailabilityProfile flat(total);
+    ReferenceProfile ref(total);
+
+    struct Res {
+      TimeInterval iv;
+      int procs;
+    };
+    std::vector<Res> live;
+    Time clock = 0;
+
+    const int steps = static_cast<int>(rng.uniformInt(5, 30));
+    for (int step = 0; step < steps; ++step) {
+      const int roll = rng.bernoulli(0.15) ? 2 : (rng.bernoulli(0.7) ? 0 : 1);
+      if (roll == 2) {
+        // Advance the horizon; any live reservation straddling it is clipped
+        // out of the releasable set (release before horizon would abort).
+        clock += rng.uniformInt(0, 20);
+        flat.discardBefore(clock);
+        ref.discardBefore(clock);
+        live.erase(std::remove_if(live.begin(), live.end(),
+                                  [&](const Res& r) {
+                                    return r.iv.begin < clock;
+                                  }),
+                   live.end());
+      } else if (roll == 1 && !live.empty()) {
+        const auto idx =
+            static_cast<std::size_t>(rng.uniformBelow(live.size()));
+        flat.release(live[idx].iv, live[idx].procs);
+        ref.release(live[idx].iv, live[idx].procs);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+      } else {
+        const Time b = clock + rng.uniformInt(0, 60);
+        const TimeInterval iv{b, b + rng.uniformInt(1, 50)};
+        const int free = ref.minAvailable(iv);
+        if (free == 0) continue;
+        const int procs = static_cast<int>(rng.uniformInt(1, free));
+        flat.reserve(iv, procs);
+        ref.reserve(iv, procs);
+        live.push_back(Res{iv, procs});
+      }
+
+      // Queries after every mutation.
+      {
+        const Time b = clock + rng.uniformInt(0, horizon);
+        const Time e = b + rng.uniformInt(0, horizon);
+        const TimeInterval iv{b, e};
+        ASSERT_EQ(flat.minAvailable(iv), ref.minAvailable(iv));
+        ASSERT_EQ(flat.busyProcessorTicks(iv), ref.busyProcessorTicks(iv));
+        expectSameHoles(flat.maximalHoles(iv), ref.maximalHoles(iv));
+      }
+      {
+        const Time earliest = clock + rng.uniformInt(0, horizon / 2);
+        const Time duration = rng.uniformInt(0, 40);
+        const int procs = static_cast<int>(rng.uniformInt(1, total + 1));
+        const Time deadline = rng.bernoulli(0.3)
+                                  ? kTimeInfinity
+                                  : earliest + rng.uniformInt(0, horizon);
+        const auto got =
+            flat.findEarliestFit(earliest, duration, procs, deadline);
+        const auto want =
+            ref.findEarliestFit(earliest, duration, procs, deadline);
+        ASSERT_EQ(got, want)
+            << "shard=" << shard << " script=" << script << " step=" << step
+            << " earliest=" << earliest << " dur=" << duration
+            << " procs=" << procs << " deadline=" << deadline;
+      }
+    }
+    expectEquivalent(flat, ref, clock + horizon);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, EquivalenceTest,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+// Trial scopes must be invisible after rollback and must exactly equal the
+// reference's plain mutations after commit.
+class TrialEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrialEquivalenceTest, RollbackRestoresAndCommitMatchesReference) {
+  const std::uint64_t shard = GetParam();
+  for (std::uint64_t script = 0; script < 500; ++script) {
+    Rng rng(0x7712u + shard * 500 + script);
+    const int total = static_cast<int>(rng.uniformInt(2, 16));
+    AvailabilityProfile flat(total);
+    ReferenceProfile ref(total);
+
+    // Shared committed prefix.
+    for (int i = 0; i < 10; ++i) {
+      const Time b = rng.uniformInt(0, 200);
+      const TimeInterval iv{b, b + rng.uniformInt(1, 60)};
+      const int free = ref.minAvailable(iv);
+      if (free == 0) continue;
+      const int procs = static_cast<int>(rng.uniformInt(1, free));
+      flat.reserve(iv, procs);
+      ref.reserve(iv, procs);
+    }
+
+    const auto baseline = flat.breakpoints();
+    const auto baselineCount = flat.segmentCount();
+
+    // A trial with several rolled-back candidate rounds and one committed
+    // round, mirroring the arbitrator's admit loop.
+    std::vector<std::pair<TimeInterval, int>> committed;
+    {
+      AvailabilityProfile::Trial trial(flat);
+      const int rounds = static_cast<int>(rng.uniformInt(1, 4));
+      for (int round = 0; round < rounds; ++round) {
+        const bool keep = round == rounds - 1 && rng.bernoulli(0.7);
+        for (int i = 0; i < 5; ++i) {
+          const Time b = rng.uniformInt(0, 250);
+          const TimeInterval iv{b, b + rng.uniformInt(1, 40)};
+          const int free = flat.minAvailable(iv);
+          if (free == 0) continue;
+          const int procs = static_cast<int>(rng.uniformInt(1, free));
+          flat.reserve(iv, procs);
+          if (keep) committed.emplace_back(iv, procs);
+        }
+        if (keep) {
+          trial.commit();
+        } else {
+          trial.rollback();
+          // Rolled back: byte-identical to the pre-trial profile.
+          ASSERT_EQ(flat.breakpoints(), baseline);
+          ASSERT_EQ(flat.segmentCount(), baselineCount);
+        }
+      }
+      // ~Trial rolls back any uncommitted tail.
+    }
+
+    for (const auto& [iv, procs] : committed) ref.reserve(iv, procs);
+    expectEquivalent(flat, ref, 400);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, TrialEquivalenceTest,
+                         ::testing::Range<std::uint64_t>(0, 4));
+
+}  // namespace
+}  // namespace tprm::resource

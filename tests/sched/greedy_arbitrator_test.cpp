@@ -281,6 +281,20 @@ TEST(GreedyArbitrator, NameReflectsOptions) {
                               .fitPolicy = FitPolicy::BestFit})
                 .name(),
             "greedy-randomchain-bestfit");
+  // The malleable policy only shows up when malleability is on...
+  EXPECT_EQ(GreedyArbitrator(
+                GreedyOptions{
+                    .malleable = true,
+                    .malleablePolicy = MalleablePolicy::EarliestFinish})
+                .name(),
+            "greedy-paper-malleable-earliestfinish");
+  // ...a dormant policy on a non-malleable arbitrator is not advertised.
+  EXPECT_EQ(GreedyArbitrator(
+                GreedyOptions{
+                    .malleable = false,
+                    .malleablePolicy = MalleablePolicy::EarliestFinish})
+                .name(),
+            "greedy-paper");
 }
 
 }  // namespace
