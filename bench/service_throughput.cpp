@@ -1,0 +1,184 @@
+// Loopback throughput microbench for the negotiation service.
+//
+//   service_throughput --clients=8 --requests=200 --procs=64 \
+//       --out=BENCH_service.json
+//
+// Spins up an in-process NegotiationServer on a private Unix socket, then
+// hammers it from N client threads, each issuing M NEGOTIATE requests over
+// its own connection (one request in flight per connection, like a real QoS
+// agent).  Reports aggregate request throughput and per-request latency
+// percentiles, and writes the numbers as JSON for CI artifact upload.
+//
+// The job spec is deliberately small (two chains, two tasks each): the bench
+// measures the wire + queue + admission path, not profile search depth.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+#include <unistd.h>
+
+#include "common/flags.h"
+#include "common/json.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "taskmodel/chain.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+tprm::task::TunableJobSpec benchSpec(int index) {
+  using namespace tprm;
+  task::TunableJobSpec job;
+  job.name = "bench-" + std::to_string(index);
+  task::Chain fast;
+  fast.name = "fast";
+  fast.tasks = {
+      task::TaskSpec::rigid("a", 4, ticksFromUnits(5.0),
+                            ticksFromUnits(40.0)),
+      task::TaskSpec::rigid("b", 2, ticksFromUnits(10.0),
+                            ticksFromUnits(80.0)),
+  };
+  task::Chain thin;
+  thin.name = "thin";
+  thin.tasks = {
+      task::TaskSpec::rigid("a", 2, ticksFromUnits(10.0),
+                            ticksFromUnits(60.0)),
+      task::TaskSpec::rigid("b", 1, ticksFromUnits(20.0),
+                            ticksFromUnits(100.0), /*quality=*/0.8),
+  };
+  job.chains = {fast, thin};
+  return job;
+}
+
+double percentile(std::vector<double>& sortedMicros, double p) {
+  if (sortedMicros.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sortedMicros.size() - 1));
+  return sortedMicros[rank];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tprm;
+  const Flags flags(argc, argv);
+  const auto unknown =
+      flags.unknownAgainst({"clients", "requests", "procs", "out"});
+  if (!unknown.empty()) {
+    std::fprintf(stderr, "service_throughput: unknown flag --%s\n",
+                 unknown.front().c_str());
+    return 2;
+  }
+  const int clients = static_cast<int>(flags.getInt("clients", 8));
+  const int requests = static_cast<int>(flags.getInt("requests", 200));
+  const int procs = static_cast<int>(flags.getInt("procs", 64));
+  const std::string outPath = flags.getString("out", "");
+
+  service::ServerConfig serverConfig;
+  serverConfig.processors = procs;
+  serverConfig.unixPath =
+      "/tmp/tprm-bench-" + std::to_string(::getpid()) + ".sock";
+  service::NegotiationServer server(serverConfig);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "service_throughput: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::vector<std::vector<double>> latenciesMicros(
+      static_cast<std::size_t>(clients));
+  std::vector<std::uint64_t> admittedPerClient(
+      static_cast<std::size_t>(clients), 0);
+  std::vector<std::thread> threads;
+  const auto begin = Clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      service::ClientConfig clientConfig;
+      clientConfig.unixPath = serverConfig.unixPath;
+      service::QoSAgentClient client(clientConfig);
+      auto& latencies = latenciesMicros[static_cast<std::size_t>(c)];
+      latencies.reserve(static_cast<std::size_t>(requests));
+      for (int r = 0; r < requests; ++r) {
+        const auto spec = benchSpec(c * requests + r);
+        const auto t0 = Clock::now();
+        const auto decision = client.negotiate(spec, /*release=*/0);
+        const auto t1 = Clock::now();
+        if (!decision.ok()) {
+          std::fprintf(stderr, "client %d: negotiate failed: %s\n", c,
+                       decision.error.message.c_str());
+          return;
+        }
+        if (decision->admitted) {
+          ++admittedPerClient[static_cast<std::size_t>(c)];
+        }
+        latencies.push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double elapsedSec =
+      std::chrono::duration<double>(Clock::now() - begin).count();
+
+  // A VERIFY after the storm: the bench doubles as a stress check.
+  service::ClientConfig verifyConfig;
+  verifyConfig.unixPath = serverConfig.unixPath;
+  service::QoSAgentClient verifier(verifyConfig);
+  const auto verify = verifier.verify();
+  const bool ledgerOk = verify.ok() && verify->ok;
+  verifier.close();
+  server.stop();
+
+  std::vector<double> all;
+  for (const auto& latencies : latenciesMicros) {
+    all.insert(all.end(), latencies.begin(), latencies.end());
+  }
+  std::sort(all.begin(), all.end());
+  std::uint64_t admitted = 0;
+  for (const auto count : admittedPerClient) admitted += count;
+  const auto total = static_cast<double>(all.size());
+  const double throughput = total / elapsedSec;
+  const double p50 = percentile(all, 0.50);
+  const double p95 = percentile(all, 0.95);
+  const double p99 = percentile(all, 0.99);
+
+  std::printf("clients=%d requests/client=%d procs=%d\n", clients, requests,
+              procs);
+  std::printf("completed %.0f requests in %.3f s  (%.0f req/s)\n", total,
+              elapsedSec, throughput);
+  std::printf("latency us: p50=%.1f p95=%.1f p99=%.1f max=%.1f\n", p50, p95,
+              p99, all.empty() ? 0.0 : all.back());
+  std::printf("admitted %llu / %.0f, ledger %s\n",
+              static_cast<unsigned long long>(admitted), total,
+              ledgerOk ? "consistent" : "VIOLATED");
+
+  if (!outPath.empty()) {
+    JsonValue::Object doc;
+    doc["bench"] = "service_throughput";
+    doc["clients"] = clients;
+    doc["requests_per_client"] = requests;
+    doc["processors"] = procs;
+    doc["completed_requests"] = total;
+    doc["elapsed_seconds"] = elapsedSec;
+    doc["requests_per_second"] = throughput;
+    doc["latency_us_p50"] = p50;
+    doc["latency_us_p95"] = p95;
+    doc["latency_us_p99"] = p99;
+    doc["latency_us_max"] = all.empty() ? 0.0 : all.back();
+    doc["admitted"] = static_cast<std::int64_t>(admitted);
+    doc["ledger_consistent"] = ledgerOk;
+    std::ofstream out(outPath);
+    out << JsonValue(std::move(doc)).dump() << "\n";
+    std::printf("wrote %s\n", outPath.c_str());
+  }
+
+  // Completing every request is part of the pass criterion.
+  const bool complete =
+      all.size() == static_cast<std::size_t>(clients) *
+                        static_cast<std::size_t>(requests);
+  return (ledgerOk && complete) ? 0 : 1;
+}

@@ -89,7 +89,7 @@ int main(int argc, char** argv) {
 
   // Renegotiation hook demo: cancel the last admitted job and show the
   // capacity coming back.
-  const auto lastId = arbitrator.lastJobId();
+  const auto lastId = arbitrator.lastJobId().value();
   const auto freed = arbitrator.cancel(lastId);
   std::printf("  cancel(job %llu) released %.1f processor-units\n",
               static_cast<unsigned long long>(lastId),

@@ -1,0 +1,167 @@
+// tprm_submit: negotiate a job with a running tprmd over the wire.
+//
+//   tprm_submit --unix=/tmp/tprmd.sock            # talk to a live daemon
+//   tprm_submit --tcp-port=7411
+//   tprm_submit --spec=job.json --release=25
+//   tprm_submit                                    # self-hosting demo
+//
+// Without an endpoint the example spins up an in-process NegotiationServer
+// on a private Unix socket, so it always has something to talk to — the
+// client still goes through the full wire path (frames, protocol, command
+// queue).  With --spec the job is read from a spec_io JSON file; otherwise a
+// built-in two-path tunable job is used.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+
+#include "common/flags.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "taskmodel/spec_io.h"
+
+namespace {
+
+tprm::task::TunableJobSpec builtinSpec() {
+  using namespace tprm;
+  task::TunableJobSpec job;
+  job.name = "submit-demo";
+  task::Chain fast;
+  fast.name = "full-quality";
+  fast.bindings = {{"grid", 64}};
+  fast.tasks = {
+      task::TaskSpec::rigid("decode", 8, ticksFromUnits(20.0),
+                            ticksFromUnits(100.0)),
+      task::TaskSpec::rigid("render", 16, ticksFromUnits(40.0),
+                            ticksFromUnits(200.0)),
+  };
+  task::Chain degraded;
+  degraded.name = "degraded";
+  degraded.bindings = {{"grid", 32}};
+  degraded.tasks = {
+      task::TaskSpec::rigid("decode", 4, ticksFromUnits(40.0),
+                            ticksFromUnits(150.0)),
+      task::TaskSpec::rigid("render", 8, ticksFromUnits(60.0),
+                            ticksFromUnits(200.0), /*quality=*/0.7),
+  };
+  job.chains = {fast, degraded};
+  return job;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tprm;
+  const Flags flags(argc, argv);
+  const auto unknown = flags.unknownAgainst(
+      {"unix", "tcp-port", "spec", "release", "procs", "verbose"});
+  if (!unknown.empty()) {
+    std::fprintf(stderr, "tprm_submit: unknown flag --%s\n",
+                 unknown.front().c_str());
+    return 2;
+  }
+
+  // --- Endpoint: a live daemon, or a private in-process server ----------
+  service::ClientConfig clientConfig;
+  clientConfig.unixPath = flags.getString("unix", "");
+  clientConfig.tcpPort =
+      static_cast<std::uint16_t>(flags.getInt("tcp-port", 0));
+  std::unique_ptr<service::NegotiationServer> localServer;
+  if (clientConfig.unixPath.empty() && clientConfig.tcpPort == 0) {
+    service::ServerConfig serverConfig;
+    serverConfig.processors = static_cast<int>(flags.getInt("procs", 32));
+    serverConfig.unixPath =
+        "/tmp/tprm-submit-" + std::to_string(::getpid()) + ".sock";
+    localServer =
+        std::make_unique<service::NegotiationServer>(serverConfig);
+    std::string error;
+    if (!localServer->start(&error)) {
+      std::fprintf(stderr, "tprm_submit: local server: %s\n", error.c_str());
+      return 1;
+    }
+    clientConfig.unixPath = serverConfig.unixPath;
+    std::printf("no endpoint given; self-hosting on unix:%s\n",
+                clientConfig.unixPath.c_str());
+  }
+
+  // --- The job ----------------------------------------------------------
+  task::TunableJobSpec spec;
+  const std::string specPath = flags.getString("spec", "");
+  if (!specPath.empty()) {
+    std::ifstream in(specPath);
+    if (!in) {
+      std::fprintf(stderr, "tprm_submit: cannot read %s\n", specPath.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto parsed = task::jobSpecFromJson(text.str());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "tprm_submit: bad spec: %s\n",
+                   parsed.error.c_str());
+      return 1;
+    }
+    spec = *parsed.spec;
+  } else {
+    spec = builtinSpec();
+  }
+  const Time release = ticksFromUnits(flags.getDouble("release", 0.0));
+
+  // --- Negotiate --------------------------------------------------------
+  service::QoSAgentClient client(clientConfig);
+  const auto decision = client.negotiate(spec, release);
+  if (!decision.ok()) {
+    std::fprintf(stderr, "tprm_submit: negotiate failed (%s): %s\n",
+                 service::toString(decision.error.status),
+                 decision.error.message.c_str());
+    return 1;
+  }
+  if (!decision->admitted) {
+    std::printf("job '%s' rejected (%d/%d chains schedulable)\n",
+                spec.name.c_str(), decision->chainsSchedulable,
+                decision->chainsConsidered);
+  } else {
+    std::printf("job '%s' admitted as #%llu on chain %zu ('%s'), quality "
+                "%.3f\n",
+                spec.name.c_str(),
+                static_cast<unsigned long long>(decision->jobId),
+                decision->chainIndex,
+                spec.chains[decision->chainIndex].name.c_str(),
+                decision->quality);
+    for (const auto& [key, value] : decision->bindings) {
+      std::printf("  binding %s = %lld\n", key.c_str(),
+                  static_cast<long long>(value));
+    }
+    for (std::size_t k = 0; k < decision->placements.size(); ++k) {
+      const auto& p = decision->placements[k];
+      std::printf("  task %zu: %d procs over [%s, %s), deadline %s\n", k,
+                  p.processors, formatTime(p.interval.begin).c_str(),
+                  formatTime(p.interval.end).c_str(),
+                  formatTime(p.deadline).c_str());
+    }
+  }
+
+  // --- Server-side view -------------------------------------------------
+  const auto stats = client.stats();
+  if (stats.ok()) {
+    std::printf("server: %d procs, %llu admitted, %llu rejected, clock %s\n",
+                stats->processors,
+                static_cast<unsigned long long>(stats->admitted),
+                static_cast<unsigned long long>(stats->rejected),
+                formatTime(stats->clock).c_str());
+  }
+  const auto verify = client.verify();
+  if (!verify.ok() || !verify->ok) {
+    std::fprintf(stderr, "tprm_submit: VERIFY failed: %s\n",
+                 verify.ok() ? verify->firstViolation.c_str()
+                             : verify.error.message.c_str());
+    return 1;
+  }
+  std::printf("VERIFY: ledger consistent\n");
+
+  client.close();
+  if (localServer) localServer->stop();
+  return 0;
+}

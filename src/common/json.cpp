@@ -154,7 +154,8 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(const std::string& text) : text_(text) {}
+  Parser(const std::string& text, const JsonParseOptions& options)
+      : text_(text), options_(options) {}
 
   JsonParseResult run() {
     skipWhitespace();
@@ -230,10 +231,12 @@ class Parser {
 
   bool parseObject(JsonValue& out) {
     ++pos_;  // '{'
+    if (++depth_ > options_.maxDepth) return fail("nesting too deep");
     JsonValue::Object object;
     skipWhitespace();
     if (!atEnd() && peek() == '}') {
       ++pos_;
+      --depth_;
       out = JsonValue(std::move(object));
       return true;
     }
@@ -257,6 +260,7 @@ class Parser {
       }
       if (peek() == '}') {
         ++pos_;
+        --depth_;
         out = JsonValue(std::move(object));
         return true;
       }
@@ -266,10 +270,12 @@ class Parser {
 
   bool parseArray(JsonValue& out) {
     ++pos_;  // '['
+    if (++depth_ > options_.maxDepth) return fail("nesting too deep");
     JsonValue::Array array;
     skipWhitespace();
     if (!atEnd() && peek() == ']') {
       ++pos_;
+      --depth_;
       out = JsonValue(std::move(array));
       return true;
     }
@@ -286,6 +292,7 @@ class Parser {
       }
       if (peek() == ']') {
         ++pos_;
+        --depth_;
         out = JsonValue(std::move(array));
         return true;
       }
@@ -389,14 +396,17 @@ class Parser {
   }
 
   const std::string& text_;
+  JsonParseOptions options_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
   std::string error_;
 };
 
 }  // namespace
 
-JsonParseResult parseJson(const std::string& text) {
-  return Parser(text).run();
+JsonParseResult parseJson(const std::string& text,
+                          const JsonParseOptions& options) {
+  return Parser(text, options).run();
 }
 
 }  // namespace tprm

@@ -87,7 +87,16 @@ struct JsonParseResult {
   [[nodiscard]] bool ok() const { return value.has_value(); }
 };
 
+/// Parser limits for untrusted input (wire frames, user files).  The depth
+/// cap bounds the parser's recursion: without it a few kilobytes of "[[[["
+/// can exhaust the stack.
+struct JsonParseOptions {
+  /// Maximum container nesting depth (top-level scalar = depth 0).
+  int maxDepth = 64;
+};
+
 /// Parses a complete JSON document (rejects trailing garbage).
-[[nodiscard]] JsonParseResult parseJson(const std::string& text);
+[[nodiscard]] JsonParseResult parseJson(const std::string& text,
+                                        const JsonParseOptions& options = {});
 
 }  // namespace tprm

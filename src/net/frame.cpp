@@ -1,0 +1,110 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace tprm::net {
+
+namespace {
+
+FrameStatus fromIo(IoStatus status) {
+  switch (status) {
+    case IoStatus::Ok: return FrameStatus::Ok;
+    case IoStatus::Timeout: return FrameStatus::Timeout;
+    case IoStatus::Closed: return FrameStatus::Closed;
+    case IoStatus::Error: return FrameStatus::Error;
+  }
+  return FrameStatus::Error;
+}
+
+}  // namespace
+
+const char* toString(FrameStatus status) {
+  switch (status) {
+    case FrameStatus::Ok: return "ok";
+    case FrameStatus::Timeout: return "timeout";
+    case FrameStatus::Closed: return "closed";
+    case FrameStatus::TooLarge: return "frame too large";
+    case FrameStatus::Error: return "error";
+  }
+  return "unknown";
+}
+
+FrameReadResult readFrame(Socket& socket, const FrameLimits& limits,
+                          const Deadline& idleDeadline,
+                          const Deadline& ioDeadline) {
+  FrameReadResult result;
+
+  // Idle wait: nothing consumed yet, so a timeout here leaves the stream
+  // clean and the caller may keep the connection.
+  const IoResult readable = socket.waitReadable(idleDeadline);
+  if (!readable.ok()) {
+    result.status = fromIo(readable.status);
+    result.message = readable.message;
+    return result;
+  }
+
+  unsigned char prefix[4];
+  IoResult io = socket.readExact(prefix, sizeof prefix, ioDeadline);
+  if (!io.ok()) {
+    result.status = fromIo(io.status);
+    result.message = io.message;
+    return result;
+  }
+  const std::uint32_t length = (static_cast<std::uint32_t>(prefix[0]) << 24) |
+                               (static_cast<std::uint32_t>(prefix[1]) << 16) |
+                               (static_cast<std::uint32_t>(prefix[2]) << 8) |
+                               static_cast<std::uint32_t>(prefix[3]);
+  if (length > limits.maxPayloadBytes) {
+    result.status = FrameStatus::TooLarge;
+    result.message = "declared payload of " + std::to_string(length) +
+                     " bytes exceeds limit of " +
+                     std::to_string(limits.maxPayloadBytes);
+    return result;
+  }
+  result.payload.resize(length);
+  if (length > 0) {
+    io = socket.readExact(result.payload.data(), length, ioDeadline);
+    if (!io.ok()) {
+      result.payload.clear();
+      // EOF or timeout inside a declared frame is a protocol violation, not
+      // a clean close.
+      result.status = io.status == IoStatus::Timeout ? FrameStatus::Timeout
+                                                     : FrameStatus::Error;
+      result.message = io.message.empty() ? "truncated frame" : io.message;
+      return result;
+    }
+  }
+  return result;
+}
+
+FrameWriteResult writeFrame(Socket& socket, std::string_view payload,
+                            const FrameLimits& limits,
+                            const Deadline& deadline) {
+  FrameWriteResult result;
+  if (payload.size() > limits.maxPayloadBytes) {
+    result.status = FrameStatus::TooLarge;
+    result.message = "refusing to send " + std::to_string(payload.size()) +
+                     " byte payload (limit " +
+                     std::to_string(limits.maxPayloadBytes) + ")";
+    return result;
+  }
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  unsigned char prefix[4] = {static_cast<unsigned char>(length >> 24),
+                             static_cast<unsigned char>(length >> 16),
+                             static_cast<unsigned char>(length >> 8),
+                             static_cast<unsigned char>(length)};
+  // One buffer, one writeAll: avoids a short TCP segment for the prefix and
+  // keeps the write atomic with respect to the deadline.
+  std::string wire;
+  wire.reserve(sizeof prefix + payload.size());
+  wire.append(reinterpret_cast<const char*>(prefix), sizeof prefix);
+  wire.append(payload.data(), payload.size());
+  const IoResult io = socket.writeAll(wire.data(), wire.size(), deadline);
+  if (!io.ok()) {
+    result.status = fromIo(io.status);
+    result.message = io.message;
+  }
+  return result;
+}
+
+}  // namespace tprm::net

@@ -1,0 +1,70 @@
+// Length-prefixed message framing over a stream socket.
+//
+// Wire format: a 4-byte big-endian unsigned payload length followed by
+// exactly that many payload bytes (JSON text in the negotiation protocol,
+// but this layer is content-agnostic).  The length prefix is validated
+// against a per-connection limit *before* any payload is read, so a
+// malicious 4-GB declaration costs the server four bytes, not an
+// allocation.  After a TooLarge or Error result the stream position is
+// undefined and the connection must be closed; Timeout mid-frame likewise
+// desynchronizes the stream.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/socket.h"
+
+namespace tprm::net {
+
+struct FrameLimits {
+  /// Largest acceptable payload.  1 MiB comfortably holds a negotiation
+  /// request with hundreds of execution paths while bounding per-connection
+  /// memory.
+  std::size_t maxPayloadBytes = 1 << 20;
+};
+
+enum class FrameStatus {
+  Ok,
+  Timeout,   // deadline expired (if mid-frame, the stream is desynced)
+  Closed,    // clean EOF between frames
+  TooLarge,  // declared length exceeds the limit; close the connection
+  Error,     // I/O or protocol failure (message has the details)
+};
+
+struct FrameReadResult {
+  FrameStatus status = FrameStatus::Ok;
+  std::string payload;  // valid iff status == Ok
+  std::string message;  // diagnostic for TooLarge/Error
+
+  [[nodiscard]] bool ok() const { return status == FrameStatus::Ok; }
+};
+
+[[nodiscard]] const char* toString(FrameStatus status);
+
+/// Reads one frame.  `idleDeadline` bounds the wait for the *first* byte
+/// (how long a connection may sit silent); once a frame has started,
+/// `ioDeadline` bounds the remainder (a peer that stalls mid-frame is cut
+/// off).  Pass the same deadline twice for a single budget.
+[[nodiscard]] FrameReadResult readFrame(Socket& socket,
+                                        const FrameLimits& limits,
+                                        const Deadline& idleDeadline,
+                                        const Deadline& ioDeadline);
+
+/// Writes one frame (length prefix + payload).  Refuses payloads over the
+/// limit locally (FrameStatus::TooLarge) rather than sending them.
+struct FrameWriteResult {
+  FrameStatus status = FrameStatus::Ok;
+  std::string message;
+
+  [[nodiscard]] bool ok() const { return status == FrameStatus::Ok; }
+};
+
+[[nodiscard]] FrameWriteResult writeFrame(Socket& socket,
+                                          std::string_view payload,
+                                          const FrameLimits& limits,
+                                          const Deadline& deadline);
+
+}  // namespace tprm::net

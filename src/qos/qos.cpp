@@ -263,7 +263,10 @@ QoSAgent::QoSAgent(tunable::Program& program) : program_(&program) {
   TPRM_CHECK(!paths_.empty(), "program has no feasible execution path");
   jobSpec_.name = program.name();
   jobSpec_.chains.reserve(paths_.size());
-  for (const auto& path : paths_) jobSpec_.chains.push_back(path.chain);
+  for (const auto& path : paths_) {
+    jobSpec_.chains.push_back(path.chain);
+    jobSpec_.chains.back().bindings = path.bindings;
+  }
   const auto errors = task::validate(jobSpec_);
   TPRM_CHECK(errors.empty(), "program job spec failed validation");
 }
@@ -276,7 +279,7 @@ std::optional<Allocation> QoSAgent::negotiate(QoSArbitrator& arbitrator,
     return std::nullopt;
   }
   Allocation allocation;
-  allocation.jobId = arbitrator.lastJobId();
+  allocation.jobId = arbitrator.lastJobId().value();
   allocation.pathIndex = decision.schedule.chainIndex;
   allocation.quality = decision.quality;
   allocation.bindings = paths_[decision.schedule.chainIndex].bindings;

@@ -108,8 +108,12 @@ class QoSArbitrator {
   [[nodiscard]] std::uint64_t admittedCount() const { return admitted_; }
   [[nodiscard]] std::uint64_t rejectedCount() const { return rejected_; }
 
-  /// Id assigned to the most recently submitted job (admitted or not).
-  [[nodiscard]] std::uint64_t lastJobId() const { return nextJobId_ - 1; }
+  /// Id assigned to the most recently submitted job (admitted or not);
+  /// nullopt before the first submission.
+  [[nodiscard]] std::optional<std::uint64_t> lastJobId() const {
+    if (nextJobId_ == 0) return std::nullopt;
+    return nextJobId_ - 1;
+  }
 
  private:
   /// Everything needed to renegotiate a job after a resource-level change.

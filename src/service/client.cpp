@@ -1,0 +1,176 @@
+#include "service/client.h"
+
+#include <thread>
+#include <utility>
+
+namespace tprm::service {
+
+namespace {
+
+ClientError transportError(ClientStatus status, std::string message) {
+  ClientError error;
+  error.status = status;
+  error.message = std::move(message);
+  return error;
+}
+
+ClientStatus fromFrameStatus(net::FrameStatus status) {
+  switch (status) {
+    case net::FrameStatus::Ok: return ClientStatus::Ok;
+    case net::FrameStatus::Timeout: return ClientStatus::Timeout;
+    case net::FrameStatus::Closed: return ClientStatus::Disconnected;
+    case net::FrameStatus::TooLarge: return ClientStatus::ProtocolError;
+    case net::FrameStatus::Error: return ClientStatus::ProtocolError;
+  }
+  return ClientStatus::ProtocolError;
+}
+
+/// Extracts the typed result, converting a wrong-variant answer (server bug
+/// or crossed wires) into a ProtocolError.
+template <typename T>
+ClientResult<T> extract(ClientResult<Response> response) {
+  ClientResult<T> out;
+  if (!response.ok()) {
+    out.error = std::move(response.error);
+    return out;
+  }
+  if (auto* value = std::get_if<T>(&response.value->result)) {
+    out.value = std::move(*value);
+    return out;
+  }
+  out.error = transportError(ClientStatus::ProtocolError,
+                             "response carries an unexpected result type");
+  return out;
+}
+
+}  // namespace
+
+const char* toString(ClientStatus status) {
+  switch (status) {
+    case ClientStatus::Ok: return "ok";
+    case ClientStatus::ConnectFailed: return "connect failed";
+    case ClientStatus::Timeout: return "timeout";
+    case ClientStatus::Disconnected: return "disconnected";
+    case ClientStatus::ProtocolError: return "protocol error";
+    case ClientStatus::ServerError: return "server error";
+  }
+  return "unknown";
+}
+
+QoSAgentClient::QoSAgentClient(ClientConfig config)
+    : config_(std::move(config)), frameLimits_{config_.maxFrameBytes} {}
+
+std::optional<ClientError> QoSAgentClient::connect() {
+  if (socket_.valid()) return std::nullopt;
+  std::string lastError;
+  auto backoff = config_.connectBackoff;
+  const int attempts = std::max(1, config_.connectAttempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(backoff);
+      backoff *= 2;
+    }
+    const auto deadline = net::Deadline::after(config_.connectTimeout);
+    auto connected = config_.unixPath.empty()
+                         ? net::connectTcp(config_.tcpHost, config_.tcpPort,
+                                           deadline)
+                         : net::connectUnix(config_.unixPath, deadline);
+    if (connected.ok()) {
+      socket_ = std::move(connected.socket);
+      return std::nullopt;
+    }
+    lastError = connected.error;
+  }
+  return transportError(ClientStatus::ConnectFailed,
+                        "after " + std::to_string(attempts) +
+                            " attempts: " + lastError);
+}
+
+ClientResult<Response> QoSAgentClient::call(Request request) {
+  ClientResult<Response> out;
+  if (auto error = connect()) {
+    out.error = std::move(*error);
+    return out;
+  }
+  request.id = nextRequestId_++;
+  const auto deadline = net::Deadline::after(config_.requestDeadline);
+  const auto encoded = encodeRequest(request);
+  const auto written = net::writeFrame(socket_, encoded, frameLimits_,
+                                       deadline);
+  if (!written.ok()) {
+    socket_.close();
+    out.error = transportError(fromFrameStatus(written.status),
+                               written.message.empty()
+                                   ? net::toString(written.status)
+                                   : written.message);
+    return out;
+  }
+  auto frame = net::readFrame(socket_, frameLimits_, deadline, deadline);
+  if (!frame.ok()) {
+    socket_.close();
+    out.error = transportError(fromFrameStatus(frame.status),
+                               frame.message.empty()
+                                   ? net::toString(frame.status)
+                                   : frame.message);
+    return out;
+  }
+  auto decoded = decodeResponse(frame.payload);
+  if (!decoded.ok()) {
+    socket_.close();
+    out.error =
+        transportError(ClientStatus::ProtocolError, decoded.error);
+    return out;
+  }
+  // Undecodable requests are answered with correlation id 0; everything
+  // else must echo our id (one request in flight per connection).
+  if (decoded.response->id != request.id && decoded.response->id != 0) {
+    socket_.close();
+    out.error = transportError(ClientStatus::ProtocolError,
+                               "response id does not match request id");
+    return out;
+  }
+  if (!decoded.response->ok) {
+    out.error.status = ClientStatus::ServerError;
+    out.error.code = decoded.response->error->code;
+    out.error.message = decoded.response->error->message;
+    return out;
+  }
+  out.value = std::move(*decoded.response);
+  return out;
+}
+
+ClientResult<NegotiateResult> QoSAgentClient::negotiate(
+    const task::TunableJobSpec& spec, Time release) {
+  Request request;
+  request.command = Command::Negotiate;
+  request.payload = NegotiateRequest{spec, release};
+  return extract<NegotiateResult>(call(std::move(request)));
+}
+
+ClientResult<CancelResult> QoSAgentClient::cancel(std::uint64_t jobId) {
+  Request request;
+  request.command = Command::Cancel;
+  request.payload = CancelRequest{jobId};
+  return extract<CancelResult>(call(std::move(request)));
+}
+
+ClientResult<ResizeResult> QoSAgentClient::resize(int processors, Time when) {
+  Request request;
+  request.command = Command::Resize;
+  request.payload = ResizeRequest{processors, when};
+  return extract<ResizeResult>(call(std::move(request)));
+}
+
+ClientResult<StatsResult> QoSAgentClient::stats() {
+  Request request;
+  request.command = Command::Stats;
+  return extract<StatsResult>(call(std::move(request)));
+}
+
+ClientResult<VerifyResult> QoSAgentClient::verify() {
+  Request request;
+  request.command = Command::Verify;
+  return extract<VerifyResult>(call(std::move(request)));
+}
+
+}  // namespace tprm::service

@@ -1,0 +1,106 @@
+// Blocking client for the tprmd negotiation service.
+//
+// The remote half of the paper's per-application QoS agent: it speaks the
+// wire protocol (service/protocol.h) over one connection, with a
+// configurable per-request deadline and retry-with-backoff on connect.
+// Nothing throws across the wire boundary: every call returns a
+// ClientResult carrying either the typed result or a ClientError.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/frame.h"
+#include "net/socket.h"
+#include "service/protocol.h"
+
+namespace tprm::service {
+
+struct ClientConfig {
+  /// Unix-domain endpoint; when non-empty it wins over TCP.
+  std::string unixPath;
+  /// TCP loopback endpoint, used when unixPath is empty.
+  std::string tcpHost = "127.0.0.1";
+  std::uint16_t tcpPort = 0;
+
+  /// Whole-call budget: connect (first call), send, and receive.
+  std::chrono::milliseconds requestDeadline{5'000};
+  /// Budget for one connect attempt.
+  std::chrono::milliseconds connectTimeout{1'000};
+  /// Connect attempts before giving up (>= 1).
+  int connectAttempts = 5;
+  /// Backoff before the second attempt; doubles each retry.
+  std::chrono::milliseconds connectBackoff{20};
+
+  std::size_t maxFrameBytes = 1 << 20;
+};
+
+enum class ClientStatus {
+  Ok,
+  ConnectFailed,   // all connect attempts exhausted
+  Timeout,         // request deadline expired
+  Disconnected,    // server closed the connection mid-call
+  ProtocolError,   // malformed/oversized frame or undecodable response
+  ServerError,     // server answered with an error (code/message carried)
+};
+
+[[nodiscard]] const char* toString(ClientStatus status);
+
+struct ClientError {
+  ClientStatus status = ClientStatus::Ok;
+  /// Server error code for ServerError (e.g. "bad_request"); empty else.
+  std::string code;
+  std::string message;
+};
+
+/// A typed result or a typed error; never both.
+template <typename T>
+struct ClientResult {
+  std::optional<T> value;
+  ClientError error;
+
+  [[nodiscard]] bool ok() const { return value.has_value(); }
+  [[nodiscard]] const T& operator*() const { return *value; }
+  [[nodiscard]] const T* operator->() const { return &*value; }
+};
+
+class QoSAgentClient {
+ public:
+  explicit QoSAgentClient(ClientConfig config);
+  ~QoSAgentClient() = default;
+
+  QoSAgentClient(const QoSAgentClient&) = delete;
+  QoSAgentClient& operator=(const QoSAgentClient&) = delete;
+
+  /// Connects eagerly (calls also connect lazily).  Useful to surface
+  /// endpoint problems before the first negotiation.
+  [[nodiscard]] std::optional<ClientError> connect();
+
+  [[nodiscard]] bool connected() const { return socket_.valid(); }
+  void close() { socket_.close(); }
+
+  /// Static negotiation (Section 3.1) across the wire: sends every chain of
+  /// `spec`, receives the decision.  `release` is clamped forward to the
+  /// arbitrator's clock server-side.
+  [[nodiscard]] ClientResult<NegotiateResult> negotiate(
+      const task::TunableJobSpec& spec, Time release);
+
+  [[nodiscard]] ClientResult<CancelResult> cancel(std::uint64_t jobId);
+  [[nodiscard]] ClientResult<ResizeResult> resize(int processors, Time when);
+  [[nodiscard]] ClientResult<StatsResult> stats();
+  [[nodiscard]] ClientResult<VerifyResult> verify();
+
+ private:
+  /// Sends `request` and reads the matching response.  On transport failure
+  /// the connection is closed so the next call reconnects.
+  ClientResult<Response> call(Request request);
+
+  ClientConfig config_;
+  net::FrameLimits frameLimits_;
+  net::Socket socket_;
+  std::uint64_t nextRequestId_ = 1;
+};
+
+}  // namespace tprm::service

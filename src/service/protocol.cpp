@@ -1,0 +1,473 @@
+#include "service/protocol.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/json.h"
+#include "taskmodel/spec_io.h"
+
+namespace tprm::service {
+
+namespace {
+
+// --- Encode helpers -------------------------------------------------------
+
+JsonValue placementsToJson(const std::vector<sched::TaskPlacement>& ps) {
+  JsonValue::Array array;
+  for (const auto& p : ps) {
+    JsonValue::Object o;
+    o["begin"] = unitsFromTicks(p.interval.begin);
+    o["end"] = unitsFromTicks(p.interval.end);
+    o["processors"] = p.processors;
+    if (p.deadline < kTimeInfinity) o["deadline"] = unitsFromTicks(p.deadline);
+    array.emplace_back(std::move(o));
+  }
+  return JsonValue(std::move(array));
+}
+
+JsonValue idsToJson(const std::vector<std::uint64_t>& ids) {
+  JsonValue::Array array;
+  for (const auto id : ids) {
+    array.emplace_back(static_cast<std::int64_t>(id));
+  }
+  return JsonValue(std::move(array));
+}
+
+// --- Decode helpers -------------------------------------------------------
+
+/// Field cursor: remembers the first error so call sites stay linear.
+class Reader {
+ public:
+  explicit Reader(const JsonValue& root) : root_(&root) {}
+
+  [[nodiscard]] bool failed() const { return !error_.empty(); }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  double number(const char* key, bool required = true, double fallback = 0) {
+    const auto* v = root_->find(key);
+    if (v == nullptr) {
+      if (required) fail(std::string("missing field '") + key + "'");
+      return fallback;
+    }
+    if (!v->isNumber()) {
+      fail(std::string("field '") + key + "' must be a number");
+      return fallback;
+    }
+    return v->asNumber();
+  }
+
+  std::uint64_t id(const char* key, bool required = true) {
+    const double d = number(key, required);
+    if (failed()) return 0;
+    if (d < 0 || d != std::floor(d)) {
+      fail(std::string("field '") + key + "' must be a non-negative integer");
+      return 0;
+    }
+    return static_cast<std::uint64_t>(d);
+  }
+
+  std::string string(const char* key) {
+    const auto* v = root_->find(key);
+    if (v == nullptr || !v->isString()) {
+      fail(std::string("field '") + key + "' must be a string");
+      return {};
+    }
+    return v->asString();
+  }
+
+  bool boolean(const char* key) {
+    const auto* v = root_->find(key);
+    if (v == nullptr || !v->isBool()) {
+      fail(std::string("field '") + key + "' must be a boolean");
+      return false;
+    }
+    return v->asBool();
+  }
+
+  void fail(std::string what) {
+    if (error_.empty()) error_ = std::move(what);
+  }
+
+ private:
+  const JsonValue* root_;
+  std::string error_;
+};
+
+bool placementsFromJson(const JsonValue* value,
+                        std::vector<sched::TaskPlacement>* out,
+                        std::string* error) {
+  if (value == nullptr || !value->isArray()) {
+    *error = "'placements' must be an array";
+    return false;
+  }
+  for (const auto& item : value->asArray()) {
+    if (!item.isObject()) {
+      *error = "placement entries must be objects";
+      return false;
+    }
+    Reader r(item);
+    sched::TaskPlacement p;
+    p.interval.begin = ticksFromUnits(r.number("begin"));
+    p.interval.end = ticksFromUnits(r.number("end"));
+    p.processors = static_cast<int>(r.number("processors"));
+    const auto* deadline = item.find("deadline");
+    p.deadline = deadline != nullptr && deadline->isNumber()
+                     ? ticksFromUnits(deadline->asNumber())
+                     : kTimeInfinity;
+    if (r.failed()) {
+      *error = r.error();
+      return false;
+    }
+    out->push_back(p);
+  }
+  return true;
+}
+
+bool idsFromJson(const JsonValue* value, std::vector<std::uint64_t>* out,
+                 std::string* error, const char* key) {
+  if (value == nullptr || !value->isArray()) {
+    *error = std::string("'") + key + "' must be an array";
+    return false;
+  }
+  for (const auto& item : value->asArray()) {
+    if (!item.isNumber()) {
+      *error = std::string("'") + key + "' entries must be numbers";
+      return false;
+    }
+    out->push_back(static_cast<std::uint64_t>(item.asNumber()));
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* toString(Command command) {
+  switch (command) {
+    case Command::Negotiate: return "NEGOTIATE";
+    case Command::Cancel: return "CANCEL";
+    case Command::Resize: return "RESIZE";
+    case Command::Stats: return "STATS";
+    case Command::Verify: return "VERIFY";
+  }
+  return "UNKNOWN";
+}
+
+std::string encodeRequest(const Request& request) {
+  JsonValue::Object o;
+  o["v"] = static_cast<std::int64_t>(kProtocolVersion);
+  o["id"] = static_cast<std::int64_t>(request.id);
+  o["cmd"] = toString(request.command);
+  switch (request.command) {
+    case Command::Negotiate: {
+      const auto& p = std::get<NegotiateRequest>(request.payload);
+      o["release"] = unitsFromTicks(p.release);
+      o["spec"] = task::toJsonValue(p.spec);
+      break;
+    }
+    case Command::Cancel: {
+      const auto& p = std::get<CancelRequest>(request.payload);
+      o["jobId"] = static_cast<std::int64_t>(p.jobId);
+      break;
+    }
+    case Command::Resize: {
+      const auto& p = std::get<ResizeRequest>(request.payload);
+      o["processors"] = p.processors;
+      o["when"] = unitsFromTicks(p.when);
+      break;
+    }
+    case Command::Stats:
+    case Command::Verify:
+      break;
+  }
+  return JsonValue(std::move(o)).dump();
+}
+
+RequestParseResult decodeRequest(const std::string& text) {
+  RequestParseResult result;
+  const auto parsed = parseJson(text);
+  if (!parsed.ok()) {
+    result.error = "JSON error at byte " + std::to_string(parsed.errorOffset) +
+                   ": " + parsed.error;
+    return result;
+  }
+  const JsonValue& root = *parsed.value;
+  if (!root.isObject()) {
+    result.error = "request must be an object";
+    return result;
+  }
+  Reader r(root);
+  Request request;
+  const auto version = r.id("v");
+  request.id = r.id("id");
+  const auto cmd = r.string("cmd");
+  if (r.failed()) {
+    result.error = r.error();
+    return result;
+  }
+  if (version != kProtocolVersion) {
+    result.error = "unsupported protocol version " + std::to_string(version);
+    return result;
+  }
+  if (cmd == "NEGOTIATE") {
+    request.command = Command::Negotiate;
+    NegotiateRequest payload;
+    payload.release = ticksFromUnits(r.number("release", false, 0.0));
+    const auto* spec = root.find("spec");
+    if (spec == nullptr) {
+      result.error = "NEGOTIATE requires a 'spec' object";
+      return result;
+    }
+    auto parsedSpec = task::jobSpecFromJsonValue(*spec);
+    if (!parsedSpec.ok()) {
+      result.error = "bad spec: " + parsedSpec.error;
+      return result;
+    }
+    payload.spec = std::move(*parsedSpec.spec);
+    request.payload = std::move(payload);
+  } else if (cmd == "CANCEL") {
+    request.command = Command::Cancel;
+    CancelRequest payload;
+    payload.jobId = r.id("jobId");
+    request.payload = payload;
+  } else if (cmd == "RESIZE") {
+    request.command = Command::Resize;
+    ResizeRequest payload;
+    payload.processors = static_cast<int>(r.number("processors"));
+    payload.when = ticksFromUnits(r.number("when", false, 0.0));
+    request.payload = payload;
+  } else if (cmd == "STATS") {
+    request.command = Command::Stats;
+  } else if (cmd == "VERIFY") {
+    request.command = Command::Verify;
+  } else {
+    result.error = "unknown command '" + cmd + "'";
+    return result;
+  }
+  if (r.failed()) {
+    result.error = r.error();
+    return result;
+  }
+  result.request = std::move(request);
+  return result;
+}
+
+std::string encodeResponse(const Response& response) {
+  JsonValue::Object o;
+  o["id"] = static_cast<std::int64_t>(response.id);
+  o["ok"] = response.ok;
+  if (!response.ok) {
+    TPRM_CHECK(response.error.has_value(),
+               "error responses must carry ErrorInfo");
+    JsonValue::Object e;
+    e["code"] = response.error->code;
+    e["message"] = response.error->message;
+    o["error"] = std::move(e);
+    return JsonValue(std::move(o)).dump();
+  }
+  if (const auto* negotiate = std::get_if<NegotiateResult>(&response.result)) {
+    o["cmd"] = toString(Command::Negotiate);
+    JsonValue::Object res;
+    res["admitted"] = negotiate->admitted;
+    res["arrivalSeq"] = static_cast<std::int64_t>(negotiate->arrivalSeq);
+    res["jobId"] = static_cast<std::int64_t>(negotiate->jobId);
+    res["release"] = unitsFromTicks(negotiate->release);
+    res["chainsConsidered"] = negotiate->chainsConsidered;
+    res["chainsSchedulable"] = negotiate->chainsSchedulable;
+    if (negotiate->admitted) {
+      res["chainIndex"] = static_cast<std::int64_t>(negotiate->chainIndex);
+      res["quality"] = negotiate->quality;
+      res["placements"] = placementsToJson(negotiate->placements);
+      if (!negotiate->bindings.empty()) {
+        JsonValue::Object bindings;
+        for (const auto& [param, value] : negotiate->bindings) {
+          bindings[param] = value;
+        }
+        res["bindings"] = std::move(bindings);
+      }
+    }
+    o["result"] = std::move(res);
+  } else if (const auto* cancel = std::get_if<CancelResult>(&response.result)) {
+    o["cmd"] = toString(Command::Cancel);
+    JsonValue::Object res;
+    res["freed"] = unitsFromTicks(cancel->freedTicks);
+    o["result"] = std::move(res);
+  } else if (const auto* resize = std::get_if<ResizeResult>(&response.result)) {
+    o["cmd"] = toString(Command::Resize);
+    JsonValue::Object res;
+    res["processorsBefore"] = resize->processorsBefore;
+    res["processorsAfter"] = resize->processorsAfter;
+    res["kept"] = idsToJson(resize->kept);
+    res["reconfigured"] = idsToJson(resize->reconfigured);
+    res["dropped"] = idsToJson(resize->dropped);
+    o["result"] = std::move(res);
+  } else if (const auto* stats = std::get_if<StatsResult>(&response.result)) {
+    o["cmd"] = toString(Command::Stats);
+    JsonValue::Object res;
+    res["processors"] = stats->processors;
+    res["clock"] = unitsFromTicks(stats->clock);
+    res["admitted"] = static_cast<std::int64_t>(stats->admitted);
+    res["rejected"] = static_cast<std::int64_t>(stats->rejected);
+    res["commandsExecuted"] =
+        static_cast<std::int64_t>(stats->commandsExecuted);
+    o["result"] = std::move(res);
+  } else if (const auto* verify = std::get_if<VerifyResult>(&response.result)) {
+    o["cmd"] = toString(Command::Verify);
+    JsonValue::Object res;
+    res["ok"] = verify->ok;
+    res["violations"] = verify->violations;
+    if (!verify->ok) res["firstViolation"] = verify->firstViolation;
+    o["result"] = std::move(res);
+  } else {
+    TPRM_CHECK(false, "ok response without a result payload");
+  }
+  return JsonValue(std::move(o)).dump();
+}
+
+ResponseParseResult decodeResponse(const std::string& text) {
+  ResponseParseResult out;
+  const auto parsed = parseJson(text);
+  if (!parsed.ok()) {
+    out.error = "JSON error at byte " + std::to_string(parsed.errorOffset) +
+                ": " + parsed.error;
+    return out;
+  }
+  const JsonValue& root = *parsed.value;
+  if (!root.isObject()) {
+    out.error = "response must be an object";
+    return out;
+  }
+  Reader r(root);
+  Response response;
+  response.id = r.id("id");
+  response.ok = r.boolean("ok");
+  if (r.failed()) {
+    out.error = r.error();
+    return out;
+  }
+  if (!response.ok) {
+    const auto* error = root.find("error");
+    if (error == nullptr || !error->isObject()) {
+      out.error = "error response without 'error' object";
+      return out;
+    }
+    Reader er(*error);
+    ErrorInfo info;
+    info.code = er.string("code");
+    info.message = er.string("message");
+    if (er.failed()) {
+      out.error = er.error();
+      return out;
+    }
+    response.error = std::move(info);
+    out.response = std::move(response);
+    return out;
+  }
+
+  const auto cmd = r.string("cmd");
+  const auto* result = root.find("result");
+  if (r.failed() || result == nullptr || !result->isObject()) {
+    out.error = r.failed() ? r.error() : "ok response without 'result' object";
+    return out;
+  }
+  Reader rr(*result);
+  if (cmd == "NEGOTIATE") {
+    NegotiateResult negotiate;
+    negotiate.admitted = rr.boolean("admitted");
+    negotiate.arrivalSeq = rr.id("arrivalSeq");
+    negotiate.jobId = rr.id("jobId");
+    negotiate.release = ticksFromUnits(rr.number("release"));
+    negotiate.chainsConsidered = static_cast<int>(rr.number("chainsConsidered"));
+    negotiate.chainsSchedulable =
+        static_cast<int>(rr.number("chainsSchedulable"));
+    if (!rr.failed() && negotiate.admitted) {
+      negotiate.chainIndex = static_cast<std::size_t>(rr.id("chainIndex"));
+      negotiate.quality = rr.number("quality");
+      if (!placementsFromJson(result->find("placements"),
+                              &negotiate.placements, &out.error)) {
+        return out;
+      }
+      if (const auto* bindings = result->find("bindings")) {
+        if (!bindings->isObject()) {
+          out.error = "'bindings' must be an object";
+          return out;
+        }
+        for (const auto& [param, value] : bindings->asObject()) {
+          if (!value.isNumber()) {
+            out.error = "binding '" + param + "' must be a number";
+            return out;
+          }
+          negotiate.bindings[param] =
+              static_cast<std::int64_t>(value.asNumber());
+        }
+      }
+    }
+    if (rr.failed()) {
+      out.error = rr.error();
+      return out;
+    }
+    response.result = std::move(negotiate);
+  } else if (cmd == "CANCEL") {
+    CancelResult cancel;
+    cancel.freedTicks = ticksFromUnits(rr.number("freed"));
+    if (rr.failed()) {
+      out.error = rr.error();
+      return out;
+    }
+    response.result = cancel;
+  } else if (cmd == "RESIZE") {
+    ResizeResult resize;
+    resize.processorsBefore = static_cast<int>(rr.number("processorsBefore"));
+    resize.processorsAfter = static_cast<int>(rr.number("processorsAfter"));
+    if (rr.failed() ||
+        !idsFromJson(result->find("kept"), &resize.kept, &out.error,
+                     "kept") ||
+        !idsFromJson(result->find("reconfigured"), &resize.reconfigured,
+                     &out.error, "reconfigured") ||
+        !idsFromJson(result->find("dropped"), &resize.dropped, &out.error,
+                     "dropped")) {
+      if (out.error.empty()) out.error = rr.error();
+      return out;
+    }
+    response.result = std::move(resize);
+  } else if (cmd == "STATS") {
+    StatsResult stats;
+    stats.processors = static_cast<int>(rr.number("processors"));
+    stats.clock = ticksFromUnits(rr.number("clock"));
+    stats.admitted = rr.id("admitted");
+    stats.rejected = rr.id("rejected");
+    stats.commandsExecuted = rr.id("commandsExecuted");
+    if (rr.failed()) {
+      out.error = rr.error();
+      return out;
+    }
+    response.result = stats;
+  } else if (cmd == "VERIFY") {
+    VerifyResult verify;
+    verify.ok = rr.boolean("ok");
+    verify.violations = static_cast<int>(rr.number("violations"));
+    if (const auto* violation = result->find("firstViolation")) {
+      if (violation->isString()) verify.firstViolation = violation->asString();
+    }
+    if (rr.failed()) {
+      out.error = rr.error();
+      return out;
+    }
+    response.result = std::move(verify);
+  } else {
+    out.error = "unknown response command '" + cmd + "'";
+    return out;
+  }
+  out.response = std::move(response);
+  return out;
+}
+
+Response makeError(std::uint64_t id, std::string code, std::string message) {
+  Response response;
+  response.id = id;
+  response.ok = false;
+  response.error = ErrorInfo{std::move(code), std::move(message)};
+  return response;
+}
+
+}  // namespace tprm::service

@@ -1,0 +1,151 @@
+// Wire protocol of the negotiation service.
+//
+// Frames (net/frame.h) carry one JSON document each.  Requests:
+//
+//   {"v": 1, "id": 7, "cmd": "NEGOTIATE",
+//    "release": 0.0,                  // paper units; clamped to the clock
+//    "spec": { ...taskmodel/spec_io schema... }}
+//   {"v": 1, "id": 8, "cmd": "CANCEL", "jobId": 3}
+//   {"v": 1, "id": 9, "cmd": "RESIZE", "processors": 48, "when": 125.0}
+//   {"v": 1, "id": 10, "cmd": "STATS"}
+//   {"v": 1, "id": 11, "cmd": "VERIFY"}
+//
+// Responses echo the request id:
+//
+//   {"id": 7, "ok": true, "result": {...}}
+//   {"id": 7, "ok": false,
+//    "error": {"code": "bad_request", "message": "..."}}
+//
+// All times cross the wire in paper units (doubles), matching spec_io;
+// ticksFromUnits(unitsFromTicks(t)) == t for every time this service
+// produces, so decisions survive the trip exactly.  Infinite deadlines are
+// omitted.  Error codes are stable strings: bad_request, bad_spec,
+// unknown_command, shutting_down, internal.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/time.h"
+#include "sched/arbitrator.h"
+#include "taskmodel/chain.h"
+
+namespace tprm::service {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+enum class Command { Negotiate, Cancel, Resize, Stats, Verify };
+
+[[nodiscard]] const char* toString(Command command);
+
+struct NegotiateRequest {
+  task::TunableJobSpec spec;
+  Time release = 0;
+};
+struct CancelRequest {
+  std::uint64_t jobId = 0;
+};
+struct ResizeRequest {
+  int processors = 0;
+  Time when = 0;
+};
+
+struct Request {
+  std::uint64_t id = 0;  // client-chosen correlation id, echoed verbatim
+  Command command = Command::Stats;
+  /// Payload; monostate for the parameterless commands (STATS, VERIFY).
+  std::variant<std::monostate, NegotiateRequest, CancelRequest, ResizeRequest>
+      payload;
+};
+
+/// Result of a granted or rejected negotiation.  `arrivalSeq` is the
+/// server-stamped arrival order (the order in which the single-writer queue
+/// admitted the command) — replaying the same specs into an in-process
+/// arbitrator in arrivalSeq order reproduces the decisions exactly.
+struct NegotiateResult {
+  bool admitted = false;
+  std::uint64_t jobId = 0;
+  std::uint64_t arrivalSeq = 0;
+  std::size_t chainIndex = 0;
+  double quality = 0.0;
+  /// Release actually used (the request's release clamped to the clock).
+  Time release = 0;
+  std::vector<sched::TaskPlacement> placements;
+  /// Control-parameter bindings of the granted chain (empty if none).
+  std::map<std::string, std::int64_t> bindings;
+  int chainsConsidered = 0;
+  int chainsSchedulable = 0;
+};
+
+struct CancelResult {
+  std::int64_t freedTicks = 0;
+};
+
+struct ResizeResult {
+  int processorsBefore = 0;
+  int processorsAfter = 0;
+  std::vector<std::uint64_t> kept;
+  std::vector<std::uint64_t> reconfigured;
+  std::vector<std::uint64_t> dropped;
+};
+
+struct StatsResult {
+  int processors = 0;
+  Time clock = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  /// Total commands the arbitrator thread has executed.
+  std::uint64_t commandsExecuted = 0;
+};
+
+struct VerifyResult {
+  bool ok = false;
+  std::string firstViolation;
+  int violations = 0;
+};
+
+struct ErrorInfo {
+  std::string code;
+  std::string message;
+};
+
+struct Response {
+  std::uint64_t id = 0;
+  bool ok = false;
+  std::optional<ErrorInfo> error;  // set iff !ok
+  std::variant<std::monostate, NegotiateResult, CancelResult, ResizeResult,
+               StatsResult, VerifyResult>
+      result;
+};
+
+// --- Codecs.  Encoding aborts only on programmer error (TPRM_CHECK);
+// decoding never aborts: malformed wire input yields a descriptive error.
+
+[[nodiscard]] std::string encodeRequest(const Request& request);
+[[nodiscard]] std::string encodeResponse(const Response& response);
+
+struct RequestParseResult {
+  std::optional<Request> request;
+  std::string error;  // empty on success
+
+  [[nodiscard]] bool ok() const { return request.has_value(); }
+};
+[[nodiscard]] RequestParseResult decodeRequest(const std::string& text);
+
+struct ResponseParseResult {
+  std::optional<Response> response;
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return response.has_value(); }
+};
+[[nodiscard]] ResponseParseResult decodeResponse(const std::string& text);
+
+/// Builds an error response (helper shared by server paths).
+[[nodiscard]] Response makeError(std::uint64_t id, std::string code,
+                                 std::string message);
+
+}  // namespace tprm::service

@@ -1,0 +1,350 @@
+#include "service/server.h"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace tprm::service {
+
+namespace {
+
+/// Accept/idle poll granularity: how quickly threads notice stopping_.
+constexpr std::chrono::milliseconds kPollSlice{50};
+
+}  // namespace
+
+/// One decoded command travelling from a session to the arbitrator thread.
+struct NegotiationServer::PendingCommand {
+  Request request;
+  std::uint64_t arrivalSeq = 0;
+  std::promise<Response> promise;
+};
+
+struct NegotiationServer::Session {
+  net::Socket socket;
+  std::thread thread;
+  std::atomic<bool> done{false};
+};
+
+NegotiationServer::NegotiationServer(ServerConfig config)
+    : config_(std::move(config)),
+      frameLimits_{config_.maxFrameBytes},
+      arbitrator_(config_.processors, config_.options) {}
+
+NegotiationServer::~NegotiationServer() { stop(); }
+
+bool NegotiationServer::start(std::string* error) {
+  TPRM_CHECK(!started_, "start() called twice");
+  std::string firstError;
+  if (!config_.unixPath.empty()) {
+    unixListener_ = net::Listener::listenUnix(config_.unixPath, &firstError);
+    if (!unixListener_.valid()) {
+      if (error != nullptr) *error = firstError;
+      return false;
+    }
+  }
+  if (config_.tcpPort.has_value()) {
+    tcpListener_ = net::Listener::listenTcp(*config_.tcpPort, &firstError);
+    if (!tcpListener_.valid()) {
+      if (error != nullptr) *error = firstError;
+      return false;
+    }
+    boundTcpPort_ = tcpListener_.boundPort();
+  }
+  if (!unixListener_.valid() && !tcpListener_.valid()) {
+    if (error != nullptr) {
+      *error = "no listener configured (set unixPath and/or tcpPort)";
+    }
+    return false;
+  }
+  started_ = true;
+  arbitratorThread_ = std::thread([this] { arbitratorLoop(); });
+  if (unixListener_.valid()) {
+    acceptThreads_.emplace_back([this] { acceptLoop(&unixListener_); });
+  }
+  if (tcpListener_.valid()) {
+    acceptThreads_.emplace_back([this] { acceptLoop(&tcpListener_); });
+  }
+  return true;
+}
+
+void NegotiationServer::stop() {
+  if (!started_ || stopped_.exchange(true)) return;
+  stopping_ = true;
+
+  // 1. Stop admitting connections.
+  for (auto& thread : acceptThreads_) thread.join();
+  acceptThreads_.clear();
+  unixListener_.close();
+  tcpListener_.close();
+
+  // 2. Let every session finish its in-flight request.  The arbitrator
+  // thread keeps draining the queue meanwhile, so sessions blocked on a
+  // response (or on backpressure) always make progress.
+  {
+    std::lock_guard<std::mutex> lock(sessionsMutex_);
+    for (auto& session : sessions_) {
+      if (session->thread.joinable()) session->thread.join();
+    }
+    sessions_.clear();
+  }
+
+  // 3. No producers remain: close the queue and join the arbitrator after
+  // it has executed everything already admitted.
+  {
+    std::lock_guard<std::mutex> lock(queueMutex_);
+    queueClosed_ = true;
+  }
+  queueNotEmpty_.notify_all();
+  queueNotFull_.notify_all();
+  arbitratorThread_.join();
+}
+
+ServerCounters NegotiationServer::counters() const {
+  ServerCounters counters;
+  counters.connectionsAccepted = connectionsAccepted_.load();
+  counters.connectionsRefused = connectionsRefused_.load();
+  counters.framesMalformed = framesMalformed_.load();
+  counters.framesOversized = framesOversized_.load();
+  counters.commandsExecuted = commandsExecutedShared_.load();
+  counters.disconnectsMidRequest = disconnectsMidRequest_.load();
+  return counters;
+}
+
+void NegotiationServer::reapFinishedSessions() {
+  std::lock_guard<std::mutex> lock(sessionsMutex_);
+  auto it = sessions_.begin();
+  while (it != sessions_.end()) {
+    if ((*it)->done.load()) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void NegotiationServer::acceptLoop(net::Listener* listener) {
+  while (!stopping_) {
+    auto accepted = listener->accept(net::Deadline::after(kPollSlice));
+    if (accepted.status == net::IoStatus::Timeout) continue;
+    if (accepted.status != net::IoStatus::Ok) {
+      if (!stopping_) {
+        TPRM_LOG(Warn) << "tprmd accept failed: " << accepted.message;
+      }
+      continue;
+    }
+    reapFinishedSessions();
+    std::lock_guard<std::mutex> lock(sessionsMutex_);
+    if (stopping_ || sessions_.size() >= config_.maxSessions) {
+      // Refuse politely: the socket closes without a frame; clients see a
+      // clean EOF before any response.
+      connectionsRefused_.fetch_add(1);
+      continue;
+    }
+    connectionsAccepted_.fetch_add(1);
+    auto session = std::make_unique<Session>();
+    session->socket = std::move(accepted.socket);
+    Session* raw = session.get();
+    sessions_.push_back(std::move(session));
+    raw->thread = std::thread([this, raw] { sessionLoop(raw); });
+  }
+}
+
+void NegotiationServer::sessionLoop(Session* session) {
+  net::Socket& socket = session->socket;
+  auto idleStart = std::chrono::steady_clock::now();
+  bool keepServing = true;
+  while (keepServing && !stopping_) {
+    // Idle wait in short slices so stop() and the idle timeout are both
+    // honoured without consuming stream bytes.
+    const auto readable = socket.waitReadable(net::Deadline::after(kPollSlice));
+    if (readable.status == net::IoStatus::Timeout) {
+      if (std::chrono::steady_clock::now() - idleStart >
+          config_.idleTimeout) {
+        break;
+      }
+      continue;
+    }
+    if (readable.status != net::IoStatus::Ok) break;
+
+    // Data (or EOF) is ready; one io budget covers the whole frame.
+    const auto ioDeadline = net::Deadline::after(config_.ioTimeout);
+    auto frame = net::readFrame(socket, frameLimits_, ioDeadline, ioDeadline);
+    if (frame.status == net::FrameStatus::Closed) break;
+    if (frame.status == net::FrameStatus::TooLarge) {
+      framesOversized_.fetch_add(1);
+      // The declared payload is never read, so the stream is desynced:
+      // answer best-effort, then drop the connection.
+      const auto response = encodeResponse(
+          makeError(0, "frame_too_large", frame.message));
+      (void)net::writeFrame(socket, response, frameLimits_,
+                            net::Deadline::after(config_.ioTimeout));
+      break;
+    }
+    if (!frame.ok()) {
+      // Truncated or timed-out mid-frame: desynced, close.
+      framesMalformed_.fetch_add(1);
+      break;
+    }
+
+    auto decoded = decodeRequest(frame.payload);
+    if (!decoded.ok()) {
+      // The stream itself is intact (whole frame consumed): report and keep
+      // the connection.  Correlation id 0 marks an undecodable request.
+      framesMalformed_.fetch_add(1);
+      const auto response =
+          encodeResponse(makeError(0, "bad_request", decoded.error));
+      if (!net::writeFrame(socket, response, frameLimits_,
+                           net::Deadline::after(config_.ioTimeout))
+               .ok()) {
+        break;
+      }
+      idleStart = std::chrono::steady_clock::now();
+      continue;
+    }
+
+    auto command = std::make_shared<PendingCommand>();
+    command->request = std::move(*decoded.request);
+    const std::uint64_t requestId = command->request.id;
+    auto future = command->promise.get_future();
+    const auto seq = enqueue(std::move(command));
+    Response response;
+    if (!seq.has_value()) {
+      response = makeError(requestId, "shutting_down",
+                           "server is draining; retry elsewhere");
+      keepServing = false;
+    } else {
+      // The arbitrator thread always fulfils admitted commands, including
+      // during drain, so this wait is bounded by the queue length.
+      response = future.get();
+    }
+    const auto encoded = encodeResponse(response);
+    if (!net::writeFrame(socket, encoded, frameLimits_,
+                         net::Deadline::after(config_.ioTimeout))
+             .ok()) {
+      // Client vanished between submitting and reading the decision.  The
+      // command already executed atomically; state stays consistent.
+      disconnectsMidRequest_.fetch_add(1);
+      break;
+    }
+    idleStart = std::chrono::steady_clock::now();
+  }
+  socket.close();
+  session->done.store(true);
+}
+
+std::optional<std::uint64_t> NegotiationServer::enqueue(
+    std::shared_ptr<PendingCommand> command) {
+  std::unique_lock<std::mutex> lock(queueMutex_);
+  queueNotFull_.wait(lock, [this] {
+    return queue_.size() < config_.commandQueueCapacity || queueClosed_;
+  });
+  if (queueClosed_) return std::nullopt;
+  const std::uint64_t seq = nextArrivalSeq_++;
+  command->arrivalSeq = seq;
+  queue_.push_back(std::move(command));
+  lock.unlock();
+  queueNotEmpty_.notify_one();
+  return seq;
+}
+
+void NegotiationServer::arbitratorLoop() {
+  for (;;) {
+    std::shared_ptr<PendingCommand> command;
+    {
+      std::unique_lock<std::mutex> lock(queueMutex_);
+      queueNotEmpty_.wait(lock,
+                          [this] { return !queue_.empty() || queueClosed_; });
+      if (queue_.empty()) return;  // closed and drained
+      command = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    queueNotFull_.notify_one();
+    Response response = execute(command->request, command->arrivalSeq);
+    response.id = command->request.id;
+    ++commandsExecuted_;
+    commandsExecutedShared_.store(commandsExecuted_);
+    command->promise.set_value(std::move(response));
+  }
+}
+
+Response NegotiationServer::execute(const Request& request,
+                                    std::uint64_t arrivalSeq) {
+  Response response;
+  response.ok = true;
+  switch (request.command) {
+    case Command::Negotiate: {
+      const auto& payload = std::get<NegotiateRequest>(request.payload);
+      // Wire clients are not clock-synchronized with the arbitrator; a
+      // release behind the (monotone) negotiation clock means "now".
+      const Time release = std::max(payload.release, arbitrator_.clock());
+      const auto decision = arbitrator_.submit(payload.spec, release);
+      NegotiateResult result;
+      result.admitted = decision.admitted;
+      result.jobId = arbitrator_.lastJobId().value();
+      result.arrivalSeq = arrivalSeq;
+      result.release = release;
+      result.chainsConsidered = decision.chainsConsidered;
+      result.chainsSchedulable = decision.chainsSchedulable;
+      if (decision.admitted) {
+        result.chainIndex = decision.schedule.chainIndex;
+        result.quality = decision.quality;
+        result.placements = decision.schedule.placements;
+        result.bindings =
+            payload.spec.chains[decision.schedule.chainIndex].bindings;
+      }
+      response.result = std::move(result);
+      return response;
+    }
+    case Command::Cancel: {
+      const auto& payload = std::get<CancelRequest>(request.payload);
+      CancelResult result;
+      result.freedTicks = arbitrator_.cancel(payload.jobId);
+      response.result = result;
+      return response;
+    }
+    case Command::Resize: {
+      const auto& payload = std::get<ResizeRequest>(request.payload);
+      if (payload.processors <= 0) {
+        return makeError(request.id, "bad_request",
+                         "RESIZE requires processors >= 1");
+      }
+      const Time when = std::max(payload.when, arbitrator_.clock());
+      const auto report = arbitrator_.resize(payload.processors, when);
+      ResizeResult result;
+      result.processorsBefore = report.processorsBefore;
+      result.processorsAfter = report.processorsAfter;
+      result.kept = report.kept;
+      result.reconfigured = report.reconfigured;
+      result.dropped = report.dropped;
+      response.result = std::move(result);
+      return response;
+    }
+    case Command::Stats: {
+      StatsResult result;
+      result.processors = arbitrator_.processors();
+      result.clock = arbitrator_.clock();
+      result.admitted = arbitrator_.admittedCount();
+      result.rejected = arbitrator_.rejectedCount();
+      result.commandsExecuted = commandsExecuted_ + 1;  // include this one
+      response.result = result;
+      return response;
+    }
+    case Command::Verify: {
+      const auto report = arbitrator_.verify();
+      VerifyResult result;
+      result.ok = report.ok;
+      result.firstViolation = report.firstViolation;
+      result.violations = report.violations;
+      response.result = std::move(result);
+      return response;
+    }
+  }
+  return makeError(request.id, "internal", "unhandled command");
+}
+
+}  // namespace tprm::service

@@ -1,0 +1,163 @@
+// tprmd: the QoS arbitrator as a long-lived negotiation service.
+//
+// Architecture (mirrors the paper's Section 3 split, across a real process
+// boundary): per-application QoS agents connect over a Unix-domain or TCP
+// loopback socket and exchange length-prefixed JSON frames; the system-wide
+// QoSArbitrator stays single-threaded behind a command queue.
+//
+//   accept thread(s) ──► session thread per connection
+//                          │  read frame, decode, validate
+//                          ▼
+//                 bounded command queue  (backpressure: enqueue blocks)
+//                          │  arrival order stamped here
+//                          ▼
+//                 arbitrator thread (single writer over QoSArbitrator)
+//                          │  response via per-command promise
+//                          ▼
+//                 session thread writes the response frame
+//
+// Failure semantics:
+//  * Commands are atomic: once enqueued they execute to completion even if
+//    the submitting client vanishes, so a mid-negotiation disconnect never
+//    leaves partial arbitrator state (verify() stays clean) — the decision
+//    simply has no reader.
+//  * Malformed frames get an error response and the connection survives;
+//    oversized or truncated frames desynchronize the stream, so the server
+//    sends a best-effort error and closes that connection only.
+//  * stop() drains: stop accepting, let every session finish its in-flight
+//    request, execute everything already queued, then join.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/socket.h"
+#include "qos/qos.h"
+#include "service/protocol.h"
+
+namespace tprm::service {
+
+struct ServerConfig {
+  /// Machine size the arbitrator manages.
+  int processors = 32;
+  /// Admission heuristic configuration (Section 5.2 defaults).
+  sched::GreedyOptions options = {};
+  /// Unix-domain listening path; empty = no Unix listener.
+  std::string unixPath;
+  /// TCP loopback listener; nullopt = none, 0 = ephemeral (see tcpPort()).
+  std::optional<std::uint16_t> tcpPort;
+  /// Per-frame payload cap for both directions.
+  std::size_t maxFrameBytes = 1 << 20;
+  /// Commands admitted but not yet executed; enqueue blocks when full.
+  std::size_t commandQueueCapacity = 256;
+  /// Sessions beyond this are refused at accept with a shutting_down-style
+  /// error frame.
+  std::size_t maxSessions = 128;
+  /// How long a connection may sit idle between requests before the server
+  /// closes it.
+  std::chrono::milliseconds idleTimeout{30'000};
+  /// Budget for finishing one frame / one response once started.
+  std::chrono::milliseconds ioTimeout{5'000};
+};
+
+/// Counters exposed for tests and the STATS command.  Snapshot semantics.
+struct ServerCounters {
+  std::uint64_t connectionsAccepted = 0;
+  std::uint64_t connectionsRefused = 0;
+  std::uint64_t framesMalformed = 0;
+  std::uint64_t framesOversized = 0;
+  std::uint64_t commandsExecuted = 0;
+  std::uint64_t disconnectsMidRequest = 0;
+};
+
+class NegotiationServer {
+ public:
+  explicit NegotiationServer(ServerConfig config);
+  ~NegotiationServer();
+
+  NegotiationServer(const NegotiationServer&) = delete;
+  NegotiationServer& operator=(const NegotiationServer&) = delete;
+
+  /// Binds the configured listeners and starts the service threads.
+  /// Returns false (with *error set) if no listener could be bound.
+  [[nodiscard]] bool start(std::string* error);
+
+  /// Graceful drain; idempotent.  Blocks until every session and the
+  /// arbitrator thread have exited.
+  void stop();
+
+  [[nodiscard]] bool running() const { return started_ && !stopped_; }
+
+  /// Actual TCP port (after an ephemeral bind); 0 if no TCP listener.
+  [[nodiscard]] std::uint16_t tcpPort() const { return boundTcpPort_; }
+  [[nodiscard]] const std::string& unixPath() const {
+    return config_.unixPath;
+  }
+
+  [[nodiscard]] ServerCounters counters() const;
+
+ private:
+  struct PendingCommand;
+  struct Session;
+
+  void acceptLoop(net::Listener* listener);
+  void sessionLoop(Session* session);
+  void arbitratorLoop();
+
+  /// Enqueues a decoded command, stamping its arrival sequence.  Blocks
+  /// while the queue is full.  Returns nullopt when draining (caller sends
+  /// shutting_down).
+  std::optional<std::uint64_t> enqueue(std::shared_ptr<PendingCommand> cmd);
+
+  Response execute(const Request& request, std::uint64_t arrivalSeq);
+
+  void reapFinishedSessions();
+
+  ServerConfig config_;
+  net::FrameLimits frameLimits_;
+
+  net::Listener unixListener_;
+  net::Listener tcpListener_;
+  std::uint16_t boundTcpPort_ = 0;
+
+  std::vector<std::thread> acceptThreads_;
+  std::thread arbitratorThread_;
+
+  std::mutex sessionsMutex_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+
+  std::mutex queueMutex_;
+  std::condition_variable queueNotEmpty_;
+  std::condition_variable queueNotFull_;
+  std::deque<std::shared_ptr<PendingCommand>> queue_;
+  std::uint64_t nextArrivalSeq_ = 0;
+  bool queueClosed_ = false;  // guarded by queueMutex_
+
+  /// Owned exclusively by the arbitrator thread after start().
+  qos::QoSArbitrator arbitrator_;
+  std::uint64_t commandsExecuted_ = 0;  // arbitrator thread only
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+
+  // Counters (atomics: bumped from session/accept threads, read anywhere).
+  std::atomic<std::uint64_t> connectionsAccepted_{0};
+  std::atomic<std::uint64_t> connectionsRefused_{0};
+  std::atomic<std::uint64_t> framesMalformed_{0};
+  std::atomic<std::uint64_t> framesOversized_{0};
+  std::atomic<std::uint64_t> commandsExecutedShared_{0};
+  std::atomic<std::uint64_t> disconnectsMidRequest_{0};
+};
+
+}  // namespace tprm::service

@@ -1,0 +1,89 @@
+// tprmd — the TPRM QoS arbitrator as a daemon.
+//
+//   tprmd --unix=/tmp/tprmd.sock            # Unix-domain endpoint
+//   tprmd --tcp-port=7411                   # TCP loopback endpoint
+//   tprmd --procs=64 --unix=... --tcp-port=0
+//
+// Runs until SIGINT/SIGTERM, then drains gracefully: in-flight
+// negotiations complete and are answered before the process exits.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "common/flags.h"
+#include "common/log.h"
+#include "service/server.h"
+
+namespace {
+
+std::atomic<bool> gShutdown{false};
+
+void onSignal(int) { gShutdown.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tprm;
+  const Flags flags(argc, argv);
+  const auto unknown = flags.unknownAgainst(
+      {"procs", "unix", "tcp-port", "max-frame-kb", "queue-cap",
+       "max-sessions", "idle-timeout-ms", "io-timeout-ms", "verbose"});
+  if (!unknown.empty()) {
+    std::fprintf(stderr, "tprmd: unknown flag --%s\n", unknown.front().c_str());
+    return 2;
+  }
+  if (flags.getBool("verbose", false)) setLogLevel(LogLevel::Info);
+
+  service::ServerConfig config;
+  config.processors = static_cast<int>(flags.getInt("procs", 32));
+  config.unixPath = flags.getString("unix", "");
+  if (flags.has("tcp-port")) {
+    config.tcpPort = static_cast<std::uint16_t>(flags.getInt("tcp-port", 0));
+  }
+  if (config.unixPath.empty() && !config.tcpPort.has_value()) {
+    config.unixPath = "/tmp/tprmd.sock";
+  }
+  config.maxFrameBytes =
+      static_cast<std::size_t>(flags.getInt("max-frame-kb", 1024)) * 1024;
+  config.commandQueueCapacity =
+      static_cast<std::size_t>(flags.getInt("queue-cap", 256));
+  config.maxSessions =
+      static_cast<std::size_t>(flags.getInt("max-sessions", 128));
+  config.idleTimeout =
+      std::chrono::milliseconds(flags.getInt("idle-timeout-ms", 30'000));
+  config.ioTimeout =
+      std::chrono::milliseconds(flags.getInt("io-timeout-ms", 5'000));
+
+  service::NegotiationServer server(config);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "tprmd: failed to start: %s\n", error.c_str());
+    return 1;
+  }
+  if (!server.unixPath().empty()) {
+    std::printf("tprmd: listening on unix:%s\n", server.unixPath().c_str());
+  }
+  if (server.tcpPort() != 0) {
+    std::printf("tprmd: listening on tcp:127.0.0.1:%u\n",
+                static_cast<unsigned>(server.tcpPort()));
+  }
+  std::printf("tprmd: managing %d processors\n", config.processors);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+  while (!gShutdown.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("tprmd: draining...\n");
+  server.stop();
+  const auto counters = server.counters();
+  std::printf("tprmd: served %llu commands over %llu connections; bye\n",
+              static_cast<unsigned long long>(counters.commandsExecuted),
+              static_cast<unsigned long long>(counters.connectionsAccepted));
+  return 0;
+}

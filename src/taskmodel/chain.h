@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,10 @@ enum class QualityComposition {
 struct Chain {
   std::string name;
   std::vector<TaskSpec> tasks;
+  /// Control-parameter assignment realising this path (Section 3.2).  The
+  /// scheduler ignores it; it rides along so a remote QoS agent receives the
+  /// bindings of the granted path over the wire.  Empty for plain chains.
+  std::map<std::string, std::int64_t> bindings;
 
   /// Total processor-ticks over all tasks.
   [[nodiscard]] std::int64_t totalArea() const;

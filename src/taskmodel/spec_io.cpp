@@ -1,12 +1,11 @@
 #include "taskmodel/spec_io.h"
 
+#include <cmath>
 #include <sstream>
-
-#include "common/json.h"
 
 namespace tprm::task {
 
-std::string toJson(const TunableJobSpec& spec) {
+JsonValue toJsonValue(const TunableJobSpec& spec) {
   JsonValue::Array chains;
   for (const auto& chain : spec.chains) {
     JsonValue::Array tasks;
@@ -24,6 +23,13 @@ std::string toJson(const TunableJobSpec& spec) {
     }
     JsonValue::Object chainObject;
     chainObject["name"] = chain.name;
+    if (!chain.bindings.empty()) {
+      JsonValue::Object bindings;
+      for (const auto& [param, value] : chain.bindings) {
+        bindings[param] = value;
+      }
+      chainObject["bindings"] = std::move(bindings);
+    }
     chainObject["tasks"] = std::move(tasks);
     chains.emplace_back(std::move(chainObject));
   }
@@ -35,7 +41,11 @@ std::string toJson(const TunableJobSpec& spec) {
     root["qualityComposition"] = "multiplicative";
   }
   root["chains"] = std::move(chains);
-  return JsonValue(std::move(root)).dump();
+  return JsonValue(std::move(root));
+}
+
+std::string toJson(const TunableJobSpec& spec) {
+  return toJsonValue(spec).dump();
 }
 
 namespace {
@@ -49,7 +59,10 @@ class SpecReader {
       return fail("JSON error at byte " + std::to_string(parsed.errorOffset) +
                   ": " + parsed.error);
     }
-    const JsonValue& root = *parsed.value;
+    return readValue(*parsed.value);
+  }
+
+  SpecParseResult readValue(const JsonValue& root) {
     if (!root.isObject()) return fail("top level must be an object");
 
     TunableJobSpec spec;
@@ -108,6 +121,21 @@ class SpecReader {
         return std::nullopt;
       }
       chain.name = name->asString();
+    }
+    if (const auto* bindings = value.find("bindings")) {
+      if (!bindings->isObject()) {
+        error_ = where.str() + ".bindings must be an object";
+        return std::nullopt;
+      }
+      for (const auto& [param, bound] : bindings->asObject()) {
+        if (!bound.isNumber() ||
+            bound.asNumber() != std::floor(bound.asNumber())) {
+          error_ = where.str() + ".bindings." + param +
+                   " must be an integer";
+          return std::nullopt;
+        }
+        chain.bindings[param] = static_cast<std::int64_t>(bound.asNumber());
+      }
     }
     const auto* tasks = value.find("tasks");
     if (tasks == nullptr || !tasks->isArray()) {
@@ -187,6 +215,10 @@ class SpecReader {
 
 SpecParseResult jobSpecFromJson(const std::string& text) {
   return SpecReader().read(text);
+}
+
+SpecParseResult jobSpecFromJsonValue(const JsonValue& root) {
+  return SpecReader().readValue(root);
 }
 
 }  // namespace tprm::task

@@ -13,6 +13,7 @@
 //     "chains": [
 //       {
 //         "name": "shape1",
+//         "bindings": {"g": 16},          // optional; control parameters
 //         "tasks": [
 //           {
 //             "name": "wide",
@@ -31,12 +32,17 @@
 #include <optional>
 #include <string>
 
+#include "common/json.h"
 #include "taskmodel/chain.h"
 
 namespace tprm::task {
 
 /// Serialises a spec to the schema above (stable, pretty-printed).
 [[nodiscard]] std::string toJson(const TunableJobSpec& spec);
+
+/// Serialises a spec to a JsonValue (for embedding in larger documents, e.g.
+/// negotiation-service frames).
+[[nodiscard]] JsonValue toJsonValue(const TunableJobSpec& spec);
 
 /// Deserialisation outcome: a spec or a descriptive error.
 struct SpecParseResult {
@@ -50,5 +56,9 @@ struct SpecParseResult {
 /// fields, wrong types, and structurally invalid specs (per task::validate)
 /// are reported as errors, never aborts.
 [[nodiscard]] SpecParseResult jobSpecFromJson(const std::string& text);
+
+/// Same, from an already parsed JSON value (the wire protocol embeds specs
+/// inside request frames).
+[[nodiscard]] SpecParseResult jobSpecFromJsonValue(const JsonValue& root);
 
 }  // namespace tprm::task

@@ -290,7 +290,10 @@ task::TunableJobSpec Program::toJobSpec(std::size_t maxPaths) const {
   task::TunableJobSpec spec;
   spec.name = name_;
   spec.chains.reserve(paths.size());
-  for (const auto& path : paths) spec.chains.push_back(path.chain);
+  for (const auto& path : paths) {
+    spec.chains.push_back(path.chain);
+    spec.chains.back().bindings = path.bindings;
+  }
   const auto errors = task::validate(spec);
   TPRM_CHECK(errors.empty(), "enumerated job spec failed validation");
   return spec;

@@ -79,6 +79,64 @@ TEST(JsonParse, Errors) {
   EXPECT_NE(parseError(R"("\ud800")"), "");  // surrogate
 }
 
+TEST(JsonParse, DepthLimitRejectsDeepNesting) {
+  // Wire input is untrusted: a few KB of "[[[[..." must not blow the stack.
+  const std::string deepArrays(10'000, '[');
+  EXPECT_NE(parseError(deepArrays), "");
+  std::string deepObjects;
+  for (int i = 0; i < 10'000; ++i) deepObjects += "{\"k\":";
+  EXPECT_NE(parseError(deepObjects), "");
+
+  // Exactly at the limit parses; one past it does not.
+  JsonParseOptions options;
+  options.maxDepth = 4;
+  const std::string atLimit = "[[[[1]]]]";
+  EXPECT_TRUE(parseJson(atLimit, options).ok());
+  const std::string pastLimit = "[[[[[1]]]]]";
+  const auto rejected = parseJson(pastLimit, options);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.error.find("nesting"), std::string::npos);
+}
+
+TEST(JsonParse, DepthIsReleasedWhenContainersClose) {
+  // Siblings do not accumulate depth: many shallow containers are fine even
+  // under a tight limit.
+  JsonParseOptions options;
+  options.maxDepth = 2;
+  std::string siblings = "[";
+  for (int i = 0; i < 1'000; ++i) {
+    siblings += i == 0 ? "[1]" : ",[1]";
+  }
+  siblings += "]";
+  EXPECT_TRUE(parseJson(siblings, options).ok());
+}
+
+TEST(JsonParse, MalformedWireCorpus) {
+  // Truncated frames: every prefix of a valid document fails cleanly.
+  const std::string document = R"({"cmd": "NEGOTIATE", "spec": {"a": [1, 2]}})";
+  for (std::size_t n = 0; n < document.size(); ++n) {
+    const auto result = parseJson(document.substr(0, n));
+    EXPECT_FALSE(result.ok()) << "prefix of length " << n;
+  }
+  // Bad escapes.
+  EXPECT_NE(parseError(R"("\q")"), "");
+  EXPECT_NE(parseError(R"("\u12")"), "");        // truncated \u
+  EXPECT_NE(parseError(R"("\u12zz")"), "");      // non-hex \u
+  EXPECT_NE(parseError("\"a\\"), "");            // escape at end of input
+  // Control characters must be escaped.
+  EXPECT_NE(parseError("\"a\nb\""), "");
+  // Huge numbers: overflow is an error, not an abort or infinity.
+  EXPECT_NE(parseError("1e999"), "");
+  EXPECT_NE(parseError("-1e999"), "");
+  EXPECT_NE(parseError(std::string(400, '9')), "");
+  // Large-but-representable values still parse.
+  EXPECT_DOUBLE_EQ(parseOk("1e308").asNumber(), 1e308);
+  // Lone structural tokens.
+  for (const char* text : {"]", "}", ",", ":", "[,]", "{,}", "[1,]", "{\"a\":}"}) {
+    EXPECT_NE(parseError(text), "") << text;
+  }
+}
+
 TEST(JsonParse, ErrorOffsetPointsNearProblem) {
   const auto result = parseJson("[1, 2, oops]");
   ASSERT_FALSE(result.ok());

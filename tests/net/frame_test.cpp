@@ -1,0 +1,248 @@
+// Framing and socket-layer tests over socketpair(2): no listeners involved,
+// so these exercise exactly the read/write/deadline logic.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace tprm::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// A connected pair of stream sockets.
+struct Pair {
+  Socket a;
+  Socket b;
+
+  Pair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = Socket(fds[0]);
+    b = Socket(fds[1]);
+  }
+};
+
+std::string bigEndianPrefix(std::uint32_t length) {
+  std::string prefix(4, '\0');
+  prefix[0] = static_cast<char>((length >> 24) & 0xff);
+  prefix[1] = static_cast<char>((length >> 16) & 0xff);
+  prefix[2] = static_cast<char>((length >> 8) & 0xff);
+  prefix[3] = static_cast<char>(length & 0xff);
+  return prefix;
+}
+
+TEST(Frame, RoundTripsPayloads) {
+  Pair pair;
+  const FrameLimits limits;
+  for (const std::string& payload :
+       {std::string(""), std::string("{}"), std::string(4096, 'x')}) {
+    ASSERT_TRUE(
+        writeFrame(pair.a, payload, limits, Deadline::after(1s)).ok());
+    auto read = readFrame(pair.b, limits, Deadline::after(1s),
+                          Deadline::after(1s));
+    ASSERT_TRUE(read.ok()) << read.message;
+    EXPECT_EQ(read.payload, payload);
+  }
+}
+
+TEST(Frame, ReassemblesByteAtATimeDelivery) {
+  Pair pair;
+  const FrameLimits limits;
+  const std::string payload = "{\"cmd\":\"STATS\"}";
+  const std::string wire =
+      bigEndianPrefix(static_cast<std::uint32_t>(payload.size())) + payload;
+  std::thread writer([&] {
+    for (const char byte : wire) {
+      ASSERT_TRUE(
+          pair.a.writeAll(&byte, 1, Deadline::after(1s)).ok());
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+  auto read =
+      readFrame(pair.b, limits, Deadline::after(5s), Deadline::after(5s));
+  writer.join();
+  ASSERT_TRUE(read.ok()) << read.message;
+  EXPECT_EQ(read.payload, payload);
+}
+
+TEST(Frame, RejectsOversizedDeclarationWithoutReadingPayload) {
+  Pair pair;
+  FrameLimits limits;
+  limits.maxPayloadBytes = 16;
+  // Declare 1 GiB; send only the prefix.  The reader must refuse after the
+  // four length bytes instead of waiting for (or allocating) the payload.
+  const auto prefix = bigEndianPrefix(1u << 30);
+  ASSERT_TRUE(
+      pair.a.writeAll(prefix.data(), prefix.size(), Deadline::after(1s))
+          .ok());
+  auto read =
+      readFrame(pair.b, limits, Deadline::after(1s), Deadline::after(1s));
+  EXPECT_EQ(read.status, FrameStatus::TooLarge);
+}
+
+TEST(Frame, WriteRefusesOversizedPayloadLocally) {
+  Pair pair;
+  FrameLimits limits;
+  limits.maxPayloadBytes = 8;
+  const auto result = writeFrame(pair.a, std::string(64, 'y'), limits,
+                                 Deadline::after(1s));
+  EXPECT_EQ(result.status, FrameStatus::TooLarge);
+  // Nothing hit the wire: the peer sees silence, not a mangled frame.
+  auto read = readFrame(pair.b, limits, Deadline::after(50ms),
+                        Deadline::after(50ms));
+  EXPECT_EQ(read.status, FrameStatus::Timeout);
+}
+
+TEST(Frame, IdleSilenceTimesOut) {
+  Pair pair;
+  const FrameLimits limits;
+  auto read = readFrame(pair.b, limits, Deadline::after(50ms),
+                        Deadline::after(50ms));
+  EXPECT_EQ(read.status, FrameStatus::Timeout);
+}
+
+TEST(Frame, CleanEofBetweenFramesIsClosed) {
+  Pair pair;
+  const FrameLimits limits;
+  pair.a.close();
+  auto read =
+      readFrame(pair.b, limits, Deadline::after(1s), Deadline::after(1s));
+  EXPECT_EQ(read.status, FrameStatus::Closed);
+}
+
+TEST(Frame, TruncationMidFrameIsAnError) {
+  Pair pair;
+  const FrameLimits limits;
+  // Declare 10 bytes, deliver 3, hang up.
+  const auto prefix = bigEndianPrefix(10);
+  ASSERT_TRUE(
+      pair.a.writeAll(prefix.data(), prefix.size(), Deadline::after(1s))
+          .ok());
+  ASSERT_TRUE(pair.a.writeAll("abc", 3, Deadline::after(1s)).ok());
+  pair.a.close();
+  auto read =
+      readFrame(pair.b, limits, Deadline::after(1s), Deadline::after(1s));
+  EXPECT_EQ(read.status, FrameStatus::Error);
+}
+
+TEST(Frame, TruncationInsidePrefixIsAnError) {
+  Pair pair;
+  const FrameLimits limits;
+  ASSERT_TRUE(pair.a.writeAll("\0\0", 2, Deadline::after(1s)).ok());
+  pair.a.close();
+  auto read =
+      readFrame(pair.b, limits, Deadline::after(1s), Deadline::after(1s));
+  EXPECT_EQ(read.status, FrameStatus::Error);
+}
+
+TEST(Frame, BackToBackFramesStayInSync) {
+  Pair pair;
+  const FrameLimits limits;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(writeFrame(pair.a, "frame-" + std::to_string(i), limits,
+                           Deadline::after(1s))
+                    .ok());
+  }
+  for (int i = 0; i < 10; ++i) {
+    auto read = readFrame(pair.b, limits, Deadline::after(1s),
+                          Deadline::after(1s));
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read.payload, "frame-" + std::to_string(i));
+  }
+}
+
+TEST(Socket, WriteToClosedPeerReportsClosedNotSigpipe) {
+  Pair pair;
+  pair.b.close();
+  // The first write may land in the kernel buffer; keep writing until the
+  // RST surfaces.  What must never happen is process death by SIGPIPE.
+  IoResult result;
+  for (int i = 0; i < 100; ++i) {
+    result = pair.a.writeAll(std::string(1024, 'z').data(), 1024,
+                             Deadline::after(100ms));
+    if (!result.ok()) break;
+  }
+  EXPECT_NE(result.status, IoStatus::Ok);
+}
+
+TEST(Socket, ReadExactTimesOutOnPartialData) {
+  Pair pair;
+  ASSERT_TRUE(pair.a.writeAll("ab", 2, Deadline::after(1s)).ok());
+  char buffer[8] = {};
+  const auto result =
+      pair.b.readExact(buffer, sizeof(buffer), Deadline::after(50ms));
+  EXPECT_EQ(result.status, IoStatus::Timeout);
+}
+
+TEST(Deadline, PollTimeoutRoundsUpAndClamps) {
+  EXPECT_EQ(Deadline::infinite().pollTimeoutMs(), -1);
+  EXPECT_FALSE(Deadline::infinite().expired());
+  const auto expired = Deadline::after(0ms);
+  EXPECT_EQ(expired.pollTimeoutMs(), 0);
+  const auto future = Deadline::after(10s);
+  EXPECT_GT(future.pollTimeoutMs(), 9000);
+}
+
+TEST(Listener, TcpEphemeralPortResolvesAndAccepts) {
+  std::string error;
+  auto listener = Listener::listenTcp(0, &error);
+  ASSERT_TRUE(listener.valid()) << error;
+  ASSERT_NE(listener.boundPort(), 0);
+
+  auto connected =
+      connectTcp("127.0.0.1", listener.boundPort(), Deadline::after(1s));
+  ASSERT_TRUE(connected.ok()) << connected.error;
+  auto accepted = listener.accept(Deadline::after(1s));
+  ASSERT_EQ(accepted.status, IoStatus::Ok) << accepted.message;
+
+  const FrameLimits limits;
+  ASSERT_TRUE(
+      writeFrame(connected.socket, "ping", limits, Deadline::after(1s)).ok());
+  auto read = readFrame(accepted.socket, limits, Deadline::after(1s),
+                        Deadline::after(1s));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.payload, "ping");
+}
+
+TEST(Listener, UnixSocketBindsAcceptsAndUnlinksOnClose) {
+  const std::string path =
+      "/tmp/tprm-net-test-" + std::to_string(::getpid()) + ".sock";
+  std::string error;
+  {
+    auto listener = Listener::listenUnix(path, &error);
+    ASSERT_TRUE(listener.valid()) << error;
+    auto connected = connectUnix(path, Deadline::after(1s));
+    ASSERT_TRUE(connected.ok()) << connected.error;
+    auto accepted = listener.accept(Deadline::after(1s));
+    ASSERT_EQ(accepted.status, IoStatus::Ok) << accepted.message;
+  }
+  // RAII close unlinked the socket file.
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);
+  // And a stale file at the path is replaced by the next bind.
+  {
+    auto first = Listener::listenUnix(path, &error);
+    ASSERT_TRUE(first.valid()) << error;
+  }
+  auto second = Listener::listenUnix(path, &error);
+  EXPECT_TRUE(second.valid()) << error;
+}
+
+TEST(Listener, AcceptTimesOutWhenNobodyConnects) {
+  std::string error;
+  auto listener = Listener::listenTcp(0, &error);
+  ASSERT_TRUE(listener.valid()) << error;
+  const auto accepted = listener.accept(Deadline::after(50ms));
+  EXPECT_EQ(accepted.status, IoStatus::Timeout);
+}
+
+}  // namespace
+}  // namespace tprm::net

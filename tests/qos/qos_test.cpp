@@ -49,6 +49,21 @@ TEST(QoSArbitrator, AdmitsAndRecords) {
   EXPECT_EQ(arbitrator.ledger().reservations().size(), 1u);
 }
 
+TEST(QoSArbitrator, LastJobIdIsEmptyBeforeFirstSubmission) {
+  // Regression: `nextJobId_ - 1` used to wrap to 2^64-1 on a fresh
+  // arbitrator.
+  QoSArbitrator arbitrator(4);
+  EXPECT_FALSE(arbitrator.lastJobId().has_value());
+  auto program = twoPathProgram();
+  const auto spec = program->toJobSpec();
+  (void)arbitrator.submit(spec, 0);
+  ASSERT_TRUE(arbitrator.lastJobId().has_value());
+  EXPECT_EQ(*arbitrator.lastJobId(), 0u);
+  // Ids count every submission, admitted or not.
+  (void)arbitrator.submit(spec, 0);
+  EXPECT_EQ(*arbitrator.lastJobId(), 1u);
+}
+
 TEST(QoSArbitrator, ClockAdvancesWithReleases) {
   QoSArbitrator arbitrator(4);
   auto program = twoPathProgram();
@@ -96,7 +111,7 @@ TEST(QoSArbitrator, CancelFreesRemainingCapacity) {
   const auto spec = program->toJobSpec();
   const auto decision = arbitrator.submit(spec, 0);
   ASSERT_TRUE(decision.admitted);
-  const auto jobId = arbitrator.lastJobId();
+  const auto jobId = arbitrator.lastJobId().value();
   const auto freed = arbitrator.cancel(jobId);
   EXPECT_GT(freed, 0);
   // Cancelling again is a no-op.

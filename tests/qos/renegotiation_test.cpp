@@ -91,7 +91,7 @@ TEST(Renegotiation, ShrinkDropsWhatCannotFit) {
   // A job that needs 12 processors can never run on 8.
   ASSERT_TRUE(
       arbitrator.submit(rigidJob(12, 30.0, 500.0), 0).admitted);
-  const auto jobId = arbitrator.lastJobId();
+  const auto jobId = arbitrator.lastJobId().value();
   // Resize before it starts... it starts at 0; resize at 0 pins the running
   // task; 12 > 8 -> dropped.
   const auto report = arbitrator.resize(8, 0);
@@ -102,7 +102,7 @@ TEST(Renegotiation, ShrinkDropsWhatCannotFit) {
 TEST(Renegotiation, RunningTaskPinnedWhenItFits) {
   QoSArbitrator arbitrator(16);
   ASSERT_TRUE(arbitrator.submit(rigidJob(6, 30.0, 500.0), 0).admitted);
-  const auto jobId = arbitrator.lastJobId();
+  const auto jobId = arbitrator.lastJobId().value();
   // Mid-execution shrink to 8: the running 6-processor task fits and must
   // not move.
   const auto report = arbitrator.resize(8, ticksFromUnits(10.0));
@@ -123,7 +123,7 @@ TEST(Renegotiation, NotYetStartedJobMaySwitchChain) {
   ASSERT_TRUE(arbitrator.submit(rigidJob(8, 10.0, 1000.0), 0).admitted);
   const auto decision = arbitrator.submit(tunableTwoShape(), 0);
   ASSERT_TRUE(decision.admitted);
-  const auto tunId = arbitrator.lastJobId();
+  const auto tunId = arbitrator.lastJobId().value();
   EXPECT_EQ(decision.schedule.chainIndex, 0u);  // wide-first on the tie
   EXPECT_GE(decision.schedule.placements[0].interval.begin,
             ticksFromUnits(10.0));
@@ -146,7 +146,7 @@ TEST(Renegotiation, PartiallyExecutedJobKeepsItsChainSuffix) {
   QoSArbitrator arbitrator(16);
   const auto decision = arbitrator.submit(tunableTwoShape(), 0);
   ASSERT_TRUE(decision.admitted);
-  const auto tunId = arbitrator.lastJobId();
+  const auto tunId = arbitrator.lastJobId().value();
   ASSERT_EQ(decision.schedule.placements.size(), 2u);
   const Time firstEnd = decision.schedule.placements[0].interval.end;
 
@@ -161,7 +161,7 @@ TEST(Renegotiation, DeadlinePassedMeansDrop) {
   QoSArbitrator arbitrator(16);
   // Tight deadline: duration 30, deadline 35.
   ASSERT_TRUE(arbitrator.submit(rigidJob(12, 30.0, 35.0), 0).admitted);
-  const auto jobId = arbitrator.lastJobId();
+  const auto jobId = arbitrator.lastJobId().value();
   // The machine loses capacity right away; the running task can't be pinned
   // (12 > 8) and a restart cannot meet the deadline either.
   const auto report = arbitrator.resize(8, ticksFromUnits(1.0));

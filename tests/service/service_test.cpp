@@ -1,0 +1,565 @@
+// Loopback integration tests for the negotiation service: a real
+// NegotiationServer on a private Unix socket (or TCP loopback), real
+// QoSAgentClient connections, real frames.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/socket.h"
+#include "qos/qos.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "taskmodel/spec_io.h"
+
+namespace tprm::service {
+namespace {
+
+using namespace std::chrono_literals;
+
+int gSocketCounter = 0;
+
+std::string freshSocketPath() {
+  return "/tmp/tprm-svc-test-" + std::to_string(::getpid()) + "-" +
+         std::to_string(gSocketCounter++) + ".sock";
+}
+
+ServerConfig unixConfig(int processors) {
+  ServerConfig config;
+  config.processors = processors;
+  config.unixPath = freshSocketPath();
+  return config;
+}
+
+ClientConfig clientFor(const NegotiationServer& server) {
+  ClientConfig config;
+  config.unixPath = server.unixPath();
+  return config;
+}
+
+/// A small tunable job whose shape depends on `salt`, so concurrent
+/// submissions contend in varied ways.  All chains fit an 8-processor
+/// machine in isolation; under load some submissions get rejected, which is
+/// exactly what the equivalence test wants to reproduce.
+task::TunableJobSpec makeSpec(int salt) {
+  task::TunableJobSpec spec;
+  spec.name = "job-" + std::to_string(salt);
+  const int wide = 2 + (salt % 4);             // 2..5 processors
+  const double dur = 10.0 + (salt % 7) * 5.0;  // 10..40 units
+  task::Chain eager;
+  eager.name = "eager";
+  eager.bindings = {{"level", salt % 3}};
+  eager.tasks = {
+      task::TaskSpec::rigid("burst", wide, ticksFromUnits(dur),
+                            ticksFromUnits(60.0)),
+  };
+  task::Chain lean;
+  lean.name = "lean";
+  lean.bindings = {{"level", 9}};
+  lean.tasks = {
+      task::TaskSpec::rigid("burst", 1, ticksFromUnits(dur * 1.5),
+                            ticksFromUnits(90.0), /*quality=*/0.6),
+  };
+  spec.chains = {eager, lean};
+  return spec;
+}
+
+TEST(Service, NegotiateCancelStatsVerifyOverUnixSocket) {
+  NegotiationServer server(unixConfig(16));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  QoSAgentClient client(clientFor(server));
+  const auto decision = client.negotiate(makeSpec(1), /*release=*/0);
+  ASSERT_TRUE(decision.ok()) << decision.error.message;
+  EXPECT_TRUE(decision->admitted);
+  EXPECT_EQ(decision->chainIndex, 0u);  // machine is empty: best chain wins
+  EXPECT_FALSE(decision->placements.empty());
+  EXPECT_EQ(decision->bindings.at("level"), 1);
+
+  const auto stats = client.stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->processors, 16);
+  EXPECT_EQ(stats->admitted, 1u);
+
+  const auto cancelled = client.cancel(decision->jobId);
+  ASSERT_TRUE(cancelled.ok());
+  EXPECT_GT(cancelled->freedTicks, 0);
+
+  const auto verify = client.verify();
+  ASSERT_TRUE(verify.ok());
+  EXPECT_TRUE(verify->ok) << verify->firstViolation;
+  server.stop();
+}
+
+TEST(Service, NegotiateOverTcpLoopback) {
+  ServerConfig config;
+  config.processors = 8;
+  config.tcpPort = 0;  // ephemeral
+  NegotiationServer server(config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  ASSERT_NE(server.tcpPort(), 0);
+
+  ClientConfig clientConfig;
+  clientConfig.tcpPort = server.tcpPort();
+  QoSAgentClient client(clientConfig);
+  const auto decision = client.negotiate(makeSpec(3), 0);
+  ASSERT_TRUE(decision.ok()) << decision.error.message;
+  EXPECT_TRUE(decision->admitted);
+  const auto verify = client.verify();
+  ASSERT_TRUE(verify.ok());
+  EXPECT_TRUE(verify->ok);
+  server.stop();
+}
+
+TEST(Service, ResizeAcrossTheWire) {
+  NegotiationServer server(unixConfig(8));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  QoSAgentClient client(clientFor(server));
+  ASSERT_TRUE(client.negotiate(makeSpec(2), 0).ok());
+
+  const auto grown = client.resize(12, /*when=*/0);
+  ASSERT_TRUE(grown.ok()) << grown.error.message;
+  EXPECT_EQ(grown->processorsBefore, 8);
+  EXPECT_EQ(grown->processorsAfter, 12);
+  EXPECT_TRUE(grown->dropped.empty());  // growing never drops
+
+  const auto bad = client.resize(0, 0);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error.status, ClientStatus::ServerError);
+  EXPECT_EQ(bad.error.code, "bad_request");
+
+  const auto verify = client.verify();
+  ASSERT_TRUE(verify.ok());
+  EXPECT_TRUE(verify->ok) << verify->firstViolation;
+  server.stop();
+}
+
+// The tentpole acceptance test: N concurrent clients against the service
+// produce exactly the decisions of the in-process arbitrator replayed in
+// the server's stamped arrival order.
+TEST(Service, ConcurrentClientsMatchInProcessReplayInArrivalOrder) {
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 25;
+  const int processors = 8;
+
+  NegotiationServer server(unixConfig(processors));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  struct Observed {
+    task::TunableJobSpec spec;
+    NegotiateResult result;
+  };
+  std::vector<std::vector<Observed>> perClient(kClients);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      QoSAgentClient client(clientFor(server));
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const auto spec = makeSpec(c * kRequestsPerClient + r);
+        const auto decision = client.negotiate(spec, /*release=*/0);
+        ASSERT_TRUE(decision.ok()) << decision.error.message;
+        perClient[static_cast<std::size_t>(c)].push_back({spec, *decision});
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  // Flatten and order by the server-stamped arrival sequence.
+  std::vector<const Observed*> byArrival;
+  for (const auto& observations : perClient) {
+    for (const auto& observed : observations) {
+      byArrival.push_back(&observed);
+    }
+  }
+  ASSERT_EQ(byArrival.size(),
+            static_cast<std::size_t>(kClients * kRequestsPerClient));
+  std::sort(byArrival.begin(), byArrival.end(),
+            [](const Observed* a, const Observed* b) {
+              return a->result.arrivalSeq < b->result.arrivalSeq;
+            });
+  // Sequence numbers are dense: one per executed command, no gaps.
+  for (std::size_t i = 0; i < byArrival.size(); ++i) {
+    EXPECT_EQ(byArrival[i]->result.arrivalSeq, i);
+  }
+
+  // Replay into a fresh in-process arbitrator in that order: every decision
+  // must match exactly (admission, chain, quality, placements, job ids).
+  qos::QoSArbitrator replay(processors);
+  for (const auto* observed : byArrival) {
+    const auto decision =
+        replay.submit(observed->spec, observed->result.release);
+    ASSERT_EQ(replay.lastJobId().value(), observed->result.jobId);
+    ASSERT_EQ(decision.admitted, observed->result.admitted)
+        << "arrivalSeq " << observed->result.arrivalSeq;
+    if (decision.admitted) {
+      EXPECT_EQ(decision.schedule.chainIndex, observed->result.chainIndex);
+      EXPECT_EQ(decision.quality, observed->result.quality);
+      EXPECT_EQ(decision.schedule.placements, observed->result.placements);
+    }
+  }
+  const auto replayReport = replay.verify();
+  EXPECT_TRUE(replayReport.ok) << replayReport.firstViolation;
+
+  // Under 8-way contention on an 8-processor machine some submissions must
+  // have been rejected, or the test exercised nothing.
+  QoSAgentClient client(clientFor(server));
+  const auto stats = client.stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->admitted, 0u);
+  EXPECT_GT(stats->rejected, 0u);
+  const auto verify = client.verify();
+  ASSERT_TRUE(verify.ok());
+  EXPECT_TRUE(verify->ok) << verify->firstViolation;
+  server.stop();
+}
+
+// Kill the client the instant the request is written: the command still
+// executes atomically and the ledger stays consistent.
+TEST(Service, DisconnectMidNegotiationLeavesArbitratorClean) {
+  NegotiationServer server(unixConfig(8));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  for (int i = 0; i < 5; ++i) {
+    auto connected =
+        net::connectUnix(server.unixPath(), net::Deadline::after(1s));
+    ASSERT_TRUE(connected.ok()) << connected.error;
+    Request request;
+    request.id = 42;
+    request.command = Command::Negotiate;
+    request.payload = NegotiateRequest{makeSpec(i), 0};
+    const net::FrameLimits limits;
+    ASSERT_TRUE(net::writeFrame(connected.socket, encodeRequest(request),
+                                limits, net::Deadline::after(1s))
+                    .ok());
+    connected.socket.close();  // vanish without reading the decision
+  }
+
+  // The commands raced our disconnects; wait until all five executed.
+  QoSAgentClient client(clientFor(server));
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  for (;;) {
+    const auto stats = client.stats();
+    ASSERT_TRUE(stats.ok()) << stats.error.message;
+    if (stats->admitted + stats->rejected >= 5) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "orphaned commands never executed";
+    std::this_thread::sleep_for(10ms);
+  }
+
+  const auto verify = client.verify();
+  ASSERT_TRUE(verify.ok());
+  EXPECT_TRUE(verify->ok) << verify->firstViolation;
+  server.stop();
+  EXPECT_EQ(server.counters().disconnectsMidRequest, 5u);
+}
+
+// A partial frame followed by a hangup must not wedge or down the server.
+TEST(Service, TruncatedFrameClosesOnlyThatConnection) {
+  NegotiationServer server(unixConfig(8));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  {
+    auto connected =
+        net::connectUnix(server.unixPath(), net::Deadline::after(1s));
+    ASSERT_TRUE(connected.ok()) << connected.error;
+    // Declare a 100-byte payload, deliver 10, hang up.
+    const char prefix[4] = {0, 0, 0, 100};
+    ASSERT_TRUE(connected.socket
+                    .writeAll(prefix, sizeof(prefix), net::Deadline::after(1s))
+                    .ok());
+    ASSERT_TRUE(connected.socket
+                    .writeAll("0123456789", 10, net::Deadline::after(1s))
+                    .ok());
+    connected.socket.close();
+  }
+
+  // The server is still serving.
+  QoSAgentClient client(clientFor(server));
+  const auto stats = client.stats();
+  ASSERT_TRUE(stats.ok()) << stats.error.message;
+  const auto verify = client.verify();
+  ASSERT_TRUE(verify.ok());
+  EXPECT_TRUE(verify->ok);
+  server.stop();
+  EXPECT_GE(server.counters().framesMalformed, 1u);
+}
+
+// Malformed JSON in a well-formed frame: per-request error, connection (and
+// server) survive.
+TEST(Service, MalformedJsonGetsErrorResponseAndConnectionSurvives) {
+  NegotiationServer server(unixConfig(8));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  auto connected =
+      net::connectUnix(server.unixPath(), net::Deadline::after(1s));
+  ASSERT_TRUE(connected.ok()) << connected.error;
+  const net::FrameLimits limits;
+  for (const std::string& bad :
+       {std::string("this is not json"), std::string("{\"v\":1}"),
+        std::string("{\"v\":1,\"id\":2,\"cmd\":\"FROB\"}")}) {
+    ASSERT_TRUE(net::writeFrame(connected.socket, bad, limits,
+                                net::Deadline::after(1s))
+                    .ok());
+    auto frame = net::readFrame(connected.socket, limits,
+                                net::Deadline::after(1s),
+                                net::Deadline::after(1s));
+    ASSERT_TRUE(frame.ok()) << net::toString(frame.status);
+    auto decoded = decodeResponse(frame.payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.error;
+    EXPECT_FALSE(decoded.response->ok);
+    EXPECT_EQ(decoded.response->error->code, "bad_request");
+  }
+
+  // Same connection still negotiates successfully afterwards.
+  Request request;
+  request.id = 7;
+  request.command = Command::Stats;
+  ASSERT_TRUE(net::writeFrame(connected.socket, encodeRequest(request),
+                              limits, net::Deadline::after(1s))
+                  .ok());
+  auto frame =
+      net::readFrame(connected.socket, limits, net::Deadline::after(1s),
+                     net::Deadline::after(1s));
+  ASSERT_TRUE(frame.ok());
+  auto decoded = decodeResponse(frame.payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.response->ok);
+  EXPECT_EQ(decoded.response->id, 7u);
+  server.stop();
+  EXPECT_EQ(server.counters().framesMalformed, 3u);
+}
+
+// An oversized frame draws a best-effort error and loses the connection —
+// and only that connection.
+TEST(Service, OversizedFrameRejectedPerConnection) {
+  auto config = unixConfig(8);
+  config.maxFrameBytes = 256;
+  NegotiationServer server(config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  {
+    auto connected =
+        net::connectUnix(server.unixPath(), net::Deadline::after(1s));
+    ASSERT_TRUE(connected.ok()) << connected.error;
+    // The client-side limit is what we're bypassing here: hand-roll a frame
+    // bigger than the server's cap.
+    net::FrameLimits permissive;
+    ASSERT_TRUE(net::writeFrame(connected.socket, std::string(1024, 'x'),
+                                permissive, net::Deadline::after(1s))
+                    .ok());
+    auto frame = net::readFrame(connected.socket, permissive,
+                                net::Deadline::after(1s),
+                                net::Deadline::after(1s));
+    ASSERT_TRUE(frame.ok()) << net::toString(frame.status);
+    auto decoded = decodeResponse(frame.payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.error;
+    EXPECT_FALSE(decoded.response->ok);
+    EXPECT_EQ(decoded.response->error->code, "frame_too_large");
+    // The server hangs up after the error.  Our oversized payload was never
+    // consumed, so the close may surface as a reset (Error) rather than a
+    // clean EOF; either way the connection is dead.
+    auto next = net::readFrame(connected.socket, permissive,
+                               net::Deadline::after(1s),
+                               net::Deadline::after(1s));
+    EXPECT_TRUE(next.status == net::FrameStatus::Closed ||
+                next.status == net::FrameStatus::Error)
+        << net::toString(next.status);
+  }
+
+  // A fresh connection works.
+  QoSAgentClient client(clientFor(server));
+  const auto stats = client.stats();
+  ASSERT_TRUE(stats.ok()) << stats.error.message;
+  server.stop();
+  EXPECT_EQ(server.counters().framesOversized, 1u);
+}
+
+// A queue of capacity 1 forces backpressure under 8-way load; every request
+// still completes and the replayed ledger stays consistent.
+TEST(Service, BackpressureWithTinyQueueStillCompletesEverything) {
+  auto config = unixConfig(8);
+  config.commandQueueCapacity = 1;
+  NegotiationServer server(config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  constexpr int kClients = 8;
+  constexpr int kRequests = 10;
+  std::atomic<int> completed{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      QoSAgentClient client(clientFor(server));
+      for (int r = 0; r < kRequests; ++r) {
+        const auto decision = client.negotiate(makeSpec(c * 37 + r), 0);
+        ASSERT_TRUE(decision.ok()) << decision.error.message;
+        completed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(completed.load(), kClients * kRequests);
+  QoSAgentClient client(clientFor(server));
+  const auto verify = client.verify();
+  ASSERT_TRUE(verify.ok());
+  EXPECT_TRUE(verify->ok);
+  server.stop();
+}
+
+// stop() waits for in-flight work, then refuses new connections; idle open
+// sessions do not stall the drain.
+TEST(Service, GracefulDrainCompletesInFlightAndRefusesNewWork) {
+  NegotiationServer server(unixConfig(8));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  const std::string path = server.unixPath();
+
+  // An idle connection that never sends anything.
+  auto idle = net::connectUnix(path, net::Deadline::after(1s));
+  ASSERT_TRUE(idle.ok()) << idle.error;
+
+  // A burst of real work racing the shutdown.
+  std::vector<std::thread> threads;
+  std::atomic<int> answered{0};
+  for (int c = 0; c < 4; ++c) {
+    threads.emplace_back([&, c] {
+      QoSAgentClient client(clientFor(server));
+      for (int r = 0; r < 5; ++r) {
+        const auto decision = client.negotiate(makeSpec(c + r * 11), 0);
+        if (!decision.ok()) return;  // raced the drain; acceptable
+        answered.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(20ms);
+  const auto stopBegin = std::chrono::steady_clock::now();
+  server.stop();
+  const auto stopTook = std::chrono::steady_clock::now() - stopBegin;
+  for (auto& thread : threads) thread.join();
+
+  // Every request that got in was answered before stop() returned...
+  EXPECT_GT(answered.load(), 0);
+  // ...the drain didn't hang on the idle session...
+  EXPECT_LT(stopTook, 5s);
+  // ...and the endpoint is gone afterwards.
+  ClientConfig lateConfig;
+  lateConfig.unixPath = path;
+  lateConfig.connectAttempts = 1;
+  QoSAgentClient late(lateConfig);
+  const auto result = late.stats();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error.status, ClientStatus::ConnectFailed);
+}
+
+TEST(Service, ClientReportsConnectFailedAfterExhaustingRetries) {
+  ClientConfig config;
+  config.unixPath = "/tmp/tprm-svc-test-no-such-server.sock";
+  config.connectAttempts = 3;
+  config.connectBackoff = 1ms;
+  QoSAgentClient client(config);
+  const auto begin = std::chrono::steady_clock::now();
+  const auto result = client.stats();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error.status, ClientStatus::ConnectFailed);
+  // Backoff 1ms + 2ms between the three attempts.
+  EXPECT_GE(std::chrono::steady_clock::now() - begin, 3ms);
+}
+
+TEST(Service, ClientRetriesUntilServerAppears) {
+  auto config = unixConfig(8);
+  const std::string path = config.unixPath;
+  NegotiationServer server(config);
+
+  std::thread starter([&] {
+    std::this_thread::sleep_for(50ms);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+  });
+
+  ClientConfig clientConfig;
+  clientConfig.unixPath = path;
+  clientConfig.connectAttempts = 50;
+  clientConfig.connectBackoff = 10ms;
+  QoSAgentClient client(clientConfig);
+  const auto stats = client.stats();
+  starter.join();
+  ASSERT_TRUE(stats.ok()) << stats.error.message;
+  EXPECT_EQ(stats->processors, 8);
+  server.stop();
+}
+
+// Wire protocol codec invariants (no sockets involved).
+TEST(Protocol, RequestAndResponseCodecsRoundTrip) {
+  Request request;
+  request.id = 99;
+  request.command = Command::Negotiate;
+  request.payload = NegotiateRequest{makeSpec(5), ticksFromUnits(12.5)};
+  const auto decodedRequest = decodeRequest(encodeRequest(request));
+  ASSERT_TRUE(decodedRequest.ok()) << decodedRequest.error;
+  EXPECT_EQ(decodedRequest.request->id, 99u);
+  EXPECT_EQ(decodedRequest.request->command, Command::Negotiate);
+  const auto& payload =
+      std::get<NegotiateRequest>(decodedRequest.request->payload);
+  EXPECT_EQ(payload.spec, makeSpec(5));
+  EXPECT_EQ(payload.release, ticksFromUnits(12.5));
+
+  Response response;
+  response.id = 99;
+  response.ok = true;
+  NegotiateResult result;
+  result.admitted = true;
+  result.jobId = 3;
+  result.arrivalSeq = 17;
+  result.chainIndex = 1;
+  result.quality = 0.6;
+  result.release = ticksFromUnits(12.5);
+  result.placements = {{TimeInterval{0, ticksFromUnits(10.0)}, 4,
+                        ticksFromUnits(60.0)}};
+  result.bindings = {{"level", 9}};
+  result.chainsConsidered = 2;
+  result.chainsSchedulable = 1;
+  response.result = result;
+  const auto decodedResponse = decodeResponse(encodeResponse(response));
+  ASSERT_TRUE(decodedResponse.ok()) << decodedResponse.error;
+  const auto& out =
+      std::get<NegotiateResult>(decodedResponse.response->result);
+  EXPECT_EQ(out.jobId, 3u);
+  EXPECT_EQ(out.arrivalSeq, 17u);
+  EXPECT_EQ(out.chainIndex, 1u);
+  EXPECT_EQ(out.quality, 0.6);
+  EXPECT_EQ(out.placements, result.placements);
+  EXPECT_EQ(out.bindings, result.bindings);
+}
+
+TEST(Protocol, DecodeRejectsGarbageWithoutAborting) {
+  for (const std::string& bad :
+       {std::string(""), std::string("null"), std::string("[]"),
+        std::string("{\"v\":2,\"id\":1,\"cmd\":\"STATS\"}"),
+        std::string("{\"v\":1,\"cmd\":\"STATS\"}"),
+        std::string("{\"v\":1,\"id\":1,\"cmd\":\"NEGOTIATE\"}"),
+        std::string("{\"v\":1,\"id\":1,\"cmd\":\"CANCEL\"}")}) {
+    EXPECT_FALSE(decodeRequest(bad).ok()) << bad;
+  }
+  EXPECT_FALSE(decodeResponse("{\"ok\":true}").ok());
+  EXPECT_FALSE(decodeResponse("not json").ok());
+}
+
+}  // namespace
+}  // namespace tprm::service

@@ -31,6 +31,60 @@ TEST(SpecIo, RoundTripsMalleableAndQuality) {
   EXPECT_EQ(*parsed.spec, original);
 }
 
+TEST(SpecIo, FullWireRoundTripCoversEveryField) {
+  // Exercises every field the negotiation-service wire protocol carries:
+  // spec/chain names, quality composition, per-chain control-parameter
+  // bindings, and per-task shape, deadline, quality, and malleability.
+  TunableJobSpec original;
+  original.name = "wire-spec";
+  original.qualityComposition = QualityComposition::Minimum;
+
+  Chain fine;
+  fine.name = "fine";
+  fine.bindings = {{"g", 16}, {"mode", 2}, {"offset", -3}};
+  fine.tasks.push_back(
+      TaskSpec::rigid("sample", 4, ticksFromUnits(12.5), ticksFromUnits(40.0),
+                      0.875));
+  fine.tasks.push_back(TaskSpec::malleableTask(
+      "mark", 8, ticksFromUnits(20.0), 16, ticksFromUnits(90.0), 0.95));
+  fine.tasks.push_back(TaskSpec::rigid("emit", 1, ticksFromUnits(1.0),
+                                       ticksFromUnits(100.0)));
+
+  Chain coarse;
+  coarse.name = "coarse";
+  coarse.bindings = {{"g", 4}, {"mode", 1}};
+  coarse.tasks.push_back(TaskSpec::rigid("sample", 2, ticksFromUnits(5.0),
+                                         ticksFromUnits(40.0), 0.5));
+  // No deadline on the last task: must survive as kTimeInfinity... which
+  // would violate the non-decreasing rule if a finite one followed, so it is
+  // the final task.
+  coarse.tasks.push_back(
+      TaskSpec::rigid("emit", 1, ticksFromUnits(1.0), kTimeInfinity, 0.8));
+
+  original.chains = {fine, coarse};
+  ASSERT_TRUE(validate(original).empty());
+
+  const auto text = toJson(original);
+  const auto parsed = jobSpecFromJson(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(*parsed.spec, original);
+  // Bindings are carried per chain, exactly.
+  EXPECT_EQ(parsed.spec->chains[0].bindings, fine.bindings);
+  EXPECT_EQ(parsed.spec->chains[1].bindings, coarse.bindings);
+  // And a second trip is a fixed point (stable wire format).
+  EXPECT_EQ(toJson(*parsed.spec), text);
+}
+
+TEST(SpecIo, BindingsMustBeIntegerValued) {
+  const std::string text = R"({
+    "chains": [{"bindings": {"g": 1.5},
+                "tasks": [{"processors": 1, "duration": 5}]}]
+  })";
+  const auto parsed = jobSpecFromJson(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("bindings"), std::string::npos);
+}
+
 TEST(SpecIo, ParsesHandWrittenSpec) {
   const std::string text = R"({
     "name": "demo",
