@@ -6,8 +6,12 @@
 // Spins up an in-process NegotiationServer on a private Unix socket, then
 // hammers it from N client threads, each issuing M NEGOTIATE requests over
 // its own connection (one request in flight per connection, like a real QoS
-// agent).  Reports aggregate request throughput and per-request latency
-// percentiles, and writes the numbers as JSON for CI artifact upload.
+// agent).  Reports aggregate request throughput, per-request latency
+// percentiles (measured at the caller AND by the client metrics layer),
+// and the server-side queue-wait distribution; writes the numbers as JSON
+// for CI artifact upload.  --metrics-out additionally dumps the server's
+// full observability snapshot (validated against docs/metrics_schema.json
+// in CI).
 //
 // The job spec is deliberately small (two chains, two tasks each): the bench
 // measures the wire + queue + admission path, not profile search depth.
@@ -22,6 +26,7 @@
 
 #include "common/flags.h"
 #include "common/json.h"
+#include "obs/metrics.h"
 #include "service/client.h"
 #include "service/server.h"
 #include "taskmodel/chain.h"
@@ -66,8 +71,8 @@ double percentile(std::vector<double>& sortedMicros, double p) {
 int main(int argc, char** argv) {
   using namespace tprm;
   const Flags flags(argc, argv);
-  const auto unknown =
-      flags.unknownAgainst({"clients", "requests", "procs", "out"});
+  const auto unknown = flags.unknownAgainst(
+      {"clients", "requests", "procs", "out", "metrics-out"});
   if (!unknown.empty()) {
     std::fprintf(stderr, "service_throughput: unknown flag --%s\n",
                  unknown.front().c_str());
@@ -77,6 +82,7 @@ int main(int argc, char** argv) {
   const int requests = static_cast<int>(flags.getInt("requests", 200));
   const int procs = static_cast<int>(flags.getInt("procs", 64));
   const std::string outPath = flags.getString("out", "");
+  const std::string metricsOutPath = flags.getString("metrics-out", "");
 
   service::ServerConfig serverConfig;
   serverConfig.processors = procs;
@@ -93,12 +99,16 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(clients));
   std::vector<std::uint64_t> admittedPerClient(
       static_cast<std::size_t>(clients), 0);
+  // One registry shared by every client thread: the "client.request_us"
+  // histogram aggregates the end-to-end latency across all of them.
+  obs::MetricsRegistry clientRegistry;
   std::vector<std::thread> threads;
   const auto begin = Clock::now();
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
       service::ClientConfig clientConfig;
       clientConfig.unixPath = serverConfig.unixPath;
+      clientConfig.metrics = &clientRegistry;
       service::QoSAgentClient client(clientConfig);
       auto& latencies = latenciesMicros[static_cast<std::size_t>(c)];
       latencies.reserve(static_cast<std::size_t>(requests));
@@ -152,6 +162,22 @@ int main(int argc, char** argv) {
               elapsedSec, throughput);
   std::printf("latency us: p50=%.1f p95=%.1f p99=%.1f max=%.1f\n", p50, p95,
               p99, all.empty() ? 0.0 : all.back());
+
+  // Observability-layer views of the same run: the server's queue-wait
+  // distribution (arbitrator-thread pickup delay) and the client metrics
+  // layer's end-to-end latency (cross-check against the manual timing).
+  auto& queueWait =
+      obs::latencyHistogram(*server.metricsRegistry(), "server.queue_wait_us");
+  auto& executeTime =
+      obs::latencyHistogram(*server.metricsRegistry(), "server.execute_us");
+  auto& clientLatency =
+      obs::latencyHistogram(clientRegistry, "client.request_us");
+  std::printf("queue wait us: p50=%.1f p95=%.1f p99=%.1f max=%.1f\n",
+              queueWait.quantile(0.50), queueWait.quantile(0.95),
+              queueWait.quantile(0.99), queueWait.max());
+  std::printf("execute us: p50=%.1f p95=%.1f p99=%.1f\n",
+              executeTime.quantile(0.50), executeTime.quantile(0.95),
+              executeTime.quantile(0.99));
   std::printf("admitted %llu / %.0f, ledger %s\n",
               static_cast<unsigned long long>(admitted), total,
               ledgerOk ? "consistent" : "VIOLATED");
@@ -169,11 +195,28 @@ int main(int argc, char** argv) {
     doc["latency_us_p95"] = p95;
     doc["latency_us_p99"] = p99;
     doc["latency_us_max"] = all.empty() ? 0.0 : all.back();
+    doc["queue_wait_us_p50"] = queueWait.quantile(0.50);
+    doc["queue_wait_us_p95"] = queueWait.quantile(0.95);
+    doc["queue_wait_us_p99"] = queueWait.quantile(0.99);
+    doc["queue_wait_us_max"] = queueWait.max();
+    doc["execute_us_p50"] = executeTime.quantile(0.50);
+    doc["execute_us_p95"] = executeTime.quantile(0.95);
+    doc["execute_us_p99"] = executeTime.quantile(0.99);
+    doc["e2e_latency_us_p50"] = clientLatency.quantile(0.50);
+    doc["e2e_latency_us_p95"] = clientLatency.quantile(0.95);
+    doc["e2e_latency_us_p99"] = clientLatency.quantile(0.99);
+    doc["e2e_latency_us_mean"] = clientLatency.mean();
     doc["admitted"] = static_cast<std::int64_t>(admitted);
     doc["ledger_consistent"] = ledgerOk;
     std::ofstream out(outPath);
     out << JsonValue(std::move(doc)).dump() << "\n";
     std::printf("wrote %s\n", outPath.c_str());
+  }
+
+  if (!metricsOutPath.empty()) {
+    std::ofstream out(metricsOutPath);
+    out << server.observabilitySnapshot().dump() << "\n";
+    std::printf("wrote %s\n", metricsOutPath.c_str());
   }
 
   // Completing every request is part of the pass criterion.

@@ -8,8 +8,10 @@
 // Without an endpoint the example spins up an in-process NegotiationServer
 // on a private Unix socket, so it always has something to talk to — the
 // client still goes through the full wire path (frames, protocol, command
-// queue).  With --spec the job is read from a spec_io JSON file; otherwise a
-// built-in two-path tunable job is used.
+// queue), and the example prints the server's observability snapshot at the
+// end (the same JSON a live tprmd dumps on SIGUSR1).  With --spec the job
+// is read from a spec_io JSON file; otherwise a built-in two-path tunable
+// job is used.
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -162,6 +164,12 @@ int main(int argc, char** argv) {
   std::printf("VERIFY: ledger consistent\n");
 
   client.close();
-  if (localServer) localServer->stop();
+  if (localServer) {
+    localServer->stop();
+    // Self-hosting only: show what the negotiation looked like from inside
+    // the service (metrics registry + trace spans).
+    std::printf("observability snapshot:\n%s\n",
+                localServer->observabilitySnapshot().dump().c_str());
+  }
   return 0;
 }

@@ -146,6 +146,42 @@ std::string JsonValue::dump() const {
   return out;
 }
 
+void JsonValue::dumpCompactTo(std::string& out) const {
+  if (isNull()) {
+    out += "null";
+  } else if (isBool()) {
+    out += asBool() ? "true" : "false";
+  } else if (isNumber()) {
+    appendNumber(out, asNumber());
+  } else if (isString()) {
+    appendEscaped(out, asString());
+  } else if (isArray()) {
+    out += '[';
+    const auto& array = asArray();
+    for (std::size_t i = 0; i < array.size(); ++i) {
+      if (i > 0) out += ',';
+      array[i].dumpCompactTo(out);
+    }
+    out += ']';
+  } else {
+    out += '{';
+    std::size_t i = 0;
+    for (const auto& [key, value] : asObject()) {
+      if (i++ > 0) out += ',';
+      appendEscaped(out, key);
+      out += ':';
+      value.dumpCompactTo(out);
+    }
+    out += '}';
+  }
+}
+
+std::string JsonValue::dumpCompact() const {
+  std::string out;
+  dumpCompactTo(out);
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Parser
 // ---------------------------------------------------------------------------

@@ -69,10 +69,15 @@ class JsonValue {
   /// Serialises with 2-space indentation and sorted keys (stable output).
   [[nodiscard]] std::string dump() const;
 
+  /// Serialises without any whitespace (sorted keys).  One value per line:
+  /// the JSON-lines form used by periodic metric snapshots.
+  [[nodiscard]] std::string dumpCompact() const;
+
   bool operator==(const JsonValue& other) const = default;
 
  private:
   void dumpTo(std::string& out, int indent) const;
+  void dumpCompactTo(std::string& out) const;
 
   std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
       value_;

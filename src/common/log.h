@@ -15,6 +15,9 @@ void setLogLevel(LogLevel level);
 /// Current global minimum level.
 [[nodiscard]] LogLevel logLevel();
 
+/// True iff `level` passes the global threshold (the TPRM_LOG gate).
+[[nodiscard]] bool logEnabled(LogLevel level);
+
 /// Emits one line to stderr if `level` passes the global threshold.
 /// Thread-safe (single atomic write of the formatted line).
 void logMessage(LogLevel level, const std::string& message);
@@ -40,7 +43,23 @@ class LogLine {
   std::ostringstream stream_;
 };
 
+/// Swallows a LogLine so the enabled branch of TPRM_LOG has type void,
+/// matching the disabled branch of the conditional (glog's voidify trick).
+struct LogVoidifier {
+  // '&' binds looser than '<<', so the whole streamed chain is built (and
+  // the line emitted by ~LogLine) before this no-op runs.
+  void operator&(const LogLine&) const {}
+};
+
 }  // namespace detail
 }  // namespace tprm
 
-#define TPRM_LOG(level) ::tprm::detail::LogLine(::tprm::LogLevel::level)
+// Level-gated line builder.  The gate is checked BEFORE the LogLine (and
+// its ostringstream) is constructed, so a suppressed statement evaluates
+// none of its streamed operands: `TPRM_LOG(Debug) << expensive()` costs one
+// atomic load when Debug is filtered out, and expensive() never runs.
+#define TPRM_LOG(level)                              \
+  !::tprm::logEnabled(::tprm::LogLevel::level)       \
+      ? (void)0                                      \
+      : ::tprm::detail::LogVoidifier() &             \
+            ::tprm::detail::LogLine(::tprm::LogLevel::level)

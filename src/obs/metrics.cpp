@@ -1,0 +1,151 @@
+#include "obs/metrics.h"
+
+namespace tprm::obs {
+
+HistogramMetric::HistogramMetric(double lo, double hi, std::size_t buckets)
+    : histogram_(lo, hi, buckets) {}
+
+void HistogramMetric::record(double x) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  histogram_.add(x);
+  stats_.add(x);
+}
+
+std::uint64_t HistogramMetric::count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return histogram_.total();
+}
+
+double HistogramMetric::quantile(double q) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (histogram_.total() == 0) return 0.0;
+  return histogram_.quantile(q);
+}
+
+double HistogramMetric::mean() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_.mean();
+}
+
+double HistogramMetric::min() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_.min();
+}
+
+double HistogramMetric::max() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_.max();
+}
+
+JsonValue HistogramMetric::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  JsonValue::Object out;
+  out["count"] = static_cast<std::int64_t>(histogram_.total());
+  out["mean"] = stats_.mean();
+  out["min"] = stats_.min();
+  out["max"] = stats_.max();
+  const bool empty = histogram_.total() == 0;
+  out["p50"] = empty ? 0.0 : histogram_.quantile(0.50);
+  out["p95"] = empty ? 0.0 : histogram_.quantile(0.95);
+  out["p99"] = empty ? 0.0 : histogram_.quantile(0.99);
+  return JsonValue(std::move(out));
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name, double lo,
+                                            double hi, std::size_t buckets) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<HistogramMetric>(lo, hi, buckets);
+  return *slot;
+}
+
+JsonValue MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  JsonValue::Object counters;
+  for (const auto& [name, counter] : counters_) {
+    counters[name] = static_cast<std::int64_t>(counter->value());
+  }
+  JsonValue::Object gauges;
+  for (const auto& [name, gauge] : gauges_) {
+    JsonValue::Object g;
+    g["value"] = gauge->value();
+    g["max"] = gauge->max();
+    gauges[name] = JsonValue(std::move(g));
+  }
+  JsonValue::Object histograms;
+  for (const auto& [name, histogram] : histograms_) {
+    histograms[name] = histogram->snapshot();
+  }
+  JsonValue::Object out;
+  out["counters"] = JsonValue(std::move(counters));
+  out["gauges"] = JsonValue(std::move(gauges));
+  out["histograms"] = JsonValue(std::move(histograms));
+  return JsonValue(std::move(out));
+}
+
+HistogramMetric& latencyHistogram(MetricsRegistry& registry,
+                                  const std::string& name) {
+  return registry.histogram(name, 0.0, 100'000.0, 5'000);
+}
+
+ProfileMetrics ProfileMetrics::fromRegistry(MetricsRegistry& registry,
+                                            const std::string& prefix) {
+  ProfileMetrics m;
+  m.fitProbes = &registry.counter(prefix + ".fit_probes");
+  m.fitHintHits = &registry.counter(prefix + ".fit_hint_hits");
+  m.fitHintMisses = &registry.counter(prefix + ".fit_hint_misses");
+  m.segmentsScanned = &registry.counter(prefix + ".segments_scanned");
+  m.holesScanned = &registry.counter(prefix + ".holes_scanned");
+  m.trialRollbacks = &registry.counter(prefix + ".trial_rollbacks");
+  m.trialOpsUndone = &registry.counter(prefix + ".trial_ops_undone");
+  m.trialCommits = &registry.counter(prefix + ".trial_commits");
+  return m;
+}
+
+ArbitratorMetrics ArbitratorMetrics::fromRegistry(MetricsRegistry& registry,
+                                                  const std::string& prefix) {
+  ArbitratorMetrics m;
+  m.chainsEvaluated = &registry.counter(prefix + ".chains_evaluated");
+  m.chainsSchedulable = &registry.counter(prefix + ".chains_schedulable");
+  m.jobsAdmitted = &registry.counter(prefix + ".jobs_admitted");
+  m.jobsRejected = &registry.counter(prefix + ".jobs_rejected");
+  return m;
+}
+
+NegotiationMetrics NegotiationMetrics::fromRegistry(MetricsRegistry& registry,
+                                                    const std::string& prefix) {
+  NegotiationMetrics m;
+  m.profile = ProfileMetrics::fromRegistry(registry, prefix + ".profile");
+  m.arbitrator =
+      ArbitratorMetrics::fromRegistry(registry, prefix + ".heuristic");
+  m.negotiations = &registry.counter(prefix + ".negotiations");
+  m.admitted = &registry.counter(prefix + ".admitted");
+  m.rejectedNoChain = &registry.counter(prefix + ".rejected_no_chain");
+  m.cancels = &registry.counter(prefix + ".cancels");
+  m.cancelMisses = &registry.counter(prefix + ".cancel_misses");
+  m.resizes = &registry.counter(prefix + ".resizes");
+  m.resizeKept = &registry.counter(prefix + ".resize_kept");
+  m.resizeReconfigured = &registry.counter(prefix + ".resize_reconfigured");
+  m.droppedRunningNoFit =
+      &registry.counter(prefix + ".dropped_running_no_fit");
+  m.droppedInfeasible = &registry.counter(prefix + ".dropped_infeasible");
+  m.droppedRenegotiation =
+      &registry.counter(prefix + ".dropped_renegotiation");
+  return m;
+}
+
+}  // namespace tprm::obs

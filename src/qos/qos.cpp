@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "obs/metrics.h"
 
 namespace tprm::qos {
 
@@ -14,6 +15,13 @@ namespace tprm::qos {
 QoSArbitrator::QoSArbitrator(int processors, sched::GreedyOptions options)
     : profile_(processors), ledger_(processors), options_(options),
       heuristic_(options) {}
+
+void QoSArbitrator::attachMetrics(obs::NegotiationMetrics* metrics) {
+  metrics_ = metrics;
+  profile_.attachMetrics(metrics != nullptr ? &metrics->profile : nullptr);
+  heuristic_.attachMetrics(metrics != nullptr ? &metrics->arbitrator
+                                              : nullptr);
+}
 
 void QoSArbitrator::retireFinished() {
   for (auto it = live_.begin(); it != live_.end();) {
@@ -49,12 +57,15 @@ sched::AdmissionDecision QoSArbitrator::submit(
   job.id = nextJobId_++;
   job.release = release;
   job.spec = spec;
+  if (metrics_ != nullptr) metrics_->negotiations->add();
   const auto decision = heuristic_.admit(job, profile_);
   if (!decision.admitted) {
     ++rejected_;
+    if (metrics_ != nullptr) metrics_->rejectedNoChain->add();
     return decision;
   }
   ++admitted_;
+  if (metrics_ != nullptr) metrics_->admitted->add();
   record(job.id, decision.schedule.chainIndex, decision.schedule.placements);
   live_[job.id] = LiveJob{spec, release, decision.schedule.chainIndex,
                           decision.schedule.placements};
@@ -63,7 +74,11 @@ sched::AdmissionDecision QoSArbitrator::submit(
 
 std::int64_t QoSArbitrator::cancel(std::uint64_t jobId) {
   const auto it = live_.find(jobId);
-  if (it == live_.end()) return 0;
+  if (it == live_.end()) {
+    if (metrics_ != nullptr) metrics_->cancelMisses->add();
+    return 0;
+  }
+  if (metrics_ != nullptr) metrics_->cancels->add();
   std::int64_t freed = 0;
   for (const auto& placement : it->second.placements) {
     // Only capacity that has not yet been consumed can be returned: clip to
@@ -85,6 +100,7 @@ RenegotiationReport QoSArbitrator::resize(int processors, Time when) {
   TPRM_CHECK(when >= clock_, "resize cannot happen in the past");
   clock_ = when;
   retireFinished();
+  if (metrics_ != nullptr) metrics_->resizes->add();
 
   RenegotiationReport report;
   report.processorsBefore = profile_.totalProcessors();
@@ -96,6 +112,8 @@ RenegotiationReport QoSArbitrator::resize(int processors, Time when) {
   resource::AvailabilityProfile fresh(processors);
   fresh.discardBefore(clock_);
   profile_ = std::move(fresh);
+  // The new era's profile starts unattached; re-wire the observation hook.
+  if (metrics_ != nullptr) profile_.attachMetrics(&metrics_->profile);
 
   // Phase 1: running tasks are non-preemptible — pin their remainders where
   // they are.  A running task that no longer fits kills its job outright.
@@ -121,6 +139,7 @@ RenegotiationReport QoSArbitrator::resize(int processors, Time when) {
   for (const auto jobId : doomed) {
     live_.erase(jobId);
     report.dropped.push_back(jobId);
+    if (metrics_ != nullptr) metrics_->droppedRunningNoFit->add();
   }
 
   // Phase 2: re-place each job's future tasks, in job-id (arrival) order.
@@ -146,6 +165,7 @@ RenegotiationReport QoSArbitrator::resize(int processors, Time when) {
     if (firstFuture == job.placements.size()) {
       // Fully running/finished; phase 1 already pinned what matters.
       report.kept.push_back(jobId);
+      if (metrics_ != nullptr) metrics_->resizeKept->add();
       continue;
     }
 
@@ -172,6 +192,7 @@ RenegotiationReport QoSArbitrator::resize(int processors, Time when) {
                 job.placements.end()},
                firstFuture);
         report.kept.push_back(jobId);
+        if (metrics_ != nullptr) metrics_->resizeKept->add();
         continue;
       }
     }
@@ -219,6 +240,7 @@ RenegotiationReport QoSArbitrator::resize(int processors, Time when) {
     if (!feasibleSpec) {
       report.dropped.push_back(jobId);
       live_.erase(jobId);
+      if (metrics_ != nullptr) metrics_->droppedInfeasible->add();
       continue;
     }
 
@@ -226,9 +248,11 @@ RenegotiationReport QoSArbitrator::resize(int processors, Time when) {
     if (!decision.admitted) {
       report.dropped.push_back(jobId);
       live_.erase(jobId);
+      if (metrics_ != nullptr) metrics_->droppedRenegotiation->add();
       continue;
     }
     report.reconfigured.push_back(jobId);
+    if (metrics_ != nullptr) metrics_->resizeReconfigured->add();
     // Splice the new placements (and possibly new chain) into the live job.
     if (firstFuture == 0) {
       job.chainIndex = decision.schedule.chainIndex;

@@ -26,6 +26,10 @@
 #include "sched/greedy_arbitrator.h"
 #include "tunable/program.h"
 
+namespace tprm::obs {
+struct NegotiationMetrics;  // obs/metrics.h; nullable observation hook
+}  // namespace tprm::obs
+
 namespace tprm::qos {
 
 /// The arbitrator's answer to a negotiation: which path won, when each task
@@ -115,6 +119,13 @@ class QoSArbitrator {
     return nextJobId_ - 1;
   }
 
+  /// Attaches (or with nullptr detaches) the full negotiation counter
+  /// bundle, wiring the nested profile and heuristic hooks too.  Counters
+  /// only observe; attaching cannot change any decision.  Survives resize
+  /// (the fresh per-era profile is re-attached).
+  void attachMetrics(obs::NegotiationMetrics* metrics);
+  [[nodiscard]] obs::NegotiationMetrics* metrics() const { return metrics_; }
+
  private:
   /// Everything needed to renegotiate a job after a resource-level change.
   struct LiveJob {
@@ -141,6 +152,7 @@ class QoSArbitrator {
   std::uint64_t admitted_ = 0;
   std::uint64_t rejected_ = 0;
   std::map<std::uint64_t, LiveJob> live_;
+  obs::NegotiationMetrics* metrics_ = nullptr;  // nullable observation hook
 };
 
 /// Per-application QoS agent: wraps a tunable program, negotiates with the

@@ -1,17 +1,69 @@
 #include "resource/availability_profile.h"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace tprm::resource {
 
+namespace {
+
+/// Process-unique profile identity tokens (FitHint validation).  Atomic so
+/// profiles may be constructed from any thread; starts at 1 so a
+/// default-constructed FitHint (profile == 0) never validates.
+std::uint64_t nextProfileId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Accumulates locally (a register increment on the scan path) and flushes
+/// once into the counter — when one is attached — on scope exit.
+struct CounterFlush {
+  obs::Counter* sink;
+  std::uint64_t n = 0;
+  ~CounterFlush() {
+    if (sink != nullptr && n > 0) sink->add(n);
+  }
+};
+
+}  // namespace
+
 AvailabilityProfile::AvailabilityProfile(int totalProcessors)
-    : total_(totalProcessors) {
+    : total_(totalProcessors), id_(nextProfileId()) {
   TPRM_CHECK(totalProcessors > 0, "machine needs at least one processor");
   segments_.push_back(Segment{Time{0}, total_});
   blockMax_.push_back(total_);
+}
+
+AvailabilityProfile::AvailabilityProfile(const AvailabilityProfile& other)
+    : segments_(other.segments_),
+      blockMax_(other.blockMax_),
+      total_(other.total_),
+      retiredBusy_(other.retiredBusy_),
+      version_(other.version_),
+      id_(nextProfileId()),
+      inTrial_(other.inTrial_),
+      replaying_(other.replaying_),
+      trialLog_(other.trialLog_),
+      metrics_(other.metrics_) {}
+
+AvailabilityProfile& AvailabilityProfile::operator=(
+    const AvailabilityProfile& other) {
+  if (this == &other) return *this;
+  segments_ = other.segments_;
+  blockMax_ = other.blockMax_;
+  total_ = other.total_;
+  retiredBusy_ = other.retiredBusy_;
+  version_ = other.version_;
+  id_ = nextProfileId();  // old hints against *this must not survive
+  inTrial_ = other.inTrial_;
+  replaying_ = other.replaying_;
+  trialLog_ = other.trialLog_;
+  metrics_ = other.metrics_;
+  return *this;
 }
 
 std::size_t AvailabilityProfile::indexFor(Time t) const {
@@ -114,6 +166,7 @@ std::optional<Time> AvailabilityProfile::findEarliestFit(Time earliest,
                                                          FitHint* hint) const {
   TPRM_CHECK(duration >= 0, "negative duration");
   TPRM_CHECK(processors >= 0, "negative processor count");
+  if (metrics_ != nullptr) metrics_->fitProbes->add();
   if (processors > total_) return std::nullopt;
   if (earliest + duration > deadline) return std::nullopt;
   if (duration == 0 || processors == 0) return earliest;
@@ -122,17 +175,24 @@ std::optional<Time> AvailabilityProfile::findEarliestFit(Time earliest,
   if (earliest + duration > deadline) return std::nullopt;
 
   const std::size_t n = segments_.size();
+  CounterFlush scanned{metrics_ != nullptr ? metrics_->segmentsScanned
+                                           : nullptr};
   std::size_t i;
-  if (hint != nullptr && hint->version == version_ && hint->time <= earliest &&
-      hint->index < n) {
+  // A hint is honoured only when written by THIS profile (identity token)
+  // at its CURRENT state (mutation counter): equal counters on different
+  // profiles are a coincidence, not equivalence.
+  if (hint != nullptr && hint->profile == id_ && hint->version == version_ &&
+      hint->time <= earliest && hint->index < n) {
     // Resume: successive probes only move forward in time, so the segment
     // containing `earliest` is at or after the hinted one.
+    if (metrics_ != nullptr) metrics_->fitHintHits->add();
     i = hint->index;
     while (i + 1 < n && segments_[i + 1].start <= earliest) ++i;
   } else {
+    if (metrics_ != nullptr && hint != nullptr) metrics_->fitHintMisses->add();
     i = indexFor(earliest);
   }
-  if (hint != nullptr) *hint = FitHint{version_, earliest, i};
+  if (hint != nullptr) *hint = FitHint{id_, version_, earliest, i};
 
   // Scan segments accumulating a contiguous run of sufficient availability.
   // Between runs, whole skip-index blocks whose maximum availability is
@@ -153,6 +213,7 @@ std::optional<Time> AvailabilityProfile::findEarliestFit(Time earliest,
       }
       if (i >= n) break;  // unreachable: tail segment has full availability
     }
+    ++scanned.n;
     const Segment& seg = segments_[i];
     const Time segBegin = std::max(seg.start, earliest);
     const Time segEnd = i + 1 < n ? segments_[i + 1].start : kTimeInfinity;
@@ -251,6 +312,9 @@ std::vector<MaximalHole> AvailabilityProfile::maximalHoles(
     if (a.begin != b.begin) return a.begin < b.begin;
     return a.processors < b.processors;
   });
+  if (metrics_ != nullptr && !holes.empty()) {
+    metrics_->holesScanned->add(holes.size());
+  }
   return holes;
 }
 
@@ -298,6 +362,10 @@ void AvailabilityProfile::beginTrialImpl() {
 
 void AvailabilityProfile::rollbackTrialImpl() {
   TPRM_CHECK(inTrial_, "rollback without an open trial");
+  if (metrics_ != nullptr) {
+    metrics_->trialRollbacks->add();
+    if (!trialLog_.empty()) metrics_->trialOpsUndone->add(trialLog_.size());
+  }
   replaying_ = true;
   for (auto it = trialLog_.rbegin(); it != trialLog_.rend(); ++it) {
     apply(it->iv, -it->delta);
@@ -308,6 +376,7 @@ void AvailabilityProfile::rollbackTrialImpl() {
 
 void AvailabilityProfile::commitTrialImpl() {
   TPRM_CHECK(inTrial_, "commit without an open trial");
+  if (metrics_ != nullptr) metrics_->trialCommits->add();
   trialLog_.clear();
   inTrial_ = false;
 }

@@ -27,6 +27,10 @@
 
 #include "common/time.h"
 
+namespace tprm::obs {
+struct ProfileMetrics;  // obs/metrics.h; nullable observation hook
+}  // namespace tprm::obs
+
 namespace tprm::resource {
 
 /// A maximal rectangle of free capacity: `processors` are simultaneously free
@@ -47,10 +51,15 @@ struct MaximalHole {
 /// Caller-owned resume hint for `findEarliestFit`.  A probe records where its
 /// scan entered the step function; the next probe with the same or a later
 /// `earliest` resumes there instead of binary-searching from scratch.  The
-/// hint is validated against the profile's mutation counter, so a stale hint
-/// (any reserve/release/discard since it was written) silently degrades to
-/// the full lookup — it can never change the result.
+/// hint is validated against both the issuing profile's identity token and
+/// its mutation counter, so a stale hint (any reserve/release/discard since
+/// it was written) or a foreign hint (written by a *different* profile whose
+/// mutation counter coincidentally matches) silently degrades to the full
+/// lookup — it can never change the result.
 struct FitHint {
+  /// Identity of the profile that wrote the hint (see
+  /// AvailabilityProfile::profileId).  0 never matches a live profile.
+  std::uint64_t profile = 0;
   std::uint64_t version = 0;
   Time time = 0;
   std::size_t index = 0;
@@ -100,6 +109,15 @@ class AvailabilityProfile {
   /// A machine with `totalProcessors` processors, fully free from time 0.
   /// `totalProcessors` must be positive.
   explicit AvailabilityProfile(int totalProcessors);
+
+  /// Copies take a fresh identity: a FitHint written by the source must not
+  /// validate against the copy once their histories diverge (their mutation
+  /// counters can collide).  Moves keep the identity — the target is the
+  /// same profile continued, and outstanding hints stay exact.
+  AvailabilityProfile(const AvailabilityProfile& other);
+  AvailabilityProfile& operator=(const AvailabilityProfile& other);
+  AvailabilityProfile(AvailabilityProfile&&) = default;
+  AvailabilityProfile& operator=(AvailabilityProfile&&) = default;
 
   [[nodiscard]] int totalProcessors() const { return total_; }
 
@@ -160,6 +178,19 @@ class AvailabilityProfile {
   /// Mutation counter; any state change invalidates outstanding FitHints.
   [[nodiscard]] std::uint64_t version() const { return version_; }
 
+  /// Process-unique identity token (never 0).  Copies get a fresh token,
+  /// moves keep it; FitHints validate against it (see FitHint).
+  [[nodiscard]] std::uint64_t profileId() const { return id_; }
+
+  /// Attaches (or with nullptr detaches) observation counters for the
+  /// search machinery: fit probes, hint hits/misses, segments scanned,
+  /// holes materialised, trial rollbacks/commits.  Counters only observe —
+  /// they never influence a result — so attaching cannot change any
+  /// scheduling decision.  Copies share the attachment (their probe work
+  /// aggregates into the same counters); detach on the copy if unwanted.
+  void attachMetrics(obs::ProfileMetrics* metrics) { metrics_ = metrics; }
+  [[nodiscard]] obs::ProfileMetrics* metrics() const { return metrics_; }
+
   /// Times at which availability changes, in increasing order, including the
   /// horizon start.  Mostly for tests and debugging output.
   [[nodiscard]] std::vector<Time> breakpoints() const;
@@ -214,9 +245,11 @@ class AvailabilityProfile {
   int total_;
   std::int64_t retiredBusy_ = 0;
   std::uint64_t version_ = 0;
+  std::uint64_t id_ = 0;  // process-unique; fresh per construction/copy
   bool inTrial_ = false;
   bool replaying_ = false;  // suppress logging while rollback replays
   std::vector<TrialOp> trialLog_;
+  obs::ProfileMetrics* metrics_ = nullptr;  // nullable observation hook
 };
 
 }  // namespace tprm::resource

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace tprm::sched {
 
@@ -94,6 +95,7 @@ DagAdmissionDecision DagArbitrator::admit(
   resource::AvailabilityProfile::Trial trial(profile);
 
   for (std::size_t a = 0; a < job.spec.alternatives.size(); ++a) {
+    if (metrics_ != nullptr) metrics_->chainsEvaluated->add();
     auto placements = placeAlternative(job, a, profile);
     trial.rollback();
     if (!placements) continue;
@@ -129,7 +131,13 @@ DagAdmissionDecision DagArbitrator::admit(
   }
 
   decision.alternativesSchedulable = static_cast<int>(candidates.size());
-  if (candidates.empty()) return decision;
+  if (metrics_ != nullptr && !candidates.empty()) {
+    metrics_->chainsSchedulable->add(candidates.size());
+  }
+  if (candidates.empty()) {
+    if (metrics_ != nullptr) metrics_->jobsRejected->add();
+    return decision;
+  }
 
   std::size_t chosen = 0;
   auto better = [](const Candidate& a, const Candidate& b) {
@@ -150,6 +158,7 @@ DagAdmissionDecision DagArbitrator::admit(
     profile.reserve(placement.interval, placement.processors);
   }
   trial.commit();
+  if (metrics_ != nullptr) metrics_->jobsAdmitted->add();
   decision.admitted = true;
   decision.alternativeIndex = winner.index;
   decision.finish = winner.finish;

@@ -21,6 +21,10 @@
 #include "sched/arbitrator.h"
 #include "taskmodel/dag.h"
 
+namespace tprm::obs {
+struct ArbitratorMetrics;  // obs/metrics.h; nullable observation hook
+}  // namespace tprm::obs
+
 namespace tprm::sched {
 
 /// Outcome of one dag admission attempt.
@@ -72,6 +76,11 @@ class DagArbitrator {
 
   [[nodiscard]] std::string name() const;
 
+  /// Attaches (or with nullptr detaches) admission counters (alternatives
+  /// count as chains).  Observation only — never consulted by any decision.
+  void attachMetrics(obs::ArbitratorMetrics* metrics) { metrics_ = metrics; }
+  [[nodiscard]] obs::ArbitratorMetrics* metrics() const { return metrics_; }
+
  private:
   /// Places one alternative, reserving into `profile`.  REQUIRES an open
   /// Trial scope on `profile`; the caller rolls back (or commits).
@@ -80,6 +89,7 @@ class DagArbitrator {
       resource::AvailabilityProfile& profile) const;
 
   DagOptions options_;
+  obs::ArbitratorMetrics* metrics_ = nullptr;  // nullable observation hook
 };
 
 }  // namespace tprm::sched

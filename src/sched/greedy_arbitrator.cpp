@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace tprm::sched {
 namespace {
@@ -153,6 +154,7 @@ AdmissionDecision GreedyArbitrator::admit(
   resource::AvailabilityProfile::Trial trial(profile);
 
   for (std::size_t c = 0; c < job.spec.chains.size(); ++c) {
+    if (metrics_ != nullptr) metrics_->chainsEvaluated->add();
     auto schedule = placeChain(job, c, profile);
     trial.rollback();  // profile is back to committed state either way
     if (!schedule) continue;
@@ -170,7 +172,13 @@ AdmissionDecision GreedyArbitrator::admit(
   }
 
   decision.chainsSchedulable = static_cast<int>(candidates.size());
-  if (candidates.empty()) return decision;
+  if (metrics_ != nullptr && !candidates.empty()) {
+    metrics_->chainsSchedulable->add(candidates.size());
+  }
+  if (candidates.empty()) {
+    if (metrics_ != nullptr) metrics_->jobsRejected->add();
+    return decision;
+  }
 
   // The paper's tie-break chain (earliest finish, densest window, smaller
   // resource prefix), reused by the quality-maximizing policy.
@@ -242,6 +250,7 @@ AdmissionDecision GreedyArbitrator::admit(
     profile.reserve(placement.interval, placement.processors);
   }
   trial.commit();
+  if (metrics_ != nullptr) metrics_->jobsAdmitted->add();
   decision.admitted = true;
   decision.quality = job.spec.chains[winner.schedule.chainIndex].quality(
       job.spec.qualityComposition);

@@ -27,6 +27,10 @@
 #include "common/rng.h"
 #include "sched/arbitrator.h"
 
+namespace tprm::obs {
+struct ArbitratorMetrics;  // obs/metrics.h; nullable observation hook
+}  // namespace tprm::obs
+
 namespace tprm::sched {
 
 /// Chain-selection rule among schedulable chains.
@@ -102,6 +106,12 @@ class GreedyArbitrator final : public Arbitrator {
       const task::JobInstance& job, std::size_t chainIndex,
       resource::AvailabilityProfile& profile) const;
 
+  /// Attaches (or with nullptr detaches) admission counters: chains
+  /// evaluated/schedulable, jobs admitted/rejected.  Observation only —
+  /// never consulted by any decision.
+  void attachMetrics(obs::ArbitratorMetrics* metrics) { metrics_ = metrics; }
+  [[nodiscard]] obs::ArbitratorMetrics* metrics() const { return metrics_; }
+
  private:
   /// Places one chain, reserving each placement into `profile`.  REQUIRES an
   /// open Trial scope on `profile`; the caller rolls back (or commits).
@@ -121,6 +131,7 @@ class GreedyArbitrator final : public Arbitrator {
   /// Materialised on first use by ChainChoice::Random; deterministic chain
   /// choices never construct (or reseed) it.
   std::optional<Rng> rng_;
+  obs::ArbitratorMetrics* metrics_ = nullptr;  // nullable observation hook
 };
 
 }  // namespace tprm::sched

@@ -1,7 +1,10 @@
 #include "service/client.h"
 
+#include <algorithm>
 #include <thread>
 #include <utility>
+
+#include "obs/trace.h"
 
 namespace tprm::service {
 
@@ -57,19 +60,42 @@ const char* toString(ClientStatus status) {
   return "unknown";
 }
 
+std::vector<std::chrono::milliseconds> connectBackoffPlan(
+    const ClientConfig& config) {
+  const int attempts = std::max(1, config.connectAttempts);
+  std::vector<std::chrono::milliseconds> plan(
+      static_cast<std::size_t>(attempts));  // plan[0] stays 0: try at once
+  const auto cap = std::max(config.maxConnectBackoff,
+                            std::chrono::milliseconds{0});
+  auto backoff = std::clamp(config.connectBackoff,
+                            std::chrono::milliseconds{0}, cap);
+  for (std::size_t attempt = 1; attempt < plan.size(); ++attempt) {
+    plan[attempt] = backoff;
+    // Clamp before doubling so the growth can never overflow the rep.
+    backoff = backoff >= cap / 2 ? cap : backoff * 2;
+  }
+  return plan;
+}
+
 QoSAgentClient::QoSAgentClient(ClientConfig config)
-    : config_(std::move(config)), frameLimits_{config_.maxFrameBytes} {}
+    : config_(std::move(config)), frameLimits_{config_.maxFrameBytes} {
+  if (config_.metrics != nullptr) {
+    connectAttempts_ = &config_.metrics->counter("client.connect_attempts");
+    connectFailures_ = &config_.metrics->counter("client.connect_failures");
+    requests_ = &config_.metrics->counter("client.requests");
+    requestErrors_ = &config_.metrics->counter("client.request_errors");
+    requestLatencyUs_ =
+        &obs::latencyHistogram(*config_.metrics, "client.request_us");
+  }
+}
 
 std::optional<ClientError> QoSAgentClient::connect() {
   if (socket_.valid()) return std::nullopt;
   std::string lastError;
-  auto backoff = config_.connectBackoff;
-  const int attempts = std::max(1, config_.connectAttempts);
-  for (int attempt = 0; attempt < attempts; ++attempt) {
-    if (attempt > 0) {
-      std::this_thread::sleep_for(backoff);
-      backoff *= 2;
-    }
+  const auto plan = connectBackoffPlan(config_);
+  for (std::size_t attempt = 0; attempt < plan.size(); ++attempt) {
+    if (plan[attempt].count() > 0) std::this_thread::sleep_for(plan[attempt]);
+    if (connectAttempts_ != nullptr) connectAttempts_->add();
     const auto deadline = net::Deadline::after(config_.connectTimeout);
     auto connected = config_.unixPath.empty()
                          ? net::connectTcp(config_.tcpHost, config_.tcpPort,
@@ -81,12 +107,28 @@ std::optional<ClientError> QoSAgentClient::connect() {
     }
     lastError = connected.error;
   }
+  if (connectFailures_ != nullptr) connectFailures_->add();
   return transportError(ClientStatus::ConnectFailed,
-                        "after " + std::to_string(attempts) +
+                        "after " + std::to_string(plan.size()) +
                             " attempts: " + lastError);
 }
 
 ClientResult<Response> QoSAgentClient::call(Request request) {
+  if (requests_ != nullptr) requests_->add();
+  if (requestLatencyUs_ == nullptr) {
+    auto out = callImpl(std::move(request));
+    if (!out.ok() && requestErrors_ != nullptr) requestErrors_->add();
+    return out;
+  }
+  const std::int64_t start = obs::monotonicNanos();
+  auto out = callImpl(std::move(request));
+  requestLatencyUs_->record(
+      static_cast<double>(obs::monotonicNanos() - start) / 1'000.0);
+  if (!out.ok() && requestErrors_ != nullptr) requestErrors_->add();
+  return out;
+}
+
+ClientResult<Response> QoSAgentClient::callImpl(Request request) {
   ClientResult<Response> out;
   if (auto error = connect()) {
     out.error = std::move(*error);

@@ -11,9 +11,11 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "net/frame.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
 #include "service/protocol.h"
 
 namespace tprm::service {
@@ -31,11 +33,28 @@ struct ClientConfig {
   std::chrono::milliseconds connectTimeout{1'000};
   /// Connect attempts before giving up (>= 1).
   int connectAttempts = 5;
-  /// Backoff before the second attempt; doubles each retry.
+  /// Backoff before the second attempt; doubles each retry up to
+  /// `maxConnectBackoff`.
   std::chrono::milliseconds connectBackoff{20};
+  /// Cap on the per-retry backoff.  Without it the doubling grows without
+  /// bound (20ms doubled 30 times is weeks), so a generous attempt budget
+  /// against a slow-to-start server turned into one enormous sleep.
+  std::chrono::milliseconds maxConnectBackoff{1'000};
 
   std::size_t maxFrameBytes = 1 << 20;
+
+  /// Optional caller-owned registry.  When set, the client records connect
+  /// attempts/failures and an end-to-end request latency histogram
+  /// ("client.request_us": connect + send + receive as the caller sees it).
+  /// Must outlive the client.
+  obs::MetricsRegistry* metrics = nullptr;
 };
+
+/// Sleep before each connect attempt under `config` (index 0 is the first
+/// attempt: no sleep).  Exposed so retry timing is testable without a clock:
+/// connectBackoff doubles per retry and clamps at maxConnectBackoff.
+[[nodiscard]] std::vector<std::chrono::milliseconds> connectBackoffPlan(
+    const ClientConfig& config);
 
 enum class ClientStatus {
   Ok,
@@ -97,10 +116,19 @@ class QoSAgentClient {
   /// the connection is closed so the next call reconnects.
   ClientResult<Response> call(Request request);
 
+  /// Transport + decode; call() wraps it with the latency histogram.
+  ClientResult<Response> callImpl(Request request);
+
   ClientConfig config_;
   net::FrameLimits frameLimits_;
   net::Socket socket_;
   std::uint64_t nextRequestId_ = 1;
+  // Cached registry lookups (null when config_.metrics is null).
+  obs::Counter* connectAttempts_ = nullptr;
+  obs::Counter* connectFailures_ = nullptr;
+  obs::Counter* requests_ = nullptr;
+  obs::Counter* requestErrors_ = nullptr;
+  obs::HistogramMetric* requestLatencyUs_ = nullptr;
 };
 
 }  // namespace tprm::service

@@ -1,6 +1,7 @@
 #include "service/server.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <future>
 #include <utility>
 
@@ -20,6 +21,8 @@ constexpr std::chrono::milliseconds kPollSlice{50};
 struct NegotiationServer::PendingCommand {
   Request request;
   std::uint64_t arrivalSeq = 0;
+  /// Stamped at enqueue when observability is on (0 otherwise).
+  std::int64_t enqueuedNs = 0;
   std::promise<Response> promise;
 };
 
@@ -32,7 +35,20 @@ struct NegotiationServer::Session {
 NegotiationServer::NegotiationServer(ServerConfig config)
     : config_(std::move(config)),
       frameLimits_{config_.maxFrameBytes},
-      arbitrator_(config_.processors, config_.options) {}
+      arbitrator_(config_.processors, config_.options) {
+  if (config_.observability) {
+    registry_ = std::make_unique<obs::MetricsRegistry>();
+    negotiation_ = std::make_unique<obs::NegotiationMetrics>(
+        obs::NegotiationMetrics::fromRegistry(*registry_, "arbitrator"));
+    arbitrator_.attachMetrics(negotiation_.get());
+    trace_ = std::make_unique<obs::TraceRing>(
+        std::max<std::size_t>(config_.traceCapacity, 1));
+    queueDepth_ = &registry_->gauge("server.queue_depth");
+    sessionsActive_ = &registry_->gauge("server.sessions_active");
+    queueWaitUs_ = &obs::latencyHistogram(*registry_, "server.queue_wait_us");
+    executeUs_ = &obs::latencyHistogram(*registry_, "server.execute_us");
+  }
+}
 
 NegotiationServer::~NegotiationServer() { stop(); }
 
@@ -114,6 +130,34 @@ ServerCounters NegotiationServer::counters() const {
   return counters;
 }
 
+JsonValue NegotiationServer::observabilitySnapshot() const {
+  const ServerCounters server = counters();
+  JsonValue::Object serverObject;
+  serverObject["connections_accepted"] =
+      static_cast<double>(server.connectionsAccepted);
+  serverObject["connections_refused"] =
+      static_cast<double>(server.connectionsRefused);
+  serverObject["frames_malformed"] =
+      static_cast<double>(server.framesMalformed);
+  serverObject["frames_oversized"] =
+      static_cast<double>(server.framesOversized);
+  serverObject["commands_executed"] =
+      static_cast<double>(server.commandsExecuted);
+  serverObject["disconnects_mid_request"] =
+      static_cast<double>(server.disconnectsMidRequest);
+
+  JsonValue::Object root;
+  root["enabled"] = registry_ != nullptr;
+  root["server"] = JsonValue(std::move(serverObject));
+  if (registry_ != nullptr) {
+    // Graft the registry snapshot's sections in at top level.
+    const JsonValue metrics = registry_->snapshot();
+    for (const auto& [key, value] : metrics.asObject()) root[key] = value;
+    root["spans"] = trace_->snapshot();
+  }
+  return JsonValue(std::move(root));
+}
+
 void NegotiationServer::reapFinishedSessions() {
   std::lock_guard<std::mutex> lock(sessionsMutex_);
   auto it = sessions_.begin();
@@ -146,6 +190,7 @@ void NegotiationServer::acceptLoop(net::Listener* listener) {
       continue;
     }
     connectionsAccepted_.fetch_add(1);
+    if (sessionsActive_ != nullptr) sessionsActive_->add(1);
     auto session = std::make_unique<Session>();
     session->socket = std::move(accepted.socket);
     Session* raw = session.get();
@@ -234,6 +279,7 @@ void NegotiationServer::sessionLoop(Session* session) {
     idleStart = std::chrono::steady_clock::now();
   }
   socket.close();
+  if (sessionsActive_ != nullptr) sessionsActive_->add(-1);
   session->done.store(true);
 }
 
@@ -246,7 +292,11 @@ std::optional<std::uint64_t> NegotiationServer::enqueue(
   if (queueClosed_) return std::nullopt;
   const std::uint64_t seq = nextArrivalSeq_++;
   command->arrivalSeq = seq;
+  if (trace_ != nullptr) command->enqueuedNs = obs::monotonicNanos();
   queue_.push_back(std::move(command));
+  if (queueDepth_ != nullptr) {
+    queueDepth_->set(static_cast<std::int64_t>(queue_.size()));
+  }
   lock.unlock();
   queueNotEmpty_.notify_one();
   return seq;
@@ -262,14 +312,50 @@ void NegotiationServer::arbitratorLoop() {
       if (queue_.empty()) return;  // closed and drained
       command = std::move(queue_.front());
       queue_.pop_front();
+      if (queueDepth_ != nullptr) {
+        queueDepth_->set(static_cast<std::int64_t>(queue_.size()));
+      }
     }
     queueNotFull_.notify_one();
+    const std::int64_t startNs =
+        trace_ != nullptr ? obs::monotonicNanos() : 0;
     Response response = execute(command->request, command->arrivalSeq);
     response.id = command->request.id;
     ++commandsExecuted_;
     commandsExecutedShared_.store(commandsExecuted_);
+    if (trace_ != nullptr) recordSpan(*command, response, startNs);
     command->promise.set_value(std::move(response));
   }
+}
+
+void NegotiationServer::recordSpan(const PendingCommand& command,
+                                   const Response& response,
+                                   std::int64_t startNs) {
+  obs::TraceSpan span;
+  span.name = toString(command.request.command);
+  span.queuedNs = command.enqueuedNs;
+  span.startNs = startNs;
+  span.endNs = obs::monotonicNanos();
+  span.requestId = command.request.id;
+  span.arrivalSeq = command.arrivalSeq;
+  span.ok = response.ok;
+  if (const auto* result = std::get_if<NegotiateResult>(&response.result)) {
+    span.jobId = result->jobId;
+    span.ok = result->admitted;
+    if (result->admitted) {
+      char detail[64];
+      std::snprintf(detail, sizeof(detail), "chain=%zu quality=%.3f",
+                    result->chainIndex, result->quality);
+      span.detail = detail;
+    } else {
+      span.detail = "rejected";
+    }
+  } else if (!response.ok && response.error.has_value()) {
+    span.detail = response.error->code;
+  }
+  queueWaitUs_->record(span.queueWaitUs());
+  executeUs_->record(span.executeUs());
+  trace_->record(std::move(span));
 }
 
 Response NegotiationServer::execute(const Request& request,

@@ -40,8 +40,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/json.h"
 #include "net/frame.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "qos/qos.h"
 #include "service/protocol.h"
 
@@ -68,6 +71,13 @@ struct ServerConfig {
   std::chrono::milliseconds idleTimeout{30'000};
   /// Budget for finishing one frame / one response once started.
   std::chrono::milliseconds ioTimeout{5'000};
+  /// Attach the observability layer: a metrics registry over the whole
+  /// negotiation stack plus a trace ring of recent commands.  Counters sit
+  /// outside the decision path, so disabling only removes the bookkeeping —
+  /// decisions are identical either way.
+  bool observability = true;
+  /// Recent command spans retained by the trace ring (>= 1).
+  std::size_t traceCapacity = 256;
 };
 
 /// Counters exposed for tests and the STATS command.  Snapshot semantics.
@@ -106,6 +116,22 @@ class NegotiationServer {
 
   [[nodiscard]] ServerCounters counters() const;
 
+  /// Full observability snapshot:
+  ///   {"enabled": bool,
+  ///    "server": {per-connection/frame counters, queue+session gauges},
+  ///    "counters"/"gauges"/"histograms": registry snapshot,
+  ///    "spans": recent trace spans (oldest first)}
+  /// With observability disabled only {"enabled": false, "server": {...}} is
+  /// emitted.  Safe to call from any thread while the server runs.
+  [[nodiscard]] JsonValue observabilitySnapshot() const;
+
+  /// Registry / trace access for embedders (bench, examples); nullptr when
+  /// observability is disabled.
+  [[nodiscard]] obs::MetricsRegistry* metricsRegistry() {
+    return registry_.get();
+  }
+  [[nodiscard]] obs::TraceRing* traceRing() { return trace_.get(); }
+
  private:
   struct PendingCommand;
   struct Session;
@@ -120,6 +146,11 @@ class NegotiationServer {
   std::optional<std::uint64_t> enqueue(std::shared_ptr<PendingCommand> cmd);
 
   Response execute(const Request& request, std::uint64_t arrivalSeq);
+
+  /// Records one finished command into the histograms and the trace ring.
+  /// Called on the arbitrator thread; requires observability on.
+  void recordSpan(const PendingCommand& command, const Response& response,
+                  std::int64_t startNs);
 
   void reapFinishedSessions();
 
@@ -146,6 +177,17 @@ class NegotiationServer {
   /// Owned exclusively by the arbitrator thread after start().
   qos::QoSArbitrator arbitrator_;
   std::uint64_t commandsExecuted_ = 0;  // arbitrator thread only
+
+  // Observability (all null when config_.observability is false).  The
+  // registry owns the metric instances; the raw pointers below are cached
+  // lookups with registry lifetime.
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  std::unique_ptr<obs::NegotiationMetrics> negotiation_;
+  std::unique_ptr<obs::TraceRing> trace_;
+  obs::Gauge* queueDepth_ = nullptr;
+  obs::Gauge* sessionsActive_ = nullptr;
+  obs::HistogramMetric* queueWaitUs_ = nullptr;
+  obs::HistogramMetric* executeUs_ = nullptr;
 
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};

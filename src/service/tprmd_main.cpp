@@ -4,6 +4,12 @@
 //   tprmd --tcp-port=7411                   # TCP loopback endpoint
 //   tprmd --procs=64 --unix=... --tcp-port=0
 //
+// Observability:
+//   --metrics-out=FILE writes one compact-JSON observability snapshot per
+//   --metrics-interval-ms (default 1000) — JSON-lines, ready for jq/tail.
+//   SIGUSR1 dumps a pretty snapshot to stderr on demand.
+//   --no-metrics turns the layer off entirely.
+//
 // Runs until SIGINT/SIGTERM, then drains gracefully: in-flight
 // negotiations complete and are answered before the process exits.
 #include <atomic>
@@ -19,8 +25,10 @@
 namespace {
 
 std::atomic<bool> gShutdown{false};
+std::atomic<bool> gDumpMetrics{false};
 
 void onSignal(int) { gShutdown.store(true); }
+void onDumpSignal(int) { gDumpMetrics.store(true); }
 
 }  // namespace
 
@@ -29,7 +37,8 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto unknown = flags.unknownAgainst(
       {"procs", "unix", "tcp-port", "max-frame-kb", "queue-cap",
-       "max-sessions", "idle-timeout-ms", "io-timeout-ms", "verbose"});
+       "max-sessions", "idle-timeout-ms", "io-timeout-ms", "verbose",
+       "metrics-out", "metrics-interval-ms", "trace-cap", "no-metrics"});
   if (!unknown.empty()) {
     std::fprintf(stderr, "tprmd: unknown flag --%s\n", unknown.front().c_str());
     return 2;
@@ -55,12 +64,42 @@ int main(int argc, char** argv) {
       std::chrono::milliseconds(flags.getInt("idle-timeout-ms", 30'000));
   config.ioTimeout =
       std::chrono::milliseconds(flags.getInt("io-timeout-ms", 5'000));
+  config.observability = !flags.getBool("no-metrics", false);
+  config.traceCapacity =
+      static_cast<std::size_t>(flags.getInt("trace-cap", 256));
+
+  const std::string metricsPath = flags.getString("metrics-out", "");
+  const auto metricsInterval =
+      std::chrono::milliseconds(flags.getInt("metrics-interval-ms", 1'000));
+  if (!metricsPath.empty() && !config.observability) {
+    std::fprintf(stderr,
+                 "tprmd: --metrics-out requires metrics (drop --no-metrics)\n");
+    return 2;
+  }
+
+  // Install handlers before the server exists: a SIGUSR1 (or Ctrl-C) that
+  // lands mid-startup must not take the whole process down with the
+  // default disposition.
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGUSR1, onDumpSignal);
+  std::signal(SIGPIPE, SIG_IGN);
 
   service::NegotiationServer server(config);
   std::string error;
   if (!server.start(&error)) {
     std::fprintf(stderr, "tprmd: failed to start: %s\n", error.c_str());
     return 1;
+  }
+  FILE* metricsOut = nullptr;
+  if (!metricsPath.empty()) {
+    metricsOut = std::fopen(metricsPath.c_str(), "w");
+    if (metricsOut == nullptr) {
+      std::fprintf(stderr, "tprmd: cannot open --metrics-out file %s\n",
+                   metricsPath.c_str());
+      server.stop();
+      return 1;
+    }
   }
   if (!server.unixPath().empty()) {
     std::printf("tprmd: listening on unix:%s\n", server.unixPath().c_str());
@@ -72,15 +111,31 @@ int main(int argc, char** argv) {
   std::printf("tprmd: managing %d processors\n", config.processors);
   std::fflush(stdout);
 
-  std::signal(SIGINT, onSignal);
-  std::signal(SIGTERM, onSignal);
-  std::signal(SIGPIPE, SIG_IGN);
+  auto nextSnapshot = std::chrono::steady_clock::now() + metricsInterval;
   while (!gShutdown.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (gDumpMetrics.exchange(false)) {
+      std::fprintf(stderr, "%s\n",
+                   server.observabilitySnapshot().dump().c_str());
+      std::fflush(stderr);
+    }
+    if (metricsOut != nullptr &&
+        std::chrono::steady_clock::now() >= nextSnapshot) {
+      std::fprintf(metricsOut, "%s\n",
+                   server.observabilitySnapshot().dumpCompact().c_str());
+      std::fflush(metricsOut);
+      nextSnapshot += metricsInterval;
+    }
   }
 
   std::printf("tprmd: draining...\n");
   server.stop();
+  if (metricsOut != nullptr) {
+    // Final post-drain snapshot so the file ends with the complete totals.
+    std::fprintf(metricsOut, "%s\n",
+                 server.observabilitySnapshot().dumpCompact().c_str());
+    std::fclose(metricsOut);
+  }
   const auto counters = server.counters();
   std::printf("tprmd: served %llu commands over %llu connections; bye\n",
               static_cast<unsigned long long>(counters.commandsExecuted),

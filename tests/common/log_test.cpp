@@ -42,14 +42,46 @@ TEST_F(LogTest, EmittedLevelsDoNotCrash) {
   TPRM_LOG(Info) << "streamed " << 3.14 << " parts";
 }
 
-TEST_F(LogTest, MacroBuildsMessageLazily) {
+TEST_F(LogTest, SuppressedMacroEvaluatesNoOperands) {
   setLogLevel(LogLevel::Off);
   int evaluations = 0;
-  // The stream expression still evaluates (by design: the line builder is
-  // unconditional); the *emission* is what the level gates.  Document that
-  // contract.
+  // The level gate short-circuits BEFORE the line builder exists, so a
+  // filtered statement must not evaluate its streamed operands — logging an
+  // expensive expression at Debug is free in production.
   TPRM_LOG(Debug) << ++evaluations;
-  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST_F(LogTest, EnabledMacroEvaluatesOperandsOnce) {
+  setLogLevel(LogLevel::Debug);
+  int evaluations = 0;
+  TPRM_LOG(Debug) << "first " << ++evaluations;
+  TPRM_LOG(Debug) << "second " << ++evaluations;
+  EXPECT_EQ(evaluations, 2);
+}
+
+TEST_F(LogTest, LogEnabledTracksThreshold) {
+  setLogLevel(LogLevel::Warn);
+  EXPECT_FALSE(logEnabled(LogLevel::Debug));
+  EXPECT_FALSE(logEnabled(LogLevel::Info));
+  EXPECT_TRUE(logEnabled(LogLevel::Warn));
+  EXPECT_TRUE(logEnabled(LogLevel::Error));
+  setLogLevel(LogLevel::Off);
+  EXPECT_FALSE(logEnabled(LogLevel::Error));
+}
+
+TEST_F(LogTest, SuppressedMacroMixesWithUnbracedIf) {
+  // The ternary form must behave as a single statement: an un-braced
+  // if/else around TPRM_LOG must bind the way it reads.
+  setLogLevel(LogLevel::Off);
+  int evaluations = 0;
+  bool tookElse = false;
+  if (evaluations == 0)
+    TPRM_LOG(Debug) << ++evaluations;
+  else
+    tookElse = true;
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_FALSE(tookElse);
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include "common/rng.h"
 
@@ -88,6 +90,35 @@ TEST(StreamingStats, SummaryMentionsCount) {
   EXPECT_NE(s.summary().find("n=1"), std::string::npos);
 }
 
+TEST(StreamingStats, MergePropertyArbitrarySplits) {
+  // Property: merging any partition of a stream matches the single-stream
+  // reference, regardless of how many parts or how the values are skewed.
+  Rng rng(2026);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 1 + static_cast<int>(rng.uniformBelow(400));
+    const int parts = 1 + static_cast<int>(rng.uniformBelow(7));
+    StreamingStats reference;
+    std::vector<StreamingStats> shards(static_cast<std::size_t>(parts));
+    for (int i = 0; i < n; ++i) {
+      // Mix of scales so the Welford combine sees hostile magnitudes.
+      double x = rng.normal(0.0, 1.0);
+      if (rng.uniformBelow(4) == 0) x = x * 1e6 + 1e9;
+      if (rng.uniformBelow(5) == 0) x = -x;
+      reference.add(x);
+      shards[rng.uniformBelow(static_cast<std::uint64_t>(parts))].add(x);
+    }
+    StreamingStats merged;
+    for (const auto& shard : shards) merged.merge(shard);
+    ASSERT_EQ(merged.count(), reference.count());
+    EXPECT_NEAR(merged.mean(), reference.mean(),
+                1e-9 * std::max(1.0, std::fabs(reference.mean())));
+    EXPECT_NEAR(merged.variance(), reference.variance(),
+                1e-6 * std::max(1.0, reference.variance()));
+    EXPECT_DOUBLE_EQ(merged.min(), reference.min());
+    EXPECT_DOUBLE_EQ(merged.max(), reference.max());
+  }
+}
+
 TEST(Histogram, BucketsAndBounds) {
   Histogram h(0.0, 10.0, 10);
   h.add(0.0);    // first bucket
@@ -107,6 +138,49 @@ TEST(Histogram, QuantileOfUniformMass) {
   EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
   EXPECT_NEAR(h.quantile(0.1), 10.0, 1.5);
   EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(Histogram, AddAtExactlyLoLandsInFirstBucket) {
+  Histogram h(5.0, 15.0, 10);
+  h.add(5.0);  // lo is inclusive
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(Histogram, AddAtExactlyHiOverflows) {
+  Histogram h(5.0, 15.0, 10);
+  h.add(15.0);  // hi is exclusive
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bucket(9), 0u);
+  EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(Histogram, FloatingPointEdgeJustBelowHiStaysInLastBucket) {
+  // (x - lo) / width can round UP to bucketCount for x infinitesimally
+  // below hi; the clamp must park such values in the last bucket, never
+  // in overflow and never out of bounds.
+  const double lo = 0.0;
+  const double hi = 0.3;  // 0.3/3 is inexact in binary: worst case for /
+  Histogram h(lo, hi, 3);
+  h.add(std::nextafter(hi, lo));
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.bucket(2), 1u);
+}
+
+TEST(Histogram, FloatingPointEdgeManyBucketWidths) {
+  // Sweep awkward (hi, buckets) pairs; the value just below hi must always
+  // land in the final bucket.
+  const std::vector<std::pair<double, std::size_t>> cases = {
+      {0.1, 7}, {1.0, 3}, {3.0, 9}, {100.0, 13}, {1e-6, 11}};
+  for (const auto& [hi, buckets] : cases) {
+    Histogram h(0.0, hi, buckets);
+    h.add(std::nextafter(hi, 0.0));
+    EXPECT_EQ(h.overflow(), 0u) << "hi=" << hi << " buckets=" << buckets;
+    EXPECT_EQ(h.bucket(buckets - 1), 1u)
+        << "hi=" << hi << " buckets=" << buckets;
+  }
 }
 
 TEST(Histogram, QuantileClampsOutOfRangeQ) {

@@ -1,0 +1,167 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace tprm::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentAddsAreExact) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kAdds; ++i) counter.add();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST(GaugeTest, SetAndAddTrackValueAndHighWater) {
+  Gauge gauge;
+  gauge.set(5);
+  EXPECT_EQ(gauge.value(), 5);
+  EXPECT_EQ(gauge.max(), 5);
+  gauge.add(3);
+  EXPECT_EQ(gauge.value(), 8);
+  EXPECT_EQ(gauge.max(), 8);
+  gauge.add(-6);
+  EXPECT_EQ(gauge.value(), 2);
+  EXPECT_EQ(gauge.max(), 8);  // high-water mark survives the drop
+  gauge.set(1);
+  EXPECT_EQ(gauge.max(), 8);
+}
+
+TEST(HistogramMetricTest, EmptyReportsZeros) {
+  HistogramMetric metric(0.0, 100.0, 10);
+  EXPECT_EQ(metric.count(), 0u);
+  EXPECT_EQ(metric.quantile(0.5), 0.0);
+  EXPECT_EQ(metric.mean(), 0.0);
+}
+
+TEST(HistogramMetricTest, QuantilesAndExactStats) {
+  HistogramMetric metric(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) metric.record(static_cast<double>(i) + 0.5);
+  EXPECT_EQ(metric.count(), 100u);
+  EXPECT_NEAR(metric.quantile(0.50), 50.0, 2.0);
+  EXPECT_NEAR(metric.quantile(0.95), 95.0, 2.0);
+  EXPECT_NEAR(metric.mean(), 50.0, 1e-9);
+  EXPECT_EQ(metric.min(), 0.5);
+  EXPECT_EQ(metric.max(), 99.5);
+}
+
+TEST(HistogramMetricTest, OutOfRangeKeepsExactStats) {
+  HistogramMetric metric(0.0, 10.0, 10);
+  metric.record(-5.0);
+  metric.record(1'000.0);
+  // Quantiles clamp to the configured range, but mean/min/max stay exact.
+  EXPECT_EQ(metric.count(), 2u);
+  EXPECT_EQ(metric.min(), -5.0);
+  EXPECT_EQ(metric.max(), 1'000.0);
+  EXPECT_NEAR(metric.mean(), 497.5, 1e-9);
+}
+
+TEST(RegistryTest, RegistrationIsIdempotentWithStableAddresses) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = registry.gauge("g");
+  Gauge& g2 = registry.gauge("g");
+  EXPECT_EQ(&g1, &g2);
+  HistogramMetric& h1 = registry.histogram("h", 0.0, 10.0, 5);
+  HistogramMetric& h2 = registry.histogram("h", 0.0, 99.0, 7);  // first wins
+  EXPECT_EQ(&h1, &h2);
+
+  // Addresses survive later registrations (components cache raw pointers).
+  Counter* cached = &registry.counter("early");
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("late-" + std::to_string(i));
+  }
+  EXPECT_EQ(cached, &registry.counter("early"));
+}
+
+TEST(RegistryTest, SnapshotSerializesAllSections) {
+  MetricsRegistry registry;
+  registry.counter("jobs").add(3);
+  registry.gauge("depth").set(7);
+  registry.histogram("lat", 0.0, 100.0, 10).record(12.0);
+
+  const JsonValue snapshot = registry.snapshot();
+  const auto* counters = snapshot.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->find("jobs")->asNumber(), 3.0);
+  const auto* gauges = snapshot.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->find("depth")->find("value")->asNumber(), 7.0);
+  EXPECT_EQ(gauges->find("depth")->find("max")->asNumber(), 7.0);
+  const auto* histograms = snapshot.find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const auto* lat = histograms->find("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->find("count")->asNumber(), 1.0);
+  EXPECT_EQ(lat->find("mean")->asNumber(), 12.0);
+}
+
+TEST(RegistryTest, SnapshotOfSameStateIsByteStable) {
+  MetricsRegistry registry;
+  registry.counter("a").add(1);
+  registry.gauge("b").set(2);
+  registry.histogram("c", 0.0, 10.0, 4).record(3.0);
+  EXPECT_EQ(registry.snapshot().dump(), registry.snapshot().dump());
+  EXPECT_EQ(registry.snapshot().dumpCompact(), registry.snapshot().dumpCompact());
+}
+
+TEST(BundleTest, ProfileMetricsRegistersPrefixedCounters) {
+  MetricsRegistry registry;
+  ProfileMetrics bundle = ProfileMetrics::fromRegistry(registry, "p");
+  ASSERT_NE(bundle.fitProbes, nullptr);
+  bundle.fitProbes->add(2);
+  bundle.trialRollbacks->add();
+  EXPECT_EQ(registry.counter("p.fit_probes").value(), 2u);
+  EXPECT_EQ(registry.counter("p.trial_rollbacks").value(), 1u);
+  // Re-deriving the bundle aliases the same counters.
+  ProfileMetrics again = ProfileMetrics::fromRegistry(registry, "p");
+  EXPECT_EQ(bundle.fitProbes, again.fitProbes);
+}
+
+TEST(BundleTest, NegotiationMetricsCoversNestedBundles) {
+  MetricsRegistry registry;
+  NegotiationMetrics bundle =
+      NegotiationMetrics::fromRegistry(registry, "arb");
+  ASSERT_NE(bundle.negotiations, nullptr);
+  ASSERT_NE(bundle.profile.fitProbes, nullptr);
+  ASSERT_NE(bundle.arbitrator.chainsEvaluated, nullptr);
+  bundle.profile.fitProbes->add();
+  bundle.arbitrator.jobsAdmitted->add();
+  bundle.negotiations->add();
+  EXPECT_EQ(registry.counter("arb.profile.fit_probes").value(), 1u);
+  EXPECT_EQ(registry.counter("arb.heuristic.jobs_admitted").value(), 1u);
+  EXPECT_EQ(registry.counter("arb.negotiations").value(), 1u);
+}
+
+TEST(LatencyHistogramTest, SharedInstancePerName) {
+  MetricsRegistry registry;
+  HistogramMetric& a = latencyHistogram(registry, "lat");
+  HistogramMetric& b = latencyHistogram(registry, "lat");
+  EXPECT_EQ(&a, &b);
+  a.record(250.0);
+  EXPECT_EQ(b.count(), 1u);
+}
+
+}  // namespace
+}  // namespace tprm::obs

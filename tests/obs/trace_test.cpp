@@ -1,0 +1,100 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace tprm::obs {
+namespace {
+
+TraceSpan span(const std::string& name, std::int64_t queuedNs,
+               std::int64_t startNs, std::int64_t endNs) {
+  TraceSpan s;
+  s.name = name;
+  s.queuedNs = queuedNs;
+  s.startNs = startNs;
+  s.endNs = endNs;
+  return s;
+}
+
+TEST(TraceSpanTest, DurationsInMicroseconds) {
+  const TraceSpan s = span("NEGOTIATE", 1'000, 5'000, 12'000);
+  EXPECT_DOUBLE_EQ(s.queueWaitUs(), 4.0);
+  EXPECT_DOUBLE_EQ(s.executeUs(), 7.0);
+}
+
+TEST(MonotonicNanosTest, NeverDecreases) {
+  const auto a = monotonicNanos();
+  const auto b = monotonicNanos();
+  EXPECT_LE(a, b);
+}
+
+TEST(TraceRingTest, AssignsMonotonicSequence) {
+  TraceRing ring(4);
+  EXPECT_EQ(ring.record(span("A", 0, 0, 0)), 0u);
+  EXPECT_EQ(ring.record(span("B", 0, 0, 0)), 1u);
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.totalRecorded(), 2u);
+}
+
+TEST(TraceRingTest, RecentBeforeWrapIsInsertionOrder) {
+  TraceRing ring(4);
+  ring.record(span("A", 0, 0, 0));
+  ring.record(span("B", 0, 0, 0));
+  const auto spans = ring.recent();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "A");
+  EXPECT_EQ(spans[1].name, "B");
+}
+
+TEST(TraceRingTest, EvictsOldestWhenFull) {
+  TraceRing ring(3);
+  for (int i = 0; i < 5; ++i) {
+    ring.record(span("s" + std::to_string(i), 0, 0, 0));
+  }
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.totalRecorded(), 5u);
+  const auto spans = ring.recent();
+  ASSERT_EQ(spans.size(), 3u);
+  // Oldest first: spans 0 and 1 were evicted.
+  EXPECT_EQ(spans[0].name, "s2");
+  EXPECT_EQ(spans[0].seq, 2u);
+  EXPECT_EQ(spans[1].name, "s3");
+  EXPECT_EQ(spans[2].name, "s4");
+}
+
+TEST(TraceRingTest, CapacityOneKeepsOnlyNewest) {
+  TraceRing ring(1);
+  ring.record(span("old", 0, 0, 0));
+  ring.record(span("new", 0, 0, 0));
+  const auto spans = ring.recent();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "new");
+  EXPECT_EQ(spans[0].seq, 1u);
+}
+
+TEST(TraceRingTest, SnapshotCarriesAllFields) {
+  TraceRing ring(2);
+  TraceSpan s = span("NEGOTIATE", 1'000, 3'000, 8'000);
+  s.requestId = 7;
+  s.arrivalSeq = 3;
+  s.jobId = 11;
+  s.ok = true;
+  s.detail = "chain=1 quality=0.700";
+  ring.record(std::move(s));
+
+  const JsonValue snapshot = ring.snapshot();
+  ASSERT_TRUE(snapshot.isArray());
+  ASSERT_EQ(snapshot.asArray().size(), 1u);
+  const JsonValue& e = snapshot.asArray().front();
+  EXPECT_EQ(e.find("seq")->asNumber(), 0.0);
+  EXPECT_EQ(e.find("name")->asString(), "NEGOTIATE");
+  EXPECT_EQ(e.find("request_id")->asNumber(), 7.0);
+  EXPECT_EQ(e.find("arrival_seq")->asNumber(), 3.0);
+  EXPECT_EQ(e.find("job_id")->asNumber(), 11.0);
+  EXPECT_TRUE(e.find("ok")->asBool());
+  EXPECT_DOUBLE_EQ(e.find("queue_wait_us")->asNumber(), 2.0);
+  EXPECT_DOUBLE_EQ(e.find("execute_us")->asNumber(), 5.0);
+  EXPECT_EQ(e.find("detail")->asString(), "chain=1 quality=0.700");
+}
+
+}  // namespace
+}  // namespace tprm::obs

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace tprm::resource {
 namespace {
@@ -321,6 +322,138 @@ TEST(ProfileTrial, VersionAdvancesAcrossRollback) {
   EXPECT_EQ(p.findEarliestFit(0, 5, 6, kTimeInfinity, &hint),
             p.findEarliestFit(0, 5, 6, kTimeInfinity));
   trial.commit();
+}
+
+// ---------------------------------------------------------------------------
+// FitHint identity: a hint is only resumable on the profile that wrote it.
+// ---------------------------------------------------------------------------
+
+TEST(ProfileIdentity, EveryConstructionGetsDistinctNonZeroId) {
+  AvailabilityProfile a(8);
+  AvailabilityProfile b(8);
+  EXPECT_NE(a.profileId(), 0u);
+  EXPECT_NE(b.profileId(), 0u);
+  EXPECT_NE(a.profileId(), b.profileId());
+}
+
+TEST(ProfileIdentity, CopyGetsFreshIdMoveKeepsIt) {
+  AvailabilityProfile a(8);
+  const auto idA = a.profileId();
+  AvailabilityProfile copy(a);
+  EXPECT_NE(copy.profileId(), idA);
+  EXPECT_NE(copy.profileId(), 0u);
+  AvailabilityProfile assigned(4);
+  assigned = a;
+  EXPECT_NE(assigned.profileId(), idA);
+  // Histories converge again under move: the moved-to object IS the source.
+  AvailabilityProfile moved(std::move(a));
+  EXPECT_EQ(moved.profileId(), idA);
+  AvailabilityProfile moveAssigned(4);
+  moveAssigned = std::move(moved);
+  EXPECT_EQ(moveAssigned.profileId(), idA);
+}
+
+TEST(ProfileIdentity, ProbeStampsHintWithOwnerId) {
+  AvailabilityProfile p(8);
+  FitHint hint;
+  (void)p.findEarliestFit(0, 5, 2, kTimeInfinity, &hint);
+  EXPECT_EQ(hint.profile, p.profileId());
+  EXPECT_EQ(hint.version, p.version());
+}
+
+TEST(FitHintCrossProfile, HintFromEqualVersionSiblingIsIgnored) {
+  // Regression: two profiles can reach identical mutation counters through
+  // different histories.  Before the identity token, a hint written by `a`
+  // validated against `b` (same version) and resumed b's scan mid-array,
+  // skipping b's actual earliest hole and returning a far-too-late start.
+  AvailabilityProfile a(8);
+  a.reserve(TimeInterval{0, 10}, 8);
+  a.reserve(TimeInterval{10, 20}, 7);
+  a.reserve(TimeInterval{20, 30}, 8);
+  a.reserve(TimeInterval{30, 100}, 7);
+
+  AvailabilityProfile b(8);
+  b.reserve(TimeInterval{50, 60}, 8);
+  b.reserve(TimeInterval{60, 70}, 7);
+  b.reserve(TimeInterval{70, 80}, 8);
+  b.reserve(TimeInterval{80, 100}, 7);
+
+  // Same mutation count — the version check alone cannot tell them apart.
+  ASSERT_EQ(a.version(), b.version());
+
+  FitHint hint;
+  // a is saturated until t=100, so its probe parks the hint deep in the
+  // segment array.
+  const auto fitA = a.findEarliestFit(0, 5, 2, kTimeInfinity, &hint);
+  ASSERT_TRUE(fitA.has_value());
+  EXPECT_EQ(*fitA, 100);
+  EXPECT_EQ(hint.profile, a.profileId());
+
+  // b is wide open at t=0.  Feeding it a's hint must not move the answer.
+  const auto unhinted = b.findEarliestFit(0, 5, 2, kTimeInfinity);
+  const auto hinted = b.findEarliestFit(0, 5, 2, kTimeInfinity, &hint);
+  ASSERT_TRUE(unhinted.has_value());
+  EXPECT_EQ(*unhinted, 0);
+  EXPECT_EQ(hinted, unhinted);
+  // The probe re-stamps the hint for its own profile, so follow-up probes
+  // on b CAN resume.
+  EXPECT_EQ(hint.profile, b.profileId());
+  const auto resumed = b.findEarliestFit(0, 5, 2, kTimeInfinity, &hint);
+  EXPECT_EQ(resumed, unhinted);
+}
+
+TEST(FitHintCrossProfile, CopySharesLayoutButNotHints) {
+  // A copy starts byte-identical, but the histories diverge immediately:
+  // honouring the original's hint after the copy mutates would be unsound,
+  // and the fresh id guarantees it never happens.
+  AvailabilityProfile a(8);
+  a.reserve(TimeInterval{0, 50}, 8);
+  AvailabilityProfile copy(a);
+  copy.release(TimeInterval{0, 50}, 8);
+  a.reserve(TimeInterval{50, 60}, 8);  // equalise the mutation counters
+  ASSERT_EQ(a.version(), copy.version());
+  FitHint hint;
+  (void)a.findEarliestFit(0, 5, 2, kTimeInfinity, &hint);
+  ASSERT_EQ(hint.version, copy.version());
+  const auto hinted = copy.findEarliestFit(0, 5, 2, kTimeInfinity, &hint);
+  const auto unhinted = copy.findEarliestFit(0, 5, 2, kTimeInfinity);
+  EXPECT_EQ(hinted, unhinted);
+  ASSERT_TRUE(unhinted.has_value());
+  EXPECT_EQ(*unhinted, 0);
+}
+
+TEST(ProfileMetricsObservation, CountersTrackProbesWithoutChangingResults) {
+  obs::MetricsRegistry registry;
+  obs::ProfileMetrics metrics = obs::ProfileMetrics::fromRegistry(registry, "p");
+  AvailabilityProfile instrumented(8);
+  AvailabilityProfile plain(8);
+  for (auto* p : {&instrumented, &plain}) {
+    p->reserve(TimeInterval{0, 10}, 8);
+    p->reserve(TimeInterval{20, 30}, 7);
+  }
+  instrumented.attachMetrics(&metrics);
+
+  FitHint hint;
+  const auto r1 = instrumented.findEarliestFit(0, 5, 2, kTimeInfinity, &hint);
+  const auto r2 = instrumented.findEarliestFit(0, 5, 2, kTimeInfinity, &hint);
+  EXPECT_EQ(r1, plain.findEarliestFit(0, 5, 2, kTimeInfinity));
+  EXPECT_EQ(r1, r2);
+
+  EXPECT_EQ(metrics.fitProbes->value(), 2u);
+  // First probe has a default (invalid) hint; the second resumes from it.
+  EXPECT_EQ(metrics.fitHintMisses->value(), 1u);
+  EXPECT_EQ(metrics.fitHintHits->value(), 1u);
+  EXPECT_GT(metrics.segmentsScanned->value(), 0u);
+
+  {
+    AvailabilityProfile::Trial trial(instrumented);
+    instrumented.reserve(TimeInterval{40, 50}, 3);
+    trial.rollback();
+    trial.commit();
+  }
+  EXPECT_EQ(metrics.trialRollbacks->value(), 1u);
+  EXPECT_EQ(metrics.trialCommits->value(), 1u);
+  EXPECT_EQ(metrics.trialOpsUndone->value(), 1u);
 }
 
 TEST(ProfileTrialDeath, NestedTrialAborts) {

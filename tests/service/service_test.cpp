@@ -13,8 +13,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/json.h"
 #include "net/frame.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
 #include "qos/qos.h"
 #include "service/client.h"
 #include "service/protocol.h"
@@ -503,6 +505,163 @@ TEST(Service, ClientRetriesUntilServerAppears) {
   ASSERT_TRUE(stats.ok()) << stats.error.message;
   EXPECT_EQ(stats->processors, 8);
   server.stop();
+}
+
+// Retry backoff plan invariants (no sockets involved).
+TEST(Backoff, PlanDoublesThenClampsAtCap) {
+  ClientConfig config;
+  config.connectAttempts = 8;
+  config.connectBackoff = 1ms;
+  config.maxConnectBackoff = 4ms;
+  const auto plan = connectBackoffPlan(config);
+  const std::vector<std::chrono::milliseconds> expected = {
+      0ms, 1ms, 2ms, 4ms, 4ms, 4ms, 4ms, 4ms};
+  EXPECT_EQ(plan, expected);
+}
+
+TEST(Backoff, FirstAttemptIsImmediate) {
+  ClientConfig config;
+  config.connectAttempts = 1;
+  EXPECT_EQ(connectBackoffPlan(config),
+            std::vector<std::chrono::milliseconds>{0ms});
+  // A non-positive attempt count still yields one immediate attempt.
+  config.connectAttempts = 0;
+  EXPECT_EQ(connectBackoffPlan(config),
+            std::vector<std::chrono::milliseconds>{0ms});
+}
+
+TEST(Backoff, CapBelowInitialBackoffClampsEveryRetry) {
+  ClientConfig config;
+  config.connectAttempts = 4;
+  config.connectBackoff = 100ms;
+  config.maxConnectBackoff = 10ms;
+  const auto plan = connectBackoffPlan(config);
+  const std::vector<std::chrono::milliseconds> expected = {0ms, 10ms, 10ms,
+                                                           10ms};
+  EXPECT_EQ(plan, expected);
+}
+
+TEST(Backoff, ManyAttemptsNeverExceedCapOrOverflow) {
+  // Regression: unbounded doubling overflowed the chrono rep after ~40
+  // retries and produced negative sleeps; every entry must now respect the
+  // configured ceiling no matter how long the client keeps retrying.
+  ClientConfig config;
+  config.connectAttempts = 64;
+  config.connectBackoff = 20ms;
+  const auto plan = connectBackoffPlan(config);
+  ASSERT_EQ(plan.size(), 64u);
+  for (std::size_t i = 1; i < plan.size(); ++i) {
+    EXPECT_GE(plan[i], plan[i - 1]) << "attempt " << i;
+    EXPECT_GT(plan[i], 0ms) << "attempt " << i;
+    EXPECT_LE(plan[i], config.maxConnectBackoff) << "attempt " << i;
+  }
+  EXPECT_EQ(plan.back(), config.maxConnectBackoff);
+}
+
+// Observability: the metrics/trace layer rides along the loopback path.
+TEST(Observability, ServerSnapshotCoversNegotiationLifecycle) {
+  NegotiationServer server(unixConfig(16));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  QoSAgentClient client(clientFor(server));
+  const auto decision = client.negotiate(makeSpec(1), /*release=*/0);
+  ASSERT_TRUE(decision.ok()) << decision.error.message;
+  ASSERT_TRUE(decision->admitted);
+  const auto cancelled = client.cancel(decision->jobId);
+  ASSERT_TRUE(cancelled.ok());
+  const auto stats = client.stats();
+  ASSERT_TRUE(stats.ok());
+
+  const JsonValue snapshot = server.observabilitySnapshot();
+  EXPECT_TRUE(snapshot.find("enabled")->asBool());
+
+  const auto* counters = snapshot.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->find("arbitrator.negotiations")->asNumber(), 1.0);
+  EXPECT_EQ(counters->find("arbitrator.admitted")->asNumber(), 1.0);
+  EXPECT_EQ(counters->find("arbitrator.cancels")->asNumber(), 1.0);
+  EXPECT_GE(counters->find("arbitrator.profile.fit_probes")->asNumber(), 1.0);
+  EXPECT_GE(counters->find("arbitrator.heuristic.chains_evaluated")->asNumber(),
+            1.0);
+
+  const auto* gauges = snapshot.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(gauges->find("server.queue_depth"), nullptr);
+
+  // Every executed command left a span and a queue-wait observation.
+  const auto executed = server.counters().commandsExecuted;
+  EXPECT_EQ(executed, 3u);
+  const auto* spans = snapshot.find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_TRUE(spans->isArray());
+  ASSERT_EQ(spans->asArray().size(), executed);
+  EXPECT_EQ(spans->asArray()[0].find("name")->asString(), "NEGOTIATE");
+  EXPECT_TRUE(spans->asArray()[0].find("ok")->asBool());
+  const auto* waits = snapshot.find("histograms")->find("server.queue_wait_us");
+  ASSERT_NE(waits, nullptr);
+  EXPECT_EQ(waits->find("count")->asNumber(), static_cast<double>(executed));
+
+  server.stop();
+}
+
+TEST(Observability, DisabledServerKeepsOnlyPlainCounters) {
+  auto config = unixConfig(8);
+  config.observability = false;
+  NegotiationServer server(config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  EXPECT_EQ(server.metricsRegistry(), nullptr);
+  EXPECT_EQ(server.traceRing(), nullptr);
+
+  QoSAgentClient client(clientFor(server));
+  ASSERT_TRUE(client.stats().ok());
+
+  const JsonValue snapshot = server.observabilitySnapshot();
+  EXPECT_FALSE(snapshot.find("enabled")->asBool());
+  EXPECT_EQ(snapshot.find("counters"), nullptr);
+  EXPECT_EQ(snapshot.find("spans"), nullptr);
+  // The always-on plain server counters remain available either way.
+  ASSERT_NE(snapshot.find("server"), nullptr);
+  EXPECT_GE(snapshot.find("server")->find("commands_executed")->asNumber(),
+            1.0);
+  server.stop();
+}
+
+TEST(Observability, ClientRegistryCountsRequestsAndLatency) {
+  NegotiationServer server(unixConfig(8));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  obs::MetricsRegistry registry;
+  auto config = clientFor(server);
+  config.metrics = &registry;
+  QoSAgentClient client(config);
+  ASSERT_TRUE(client.stats().ok());
+  ASSERT_TRUE(client.verify().ok());
+
+  EXPECT_EQ(registry.counter("client.requests").value(), 2u);
+  EXPECT_EQ(registry.counter("client.request_errors").value(), 0u);
+  EXPECT_GE(registry.counter("client.connect_attempts").value(), 1u);
+  EXPECT_EQ(registry.counter("client.connect_failures").value(), 0u);
+  const auto& latency = obs::latencyHistogram(registry, "client.request_us");
+  EXPECT_EQ(latency.count(), 2u);
+  EXPECT_GT(latency.max(), 0.0);
+  server.stop();
+}
+
+TEST(Observability, FailedConnectCountsFailures) {
+  obs::MetricsRegistry registry;
+  ClientConfig config;
+  config.unixPath = "/tmp/tprm-svc-test-no-such-server.sock";
+  config.connectAttempts = 2;
+  config.connectBackoff = 1ms;
+  config.metrics = &registry;
+  QoSAgentClient client(config);
+  ASSERT_FALSE(client.stats().ok());
+  EXPECT_EQ(registry.counter("client.connect_attempts").value(), 2u);
+  EXPECT_EQ(registry.counter("client.connect_failures").value(), 1u);
+  EXPECT_EQ(registry.counter("client.request_errors").value(), 1u);
 }
 
 // Wire protocol codec invariants (no sockets involved).

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Validate an observability snapshot against docs/metrics_schema.json.
+
+Stdlib-only implementation of the JSON Schema subset the checked-in schema
+uses: type, required, properties, additionalProperties, items, minimum, enum.
+Keys starting with "$" are treated as annotations and ignored.
+
+Usage:
+    tools/validate_metrics.py SNAPSHOT.json [--schema docs/metrics_schema.json]
+
+The snapshot file may be a single JSON document or JSON-lines (as written by
+`tprmd --metrics-out`); with JSON-lines every line is validated.
+
+Exit status: 0 when every document validates, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "number": (int, float),
+    "integer": int,
+}
+
+
+def _type_ok(value, expected: str) -> bool:
+    if expected == "integer":
+        # JSON has no integer type; accept whole-valued floats (histogram
+        # counts round-trip through double in the C++ JSON layer).
+        if isinstance(value, bool):
+            return False
+        return isinstance(value, int) or (
+            isinstance(value, float) and value.is_integer()
+        )
+    if expected == "number":
+        return not isinstance(value, bool) and isinstance(value, (int, float))
+    python_type = _TYPES[expected]
+    if expected != "boolean" and isinstance(value, bool):
+        return False
+    return isinstance(value, python_type)
+
+
+def validate(value, schema: dict, path: str = "$") -> list[str]:
+    """Returns a list of human-readable violations (empty when valid)."""
+    errors: list[str] = []
+
+    expected_type = schema.get("type")
+    if expected_type is not None and not _type_ok(value, expected_type):
+        return [f"{path}: expected {expected_type}, got {type(value).__name__}"]
+
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+
+    if "minimum" in schema and isinstance(value, (int, float)) and not isinstance(
+        value, bool
+    ):
+        if value < schema["minimum"]:
+            errors.append(f"{path}: {value} below minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        additional = schema.get("additionalProperties", True)
+        for key, item in value.items():
+            child_path = f"{path}.{key}"
+            if key in properties:
+                errors.extend(validate(item, properties[key], child_path))
+            elif additional is False:
+                errors.append(f"{path}: unexpected key {key!r}")
+            elif isinstance(additional, dict):
+                errors.extend(validate(item, additional, child_path))
+
+    if isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            errors.extend(validate(item, schema["items"], f"{path}[{index}]"))
+
+    return errors
+
+
+def _documents(text: str):
+    """Yields (label, parsed) for a single document or JSON-lines input."""
+    stripped = text.strip()
+    if not stripped:
+        raise ValueError("empty input")
+    try:
+        yield "document", json.loads(stripped)
+        return
+    except json.JSONDecodeError:
+        pass  # fall through to JSON-lines
+    for number, line in enumerate(stripped.splitlines(), start=1):
+        line = line.strip()
+        if line:
+            yield f"line {number}", json.loads(line)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("snapshot", type=pathlib.Path)
+    parser.add_argument(
+        "--schema",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent
+        / "docs"
+        / "metrics_schema.json",
+    )
+    args = parser.parse_args()
+
+    schema = json.loads(args.schema.read_text())
+    failures = 0
+    checked = 0
+    for label, document in _documents(args.snapshot.read_text()):
+        checked += 1
+        for error in validate(document, schema):
+            print(f"{args.snapshot}:{label}: {error}", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"FAIL: {failures} violation(s) across {checked} document(s)",
+              file=sys.stderr)
+        return 1
+    print(f"OK: {checked} document(s) match {args.schema}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
