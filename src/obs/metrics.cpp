@@ -148,4 +148,16 @@ NegotiationMetrics NegotiationMetrics::fromRegistry(MetricsRegistry& registry,
   return m;
 }
 
+ShardedMetrics ShardedMetrics::fromRegistry(MetricsRegistry& registry,
+                                            const std::string& prefix) {
+  ShardedMetrics m;
+  m.spillAttempts = &registry.counter(prefix + ".spill_attempts");
+  m.spillAdmitted = &registry.counter(prefix + ".spill_admitted");
+  m.rebalanceChecks = &registry.counter(prefix + ".rebalance_checks");
+  m.rebalanceMoves = &registry.counter(prefix + ".rebalance_moves");
+  m.rebalanceProcessorsMoved =
+      &registry.counter(prefix + ".rebalance_processors_moved");
+  return m;
+}
+
 }  // namespace tprm::obs

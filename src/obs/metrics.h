@@ -197,4 +197,20 @@ struct NegotiationMetrics {
                                          const std::string& prefix);
 };
 
+/// Cross-shard counters for qos::ShardedArbitrator: the spill path (job
+/// rejected by its home shard offered to the emptiest other shard) and the
+/// capacity rebalancer.  Per-shard negotiation counters live in one
+/// NegotiationMetrics bundle per shard; these count only the events that
+/// span shards.
+struct ShardedMetrics {
+  Counter* spillAttempts = nullptr;  // home-shard rejections offered elsewhere
+  Counter* spillAdmitted = nullptr;  // spill offers that landed
+  Counter* rebalanceChecks = nullptr;  // rebalance() invocations
+  Counter* rebalanceMoves = nullptr;   // invocations that moved processors
+  Counter* rebalanceProcessorsMoved = nullptr;
+
+  static ShardedMetrics fromRegistry(MetricsRegistry& registry,
+                                     const std::string& prefix);
+};
+
 }  // namespace tprm::obs

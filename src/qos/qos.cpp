@@ -81,16 +81,18 @@ std::int64_t QoSArbitrator::cancel(std::uint64_t jobId) {
   if (metrics_ != nullptr) metrics_->cancels->add();
   std::int64_t freed = 0;
   for (const auto& placement : it->second.placements) {
-    // Only capacity that has not yet been consumed can be returned: clip to
-    // [clock, end).
-    const TimeInterval remaining =
-        placement.interval.intersect(TimeInterval{clock_, kTimeInfinity});
-    if (!remaining.empty()) {
-      profile_.release(remaining, placement.processors);
-      freed += static_cast<std::int64_t>(placement.processors) *
-               remaining.length();
-    }
+    // Only not-yet-started reservations can be returned.  A running task is
+    // non-preemptible (the same rule resize() phase 1 enforces), so its
+    // remainder stays reserved until the task completes; finished placements
+    // have nothing left to give back.
+    if (placement.interval.begin < clock_) continue;
+    profile_.release(placement.interval, placement.processors);
+    freed += static_cast<std::int64_t>(placement.processors) *
+             placement.interval.length();
   }
+  // Keep the audit trail in step: the returned capacity is no longer a
+  // commitment, so later admissions may legitimately reuse it.
+  (void)ledger_.annul(jobId, clock_);
   live_.erase(it);
   return freed;
 }
@@ -119,14 +121,15 @@ RenegotiationReport QoSArbitrator::resize(int processors, Time when) {
   // they are.  A running task that no longer fits kills its job outright.
   std::vector<std::uint64_t> doomed;
   for (auto& [jobId, job] : live_) {
-    for (const auto& p : job.placements) {
+    for (std::size_t t = 0; t < job.placements.size(); ++t) {
+      const auto& p = job.placements[t];
       // Strictly-started only: a task beginning exactly at the resize
       // instant has consumed nothing and is re-placed in phase 2 instead.
       if (p.interval.begin < clock_ && clock_ < p.interval.end) {
         const TimeInterval rest{clock_, p.interval.end};
         if (profile_.minAvailable(rest) >= p.processors) {
           profile_.reserve(rest, p.processors);
-          ledger_.add(resource::Reservation{jobId, /*taskIndex=*/0,
+          ledger_.add(resource::Reservation{jobId, static_cast<int>(t),
                                             static_cast<int>(job.chainIndex),
                                             rest, p.processors, p.deadline});
         } else {
@@ -204,20 +207,33 @@ RenegotiationReport QoSArbitrator::resize(int processors, Time when) {
     instance.id = jobId;
     instance.release = earliestStart;
     bool feasibleSpec = true;
+    // When chains are filtered during rebasing (firstFuture == 0), maps the
+    // instance's chain index back to the original spec's chain index.
+    std::vector<std::size_t> originalChain;
     if (firstFuture == 0) {
-      instance.spec = job.spec;
+      instance.spec.name = job.spec.name;
       // Rebase deadlines: relativeDeadline was relative to the original
-      // release; make it relative to the new one.
-      for (auto& chain : instance.spec.chains) {
+      // release; make it relative to the new one.  A chain whose rebased
+      // deadline can no longer be met is off the table, but the surviving
+      // chains are exactly the freedom tunability exists to exploit — the
+      // job is infeasible only when no chain survives.
+      for (std::size_t c = 0; c < job.spec.chains.size(); ++c) {
+        task::Chain chain = job.spec.chains[c];
+        bool chainFeasible = true;
         for (auto& taskSpec : chain.tasks) {
           if (taskSpec.relativeDeadline >= kTimeInfinity) continue;
           const Time absolute = job.release + taskSpec.relativeDeadline;
           if (absolute <= earliestStart + taskSpec.request.duration) {
-            feasibleSpec = false;
+            chainFeasible = false;
+            break;
           }
           taskSpec.relativeDeadline = absolute - earliestStart;
         }
+        if (!chainFeasible) continue;
+        originalChain.push_back(c);
+        instance.spec.chains.push_back(std::move(chain));
       }
+      feasibleSpec = !instance.spec.chains.empty();
     } else {
       const auto& chain = job.spec.chains[job.chainIndex];
       task::Chain suffix;
@@ -255,7 +271,7 @@ RenegotiationReport QoSArbitrator::resize(int processors, Time when) {
     if (metrics_ != nullptr) metrics_->resizeReconfigured->add();
     // Splice the new placements (and possibly new chain) into the live job.
     if (firstFuture == 0) {
-      job.chainIndex = decision.schedule.chainIndex;
+      job.chainIndex = originalChain[decision.schedule.chainIndex];
       job.release = earliestStart;
       job.placements = decision.schedule.placements;
       record(jobId, job.chainIndex, job.placements);

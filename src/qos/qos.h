@@ -112,6 +112,12 @@ class QoSArbitrator {
   [[nodiscard]] std::uint64_t admittedCount() const { return admitted_; }
   [[nodiscard]] std::uint64_t rejectedCount() const { return rejected_; }
 
+  /// True while the job holds live (renegotiable) commitments: admitted and
+  /// neither finished, cancelled, nor dropped.
+  [[nodiscard]] bool live(std::uint64_t jobId) const {
+    return live_.count(jobId) != 0;
+  }
+
   /// Id assigned to the most recently submitted job (admitted or not);
   /// nullopt before the first submission.
   [[nodiscard]] std::optional<std::uint64_t> lastJobId() const {

@@ -1,0 +1,290 @@
+#include "qos/sharded.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace tprm::qos {
+
+ShardedArbitrator::ShardedArbitrator(int processors, ShardedOptions options)
+    : options_(options) {
+  TPRM_CHECK(options.shards >= 1, "need at least one shard");
+  TPRM_CHECK(processors >= options.shards,
+             "need at least one processor per shard");
+  TPRM_CHECK(options.spillHorizon > 0, "spill horizon must be positive");
+  const int base = processors / options.shards;
+  const int extra = processors % options.shards;
+  shards_.reserve(static_cast<std::size_t>(options.shards));
+  for (int k = 0; k < options.shards; ++k) {
+    shards_.push_back(
+        std::make_unique<Shard>(base + (k < extra ? 1 : 0), options.greedy));
+  }
+}
+
+Time ShardedArbitrator::advanceClock(Time t) {
+  Time seen = clock_.load(std::memory_order_relaxed);
+  while (seen < t &&
+         !clock_.compare_exchange_weak(seen, t, std::memory_order_acq_rel)) {
+  }
+  return std::max(seen, t);
+}
+
+void ShardedArbitrator::bindJob(std::uint64_t globalId, int shard,
+                                std::uint64_t localId) {
+  shards_[static_cast<std::size_t>(shard)]->toGlobal[localId] = globalId;
+  std::lock_guard<std::mutex> lock(mapMutex_);
+  toLocal_[globalId] = {shard, localId};
+}
+
+std::vector<std::unique_lock<std::mutex>> ShardedArbitrator::lockAll() const {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    locks.emplace_back(shard->mu);
+  }
+  return locks;
+}
+
+int ShardedArbitrator::processors() const {
+  int total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->arb.processors();
+  }
+  return total;
+}
+
+std::vector<int> ShardedArbitrator::shardProcessors() const {
+  std::vector<int> sizes;
+  sizes.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    sizes.push_back(shard->arb.processors());
+  }
+  return sizes;
+}
+
+sched::AdmissionDecision ShardedArbitrator::submit(
+    std::uint64_t jobId, const task::TunableJobSpec& spec, Time release,
+    Time* effectiveRelease) {
+  const Time r = advanceClock(release);
+  const int home = homeShard(jobId);
+  sched::AdmissionDecision decision;
+  {
+    auto& shard = *shards_[static_cast<std::size_t>(home)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // The shard's clock trails the global one (it only sees its own
+    // traffic); clamping keeps the per-shard non-decreasing-release invariant
+    // without forcing global serialization.
+    const Time local = std::max(r, shard.arb.clock());
+    if (effectiveRelease != nullptr) *effectiveRelease = local;
+    decision = shard.arb.submit(spec, local);
+    if (decision.admitted) {
+      bindJob(jobId, home, shard.arb.lastJobId().value());
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      return decision;
+    }
+  }
+
+  if (options_.spill && shards_.size() > 1) {
+    if (shardedMetrics_ != nullptr) shardedMetrics_->spillAttempts->add();
+    // Offer the job to the shard with the most free area near its release.
+    int best = -1;
+    std::int64_t bestFree = -1;
+    for (int k = 0; k < shardCount(); ++k) {
+      if (k == home) continue;
+      auto& shard = *shards_[static_cast<std::size_t>(k)];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      const Time from = std::max(r, shard.arb.clock());
+      const TimeInterval window{from, from + options_.spillHorizon};
+      const std::int64_t freeTicks =
+          static_cast<std::int64_t>(shard.arb.processors()) * window.length() -
+          shard.arb.profile().busyProcessorTicks(window);
+      if (freeTicks > bestFree) {
+        bestFree = freeTicks;
+        best = k;
+      }
+    }
+    if (best >= 0) {
+      auto& shard = *shards_[static_cast<std::size_t>(best)];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      const Time local = std::max(r, shard.arb.clock());
+      const auto spilled = shard.arb.submit(spec, local);
+      if (spilled.admitted) {
+        if (effectiveRelease != nullptr) *effectiveRelease = local;
+        bindJob(jobId, best, shard.arb.lastJobId().value());
+        admitted_.fetch_add(1, std::memory_order_relaxed);
+        spills_.fetch_add(1, std::memory_order_relaxed);
+        if (shardedMetrics_ != nullptr) shardedMetrics_->spillAdmitted->add();
+        return spilled;
+      }
+    }
+  }
+
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  return decision;
+}
+
+std::int64_t ShardedArbitrator::cancel(std::uint64_t jobId) {
+  if (shards_.size() == 1) {
+    // Global and local ids coincide; forwarding unknown ids too preserves
+    // the unsharded miss accounting exactly.
+    auto& shard = *shards_[0];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto freed = shard.arb.cancel(jobId);
+    shard.toGlobal.erase(jobId);
+    std::lock_guard<std::mutex> mapLock(mapMutex_);
+    toLocal_.erase(jobId);
+    return freed;
+  }
+
+  std::optional<std::pair<int, std::uint64_t>> location;
+  {
+    std::lock_guard<std::mutex> mapLock(mapMutex_);
+    const auto it = toLocal_.find(jobId);
+    if (it != toLocal_.end()) location = it->second;
+  }
+  if (!location.has_value()) {
+    // Unknown, rejected, or already finished: account the miss on the home
+    // shard, like the unsharded arbitrator would.
+    auto& shard = *shards_[static_cast<std::size_t>(homeShard(jobId))];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto* metrics = shard.arb.metrics();
+    if (metrics != nullptr && metrics->cancelMisses != nullptr) {
+      metrics->cancelMisses->add();
+    }
+    return 0;
+  }
+  auto& shard = *shards_[static_cast<std::size_t>(location->first)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto freed = shard.arb.cancel(location->second);
+  shard.toGlobal.erase(location->second);
+  std::lock_guard<std::mutex> mapLock(mapMutex_);
+  toLocal_.erase(jobId);
+  return freed;
+}
+
+RenegotiationReport ShardedArbitrator::resize(int processors, Time when) {
+  TPRM_CHECK(processors >= shardCount(),
+             "resize needs at least one processor per shard");
+  const Time w = advanceClock(when);
+  const auto locks = lockAll();
+
+  RenegotiationReport report;
+  report.processorsAfter = processors;
+  const int base = processors / shardCount();
+  const int extra = processors % shardCount();
+  for (int k = 0; k < shardCount(); ++k) {
+    auto& shard = *shards_[static_cast<std::size_t>(k)];
+    report.processorsBefore += shard.arb.processors();
+    const auto shardReport = shard.arb.resize(
+        base + (k < extra ? 1 : 0), std::max(w, shard.arb.clock()));
+    for (const auto localId : shardReport.kept) {
+      report.kept.push_back(shard.toGlobal.at(localId));
+    }
+    for (const auto localId : shardReport.reconfigured) {
+      report.reconfigured.push_back(shard.toGlobal.at(localId));
+    }
+    for (const auto localId : shardReport.dropped) {
+      report.dropped.push_back(shard.toGlobal.at(localId));
+    }
+    // Live sets shrank (drops, retirements): prune dead id bindings so the
+    // maps track live jobs only.
+    std::lock_guard<std::mutex> mapLock(mapMutex_);
+    for (auto it = shard.toGlobal.begin(); it != shard.toGlobal.end();) {
+      if (!shard.arb.live(it->first)) {
+        toLocal_.erase(it->second);
+        it = shard.toGlobal.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  std::sort(report.kept.begin(), report.kept.end());
+  std::sort(report.reconfigured.begin(), report.reconfigured.end());
+  std::sort(report.dropped.begin(), report.dropped.end());
+  return report;
+}
+
+ShardRebalanceReport ShardedArbitrator::rebalance(Time when) {
+  ShardRebalanceReport report;
+  if (shardCount() < 2) return report;
+  if (shardedMetrics_ != nullptr) shardedMetrics_->rebalanceChecks->add();
+  const Time w = advanceClock(when);
+  const auto locks = lockAll();
+
+  // A shard's idle count is the capacity free from `when` on — processors
+  // the donor can give up without touching any commitment.
+  int donor = -1;
+  int receiver = -1;
+  std::vector<int> idle(static_cast<std::size_t>(shardCount()), 0);
+  for (int k = 0; k < shardCount(); ++k) {
+    const auto& arb = shards_[static_cast<std::size_t>(k)]->arb;
+    const Time from = std::max(w, arb.clock());
+    idle[static_cast<std::size_t>(k)] =
+        arb.profile().minAvailable(TimeInterval{from, kTimeInfinity});
+    if (donor < 0 || idle[static_cast<std::size_t>(k)] >
+                         idle[static_cast<std::size_t>(donor)]) {
+      donor = k;
+    }
+    if (receiver < 0 || idle[static_cast<std::size_t>(k)] <
+                            idle[static_cast<std::size_t>(receiver)]) {
+      receiver = k;
+    }
+  }
+  report.maxIdle = idle[static_cast<std::size_t>(donor)];
+  report.minIdle = idle[static_cast<std::size_t>(receiver)];
+  const int gap = report.maxIdle - report.minIdle;
+  if (donor == receiver || gap < options_.rebalanceThreshold) return report;
+
+  auto& donorArb = shards_[static_cast<std::size_t>(donor)]->arb;
+  auto& receiverArb = shards_[static_cast<std::size_t>(receiver)]->arb;
+  const int move = std::min({gap / 2, report.maxIdle,
+                             donorArb.processors() - 1});
+  if (move <= 0) return report;
+
+  const auto shrink = donorArb.resize(donorArb.processors() - move,
+                                      std::max(w, donorArb.clock()));
+  // The donor only gives up always-idle processors, so the shrink must keep
+  // every reservation in place.
+  TPRM_CHECK(shrink.dropped.empty(), "rebalance shrink dropped a commitment");
+  (void)receiverArb.resize(receiverArb.processors() + move,
+                           std::max(w, receiverArb.clock()));
+  report.moved = true;
+  report.fromShard = donor;
+  report.toShard = receiver;
+  report.processors = move;
+  if (shardedMetrics_ != nullptr) {
+    shardedMetrics_->rebalanceMoves->add();
+    shardedMetrics_->rebalanceProcessorsMoved->add(
+        static_cast<std::uint64_t>(move));
+  }
+  return report;
+}
+
+resource::VerificationReport ShardedArbitrator::verify() const {
+  const auto locks = lockAll();
+  for (const auto& shard : shards_) {
+    auto report = shard->arb.verify();
+    if (!report.ok) return report;
+  }
+  return resource::VerificationReport{};
+}
+
+void ShardedArbitrator::attachMetrics(
+    std::vector<obs::NegotiationMetrics*> perShard,
+    obs::ShardedMetrics* sharded) {
+  TPRM_CHECK(perShard.empty() ||
+                 perShard.size() == static_cast<std::size_t>(shardCount()),
+             "per-shard metrics bundle count must match shard count");
+  for (int k = 0; k < shardCount(); ++k) {
+    auto& shard = *shards_[static_cast<std::size_t>(k)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.arb.attachMetrics(
+        perShard.empty() ? nullptr : perShard[static_cast<std::size_t>(k)]);
+  }
+  shardedMetrics_ = sharded;
+}
+
+}  // namespace tprm::qos

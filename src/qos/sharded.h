@@ -1,0 +1,208 @@
+// Sharded admission: K independent QoSArbitrators, each owning a static
+// partition of the processor pool.
+//
+// One arbitrator on one decision thread caps negotiation throughput — every
+// admission walks one global availability profile.  Dynamic-resizing
+// schedulers (ReSHAPE, the SLURM dynamic-resource extension) scale admission
+// by partitioning the machine among cooperating scheduler instances, and the
+// same shape works here because the paper's arbitrator is already
+// partition-friendly: a job's guarantee only ever depends on the profile it
+// was admitted against.
+//
+// Three mechanisms on top of the plain partition:
+//  * routing — a job's *home* shard is `jobId % K`, so a deterministic id
+//    assignment (the service stamps ids in arrival order) gives a
+//    deterministic route;
+//  * spill — a job its home shard rejects is offered to the shard with the
+//    most free area before final rejection, recovering most of the admission
+//    rate a partition would otherwise lose to fragmentation;
+//  * rebalance — a periodic sweep moves whole processors from the most-idle
+//    shard to the busiest one through the existing resize() hook, never
+//    dropping a commitment (the donor only gives up processors that are idle
+//    from now on).
+//
+// With K=1 every operation forwards to the single QoSArbitrator with the
+// same ids, clocks, and counters — byte-identical decisions to the unsharded
+// arbitrator (the service's replay-equivalence tests pin this).
+//
+// Thread-safe: each shard has its own lock; submit/cancel lock one shard at
+// a time, resize/rebalance/verify lock all shards in index order.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "qos/qos.h"
+
+namespace tprm::obs {
+struct ShardedMetrics;  // obs/metrics.h; nullable observation hook
+}  // namespace tprm::obs
+
+namespace tprm::qos {
+
+struct ShardedOptions {
+  /// Number of independent arbitrator shards (>= 1).
+  int shards = 1;
+  /// Admission heuristic configuration shared by every shard.
+  sched::GreedyOptions greedy = {};
+  /// Offer home-shard rejections to the emptiest other shard before finally
+  /// rejecting.  Off, the shards are fully independent (and per-shard replay
+  /// is exact) at the cost of admission rate.
+  bool spill = true;
+  /// Free-area window used to pick the spill target, from the job's release.
+  Time spillHorizon = 256 * kTicksPerUnit;
+  /// rebalance() moves processors only when the most-idle and least-idle
+  /// shards differ by at least this many always-free processors.
+  int rebalanceThreshold = 2;
+};
+
+/// Outcome of one rebalance() sweep.
+struct ShardRebalanceReport {
+  bool moved = false;
+  int fromShard = -1;
+  int toShard = -1;
+  /// Whole processors moved (0 unless `moved`).
+  int processors = 0;
+  /// Idle processors (free from `when` on) of the extreme shards observed.
+  int maxIdle = 0;
+  int minIdle = 0;
+};
+
+/// K independent QoSArbitrator shards behind the QoSArbitrator surface,
+/// plus spill and rebalance.  Job ids are global; each shard numbers its own
+/// jobs locally and the wrapper keeps the translation.
+class ShardedArbitrator {
+ public:
+  /// Partitions `processors` across `options.shards` shards (first
+  /// `processors % shards` shards get the extra one).  Requires at least one
+  /// processor per shard.
+  explicit ShardedArbitrator(int processors, ShardedOptions options = {});
+
+  [[nodiscard]] int shardCount() const {
+    return static_cast<int>(shards_.size());
+  }
+  /// Current total machine size (sum over shards; rebalance preserves it).
+  [[nodiscard]] int processors() const;
+  /// Current per-shard machine sizes.
+  [[nodiscard]] std::vector<int> shardProcessors() const;
+
+  /// Global logical clock: max release/resize time seen by any operation.
+  /// Shard clocks trail it (each shard only sees its own traffic), so
+  /// operations clamp to the target shard's clock on entry.
+  [[nodiscard]] Time clock() const {
+    return clock_.load(std::memory_order_acquire);
+  }
+
+  /// Draws the next global job id.  The service reserves ids at enqueue time
+  /// (in arrival order) so that the id — and therefore the home shard — of a
+  /// negotiation is fixed before it is queued.
+  [[nodiscard]] std::uint64_t reserveJobId() {
+    return nextJobId_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Next id reserveJobId() would return.
+  [[nodiscard]] std::uint64_t peekNextJobId() const {
+    return nextJobId_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::optional<std::uint64_t> lastJobId() const {
+    const auto next = nextJobId_.load(std::memory_order_relaxed);
+    if (next == 0) return std::nullopt;
+    return next - 1;
+  }
+  /// Home shard of a job id.
+  [[nodiscard]] int homeShard(std::uint64_t jobId) const {
+    return static_cast<int>(jobId % shards_.size());
+  }
+
+  /// Admission for a pre-reserved global id: tries the home shard, then (if
+  /// enabled) spills to the shard with the most free area.  `release` is
+  /// clamped to the target shard's clock; the value actually used is
+  /// returned through `effectiveRelease` when non-null.
+  [[nodiscard]] sched::AdmissionDecision submit(
+      std::uint64_t jobId, const task::TunableJobSpec& spec, Time release,
+      Time* effectiveRelease = nullptr);
+  /// Convenience overload that reserves the id itself (see lastJobId()).
+  [[nodiscard]] sched::AdmissionDecision submit(
+      const task::TunableJobSpec& spec, Time release) {
+    return submit(reserveJobId(), spec, release);
+  }
+
+  /// Cancels a job by global id wherever it was admitted.  Returns freed
+  /// processor-ticks (0 for unknown/finished jobs, as unsharded).
+  std::int64_t cancel(std::uint64_t jobId);
+
+  /// Resizes the whole machine: splits `processors` evenly across shards and
+  /// renegotiates each shard.  Reports global job ids.  Requires
+  /// `processors >= shardCount()`.
+  RenegotiationReport resize(int processors, Time when);
+
+  /// One rebalance sweep at time `when`: if the always-idle gap between the
+  /// extreme shards reaches the threshold, moves half the gap (whole
+  /// processors, donor keeps >= 1) from the most-idle to the least-idle
+  /// shard.  Never drops a commitment.
+  ShardRebalanceReport rebalance(Time when);
+
+  /// Verifies every shard's commitments (all machine eras).
+  [[nodiscard]] resource::VerificationReport verify() const;
+
+  /// Global job outcomes (a spilled admission counts once, for the job).
+  [[nodiscard]] std::uint64_t admittedCount() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t rejectedCount() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  /// Jobs admitted by a shard other than their home shard.
+  [[nodiscard]] std::uint64_t spillCount() const {
+    return spills_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-shard negotiation counters plus the cross-shard bundle.
+  /// `perShard` must be empty (detach) or hold shardCount() entries.  Note
+  /// shard counters count *local* admission attempts: a spilled job shows up
+  /// as a rejection on its home shard and an admission on the spill shard.
+  void attachMetrics(std::vector<obs::NegotiationMetrics*> perShard,
+                     obs::ShardedMetrics* sharded);
+
+  /// Read access to one shard for diagnostics and tests.  The reference is
+  /// only safe to use while no other thread operates on the arbitrator.
+  [[nodiscard]] const QoSArbitrator& shard(int k) const {
+    return shards_[static_cast<std::size_t>(k)]->arb;
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(int processors, sched::GreedyOptions options)
+        : arb(processors, options) {}
+    mutable std::mutex mu;
+    QoSArbitrator arb;
+    /// Local job id -> global job id, for live jobs of this shard.
+    std::unordered_map<std::uint64_t, std::uint64_t> toGlobal;
+  };
+
+  /// Advances the global clock to at least `t`; returns the new value.
+  Time advanceClock(Time t);
+  /// Registers a global<->local id binding.  Caller holds the shard's lock.
+  void bindJob(std::uint64_t globalId, int shard, std::uint64_t localId);
+  /// Locks every shard in index order.
+  [[nodiscard]] std::vector<std::unique_lock<std::mutex>> lockAll() const;
+
+  ShardedOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<Time> clock_{0};
+  std::atomic<std::uint64_t> nextJobId_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> spills_{0};
+  /// Global job id -> (shard, local id), for live jobs.
+  mutable std::mutex mapMutex_;
+  std::unordered_map<std::uint64_t, std::pair<int, std::uint64_t>> toLocal_;
+  obs::ShardedMetrics* shardedMetrics_ = nullptr;  // nullable observation hook
+};
+
+}  // namespace tprm::qos

@@ -23,6 +23,23 @@ void ReservationLedger::add(const Reservation& r) {
   makespan_ = std::max(makespan_, r.interval.end);
 }
 
+std::size_t ReservationLedger::annul(std::uint64_t jobId, Time from) {
+  const auto first = std::remove_if(
+      entries_.begin(), entries_.end(), [&](const Reservation& r) {
+        return r.jobId == jobId && r.interval.begin >= from;
+      });
+  const auto removed = static_cast<std::size_t>(entries_.end() - first);
+  if (removed == 0) return 0;
+  entries_.erase(first, entries_.end());
+  totalArea_ = 0;
+  makespan_ = 0;
+  for (const auto& r : entries_) {
+    totalArea_ += r.area();
+    makespan_ = std::max(makespan_, r.interval.end);
+  }
+  return removed;
+}
+
 double ReservationLedger::utilization(Time horizon) const {
   TPRM_CHECK(horizon > 0, "utilization horizon must be positive");
   std::int64_t clipped = 0;

@@ -44,8 +44,9 @@ struct VerificationReport {
   int violations = 0;
 };
 
-/// Append-only record of committed reservations with exact verification and
-/// utilization queries.
+/// Record of committed reservations with exact verification and utilization
+/// queries.  Entries are only ever removed by `annul` (cancellation of
+/// not-yet-started work); everything else is append-only.
 class ReservationLedger {
  public:
   /// Ledger for a machine with `totalProcessors` processors.
@@ -53,6 +54,13 @@ class ReservationLedger {
 
   /// Records one committed reservation.
   void add(const Reservation& r);
+
+  /// Annuls (removes) the reservations of `jobId` that begin at or after
+  /// `from` — the bookkeeping counterpart of a cancellation returning
+  /// not-yet-started capacity to the profile.  Started reservations stay:
+  /// their capacity remains committed.  Returns the number of entries
+  /// removed.
+  std::size_t annul(std::uint64_t jobId, Time from);
 
   [[nodiscard]] const std::vector<Reservation>& reservations() const {
     return entries_;

@@ -310,6 +310,7 @@ std::string encodeResponse(const Response& response) {
     res["rejected"] = static_cast<std::int64_t>(stats->rejected);
     res["commandsExecuted"] =
         static_cast<std::int64_t>(stats->commandsExecuted);
+    res["shards"] = stats->shards;
     o["result"] = std::move(res);
   } else if (const auto* verify = std::get_if<VerifyResult>(&response.result)) {
     o["cmd"] = toString(Command::Verify);
@@ -437,6 +438,9 @@ ResponseParseResult decodeResponse(const std::string& text) {
     stats.admitted = rr.id("admitted");
     stats.rejected = rr.id("rejected");
     stats.commandsExecuted = rr.id("commandsExecuted");
+    if (const auto* shards = result->find("shards")) {
+      if (shards->isNumber()) stats.shards = static_cast<int>(shards->asNumber());
+    }
     if (rr.failed()) {
       out.error = rr.error();
       return out;

@@ -98,8 +98,11 @@ struct StatsResult {
   Time clock = 0;
   std::uint64_t admitted = 0;
   std::uint64_t rejected = 0;
-  /// Total commands the arbitrator thread has executed.
+  /// Total commands the arbitrator worker(s) have executed.
   std::uint64_t commandsExecuted = 0;
+  /// Arbitrator shards serving this machine (1 = classic single-writer).
+  /// Decoded tolerantly: responses from older servers default to 1.
+  int shards = 1;
 };
 
 struct VerifyResult {

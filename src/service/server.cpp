@@ -15,12 +15,23 @@ namespace {
 /// Accept/idle poll granularity: how quickly threads notice stopping_.
 constexpr std::chrono::milliseconds kPollSlice{50};
 
+qos::ShardedOptions shardedOptions(const ServerConfig& config) {
+  qos::ShardedOptions options;
+  options.shards = config.shards;
+  options.greedy = config.options;
+  options.spill = config.shardSpill;
+  return options;
+}
+
 }  // namespace
 
-/// One decoded command travelling from a session to the arbitrator thread.
+/// One decoded command travelling from a session to a worker thread.
 struct NegotiationServer::PendingCommand {
   Request request;
   std::uint64_t arrivalSeq = 0;
+  /// Global job id reserved at enqueue (NEGOTIATE only): fixes the home
+  /// shard before the command is queued.
+  std::optional<std::uint64_t> presetJobId;
   /// Stamped at enqueue when observability is on (0 otherwise).
   std::int64_t enqueuedNs = 0;
   std::promise<Response> promise;
@@ -32,18 +43,50 @@ struct NegotiationServer::Session {
   std::atomic<bool> done{false};
 };
 
+/// One shard's bounded command queue and the worker draining it.
+struct NegotiationServer::ShardQueue {
+  std::mutex mu;
+  std::condition_variable notEmpty;
+  std::condition_variable notFull;
+  std::deque<std::shared_ptr<PendingCommand>> queue;
+  /// "server.queue_depth" (shards == 1) / "server.queue_depth.shard<k>".
+  obs::Gauge* depth = nullptr;
+  std::thread worker;
+};
+
 NegotiationServer::NegotiationServer(ServerConfig config)
     : config_(std::move(config)),
       frameLimits_{config_.maxFrameBytes},
-      arbitrator_(config_.processors, config_.options) {
+      arbitrator_(config_.processors, shardedOptions(config_)) {
+  queues_.reserve(static_cast<std::size_t>(config_.shards));
+  for (int k = 0; k < config_.shards; ++k) {
+    queues_.push_back(std::make_unique<ShardQueue>());
+  }
   if (config_.observability) {
     registry_ = std::make_unique<obs::MetricsRegistry>();
-    negotiation_ = std::make_unique<obs::NegotiationMetrics>(
-        obs::NegotiationMetrics::fromRegistry(*registry_, "arbitrator"));
-    arbitrator_.attachMetrics(negotiation_.get());
+    // With one shard the metric names match the unsharded server exactly;
+    // with K the per-shard bundles get a shard suffix and the cross-shard
+    // events (spill, rebalance) their own bundle.
+    std::vector<obs::NegotiationMetrics*> perShard;
+    for (int k = 0; k < config_.shards; ++k) {
+      const std::string prefix =
+          config_.shards == 1 ? "arbitrator"
+                              : "arbitrator.shard" + std::to_string(k);
+      negotiation_.push_back(std::make_unique<obs::NegotiationMetrics>(
+          obs::NegotiationMetrics::fromRegistry(*registry_, prefix)));
+      perShard.push_back(negotiation_.back().get());
+      queues_[static_cast<std::size_t>(k)]->depth = &registry_->gauge(
+          config_.shards == 1 ? "server.queue_depth"
+                              : "server.queue_depth.shard" +
+                                    std::to_string(k));
+    }
+    if (config_.shards > 1) {
+      shardedMetrics_ = std::make_unique<obs::ShardedMetrics>(
+          obs::ShardedMetrics::fromRegistry(*registry_, "sharded"));
+    }
+    arbitrator_.attachMetrics(std::move(perShard), shardedMetrics_.get());
     trace_ = std::make_unique<obs::TraceRing>(
         std::max<std::size_t>(config_.traceCapacity, 1));
-    queueDepth_ = &registry_->gauge("server.queue_depth");
     sessionsActive_ = &registry_->gauge("server.sessions_active");
     queueWaitUs_ = &obs::latencyHistogram(*registry_, "server.queue_wait_us");
     executeUs_ = &obs::latencyHistogram(*registry_, "server.execute_us");
@@ -77,7 +120,13 @@ bool NegotiationServer::start(std::string* error) {
     return false;
   }
   started_ = true;
-  arbitratorThread_ = std::thread([this] { arbitratorLoop(); });
+  for (int k = 0; k < config_.shards; ++k) {
+    queues_[static_cast<std::size_t>(k)]->worker =
+        std::thread([this, k] { workerLoop(k); });
+  }
+  if (config_.shards > 1 && config_.rebalanceIntervalMs > 0) {
+    rebalanceThread_ = std::thread([this] { rebalanceLoop(); });
+  }
   if (unixListener_.valid()) {
     acceptThreads_.emplace_back([this] { acceptLoop(&unixListener_); });
   }
@@ -96,10 +145,11 @@ void NegotiationServer::stop() {
   acceptThreads_.clear();
   unixListener_.close();
   tcpListener_.close();
+  if (rebalanceThread_.joinable()) rebalanceThread_.join();
 
-  // 2. Let every session finish its in-flight request.  The arbitrator
-  // thread keeps draining the queue meanwhile, so sessions blocked on a
-  // response (or on backpressure) always make progress.
+  // 2. Let every session finish its in-flight request.  The workers keep
+  // draining their queues meanwhile, so sessions blocked on a response (or
+  // on backpressure) always make progress.
   {
     std::lock_guard<std::mutex> lock(sessionsMutex_);
     for (auto& session : sessions_) {
@@ -108,15 +158,23 @@ void NegotiationServer::stop() {
     sessions_.clear();
   }
 
-  // 3. No producers remain: close the queue and join the arbitrator after
-  // it has executed everything already admitted.
+  // 3. No producers remain: close the queues and join each worker after it
+  // has executed everything already admitted.  seqMutex_ serialises the
+  // close against any straggling enqueue.
   {
-    std::lock_guard<std::mutex> lock(queueMutex_);
-    queueClosed_ = true;
+    std::lock_guard<std::mutex> lock(seqMutex_);
+    queueClosed_.store(true);
   }
-  queueNotEmpty_.notify_all();
-  queueNotFull_.notify_all();
-  arbitratorThread_.join();
+  for (auto& queue : queues_) {
+    {
+      std::lock_guard<std::mutex> lock(queue->mu);
+    }
+    queue->notEmpty.notify_all();
+    queue->notFull.notify_all();
+  }
+  for (auto& queue : queues_) {
+    if (queue->worker.joinable()) queue->worker.join();
+  }
 }
 
 ServerCounters NegotiationServer::counters() const {
@@ -125,7 +183,7 @@ ServerCounters NegotiationServer::counters() const {
   counters.connectionsRefused = connectionsRefused_.load();
   counters.framesMalformed = framesMalformed_.load();
   counters.framesOversized = framesOversized_.load();
-  counters.commandsExecuted = commandsExecutedShared_.load();
+  counters.commandsExecuted = commandsExecuted_.load();
   counters.disconnectsMidRequest = disconnectsMidRequest_.load();
   return counters;
 }
@@ -263,8 +321,8 @@ void NegotiationServer::sessionLoop(Session* session) {
                            "server is draining; retry elsewhere");
       keepServing = false;
     } else {
-      // The arbitrator thread always fulfils admitted commands, including
-      // during drain, so this wait is bounded by the queue length.
+      // The workers always fulfil admitted commands, including during
+      // drain, so this wait is bounded by the queue length.
       response = future.get();
     }
     const auto encoded = encodeResponse(response);
@@ -285,46 +343,78 @@ void NegotiationServer::sessionLoop(Session* session) {
 
 std::optional<std::uint64_t> NegotiationServer::enqueue(
     std::shared_ptr<PendingCommand> command) {
-  std::unique_lock<std::mutex> lock(queueMutex_);
-  queueNotFull_.wait(lock, [this] {
-    return queue_.size() < config_.commandQueueCapacity || queueClosed_;
-  });
-  if (queueClosed_) return std::nullopt;
+  std::lock_guard<std::mutex> seqLock(seqMutex_);
+  if (queueClosed_.load()) return std::nullopt;
   const std::uint64_t seq = nextArrivalSeq_++;
   command->arrivalSeq = seq;
+  // Route: a negotiation's job id — reserved here, in arrival order — fixes
+  // its home shard; cancels follow the job's home shard so cancel-after-
+  // negotiate pairs stay ordered; machine-wide commands serialise through
+  // queue 0.
+  std::size_t target = 0;
+  if (command->request.command == Command::Negotiate) {
+    command->presetJobId = arbitrator_.reserveJobId();
+    target = static_cast<std::size_t>(
+        arbitrator_.homeShard(*command->presetJobId));
+  } else if (command->request.command == Command::Cancel) {
+    target = static_cast<std::size_t>(arbitrator_.homeShard(
+        std::get<CancelRequest>(command->request.payload).jobId));
+  }
+  auto& queue = *queues_[target];
+  std::unique_lock<std::mutex> lock(queue.mu);
+  // Backpressure with seqMutex_ held: later arrivals cannot overtake this
+  // command into the same queue, so per-queue order == arrivalSeq order.
+  // queueClosed_ cannot flip during the wait (stop() needs seqMutex_), so
+  // the workers draining the queue are the only exit.
+  queue.notFull.wait(lock, [&] {
+    return queue.queue.size() < config_.commandQueueCapacity;
+  });
   if (trace_ != nullptr) command->enqueuedNs = obs::monotonicNanos();
-  queue_.push_back(std::move(command));
-  if (queueDepth_ != nullptr) {
-    queueDepth_->set(static_cast<std::int64_t>(queue_.size()));
+  queue.queue.push_back(std::move(command));
+  if (queue.depth != nullptr) {
+    queue.depth->set(static_cast<std::int64_t>(queue.queue.size()));
   }
   lock.unlock();
-  queueNotEmpty_.notify_one();
+  queue.notEmpty.notify_one();
   return seq;
 }
 
-void NegotiationServer::arbitratorLoop() {
+void NegotiationServer::workerLoop(int shard) {
+  auto& queue = *queues_[static_cast<std::size_t>(shard)];
   for (;;) {
     std::shared_ptr<PendingCommand> command;
     {
-      std::unique_lock<std::mutex> lock(queueMutex_);
-      queueNotEmpty_.wait(lock,
-                          [this] { return !queue_.empty() || queueClosed_; });
-      if (queue_.empty()) return;  // closed and drained
-      command = std::move(queue_.front());
-      queue_.pop_front();
-      if (queueDepth_ != nullptr) {
-        queueDepth_->set(static_cast<std::int64_t>(queue_.size()));
+      std::unique_lock<std::mutex> lock(queue.mu);
+      queue.notEmpty.wait(lock, [&] {
+        return !queue.queue.empty() || queueClosed_.load();
+      });
+      if (queue.queue.empty()) return;  // closed and drained
+      command = std::move(queue.queue.front());
+      queue.queue.pop_front();
+      if (queue.depth != nullptr) {
+        queue.depth->set(static_cast<std::int64_t>(queue.queue.size()));
       }
     }
-    queueNotFull_.notify_one();
+    queue.notFull.notify_one();
     const std::int64_t startNs =
         trace_ != nullptr ? obs::monotonicNanos() : 0;
-    Response response = execute(command->request, command->arrivalSeq);
+    Response response = execute(command->request, command->arrivalSeq,
+                                command->presetJobId);
     response.id = command->request.id;
-    ++commandsExecuted_;
-    commandsExecutedShared_.store(commandsExecuted_);
+    commandsExecuted_.fetch_add(1);
     if (trace_ != nullptr) recordSpan(*command, response, startNs);
     command->promise.set_value(std::move(response));
+  }
+}
+
+void NegotiationServer::rebalanceLoop() {
+  const auto interval = std::chrono::milliseconds(config_.rebalanceIntervalMs);
+  auto next = std::chrono::steady_clock::now() + interval;
+  while (!stopping_) {
+    std::this_thread::sleep_for(std::min(kPollSlice, interval));
+    if (std::chrono::steady_clock::now() < next) continue;
+    next = std::chrono::steady_clock::now() + interval;
+    (void)arbitrator_.rebalance(arbitrator_.clock());
   }
 }
 
@@ -358,22 +448,26 @@ void NegotiationServer::recordSpan(const PendingCommand& command,
   trace_->record(std::move(span));
 }
 
-Response NegotiationServer::execute(const Request& request,
-                                    std::uint64_t arrivalSeq) {
+Response NegotiationServer::execute(
+    const Request& request, std::uint64_t arrivalSeq,
+    const std::optional<std::uint64_t>& presetJobId) {
   Response response;
   response.ok = true;
   switch (request.command) {
     case Command::Negotiate: {
       const auto& payload = std::get<NegotiateRequest>(request.payload);
+      const std::uint64_t jobId = presetJobId.value();
       // Wire clients are not clock-synchronized with the arbitrator; a
       // release behind the (monotone) negotiation clock means "now".
-      const Time release = std::max(payload.release, arbitrator_.clock());
-      const auto decision = arbitrator_.submit(payload.spec, release);
+      Time effectiveRelease = payload.release;
+      const auto decision = arbitrator_.submit(jobId, payload.spec,
+                                               payload.release,
+                                               &effectiveRelease);
       NegotiateResult result;
       result.admitted = decision.admitted;
-      result.jobId = arbitrator_.lastJobId().value();
+      result.jobId = jobId;
       result.arrivalSeq = arrivalSeq;
-      result.release = release;
+      result.release = effectiveRelease;
       result.chainsConsidered = decision.chainsConsidered;
       result.chainsSchedulable = decision.chainsSchedulable;
       if (decision.admitted) {
@@ -399,6 +493,10 @@ Response NegotiationServer::execute(const Request& request,
         return makeError(request.id, "bad_request",
                          "RESIZE requires processors >= 1");
       }
+      if (payload.processors < config_.shards) {
+        return makeError(request.id, "bad_request",
+                         "RESIZE requires at least one processor per shard");
+      }
       const Time when = std::max(payload.when, arbitrator_.clock());
       const auto report = arbitrator_.resize(payload.processors, when);
       ResizeResult result;
@@ -416,7 +514,8 @@ Response NegotiationServer::execute(const Request& request,
       result.clock = arbitrator_.clock();
       result.admitted = arbitrator_.admittedCount();
       result.rejected = arbitrator_.rejectedCount();
-      result.commandsExecuted = commandsExecuted_ + 1;  // include this one
+      result.commandsExecuted = commandsExecuted_.load() + 1;  // incl. this
+      result.shards = config_.shards;
       response.result = result;
       return response;
     }

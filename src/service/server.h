@@ -3,18 +3,29 @@
 // Architecture (mirrors the paper's Section 3 split, across a real process
 // boundary): per-application QoS agents connect over a Unix-domain or TCP
 // loopback socket and exchange length-prefixed JSON frames; the system-wide
-// QoSArbitrator stays single-threaded behind a command queue.
+// arbitrator state sits behind per-shard command queues.
 //
 //   accept thread(s) ──► session thread per connection
 //                          │  read frame, decode, validate
 //                          ▼
-//                 bounded command queue  (backpressure: enqueue blocks)
-//                          │  arrival order stamped here
+//            (arrivalSeq, jobId) drawn atomically, command routed
+//                          │  NEGOTIATE/CANCEL: queue[jobId % K]
+//                          │  RESIZE/STATS/VERIFY: queue[0]
 //                          ▼
-//                 arbitrator thread (single writer over QoSArbitrator)
+//          K bounded command queues  (backpressure: enqueue blocks)
+//                          │
+//                          ▼
+//          K worker threads over one qos::ShardedArbitrator
 //                          │  response via per-command promise
 //                          ▼
 //                 session thread writes the response frame
+//
+// With shards == 1 this degenerates to the classic single-writer design:
+// one queue, one worker, total arrivalSeq order, and (the replay tests pin
+// this) decisions byte-identical to an in-process QoSArbitrator fed the
+// same specs in arrivalSeq order.  With shards > 1 the order guarantee is
+// per shard: commands routed to the same shard execute in arrivalSeq order;
+// cross-shard commands may interleave.
 //
 // Failure semantics:
 //  * Commands are atomic: once enqueued they execute to completion even if
@@ -45,7 +56,7 @@
 #include "net/socket.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "qos/qos.h"
+#include "qos/sharded.h"
 #include "service/protocol.h"
 
 namespace tprm::service {
@@ -55,13 +66,24 @@ struct ServerConfig {
   int processors = 32;
   /// Admission heuristic configuration (Section 5.2 defaults).
   sched::GreedyOptions options = {};
+  /// Arbitrator shards (>= 1, <= processors).  One shard reproduces the
+  /// unsharded single-writer behavior exactly; more shards partition the
+  /// machine and admit in parallel (qos/sharded.h).
+  int shards = 1;
+  /// Offer home-shard rejections to the emptiest other shard before finally
+  /// rejecting (shards > 1 only).
+  bool shardSpill = true;
+  /// Period of the background capacity rebalancer; 0 disables it.  Only
+  /// meaningful with shards > 1.
+  int rebalanceIntervalMs = 0;
   /// Unix-domain listening path; empty = no Unix listener.
   std::string unixPath;
   /// TCP loopback listener; nullopt = none, 0 = ephemeral (see tcpPort()).
   std::optional<std::uint16_t> tcpPort;
   /// Per-frame payload cap for both directions.
   std::size_t maxFrameBytes = 1 << 20;
-  /// Commands admitted but not yet executed; enqueue blocks when full.
+  /// Commands admitted but not yet executed, per shard queue; enqueue blocks
+  /// when the target queue is full.
   std::size_t commandQueueCapacity = 256;
   /// Sessions beyond this are refused at accept with a shutting_down-style
   /// error frame.
@@ -102,8 +124,8 @@ class NegotiationServer {
   /// Returns false (with *error set) if no listener could be bound.
   [[nodiscard]] bool start(std::string* error);
 
-  /// Graceful drain; idempotent.  Blocks until every session and the
-  /// arbitrator thread have exited.
+  /// Graceful drain; idempotent.  Blocks until every session and worker
+  /// thread has exited.
   void stop();
 
   [[nodiscard]] bool running() const { return started_ && !stopped_; }
@@ -132,23 +154,36 @@ class NegotiationServer {
   }
   [[nodiscard]] obs::TraceRing* traceRing() { return trace_.get(); }
 
+  /// The sharded arbitrator behind the queues.  Read-only use by embedders
+  /// (bench replay verification) — only safe while no commands are in
+  /// flight (after stop(), or between requests in single-client tests).
+  [[nodiscard]] const qos::ShardedArbitrator& arbitrator() const {
+    return arbitrator_;
+  }
+
  private:
   struct PendingCommand;
   struct Session;
+  struct ShardQueue;
 
   void acceptLoop(net::Listener* listener);
   void sessionLoop(Session* session);
-  void arbitratorLoop();
+  void workerLoop(int shard);
+  void rebalanceLoop();
 
-  /// Enqueues a decoded command, stamping its arrival sequence.  Blocks
-  /// while the queue is full.  Returns nullopt when draining (caller sends
+  /// Routes and enqueues a decoded command, stamping its arrival sequence
+  /// (and, for NEGOTIATE, reserving its job id — the id fixes the home
+  /// shard, so routing is deterministic in arrival order).  Blocks while
+  /// the target queue is full.  Returns nullopt when draining (caller sends
   /// shutting_down).
   std::optional<std::uint64_t> enqueue(std::shared_ptr<PendingCommand> cmd);
 
-  Response execute(const Request& request, std::uint64_t arrivalSeq);
+  Response execute(const Request& request, std::uint64_t arrivalSeq,
+                   const std::optional<std::uint64_t>& presetJobId);
 
   /// Records one finished command into the histograms and the trace ring.
-  /// Called on the arbitrator thread; requires observability on.
+  /// Called on worker threads; requires observability on (both sinks are
+  /// thread-safe).
   void recordSpan(const PendingCommand& command, const Response& response,
                   std::int64_t startNs);
 
@@ -162,29 +197,35 @@ class NegotiationServer {
   std::uint16_t boundTcpPort_ = 0;
 
   std::vector<std::thread> acceptThreads_;
-  std::thread arbitratorThread_;
+  std::thread rebalanceThread_;
 
   std::mutex sessionsMutex_;
   std::vector<std::unique_ptr<Session>> sessions_;
 
-  std::mutex queueMutex_;
-  std::condition_variable queueNotEmpty_;
-  std::condition_variable queueNotFull_;
-  std::deque<std::shared_ptr<PendingCommand>> queue_;
-  std::uint64_t nextArrivalSeq_ = 0;
-  bool queueClosed_ = false;  // guarded by queueMutex_
+  /// Guards the (arrivalSeq, jobId) draw and the push that follows, so
+  /// commands enter their target queue in arrivalSeq order.  Lock order:
+  /// seqMutex_ then the target ShardQueue's mutex.  A full queue therefore
+  /// throttles all producers — the same global backpressure the unsharded
+  /// single queue had.
+  std::mutex seqMutex_;
+  std::uint64_t nextArrivalSeq_ = 0;  // guarded by seqMutex_
+  /// Set (under seqMutex_) by stop(); read by waiters on any queue.
+  std::atomic<bool> queueClosed_{false};
 
-  /// Owned exclusively by the arbitrator thread after start().
-  qos::QoSArbitrator arbitrator_;
-  std::uint64_t commandsExecuted_ = 0;  // arbitrator thread only
+  /// One bounded command queue + worker thread per shard.
+  std::vector<std::unique_ptr<ShardQueue>> queues_;
+
+  qos::ShardedArbitrator arbitrator_;
 
   // Observability (all null when config_.observability is false).  The
   // registry owns the metric instances; the raw pointers below are cached
   // lookups with registry lifetime.
   std::unique_ptr<obs::MetricsRegistry> registry_;
-  std::unique_ptr<obs::NegotiationMetrics> negotiation_;
+  /// One bundle per shard: prefix "arbitrator" when shards == 1 (exact
+  /// unsharded names), "arbitrator.shard<k>" otherwise.
+  std::vector<std::unique_ptr<obs::NegotiationMetrics>> negotiation_;
+  std::unique_ptr<obs::ShardedMetrics> shardedMetrics_;  // shards > 1 only
   std::unique_ptr<obs::TraceRing> trace_;
-  obs::Gauge* queueDepth_ = nullptr;
   obs::Gauge* sessionsActive_ = nullptr;
   obs::HistogramMetric* queueWaitUs_ = nullptr;
   obs::HistogramMetric* executeUs_ = nullptr;
@@ -193,12 +234,13 @@ class NegotiationServer {
   std::atomic<bool> stopping_{false};
   std::atomic<bool> stopped_{false};
 
-  // Counters (atomics: bumped from session/accept threads, read anywhere).
+  // Counters (atomics: bumped from session/accept/worker threads, read
+  // anywhere).
   std::atomic<std::uint64_t> connectionsAccepted_{0};
   std::atomic<std::uint64_t> connectionsRefused_{0};
   std::atomic<std::uint64_t> framesMalformed_{0};
   std::atomic<std::uint64_t> framesOversized_{0};
-  std::atomic<std::uint64_t> commandsExecutedShared_{0};
+  std::atomic<std::uint64_t> commandsExecuted_{0};
   std::atomic<std::uint64_t> disconnectsMidRequest_{0};
 };
 

@@ -3,6 +3,14 @@
 //   tprmd --unix=/tmp/tprmd.sock            # Unix-domain endpoint
 //   tprmd --tcp-port=7411                   # TCP loopback endpoint
 //   tprmd --procs=64 --unix=... --tcp-port=0
+//   tprmd --procs=64 --shards=4             # sharded parallel admission
+//
+// Sharding:
+//   --shards=K partitions the machine across K arbitrator shards with
+//   parallel admission (K=1, the default, is the classic single-writer
+//   arbitrator with identical decisions).  --no-spill keeps rejected jobs
+//   on their home shard; --rebalance-interval-ms=N runs the capacity
+//   rebalancer every N ms (0, the default, disables it).
 //
 // Observability:
 //   --metrics-out=FILE writes one compact-JSON observability snapshot per
@@ -38,7 +46,8 @@ int main(int argc, char** argv) {
   const auto unknown = flags.unknownAgainst(
       {"procs", "unix", "tcp-port", "max-frame-kb", "queue-cap",
        "max-sessions", "idle-timeout-ms", "io-timeout-ms", "verbose",
-       "metrics-out", "metrics-interval-ms", "trace-cap", "no-metrics"});
+       "metrics-out", "metrics-interval-ms", "trace-cap", "no-metrics",
+       "shards", "no-spill", "rebalance-interval-ms"});
   if (!unknown.empty()) {
     std::fprintf(stderr, "tprmd: unknown flag --%s\n", unknown.front().c_str());
     return 2;
@@ -47,6 +56,16 @@ int main(int argc, char** argv) {
 
   service::ServerConfig config;
   config.processors = static_cast<int>(flags.getInt("procs", 32));
+  config.shards = static_cast<int>(flags.getInt("shards", 1));
+  if (config.shards < 1 || config.shards > config.processors) {
+    std::fprintf(stderr,
+                 "tprmd: --shards must be in [1, --procs] (got %d of %d)\n",
+                 config.shards, config.processors);
+    return 2;
+  }
+  config.shardSpill = !flags.getBool("no-spill", false);
+  config.rebalanceIntervalMs =
+      static_cast<int>(flags.getInt("rebalance-interval-ms", 0));
   config.unixPath = flags.getString("unix", "");
   if (flags.has("tcp-port")) {
     config.tcpPort = static_cast<std::uint16_t>(flags.getInt("tcp-port", 0));
@@ -108,7 +127,12 @@ int main(int argc, char** argv) {
     std::printf("tprmd: listening on tcp:127.0.0.1:%u\n",
                 static_cast<unsigned>(server.tcpPort()));
   }
-  std::printf("tprmd: managing %d processors\n", config.processors);
+  if (config.shards > 1) {
+    std::printf("tprmd: managing %d processors across %d shards\n",
+                config.processors, config.shards);
+  } else {
+    std::printf("tprmd: managing %d processors\n", config.processors);
+  }
   std::fflush(stdout);
 
   auto nextSnapshot = std::chrono::steady_clock::now() + metricsInterval;

@@ -187,6 +187,150 @@ TEST(Renegotiation, RepeatedResizesStayConsistent) {
   EXPECT_TRUE(report.ok) << report.firstViolation;
 }
 
+// Regression: resize used to drop a not-yet-started multi-path job whenever
+// *any* chain's rebased deadline died, even though other execution paths
+// still fit — the exact freedom tunability exists to exploit.
+TEST(Renegotiation, SurvivingChainKeepsJobAliveWhenPreferredPathDies) {
+  QoSArbitrator arbitrator(16);
+  // Filler A runs 8p over [0, 100); filler B takes the other 8 over [0, 5),
+  // so everything else lands at t=5.
+  ASSERT_TRUE(arbitrator.submit(rigidJob(8, 100.0, 1000.0), 0).admitted);
+  ASSERT_TRUE(arbitrator.submit(rigidJob(8, 5.0, 1000.0), 0).admitted);
+  // Two-path job: the preferred chain (8p x 20) lands at [5, 25), finishing
+  // exactly at its absolute deadline 25; the alternative (2p x 30) has slack
+  // to spare but finishes later, so it loses the earliest-finish tie-break.
+  TunableJobSpec spec;
+  spec.name = "two-path";
+  Chain pref;
+  pref.name = "pref";
+  pref.tasks = {TaskSpec::rigid("p", 8, ticksFromUnits(20.0),
+                                ticksFromUnits(25.0))};
+  Chain alt;
+  alt.name = "alt";
+  alt.tasks = {TaskSpec::rigid("a", 2, ticksFromUnits(30.0),
+                               ticksFromUnits(500.0))};
+  spec.chains = {pref, alt};
+  const auto decision = arbitrator.submit(spec, 0);
+  ASSERT_TRUE(decision.admitted);
+  EXPECT_EQ(decision.schedule.chainIndex, 0u);
+  ASSERT_EQ(decision.schedule.placements[0].interval.begin,
+            ticksFromUnits(5.0));
+  const auto jobId = arbitrator.lastJobId().value();
+
+  // Shrink to 10 at t=5: filler A's running task is pinned (8 of 10) and the
+  // job's placement starts exactly at the resize instant, so the whole spec
+  // renegotiates.  Rebasing kills the preferred chain (it can no longer beat
+  // its deadline) — but the alternative still fits and must keep the job
+  // alive on the two free processors.
+  const auto report = arbitrator.resize(10, ticksFromUnits(5.0));
+  EXPECT_FALSE(contains(report.dropped, jobId));
+  EXPECT_TRUE(contains(report.reconfigured, jobId));
+  EXPECT_TRUE(arbitrator.verify().ok) << arbitrator.verify().firstViolation;
+  bool sawJob = false;
+  for (const auto& r : arbitrator.ledger().reservations()) {
+    if (r.jobId != jobId) continue;
+    EXPECT_EQ(r.chainIndex, 1);  // switched to the surviving chain
+    sawJob = true;
+  }
+  EXPECT_TRUE(sawJob);
+  EXPECT_EQ(arbitrator.profile().availableAt(ticksFromUnits(6.0)), 0);
+}
+
+TEST(Renegotiation, JobDroppedOnlyWhenEveryChainDies) {
+  QoSArbitrator arbitrator(16);
+  ASSERT_TRUE(arbitrator.submit(rigidJob(8, 100.0, 1000.0), 0).admitted);
+  ASSERT_TRUE(arbitrator.submit(rigidJob(8, 5.0, 1000.0), 0).admitted);
+  // Same shape as above, but the alternative chain's deadline is also too
+  // tight to survive the rebase (it would finish at 35, after 34).
+  TunableJobSpec spec;
+  spec.name = "two-path-doomed";
+  Chain pref;
+  pref.name = "pref";
+  pref.tasks = {TaskSpec::rigid("p", 8, ticksFromUnits(20.0),
+                                ticksFromUnits(25.0))};
+  Chain alt;
+  alt.name = "alt";
+  alt.tasks = {TaskSpec::rigid("a", 2, ticksFromUnits(30.0),
+                               ticksFromUnits(34.0))};
+  spec.chains = {pref, alt};
+  ASSERT_TRUE(arbitrator.submit(spec, 0).admitted);
+  const auto jobId = arbitrator.lastJobId().value();
+
+  const auto report = arbitrator.resize(10, ticksFromUnits(5.0));
+  EXPECT_TRUE(contains(report.dropped, jobId));
+  EXPECT_TRUE(arbitrator.verify().ok) << arbitrator.verify().firstViolation;
+}
+
+// Regression: cancel used to clip reservations to [clock, end) and release
+// the remainder of a *currently running* task, contradicting both the
+// documented "not-yet-started reservations" semantics and resize's
+// non-preemptibility rule — later admissions could double-book the running
+// task's processors.
+TEST(Renegotiation, CancelKeepsRunningTaskReserved) {
+  QoSArbitrator arbitrator(4);
+  TunableJobSpec spec;
+  spec.name = "two-task";
+  Chain chain;
+  chain.name = "only";
+  chain.tasks = {TaskSpec::rigid("t0", 2, ticksFromUnits(20.0),
+                                 ticksFromUnits(1000.0)),
+                 TaskSpec::rigid("t1", 2, ticksFromUnits(20.0),
+                                 ticksFromUnits(1000.0))};
+  spec.chains = {chain};
+  ASSERT_TRUE(arbitrator.submit(spec, 0).admitted);
+  const auto jobId = arbitrator.lastJobId().value();
+  // Advance the clock mid task 0 with a tiny unrelated admission.
+  ASSERT_TRUE(
+      arbitrator.submit(rigidJob(1, 1.0, 1000.0), ticksFromUnits(10.0))
+          .admitted);
+
+  // Only task 1's not-yet-started reservation comes back; the running task 0
+  // keeps its two processors through t=20.
+  const auto freed = arbitrator.cancel(jobId);
+  EXPECT_EQ(freed, 2 * ticksFromUnits(20.0));
+  EXPECT_EQ(arbitrator.profile().availableAt(ticksFromUnits(15.0)), 2);
+  EXPECT_EQ(arbitrator.profile().availableAt(ticksFromUnits(25.0)), 4);
+
+  // A full-machine job must therefore wait for the running task to finish;
+  // were its capacity re-issued, the ledger would flag the overlap.
+  const auto wide =
+      arbitrator.submit(rigidJob(4, 5.0, 1000.0), ticksFromUnits(12.0));
+  ASSERT_TRUE(wide.admitted);
+  EXPECT_EQ(wide.schedule.placements[0].interval.begin, ticksFromUnits(20.0));
+  EXPECT_TRUE(arbitrator.verify().ok) << arbitrator.verify().firstViolation;
+}
+
+// Regression: resize phase 1 used to ledger the pinned running-task
+// remainder as taskIndex 0 regardless of which task was actually running.
+TEST(Renegotiation, PinnedRunningTaskKeepsItsTaskIndex) {
+  QoSArbitrator arbitrator(8);
+  TunableJobSpec spec;
+  spec.name = "three-task";
+  Chain chain;
+  chain.name = "only";
+  chain.tasks = {TaskSpec::rigid("t0", 2, ticksFromUnits(10.0),
+                                 ticksFromUnits(1000.0)),
+                 TaskSpec::rigid("t1", 4, ticksFromUnits(10.0),
+                                 ticksFromUnits(1000.0)),
+                 TaskSpec::rigid("t2", 2, ticksFromUnits(10.0),
+                                 ticksFromUnits(1000.0))};
+  spec.chains = {chain};
+  ASSERT_TRUE(arbitrator.submit(spec, 0).admitted);
+  const auto jobId = arbitrator.lastJobId().value();
+
+  // Resize while task 1 runs ([10, 20)): phase 1 pins its remainder, and the
+  // untouched future task 2 is kept verbatim.
+  const auto report = arbitrator.resize(8, ticksFromUnits(15.0));
+  EXPECT_TRUE(contains(report.kept, jobId));
+  std::vector<int> indices;
+  for (const auto& r : arbitrator.ledger().reservations()) {
+    if (r.jobId == jobId) indices.push_back(r.taskIndex);
+  }
+  std::sort(indices.begin(), indices.end());
+  EXPECT_EQ(indices, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(arbitrator.verify().ok) << arbitrator.verify().firstViolation;
+}
+
 TEST(RenegotiationDeath, InvalidArguments) {
   QoSArbitrator arbitrator(8);
   EXPECT_DEATH((void)arbitrator.resize(0, 0), "at least one");

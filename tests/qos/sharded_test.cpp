@@ -1,0 +1,277 @@
+// Tests for qos::ShardedArbitrator: the K=1 equivalence guarantee, the
+// jobId -> shard routing, the spill path, the capacity rebalancer, and
+// whole-machine resize through the shard layer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "qos/sharded.h"
+
+namespace tprm::qos {
+namespace {
+
+using task::Chain;
+using task::TaskSpec;
+using task::TunableJobSpec;
+
+TunableJobSpec rigidJob(const std::string& name, int procs,
+                        double durationUnits, double deadlineUnits) {
+  TunableJobSpec spec;
+  spec.name = name;
+  Chain chain;
+  chain.name = "only";
+  chain.tasks = {TaskSpec::rigid("t", procs, ticksFromUnits(durationUnits),
+                                 ticksFromUnits(deadlineUnits))};
+  spec.chains = {chain};
+  return spec;
+}
+
+TunableJobSpec twoChainJob(const std::string& name, double deadlineUnits) {
+  TunableJobSpec spec;
+  spec.name = name;
+  Chain wide;
+  wide.name = "wide";
+  wide.tasks = {TaskSpec::rigid("w", 4, ticksFromUnits(10.0),
+                                ticksFromUnits(deadlineUnits))};
+  Chain thin;
+  thin.name = "thin";
+  thin.tasks = {TaskSpec::rigid("n", 1, ticksFromUnits(30.0),
+                                ticksFromUnits(deadlineUnits),
+                                /*quality=*/0.7)};
+  spec.chains = {wide, thin};
+  return spec;
+}
+
+void expectSameDecision(const sched::AdmissionDecision& a,
+                        const sched::AdmissionDecision& b, int step) {
+  ASSERT_EQ(a.admitted, b.admitted) << "step " << step;
+  EXPECT_EQ(a.quality, b.quality) << "step " << step;
+  EXPECT_EQ(a.chainsConsidered, b.chainsConsidered) << "step " << step;
+  EXPECT_EQ(a.chainsSchedulable, b.chainsSchedulable) << "step " << step;
+  if (!a.admitted) return;
+  EXPECT_EQ(a.schedule.chainIndex, b.schedule.chainIndex) << "step " << step;
+  ASSERT_EQ(a.schedule.placements.size(), b.schedule.placements.size())
+      << "step " << step;
+  for (std::size_t k = 0; k < a.schedule.placements.size(); ++k) {
+    EXPECT_EQ(a.schedule.placements[k], b.schedule.placements[k])
+        << "step " << step << " placement " << k;
+  }
+}
+
+// One shard must be indistinguishable from the plain arbitrator: same ids,
+// same decisions, same freed ticks, same renegotiation reports, across a
+// mixed submit/cancel/resize script.
+TEST(ShardedArbitrator, OneShardMatchesUnshardedExactly) {
+  QoSArbitrator plain(16);
+  ShardedOptions options;
+  options.shards = 1;
+  ShardedArbitrator sharded(16, options);
+
+  std::vector<std::uint64_t> ids;
+  Time clock = 0;
+  int step = 0;
+  for (int round = 0; round < 5; ++round) {
+    for (int j = 0; j < 6; ++j) {
+      const auto spec =
+          (j % 2 == 0) ? rigidJob("r", 3 + j, 25.0, 200.0 + 10.0 * j)
+                       : twoChainJob("t", 150.0 + 20.0 * j);
+      const auto a = plain.submit(spec, clock);
+      const auto b = sharded.submit(spec, clock);
+      expectSameDecision(a, b, step++);
+      ASSERT_EQ(plain.lastJobId(), sharded.lastJobId());
+      if (a.admitted) ids.push_back(plain.lastJobId().value());
+    }
+    if (!ids.empty() && round % 2 == 0) {
+      const auto victim = ids[ids.size() / 2];
+      EXPECT_EQ(plain.cancel(victim), sharded.cancel(victim))
+          << "round " << round;
+      // A repeated cancel misses in both.
+      EXPECT_EQ(plain.cancel(victim), sharded.cancel(victim));
+    }
+    clock += ticksFromUnits(12.0);
+    const int newSize = (round % 2 == 0) ? 10 : 16;
+    const auto ra = plain.resize(newSize, clock);
+    const auto rb = sharded.resize(newSize, clock);
+    EXPECT_EQ(ra.processorsBefore, rb.processorsBefore) << "round " << round;
+    EXPECT_EQ(ra.processorsAfter, rb.processorsAfter) << "round " << round;
+    EXPECT_EQ(ra.kept, rb.kept) << "round " << round;
+    EXPECT_EQ(ra.reconfigured, rb.reconfigured) << "round " << round;
+    EXPECT_EQ(ra.dropped, rb.dropped) << "round " << round;
+  }
+  EXPECT_EQ(plain.admittedCount(), sharded.admittedCount());
+  EXPECT_EQ(plain.rejectedCount(), sharded.rejectedCount());
+  EXPECT_EQ(plain.clock(), sharded.clock());
+  EXPECT_EQ(sharded.spillCount(), 0u);
+  EXPECT_TRUE(plain.verify().ok);
+  EXPECT_TRUE(sharded.verify().ok);
+}
+
+TEST(ShardedArbitrator, RoutesJobsToHomeShardByIdModuloK) {
+  ShardedOptions options;
+  options.shards = 3;
+  options.spill = false;
+  ShardedArbitrator sharded(12, options);
+  for (int i = 0; i < 9; ++i) {
+    const auto id = sharded.reserveJobId();
+    EXPECT_EQ(sharded.homeShard(id), static_cast<int>(id % 3));
+    ASSERT_TRUE(sharded.submit(id, rigidJob("r", 1, 10.0, 1000.0), 0).admitted);
+  }
+  // Round-robin ids spread the load evenly: every shard holds three jobs.
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_EQ(sharded.shard(k).admittedCount(), 3u) << "shard " << k;
+  }
+}
+
+TEST(ShardedArbitrator, SpillAdmitsOnEmptiestOtherShard) {
+  ShardedOptions options;
+  options.shards = 2;
+  ShardedArbitrator sharded(8, options);  // 4 + 4
+
+  // Fill shard 0 (home of id 0) completely for [0, 100)...
+  ASSERT_TRUE(sharded.submit(rigidJob("fill0", 4, 100.0, 110.0), 0).admitted);
+  // ...and give shard 1 (id 1) a token job so it stays nearly free.
+  ASSERT_TRUE(sharded.submit(rigidJob("fill1", 1, 1.0, 1000.0), 0).admitted);
+
+  // Id 2's home is the full shard 0; with a deadline too tight to queue
+  // behind fill0 it must spill to shard 1.
+  const auto decision = sharded.submit(rigidJob("spilled", 4, 50.0, 60.0), 0);
+  ASSERT_TRUE(decision.admitted);
+  EXPECT_EQ(sharded.spillCount(), 1u);
+  EXPECT_EQ(sharded.shard(1).admittedCount(), 2u);
+  // The spilled job is cancellable by its global id.
+  EXPECT_GT(sharded.cancel(2), 0);
+  EXPECT_TRUE(sharded.verify().ok);
+
+  // Without a viable shard anywhere the job is still rejected.
+  const auto rejected = sharded.submit(rigidJob("no", 8, 10.0, 1000.0), 0);
+  EXPECT_FALSE(rejected.admitted);
+  EXPECT_EQ(sharded.rejectedCount(), 1u);
+}
+
+TEST(ShardedArbitrator, SpillCanBeDisabled) {
+  ShardedOptions options;
+  options.shards = 2;
+  options.spill = false;
+  ShardedArbitrator sharded(8, options);
+  ASSERT_TRUE(sharded.submit(rigidJob("fill0", 4, 100.0, 110.0), 0).admitted);
+  ASSERT_TRUE(sharded.submit(rigidJob("fill1", 1, 1.0, 1000.0), 0).admitted);
+  EXPECT_FALSE(sharded.submit(rigidJob("stuck", 4, 50.0, 60.0), 0).admitted);
+  EXPECT_EQ(sharded.spillCount(), 0u);
+}
+
+TEST(ShardedArbitrator, RebalanceMovesIdleProcessorsToLoadedShard) {
+  ShardedOptions options;
+  options.shards = 2;
+  ShardedArbitrator sharded(16, options);  // 8 + 8
+  // Load shard 0 fully for a long stretch; shard 1 stays idle.
+  ASSERT_TRUE(sharded.submit(rigidJob("load", 8, 500.0, 1000.0), 0).admitted);
+
+  const auto report = sharded.rebalance(ticksFromUnits(1.0));
+  ASSERT_TRUE(report.moved);
+  EXPECT_EQ(report.fromShard, 1);
+  EXPECT_EQ(report.toShard, 0);
+  EXPECT_EQ(report.processors, 4);  // half the 8-processor idle gap
+  EXPECT_EQ(sharded.shardProcessors(), (std::vector<int>{12, 4}));
+  EXPECT_EQ(sharded.processors(), 16);
+  EXPECT_TRUE(sharded.verify().ok);
+
+  // The moved capacity is genuinely usable on the loaded shard: a tight
+  // 4-processor job could not start before t=500 on the old 8-processor
+  // partition, but fits immediately on the four moved processors.
+  (void)sharded.reserveJobId();  // burn id 1 so the next id routes to shard 0
+  const auto id = sharded.reserveJobId();
+  ASSERT_EQ(sharded.homeShard(id), 0);
+  const auto tight = sharded.submit(id, rigidJob("tight", 4, 20.0, 30.0),
+                                    ticksFromUnits(2.0));
+  EXPECT_TRUE(tight.admitted);
+  EXPECT_EQ(sharded.spillCount(), 0u);
+  EXPECT_TRUE(sharded.verify().ok);
+}
+
+TEST(ShardedArbitrator, RebalanceBelowThresholdIsANoOp) {
+  ShardedOptions options;
+  options.shards = 2;
+  options.rebalanceThreshold = 8;
+  ShardedArbitrator sharded(8, options);  // 4 + 4: gap can never reach 8
+  ASSERT_TRUE(sharded.submit(rigidJob("load", 4, 100.0, 1000.0), 0).admitted);
+  const auto report = sharded.rebalance(ticksFromUnits(1.0));
+  EXPECT_FALSE(report.moved);
+  EXPECT_EQ(sharded.shardProcessors(), (std::vector<int>{4, 4}));
+}
+
+TEST(ShardedArbitrator, RebalanceNeverDropsCommitments) {
+  ShardedOptions options;
+  options.shards = 2;
+  options.rebalanceThreshold = 1;
+  ShardedArbitrator sharded(16, options);
+  // Two-task chains so each job still holds cancellable future work after
+  // the rebalance: shard 0 runs full, shard 1 half full.
+  auto twoTask = [](const std::string& name, int procs) {
+    TunableJobSpec spec;
+    spec.name = name;
+    Chain chain;
+    chain.name = "only";
+    chain.tasks = {TaskSpec::rigid("t0", procs, ticksFromUnits(100.0),
+                                   ticksFromUnits(1000.0)),
+                   TaskSpec::rigid("t1", procs, ticksFromUnits(100.0),
+                                   ticksFromUnits(1000.0))};
+    spec.chains = {chain};
+    return spec;
+  };
+  ASSERT_TRUE(sharded.submit(twoTask("a", 8), 0).admitted);
+  ASSERT_TRUE(sharded.submit(twoTask("b", 4), 0).admitted);
+  const auto report = sharded.rebalance(ticksFromUnits(5.0));
+  EXPECT_TRUE(report.moved);
+  // Every admitted job still lives with its future task intact: cancelling
+  // frees that task's full area on both shards.
+  EXPECT_EQ(sharded.cancel(0), 8 * ticksFromUnits(100.0));
+  EXPECT_EQ(sharded.cancel(1), 4 * ticksFromUnits(100.0));
+  EXPECT_TRUE(sharded.verify().ok);
+}
+
+TEST(ShardedArbitrator, ResizeSplitsEvenlyAndReportsGlobalIds) {
+  ShardedOptions options;
+  options.shards = 3;
+  options.spill = false;
+  ShardedArbitrator sharded(10, options);  // 4 + 3 + 3
+  EXPECT_EQ(sharded.shardProcessors(), (std::vector<int>{4, 3, 3}));
+
+  std::vector<std::uint64_t> admitted;
+  for (int i = 0; i < 6; ++i) {
+    if (sharded.submit(rigidJob("j", 2, 50.0, 1000.0), 0).admitted) {
+      admitted.push_back(sharded.lastJobId().value());
+    }
+  }
+  ASSERT_GE(admitted.size(), 3u);
+
+  const auto report = sharded.resize(7, ticksFromUnits(1.0));
+  EXPECT_EQ(report.processorsBefore, 10);
+  EXPECT_EQ(report.processorsAfter, 7);
+  EXPECT_EQ(sharded.shardProcessors(), (std::vector<int>{3, 2, 2}));
+  // Every reported id is one of ours (global), each reported exactly once.
+  std::vector<std::uint64_t> all;
+  all.insert(all.end(), report.kept.begin(), report.kept.end());
+  all.insert(all.end(), report.reconfigured.begin(),
+             report.reconfigured.end());
+  all.insert(all.end(), report.dropped.begin(), report.dropped.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end());
+  for (const auto id : all) {
+    EXPECT_TRUE(std::find(admitted.begin(), admitted.end(), id) !=
+                admitted.end())
+        << "unknown id " << id;
+  }
+  EXPECT_TRUE(sharded.verify().ok);
+}
+
+TEST(ShardedArbitratorDeath, InvalidArguments) {
+  ShardedOptions options;
+  options.shards = 4;
+  EXPECT_DEATH((void)ShardedArbitrator(3, options), "per shard");
+  ShardedArbitrator sharded(8, options);
+  EXPECT_DEATH((void)sharded.resize(3, 0), "per shard");
+}
+
+}  // namespace
+}  // namespace tprm::qos

@@ -228,6 +228,122 @@ TEST(Service, ConcurrentClientsMatchInProcessReplayInArrivalOrder) {
   server.stop();
 }
 
+// Sharded admission end to end: concurrent clients against a 4-shard
+// server; every command is served, stats report the shard count, and the
+// cross-shard ledgers verify clean.
+TEST(Service, ShardedServerServesConcurrentClientsAndVerifies) {
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 20;
+  auto config = unixConfig(16);
+  config.shards = 4;
+  NegotiationServer server(config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      QoSAgentClient client(clientFor(server));
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const auto decision =
+            client.negotiate(makeSpec(c * kRequestsPerClient + r), 0);
+        ASSERT_TRUE(decision.ok()) << decision.error.message;
+        if (decision->admitted) {
+          admitted.fetch_add(1);
+          if (r % 3 == 0) {
+            const auto cancelled = client.cancel(decision->jobId);
+            ASSERT_TRUE(cancelled.ok()) << cancelled.error.message;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_GT(admitted.load(), 0);
+
+  QoSAgentClient client(clientFor(server));
+  const auto stats = client.stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->shards, 4);
+  EXPECT_EQ(stats->processors, 16);
+  EXPECT_EQ(stats->admitted, static_cast<std::uint64_t>(admitted.load()));
+  const auto verify = client.verify();
+  ASSERT_TRUE(verify.ok());
+  EXPECT_TRUE(verify->ok) << verify->firstViolation;
+  server.stop();
+}
+
+// With spill disabled the shards are fully independent, so each shard's
+// decisions replay exactly into an in-process arbitrator of the shard's
+// size, fed that shard's jobs (jobId % K) in arrival order.
+TEST(Service, ShardedDecisionsReplayPerShardWithSpillDisabled) {
+  constexpr int kShards = 2;
+  constexpr int kJobs = 60;
+  auto config = unixConfig(16);
+  config.shards = kShards;
+  config.shardSpill = false;
+  NegotiationServer server(config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  struct Observed {
+    task::TunableJobSpec spec;
+    NegotiateResult result;
+  };
+  std::vector<Observed> observed;
+  {
+    QoSAgentClient client(clientFor(server));
+    for (int r = 0; r < kJobs; ++r) {
+      const auto spec = makeSpec(r);
+      const auto decision = client.negotiate(spec, 0);
+      ASSERT_TRUE(decision.ok()) << decision.error.message;
+      observed.push_back({spec, *decision});
+    }
+  }
+  server.stop();
+
+  for (int k = 0; k < kShards; ++k) {
+    SCOPED_TRACE("shard " + std::to_string(k));
+    qos::QoSArbitrator replay(16 / kShards);
+    for (const auto& o : observed) {
+      if (static_cast<int>(o.result.jobId % kShards) != k) continue;
+      const auto decision = replay.submit(o.spec, o.result.release);
+      ASSERT_EQ(decision.admitted, o.result.admitted)
+          << "jobId " << o.result.jobId;
+      if (decision.admitted) {
+        EXPECT_EQ(decision.schedule.chainIndex, o.result.chainIndex);
+        EXPECT_EQ(decision.quality, o.result.quality);
+        EXPECT_EQ(decision.schedule.placements, o.result.placements);
+      }
+    }
+    const auto report = replay.verify();
+    EXPECT_TRUE(report.ok) << report.firstViolation;
+  }
+}
+
+// A machine cannot shrink below one processor per shard: the server
+// answers bad_request before the arbitrator ever sees the resize.
+TEST(Service, ShardedResizeBelowShardCountIsBadRequest) {
+  auto config = unixConfig(16);
+  config.shards = 4;
+  NegotiationServer server(config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  QoSAgentClient client(clientFor(server));
+
+  const auto bad = client.resize(2, /*when=*/0);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error.status, ClientStatus::ServerError);
+  EXPECT_EQ(bad.error.code, "bad_request");
+
+  const auto grown = client.resize(20, /*when=*/0);
+  ASSERT_TRUE(grown.ok()) << grown.error.message;
+  EXPECT_EQ(grown->processorsBefore, 16);
+  EXPECT_EQ(grown->processorsAfter, 20);
+  server.stop();
+}
+
 // Kill the client the instant the request is written: the command still
 // executes atomically and the ledger stays consistent.
 TEST(Service, DisconnectMidNegotiationLeavesArbitratorClean) {
