@@ -1,0 +1,258 @@
+// Scenario suite: admission quality and decision latency across the four
+// canonical workload scenarios (workload/scenario.h), per shard count.
+//
+//   scenario_suite --jobs=600 --seed=1 --procs=32 --sweep=1,4
+//       --out=BENCH_scenarios.json
+//
+// For every scenario x shard-count leg a fresh ShardedArbitrator replays
+// the generated stream sequentially (trace order = arrival order) and
+// reports:
+//
+//  * on-time throughput — admitted / offered.  An admission here IS an
+//    on-time completion: the arbitrator only admits a job with a guaranteed
+//    schedule meeting every deadline, and guarantees are never revoked
+//    (only RESIZE renegotiates, and the suite issues none).
+//  * delivered quality — mean and min over admitted jobs, plus the count of
+//    quality-floor violations (multi-tenant legs; must be zero — the
+//    generator never offers a chain below its tenant's floor).
+//  * decision latency — p50/p95/p99/max wall microseconds per submit().
+//  * decision fingerprint — the replay-stable hash tools/tprm_replay prints,
+//    so a bench artifact can be diffed against a replay run.
+//
+// Output schema: docs/scenarios_schema.json (validated in CI by
+// tools/validate_scenarios.py).
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/json.h"
+#include "qos/sharded.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using namespace tprm;
+using Clock = std::chrono::steady_clock;
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+void hashU64(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001B3ULL;
+  }
+}
+
+std::string hex64(std::uint64_t v) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016" PRIx64, v);
+  return buffer;
+}
+
+struct TenantStats {
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  double qualitySum = 0.0;
+};
+
+struct Leg {
+  std::string scenario;
+  std::string kind;
+  int shards = 1;
+  std::uint64_t jobs = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t floorViolations = 0;
+  double qualitySum = 0.0;
+  double qualityMin = 1.0;
+  double p50 = 0, p95 = 0, p99 = 0, pMax = 0;
+  std::uint64_t fingerprint = 0;
+  std::vector<TenantStats> tenants;  // parallel to scenario.tenants
+};
+
+Leg runLeg(const workload::Scenario& scenario, int processors, int shards) {
+  qos::ShardedOptions options;
+  options.shards = shards;
+  Leg leg;
+  leg.scenario = scenario.params.name.empty()
+                     ? workload::toString(scenario.params.kind)
+                     : scenario.params.name;
+  leg.kind = workload::toString(scenario.params.kind);
+  leg.shards = shards;
+  leg.tenants.resize(scenario.tenants.size());
+
+  qos::ShardedArbitrator arbitrator(processors, options);
+  std::vector<double> latenciesUs;
+  latenciesUs.reserve(scenario.jobs.size());
+  std::uint64_t fingerprint = 1469598103934665603ULL;
+
+  for (const auto& job : scenario.jobs) {
+    ++leg.jobs;
+    const std::uint64_t jobId = arbitrator.reserveJobId();
+    Time effective = job.release;
+    const auto start = Clock::now();
+    const auto decision =
+        arbitrator.submit(jobId, job.spec, job.release, &effective);
+    const auto elapsed = Clock::now() - start;
+    latenciesUs.push_back(
+        std::chrono::duration<double, std::micro>(elapsed).count());
+
+    hashU64(fingerprint, jobId);
+    hashU64(fingerprint, decision.admitted ? 1 : 0);
+    if (job.tenant >= 0) {
+      ++leg.tenants[static_cast<std::size_t>(job.tenant)].offered;
+    }
+    if (!decision.admitted) continue;
+    ++leg.admitted;
+    hashU64(fingerprint, decision.schedule.chainIndex);
+    std::uint64_t qualityBits;
+    static_assert(sizeof(qualityBits) == sizeof(decision.quality));
+    __builtin_memcpy(&qualityBits, &decision.quality, sizeof(qualityBits));
+    hashU64(fingerprint, qualityBits);
+    leg.qualitySum += decision.quality;
+    leg.qualityMin = std::min(leg.qualityMin, decision.quality);
+    if (job.tenant >= 0) {
+      auto& tenant = leg.tenants[static_cast<std::size_t>(job.tenant)];
+      ++tenant.admitted;
+      tenant.qualitySum += decision.quality;
+      const double floor =
+          scenario.tenants[static_cast<std::size_t>(job.tenant)].qualityFloor;
+      if (decision.quality < floor) ++leg.floorViolations;
+    }
+  }
+  leg.fingerprint = fingerprint;
+  std::sort(latenciesUs.begin(), latenciesUs.end());
+  leg.p50 = percentile(latenciesUs, 0.50);
+  leg.p95 = percentile(latenciesUs, 0.95);
+  leg.p99 = percentile(latenciesUs, 0.99);
+  leg.pMax = latenciesUs.empty() ? 0.0 : latenciesUs.back();
+  return leg;
+}
+
+JsonValue legJson(const Leg& leg, const workload::Scenario& scenario) {
+  JsonValue::Object doc;
+  doc["scenario"] = leg.scenario;
+  doc["kind"] = leg.kind;
+  doc["shards"] = leg.shards;
+  doc["jobs"] = static_cast<std::int64_t>(leg.jobs);
+  doc["admitted"] = static_cast<std::int64_t>(leg.admitted);
+  doc["rejected"] = static_cast<std::int64_t>(leg.jobs - leg.admitted);
+  doc["on_time_throughput"] =
+      leg.jobs == 0 ? 0.0
+                    : static_cast<double>(leg.admitted) /
+                          static_cast<double>(leg.jobs);
+  doc["mean_quality"] =
+      leg.admitted == 0 ? 0.0
+                        : leg.qualitySum / static_cast<double>(leg.admitted);
+  doc["min_quality"] = leg.admitted == 0 ? 0.0 : leg.qualityMin;
+  doc["floor_violations"] = static_cast<std::int64_t>(leg.floorViolations);
+  JsonValue::Object latency;
+  latency["p50_us"] = leg.p50;
+  latency["p95_us"] = leg.p95;
+  latency["p99_us"] = leg.p99;
+  latency["max_us"] = leg.pMax;
+  doc["latency"] = JsonValue(std::move(latency));
+  doc["decision_fingerprint"] = hex64(leg.fingerprint);
+  if (!leg.tenants.empty()) {
+    JsonValue::Array tenants;
+    for (std::size_t i = 0; i < leg.tenants.size(); ++i) {
+      const auto& stats = leg.tenants[i];
+      JsonValue::Object tenant;
+      tenant["name"] = scenario.tenants[i].name;
+      tenant["quality_floor"] = scenario.tenants[i].qualityFloor;
+      tenant["offered"] = static_cast<std::int64_t>(stats.offered);
+      tenant["admitted"] = static_cast<std::int64_t>(stats.admitted);
+      tenant["mean_quality"] =
+          stats.admitted == 0
+              ? 0.0
+              : stats.qualitySum / static_cast<double>(stats.admitted);
+      tenants.push_back(JsonValue(std::move(tenant)));
+    }
+    doc["tenants"] = JsonValue(std::move(tenants));
+  }
+  return JsonValue(std::move(doc));
+}
+
+std::vector<int> parseSweep(const std::string& sweep) {
+  std::vector<int> shards;
+  std::string token;
+  for (const char c : sweep + ",") {
+    if (c == ',') {
+      if (!token.empty()) shards.push_back(std::stoi(token));
+      token.clear();
+    } else {
+      token += c;
+    }
+  }
+  return shards;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto unknown = flags.unknownAgainst(
+      {"jobs", "seed", "procs", "sweep", "out"});
+  if (!unknown.empty()) {
+    std::fprintf(stderr, "scenario_suite: unknown flag --%s\n",
+                 unknown.front().c_str());
+    return 2;
+  }
+  const auto jobs = static_cast<std::size_t>(flags.getInt("jobs", 600));
+  const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 1));
+  const int processors = static_cast<int>(flags.getInt("procs", 32));
+  const auto sweep = parseSweep(flags.getString("sweep", "1,4"));
+  const std::string outPath = flags.getString("out", "");
+
+  JsonValue::Array legs;
+  for (const auto& name : workload::scenarioNames()) {
+    const auto params = workload::scenarioByName(name, seed, jobs);
+    const auto scenario = workload::ScenarioGenerator(*params).generate();
+    std::printf("%s: %zu jobs, stream fingerprint %s\n", name.c_str(),
+                scenario.jobs.size(),
+                hex64(workload::fingerprint(scenario)).c_str());
+    for (const int shards : sweep) {
+      if (shards < 1 || shards > processors) {
+        std::fprintf(stderr,
+                     "scenario_suite: skipping shards=%d (procs=%d)\n",
+                     shards, processors);
+        continue;
+      }
+      const Leg leg = runLeg(scenario, processors, shards);
+      std::printf(
+          "  shards=%d admitted=%" PRIu64 "/%" PRIu64
+          " meanQ=%.3f floorViol=%" PRIu64
+          " latency us p50=%.1f p95=%.1f p99=%.1f\n",
+          shards, leg.admitted, leg.jobs,
+          leg.admitted == 0 ? 0.0
+                            : leg.qualitySum /
+                                  static_cast<double>(leg.admitted),
+          leg.floorViolations, leg.p50, leg.p95, leg.p99);
+      legs.push_back(legJson(leg, scenario));
+    }
+  }
+
+  JsonValue::Object doc;
+  doc["benchmark"] = "scenario_suite";
+  doc["procs"] = processors;
+  doc["jobs_per_scenario"] = static_cast<std::int64_t>(jobs);
+  doc["seed"] = static_cast<std::int64_t>(seed);
+  doc["scenarios"] = JsonValue(std::move(legs));
+  if (!outPath.empty()) {
+    std::ofstream out(outPath);
+    out << JsonValue(std::move(doc)).dump() << "\n";
+    std::printf("scenario_suite: wrote %s\n", outPath.c_str());
+  } else {
+    std::printf("%s\n", JsonValue(std::move(doc)).dump().c_str());
+  }
+  return 0;
+}

@@ -98,6 +98,11 @@ NegotiationServer::~NegotiationServer() { stop(); }
 bool NegotiationServer::start(std::string* error) {
   TPRM_CHECK(!started_, "start() called twice");
   std::string firstError;
+  if (!config_.recordPath.empty() &&
+      !traceWriter_.open(config_.recordPath, &firstError)) {
+    if (error != nullptr) *error = "record-out: " + firstError;
+    return false;
+  }
   if (!config_.unixPath.empty()) {
     unixListener_ = net::Listener::listenUnix(config_.unixPath, &firstError);
     if (!unixListener_.valid()) {
@@ -174,6 +179,14 @@ void NegotiationServer::stop() {
   }
   for (auto& queue : queues_) {
     if (queue->worker.joinable()) queue->worker.join();
+  }
+
+  // 4. Sessions and workers are gone; flush the wire trace, if any.
+  if (traceWriter_.isOpen()) {
+    std::string traceError;
+    if (!traceWriter_.close(&traceError)) {
+      TPRM_LOG(Warn) << "wire trace close failed: " << traceError;
+    }
   }
 }
 
@@ -347,6 +360,28 @@ std::optional<std::uint64_t> NegotiationServer::enqueue(
   if (queueClosed_.load()) return std::nullopt;
   const std::uint64_t seq = nextArrivalSeq_++;
   command->arrivalSeq = seq;
+  if (traceWriter_.isOpen()) {
+    // Re-encode through the canonical codec rather than echoing the client's
+    // bytes: replay then decodes exactly what the server decoded, and the
+    // file stays well-formed regardless of client-side formatting.
+    WireTraceRecord record;
+    record.arrivalSeq = seq;
+    const std::int64_t nowNs = obs::monotonicNanos();
+    record.deltaNanos = lastRecordNs_ == 0
+                            ? 0
+                            : static_cast<std::uint64_t>(
+                                  nowNs - lastRecordNs_);
+    lastRecordNs_ = nowNs;
+    record.payload = encodeRequest(command->request);
+    std::string traceError;
+    if (!traceWriter_.append(record, &traceError)) {
+      // Recording is observability, not control: a failing disk must not
+      // take the negotiation service down.  Stop recording, keep serving.
+      TPRM_LOG(Warn) << "wire trace append failed (recording stops): "
+                     << traceError;
+      (void)traceWriter_.close(nullptr);
+    }
+  }
   // Route: a negotiation's job id — reserved here, in arrival order — fixes
   // its home shard; cancels follow the job's home shard so cancel-after-
   // negotiate pairs stay ordered; machine-wide commands serialise through

@@ -58,6 +58,7 @@
 #include "obs/trace.h"
 #include "qos/sharded.h"
 #include "service/protocol.h"
+#include "service/wiretrace.h"
 
 namespace tprm::service {
 
@@ -100,6 +101,11 @@ struct ServerConfig {
   bool observability = true;
   /// Recent command spans retained by the trace ring (>= 1).
   std::size_t traceCapacity = 256;
+  /// Wire-trace recording: every decoded request frame that enters the
+  /// command queues is appended (in arrivalSeq order — record happens under
+  /// the sequence lock) to this file in the format of service/wiretrace.h.
+  /// Empty = no recording.  start() fails if the file cannot be created.
+  std::string recordPath;
 };
 
 /// Counters exposed for tests and the STATS command.  Snapshot semantics.
@@ -209,6 +215,11 @@ class NegotiationServer {
   /// single queue had.
   std::mutex seqMutex_;
   std::uint64_t nextArrivalSeq_ = 0;  // guarded by seqMutex_
+  /// Wire-trace recording (config_.recordPath).  Written under seqMutex_ so
+  /// the file order is exactly arrivalSeq order; lastRecordNs_ carries the
+  /// monotonic timestamp of the previous record for the delta encoding.
+  WireTraceWriter traceWriter_;         // guarded by seqMutex_ after start()
+  std::int64_t lastRecordNs_ = 0;       // guarded by seqMutex_
   /// Set (under seqMutex_) by stop(); read by waiters on any queue.
   std::atomic<bool> queueClosed_{false};
 

@@ -12,6 +12,11 @@
 //   on their home shard; --rebalance-interval-ms=N runs the capacity
 //   rebalancer every N ms (0, the default, disables it).
 //
+// Recording:
+//   --record-out=FILE appends every decoded request frame (arrival order,
+//   with inter-arrival timing) to a binary wire trace; tools/tprm_replay
+//   plays it back and checks decisions (see docs/trace_format.md).
+//
 // Observability:
 //   --metrics-out=FILE writes one compact-JSON observability snapshot per
 //   --metrics-interval-ms (default 1000) — JSON-lines, ready for jq/tail.
@@ -47,7 +52,7 @@ int main(int argc, char** argv) {
       {"procs", "unix", "tcp-port", "max-frame-kb", "queue-cap",
        "max-sessions", "idle-timeout-ms", "io-timeout-ms", "verbose",
        "metrics-out", "metrics-interval-ms", "trace-cap", "no-metrics",
-       "shards", "no-spill", "rebalance-interval-ms"});
+       "shards", "no-spill", "rebalance-interval-ms", "record-out"});
   if (!unknown.empty()) {
     std::fprintf(stderr, "tprmd: unknown flag --%s\n", unknown.front().c_str());
     return 2;
@@ -86,6 +91,7 @@ int main(int argc, char** argv) {
   config.observability = !flags.getBool("no-metrics", false);
   config.traceCapacity =
       static_cast<std::size_t>(flags.getInt("trace-cap", 256));
+  config.recordPath = flags.getString("record-out", "");
 
   const std::string metricsPath = flags.getString("metrics-out", "");
   const auto metricsInterval =

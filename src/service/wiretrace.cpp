@@ -1,0 +1,268 @@
+#include "service/wiretrace.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace tprm::service {
+
+namespace {
+
+void putU32(unsigned char* out, std::uint32_t v) {
+  out[0] = static_cast<unsigned char>(v & 0xFF);
+  out[1] = static_cast<unsigned char>((v >> 8) & 0xFF);
+  out[2] = static_cast<unsigned char>((v >> 16) & 0xFF);
+  out[3] = static_cast<unsigned char>((v >> 24) & 0xFF);
+}
+
+void putU64(unsigned char* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+std::uint32_t getU32(const unsigned char* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+std::uint64_t getU64(const unsigned char* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  }
+  return v;
+}
+
+void fnv32(std::uint32_t& h, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 16777619u;  // FNV-1a 32-bit prime
+  }
+}
+
+std::string errnoMessage(const char* what) {
+  std::string message = what;
+  message += ": ";
+  message += std::strerror(errno);
+  return message;
+}
+
+constexpr std::size_t kHeaderBytes = 16;   // magic + version + reserved
+constexpr std::size_t kRecordHead = 20;    // len + arrivalSeq + deltaNanos
+
+}  // namespace
+
+const char* toString(WireTraceStatus status) {
+  switch (status) {
+    case WireTraceStatus::Ok: return "ok";
+    case WireTraceStatus::Eof: return "eof";
+    case WireTraceStatus::IoError: return "io_error";
+    case WireTraceStatus::BadMagic: return "bad_magic";
+    case WireTraceStatus::BadVersion: return "bad_version";
+    case WireTraceStatus::Truncated: return "truncated";
+    case WireTraceStatus::TooLarge: return "too_large";
+    case WireTraceStatus::Corrupt: return "corrupt";
+  }
+  return "?";
+}
+
+std::uint32_t wireTraceChecksum(const WireTraceRecord& record) {
+  unsigned char fixed[16];
+  putU64(fixed, record.arrivalSeq);
+  putU64(fixed + 8, record.deltaNanos);
+  std::uint32_t h = 2166136261u;  // FNV-1a 32-bit offset basis
+  fnv32(h, fixed, sizeof(fixed));
+  fnv32(h, record.payload.data(), record.payload.size());
+  return h;
+}
+
+WireTraceWriter::~WireTraceWriter() { (void)close(nullptr); }
+
+bool WireTraceWriter::open(const std::string& path, std::string* error) {
+  if (file_ != nullptr) {
+    if (error != nullptr) *error = "trace writer already open";
+    return false;
+  }
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    if (error != nullptr) {
+      *error = errnoMessage(("open " + path).c_str());
+    }
+    return false;
+  }
+  unsigned char header[kHeaderBytes];
+  std::memcpy(header, kWireTraceMagic, sizeof(kWireTraceMagic));
+  putU32(header + 8, kWireTraceVersion);
+  putU32(header + 12, 0);  // reserved
+  if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header)) {
+    if (error != nullptr) *error = errnoMessage("write trace header");
+    std::fclose(file_);
+    file_ = nullptr;
+    return false;
+  }
+  records_ = 0;
+  return true;
+}
+
+bool WireTraceWriter::append(const WireTraceRecord& record,
+                             std::string* error) {
+  if (file_ == nullptr) {
+    if (error != nullptr) *error = "trace writer is not open";
+    return false;
+  }
+  if (record.payload.size() > kWireTraceMaxPayloadBytes) {
+    if (error != nullptr) *error = "record payload exceeds the format cap";
+    return false;
+  }
+  unsigned char head[kRecordHead];
+  putU32(head, static_cast<std::uint32_t>(record.payload.size()));
+  putU64(head + 4, record.arrivalSeq);
+  putU64(head + 12, record.deltaNanos);
+  unsigned char tail[4];
+  putU32(tail, wireTraceChecksum(record));
+  if (std::fwrite(head, 1, sizeof(head), file_) != sizeof(head) ||
+      (!record.payload.empty() &&
+       std::fwrite(record.payload.data(), 1, record.payload.size(), file_) !=
+           record.payload.size()) ||
+      std::fwrite(tail, 1, sizeof(tail), file_) != sizeof(tail)) {
+    if (error != nullptr) *error = errnoMessage("write trace record");
+    return false;
+  }
+  ++records_;
+  return true;
+}
+
+bool WireTraceWriter::close(std::string* error) {
+  if (file_ == nullptr) return true;
+  const bool flushed = std::fflush(file_) == 0;
+  const bool closed = std::fclose(file_) == 0;
+  file_ = nullptr;
+  if (!flushed || !closed) {
+    if (error != nullptr) *error = errnoMessage("close trace file");
+    return false;
+  }
+  return true;
+}
+
+WireTraceReader::~WireTraceReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+WireTraceStatus WireTraceReader::open(const std::string& path,
+                                      std::string* message) {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    if (message != nullptr) {
+      *message = errnoMessage(("open " + path).c_str());
+    }
+    return WireTraceStatus::IoError;
+  }
+  unsigned char header[kHeaderBytes];
+  const std::size_t got = std::fread(header, 1, sizeof(header), file_);
+  if (got != sizeof(header)) {
+    if (message != nullptr) *message = "file ends inside the trace header";
+    return WireTraceStatus::Truncated;
+  }
+  if (std::memcmp(header, kWireTraceMagic, sizeof(kWireTraceMagic)) != 0) {
+    if (message != nullptr) *message = "not a TPRM wire trace (bad magic)";
+    return WireTraceStatus::BadMagic;
+  }
+  const std::uint32_t version = getU32(header + 8);
+  if (version != kWireTraceVersion) {
+    if (message != nullptr) {
+      *message = "unsupported trace version " + std::to_string(version) +
+                 " (reader speaks " + std::to_string(kWireTraceVersion) + ")";
+    }
+    return WireTraceStatus::BadVersion;
+  }
+  return WireTraceStatus::Ok;
+}
+
+WireTraceReadResult WireTraceReader::next() {
+  WireTraceReadResult result;
+  if (file_ == nullptr) {
+    result.status = WireTraceStatus::IoError;
+    result.message = "trace reader is not open";
+    return result;
+  }
+  unsigned char head[kRecordHead];
+  const std::size_t got = std::fread(head, 1, sizeof(head), file_);
+  if (got == 0 && std::feof(file_) != 0) {
+    result.status = WireTraceStatus::Eof;
+    return result;
+  }
+  if (got != sizeof(head)) {
+    result.status = std::ferror(file_) != 0 ? WireTraceStatus::IoError
+                                            : WireTraceStatus::Truncated;
+    result.message = result.status == WireTraceStatus::IoError
+                         ? errnoMessage("read record header")
+                         : "file ends inside a record header";
+    return result;
+  }
+  const std::uint32_t payloadLen = getU32(head);
+  if (payloadLen > kWireTraceMaxPayloadBytes) {
+    result.status = WireTraceStatus::TooLarge;
+    result.message = "declared payload of " + std::to_string(payloadLen) +
+                     " bytes exceeds the format cap";
+    return result;
+  }
+  result.record.arrivalSeq = getU64(head + 4);
+  result.record.deltaNanos = getU64(head + 12);
+  result.record.payload.resize(payloadLen);
+  if (payloadLen > 0 &&
+      std::fread(result.record.payload.data(), 1, payloadLen, file_) !=
+          payloadLen) {
+    result.status = std::ferror(file_) != 0 ? WireTraceStatus::IoError
+                                            : WireTraceStatus::Truncated;
+    result.message = result.status == WireTraceStatus::IoError
+                         ? errnoMessage("read record payload")
+                         : "file ends inside a record payload";
+    return result;
+  }
+  unsigned char tail[4];
+  if (std::fread(tail, 1, sizeof(tail), file_) != sizeof(tail)) {
+    result.status = std::ferror(file_) != 0 ? WireTraceStatus::IoError
+                                            : WireTraceStatus::Truncated;
+    result.message = result.status == WireTraceStatus::IoError
+                         ? errnoMessage("read record checksum")
+                         : "file ends inside a record checksum";
+    return result;
+  }
+  const std::uint32_t stored = getU32(tail);
+  const std::uint32_t computed = wireTraceChecksum(result.record);
+  if (stored != computed) {
+    result.status = WireTraceStatus::Corrupt;
+    result.message = "record checksum mismatch (arrivalSeq " +
+                     std::to_string(result.record.arrivalSeq) + ")";
+    result.record = WireTraceRecord{};
+    return result;
+  }
+  result.status = WireTraceStatus::Ok;
+  return result;
+}
+
+WireTraceLoadResult loadWireTrace(const std::string& path) {
+  WireTraceLoadResult loaded;
+  WireTraceReader reader;
+  loaded.status = reader.open(path, &loaded.message);
+  if (loaded.status != WireTraceStatus::Ok) return loaded;
+  for (;;) {
+    WireTraceReadResult step = reader.next();
+    if (step.status == WireTraceStatus::Ok) {
+      loaded.records.push_back(std::move(step.record));
+      continue;
+    }
+    loaded.status = step.status;
+    loaded.message = std::move(step.message);
+    return loaded;
+  }
+}
+
+}  // namespace tprm::service

@@ -1,0 +1,145 @@
+// Wire-traffic trace files: durable record/replay of the request stream.
+//
+// `tprmd --record-out=PATH` appends every request frame the server admits
+// (after decode, at enqueue time — so the file order IS arrivalSeq order) to
+// a binary trace.  tools/tprm_replay drives a recorded trace back into a
+// fresh in-process arbitrator or a live daemon and checks the decisions are
+// identical, which turns any captured production stream into a regression
+// test.
+//
+// File layout (little-endian throughout; docs/trace_format.md is the
+// normative description):
+//
+//   header   8 bytes  magic "TPRMWIRE"
+//            4 bytes  u32 version (currently 1)
+//            4 bytes  u32 reserved (zero)
+//   record*  4 bytes  u32 payload length N (bounded by kMaxPayloadBytes)
+//            8 bytes  u64 arrivalSeq (server-stamped arrival order)
+//            8 bytes  u64 deltaNanos (monotonic-clock gap to the previous
+//                     record; 0 for the first)
+//            N bytes  payload — the canonical encodeRequest() JSON text
+//            4 bytes  u32 FNV-1a checksum over arrivalSeq, deltaNanos and
+//                     the payload bytes (in that order, little-endian)
+//
+// Reading never aborts and never silently drops data: every way a file can
+// be damaged maps to a typed status (mirroring net/frame.h's FrameStatus
+// discipline).  A version bump invalidates old readers loudly (BadVersion)
+// instead of letting them misparse records.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tprm::service {
+
+inline constexpr char kWireTraceMagic[8] = {'T', 'P', 'R', 'M',
+                                            'W', 'I', 'R', 'E'};
+inline constexpr std::uint32_t kWireTraceVersion = 1;
+/// Per-record payload cap; larger declared lengths are rejected as TooLarge
+/// before any allocation.  Matches the server's default frame cap.
+inline constexpr std::uint32_t kWireTraceMaxPayloadBytes = 1u << 20;
+
+/// Outcome of a read step.  Eof is the clean end-of-stream (file ends
+/// exactly on a record boundary); everything after Eof is an error.
+enum class WireTraceStatus {
+  Ok,
+  Eof,
+  IoError,     ///< open/read syscall failure
+  BadMagic,    ///< not a wire trace (or the header itself was damaged)
+  BadVersion,  ///< a trace from an incompatible format revision
+  Truncated,   ///< file ends mid-header or mid-record
+  TooLarge,    ///< declared payload length exceeds kWireTraceMaxPayloadBytes
+  Corrupt,     ///< checksum mismatch (bit rot / torn write)
+};
+
+[[nodiscard]] const char* toString(WireTraceStatus status);
+
+/// One recorded request frame.
+struct WireTraceRecord {
+  std::uint64_t arrivalSeq = 0;
+  /// Monotonic nanoseconds since the previous record (0 for the first);
+  /// lets replay reproduce pacing without trusting wall clocks.
+  std::uint64_t deltaNanos = 0;
+  /// The request document exactly as encodeRequest() renders it.
+  std::string payload;
+};
+
+/// Checksum the format stores per record (exposed for tests and tools).
+[[nodiscard]] std::uint32_t wireTraceChecksum(const WireTraceRecord& record);
+
+/// Append-only trace writer.  Not thread-safe; tprmd serialises appends
+/// under its arrival-sequence lock, which also makes file order match
+/// arrivalSeq order.
+class WireTraceWriter {
+ public:
+  WireTraceWriter() = default;
+  ~WireTraceWriter();
+
+  WireTraceWriter(const WireTraceWriter&) = delete;
+  WireTraceWriter& operator=(const WireTraceWriter&) = delete;
+
+  /// Creates/truncates `path` and writes the header.  False (with *error
+  /// set) on failure; the writer stays closed.
+  [[nodiscard]] bool open(const std::string& path, std::string* error);
+
+  /// Appends one record.  False on I/O failure or an over-cap payload.
+  [[nodiscard]] bool append(const WireTraceRecord& record, std::string* error);
+
+  /// Flushes and closes; returns false if the final flush failed.
+  /// Idempotent.
+  bool close(std::string* error);
+
+  [[nodiscard]] bool isOpen() const { return file_ != nullptr; }
+  [[nodiscard]] std::uint64_t recordsWritten() const { return records_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::uint64_t records_ = 0;
+};
+
+/// Result of reading one record.
+struct WireTraceReadResult {
+  WireTraceStatus status = WireTraceStatus::IoError;
+  WireTraceRecord record;  ///< valid iff status == Ok
+  std::string message;     ///< human-readable detail for errors
+
+  [[nodiscard]] bool ok() const { return status == WireTraceStatus::Ok; }
+};
+
+/// Streaming reader.  Usage: open(), then next() until Eof (or an error —
+/// after any non-Ok status the reader is done).
+class WireTraceReader {
+ public:
+  WireTraceReader() = default;
+  ~WireTraceReader();
+
+  WireTraceReader(const WireTraceReader&) = delete;
+  WireTraceReader& operator=(const WireTraceReader&) = delete;
+
+  /// Opens `path` and validates the header.  Anything but Ok means no
+  /// records can be read (*message gets the detail).
+  [[nodiscard]] WireTraceStatus open(const std::string& path,
+                                     std::string* message);
+
+  [[nodiscard]] WireTraceReadResult next();
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+/// Whole-file convenience: header + every record, or the first error.
+/// `records` holds everything successfully read before the failure, so
+/// callers can report how far a damaged file was readable.
+struct WireTraceLoadResult {
+  WireTraceStatus status = WireTraceStatus::IoError;
+  std::vector<WireTraceRecord> records;
+  std::string message;
+
+  [[nodiscard]] bool ok() const { return status == WireTraceStatus::Eof; }
+};
+
+[[nodiscard]] WireTraceLoadResult loadWireTrace(const std::string& path);
+
+}  // namespace tprm::service

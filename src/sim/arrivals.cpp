@@ -44,4 +44,24 @@ Time BurstyArrivals::next() {
   return ticksFromUnits(clockUnits_);
 }
 
+ModulatedArrivals::ModulatedArrivals(RateFn ratePerUnit, double peakRate,
+                                     Rng rng)
+    : rate_(std::move(ratePerUnit)), peak_(peakRate), rng_(rng) {
+  TPRM_CHECK(rate_ != nullptr, "rate function must be set");
+  TPRM_CHECK(peakRate > 0.0, "peak rate must be > 0");
+}
+
+Time ModulatedArrivals::next() {
+  // Thinning: homogeneous candidates at the peak rate, each kept with
+  // probability rate(t)/peak.  A rate curve that is zero over a stretch
+  // simply rejects every candidate falling inside it.
+  for (;;) {
+    clockUnits_ += rng_.exponential(1.0 / peak_);
+    const double rate = rate_(clockUnits_);
+    TPRM_CHECK(rate >= 0.0 && rate <= peak_,
+               "rate(t) must stay within [0, peakRate]");
+    if (rng_.uniform01() * peak_ < rate) return ticksFromUnits(clockUnits_);
+  }
+}
+
 }  // namespace tprm::sim

@@ -5,6 +5,7 @@
 // provided for tests and for stress examples.
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "common/rng.h"
@@ -60,6 +61,29 @@ class BurstyArrivals final : public ArrivalProcess {
   Rng rng_;
   double clockUnits_ = 0.0;
   int remainingInBurst_ = 0;
+};
+
+/// Non-homogeneous Poisson process with a caller-supplied rate curve
+/// (arrivals per paper unit as a function of time in paper units), realised
+/// by Lewis-Shedler thinning against `peakRate`.  The rate function must
+/// satisfy 0 <= rate(t) <= peakRate for all t; candidates are drawn from a
+/// homogeneous process at `peakRate` and accepted with probability
+/// rate(t)/peakRate, so the draw sequence — and therefore the stream — is a
+/// pure function of the Rng seed and the curve.  Diurnal load curves and
+/// flash crowds are both rate curves over this one process
+/// (workload/scenario.h builds them).
+class ModulatedArrivals final : public ArrivalProcess {
+ public:
+  using RateFn = std::function<double(double timeUnits)>;
+
+  ModulatedArrivals(RateFn ratePerUnit, double peakRate, Rng rng);
+  Time next() override;
+
+ private:
+  RateFn rate_;
+  double peak_;
+  Rng rng_;
+  double clockUnits_ = 0.0;
 };
 
 }  // namespace tprm::sim

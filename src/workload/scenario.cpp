@@ -1,0 +1,321 @@
+#include "workload/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace tprm::workload {
+namespace {
+
+/// Piecewise-linear interpolation over knots given as (phase in [0,1], rate)
+/// pairs; phases must be increasing and cover [0, 1].
+double interpolate(const std::vector<std::pair<double, double>>& knots,
+                   double phase) {
+  for (std::size_t k = 1; k < knots.size(); ++k) {
+    if (phase <= knots[k].first) {
+      const auto& [p0, r0] = knots[k - 1];
+      const auto& [p1, r1] = knots[k];
+      const double f = (phase - p0) / (p1 - p0);
+      return r0 + f * (r1 - r0);
+    }
+  }
+  return knots.back().second;
+}
+
+/// The diurnal day: a trough until 25% of the period, a morning ramp to the
+/// peak by 45%, a midday plateau to 75%, and an evening decay back down.
+double diurnalRate(const ScenarioParams& params, double timeUnits) {
+  const double lo = params.baseRate * (1.0 - params.diurnalAmplitude);
+  const double hi = params.baseRate * (1.0 + params.diurnalAmplitude);
+  const double phase =
+      std::fmod(timeUnits, params.diurnalPeriodUnits) /
+      params.diurnalPeriodUnits;
+  return interpolate({{0.0, lo}, {0.25, lo}, {0.45, hi}, {0.75, hi},
+                      {1.0, lo}},
+                     phase);
+}
+
+double flashRate(const ScenarioParams& params, double timeUnits) {
+  const bool inWindow = timeUnits >= params.flashBeginUnits &&
+                        timeUnits < params.flashBeginUnits +
+                                        params.flashDurationUnits;
+  return inWindow ? params.baseRate * params.flashMultiplier : params.baseRate;
+}
+
+/// Bounded Pareto draw via inverse transform, clamped to
+/// [minDurationUnits, maxDurationUnits].
+double paretoDuration(const ScenarioParams& params, Rng& rng) {
+  const double u = rng.uniform01();
+  const double raw =
+      params.minDurationUnits * std::pow(1.0 - u, -1.0 / params.paretoShape);
+  return std::min(raw, params.maxDurationUnits);
+}
+
+/// Job-shape draw shared by every scenario: the processor width, base
+/// duration, and laxity of one arrival.
+struct JobShape {
+  int processors = 0;
+  double durationUnits = 0.0;
+  double laxity = 0.0;
+};
+
+JobShape drawShape(const ScenarioParams& params, Rng& rng, bool heavyTailed) {
+  JobShape shape;
+  shape.processors = static_cast<int>(rng.uniformInt(2, 12));
+  shape.durationUnits = heavyTailed
+                            ? paretoDuration(params, rng)
+                            : 8.0 + 4.0 * static_cast<double>(
+                                              rng.uniformInt(0, 6));
+  shape.laxity = rng.uniformReal(0.3, 0.7);
+  return shape;
+}
+
+/// Builds the quality ladder for one arrival: a full-quality chain, a
+/// degraded half-width chain, and a last-resort single-processor chain.
+/// `floor` filters the ladder (chains below it are never offered); the full
+/// chain always survives because its quality is 1.
+task::TunableJobSpec makeJobSpec(const std::string& name,
+                                 const JobShape& shape, double degradedQuality,
+                                 double floor) {
+  const double stretch = 1.0 / (1.0 - shape.laxity);
+  const int wide = shape.processors;
+  const int half = std::max(1, wide / 2);
+  const double d = shape.durationUnits;
+
+  task::TunableJobSpec spec;
+  spec.name = name;
+
+  task::Chain full;
+  full.name = "full";
+  full.bindings = {{"level", 0}};
+  full.tasks = {
+      task::TaskSpec::rigid("main", wide, ticksFromUnits(d),
+                            ticksFromUnits(d * stretch)),
+      task::TaskSpec::rigid("post", half, ticksFromUnits(d * 0.5),
+                            ticksFromUnits(1.5 * d * stretch)),
+  };
+  spec.chains.push_back(std::move(full));
+
+  if (degradedQuality >= floor) {
+    task::Chain degraded;
+    degraded.name = "degraded";
+    degraded.bindings = {{"level", 1}};
+    degraded.tasks = {
+        task::TaskSpec::rigid("main", half, ticksFromUnits(2.0 * d),
+                              ticksFromUnits(2.0 * d * stretch),
+                              degradedQuality),
+        task::TaskSpec::rigid("post", 1, ticksFromUnits(d),
+                              ticksFromUnits(3.0 * d * stretch)),
+    };
+    spec.chains.push_back(std::move(degraded));
+  }
+
+  const double lastResortQuality = 0.45;
+  if (lastResortQuality >= floor) {
+    task::Chain lean;
+    lean.name = "lean";
+    lean.bindings = {{"level", 2}};
+    lean.tasks = {
+        task::TaskSpec::rigid("main", 1, ticksFromUnits(3.0 * d),
+                              ticksFromUnits(3.0 * d * stretch),
+                              lastResortQuality),
+        task::TaskSpec::rigid("post", 1, ticksFromUnits(1.5 * d),
+                              ticksFromUnits(4.5 * d * stretch)),
+    };
+    spec.chains.push_back(std::move(lean));
+  }
+  return spec;
+}
+
+void hashBytes(std::uint64_t& h, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001B3ULL;  // FNV-1a 64-bit prime
+  }
+}
+
+void hashU64(std::uint64_t& h, std::uint64_t v) { hashBytes(h, &v, 8); }
+
+void hashDouble(std::uint64_t& h, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  hashU64(h, bits);
+}
+
+void hashString(std::uint64_t& h, const std::string& s) {
+  hashU64(h, s.size());
+  hashBytes(h, s.data(), s.size());
+}
+
+}  // namespace
+
+std::string toString(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::Diurnal: return "diurnal";
+    case ScenarioKind::FlashCrowd: return "flash-crowd";
+    case ScenarioKind::HeavyTailed: return "heavy-tailed";
+    case ScenarioKind::MultiTenant: return "multi-tenant";
+  }
+  return "?";
+}
+
+std::vector<TenantSpec> defaultTenants() {
+  return {
+      {"gold", 1.0, 0.9},
+      {"silver", 2.0, 0.6},
+      {"bronze", 4.0, 0.0},
+  };
+}
+
+ScenarioGenerator::ScenarioGenerator(ScenarioParams params)
+    : params_(std::move(params)) {
+  TPRM_CHECK(params_.jobs > 0, "scenario needs at least one job");
+  TPRM_CHECK(params_.baseRate > 0.0, "base rate must be > 0");
+  TPRM_CHECK(params_.diurnalAmplitude >= 0.0 &&
+                 params_.diurnalAmplitude <= 1.0,
+             "diurnal amplitude must be in [0, 1]");
+  TPRM_CHECK(params_.diurnalPeriodUnits > 0.0, "diurnal period must be > 0");
+  TPRM_CHECK(params_.flashMultiplier >= 1.0, "flash multiplier must be >= 1");
+  TPRM_CHECK(params_.flashDurationUnits > 0.0, "flash window must be > 0");
+  TPRM_CHECK(params_.paretoShape > 0.0, "pareto shape must be > 0");
+  TPRM_CHECK(params_.minDurationUnits > 0.0 &&
+                 params_.maxDurationUnits >= params_.minDurationUnits,
+             "duration bounds must satisfy 0 < min <= max");
+  for (const auto& tenant : params_.tenants) {
+    TPRM_CHECK(tenant.weight > 0.0, "tenant weights must be positive");
+    TPRM_CHECK(tenant.qualityFloor >= 0.0 && tenant.qualityFloor <= 1.0,
+               "tenant quality floor must be in [0, 1]");
+  }
+  if (params_.name.empty()) params_.name = toString(params_.kind);
+}
+
+Scenario ScenarioGenerator::generate() const {
+  Scenario scenario;
+  scenario.params = params_;
+  if (params_.kind == ScenarioKind::MultiTenant) {
+    scenario.tenants =
+        params_.tenants.empty() ? defaultTenants() : params_.tenants;
+  }
+
+  // Independent streams for arrivals and job shapes, so adding a field to
+  // the shape draw never perturbs arrival times (and vice versa).
+  Rng root(streamSeed(params_.seed, 0x5ce7a410));
+  Rng shapeRng = root.fork();
+  Rng tenantRng = root.fork();
+
+  std::unique_ptr<sim::ArrivalProcess> arrivals;
+  const ScenarioParams& p = params_;
+  switch (params_.kind) {
+    case ScenarioKind::Diurnal:
+      arrivals = std::make_unique<sim::ModulatedArrivals>(
+          [p](double t) { return diurnalRate(p, t); },
+          p.baseRate * (1.0 + p.diurnalAmplitude), root.fork());
+      break;
+    case ScenarioKind::FlashCrowd:
+      arrivals = std::make_unique<sim::ModulatedArrivals>(
+          [p](double t) { return flashRate(p, t); },
+          p.baseRate * p.flashMultiplier, root.fork());
+      break;
+    case ScenarioKind::HeavyTailed:
+    case ScenarioKind::MultiTenant:
+      arrivals = std::make_unique<sim::PoissonArrivals>(1.0 / p.baseRate,
+                                                        root.fork());
+      break;
+  }
+
+  double totalWeight = 0.0;
+  for (const auto& tenant : scenario.tenants) totalWeight += tenant.weight;
+
+  scenario.jobs.reserve(params_.jobs);
+  for (std::size_t i = 0; i < params_.jobs; ++i) {
+    ScenarioJob job;
+    job.id = i;
+    job.release = arrivals->next();
+
+    double floor = 0.0;
+    std::string name = params_.name + "-" + std::to_string(i);
+    if (!scenario.tenants.empty()) {
+      double pick = tenantRng.uniform01() * totalWeight;
+      std::size_t chosen = 0;
+      for (std::size_t k = 0; k < scenario.tenants.size(); ++k) {
+        pick -= scenario.tenants[k].weight;
+        if (pick <= 0.0) {
+          chosen = k;
+          break;
+        }
+      }
+      job.tenant = static_cast<int>(chosen);
+      floor = scenario.tenants[chosen].qualityFloor;
+      name = scenario.tenants[chosen].name + "-" + std::to_string(i);
+    }
+
+    const JobShape shape = drawShape(
+        params_, shapeRng, params_.kind == ScenarioKind::HeavyTailed);
+    const double degradedQuality = shapeRng.uniformReal(0.55, 0.85);
+    job.spec = makeJobSpec(name, shape, degradedQuality, floor);
+    const auto errors = task::validate(job.spec);
+    TPRM_CHECK(errors.empty(), "generated scenario job failed validation");
+    scenario.jobs.push_back(std::move(job));
+  }
+  return scenario;
+}
+
+std::optional<ScenarioParams> scenarioByName(const std::string& name,
+                                             std::uint64_t seed,
+                                             std::size_t jobs) {
+  ScenarioParams params;
+  params.seed = seed;
+  params.jobs = jobs;
+  if (name == "diurnal") {
+    params.kind = ScenarioKind::Diurnal;
+  } else if (name == "flash-crowd") {
+    params.kind = ScenarioKind::FlashCrowd;
+  } else if (name == "heavy-tailed") {
+    params.kind = ScenarioKind::HeavyTailed;
+  } else if (name == "multi-tenant") {
+    params.kind = ScenarioKind::MultiTenant;
+  } else {
+    return std::nullopt;
+  }
+  return params;
+}
+
+std::vector<std::string> scenarioNames() {
+  return {"diurnal", "flash-crowd", "heavy-tailed", "multi-tenant"};
+}
+
+std::uint64_t fingerprint(const Scenario& scenario) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a 64-bit offset basis
+  hashU64(h, static_cast<std::uint64_t>(scenario.params.kind));
+  hashU64(h, scenario.jobs.size());
+  for (const auto& job : scenario.jobs) {
+    hashU64(h, job.id);
+    hashU64(h, static_cast<std::uint64_t>(job.release));
+    hashU64(h, static_cast<std::uint64_t>(
+                   static_cast<std::int64_t>(job.tenant)));
+    hashString(h, job.spec.name);
+    hashU64(h, job.spec.chains.size());
+    for (const auto& chain : job.spec.chains) {
+      hashString(h, chain.name);
+      for (const auto& [key, value] : chain.bindings) {
+        hashString(h, key);
+        hashU64(h, static_cast<std::uint64_t>(value));
+      }
+      hashU64(h, chain.tasks.size());
+      for (const auto& t : chain.tasks) {
+        hashString(h, t.name);
+        hashU64(h, static_cast<std::uint64_t>(t.request.processors));
+        hashU64(h, static_cast<std::uint64_t>(t.request.duration));
+        hashU64(h, static_cast<std::uint64_t>(t.relativeDeadline));
+        hashDouble(h, t.quality);
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace tprm::workload

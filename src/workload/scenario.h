@@ -1,0 +1,141 @@
+// Trace-driven heavy-traffic scenarios: seed-stable job streams shaped like
+// production load instead of the single Figure-4 Poisson stream.
+//
+// Every harness in the repo drove the arbitrator with one synthetic
+// two-task shape under Poisson arrivals; the dynamic-reconfiguration line of
+// related work (the DMR API, ReSHAPE) evaluates schedulers against workload
+// *mixes* because single-shape streams hide fragmentation, burst, and
+// fairness pathologies.  A ScenarioGenerator composes the ArrivalProcess
+// hierarchy (sim/arrivals.h) with per-job spec synthesis into four canonical
+// scenario families:
+//
+//  * diurnal      — a piecewise-linear day/night load curve (trough, morning
+//                   ramp, midday plateau, evening decay) over ModulatedArrivals;
+//  * flash-crowd  — steady baseline plus a bounded window at a multiple of
+//                   the baseline rate (the "everyone hits submit" burst);
+//  * heavy-tailed — Poisson arrivals whose task durations follow a bounded
+//                   Pareto, so a few giant jobs dominate total area;
+//  * multi-tenant — a weighted tenant mix where each tenant carries a
+//                   quality floor: the generator only offers chains whose
+//                   quality meets the floor, so an admission can never
+//                   violate the tenant's contract.
+//
+// Streams are a pure function of ScenarioParams (including the seed): the
+// same params produce byte-identical jobs on every run, pinned by golden
+// fingerprints in tests/workload/scenario_test.cpp.  The piecewise-linear
+// curves deliberately avoid transcendental functions so the fingerprints do
+// not depend on libm rounding.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/arrivals.h"
+#include "taskmodel/chain.h"
+
+namespace tprm::workload {
+
+enum class ScenarioKind { Diurnal, FlashCrowd, HeavyTailed, MultiTenant };
+
+/// Printable name ("diurnal", "flash-crowd", "heavy-tailed", "multi-tenant").
+[[nodiscard]] std::string toString(ScenarioKind kind);
+
+/// One tenant of a multi-tenant mix.
+struct TenantSpec {
+  std::string name;
+  /// Share of arrivals (relative weight, > 0).
+  double weight = 1.0;
+  /// Minimum acceptable path quality in [0, 1].  Chains below the floor are
+  /// not offered to the arbitrator, so every admission honours the floor by
+  /// construction.
+  double qualityFloor = 0.0;
+};
+
+struct ScenarioParams {
+  ScenarioKind kind = ScenarioKind::Diurnal;
+  /// Display name; empty = toString(kind).
+  std::string name;
+  std::uint64_t seed = 1;
+  /// Number of job arrivals to generate.
+  std::size_t jobs = 1000;
+
+  /// Baseline arrival rate (jobs per paper unit) the load curves modulate.
+  double baseRate = 0.25;
+
+  // --- diurnal -----------------------------------------------------------
+  /// Length of one day in paper units; the curve repeats each period.
+  double diurnalPeriodUnits = 400.0;
+  /// Trough-to-peak swing: the rate ramps between baseRate * (1 - amplitude)
+  /// and baseRate * (1 + amplitude), amplitude in [0, 1].
+  double diurnalAmplitude = 0.8;
+
+  // --- flash crowd -------------------------------------------------------
+  double flashBeginUnits = 300.0;
+  double flashDurationUnits = 80.0;
+  /// Rate multiplier inside the window (>= 1).
+  double flashMultiplier = 8.0;
+
+  // --- heavy tails -------------------------------------------------------
+  /// Bounded-Pareto shape for wide-task durations; smaller = heavier tail.
+  double paretoShape = 1.4;
+  double minDurationUnits = 4.0;
+  double maxDurationUnits = 320.0;
+
+  // --- multi-tenant ------------------------------------------------------
+  /// Tenants of the mix; empty = the canonical gold/silver/bronze mix (see
+  /// defaultTenants()).  Ignored by the other kinds.
+  std::vector<TenantSpec> tenants;
+};
+
+/// The canonical three-tier mix: gold (floor 0.9, weight 1), silver
+/// (floor 0.6, weight 2), bronze (no floor, weight 4).
+[[nodiscard]] std::vector<TenantSpec> defaultTenants();
+
+/// One generated arrival.
+struct ScenarioJob {
+  std::uint64_t id = 0;
+  Time release = 0;
+  /// Index into the scenario's tenants; -1 for single-tenant scenarios.
+  int tenant = -1;
+  task::TunableJobSpec spec;
+};
+
+struct Scenario {
+  ScenarioParams params;
+  /// Tenants actually used (params.tenants or the default mix); empty for
+  /// single-tenant kinds.
+  std::vector<TenantSpec> tenants;
+  std::vector<ScenarioJob> jobs;  // sorted by release
+};
+
+/// Deterministic scenario synthesis.  generate() is const and repeatable:
+/// two calls return identical streams.
+class ScenarioGenerator {
+ public:
+  explicit ScenarioGenerator(ScenarioParams params);
+
+  [[nodiscard]] Scenario generate() const;
+
+  [[nodiscard]] const ScenarioParams& params() const { return params_; }
+
+ private:
+  ScenarioParams params_;
+};
+
+/// Canonical preset by name ("diurnal", "flash-crowd", "heavy-tailed",
+/// "multi-tenant"); nullopt for unknown names.  The presets are what the
+/// scenario suite, the replay tool, and CI run.
+[[nodiscard]] std::optional<ScenarioParams> scenarioByName(
+    const std::string& name, std::uint64_t seed, std::size_t jobs);
+
+/// Names scenarioByName accepts, in canonical order.
+[[nodiscard]] std::vector<std::string> scenarioNames();
+
+/// Order-sensitive FNV-1a fingerprint over the whole stream (ids, releases,
+/// tenants, and every chain/task field the scheduler reads).  Golden tests
+/// pin these; a change means the generated workload changed.
+[[nodiscard]] std::uint64_t fingerprint(const Scenario& scenario);
+
+}  // namespace tprm::workload

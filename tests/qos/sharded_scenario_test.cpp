@@ -1,0 +1,121 @@
+// Golden-decision pin for ShardedArbitrator spill/rebalance under a flash
+// crowd.  The burst overloads the home shards, so admission leans on spill
+// (reject-at-home, admit-elsewhere) and the periodic rebalance moves
+// processors toward the loaded shards — exactly the machinery a plain
+// uniform stream never stresses.  The decision stream is deterministic
+// (sequential replay of a seed-stable scenario), so the whole run is pinned
+// by fingerprint and counters: any change to spill targeting, rebalance
+// sizing, or the admission walk shows up here as a diff, not as silence.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "qos/sharded.h"
+#include "workload/scenario.h"
+
+namespace tprm::qos {
+namespace {
+
+void hashU64(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001B3ULL;
+  }
+}
+
+struct RunResult {
+  std::uint64_t fingerprint = 1469598103934665603ULL;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t spills = 0;
+  int rebalanceMoves = 0;
+};
+
+RunResult runFlashCrowd(bool spill, bool rebalance) {
+  const auto params = workload::scenarioByName("flash-crowd", 21, 400);
+  const auto scenario = workload::ScenarioGenerator(*params).generate();
+
+  ShardedOptions options;
+  options.shards = 4;
+  options.spill = spill;
+  // A single always-idle processor of imbalance is enough to move: the
+  // flash loads home shards unevenly and the test wants the rebalancer to
+  // actually fire, not just be polled.
+  options.rebalanceThreshold = 1;
+  ShardedArbitrator arbitrator(32, options);
+
+  RunResult result;
+  std::size_t index = 0;
+  for (const auto& job : scenario.jobs) {
+    const std::uint64_t jobId = arbitrator.reserveJobId();
+    const auto decision = arbitrator.submit(jobId, job.spec, job.release);
+    hashU64(result.fingerprint, jobId);
+    hashU64(result.fingerprint, decision.admitted ? 1 : 0);
+    if (decision.admitted) {
+      hashU64(result.fingerprint, decision.schedule.chainIndex);
+      std::uint64_t qualityBits;
+      static_assert(sizeof(qualityBits) == sizeof(decision.quality));
+      __builtin_memcpy(&qualityBits, &decision.quality, sizeof(qualityBits));
+      hashU64(result.fingerprint, qualityBits);
+    }
+    // A deterministic stand-in for the daemon's periodic rebalancer: one
+    // sweep every 32 arrivals, at the arbitrator clock.
+    if (rebalance && (++index % 32) == 0) {
+      const auto report = arbitrator.rebalance(arbitrator.clock());
+      if (report.moved) ++result.rebalanceMoves;
+      hashU64(result.fingerprint, report.moved ? 1 : 0);
+      hashU64(result.fingerprint,
+              static_cast<std::uint64_t>(report.processors));
+    }
+  }
+  result.admitted = arbitrator.admittedCount();
+  result.rejected = arbitrator.rejectedCount();
+  result.spills = arbitrator.spillCount();
+  EXPECT_TRUE(arbitrator.verify().ok);
+  EXPECT_EQ(arbitrator.processors(), 32);  // rebalance moves, never leaks
+  return result;
+}
+
+TEST(ShardedFlashCrowdGolden, SpillDecisionStreamIsPinned) {
+  const RunResult run = runFlashCrowd(/*spill=*/true, /*rebalance=*/true);
+  EXPECT_EQ(run.admitted + run.rejected, 400u);
+  EXPECT_EQ(run.fingerprint, 0x26c01def6fb69f6bULL);
+  EXPECT_EQ(run.admitted, 265u);
+  EXPECT_EQ(run.spills, 32u);
+  // Spill drains imbalance as it forms (rejected jobs land on the emptiest
+  // shard), so the always-idle gap never reaches a movable size: the
+  // rebalancer is polled throughout and correctly stays quiet.
+  EXPECT_EQ(run.rebalanceMoves, 0);
+}
+
+TEST(ShardedFlashCrowdGolden, RebalanceDecisionStreamIsPinnedWithoutSpill) {
+  // With spill off the flash loads home shards unevenly and rebalancing is
+  // the only corrective: the sweeps must actually move processors.
+  const RunResult run = runFlashCrowd(/*spill=*/false, /*rebalance=*/true);
+  EXPECT_EQ(run.admitted + run.rejected, 400u);
+  EXPECT_EQ(run.fingerprint, 0xcb6bce5d5347def1ULL);
+  EXPECT_EQ(run.admitted, 250u);
+  EXPECT_EQ(run.spills, 0u);
+  EXPECT_EQ(run.rebalanceMoves, 1);
+}
+
+TEST(ShardedFlashCrowdGolden, RunsAreDeterministic) {
+  const RunResult a = runFlashCrowd(true, true);
+  const RunResult b = runFlashCrowd(true, true);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.spills, b.spills);
+}
+
+TEST(ShardedFlashCrowdGolden, SpillRecoversAdmissionsTheFlashWouldLose) {
+  const RunResult with = runFlashCrowd(/*spill=*/true, /*rebalance=*/false);
+  const RunResult without =
+      runFlashCrowd(/*spill=*/false, /*rebalance=*/false);
+  EXPECT_EQ(without.spills, 0u);
+  EXPECT_GT(with.spills, 0u);
+  // The burst fragments the partition; spill recovers real admissions.
+  EXPECT_GT(with.admitted, without.admitted);
+}
+
+}  // namespace
+}  // namespace tprm::qos

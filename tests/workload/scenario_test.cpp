@@ -1,0 +1,167 @@
+#include "workload/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "taskmodel/chain.h"
+
+namespace tprm::workload {
+namespace {
+
+ScenarioParams preset(const std::string& name, std::uint64_t seed = 1,
+                      std::size_t jobs = 300) {
+  const auto params = scenarioByName(name, seed, jobs);
+  EXPECT_TRUE(params.has_value()) << name;
+  return *params;
+}
+
+TEST(ScenarioGenerator, KnowsExactlyTheCanonicalPresets) {
+  const auto names = scenarioNames();
+  ASSERT_EQ(names.size(), 4u);
+  for (const auto& name : names) {
+    EXPECT_TRUE(scenarioByName(name, 1, 10).has_value()) << name;
+  }
+  EXPECT_FALSE(scenarioByName("weekend", 1, 10).has_value());
+}
+
+TEST(ScenarioGenerator, GenerateIsRepeatable) {
+  for (const auto& name : scenarioNames()) {
+    const ScenarioGenerator generator(preset(name));
+    EXPECT_EQ(fingerprint(generator.generate()),
+              fingerprint(generator.generate()))
+        << name;
+  }
+}
+
+TEST(ScenarioGenerator, SeedChangesTheStream) {
+  for (const auto& name : scenarioNames()) {
+    const auto a = ScenarioGenerator(preset(name, 1)).generate();
+    const auto b = ScenarioGenerator(preset(name, 2)).generate();
+    EXPECT_NE(fingerprint(a), fingerprint(b)) << name;
+  }
+}
+
+// The golden stream fingerprints the rest of the suite (bench artifact,
+// replay traces, CI smoke) is keyed on.  A change here means generated
+// workloads changed — deliberate generator changes must update these AND
+// regenerate BENCH_scenarios.json.
+TEST(ScenarioGenerator, GoldenFingerprints) {
+  const struct {
+    const char* name;
+    std::uint64_t fingerprint;
+  } golden[] = {
+      {"diurnal", 0x18e64116d014023fULL},
+      {"flash-crowd", 0x4fc2a803db76d7dfULL},
+      {"heavy-tailed", 0x3e66bb60fa5dc71aULL},
+      {"multi-tenant", 0x66eed7e699980e96ULL},
+  };
+  for (const auto& expected : golden) {
+    const auto scenario =
+        ScenarioGenerator(preset(expected.name)).generate();
+    EXPECT_EQ(fingerprint(scenario), expected.fingerprint) << expected.name;
+  }
+}
+
+TEST(ScenarioGenerator, StreamsAreSortedWithSequentialIds) {
+  for (const auto& name : scenarioNames()) {
+    const auto scenario = ScenarioGenerator(preset(name)).generate();
+    ASSERT_EQ(scenario.jobs.size(), 300u) << name;
+    Time previous = 0;
+    for (std::size_t i = 0; i < scenario.jobs.size(); ++i) {
+      EXPECT_EQ(scenario.jobs[i].id, i) << name;
+      EXPECT_GE(scenario.jobs[i].release, previous) << name;
+      previous = scenario.jobs[i].release;
+    }
+  }
+}
+
+TEST(ScenarioGenerator, EverySpecValidates) {
+  for (const auto& name : scenarioNames()) {
+    const auto scenario = ScenarioGenerator(preset(name)).generate();
+    for (const auto& job : scenario.jobs) {
+      EXPECT_TRUE(task::validate(job.spec).empty()) << name;
+      EXPECT_FALSE(job.spec.chains.empty()) << name;
+    }
+  }
+}
+
+TEST(ScenarioGenerator, MultiTenantHonoursQualityFloorsByConstruction) {
+  const auto scenario =
+      ScenarioGenerator(preset("multi-tenant", 1, 500)).generate();
+  ASSERT_EQ(scenario.tenants.size(), 3u);
+  std::set<int> seen;
+  for (const auto& job : scenario.jobs) {
+    ASSERT_GE(job.tenant, 0);
+    ASSERT_LT(job.tenant, 3);
+    seen.insert(job.tenant);
+    const double floor =
+        scenario.tenants[static_cast<std::size_t>(job.tenant)].qualityFloor;
+    for (const auto& chain : job.spec.chains) {
+      // Path quality = product of task qualities; every offered chain must
+      // meet the tenant's floor so no admission can violate the contract.
+      double quality = 1.0;
+      for (const auto& task : chain.tasks) quality *= task.quality;
+      EXPECT_GE(quality, floor) << job.spec.name << " chain " << chain.name;
+    }
+  }
+  // 500 draws over weights 1/2/4 hit all three tenants.
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(ScenarioGenerator, SingleTenantKindsMarkJobsTenantless) {
+  for (const auto& name : {"diurnal", "flash-crowd", "heavy-tailed"}) {
+    const auto scenario = ScenarioGenerator(preset(name)).generate();
+    EXPECT_TRUE(scenario.tenants.empty()) << name;
+    for (const auto& job : scenario.jobs) EXPECT_EQ(job.tenant, -1) << name;
+  }
+}
+
+TEST(ScenarioGenerator, FlashCrowdConcentratesArrivals) {
+  const auto params = preset("flash-crowd", 1, 600);
+  const auto scenario = ScenarioGenerator(params).generate();
+  // Compare density inside the flash window against an equally long stretch
+  // of baseline before it.
+  const Time begin = ticksFromUnits(params.flashBeginUnits);
+  const Time end =
+      ticksFromUnits(params.flashBeginUnits + params.flashDurationUnits);
+  const Time baselineBegin =
+      ticksFromUnits(params.flashBeginUnits - params.flashDurationUnits);
+  std::size_t inWindow = 0;
+  std::size_t inBaseline = 0;
+  for (const auto& job : scenario.jobs) {
+    if (job.release >= begin && job.release < end) ++inWindow;
+    if (job.release >= baselineBegin && job.release < begin) ++inBaseline;
+  }
+  EXPECT_GT(inWindow, 3 * std::max<std::size_t>(inBaseline, 1));
+}
+
+TEST(ScenarioGenerator, HeavyTailedDurationsSpanTheBoundedParetoRange) {
+  const auto params = preset("heavy-tailed", 1, 500);
+  const auto scenario = ScenarioGenerator(params).generate();
+  Time longest = 0;
+  Time shortest = ticksFromUnits(params.maxDurationUnits);
+  for (const auto& job : scenario.jobs) {
+    const Time duration =
+        job.spec.chains.front().tasks.front().request.duration;
+    longest = std::max(longest, duration);
+    shortest = std::min(shortest, duration);
+  }
+  // The tail reaches far past the typical draw but never past the bound.
+  EXPECT_LE(longest, ticksFromUnits(params.maxDurationUnits));
+  EXPECT_GE(longest, ticksFromUnits(params.maxDurationUnits / 4.0));
+  EXPECT_LE(shortest, ticksFromUnits(2.0 * params.minDurationUnits));
+}
+
+TEST(ScenarioGeneratorDeath, ValidatesParams) {
+  ScenarioParams params;
+  params.jobs = 0;
+  EXPECT_DEATH(ScenarioGenerator{params}, "at least one job");
+  params.jobs = 10;
+  params.baseRate = 0.0;
+  EXPECT_DEATH(ScenarioGenerator{params}, "base rate");
+}
+
+}  // namespace
+}  // namespace tprm::workload

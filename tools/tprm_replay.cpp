@@ -1,0 +1,452 @@
+// tprm_replay — record/replay driver for tprmd wire traces.
+//
+// Modes (pick one):
+//
+//   --gen=NAME --out=FILE [--jobs=N] [--seed=S]
+//       Synthesize a trace from a canonical scenario (workload/scenario.h):
+//       one NEGOTIATE record per generated job, in release order, pacing
+//       deltas derived from the release gaps.
+//
+//   --in=FILE --cat
+//       Dump the trace, one line per record.
+//
+//   --in=FILE [--procs=P] [--shards=K] [--no-spill]
+//       Replay the trace sequentially into a fresh in-process
+//       ShardedArbitrator and print the decision summary + fingerprint.
+//
+//   --in=FILE --unix=PATH | --in=FILE --tcp-port=PORT
+//       Replay the trace sequentially into a live daemon and print the same
+//       summary/fingerprint — run both modes and diff the fingerprints to
+//       check decision-identity between simulator and daemon.
+//
+//   --in=FILE --drive [--procs=P] [--shards=K] [--no-spill]
+//       Self-hosting verification: spins up a fresh in-process
+//       NegotiationServer with the given sizing, replays the trace through a
+//       real client connection, replays it again into a fresh in-process
+//       arbitrator, and compares every NEGOTIATE decision field by field.
+//       Exit 0 iff all decisions match.
+//
+// Replay is sequential (one request at a time, trace order == arrivalSeq
+// order), which makes the decision stream a pure function of the trace and
+// the sizing — the property the scenario regression tier pins.
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/flags.h"
+#include "common/time.h"
+#include "qos/sharded.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/wiretrace.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using namespace tprm;
+
+/// One NEGOTIATE outcome in a form shared by every replay backend.
+struct Decision {
+  std::uint64_t traceSeq = 0;  // record's arrivalSeq (trace order)
+  bool admitted = false;
+  std::uint64_t jobId = 0;
+  std::size_t chainIndex = 0;
+  double quality = 0.0;
+  Time release = 0;
+};
+
+struct ReplaySummary {
+  std::uint64_t records = 0;
+  std::uint64_t negotiates = 0;
+  std::uint64_t cancels = 0;
+  std::uint64_t other = 0;
+  std::vector<Decision> decisions;
+};
+
+void hashU64(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001B3ULL;
+  }
+}
+
+std::uint64_t decisionFingerprint(const std::vector<Decision>& decisions) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& d : decisions) {
+    hashU64(h, d.traceSeq);
+    hashU64(h, d.admitted ? 1 : 0);
+    hashU64(h, d.jobId);
+    hashU64(h, d.chainIndex);
+    std::uint64_t qualityBits;
+    static_assert(sizeof(qualityBits) == sizeof(d.quality));
+    __builtin_memcpy(&qualityBits, &d.quality, sizeof(qualityBits));
+    hashU64(h, qualityBits);
+    hashU64(h, static_cast<std::uint64_t>(d.release));
+  }
+  return h;
+}
+
+/// Decodes every record payload up front; exits the process on the first
+/// malformed record (a damaged trace must never half-replay silently).
+std::vector<service::Request> decodeAll(
+    const std::vector<service::WireTraceRecord>& records) {
+  std::vector<service::Request> requests;
+  requests.reserve(records.size());
+  for (const auto& record : records) {
+    auto parsed = service::decodeRequest(record.payload);
+    if (!parsed.ok()) {
+      std::fprintf(stderr,
+                   "tprm_replay: record seq=%" PRIu64 " undecodable: %s\n",
+                   record.arrivalSeq, parsed.error.c_str());
+      std::exit(1);
+    }
+    requests.push_back(std::move(*parsed.request));
+  }
+  return requests;
+}
+
+qos::ShardedOptions shardedOptions(int shards, bool spill) {
+  qos::ShardedOptions options;
+  options.shards = shards;
+  options.spill = spill;
+  return options;
+}
+
+/// Sequential replay into a fresh in-process sharded arbitrator.  NEGOTIATE
+/// reserves the next global job id exactly as the server does at enqueue, so
+/// ids (and home shards) line up with a recorded daemon run.
+ReplaySummary replayInProcess(
+    const std::vector<service::WireTraceRecord>& records, int processors,
+    int shards, bool spill) {
+  const auto requests = decodeAll(records);
+  qos::ShardedArbitrator arbitrator(processors, shardedOptions(shards, spill));
+  ReplaySummary summary;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto& request = requests[i];
+    ++summary.records;
+    switch (request.command) {
+      case service::Command::Negotiate: {
+        const auto& payload =
+            std::get<service::NegotiateRequest>(request.payload);
+        ++summary.negotiates;
+        const std::uint64_t jobId = arbitrator.reserveJobId();
+        Time effective = payload.release;
+        const auto outcome = arbitrator.submit(jobId, payload.spec,
+                                               payload.release, &effective);
+        Decision decision;
+        decision.traceSeq = records[i].arrivalSeq;
+        decision.admitted = outcome.admitted;
+        decision.jobId = jobId;
+        decision.release = effective;
+        if (outcome.admitted) {
+          decision.chainIndex = outcome.schedule.chainIndex;
+          decision.quality = outcome.quality;
+        }
+        summary.decisions.push_back(decision);
+        break;
+      }
+      case service::Command::Cancel: {
+        ++summary.cancels;
+        (void)arbitrator.cancel(
+            std::get<service::CancelRequest>(request.payload).jobId);
+        break;
+      }
+      case service::Command::Resize: {
+        ++summary.other;
+        const auto& payload =
+            std::get<service::ResizeRequest>(request.payload);
+        if (payload.processors >= arbitrator.shardCount()) {
+          (void)arbitrator.resize(payload.processors,
+                                  std::max(payload.when, arbitrator.clock()));
+        }
+        break;
+      }
+      case service::Command::Stats:
+      case service::Command::Verify:
+        ++summary.other;  // read-only: no effect on decisions
+        break;
+    }
+  }
+  return summary;
+}
+
+/// Sequential replay through a live daemon connection.
+ReplaySummary replayIntoDaemon(
+    const std::vector<service::WireTraceRecord>& records,
+    const service::ClientConfig& config) {
+  const auto requests = decodeAll(records);
+  service::QoSAgentClient client(config);
+  if (auto error = client.connect()) {
+    std::fprintf(stderr, "tprm_replay: connect failed: %s\n",
+                 error->message.c_str());
+    std::exit(1);
+  }
+  ReplaySummary summary;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto& request = requests[i];
+    ++summary.records;
+    switch (request.command) {
+      case service::Command::Negotiate: {
+        const auto& payload =
+            std::get<service::NegotiateRequest>(request.payload);
+        ++summary.negotiates;
+        const auto result = client.negotiate(payload.spec, payload.release);
+        if (!result.ok()) {
+          std::fprintf(stderr, "tprm_replay: NEGOTIATE failed: %s\n",
+                       result.error.message.c_str());
+          std::exit(1);
+        }
+        Decision decision;
+        decision.traceSeq = records[i].arrivalSeq;
+        decision.admitted = result->admitted;
+        decision.jobId = result->jobId;
+        decision.chainIndex = result->chainIndex;
+        decision.quality = result->quality;
+        decision.release = result->release;
+        summary.decisions.push_back(decision);
+        break;
+      }
+      case service::Command::Cancel: {
+        ++summary.cancels;
+        const auto result = client.cancel(
+            std::get<service::CancelRequest>(request.payload).jobId);
+        if (!result.ok()) {
+          std::fprintf(stderr, "tprm_replay: CANCEL failed: %s\n",
+                       result.error.message.c_str());
+          std::exit(1);
+        }
+        break;
+      }
+      case service::Command::Resize: {
+        ++summary.other;
+        const auto& payload =
+            std::get<service::ResizeRequest>(request.payload);
+        const auto result = client.resize(payload.processors, payload.when);
+        if (!result.ok() &&
+            result.error.status != service::ClientStatus::ServerError) {
+          std::fprintf(stderr, "tprm_replay: RESIZE failed: %s\n",
+                       result.error.message.c_str());
+          std::exit(1);
+        }
+        break;
+      }
+      case service::Command::Stats:
+      case service::Command::Verify:
+        ++summary.other;
+        break;
+    }
+  }
+  return summary;
+}
+
+void printSummary(const char* label, const ReplaySummary& summary) {
+  std::printf(
+      "%s: records=%" PRIu64 " negotiates=%" PRIu64 " cancels=%" PRIu64
+      " other=%" PRIu64 "\n",
+      label, summary.records, summary.negotiates, summary.cancels,
+      summary.other);
+  std::uint64_t admitted = 0;
+  for (const auto& d : summary.decisions) admitted += d.admitted ? 1 : 0;
+  std::printf("%s: admitted=%" PRIu64 " rejected=%zu\n", label, admitted,
+              summary.decisions.size() - admitted);
+  std::printf("%s: decision_fingerprint=%016" PRIx64 "\n", label,
+              decisionFingerprint(summary.decisions));
+}
+
+bool decisionsMatch(const ReplaySummary& a, const ReplaySummary& b) {
+  if (a.decisions.size() != b.decisions.size()) {
+    std::fprintf(stderr, "mismatch: %zu vs %zu decisions\n",
+                 a.decisions.size(), b.decisions.size());
+    return false;
+  }
+  bool ok = true;
+  for (std::size_t i = 0; i < a.decisions.size(); ++i) {
+    const auto& x = a.decisions[i];
+    const auto& y = b.decisions[i];
+    if (x.admitted != y.admitted || x.jobId != y.jobId ||
+        x.chainIndex != y.chainIndex || x.quality != y.quality ||
+        x.release != y.release) {
+      std::fprintf(stderr,
+                   "mismatch at negotiate #%zu (seq=%" PRIu64
+                   "): admitted %d/%d jobId %" PRIu64 "/%" PRIu64
+                   " chain %zu/%zu quality %.17g/%.17g\n",
+                   i, x.traceSeq, x.admitted ? 1 : 0, y.admitted ? 1 : 0,
+                   x.jobId, y.jobId, x.chainIndex, y.chainIndex, x.quality,
+                   y.quality);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+int generateTrace(const std::string& name, const std::string& outPath,
+                  std::uint64_t seed, std::size_t jobs) {
+  const auto params = workload::scenarioByName(name, seed, jobs);
+  if (!params.has_value()) {
+    std::fprintf(stderr, "tprm_replay: unknown scenario '%s' (known:",
+                 name.c_str());
+    for (const auto& known : workload::scenarioNames()) {
+      std::fprintf(stderr, " %s", known.c_str());
+    }
+    std::fprintf(stderr, ")\n");
+    return 2;
+  }
+  const auto scenario = workload::ScenarioGenerator(*params).generate();
+  service::WireTraceWriter writer;
+  std::string error;
+  if (!writer.open(outPath, &error)) {
+    std::fprintf(stderr, "tprm_replay: %s\n", error.c_str());
+    return 1;
+  }
+  Time previous = 0;
+  for (std::size_t i = 0; i < scenario.jobs.size(); ++i) {
+    const auto& job = scenario.jobs[i];
+    service::Request request;
+    request.id = i + 1;
+    request.command = service::Command::Negotiate;
+    request.payload = service::NegotiateRequest{job.spec, job.release};
+    service::WireTraceRecord record;
+    record.arrivalSeq = i;
+    // Pacing metadata: one simulated tick = one nanosecond of spacing.
+    record.deltaNanos =
+        i == 0 ? 0 : static_cast<std::uint64_t>(job.release - previous);
+    previous = job.release;
+    record.payload = service::encodeRequest(request);
+    if (!writer.append(record, &error)) {
+      std::fprintf(stderr, "tprm_replay: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  if (!writer.close(&error)) {
+    std::fprintf(stderr, "tprm_replay: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("tprm_replay: wrote %zu records (%s, seed=%" PRIu64 ") to %s\n",
+              scenario.jobs.size(), workload::toString(params->kind).c_str(),
+              seed, outPath.c_str());
+  return 0;
+}
+
+int catTrace(const std::vector<service::WireTraceRecord>& records) {
+  for (const auto& record : records) {
+    const auto parsed = service::decodeRequest(record.payload);
+    std::printf("seq=%" PRIu64 " delta_ns=%" PRIu64 " bytes=%zu %s\n",
+                record.arrivalSeq, record.deltaNanos, record.payload.size(),
+                parsed.ok() ? service::toString(parsed.request->command)
+                            : "<undecodable>");
+  }
+  return 0;
+}
+
+std::vector<service::WireTraceRecord> loadOrDie(const std::string& path) {
+  auto loaded = service::loadWireTrace(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "tprm_replay: %s: %s (%s after %zu records)\n",
+                 path.c_str(), loaded.message.c_str(),
+                 service::toString(loaded.status), loaded.records.size());
+    std::exit(1);
+  }
+  return std::move(loaded.records);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto unknown = flags.unknownAgainst(
+      {"in", "out", "gen", "jobs", "seed", "procs", "shards", "no-spill",
+       "unix", "tcp-port", "drive", "cat"});
+  if (!unknown.empty()) {
+    std::fprintf(stderr, "tprm_replay: unknown flag --%s\n",
+                 unknown.front().c_str());
+    return 2;
+  }
+
+  const std::string gen = flags.getString("gen", "");
+  if (!gen.empty()) {
+    const std::string out = flags.getString("out", "");
+    if (out.empty()) {
+      std::fprintf(stderr, "tprm_replay: --gen requires --out=FILE\n");
+      return 2;
+    }
+    return generateTrace(
+        gen, out, static_cast<std::uint64_t>(flags.getInt("seed", 1)),
+        static_cast<std::size_t>(flags.getInt("jobs", 500)));
+  }
+
+  const std::string in = flags.getString("in", "");
+  if (in.empty()) {
+    std::fprintf(stderr,
+                 "usage: tprm_replay --gen=NAME --out=FILE [--jobs --seed]\n"
+                 "       tprm_replay --in=FILE --cat\n"
+                 "       tprm_replay --in=FILE [--procs --shards --no-spill]\n"
+                 "       tprm_replay --in=FILE --unix=PATH | --tcp-port=PORT\n"
+                 "       tprm_replay --in=FILE --drive [--procs --shards]\n");
+    return 2;
+  }
+  const auto records = loadOrDie(in);
+  if (flags.getBool("cat", false)) return catTrace(records);
+
+  const int processors = static_cast<int>(flags.getInt("procs", 32));
+  const int shards = static_cast<int>(flags.getInt("shards", 1));
+  const bool spill = !flags.getBool("no-spill", false);
+  if (shards < 1 || shards > processors) {
+    std::fprintf(stderr, "tprm_replay: --shards must be in [1, --procs]\n");
+    return 2;
+  }
+
+  const std::string unixPath = flags.getString("unix", "");
+  const bool haveTcp = flags.has("tcp-port");
+  if (!unixPath.empty() || haveTcp) {
+    service::ClientConfig client;
+    client.unixPath = unixPath;
+    if (haveTcp) {
+      client.tcpPort =
+          static_cast<std::uint16_t>(flags.getInt("tcp-port", 0));
+    }
+    const auto summary = replayIntoDaemon(records, client);
+    printSummary("daemon", summary);
+    return 0;
+  }
+
+  if (flags.getBool("drive", false)) {
+    // Self-hosting verification: a fresh daemon and a fresh in-process
+    // arbitrator replay the same trace sequentially; decisions must agree.
+    service::ServerConfig config;
+    config.processors = processors;
+    config.shards = shards;
+    config.shardSpill = spill;
+    config.unixPath =
+        "/tmp/tprm_replay_" + std::to_string(::getpid()) + ".sock";
+    service::NegotiationServer server(config);
+    std::string error;
+    if (!server.start(&error)) {
+      std::fprintf(stderr, "tprm_replay: server start failed: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    service::ClientConfig client;
+    client.unixPath = config.unixPath;
+    const auto viaDaemon = replayIntoDaemon(records, client);
+    server.stop();
+    const auto viaSim = replayInProcess(records, processors, shards, spill);
+    printSummary("daemon", viaDaemon);
+    printSummary("sim", viaSim);
+    if (!decisionsMatch(viaSim, viaDaemon)) {
+      std::fprintf(stderr, "tprm_replay: DECISIONS DIVERGED\n");
+      return 1;
+    }
+    std::printf("tprm_replay: decisions identical (%zu negotiations)\n",
+                viaSim.decisions.size());
+    return 0;
+  }
+
+  const auto summary = replayInProcess(records, processors, shards, spill);
+  printSummary("sim", summary);
+  return 0;
+}

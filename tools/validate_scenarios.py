@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Validate a scenario-suite artifact against docs/scenarios_schema.json.
+
+Stdlib-only.  Schema checking reuses validate_metrics.py's implementation of
+the JSON Schema subset (type, required, properties, additionalProperties,
+items, minimum, enum), then adds the cross-field invariants a schema cannot
+express:
+
+  * every scenario leg satisfies admitted + rejected == jobs;
+  * on_time_throughput == admitted / jobs (to float round-trip precision);
+  * decision_fingerprint is a 16-hex-digit string;
+  * per-tenant counters are consistent (admitted <= offered, offered sums
+    to the leg's job count) and no leg reports quality-floor violations;
+  * all four canonical scenario kinds are present.
+
+Usage:
+    tools/validate_scenarios.py BENCH_scenarios.json \
+        [--schema docs/scenarios_schema.json]
+
+Exit status: 0 when the document validates, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from validate_metrics import validate  # noqa: E402
+
+_CANONICAL_KINDS = {"diurnal", "flash-crowd", "heavy-tailed", "multi-tenant"}
+
+
+def _semantic_errors(document) -> list[str]:
+    errors: list[str] = []
+    kinds_seen: set[str] = set()
+    for index, leg in enumerate(document.get("scenarios", [])):
+        path = f"$.scenarios[{index}]"
+        kinds_seen.add(leg.get("kind", ""))
+        jobs = leg.get("jobs", 0)
+        admitted = leg.get("admitted", 0)
+        rejected = leg.get("rejected", 0)
+        if admitted + rejected != jobs:
+            errors.append(
+                f"{path}: admitted ({admitted}) + rejected ({rejected}) "
+                f"!= jobs ({jobs})"
+            )
+        throughput = leg.get("on_time_throughput", 0.0)
+        if jobs and abs(throughput - admitted / jobs) > 1e-9:
+            errors.append(
+                f"{path}: on_time_throughput {throughput} inconsistent with "
+                f"admitted/jobs = {admitted / jobs}"
+            )
+        fingerprint = leg.get("decision_fingerprint", "")
+        if len(fingerprint) != 16 or any(
+            c not in "0123456789abcdef" for c in fingerprint
+        ):
+            errors.append(
+                f"{path}: decision_fingerprint {fingerprint!r} is not 16 "
+                "lowercase hex digits"
+            )
+        if leg.get("floor_violations", 0) != 0:
+            errors.append(
+                f"{path}: {leg['floor_violations']} quality-floor violations "
+                "(the generator offers only floor-respecting chains, so any "
+                "violation is an admission bug)"
+            )
+        tenants = leg.get("tenants")
+        if tenants is not None:
+            offered_total = 0
+            for tenant in tenants:
+                tenant_path = f"{path}.tenants[{tenant.get('name', '?')}]"
+                offered_total += tenant.get("offered", 0)
+                if tenant.get("admitted", 0) > tenant.get("offered", 0):
+                    errors.append(
+                        f"{tenant_path}: admitted ({tenant.get('admitted')}) "
+                        f"exceeds offered ({tenant.get('offered')})"
+                    )
+            if offered_total != jobs:
+                errors.append(
+                    f"{path}: per-tenant offered sums to {offered_total}, "
+                    f"expected {jobs}"
+                )
+    missing = _CANONICAL_KINDS - kinds_seen
+    if missing:
+        errors.append(
+            f"$.scenarios: missing canonical kind(s): {sorted(missing)}"
+        )
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifact", type=pathlib.Path)
+    parser.add_argument(
+        "--schema",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent
+        / "docs"
+        / "scenarios_schema.json",
+    )
+    args = parser.parse_args()
+
+    schema = json.loads(args.schema.read_text())
+    document = json.loads(args.artifact.read_text())
+    errors = validate(document, schema)
+    # Cross-field checks assume the shape is right; skip them if it isn't.
+    if not errors:
+        errors = _semantic_errors(document)
+    for error in errors:
+        print(f"{args.artifact}: {error}", file=sys.stderr)
+    if errors:
+        print(f"FAIL: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    legs = len(document.get("scenarios", []))
+    print(f"OK: {legs} scenario leg(s) match {args.schema}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
