@@ -19,6 +19,13 @@
 //  * decision fingerprint — the replay-stable hash tools/tprm_replay prints,
 //    so a bench artifact can be diffed against a replay run.
 //
+// One extra row (unless --paced-duration-ms=0): the flash-crowd scenario
+// replayed through a live in-process tprmd over a real connection, with
+// wall-clock pacing derived from the release gaps and stretched to
+// ~--paced-duration-ms.  Submission is sequential, so the decision stream
+// must be identical to the in-process flash-crowd leg at the same shard
+// count — a fingerprint mismatch fails the suite.
+//
 // Output schema: docs/scenarios_schema.json (validated in CI by
 // tools/validate_scenarios.py).
 #include <algorithm>
@@ -27,11 +34,16 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "common/flags.h"
 #include "common/json.h"
 #include "qos/sharded.h"
+#include "service/client.h"
+#include "service/server.h"
 #include "workload/scenario.h"
 
 namespace {
@@ -77,6 +89,9 @@ struct Leg {
   double p50 = 0, p95 = 0, p99 = 0, pMax = 0;
   std::uint64_t fingerprint = 0;
   std::vector<TenantStats> tenants;  // parallel to scenario.tenants
+  bool paced = false;                // wall-clock paced daemon replay leg
+  double paceScale = 0.0;            // ns of wall time per release tick
+  bool ok = true;                    // paced leg: daemon replay healthy
 };
 
 Leg runLeg(const workload::Scenario& scenario, int processors, int shards) {
@@ -138,6 +153,107 @@ Leg runLeg(const workload::Scenario& scenario, int processors, int shards) {
   return leg;
 }
 
+/// Flash-crowd replay through a live in-process tprmd: sequential blocking
+/// submissions paced on the wall clock.  Release gaps (simulated ticks) are
+/// stretched so the whole stream spans ~`durationMs`; pacing follows an
+/// absolute schedule, so slow decisions never dilate the arrival burst.
+/// Sequential submission keeps trace order == arrival order, so decisions
+/// must be identical to the in-process leg at the same shard count.
+Leg runPacedDaemonLeg(const workload::Scenario& scenario, int processors,
+                      int shards, int durationMs) {
+  Leg leg;
+  leg.scenario = scenario.params.name.empty()
+                     ? workload::toString(scenario.params.kind)
+                     : scenario.params.name;
+  leg.kind = workload::toString(scenario.params.kind);
+  leg.shards = shards;
+  leg.paced = true;
+  leg.tenants.resize(scenario.tenants.size());
+
+  Time firstRelease = 0, lastRelease = 0;
+  if (!scenario.jobs.empty()) {
+    firstRelease = scenario.jobs.front().release;
+    lastRelease = scenario.jobs.back().release;
+  }
+  const double spanTicks =
+      static_cast<double>(lastRelease - firstRelease);
+  leg.paceScale = spanTicks > 0
+                      ? static_cast<double>(durationMs) * 1e6 / spanTicks
+                      : 0.0;  // ns of wall time per simulated tick
+
+  service::ServerConfig config;
+  config.processors = processors;
+  config.shards = shards;
+  config.unixPath = "/tmp/tprm-scenario-suite-" +
+                    std::to_string(::getpid()) + ".sock";
+  service::NegotiationServer server(config);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "scenario_suite: paced server start failed: %s\n",
+                 error.c_str());
+    leg.ok = false;
+    return leg;
+  }
+  service::ClientConfig clientConfig;
+  clientConfig.unixPath = config.unixPath;
+  service::QoSAgentClient client(clientConfig);
+
+  std::vector<double> latenciesUs;
+  latenciesUs.reserve(scenario.jobs.size());
+  std::uint64_t fingerprint = 1469598103934665603ULL;
+  const auto begin = Clock::now();
+  for (const auto& job : scenario.jobs) {
+    const auto due =
+        begin + std::chrono::nanoseconds(static_cast<std::int64_t>(
+                    static_cast<double>(job.release - firstRelease) *
+                    leg.paceScale));
+    if (due > Clock::now()) std::this_thread::sleep_until(due);
+    ++leg.jobs;
+    const auto start = Clock::now();
+    const auto decision = client.negotiate(job.spec, job.release);
+    const auto elapsed = Clock::now() - start;
+    if (!decision.ok()) {
+      std::fprintf(stderr, "scenario_suite: paced NEGOTIATE failed: %s\n",
+                   decision.error.message.c_str());
+      leg.ok = false;
+      break;
+    }
+    latenciesUs.push_back(
+        std::chrono::duration<double, std::micro>(elapsed).count());
+    hashU64(fingerprint, decision->jobId);
+    hashU64(fingerprint, decision->admitted ? 1 : 0);
+    if (job.tenant >= 0) {
+      ++leg.tenants[static_cast<std::size_t>(job.tenant)].offered;
+    }
+    if (!decision->admitted) continue;
+    ++leg.admitted;
+    hashU64(fingerprint, decision->chainIndex);
+    std::uint64_t qualityBits;
+    static_assert(sizeof(qualityBits) == sizeof(decision->quality));
+    __builtin_memcpy(&qualityBits, &decision->quality, sizeof(qualityBits));
+    hashU64(fingerprint, qualityBits);
+    leg.qualitySum += decision->quality;
+    leg.qualityMin = std::min(leg.qualityMin, decision->quality);
+    if (job.tenant >= 0) {
+      auto& tenant = leg.tenants[static_cast<std::size_t>(job.tenant)];
+      ++tenant.admitted;
+      tenant.qualitySum += decision->quality;
+      const double floor =
+          scenario.tenants[static_cast<std::size_t>(job.tenant)].qualityFloor;
+      if (decision->quality < floor) ++leg.floorViolations;
+    }
+  }
+  client.close();
+  server.stop();
+  leg.fingerprint = fingerprint;
+  std::sort(latenciesUs.begin(), latenciesUs.end());
+  leg.p50 = percentile(latenciesUs, 0.50);
+  leg.p95 = percentile(latenciesUs, 0.95);
+  leg.p99 = percentile(latenciesUs, 0.99);
+  leg.pMax = latenciesUs.empty() ? 0.0 : latenciesUs.back();
+  return leg;
+}
+
 JsonValue legJson(const Leg& leg, const workload::Scenario& scenario) {
   JsonValue::Object doc;
   doc["scenario"] = leg.scenario;
@@ -162,6 +278,10 @@ JsonValue legJson(const Leg& leg, const workload::Scenario& scenario) {
   latency["max_us"] = leg.pMax;
   doc["latency"] = JsonValue(std::move(latency));
   doc["decision_fingerprint"] = hex64(leg.fingerprint);
+  if (leg.paced) {
+    doc["paced"] = true;
+    doc["pace_ns_per_tick"] = leg.paceScale;
+  }
   if (!leg.tenants.empty()) {
     JsonValue::Array tenants;
     for (std::size_t i = 0; i < leg.tenants.size(); ++i) {
@@ -201,7 +321,7 @@ std::vector<int> parseSweep(const std::string& sweep) {
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto unknown = flags.unknownAgainst(
-      {"jobs", "seed", "procs", "sweep", "out"});
+      {"jobs", "seed", "procs", "sweep", "out", "paced-duration-ms"});
   if (!unknown.empty()) {
     std::fprintf(stderr, "scenario_suite: unknown flag --%s\n",
                  unknown.front().c_str());
@@ -212,7 +332,10 @@ int main(int argc, char** argv) {
   const int processors = static_cast<int>(flags.getInt("procs", 32));
   const auto sweep = parseSweep(flags.getString("sweep", "1,4"));
   const std::string outPath = flags.getString("out", "");
+  const int pacedDurationMs =
+      static_cast<int>(flags.getInt("paced-duration-ms", 250));
 
+  bool ok = true;
   JsonValue::Array legs;
   for (const auto& name : workload::scenarioNames()) {
     const auto params = workload::scenarioByName(name, seed, jobs);
@@ -238,6 +361,24 @@ int main(int argc, char** argv) {
                                   static_cast<double>(leg.admitted),
           leg.floorViolations, leg.p50, leg.p95, leg.p99);
       legs.push_back(legJson(leg, scenario));
+
+      // Paced flash-crowd row: the same stream through a live tprmd under
+      // wall-clock burst pacing, at the sweep's last shard count.  The
+      // sequential replay pins decision-identity against the leg above.
+      if (scenario.params.kind == workload::ScenarioKind::FlashCrowd &&
+          shards == sweep.back() && pacedDurationMs > 0) {
+        const Leg paced = runPacedDaemonLeg(scenario, processors, shards,
+                                            pacedDurationMs);
+        const bool identical = paced.ok && paced.jobs == leg.jobs &&
+                               paced.fingerprint == leg.fingerprint;
+        std::printf(
+            "  paced shards=%d admitted=%" PRIu64 "/%" PRIu64
+            " latency us p50=%.1f p99=%.1f decisions %s\n",
+            shards, paced.admitted, paced.jobs, paced.p50, paced.p99,
+            identical ? "identical" : "DIVERGED");
+        if (!identical) ok = false;
+        legs.push_back(legJson(paced, scenario));
+      }
     }
   }
 
@@ -254,5 +395,6 @@ int main(int argc, char** argv) {
   } else {
     std::printf("%s\n", JsonValue(std::move(doc)).dump().c_str());
   }
-  return 0;
+  // A paced-replay divergence is a correctness regression, not a perf blip.
+  return ok ? 0 : 1;
 }

@@ -28,8 +28,19 @@
 //
 // Modes:
 //  * --shards=K — serve through K arbitrator shards (default 1);
+//  * --pipeline=W — drive each connection with the wire-protocol-v2
+//    PipelinedClient holding up to W negotiations in flight (0, the
+//    default, is the classic blocking v1 client: one request per
+//    round-trip).  Typed BUSY rejections are retried with a short backoff
+//    and counted;
 //  * --sweep=1,2,4 — run one leg per shard count over the same workload and
-//    emit a "sweep" array (plus the speedup over the 1-shard leg);
+//    emit a "sweep" array (plus the speedup over the 1-shard leg).  With
+//    --pipeline=W each shard count runs twice — a v1-compat leg and a
+//    v2-pipelined leg — and every v2 row carries speedup_vs_v1 against its
+//    same-shard v1 row;
+//  * --require-speedup=X — with --sweep and --pipeline, exit nonzero
+//    unless the v2 leg at the last sweep point is at least X times its v1
+//    leg (the CI bench-smoke regression gate for the pipelined path);
 //  * --replay-verify — record every negotiation and, after the run, replay
 //    each shard's jobs (jobId % K) in arrival order into a fresh in-process
 //    QoSArbitrator of the shard's size, requiring bit-identical decisions.
@@ -40,6 +51,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <deque>
 #include <fstream>
 #include <mutex>
 #include <string>
@@ -68,6 +80,7 @@ struct BenchOptions {
   bool deep = false;
   int cancelEvery = 0;  // 0 = never cancel
   bool replayVerify = false;
+  int pipeline = 0;  // 0 = blocking v1 client; W > 0 = v2 window W
 };
 
 tprm::task::TunableJobSpec lightSpec(int index) {
@@ -139,6 +152,9 @@ struct LegResult {
   std::uint64_t admitted = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t spills = 0;
+  std::uint64_t busyRetries = 0;
+  std::string wire = "v1";
+  int window = 0;  // in-flight window per connection (0 = blocking v1)
   bool ledgerOk = false;
   bool complete = false;
   bool replayOk = true;  // trivially true when --replay-verify is off
@@ -200,6 +216,8 @@ LegResult runLeg(const BenchOptions& options,
   using namespace tprm;
   LegResult leg;
   leg.shards = options.shards;
+  leg.wire = options.pipeline > 0 ? "v2" : "v1";
+  leg.window = options.pipeline;
 
   service::ServerConfig serverConfig;
   serverConfig.processors = options.procs;
@@ -222,6 +240,8 @@ LegResult runLeg(const BenchOptions& options,
       static_cast<std::size_t>(clients), 0);
   std::vector<std::uint64_t> cancelledPerClient(
       static_cast<std::size_t>(clients), 0);
+  std::vector<std::uint64_t> busyRetriesPerClient(
+      static_cast<std::size_t>(clients), 0);
   std::vector<std::vector<ObservedNegotiation>> observedPerClient(
       static_cast<std::size_t>(clients));
   // One registry shared by every client thread: the "client.request_us"
@@ -234,9 +254,110 @@ LegResult runLeg(const BenchOptions& options,
       service::ClientConfig clientConfig;
       clientConfig.unixPath = serverConfig.unixPath;
       clientConfig.metrics = &clientRegistry;
-      service::QoSAgentClient client(clientConfig);
       auto& latencies = latenciesMicros[static_cast<std::size_t>(c)];
       latencies.reserve(static_cast<std::size_t>(requests));
+
+      if (options.pipeline > 0) {
+        // Wire-protocol-v2 leg: one PipelinedClient per connection with up
+        // to `pipeline` negotiations in flight.  Latency is measured from
+        // submit to in-order harvest, so it includes pipeline queuing —
+        // exactly what a windowed QoS agent observes end to end.
+        service::PipelinedClient client(
+            clientConfig, static_cast<std::uint32_t>(options.pipeline),
+            /*corked=*/true);
+        if (auto connectError = client.connect()) {
+          std::fprintf(stderr, "client %d: connect failed: %s\n", c,
+                       connectError->message.c_str());
+          return;
+        }
+        auto& e2e = obs::latencyHistogram(clientRegistry, "client.request_us");
+        struct InFlight {
+          int specIndex = 0;
+          Clock::time_point t0;
+          service::PipelinedClient::ResponseFuture future;
+        };
+        std::deque<InFlight> inflight;
+        std::vector<service::PipelinedClient::ResponseFuture> cancelFutures;
+        std::uint64_t admitted = 0;
+        std::uint64_t busyRetries = 0;
+        bool failed = false;
+        const auto harvest = [&](InFlight item) {
+          // Corked client: everything submitted so far must hit the wire
+          // before blocking on a response.
+          (void)client.flush();
+          auto response = item.future.get();
+          auto t1 = Clock::now();
+          while (!response.ok() &&
+                 response.error.status == service::ClientStatus::Busy) {
+            // Typed backpressure (window exceeded or shard queue full):
+            // back off briefly and resubmit the same spec.
+            ++busyRetries;
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+            auto retry =
+                client.negotiateAsync(benchSpec(options, item.specIndex), 0);
+            (void)client.flush();
+            response = retry.get();
+            t1 = Clock::now();
+          }
+          auto decision = service::extractResult<service::NegotiateResult>(
+              std::move(response));
+          if (!decision.ok()) {
+            std::fprintf(stderr, "client %d: pipelined negotiate failed: %s\n",
+                         c, decision.error.message.c_str());
+            failed = true;
+            return;
+          }
+          const double us =
+              std::chrono::duration<double, std::micro>(t1 - item.t0).count();
+          latencies.push_back(us);
+          e2e.record(us);
+          if (options.replayVerify) {
+            observedPerClient[static_cast<std::size_t>(c)].push_back(
+                {item.specIndex, *decision});
+          }
+          if (decision->admitted) {
+            ++admitted;
+            if (options.cancelEvery > 0 &&
+                admitted % static_cast<std::uint64_t>(options.cancelEvery) ==
+                    0) {
+              cancelFutures.push_back(client.cancelAsync(decision->jobId));
+            }
+          }
+        };
+        for (int r = 0; r < requests && !failed; ++r) {
+          const int specIndex = c * requests + r;
+          const auto spec = benchSpec(options, specIndex);
+          InFlight item;
+          item.specIndex = specIndex;
+          item.t0 = Clock::now();
+          item.future = client.negotiateAsync(spec, /*release=*/0);
+          inflight.push_back(std::move(item));
+          while (!failed &&
+                 inflight.size() >=
+                     static_cast<std::size_t>(options.pipeline)) {
+            harvest(std::move(inflight.front()));
+            inflight.pop_front();
+          }
+        }
+        while (!failed && !inflight.empty()) {
+          harvest(std::move(inflight.front()));
+          inflight.pop_front();
+        }
+        (void)client.flush();
+        for (auto& future : cancelFutures) {
+          auto cancelled = service::extractResult<service::CancelResult>(
+              future.get());
+          if (cancelled.ok() && cancelled->freedTicks > 0) {
+            ++cancelledPerClient[static_cast<std::size_t>(c)];
+          }
+        }
+        admittedPerClient[static_cast<std::size_t>(c)] = admitted;
+        busyRetriesPerClient[static_cast<std::size_t>(c)] = busyRetries;
+        client.close();
+        return;
+      }
+
+      service::QoSAgentClient client(clientConfig);
       std::uint64_t admitted = 0;
       for (int r = 0; r < requests; ++r) {
         const int specIndex = c * requests + r;
@@ -316,6 +437,7 @@ LegResult runLeg(const BenchOptions& options,
   std::sort(all.begin(), all.end());
   for (const auto count : admittedPerClient) leg.admitted += count;
   for (const auto count : cancelledPerClient) leg.cancelled += count;
+  for (const auto count : busyRetriesPerClient) leg.busyRetries += count;
   leg.completed = static_cast<double>(all.size());
   leg.requestsPerSecond = leg.completed / leg.elapsedSec;
   leg.p50 = percentile(all, 0.50);
@@ -336,9 +458,15 @@ LegResult runLeg(const BenchOptions& options,
                 leg.replayOk ? "decisions identical" : "MISMATCH");
   }
 
-  std::printf("shards=%d clients=%d requests/client=%d procs=%d%s\n",
+  std::printf("shards=%d clients=%d requests/client=%d procs=%d%s wire=%s",
               options.shards, clients, requests, options.procs,
-              options.deep ? " deep" : "");
+              options.deep ? " deep" : "", leg.wire.c_str());
+  if (leg.window > 0) std::printf(" window=%d", leg.window);
+  if (leg.busyRetries > 0) {
+    std::printf(" busy_retries=%llu",
+                static_cast<unsigned long long>(leg.busyRetries));
+  }
+  std::printf("\n");
   std::printf("completed %.0f requests in %.3f s  (%.0f req/s)\n",
               leg.completed, leg.elapsedSec, leg.requestsPerSecond);
   std::printf("latency us: p50=%.1f p95=%.1f p99=%.1f max=%.1f\n", leg.p50,
@@ -359,6 +487,9 @@ LegResult runLeg(const BenchOptions& options,
 
 void legToJson(const LegResult& leg, tprm::JsonValue::Object& doc) {
   doc["shards"] = leg.shards;
+  doc["wire"] = leg.wire;
+  doc["window"] = leg.window;
+  doc["busy_retries"] = static_cast<std::int64_t>(leg.busyRetries);
   doc["completed_requests"] = leg.completed;
   doc["elapsed_seconds"] = leg.elapsedSec;
   doc["requests_per_second"] = leg.requestsPerSecond;
@@ -404,7 +535,8 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto unknown = flags.unknownAgainst(
       {"clients", "requests", "procs", "out", "metrics-out", "shards",
-       "sweep", "no-spill", "deep", "cancel-every", "replay-verify"});
+       "sweep", "no-spill", "deep", "cancel-every", "replay-verify",
+       "pipeline", "require-speedup"});
   if (!unknown.empty()) {
     std::fprintf(stderr, "service_throughput: unknown flag --%s\n",
                  unknown.front().c_str());
@@ -419,6 +551,12 @@ int main(int argc, char** argv) {
   options.deep = flags.getBool("deep", false);
   options.cancelEvery = static_cast<int>(flags.getInt("cancel-every", 0));
   options.replayVerify = flags.getBool("replay-verify", false);
+  options.pipeline = static_cast<int>(flags.getInt("pipeline", 0));
+  if (options.pipeline < 0) {
+    std::fprintf(stderr, "service_throughput: --pipeline must be >= 0\n");
+    return 2;
+  }
+  const double requireSpeedup = flags.getDouble("require-speedup", 0.0);
   const std::string outPath = flags.getString("out", "");
   const std::string metricsOutPath = flags.getString("metrics-out", "");
   const std::string sweep = flags.getString("sweep", "");
@@ -430,12 +568,22 @@ int main(int argc, char** argv) {
     if (options.shards > 1) options.spill = false;
   }
 
+  if (requireSpeedup > 0 && (sweep.empty() || options.pipeline <= 0)) {
+    std::fprintf(stderr,
+                 "service_throughput: --require-speedup needs --sweep and "
+                 "--pipeline\n");
+    return 2;
+  }
+
   if (!sweep.empty()) {
     const auto shardCounts = parseSweep(sweep);
     if (shardCounts.empty()) {
       std::fprintf(stderr, "service_throughput: bad --sweep list\n");
       return 2;
     }
+    // With --pipeline, each shard count runs a v1-compat leg (blocking
+    // clients) and a v2-pipelined leg back to back over the same workload;
+    // without it the sweep is the classic v1-only shard scan.
     std::vector<LegResult> legs;
     bool ok = true;
     for (const int k : shardCounts) {
@@ -443,15 +591,28 @@ int main(int argc, char** argv) {
       legOptions.shards = k;
       // The per-leg metrics snapshot would only keep the last leg; emit the
       // sweep numbers instead and leave --metrics-out to single-run mode.
+      if (options.pipeline > 0) {
+        auto v1Options = legOptions;
+        v1Options.pipeline = 0;
+        legs.push_back(runLeg(v1Options, ""));
+        ok = ok && legs.back().ledgerOk && legs.back().complete &&
+             legs.back().replayOk;
+        std::printf("\n");
+      }
       legs.push_back(runLeg(legOptions, ""));
       ok = ok && legs.back().ledgerOk && legs.back().complete &&
            legs.back().replayOk;
       std::printf("\n");
     }
-    const LegResult* base = nullptr;
-    for (const auto& leg : legs) {
-      if (leg.shards == 1) base = &leg;
-    }
+    // Per-wire 1-shard baselines: a leg's speedup_vs_1_shard compares
+    // against the same wire, so sharding scaling and pipelining gains stay
+    // separable in the artifact.
+    const auto findLeg = [&legs](int shards, int window) -> const LegResult* {
+      for (const auto& leg : legs) {
+        if (leg.shards == shards && leg.window == window) return &leg;
+      }
+      return nullptr;
+    };
     JsonValue::Object doc;
     doc["bench"] = "service_throughput";
     doc["mode"] = "sweep";
@@ -460,28 +621,53 @@ int main(int argc, char** argv) {
     doc["processors"] = options.procs;
     doc["deep_workload"] = options.deep;
     doc["cancel_every"] = options.cancelEvery;
+    doc["pipeline_window"] = options.pipeline;
+    double lastSpeedupVsV1 = 0;
     JsonValue::Array sweepArray;
     for (const auto& leg : legs) {
       JsonValue::Object legDoc;
       legToJson(leg, legDoc);
+      const LegResult* base = findLeg(1, leg.window);
       if (base != nullptr && base->requestsPerSecond > 0) {
         legDoc["speedup_vs_1_shard"] =
             leg.requestsPerSecond / base->requestsPerSecond;
       }
+      if (leg.window > 0) {
+        const LegResult* v1 = findLeg(leg.shards, 0);
+        if (v1 != nullptr && v1->requestsPerSecond > 0) {
+          lastSpeedupVsV1 = leg.requestsPerSecond / v1->requestsPerSecond;
+          legDoc["speedup_vs_v1"] = lastSpeedupVsV1;
+        }
+      }
       sweepArray.push_back(JsonValue(std::move(legDoc)));
     }
     doc["sweep"] = JsonValue(std::move(sweepArray));
-    if (base != nullptr) {
-      for (const auto& leg : legs) {
-        std::printf("shards=%d: %.0f req/s (%.2fx)\n", leg.shards,
-                    leg.requestsPerSecond,
+    for (const auto& leg : legs) {
+      const LegResult* base = findLeg(1, leg.window);
+      const LegResult* v1 = findLeg(leg.shards, 0);
+      std::printf("shards=%d wire=%s: %.0f req/s", leg.shards,
+                  leg.wire.c_str(), leg.requestsPerSecond);
+      if (base != nullptr && base->requestsPerSecond > 0) {
+        std::printf(" (%.2fx vs 1 shard)",
                     leg.requestsPerSecond / base->requestsPerSecond);
       }
+      if (leg.window > 0 && v1 != nullptr && v1->requestsPerSecond > 0) {
+        std::printf(" (%.2fx vs v1)",
+                    leg.requestsPerSecond / v1->requestsPerSecond);
+      }
+      std::printf("\n");
     }
     if (!outPath.empty()) {
       std::ofstream out(outPath);
       out << JsonValue(std::move(doc)).dump() << "\n";
       std::printf("wrote %s\n", outPath.c_str());
+    }
+    if (requireSpeedup > 0 && lastSpeedupVsV1 < requireSpeedup) {
+      std::fprintf(stderr,
+                   "service_throughput: pipelined speedup %.2fx at the last "
+                   "sweep point is below the required %.2fx\n",
+                   lastSpeedupVsV1, requireSpeedup);
+      ok = false;
     }
     return ok ? 0 : 1;
   }

@@ -1,0 +1,97 @@
+// epoll + eventfd primitives for the nonblocking event-loop server.
+//
+// Scope: thin RAII wrappers only — no callback registry, no reactor
+// framework.  The service layer owns the loop structure (which thread polls,
+// what a ready fd means); this layer owns the fds and the errno handling.
+// Level-triggered epoll is used throughout: readers drain until WouldBlock,
+// writers flush until WouldBlock, and a re-armed interest set simply fires
+// again if data is still pending — no edge-trigger starvation hazards.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tprm::net {
+
+/// Owning wrapper for an epoll instance.
+class Epoll {
+ public:
+  Epoll() = default;
+  ~Epoll() { close(); }
+  Epoll(const Epoll&) = delete;
+  Epoll& operator=(const Epoll&) = delete;
+  Epoll(Epoll&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Epoll& operator=(Epoll&& other) noexcept;
+
+  /// Creates the epoll fd (CLOEXEC).  Returns false with `error` set on
+  /// failure.
+  [[nodiscard]] bool open(std::string* error);
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void close();
+
+  /// Interest bits for add/modify (mapped to EPOLLIN/EPOLLOUT internally).
+  static constexpr std::uint32_t kRead = 1u << 0;
+  static constexpr std::uint32_t kWrite = 1u << 1;
+
+  /// One ready fd from wait().  `readable` fires for EPOLLIN and for
+  /// EPOLLRDHUP (pending data plus EOF — read until Closed); `writable`
+  /// mirrors EPOLLOUT; `hangup` is EPOLLHUP/EPOLLERR, which cannot be
+  /// masked and mean the connection is gone both ways.
+  struct Event {
+    void* data = nullptr;
+    bool readable = false;
+    bool writable = false;
+    bool hangup = false;
+  };
+
+  /// Registers `fd` with the given interest; `data` comes back verbatim in
+  /// Event::data (typically a connection pointer).
+  [[nodiscard]] bool add(int fd, std::uint32_t interest, void* data,
+                         std::string* error);
+  /// Changes the interest set for an already-registered fd.
+  [[nodiscard]] bool modify(int fd, std::uint32_t interest, void* data,
+                            std::string* error);
+  /// Unregisters `fd`.  Safe to call for fds about to be closed.
+  void remove(int fd);
+
+  /// Waits up to `timeoutMs` (-1 = forever) and appends ready events to
+  /// `events` (cleared first).  Returns false on an unrecoverable epoll
+  /// error; EINTR is retried internally.
+  [[nodiscard]] bool wait(int timeoutMs, std::vector<Event>* events,
+                          std::string* error);
+
+ private:
+  int fd_ = -1;
+};
+
+/// eventfd-based wakeup channel: any thread may signal(), the owning loop
+/// thread drains it when the fd polls readable.  This is the MPSC handoff
+/// the shard workers use to return responses to a connection's loop.
+class WakeupFd {
+ public:
+  WakeupFd() = default;
+  ~WakeupFd() { close(); }
+  WakeupFd(const WakeupFd&) = delete;
+  WakeupFd& operator=(const WakeupFd&) = delete;
+  WakeupFd(WakeupFd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  WakeupFd& operator=(WakeupFd&& other) noexcept;
+
+  [[nodiscard]] bool open(std::string* error);
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  void close();
+
+  /// Posts one wakeup.  Async-signal-safe, callable from any thread; the
+  /// counter saturates rather than blocks, so signalling an un-drained fd
+  /// is cheap and never stalls a shard worker.
+  void signal();
+  /// Consumes all pending wakeups (the loop thread calls this when the fd
+  /// polls readable, then drains its inbox).
+  void drain();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace tprm::net

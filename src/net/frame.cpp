@@ -12,6 +12,9 @@ FrameStatus fromIo(IoStatus status) {
     case IoStatus::Timeout: return FrameStatus::Timeout;
     case IoStatus::Closed: return FrameStatus::Closed;
     case IoStatus::Error: return FrameStatus::Error;
+    // The blocking read/write paths never see WouldBlock (they poll first);
+    // mapping it to Error keeps the switch exhaustive.
+    case IoStatus::WouldBlock: return FrameStatus::Error;
   }
   return FrameStatus::Error;
 }
@@ -105,6 +108,60 @@ FrameWriteResult writeFrame(Socket& socket, std::string_view payload,
     result.message = io.message;
   }
   return result;
+}
+
+FrameWriteResult appendFrame(std::string& out, std::string_view payload,
+                             const FrameLimits& limits) {
+  FrameWriteResult result;
+  if (payload.size() > limits.maxPayloadBytes) {
+    result.status = FrameStatus::TooLarge;
+    result.message = "refusing to send " + std::to_string(payload.size()) +
+                     " byte payload (limit " +
+                     std::to_string(limits.maxPayloadBytes) + ")";
+    return result;
+  }
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  const unsigned char prefix[4] = {static_cast<unsigned char>(length >> 24),
+                                   static_cast<unsigned char>(length >> 16),
+                                   static_cast<unsigned char>(length >> 8),
+                                   static_cast<unsigned char>(length)};
+  out.append(reinterpret_cast<const char*>(prefix), sizeof prefix);
+  out.append(payload.data(), payload.size());
+  return result;
+}
+
+void FrameDecoder::feed(const void* data, std::size_t n) {
+  if (failed_ || n == 0) return;
+  // Compact once the consumed prefix dominates the buffer, so a long-lived
+  // connection does not grow its input buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(static_cast<const char*>(data), n);
+}
+
+bool FrameDecoder::next(std::string* payload) {
+  if (failed_) return false;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < 4) return false;
+  const auto* p =
+      reinterpret_cast<const unsigned char*>(buffer_.data() + consumed_);
+  const std::uint32_t length = (static_cast<std::uint32_t>(p[0]) << 24) |
+                               (static_cast<std::uint32_t>(p[1]) << 16) |
+                               (static_cast<std::uint32_t>(p[2]) << 8) |
+                               static_cast<std::uint32_t>(p[3]);
+  if (length > limits_.maxPayloadBytes) {
+    failed_ = true;
+    message_ = "declared payload of " + std::to_string(length) +
+               " bytes exceeds limit of " +
+               std::to_string(limits_.maxPayloadBytes);
+    return false;
+  }
+  if (available - 4 < length) return false;
+  payload->assign(buffer_, consumed_ + 4, length);
+  consumed_ += 4 + static_cast<std::size_t>(length);
+  return true;
 }
 
 }  // namespace tprm::net

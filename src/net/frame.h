@@ -67,4 +67,54 @@ struct FrameWriteResult {
                                           const FrameLimits& limits,
                                           const Deadline& deadline);
 
+/// Encodes one frame (4-byte big-endian length prefix + payload) into a
+/// wire buffer, appending to `out`.  The event-loop server builds its
+/// per-connection output buffers with this and flushes them with
+/// Socket::writeSome; TooLarge is refused locally just like writeFrame.
+[[nodiscard]] FrameWriteResult appendFrame(std::string& out,
+                                           std::string_view payload,
+                                           const FrameLimits& limits);
+
+/// Incremental frame decoder: feed it any number of bytes in any chunking
+/// (a single byte at a time works) and pull complete frames out.  The
+/// length prefix is validated against the limit as soon as its fourth byte
+/// arrives — before any payload is buffered — so an oversized declaration
+/// costs four bytes, exactly like the blocking readFrame path.
+///
+/// Usage:
+///   decoder.feed(data, n);
+///   while (decoder.next(&payload)) { handle(payload); }
+///   if (decoder.failed()) { close connection; }
+///
+/// After failed() reports true the stream is desynchronized and the
+/// decoder refuses further input; the connection must be closed.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(FrameLimits limits = {}) : limits_(limits) {}
+
+  /// Buffers `n` more wire bytes.  No-op after a decode failure.
+  void feed(const void* data, std::size_t n);
+
+  /// Extracts the next complete frame into `payload`.  Returns false when
+  /// more bytes are needed (or after a failure — check failed()).
+  [[nodiscard]] bool next(std::string* payload);
+
+  /// True once an oversized declaration has been seen.
+  [[nodiscard]] bool failed() const { return failed_; }
+  /// Diagnostic for the failure, empty otherwise.
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// Bytes buffered but not yet returned (partial frame in progress).
+  [[nodiscard]] std::size_t pendingBytes() const {
+    return buffer_.size() - consumed_;
+  }
+
+ private:
+  FrameLimits limits_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;  // prefix of buffer_ already handed out
+  bool failed_ = false;
+  std::string message_;
+};
+
 }  // namespace tprm::net

@@ -56,6 +56,7 @@ const char* toString(IoStatus status) {
     case IoStatus::Timeout: return "timeout";
     case IoStatus::Closed: return "closed";
     case IoStatus::Error: return "error";
+    case IoStatus::WouldBlock: return "would-block";
   }
   return "unknown";
 }
@@ -78,6 +79,14 @@ void Socket::close() {
 
 IoResult Socket::waitReadable(const Deadline& deadline) {
   const IoStatus status = pollFor(fd_, POLLIN, deadline);
+  if (status == IoStatus::Error) {
+    return {IoStatus::Error, errnoMessage("poll")};
+  }
+  return {status, {}};
+}
+
+IoResult Socket::waitWritable(const Deadline& deadline) {
+  const IoStatus status = pollFor(fd_, POLLOUT, deadline);
   if (status == IoStatus::Error) {
     return {IoStatus::Error, errnoMessage("poll")};
   }
@@ -143,6 +152,59 @@ IoResult Socket::writeAll(const void* buffer, std::size_t n,
     return {IoStatus::Error, errnoMessage("send")};
   }
   return {IoStatus::Ok, {}};
+}
+
+IoResult Socket::setNonBlocking(bool enabled) {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return {IoStatus::Error, errnoMessage("fcntl")};
+  const int next = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (next != flags && ::fcntl(fd_, F_SETFL, next) < 0) {
+    return {IoStatus::Error, errnoMessage("fcntl")};
+  }
+  return {IoStatus::Ok, {}};
+}
+
+IoChunk Socket::readSome(void* buffer, std::size_t n) {
+  for (;;) {
+    const ssize_t rc = ::recv(fd_, buffer, n, 0);
+    if (rc > 0) return {IoStatus::Ok, static_cast<std::size_t>(rc), {}};
+    if (rc == 0) return {IoStatus::Closed, 0, {}};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::WouldBlock, 0, {}};
+    }
+    if (errno == ECONNRESET) return {IoStatus::Closed, 0, {}};
+    return {IoStatus::Error, 0, errnoMessage("recv")};
+  }
+}
+
+IoChunk Socket::writeSome(const void* buffer, std::size_t n) {
+  const char* in = static_cast<const char*>(buffer);
+  std::size_t done = 0;
+  while (done < n) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t rc = ::send(fd_, in + done, n - done, MSG_NOSIGNAL);
+#else
+    const ssize_t rc = ::send(fd_, in + done, n - done, 0);
+#endif
+    if (rc > 0) {
+      done += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc == 0) continue;  // treat a zero send as retryable progress
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Short write: report how far we got so the caller resumes from
+      // buffer + bytes once POLLOUT fires, instead of treating the partial
+      // transfer as a failure.
+      return {IoStatus::WouldBlock, done, {}};
+    }
+    if (errno == EPIPE || errno == ECONNRESET) {
+      return {IoStatus::Closed, done, {}};
+    }
+    return {IoStatus::Error, done, errnoMessage("send")};
+  }
+  return {IoStatus::Ok, done, {}};
 }
 
 namespace {

@@ -49,14 +49,27 @@ class Deadline {
 /// How an I/O operation ended.
 enum class IoStatus {
   Ok,
-  Timeout,  // deadline expired mid-operation
-  Closed,   // orderly EOF / EPIPE from the peer
-  Error,    // errno-level failure (message has the details)
+  Timeout,     // deadline expired mid-operation
+  Closed,      // orderly EOF / EPIPE from the peer
+  Error,       // errno-level failure (message has the details)
+  WouldBlock,  // nonblocking op would block; retry when the fd is ready
 };
 
 struct IoResult {
   IoStatus status = IoStatus::Ok;
   std::string message;  // errno description, empty on Ok/Timeout/Closed
+
+  [[nodiscard]] bool ok() const { return status == IoStatus::Ok; }
+};
+
+/// Outcome of a single nonblocking read/write attempt: how far it got plus
+/// why it stopped.  `bytes` is meaningful for every status — a short write
+/// that hit a full send buffer reports WouldBlock with the count already
+/// transferred, so the caller can resume from `buffer + bytes` later.
+struct IoChunk {
+  IoStatus status = IoStatus::Ok;
+  std::size_t bytes = 0;
+  std::string message;  // errno description, empty unless status == Error
 
   [[nodiscard]] bool ok() const { return status == IoStatus::Ok; }
 };
@@ -91,10 +104,30 @@ class Socket {
   /// data.
   [[nodiscard]] IoResult waitReadable(const Deadline& deadline);
 
+  /// Blocks until the send buffer has room before `deadline`.  The resume
+  /// signal after a WouldBlock from writeSome() when no event loop is
+  /// driving the fd.
+  [[nodiscard]] IoResult waitWritable(const Deadline& deadline);
+
   /// Writes all `n` bytes before `deadline`.  Sends with SIGPIPE suppressed;
   /// a vanished peer reports Closed, never kills the process.
   [[nodiscard]] IoResult writeAll(const void* buffer, std::size_t n,
                                   const Deadline& deadline);
+
+  /// Switches the fd in or out of O_NONBLOCK mode.  The event-loop server
+  /// runs every connection nonblocking; blocking clients leave this off.
+  [[nodiscard]] IoResult setNonBlocking(bool enabled);
+
+  /// Single nonblocking read attempt: at most one recv(2).  Ok carries the
+  /// byte count (> 0); WouldBlock means no data is ready; Closed is orderly
+  /// EOF.  Never polls — the caller's event loop decides when to retry.
+  [[nodiscard]] IoChunk readSome(void* buffer, std::size_t n);
+
+  /// Nonblocking write attempt: sends as much of `buffer` as the kernel
+  /// accepts right now.  A full send buffer reports WouldBlock with
+  /// `bytes` already transferred — short writes are resumable, the caller
+  /// continues from `buffer + bytes` once the fd is writable again.
+  [[nodiscard]] IoChunk writeSome(const void* buffer, std::size_t n);
 
  private:
   int fd_ = -1;

@@ -28,22 +28,15 @@ ClientStatus fromFrameStatus(net::FrameStatus status) {
   return ClientStatus::ProtocolError;
 }
 
-/// Extracts the typed result, converting a wrong-variant answer (server bug
-/// or crossed wires) into a ProtocolError.
-template <typename T>
-ClientResult<T> extract(ClientResult<Response> response) {
-  ClientResult<T> out;
-  if (!response.ok()) {
-    out.error = std::move(response.error);
-    return out;
-  }
-  if (auto* value = std::get_if<T>(&response.value->result)) {
-    out.value = std::move(*value);
-    return out;
-  }
-  out.error = transportError(ClientStatus::ProtocolError,
-                             "response carries an unexpected result type");
-  return out;
+/// Converts a decoded server error into the typed client error, mapping the
+/// v2 `busy` code onto its own retriable status.
+ClientError fromServerError(const Response& response) {
+  ClientError error;
+  error.status = response.error->code == "busy" ? ClientStatus::Busy
+                                                : ClientStatus::ServerError;
+  error.code = response.error->code;
+  error.message = response.error->message;
+  return error;
 }
 
 }  // namespace
@@ -56,6 +49,7 @@ const char* toString(ClientStatus status) {
     case ClientStatus::Disconnected: return "disconnected";
     case ClientStatus::ProtocolError: return "protocol error";
     case ClientStatus::ServerError: return "server error";
+    case ClientStatus::Busy: return "busy";
   }
   return "unknown";
 }
@@ -172,9 +166,7 @@ ClientResult<Response> QoSAgentClient::callImpl(Request request) {
     return out;
   }
   if (!decoded.response->ok) {
-    out.error.status = ClientStatus::ServerError;
-    out.error.code = decoded.response->error->code;
-    out.error.message = decoded.response->error->message;
+    out.error = fromServerError(*decoded.response);
     return out;
   }
   out.value = std::move(*decoded.response);
@@ -186,33 +178,303 @@ ClientResult<NegotiateResult> QoSAgentClient::negotiate(
   Request request;
   request.command = Command::Negotiate;
   request.payload = NegotiateRequest{spec, release};
-  return extract<NegotiateResult>(call(std::move(request)));
+  return extractResult<NegotiateResult>(call(std::move(request)));
 }
 
 ClientResult<CancelResult> QoSAgentClient::cancel(std::uint64_t jobId) {
   Request request;
   request.command = Command::Cancel;
   request.payload = CancelRequest{jobId};
-  return extract<CancelResult>(call(std::move(request)));
+  return extractResult<CancelResult>(call(std::move(request)));
 }
 
 ClientResult<ResizeResult> QoSAgentClient::resize(int processors, Time when) {
   Request request;
   request.command = Command::Resize;
   request.payload = ResizeRequest{processors, when};
-  return extract<ResizeResult>(call(std::move(request)));
+  return extractResult<ResizeResult>(call(std::move(request)));
 }
 
 ClientResult<StatsResult> QoSAgentClient::stats() {
   Request request;
   request.command = Command::Stats;
-  return extract<StatsResult>(call(std::move(request)));
+  return extractResult<StatsResult>(call(std::move(request)));
 }
 
 ClientResult<VerifyResult> QoSAgentClient::verify() {
   Request request;
   request.command = Command::Verify;
-  return extract<VerifyResult>(call(std::move(request)));
+  return extractResult<VerifyResult>(call(std::move(request)));
+}
+
+// --- PipelinedClient -------------------------------------------------------
+
+namespace {
+
+/// Reader poll granularity: how quickly close() is noticed while idle.
+constexpr std::chrono::milliseconds kReaderSlice{50};
+
+/// Corked-mode buffer level that forces a flush even while the window still
+/// has room: keeps the buffer bounded when frames are large.
+constexpr std::size_t kCorkFlushBytes = 128 * 1024;
+
+}  // namespace
+
+PipelinedClient::PipelinedClient(ClientConfig config, std::uint32_t window,
+                                 bool corked)
+    : config_(std::move(config)),
+      requestedWindow_(std::max<std::uint32_t>(window, 1)),
+      corked_(corked),
+      frameLimits_{config_.maxFrameBytes} {}
+
+PipelinedClient::~PipelinedClient() { close(); }
+
+std::optional<ClientError> PipelinedClient::connect() {
+  if (alive_.load()) return std::nullopt;
+  std::string lastError;
+  const auto plan = connectBackoffPlan(config_);
+  for (std::size_t attempt = 0; attempt < plan.size(); ++attempt) {
+    if (plan[attempt].count() > 0) std::this_thread::sleep_for(plan[attempt]);
+    const auto deadline = net::Deadline::after(config_.connectTimeout);
+    auto connected = config_.unixPath.empty()
+                         ? net::connectTcp(config_.tcpHost, config_.tcpPort,
+                                           deadline)
+                         : net::connectUnix(config_.unixPath, deadline);
+    if (connected.ok()) {
+      socket_ = std::move(connected.socket);
+      break;
+    }
+    lastError = connected.error;
+  }
+  if (!socket_.valid()) {
+    return transportError(ClientStatus::ConnectFailed,
+                          "after " + std::to_string(plan.size()) +
+                              " attempts: " + lastError);
+  }
+
+  // HELLO handshake, synchronous: until it succeeds the connection is v1
+  // and nothing may be pipelined on it.
+  Request hello;
+  hello.version = kProtocolVersionV2;
+  hello.command = Command::Hello;
+  hello.id = nextRequestId_++;
+  hello.payload = HelloRequest{requestedWindow_};
+  const auto deadline = net::Deadline::after(config_.requestDeadline);
+  const auto written =
+      net::writeFrame(socket_, encodeRequest(hello), frameLimits_, deadline);
+  if (!written.ok()) {
+    socket_.close();
+    return transportError(fromFrameStatus(written.status), written.message);
+  }
+  auto frame = net::readFrame(socket_, frameLimits_, deadline, deadline);
+  if (!frame.ok()) {
+    socket_.close();
+    return transportError(fromFrameStatus(frame.status), frame.message);
+  }
+  auto decoded = decodeResponse(frame.payload);
+  if (!decoded.ok()) {
+    socket_.close();
+    return transportError(ClientStatus::ProtocolError, decoded.error);
+  }
+  if (!decoded.response->ok) {
+    socket_.close();
+    auto error = fromServerError(*decoded.response);
+    // A v1-only server answers HELLO with bad_request: that is a protocol
+    // mismatch, not a server-side failure.
+    if (error.status == ClientStatus::ServerError) {
+      error.status = ClientStatus::ProtocolError;
+    }
+    return error;
+  }
+  const auto* granted = std::get_if<HelloResult>(&decoded.response->result);
+  if (granted == nullptr || granted->version != kProtocolVersionV2 ||
+      granted->window == 0) {
+    socket_.close();
+    return transportError(ClientStatus::ProtocolError,
+                          "HELLO response is not a v2 grant");
+  }
+  window_ = granted->window;
+  stopping_.store(false);
+  alive_.store(true);
+  reader_ = std::thread([this] { readerMain(); });
+  return std::nullopt;
+}
+
+void PipelinedClient::close() {
+  stopping_.store(true);
+  if (reader_.joinable()) reader_.join();
+  failAll(transportError(ClientStatus::Disconnected, "client closed"));
+  socket_.close();
+  alive_.store(false);
+}
+
+PipelinedClient::ResponseFuture PipelinedClient::submit(Request request) {
+  std::promise<ClientResult<Response>> promise;
+  auto future = promise.get_future();
+  std::unique_lock<std::mutex> lock(mu_);
+  windowOpen_.wait(lock, [this] {
+    return !alive_.load() || pending_.size() < window_;
+  });
+  if (!alive_.load()) {
+    ClientResult<Response> out;
+    out.error = transportError(ClientStatus::Disconnected,
+                               "pipelined connection is down");
+    promise.set_value(std::move(out));
+    return future;
+  }
+  request.version = kProtocolVersionV2;
+  request.id = nextRequestId_++;
+  // Encode under mu_: submissions from multiple threads must not interleave
+  // frame bytes.  The frame lands in outbuf_ and reaches the wire either
+  // right away (uncorked) or on the next batch flush.
+  const auto appended =
+      net::appendFrame(outbuf_, encodeRequest(request), frameLimits_);
+  if (!appended.ok()) {
+    // Local refusal (oversized payload): nothing touched the wire, so only
+    // this request fails and the connection stays healthy.
+    lock.unlock();
+    ClientResult<Response> out;
+    out.error =
+        transportError(fromFrameStatus(appended.status), appended.message);
+    promise.set_value(std::move(out));
+    return future;
+  }
+  pending_.emplace(request.id, std::move(promise));
+  // A full window means the caller is about to block on a response, so
+  // every buffered frame must be on the wire — otherwise the responses it
+  // waits for could never come.
+  const bool mustFlush = !corked_ || pending_.size() >= window_ ||
+                         outbuf_.size() >= kCorkFlushBytes;
+  if (mustFlush) {
+    if (auto error = flushLocked()) {
+      lock.unlock();
+      stopping_.store(true);
+      failAll(*error);  // resolves this request's promise too
+    }
+  }
+  return future;
+}
+
+std::optional<ClientError> PipelinedClient::flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto error = flushLocked();
+  if (error.has_value()) {
+    lock.unlock();
+    stopping_.store(true);
+    failAll(*error);
+  }
+  return error;
+}
+
+std::optional<ClientError> PipelinedClient::flushLocked() {
+  if (outbuf_.empty()) return std::nullopt;
+  // A stall here means the server is wedged AND the pipe is full; the
+  // deadline converts that into a failed connection, not a hung client.
+  const auto written =
+      socket_.writeAll(outbuf_.data(), outbuf_.size(),
+                       net::Deadline::after(config_.requestDeadline));
+  outbuf_.clear();
+  if (written.ok()) return std::nullopt;
+  return transportError(written.status == net::IoStatus::Timeout
+                            ? ClientStatus::Timeout
+                            : ClientStatus::Disconnected,
+                        written.message.empty()
+                            ? net::toString(written.status)
+                            : written.message);
+}
+
+void PipelinedClient::readerMain() {
+  net::FrameDecoder decoder(frameLimits_);
+  char buffer[65536];
+  while (!stopping_.load()) {
+    const auto readable =
+        socket_.waitReadable(net::Deadline::after(kReaderSlice));
+    if (readable.status == net::IoStatus::Timeout) continue;
+    if (readable.status != net::IoStatus::Ok &&
+        readable.status != net::IoStatus::Closed) {
+      failAll(transportError(ClientStatus::Disconnected, readable.message));
+      return;
+    }
+    const auto chunk = socket_.readSome(buffer, sizeof buffer);
+    if (chunk.status == net::IoStatus::Closed) {
+      failAll(transportError(ClientStatus::Disconnected,
+                             "server closed the connection"));
+      return;
+    }
+    if (chunk.status == net::IoStatus::Error) {
+      failAll(transportError(ClientStatus::Disconnected, chunk.message));
+      return;
+    }
+    decoder.feed(buffer, chunk.bytes);
+    std::string payload;
+    while (decoder.next(&payload)) {
+      auto decoded = decodeResponse(payload);
+      if (!decoded.ok()) {
+        failAll(transportError(ClientStatus::ProtocolError, decoded.error));
+        return;
+      }
+      std::unique_lock<std::mutex> lock(mu_);
+      auto node = pending_.extract(decoded.response->id);
+      lock.unlock();
+      windowOpen_.notify_all();
+      if (node.empty()) continue;  // e.g. correlation id 0 after desync
+      ClientResult<Response> out;
+      if (!decoded.response->ok) {
+        out.error = fromServerError(*decoded.response);
+      } else {
+        out.value = std::move(*decoded.response);
+      }
+      node.mapped().set_value(std::move(out));
+    }
+    if (decoder.failed()) {
+      failAll(transportError(ClientStatus::ProtocolError, decoder.message()));
+      return;
+    }
+  }
+}
+
+void PipelinedClient::failAll(const ClientError& error) {
+  std::unordered_map<std::uint64_t, std::promise<ClientResult<Response>>>
+      orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    alive_.store(false);
+    orphans.swap(pending_);
+  }
+  windowOpen_.notify_all();
+  for (auto& [id, promise] : orphans) {
+    ClientResult<Response> out;
+    out.error = error;
+    promise.set_value(std::move(out));
+  }
+}
+
+PipelinedClient::ResponseFuture PipelinedClient::negotiateAsync(
+    const task::TunableJobSpec& spec, Time release) {
+  Request request;
+  request.command = Command::Negotiate;
+  request.payload = NegotiateRequest{spec, release};
+  return submit(std::move(request));
+}
+
+PipelinedClient::ResponseFuture PipelinedClient::cancelAsync(
+    std::uint64_t jobId) {
+  Request request;
+  request.command = Command::Cancel;
+  request.payload = CancelRequest{jobId};
+  return submit(std::move(request));
+}
+
+PipelinedClient::ResponseFuture PipelinedClient::statsAsync() {
+  Request request;
+  request.command = Command::Stats;
+  return submit(std::move(request));
+}
+
+PipelinedClient::ResponseFuture PipelinedClient::verifyAsync() {
+  Request request;
+  request.command = Command::Verify;
+  return submit(std::move(request));
 }
 
 }  // namespace tprm::service

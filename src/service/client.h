@@ -7,10 +7,16 @@
 // ClientResult carrying either the typed result or a ClientError.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <future>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "net/frame.h"
@@ -63,6 +69,8 @@ enum class ClientStatus {
   Disconnected,    // server closed the connection mid-call
   ProtocolError,   // malformed/oversized frame or undecodable response
   ServerError,     // server answered with an error (code/message carried)
+  Busy,            // typed v2 backpressure: window exceeded or queue full —
+                   // retriable, the connection stays healthy
 };
 
 [[nodiscard]] const char* toString(ClientStatus status);
@@ -84,6 +92,26 @@ struct ClientResult {
   [[nodiscard]] const T& operator*() const { return *value; }
   [[nodiscard]] const T* operator->() const { return &*value; }
 };
+
+/// Narrows a raw Response to its typed result, converting a wrong-variant
+/// answer (server bug or crossed wires) into a ProtocolError.  A server
+/// `busy` error surfaces as ClientStatus::Busy so retry loops need no
+/// string matching.
+template <typename T>
+[[nodiscard]] ClientResult<T> extractResult(ClientResult<Response> response) {
+  ClientResult<T> out;
+  if (!response.ok()) {
+    out.error = std::move(response.error);
+    return out;
+  }
+  if (auto* value = std::get_if<T>(&response.value->result)) {
+    out.value = std::move(*value);
+    return out;
+  }
+  out.error.status = ClientStatus::ProtocolError;
+  out.error.message = "response carries an unexpected result type";
+  return out;
+}
 
 class QoSAgentClient {
  public:
@@ -129,6 +157,92 @@ class QoSAgentClient {
   obs::Counter* requests_ = nullptr;
   obs::Counter* requestErrors_ = nullptr;
   obs::HistogramMetric* requestLatencyUs_ = nullptr;
+};
+
+/// Pipelined wire-protocol-v2 client: many in-flight requests on one
+/// connection, responses correlated by requestId (and therefore allowed to
+/// arrive out of order).
+///
+/// connect() performs the HELLO handshake, requesting `window` concurrent
+/// requests; the server grants min(requested, its own cap) and the granted
+/// value governs submission: *Async() blocks (briefly — the server is
+/// answering) once the window is full, so a well-behaved client never
+/// triggers window `busy` errors.  Queue-full `busy` can still happen under
+/// load and surfaces as ClientStatus::Busy — retriable without reconnecting.
+///
+/// Threading: any number of threads may submit; a dedicated reader thread
+/// decodes responses (incremental FrameDecoder) and fulfils the matching
+/// futures.  On disconnect every outstanding future fails with
+/// Disconnected.
+class PipelinedClient {
+ public:
+  /// `window`: in-flight requests to ask for in the HELLO handshake.
+  ///
+  /// `corked`: defer writes — submitted frames accumulate in a buffer that
+  /// is flushed when the window fills, when the buffer passes ~128 KiB, or
+  /// on an explicit flush().  Batching turns one syscall per request into
+  /// one per batch (the big win on a busy pipe), but shifts a duty to the
+  /// caller: flush() before blocking on any future submitted since the
+  /// last flush, or its frame may never reach the server.  Leave corking
+  /// off (the default) to have every submission hit the wire immediately.
+  explicit PipelinedClient(ClientConfig config, std::uint32_t window = 32,
+                           bool corked = false);
+  ~PipelinedClient();
+
+  PipelinedClient(const PipelinedClient&) = delete;
+  PipelinedClient& operator=(const PipelinedClient&) = delete;
+
+  /// Connects (with the ClientConfig retry plan) and runs the HELLO
+  /// handshake.  Fails with ProtocolError against a server that does not
+  /// speak v2.
+  [[nodiscard]] std::optional<ClientError> connect();
+  [[nodiscard]] bool connected() const { return alive_.load(); }
+  /// Window granted by the server's HELLO response (0 before connect()).
+  [[nodiscard]] std::uint32_t grantedWindow() const { return window_; }
+  /// Fails all outstanding futures (Disconnected) and joins the reader.
+  void close();
+
+  using ResponseFuture = std::future<ClientResult<Response>>;
+
+  /// Submit one command; the future resolves when its response arrives.
+  /// Blocks while the granted window is full.  Narrow results with
+  /// extractResult<NegotiateResult>(...) etc.
+  [[nodiscard]] ResponseFuture negotiateAsync(const task::TunableJobSpec& spec,
+                                              Time release);
+  [[nodiscard]] ResponseFuture cancelAsync(std::uint64_t jobId);
+  [[nodiscard]] ResponseFuture statsAsync();
+  [[nodiscard]] ResponseFuture verifyAsync();
+
+  /// Writes every buffered frame to the wire (no-op when uncorked or
+  /// nothing is buffered).  On transport failure all outstanding futures
+  /// fail with the returned error.
+  [[nodiscard]] std::optional<ClientError> flush();
+
+ private:
+  ResponseFuture submit(Request request);
+  void readerMain();
+  /// Fails every pending future with `error` and marks the client dead.
+  void failAll(const ClientError& error);
+  /// Flushes outbuf_; requires mu_ held.  The caller must failAll() (after
+  /// unlocking) when this reports an error.
+  [[nodiscard]] std::optional<ClientError> flushLocked();
+
+  ClientConfig config_;
+  std::uint32_t requestedWindow_;
+  std::uint32_t window_ = 0;
+  bool corked_;
+  net::FrameLimits frameLimits_;
+  net::Socket socket_;
+  std::thread reader_;
+  std::atomic<bool> alive_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex mu_;
+  std::condition_variable windowOpen_;       // pending_.size() < window_
+  std::uint64_t nextRequestId_ = 1;          // guarded by mu_
+  std::string outbuf_;                       // guarded by mu_ (corked mode)
+  std::unordered_map<std::uint64_t, std::promise<ClientResult<Response>>>
+      pending_;                              // guarded by mu_
 };
 
 }  // namespace tprm::service

@@ -149,13 +149,14 @@ const char* toString(Command command) {
     case Command::Resize: return "RESIZE";
     case Command::Stats: return "STATS";
     case Command::Verify: return "VERIFY";
+    case Command::Hello: return "HELLO";
   }
   return "UNKNOWN";
 }
 
 std::string encodeRequest(const Request& request) {
   JsonValue::Object o;
-  o["v"] = static_cast<std::int64_t>(kProtocolVersion);
+  o["v"] = static_cast<std::int64_t>(request.version);
   o["id"] = static_cast<std::int64_t>(request.id);
   o["cmd"] = toString(request.command);
   switch (request.command) {
@@ -174,6 +175,11 @@ std::string encodeRequest(const Request& request) {
       const auto& p = std::get<ResizeRequest>(request.payload);
       o["processors"] = p.processors;
       o["when"] = unitsFromTicks(p.when);
+      break;
+    }
+    case Command::Hello: {
+      const auto& p = std::get<HelloRequest>(request.payload);
+      o["window"] = static_cast<std::int64_t>(p.window);
       break;
     }
     case Command::Stats:
@@ -205,10 +211,11 @@ RequestParseResult decodeRequest(const std::string& text) {
     result.error = r.error();
     return result;
   }
-  if (version != kProtocolVersion) {
+  if (version != kProtocolVersion && version != kProtocolVersionV2) {
     result.error = "unsupported protocol version " + std::to_string(version);
     return result;
   }
+  request.version = static_cast<std::uint32_t>(version);
   if (cmd == "NEGOTIATE") {
     request.command = Command::Negotiate;
     NegotiateRequest payload;
@@ -240,6 +247,16 @@ RequestParseResult decodeRequest(const std::string& text) {
     request.command = Command::Stats;
   } else if (cmd == "VERIFY") {
     request.command = Command::Verify;
+  } else if (cmd == "HELLO") {
+    if (request.version < kProtocolVersionV2) {
+      result.error = "HELLO requires protocol version 2";
+      return result;
+    }
+    request.command = Command::Hello;
+    HelloRequest payload;
+    const auto window = r.id("window", false);
+    payload.window = window == 0 ? 1 : static_cast<std::uint32_t>(window);
+    request.payload = payload;
   } else {
     result.error = "unknown command '" + cmd + "'";
     return result;
@@ -318,6 +335,12 @@ std::string encodeResponse(const Response& response) {
     res["ok"] = verify->ok;
     res["violations"] = verify->violations;
     if (!verify->ok) res["firstViolation"] = verify->firstViolation;
+    o["result"] = std::move(res);
+  } else if (const auto* hello = std::get_if<HelloResult>(&response.result)) {
+    o["cmd"] = toString(Command::Hello);
+    JsonValue::Object res;
+    res["version"] = static_cast<std::int64_t>(hello->version);
+    res["window"] = static_cast<std::int64_t>(hello->window);
     o["result"] = std::move(res);
   } else {
     TPRM_CHECK(false, "ok response without a result payload");
@@ -458,6 +481,15 @@ ResponseParseResult decodeResponse(const std::string& text) {
       return out;
     }
     response.result = std::move(verify);
+  } else if (cmd == "HELLO") {
+    HelloResult hello;
+    hello.version = static_cast<std::uint32_t>(rr.id("version"));
+    hello.window = static_cast<std::uint32_t>(rr.id("window"));
+    if (rr.failed()) {
+      out.error = rr.error();
+      return out;
+    }
+    response.result = hello;
   } else {
     out.error = "unknown response command '" + cmd + "'";
     return out;

@@ -16,11 +16,27 @@
 //   {"id": 7, "ok": false,
 //    "error": {"code": "bad_request", "message": "..."}}
 //
+// Protocol v2 (docs/wire_protocol.md is the normative spec) keeps the same
+// frame layout and JSON shapes but starts with a handshake and allows
+// pipelining:
+//
+//   {"v": 2, "id": 1, "cmd": "HELLO", "window": 32}
+//   -> {"id": 1, "ok": true, "cmd": "HELLO",
+//       "result": {"version": 2, "window": 32}}
+//
+// After HELLO the connection may carry many in-flight requests (up to the
+// negotiated window), each tagged with a client-chosen `id` (requestId);
+// responses may arrive in any order and are correlated by that id.  A v1
+// connection is simply one whose first frame is not HELLO: it keeps the
+// strict one-request-one-response ordering, unchanged.
+//
 // All times cross the wire in paper units (doubles), matching spec_io;
 // ticksFromUnits(unitsFromTicks(t)) == t for every time this service
 // produces, so decisions survive the trip exactly.  Infinite deadlines are
 // omitted.  Error codes are stable strings: bad_request, bad_spec,
-// unknown_command, shutting_down, internal.
+// unknown_command, shutting_down, busy, internal.  `busy` is v2-only
+// backpressure: the request was not executed (window exceeded or shard
+// queue full) and may be retried.
 #pragma once
 
 #include <cstdint>
@@ -37,8 +53,11 @@
 namespace tprm::service {
 
 inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Pipelined protocol: HELLO handshake, requestId-correlated out-of-order
+/// responses, typed `busy` backpressure.
+inline constexpr std::uint32_t kProtocolVersionV2 = 2;
 
-enum class Command { Negotiate, Cancel, Resize, Stats, Verify };
+enum class Command { Negotiate, Cancel, Resize, Stats, Verify, Hello };
 
 [[nodiscard]] const char* toString(Command command);
 
@@ -53,12 +72,22 @@ struct ResizeRequest {
   int processors = 0;
   Time when = 0;
 };
+/// v2 handshake: must be the first frame on a connection that wants
+/// pipelining.  `window` is the in-flight cap the client asks for; the
+/// server grants min(window, its per-connection cap) in HelloResult.
+struct HelloRequest {
+  std::uint32_t window = 1;
+};
 
 struct Request {
   std::uint64_t id = 0;  // client-chosen correlation id, echoed verbatim
+  /// Wire version this request was (or will be) encoded with.  v1 and v2
+  /// frames are shape-identical apart from HELLO; servers accept both.
+  std::uint32_t version = kProtocolVersion;
   Command command = Command::Stats;
   /// Payload; monostate for the parameterless commands (STATS, VERIFY).
-  std::variant<std::monostate, NegotiateRequest, CancelRequest, ResizeRequest>
+  std::variant<std::monostate, NegotiateRequest, CancelRequest, ResizeRequest,
+               HelloRequest>
       payload;
 };
 
@@ -111,6 +140,13 @@ struct VerifyResult {
   int violations = 0;
 };
 
+/// Server's half of the v2 handshake: the granted protocol version and the
+/// per-connection in-flight window actually in force.
+struct HelloResult {
+  std::uint32_t version = kProtocolVersionV2;
+  std::uint32_t window = 1;
+};
+
 struct ErrorInfo {
   std::string code;
   std::string message;
@@ -121,7 +157,7 @@ struct Response {
   bool ok = false;
   std::optional<ErrorInfo> error;  // set iff !ok
   std::variant<std::monostate, NegotiateResult, CancelResult, ResizeResult,
-               StatsResult, VerifyResult>
+               StatsResult, VerifyResult, HelloResult>
       result;
 };
 

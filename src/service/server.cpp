@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <future>
 #include <utility>
 
 #include "common/check.h"
@@ -12,8 +11,16 @@ namespace tprm::service {
 
 namespace {
 
-/// Accept/idle poll granularity: how quickly threads notice stopping_.
+/// Accept poll granularity: how quickly the accept threads notice
+/// stopping_.  The event loops use the same slice as their epoll timeout so
+/// idle sweeps and shutdown flags are honoured promptly.
 constexpr std::chrono::milliseconds kPollSlice{50};
+
+/// deliverSeq sentinel for responses exempt from v1 submit-order delivery
+/// (all v2 traffic, plus desynced-stream errors).
+constexpr std::uint64_t kUnordered = ~std::uint64_t{0};
+
+using Clock = std::chrono::steady_clock;
 
 qos::ShardedOptions shardedOptions(const ServerConfig& config) {
   qos::ShardedOptions options;
@@ -25,7 +32,9 @@ qos::ShardedOptions shardedOptions(const ServerConfig& config) {
 
 }  // namespace
 
-/// One decoded command travelling from a session to a worker thread.
+/// One decoded command travelling from an event loop to a worker thread.
+/// Immutable once enqueued: the worker reads it, the loop never touches it
+/// again (responses come back as a separate ResponseMsg).
 struct NegotiationServer::PendingCommand {
   Request request;
   std::uint64_t arrivalSeq = 0;
@@ -34,21 +43,84 @@ struct NegotiationServer::PendingCommand {
   std::optional<std::uint64_t> presetJobId;
   /// Stamped at enqueue when observability is on (0 otherwise).
   std::int64_t enqueuedNs = 0;
-  std::promise<Response> promise;
+  /// Where the response goes: the loop that owns the connection, the
+  /// connection itself, and (v1 only) the submit-order slot the response
+  /// must be delivered in.  kUnordered for v2.
+  int loopIndex = 0;
+  std::uint64_t connId = 0;
+  std::uint64_t deliverSeq = 0;
 };
 
-struct NegotiationServer::Session {
+/// A finished command's encoded response travelling worker -> loop.
+struct NegotiationServer::ResponseMsg {
+  std::uint64_t connId = 0;
+  std::uint64_t deliverSeq = 0;
+  std::string payload;  // encoded response JSON
+};
+
+/// Per-connection state, owned exclusively by its event-loop thread.
+struct NegotiationServer::Connection {
+  std::uint64_t id = 0;
   net::Socket socket;
-  std::thread thread;
-  std::atomic<bool> done{false};
+  net::FrameDecoder decoder;
+  /// Buffered output: bytes [outOff, outbuf.size()) still to be written.
+  std::string outbuf;
+  std::size_t outOff = 0;
+  bool wantWrite = false;   // EPOLLOUT armed
+  bool readPaused = false;  // EPOLLIN disarmed (v1 queue backpressure)
+  bool closing = false;     // close once every pending response has flushed
+  bool closed = false;      // socket gone; awaiting reap
+  bool v2 = false;          // HELLO handshake completed
+  bool sawFrame = false;    // first non-HELLO frame locks the connection v1
+  std::uint32_t window = 1;    // negotiated v2 in-flight cap
+  std::uint32_t inFlight = 0;  // commands enqueued, response not delivered
+  /// v1 ordering: every inbound frame consumes one submit slot; responses
+  /// are written strictly in slot order even when sharded execution
+  /// completes out of order (held parks early completions).
+  std::uint64_t nextSubmitSeq = 0;
+  std::uint64_t nextDeliverSeq = 0;
+  std::map<std::uint64_t, std::string> held;
+  Clock::time_point lastActivity{};
 };
 
-/// One shard's bounded command queue and the worker draining it.
+/// One event loop: epoll set, eventfd wakeup, and the MPSC inbox other
+/// threads use to hand it work (new connections from the acceptors,
+/// responses and resume signals from the shard workers, shutdown phases
+/// from stop()).
+struct NegotiationServer::Loop {
+  int index = 0;
+  net::Epoll epoll;
+  net::WakeupFd wakeup;
+  std::thread thread;
+
+  std::mutex inboxMu;
+  std::vector<net::Socket> pendingConns;       // guarded by inboxMu
+  std::vector<ResponseMsg> pendingResponses;   // guarded by inboxMu
+  std::vector<std::uint64_t> pendingResumes;   // guarded by inboxMu
+  bool drainRequested = false;                 // guarded by inboxMu
+  bool finishRequested = false;                // guarded by inboxMu
+
+  // Loop-thread-local state.
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns;
+  std::vector<std::uint64_t> doomed;  // closed this cycle; erased at reap
+  bool draining = false;
+  bool finishing = false;
+  Clock::time_point finishDeadline{};
+  Clock::time_point lastSweep{};
+};
+
+/// One shard's command queue and the worker draining it.  The deque is
+/// soft-bounded: producers never block on it (the loop threads must not
+/// stall); at/above commandQueueCapacity v1 producers pause reading and v2
+/// producers get `busy` instead.
 struct NegotiationServer::ShardQueue {
   std::mutex mu;
   std::condition_variable notEmpty;
-  std::condition_variable notFull;
   std::deque<std::shared_ptr<PendingCommand>> queue;
+  /// (loopIndex, connId) of v1 connections paused on this queue's
+  /// backpressure; the worker flushes the list once it drains below
+  /// capacity.
+  std::vector<std::pair<int, std::uint64_t>> throttled;
   /// "server.queue_depth" (shards == 1) / "server.queue_depth.shard<k>".
   obs::Gauge* depth = nullptr;
   std::thread worker;
@@ -58,6 +130,8 @@ NegotiationServer::NegotiationServer(ServerConfig config)
     : config_(std::move(config)),
       frameLimits_{config_.maxFrameBytes},
       arbitrator_(config_.processors, shardedOptions(config_)) {
+  config_.eventLoops = std::max(config_.eventLoops, 1);
+  config_.workerBatch = std::max<std::size_t>(config_.workerBatch, 1);
   queues_.reserve(static_cast<std::size_t>(config_.shards));
   for (int k = 0; k < config_.shards; ++k) {
     queues_.push_back(std::make_unique<ShardQueue>());
@@ -124,7 +198,25 @@ bool NegotiationServer::start(std::string* error) {
     }
     return false;
   }
+  for (int i = 0; i < config_.eventLoops; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->index = i;
+    if (!loop->epoll.open(&firstError) || !loop->wakeup.open(&firstError) ||
+        !loop->epoll.add(loop->wakeup.fd(), net::Epoll::kRead, nullptr,
+                         &firstError)) {
+      if (error != nullptr) *error = "event loop: " + firstError;
+      loops_.clear();
+      unixListener_.close();
+      tcpListener_.close();
+      return false;
+    }
+    loops_.push_back(std::move(loop));
+  }
   started_ = true;
+  for (auto& loop : loops_) {
+    Loop* raw = loop.get();
+    raw->thread = std::thread([this, raw] { loopMain(raw); });
+  }
   for (int k = 0; k < config_.shards; ++k) {
     queues_[static_cast<std::size_t>(k)]->worker =
         std::thread([this, k] { workerLoop(k); });
@@ -152,15 +244,18 @@ void NegotiationServer::stop() {
   tcpListener_.close();
   if (rebalanceThread_.joinable()) rebalanceThread_.join();
 
-  // 2. Let every session finish its in-flight request.  The workers keep
-  // draining their queues meanwhile, so sessions blocked on a response (or
-  // on backpressure) always make progress.
-  {
-    std::lock_guard<std::mutex> lock(sessionsMutex_);
-    for (auto& session : sessions_) {
-      if (session->thread.joinable()) session->thread.join();
+  // 2. Drain the loops: stop reading new frames everywhere.  Commands
+  // already decoded and enqueued keep executing; their responses keep
+  // flowing back through the inboxes and out to the clients.
+  for (auto& loop : loops_) {
+    {
+      std::lock_guard<std::mutex> lock(loop->inboxMu);
+      loop->drainRequested = true;
     }
-    sessions_.clear();
+    loop->wakeup.signal();
+  }
+  while (drainAcks_.load() < static_cast<int>(loops_.size())) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 
   // 3. No producers remain: close the queues and join each worker after it
@@ -175,13 +270,26 @@ void NegotiationServer::stop() {
       std::lock_guard<std::mutex> lock(queue->mu);
     }
     queue->notEmpty.notify_all();
-    queue->notFull.notify_all();
   }
   for (auto& queue : queues_) {
     if (queue->worker.joinable()) queue->worker.join();
   }
 
-  // 4. Sessions and workers are gone; flush the wire trace, if any.
+  // 4. Finish the loops: deliver the responses the workers just posted,
+  // flush every connection's output buffer (bounded by ioTimeout), close
+  // the connections, exit.
+  for (auto& loop : loops_) {
+    {
+      std::lock_guard<std::mutex> lock(loop->inboxMu);
+      loop->finishRequested = true;
+    }
+    loop->wakeup.signal();
+  }
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+
+  // 5. Everything is quiet; flush the wire trace, if any.
   if (traceWriter_.isOpen()) {
     std::string traceError;
     if (!traceWriter_.close(&traceError)) {
@@ -198,6 +306,8 @@ ServerCounters NegotiationServer::counters() const {
   counters.framesOversized = framesOversized_.load();
   counters.commandsExecuted = commandsExecuted_.load();
   counters.disconnectsMidRequest = disconnectsMidRequest_.load();
+  counters.busyRejections = busyRejections_.load();
+  counters.helloHandshakes = helloHandshakes_.load();
   return counters;
 }
 
@@ -216,6 +326,10 @@ JsonValue NegotiationServer::observabilitySnapshot() const {
       static_cast<double>(server.commandsExecuted);
   serverObject["disconnects_mid_request"] =
       static_cast<double>(server.disconnectsMidRequest);
+  serverObject["busy_rejections"] =
+      static_cast<double>(server.busyRejections);
+  serverObject["hello_handshakes"] =
+      static_cast<double>(server.helloHandshakes);
 
   JsonValue::Object root;
   root["enabled"] = registry_ != nullptr;
@@ -229,19 +343,6 @@ JsonValue NegotiationServer::observabilitySnapshot() const {
   return JsonValue(std::move(root));
 }
 
-void NegotiationServer::reapFinishedSessions() {
-  std::lock_guard<std::mutex> lock(sessionsMutex_);
-  auto it = sessions_.begin();
-  while (it != sessions_.end()) {
-    if ((*it)->done.load()) {
-      if ((*it)->thread.joinable()) (*it)->thread.join();
-      it = sessions_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
-
 void NegotiationServer::acceptLoop(net::Listener* listener) {
   while (!stopping_) {
     auto accepted = listener->accept(net::Deadline::after(kPollSlice));
@@ -252,114 +353,455 @@ void NegotiationServer::acceptLoop(net::Listener* listener) {
       }
       continue;
     }
-    reapFinishedSessions();
-    std::lock_guard<std::mutex> lock(sessionsMutex_);
-    if (stopping_ || sessions_.size() >= config_.maxSessions) {
+    if (stopping_ || activeSessions_.load() >= config_.maxSessions) {
       // Refuse politely: the socket closes without a frame; clients see a
       // clean EOF before any response.
       connectionsRefused_.fetch_add(1);
       continue;
     }
     connectionsAccepted_.fetch_add(1);
-    if (sessionsActive_ != nullptr) sessionsActive_->add(1);
-    auto session = std::make_unique<Session>();
-    session->socket = std::move(accepted.socket);
-    Session* raw = session.get();
-    sessions_.push_back(std::move(session));
-    raw->thread = std::thread([this, raw] { sessionLoop(raw); });
+    activeSessions_.fetch_add(1);
+    auto& loop =
+        *loops_[nextLoop_.fetch_add(1, std::memory_order_relaxed) %
+                loops_.size()];
+    {
+      std::lock_guard<std::mutex> lock(loop.inboxMu);
+      loop.pendingConns.push_back(std::move(accepted.socket));
+    }
+    loop.wakeup.signal();
   }
 }
 
-void NegotiationServer::sessionLoop(Session* session) {
-  net::Socket& socket = session->socket;
-  auto idleStart = std::chrono::steady_clock::now();
-  bool keepServing = true;
-  while (keepServing && !stopping_) {
-    // Idle wait in short slices so stop() and the idle timeout are both
-    // honoured without consuming stream bytes.
-    const auto readable = socket.waitReadable(net::Deadline::after(kPollSlice));
-    if (readable.status == net::IoStatus::Timeout) {
-      if (std::chrono::steady_clock::now() - idleStart >
-          config_.idleTimeout) {
-        break;
+// --- Event loop ------------------------------------------------------------
+
+void NegotiationServer::loopMain(Loop* loop) {
+  std::vector<net::Epoll::Event> events;
+  std::string error;
+  loop->lastSweep = Clock::now();
+  auto reap = [loop] {
+    for (const auto id : loop->doomed) loop->conns.erase(id);
+    loop->doomed.clear();
+  };
+  for (;;) {
+    if (!loop->epoll.wait(static_cast<int>(kPollSlice.count()), &events,
+                          &error)) {
+      TPRM_LOG(Warn) << "tprmd event loop: " << error;
+      events.clear();
+    }
+    for (const auto& event : events) {
+      if (event.data == nullptr) {
+        loop->wakeup.drain();
+        processInbox(loop);
+        continue;
       }
-      continue;
-    }
-    if (readable.status != net::IoStatus::Ok) break;
-
-    // Data (or EOF) is ready; one io budget covers the whole frame.
-    const auto ioDeadline = net::Deadline::after(config_.ioTimeout);
-    auto frame = net::readFrame(socket, frameLimits_, ioDeadline, ioDeadline);
-    if (frame.status == net::FrameStatus::Closed) break;
-    if (frame.status == net::FrameStatus::TooLarge) {
-      framesOversized_.fetch_add(1);
-      // The declared payload is never read, so the stream is desynced:
-      // answer best-effort, then drop the connection.
-      const auto response = encodeResponse(
-          makeError(0, "frame_too_large", frame.message));
-      (void)net::writeFrame(socket, response, frameLimits_,
-                            net::Deadline::after(config_.ioTimeout));
-      break;
-    }
-    if (!frame.ok()) {
-      // Truncated or timed-out mid-frame: desynced, close.
-      framesMalformed_.fetch_add(1);
-      break;
-    }
-
-    auto decoded = decodeRequest(frame.payload);
-    if (!decoded.ok()) {
-      // The stream itself is intact (whole frame consumed): report and keep
-      // the connection.  Correlation id 0 marks an undecodable request.
-      framesMalformed_.fetch_add(1);
-      const auto response =
-          encodeResponse(makeError(0, "bad_request", decoded.error));
-      if (!net::writeFrame(socket, response, frameLimits_,
-                           net::Deadline::after(config_.ioTimeout))
-               .ok()) {
-        break;
+      auto* conn = static_cast<Connection*>(event.data);
+      if (conn->closed) continue;
+      if (event.hangup) {
+        // Connection torn down both ways: salvage any frames already in
+        // the kernel buffer, then drop it.
+        if (!loop->draining) handleReadable(loop, conn);
+        if (!conn->closed) closeConnection(loop, conn);
+        continue;
       }
-      idleStart = std::chrono::steady_clock::now();
-      continue;
+      if (event.writable) flushOut(loop, conn);
+      if (conn->closed) continue;
+      if (event.readable && !loop->draining) handleReadable(loop, conn);
     }
+    reap();
+    const auto now = Clock::now();
+    if (!loop->draining &&
+        now - loop->lastSweep >= std::chrono::milliseconds(250)) {
+      loop->lastSweep = now;
+      sweepIdle(loop);
+      reap();
+    }
+    if (loop->finishing) {
+      bool allFlushed = true;
+      for (const auto& [id, conn] : loop->conns) {
+        if (!conn->closed && conn->outbuf.size() > conn->outOff) {
+          allFlushed = false;
+          break;
+        }
+      }
+      if (allFlushed || now >= loop->finishDeadline) {
+        for (auto& [id, conn] : loop->conns) {
+          if (!conn->closed) closeConnection(loop, conn.get());
+        }
+        reap();
+        return;
+      }
+    }
+  }
+}
 
-    auto command = std::make_shared<PendingCommand>();
-    command->request = std::move(*decoded.request);
-    const std::uint64_t requestId = command->request.id;
-    auto future = command->promise.get_future();
-    const auto seq = enqueue(std::move(command));
-    Response response;
-    if (!seq.has_value()) {
-      response = makeError(requestId, "shutting_down",
-                           "server is draining; retry elsewhere");
-      keepServing = false;
-    } else {
-      // The workers always fulfil admitted commands, including during
-      // drain, so this wait is bounded by the queue length.
-      response = future.get();
-    }
-    const auto encoded = encodeResponse(response);
-    if (!net::writeFrame(socket, encoded, frameLimits_,
-                         net::Deadline::after(config_.ioTimeout))
-             .ok()) {
+void NegotiationServer::processInbox(Loop* loop) {
+  std::vector<net::Socket> conns;
+  std::vector<ResponseMsg> responses;
+  std::vector<std::uint64_t> resumes;
+  bool drainRequested = false;
+  bool finishRequested = false;
+  {
+    std::lock_guard<std::mutex> lock(loop->inboxMu);
+    conns.swap(loop->pendingConns);
+    responses.swap(loop->pendingResponses);
+    resumes.swap(loop->pendingResumes);
+    drainRequested = loop->drainRequested;
+    finishRequested = loop->finishRequested;
+  }
+  for (auto& socket : conns) registerConnection(loop, std::move(socket));
+  // Append every response of the batch to its connection's buffer first,
+  // then flush each touched connection once: one write syscall per
+  // connection per batch instead of one per response.
+  std::vector<Connection*> touched;
+  for (auto& msg : responses) {
+    const auto it = loop->conns.find(msg.connId);
+    if (it == loop->conns.end() || it->second->closed) {
       // Client vanished between submitting and reading the decision.  The
       // command already executed atomically; state stays consistent.
       disconnectsMidRequest_.fetch_add(1);
-      break;
+      continue;
     }
-    idleStart = std::chrono::steady_clock::now();
+    Connection* conn = it->second.get();
+    if (conn->inFlight > 0) --conn->inFlight;
+    deliverResponse(loop, conn, msg.deliverSeq, msg.payload);
+    if (std::find(touched.begin(), touched.end(), conn) == touched.end()) {
+      touched.push_back(conn);
+    }
   }
-  socket.close();
-  if (sessionsActive_ != nullptr) sessionsActive_->add(-1);
-  session->done.store(true);
+  for (Connection* conn : touched) flushOut(loop, conn);
+  for (const auto connId : resumes) {
+    const auto it = loop->conns.find(connId);
+    if (it == loop->conns.end() || it->second->closed) continue;
+    Connection* conn = it->second.get();
+    if (!conn->readPaused || loop->draining) continue;
+    conn->readPaused = false;
+    updateInterest(loop, conn);
+    // Frames decoded before the pause are still buffered; process them
+    // first — the level-triggered read interest covers the rest.
+    processDecodedFrames(loop, conn);
+  }
+  if (drainRequested && !loop->draining) {
+    loop->draining = true;
+    for (auto& [id, conn] : loop->conns) {
+      if (!conn->closed) updateInterest(loop, conn.get());
+    }
+    drainAcks_.fetch_add(1);
+  }
+  if (finishRequested && !loop->finishing) {
+    loop->finishing = true;
+    loop->finishDeadline = Clock::now() + config_.ioTimeout;
+  }
 }
 
-std::optional<std::uint64_t> NegotiationServer::enqueue(
-    std::shared_ptr<PendingCommand> command) {
+void NegotiationServer::registerConnection(Loop* loop, net::Socket socket) {
+  if (loop->draining) {
+    // Raced with shutdown: the acceptor counted it, but the loop will
+    // never read from it.  Close; the client sees a clean EOF.
+    activeSessions_.fetch_sub(1);
+    return;
+  }
+  auto conn = std::make_unique<Connection>();
+  conn->id = nextConnId_.fetch_add(1, std::memory_order_relaxed);
+  conn->socket = std::move(socket);
+  conn->decoder = net::FrameDecoder(frameLimits_);
+  conn->lastActivity = Clock::now();
+  (void)conn->socket.setNonBlocking(true);
+  std::string error;
+  if (!loop->epoll.add(conn->socket.fd(), net::Epoll::kRead, conn.get(),
+                       &error)) {
+    TPRM_LOG(Warn) << "tprmd register connection: " << error;
+    activeSessions_.fetch_sub(1);
+    return;
+  }
+  if (sessionsActive_ != nullptr) sessionsActive_->add(1);
+  loop->conns.emplace(conn->id, std::move(conn));
+}
+
+void NegotiationServer::handleReadable(Loop* loop, Connection* conn) {
+  char buffer[65536];
+  // Read until WouldBlock, bounded per event so one firehose connection
+  // cannot starve the rest of the loop (level-triggered epoll re-fires).
+  for (int round = 0; round < 8; ++round) {
+    if (conn->closed || conn->closing || conn->readPaused || loop->draining) {
+      return;
+    }
+    const auto chunk = conn->socket.readSome(buffer, sizeof buffer);
+    if (chunk.status == net::IoStatus::WouldBlock) return;
+    if (chunk.status == net::IoStatus::Ok) {
+      conn->decoder.feed(buffer, chunk.bytes);
+      conn->lastActivity = Clock::now();
+      processDecodedFrames(loop, conn);
+      continue;
+    }
+    if (chunk.status == net::IoStatus::Closed) {
+      // EOF.  Bytes of an unfinished frame mean the peer truncated the
+      // stream mid-message.
+      if (conn->decoder.pendingBytes() > 0 && !conn->decoder.failed()) {
+        framesMalformed_.fetch_add(1);
+      }
+      closeConnection(loop, conn);
+      return;
+    }
+    TPRM_LOG(Warn) << "tprmd connection read: " << chunk.message;
+    closeConnection(loop, conn);
+    return;
+  }
+}
+
+void NegotiationServer::processDecodedFrames(Loop* loop, Connection* conn) {
+  std::string payload;
+  while (!conn->closed && !conn->closing && !conn->readPaused &&
+         conn->decoder.next(&payload)) {
+    handleFrame(loop, conn, payload);
+  }
+  if (!conn->closed && !conn->closing && conn->decoder.failed()) {
+    framesOversized_.fetch_add(1);
+    // The declared payload is never buffered, so the stream is desynced:
+    // answer best-effort, then drop the connection once the error flushes.
+    conn->closing = true;
+    updateInterest(loop, conn);
+    deliverResponse(
+        loop, conn, kUnordered,
+        encodeResponse(
+            makeError(0, "frame_too_large", conn->decoder.message())));
+  }
+  // Inline responses generated while handling this batch of frames (HELLO
+  // grants, busy/bad_request errors) leave in one flush.
+  flushOut(loop, conn);
+}
+
+void NegotiationServer::handleFrame(Loop* loop, Connection* conn,
+                                    const std::string& payload) {
+  auto decoded = decodeRequest(payload);
+  if (!decoded.ok()) {
+    // The stream itself is intact (whole frame consumed): report and keep
+    // the connection.  Correlation id 0 marks an undecodable request.
+    framesMalformed_.fetch_add(1);
+    const auto response =
+        encodeResponse(makeError(0, "bad_request", decoded.error));
+    deliverResponse(loop, conn,
+                    conn->v2 ? kUnordered : conn->nextSubmitSeq++, response);
+    return;
+  }
+  Request request = std::move(*decoded.request);
+
+  if (request.command == Command::Hello) {
+    Response response;
+    if (conn->sawFrame) {
+      response = makeError(request.id, "bad_request",
+                           "HELLO must be the first frame on a connection");
+    } else {
+      conn->sawFrame = true;
+      conn->v2 = true;
+      const auto& hello = std::get<HelloRequest>(request.payload);
+      const auto cap = static_cast<std::uint32_t>(std::min<std::size_t>(
+          std::max<std::size_t>(config_.maxInFlightPerConnection, 1),
+          ~std::uint32_t{0}));
+      conn->window = std::max<std::uint32_t>(
+          1, std::min<std::uint32_t>(hello.window, cap));
+      helloHandshakes_.fetch_add(1);
+      response.id = request.id;
+      response.ok = true;
+      response.result = HelloResult{kProtocolVersionV2, conn->window};
+    }
+    deliverResponse(loop, conn,
+                    conn->v2 ? kUnordered : conn->nextSubmitSeq++,
+                    encodeResponse(response));
+    return;
+  }
+
+  conn->sawFrame = true;
+  if (conn->v2 && conn->inFlight >= conn->window) {
+    busyRejections_.fetch_add(1);
+    deliverResponse(
+        loop, conn, kUnordered,
+        encodeResponse(makeError(request.id, "busy",
+                                 "in-flight window exceeded; retry")));
+    return;
+  }
+
+  auto command = std::make_shared<PendingCommand>();
+  command->request = std::move(request);
+  command->loopIndex = loop->index;
+  command->connId = conn->id;
+  command->deliverSeq = conn->v2 ? kUnordered : conn->nextSubmitSeq;
+  const EnqueueStatus status = enqueue(command, conn->v2);
+  switch (status) {
+    case EnqueueStatus::Busy: {
+      busyRejections_.fetch_add(1);
+      deliverResponse(
+          loop, conn, kUnordered,
+          encodeResponse(makeError(command->request.id, "busy",
+                                   "command queue full; retry")));
+      return;
+    }
+    case EnqueueStatus::Closed: {
+      const auto response = encodeResponse(
+          makeError(command->request.id, "shutting_down",
+                    "server is draining; retry elsewhere"));
+      deliverResponse(loop, conn,
+                      conn->v2 ? kUnordered : conn->nextSubmitSeq++,
+                      response);
+      conn->closing = true;
+      updateInterest(loop, conn);
+      flushOut(loop, conn);
+      return;
+    }
+    case EnqueueStatus::OkThrottle:
+      conn->readPaused = true;
+      updateInterest(loop, conn);
+      [[fallthrough]];
+    case EnqueueStatus::Ok:
+      if (!conn->v2) ++conn->nextSubmitSeq;
+      ++conn->inFlight;
+      return;
+  }
+}
+
+void NegotiationServer::deliverResponse(Loop* loop, Connection* conn,
+                                        std::uint64_t deliverSeq,
+                                        const std::string& payload) {
+  if (conn->closed) return;
+  auto append = [&](const std::string& encoded) {
+    const auto wrote = net::appendFrame(conn->outbuf, encoded, frameLimits_);
+    if (!wrote.ok()) {
+      // A response over the frame limit cannot be sent; the stream would
+      // desync if we dropped it silently mid-sequence, so drop the
+      // connection (mirrors the blocking server's failed writeFrame).
+      if (conn->inFlight == 0) disconnectsMidRequest_.fetch_add(1);
+      closeConnection(loop, conn);
+      return false;
+    }
+    return true;
+  };
+  if (deliverSeq == kUnordered) {
+    if (!append(payload)) return;
+  } else if (deliverSeq == conn->nextDeliverSeq) {
+    if (!append(payload)) return;
+    ++conn->nextDeliverSeq;
+    auto it = conn->held.find(conn->nextDeliverSeq);
+    while (it != conn->held.end()) {
+      if (!append(it->second)) return;
+      conn->held.erase(it);
+      ++conn->nextDeliverSeq;
+      it = conn->held.find(conn->nextDeliverSeq);
+    }
+  } else {
+    // Out-of-order completion on a v1 connection: park until the earlier
+    // responses have been written.
+    conn->held[deliverSeq] = payload;
+  }
+  // No flush here: callers batch — appends accumulate and the caller
+  // flushes each touched connection once per event/inbox batch.
+}
+
+void NegotiationServer::flushOut(Loop* loop, Connection* conn) {
+  if (conn->closed) return;
+  const std::size_t pending = conn->outbuf.size() - conn->outOff;
+  const bool drained = conn->inFlight == 0 && conn->held.empty();
+  if (pending == 0) {
+    if (conn->closing && drained) closeConnection(loop, conn);
+    return;
+  }
+  const auto chunk =
+      conn->socket.writeSome(conn->outbuf.data() + conn->outOff, pending);
+  conn->outOff += chunk.bytes;
+  if (chunk.status == net::IoStatus::Ok) {
+    conn->outbuf.clear();
+    conn->outOff = 0;
+    conn->lastActivity = Clock::now();
+    if (conn->wantWrite) {
+      conn->wantWrite = false;
+      updateInterest(loop, conn);
+    }
+    if (conn->closing && drained) closeConnection(loop, conn);
+    return;
+  }
+  if (chunk.status == net::IoStatus::WouldBlock) {
+    // Resumable short write: keep the unwritten tail buffered and let
+    // EPOLLOUT tell us when the kernel has room again.
+    if (conn->outOff > 0 && conn->outOff >= conn->outbuf.size() / 2) {
+      conn->outbuf.erase(0, conn->outOff);
+      conn->outOff = 0;
+    }
+    if (!conn->wantWrite) {
+      conn->wantWrite = true;
+      updateInterest(loop, conn);
+    }
+    return;
+  }
+  // Closed/Error with responses pending: the client vanished.  In-flight
+  // commands will surface as orphaned responses and are counted there.
+  if (conn->inFlight == 0) disconnectsMidRequest_.fetch_add(1);
+  closeConnection(loop, conn);
+}
+
+void NegotiationServer::updateInterest(Loop* loop, Connection* conn) {
+  if (conn->closed) return;
+  std::uint32_t interest = 0;
+  if (!conn->readPaused && !conn->closing && !loop->draining) {
+    interest |= net::Epoll::kRead;
+  }
+  if (conn->wantWrite) interest |= net::Epoll::kWrite;
+  std::string error;
+  if (!loop->epoll.modify(conn->socket.fd(), interest, conn, &error)) {
+    TPRM_LOG(Warn) << "tprmd epoll modify: " << error;
+  }
+}
+
+void NegotiationServer::closeConnection(Loop* loop, Connection* conn) {
+  if (conn->closed) return;
+  conn->closed = true;
+  loop->epoll.remove(conn->socket.fd());
+  conn->socket.close();
+  if (sessionsActive_ != nullptr) sessionsActive_->add(-1);
+  activeSessions_.fetch_sub(1);
+  loop->doomed.push_back(conn->id);
+}
+
+void NegotiationServer::sweepIdle(Loop* loop) {
+  if (config_.idleTimeout.count() <= 0) return;
+  const auto now = Clock::now();
+  for (auto& [id, conn] : loop->conns) {
+    Connection* c = conn.get();
+    if (c->closed || c->closing || c->readPaused) continue;
+    if (c->inFlight > 0 || c->outbuf.size() > c->outOff) continue;
+    if (now - c->lastActivity > config_.idleTimeout) {
+      closeConnection(loop, c);
+    }
+  }
+}
+
+// --- Queue handoff ---------------------------------------------------------
+
+NegotiationServer::EnqueueStatus NegotiationServer::enqueue(
+    const std::shared_ptr<PendingCommand>& command, bool allowBusy) {
   std::lock_guard<std::mutex> seqLock(seqMutex_);
-  if (queueClosed_.load()) return std::nullopt;
+  if (queueClosed_.load()) return EnqueueStatus::Closed;
+  // Route before committing anything: a negotiation's job id — the next to
+  // be reserved, peeked here — fixes its home shard; cancels follow the
+  // job's home shard so cancel-after-negotiate pairs stay ordered;
+  // machine-wide commands serialise through queue 0.
+  std::size_t target = 0;
+  const bool isNegotiate = command->request.command == Command::Negotiate;
+  if (isNegotiate) {
+    target = static_cast<std::size_t>(
+        arbitrator_.homeShard(arbitrator_.peekNextJobId()));
+  } else if (command->request.command == Command::Cancel) {
+    target = static_cast<std::size_t>(arbitrator_.homeShard(
+        std::get<CancelRequest>(command->request.payload).jobId));
+  }
+  auto& queue = *queues_[target];
+  std::unique_lock<std::mutex> lock(queue.mu);
+  if (allowBusy && queue.queue.size() >= config_.commandQueueCapacity) {
+    // v2 backpressure: refuse before drawing a sequence number or job id,
+    // so the wire trace and the replayed id stream only ever contain
+    // commands that executed.
+    return EnqueueStatus::Busy;
+  }
   const std::uint64_t seq = nextArrivalSeq_++;
   command->arrivalSeq = seq;
+  if (isNegotiate) command->presetJobId = arbitrator_.reserveJobId();
   if (traceWriter_.isOpen()) {
     // Re-encode through the canonical codec rather than echoing the client's
     // bytes: replay then decodes exactly what the server decoded, and the
@@ -382,63 +824,90 @@ std::optional<std::uint64_t> NegotiationServer::enqueue(
       (void)traceWriter_.close(nullptr);
     }
   }
-  // Route: a negotiation's job id — reserved here, in arrival order — fixes
-  // its home shard; cancels follow the job's home shard so cancel-after-
-  // negotiate pairs stay ordered; machine-wide commands serialise through
-  // queue 0.
-  std::size_t target = 0;
-  if (command->request.command == Command::Negotiate) {
-    command->presetJobId = arbitrator_.reserveJobId();
-    target = static_cast<std::size_t>(
-        arbitrator_.homeShard(*command->presetJobId));
-  } else if (command->request.command == Command::Cancel) {
-    target = static_cast<std::size_t>(arbitrator_.homeShard(
-        std::get<CancelRequest>(command->request.payload).jobId));
-  }
-  auto& queue = *queues_[target];
-  std::unique_lock<std::mutex> lock(queue.mu);
-  // Backpressure with seqMutex_ held: later arrivals cannot overtake this
-  // command into the same queue, so per-queue order == arrivalSeq order.
-  // queueClosed_ cannot flip during the wait (stop() needs seqMutex_), so
-  // the workers draining the queue are the only exit.
-  queue.notFull.wait(lock, [&] {
-    return queue.queue.size() < config_.commandQueueCapacity;
-  });
   if (trace_ != nullptr) command->enqueuedNs = obs::monotonicNanos();
-  queue.queue.push_back(std::move(command));
+  queue.queue.push_back(command);
   if (queue.depth != nullptr) {
     queue.depth->set(static_cast<std::int64_t>(queue.queue.size()));
   }
+  EnqueueStatus status = EnqueueStatus::Ok;
+  if (!allowBusy && queue.queue.size() >= config_.commandQueueCapacity) {
+    // v1 backpressure: the command is in (order preserved), but the
+    // connection must stop producing until the worker drains the queue.
+    queue.throttled.emplace_back(command->loopIndex, command->connId);
+    status = EnqueueStatus::OkThrottle;
+  }
   lock.unlock();
   queue.notEmpty.notify_one();
-  return seq;
+  return status;
 }
 
 void NegotiationServer::workerLoop(int shard) {
   auto& queue = *queues_[static_cast<std::size_t>(shard)];
+  std::vector<std::shared_ptr<PendingCommand>> batch;
+  std::vector<std::pair<int, std::uint64_t>> resumes;
+  std::vector<std::vector<ResponseMsg>> perLoop(loops_.size());
   for (;;) {
-    std::shared_ptr<PendingCommand> command;
+    batch.clear();
+    resumes.clear();
     {
       std::unique_lock<std::mutex> lock(queue.mu);
       queue.notEmpty.wait(lock, [&] {
         return !queue.queue.empty() || queueClosed_.load();
       });
       if (queue.queue.empty()) return;  // closed and drained
-      command = std::move(queue.queue.front());
-      queue.queue.pop_front();
+      // Batched handoff: one lock acquisition drains up to workerBatch
+      // commands (FIFO, so drain order == arrivalSeq order per shard).
+      const std::size_t n =
+          std::min(queue.queue.size(), config_.workerBatch);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(queue.queue.front()));
+        queue.queue.pop_front();
+      }
       if (queue.depth != nullptr) {
         queue.depth->set(static_cast<std::int64_t>(queue.queue.size()));
       }
+      if (queue.queue.size() < config_.commandQueueCapacity &&
+          !queue.throttled.empty()) {
+        resumes.swap(queue.throttled);
+      }
     }
-    queue.notFull.notify_one();
-    const std::int64_t startNs =
-        trace_ != nullptr ? obs::monotonicNanos() : 0;
-    Response response = execute(command->request, command->arrivalSeq,
-                                command->presetJobId);
-    response.id = command->request.id;
-    commandsExecuted_.fetch_add(1);
-    if (trace_ != nullptr) recordSpan(*command, response, startNs);
-    command->promise.set_value(std::move(response));
+    // Wake paused readers before the (comparatively slow) execution pass.
+    for (const auto& [loopIndex, connId] : resumes) {
+      auto& loop = *loops_[static_cast<std::size_t>(loopIndex)];
+      {
+        std::lock_guard<std::mutex> lock(loop.inboxMu);
+        loop.pendingResumes.push_back(connId);
+      }
+      loop.wakeup.signal();
+    }
+    for (const auto& command : batch) {
+      const std::int64_t startNs =
+          trace_ != nullptr ? obs::monotonicNanos() : 0;
+      Response response = execute(command->request, command->arrivalSeq,
+                                  command->presetJobId);
+      response.id = command->request.id;
+      commandsExecuted_.fetch_add(1);
+      if (trace_ != nullptr) recordSpan(*command, response, startNs);
+      ResponseMsg msg;
+      msg.connId = command->connId;
+      msg.deliverSeq = command->deliverSeq;
+      msg.payload = encodeResponse(response);
+      perLoop[static_cast<std::size_t>(command->loopIndex)].push_back(
+          std::move(msg));
+    }
+    // One inbox lock + one eventfd wakeup per loop per batch.
+    for (std::size_t i = 0; i < perLoop.size(); ++i) {
+      if (perLoop[i].empty()) continue;
+      auto& loop = *loops_[i];
+      {
+        std::lock_guard<std::mutex> lock(loop.inboxMu);
+        for (auto& msg : perLoop[i]) {
+          loop.pendingResponses.push_back(std::move(msg));
+        }
+      }
+      loop.wakeup.signal();
+      perLoop[i].clear();
+    }
   }
 }
 
@@ -563,6 +1032,10 @@ Response NegotiationServer::execute(
       response.result = std::move(result);
       return response;
     }
+    case Command::Hello:
+      // Handshakes are handled on the loop thread and never enqueued.
+      return makeError(request.id, "internal",
+                       "HELLO reached the command queue");
   }
   return makeError(request.id, "internal", "unhandled command");
 }

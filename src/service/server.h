@@ -5,20 +5,30 @@
 // loopback socket and exchange length-prefixed JSON frames; the system-wide
 // arbitrator state sits behind per-shard command queues.
 //
-//   accept thread(s) ──► session thread per connection
-//                          │  read frame, decode, validate
+//   accept thread(s) ──► event-loop threads (epoll, nonblocking sockets)
+//                          │  each loop owns its connections: incremental
+//                          │  frame decoding, buffered partial writes
 //                          ▼
 //            (arrivalSeq, jobId) drawn atomically, command routed
 //                          │  NEGOTIATE/CANCEL: queue[jobId % K]
 //                          │  RESIZE/STATS/VERIFY: queue[0]
 //                          ▼
-//          K bounded command queues  (backpressure: enqueue blocks)
+//          K command queues  (backpressure: v1 connections pause reads,
+//                             v2 connections get a typed `busy` error)
 //                          │
 //                          ▼
 //          K worker threads over one qos::ShardedArbitrator
-//                          │  response via per-command promise
+//                          │  drain up to workerBatch commands per wakeup
 //                          ▼
-//                 session thread writes the response frame
+//          responses handed back to the owning loop (eventfd MPSC inbox),
+//          correlated by requestId (v2) or delivered in submit order (v1)
+//
+// A connection speaks wire protocol v1 unless its first frame is HELLO
+// (docs/wire_protocol.md).  v1 keeps the classic one-request-one-response
+// contract: even though sharded execution can finish out of order, the loop
+// holds completed responses until all earlier ones on that connection have
+// been written.  v2 connections carry up to a negotiated window of
+// in-flight requests and receive responses in completion order.
 //
 // With shards == 1 this degenerates to the classic single-writer design:
 // one queue, one worker, total arrivalSeq order, and (the replay tests pin
@@ -35,8 +45,8 @@
 //  * Malformed frames get an error response and the connection survives;
 //    oversized or truncated frames desynchronize the stream, so the server
 //    sends a best-effort error and closes that connection only.
-//  * stop() drains: stop accepting, let every session finish its in-flight
-//    request, execute everything already queued, then join.
+//  * stop() drains: stop accepting, stop reading, execute everything
+//    already queued, flush every pending response, then join.
 #pragma once
 
 #include <atomic>
@@ -44,14 +54,18 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/json.h"
+#include "net/event_loop.h"
 #include "net/frame.h"
 #include "net/socket.h"
 #include "obs/metrics.h"
@@ -77,22 +91,33 @@ struct ServerConfig {
   /// Period of the background capacity rebalancer; 0 disables it.  Only
   /// meaningful with shards > 1.
   int rebalanceIntervalMs = 0;
+  /// Event-loop threads sharing the connections (>= 1).  Two comfortably
+  /// saturate the shard workers on loopback; more helps only with many
+  /// thousands of connections.
+  int eventLoops = 2;
   /// Unix-domain listening path; empty = no Unix listener.
   std::string unixPath;
   /// TCP loopback listener; nullopt = none, 0 = ephemeral (see tcpPort()).
   std::optional<std::uint16_t> tcpPort;
   /// Per-frame payload cap for both directions.
   std::size_t maxFrameBytes = 1 << 20;
-  /// Commands admitted but not yet executed, per shard queue; enqueue blocks
-  /// when the target queue is full.
+  /// Commands admitted but not yet executed, per shard queue.  At or above
+  /// this threshold v1 connections stop being read (resumed when the worker
+  /// drains below it) and v2 enqueues are refused with a `busy` error.
   std::size_t commandQueueCapacity = 256;
-  /// Sessions beyond this are refused at accept with a shutting_down-style
-  /// error frame.
+  /// Server-side cap on the v2 per-connection in-flight window; HELLO
+  /// grants min(requested, this).  Requests beyond the granted window get
+  /// a `busy` error instead of stalling the loop.
+  std::size_t maxInFlightPerConnection = 64;
+  /// Commands a shard worker drains per queue-lock acquisition.
+  std::size_t workerBatch = 32;
+  /// Sessions beyond this are refused at accept with a silent close.
   std::size_t maxSessions = 128;
   /// How long a connection may sit idle between requests before the server
   /// closes it.
   std::chrono::milliseconds idleTimeout{30'000};
-  /// Budget for finishing one frame / one response once started.
+  /// Budget for flushing pending responses at shutdown (and, historically,
+  /// for one blocking frame; the event loop itself never blocks on I/O).
   std::chrono::milliseconds ioTimeout{5'000};
   /// Attach the observability layer: a metrics registry over the whole
   /// negotiation stack plus a trace ring of recent commands.  Counters sit
@@ -116,6 +141,11 @@ struct ServerCounters {
   std::uint64_t framesOversized = 0;
   std::uint64_t commandsExecuted = 0;
   std::uint64_t disconnectsMidRequest = 0;
+  /// v2 backpressure: requests refused with a `busy` error (window
+  /// exceeded or shard queue full).  Never counts executed work.
+  std::uint64_t busyRejections = 0;
+  /// Successful HELLO handshakes (connections upgraded to v2).
+  std::uint64_t helloHandshakes = 0;
 };
 
 class NegotiationServer {
@@ -130,7 +160,7 @@ class NegotiationServer {
   /// Returns false (with *error set) if no listener could be bound.
   [[nodiscard]] bool start(std::string* error);
 
-  /// Graceful drain; idempotent.  Blocks until every session and worker
+  /// Graceful drain; idempotent.  Blocks until every loop and worker
   /// thread has exited.
   void stop();
 
@@ -169,20 +199,48 @@ class NegotiationServer {
 
  private:
   struct PendingCommand;
-  struct Session;
+  struct Connection;
+  struct Loop;
+  struct ResponseMsg;
   struct ShardQueue;
 
+  enum class EnqueueStatus {
+    Ok,          // admitted; response will arrive via the loop inbox
+    OkThrottle,  // admitted, but the target queue is at capacity — pause
+                 // reading this (v1) connection until the worker drains
+    Busy,        // refused (v2 + queue full); nothing was committed
+    Closed,      // server draining; nothing was committed
+  };
+
   void acceptLoop(net::Listener* listener);
-  void sessionLoop(Session* session);
+  void loopMain(Loop* loop);
   void workerLoop(int shard);
   void rebalanceLoop();
 
+  // --- Loop-thread helpers (each touches only `loop`-owned state). ---
+  void processInbox(Loop* loop);
+  void registerConnection(Loop* loop, net::Socket socket);
+  void handleReadable(Loop* loop, Connection* conn);
+  void processDecodedFrames(Loop* loop, Connection* conn);
+  void handleFrame(Loop* loop, Connection* conn, const std::string& payload);
+  /// Queues `payload` (already-encoded response JSON) for delivery.  For v1
+  /// connections `deliverSeq` enforces submit-order delivery; v2 responses
+  /// pass kUnordered and go out immediately.
+  void deliverResponse(Loop* loop, Connection* conn, std::uint64_t deliverSeq,
+                       const std::string& payload);
+  void flushOut(Loop* loop, Connection* conn);
+  void updateInterest(Loop* loop, Connection* conn);
+  void closeConnection(Loop* loop, Connection* conn);
+  void sweepIdle(Loop* loop);
+
   /// Routes and enqueues a decoded command, stamping its arrival sequence
   /// (and, for NEGOTIATE, reserving its job id — the id fixes the home
-  /// shard, so routing is deterministic in arrival order).  Blocks while
-  /// the target queue is full.  Returns nullopt when draining (caller sends
-  /// shutting_down).
-  std::optional<std::uint64_t> enqueue(std::shared_ptr<PendingCommand> cmd);
+  /// shard, so routing is deterministic in arrival order).  Never blocks:
+  /// a full queue either throttles the connection (v1) or refuses with
+  /// Busy (v2, `allowBusy`).  On Busy/Closed nothing was committed — no
+  /// sequence number, no job id, no trace record.
+  EnqueueStatus enqueue(const std::shared_ptr<PendingCommand>& command,
+                        bool allowBusy);
 
   Response execute(const Request& request, std::uint64_t arrivalSeq,
                    const std::optional<std::uint64_t>& presetJobId);
@@ -192,8 +250,6 @@ class NegotiationServer {
   /// thread-safe).
   void recordSpan(const PendingCommand& command, const Response& response,
                   std::int64_t startNs);
-
-  void reapFinishedSessions();
 
   ServerConfig config_;
   net::FrameLimits frameLimits_;
@@ -205,14 +261,16 @@ class NegotiationServer {
   std::vector<std::thread> acceptThreads_;
   std::thread rebalanceThread_;
 
-  std::mutex sessionsMutex_;
-  std::vector<std::unique_ptr<Session>> sessions_;
+  /// Event loops; connections are handed out round-robin at accept.
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::atomic<std::size_t> nextLoop_{0};
+  std::atomic<std::uint64_t> nextConnId_{1};
+  std::atomic<std::size_t> activeSessions_{0};
+  std::atomic<int> drainAcks_{0};
 
   /// Guards the (arrivalSeq, jobId) draw and the push that follows, so
   /// commands enter their target queue in arrivalSeq order.  Lock order:
-  /// seqMutex_ then the target ShardQueue's mutex.  A full queue therefore
-  /// throttles all producers — the same global backpressure the unsharded
-  /// single queue had.
+  /// seqMutex_ then the target ShardQueue's mutex.
   std::mutex seqMutex_;
   std::uint64_t nextArrivalSeq_ = 0;  // guarded by seqMutex_
   /// Wire-trace recording (config_.recordPath).  Written under seqMutex_ so
@@ -223,7 +281,7 @@ class NegotiationServer {
   /// Set (under seqMutex_) by stop(); read by waiters on any queue.
   std::atomic<bool> queueClosed_{false};
 
-  /// One bounded command queue + worker thread per shard.
+  /// One command queue + worker thread per shard.
   std::vector<std::unique_ptr<ShardQueue>> queues_;
 
   qos::ShardedArbitrator arbitrator_;
@@ -245,7 +303,7 @@ class NegotiationServer {
   std::atomic<bool> stopping_{false};
   std::atomic<bool> stopped_{false};
 
-  // Counters (atomics: bumped from session/accept/worker threads, read
+  // Counters (atomics: bumped from loop/accept/worker threads, read
   // anywhere).
   std::atomic<std::uint64_t> connectionsAccepted_{0};
   std::atomic<std::uint64_t> connectionsRefused_{0};
@@ -253,6 +311,8 @@ class NegotiationServer {
   std::atomic<std::uint64_t> framesOversized_{0};
   std::atomic<std::uint64_t> commandsExecuted_{0};
   std::atomic<std::uint64_t> disconnectsMidRequest_{0};
+  std::atomic<std::uint64_t> busyRejections_{0};
+  std::atomic<std::uint64_t> helloHandshakes_{0};
 };
 
 }  // namespace tprm::service

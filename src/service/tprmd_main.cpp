@@ -4,6 +4,13 @@
 //   tprmd --tcp-port=7411                   # TCP loopback endpoint
 //   tprmd --procs=64 --unix=... --tcp-port=0
 //   tprmd --procs=64 --shards=4             # sharded parallel admission
+//   tprmd --event-loops=4 --max-inflight=64 # I/O and pipelining tuning
+//
+// Event loop:
+//   Connections are served by --event-loops nonblocking epoll threads
+//   (default 2); --max-inflight caps the per-connection window a pipelined
+//   (wire protocol v2) client can negotiate via HELLO, and --worker-batch
+//   sets how many queued commands a shard worker drains per wakeup.
 //
 // Sharding:
 //   --shards=K partitions the machine across K arbitrator shards with
@@ -52,7 +59,8 @@ int main(int argc, char** argv) {
       {"procs", "unix", "tcp-port", "max-frame-kb", "queue-cap",
        "max-sessions", "idle-timeout-ms", "io-timeout-ms", "verbose",
        "metrics-out", "metrics-interval-ms", "trace-cap", "no-metrics",
-       "shards", "no-spill", "rebalance-interval-ms", "record-out"});
+       "shards", "no-spill", "rebalance-interval-ms", "record-out",
+       "event-loops", "max-inflight", "worker-batch"});
   if (!unknown.empty()) {
     std::fprintf(stderr, "tprmd: unknown flag --%s\n", unknown.front().c_str());
     return 2;
@@ -68,6 +76,16 @@ int main(int argc, char** argv) {
                  config.shards, config.processors);
     return 2;
   }
+  config.eventLoops = static_cast<int>(flags.getInt("event-loops", 2));
+  if (config.eventLoops < 1) {
+    std::fprintf(stderr, "tprmd: --event-loops must be >= 1 (got %d)\n",
+                 config.eventLoops);
+    return 2;
+  }
+  config.maxInFlightPerConnection =
+      static_cast<std::size_t>(flags.getInt("max-inflight", 64));
+  config.workerBatch =
+      static_cast<std::size_t>(flags.getInt("worker-batch", 32));
   config.shardSpill = !flags.getBool("no-spill", false);
   config.rebalanceIntervalMs =
       static_cast<int>(flags.getInt("rebalance-interval-ms", 0));

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "net/frame.h"
 #include "net/socket.h"
@@ -158,6 +159,175 @@ TEST(Frame, BackToBackFramesStayInSync) {
     ASSERT_TRUE(read.ok());
     EXPECT_EQ(read.payload, "frame-" + std::to_string(i));
   }
+}
+
+// --- Incremental decoder (the event-loop read path) ------------------------
+
+/// Codec corpus shared by the decoder tests: every boundary case the blocking
+/// reader is known to handle, so byte-at-a-time decoding proves the
+/// incremental path equivalent.
+std::vector<std::string> decoderCorpus() {
+  return {
+      std::string(""),                     // empty payload
+      std::string("{}"),                   // minimal JSON
+      std::string("{\"cmd\":\"STATS\"}"),  // realistic request
+      std::string(1, '\0'),                // binary byte
+      std::string(4096, 'x'),              // multi-read payload
+      std::string("tail"),                 // small frame after a large one
+  };
+}
+
+/// Encodes the whole corpus back-to-back with appendFrame.
+std::string corpusWire(const std::vector<std::string>& corpus,
+                       const FrameLimits& limits) {
+  std::string wire;
+  for (const auto& payload : corpus) {
+    EXPECT_TRUE(appendFrame(wire, payload, limits).ok());
+  }
+  return wire;
+}
+
+TEST(FrameDecoder, DecodesCorpusFedByteAtATime) {
+  const FrameLimits limits;
+  const auto corpus = decoderCorpus();
+  const auto wire = corpusWire(corpus, limits);
+  FrameDecoder decoder(limits);
+  std::vector<std::string> out;
+  std::string payload;
+  for (const char byte : wire) {
+    decoder.feed(&byte, 1);
+    while (decoder.next(&payload)) out.push_back(payload);
+  }
+  ASSERT_FALSE(decoder.failed()) << decoder.message();
+  EXPECT_EQ(out, corpus);
+  EXPECT_EQ(decoder.pendingBytes(), 0u);
+}
+
+TEST(FrameDecoder, DecodesCorpusAcrossEverySplitPoint) {
+  // Adversarial reassembly: split the whole stream at every position —
+  // inside length prefixes, across frame boundaries, mid-payload — and
+  // require identical output for each split.
+  const FrameLimits limits;
+  const auto corpus = decoderCorpus();
+  const auto wire = corpusWire(corpus, limits);
+  for (std::size_t split = 0; split <= wire.size(); ++split) {
+    FrameDecoder decoder(limits);
+    decoder.feed(wire.data(), split);
+    std::vector<std::string> out;
+    std::string payload;
+    while (decoder.next(&payload)) out.push_back(payload);
+    decoder.feed(wire.data() + split, wire.size() - split);
+    while (decoder.next(&payload)) out.push_back(payload);
+    ASSERT_FALSE(decoder.failed()) << "split=" << split;
+    ASSERT_EQ(out, corpus) << "split=" << split;
+  }
+}
+
+TEST(FrameDecoder, FailsAtHeaderTimeOnOversizedDeclaration) {
+  FrameLimits limits;
+  limits.maxPayloadBytes = 16;
+  FrameDecoder decoder(limits);
+  // A valid frame, then a 1 GiB declaration with no payload behind it.
+  std::string wire;
+  ASSERT_TRUE(appendFrame(wire, "ok", limits).ok());
+  wire += bigEndianPrefix(1u << 30);
+  decoder.feed(wire.data(), wire.size());
+  std::string payload;
+  ASSERT_TRUE(decoder.next(&payload));
+  EXPECT_EQ(payload, "ok");
+  // The oversized frame fails from the four header bytes alone — the
+  // decoder must not wait for (or buffer) the declared payload.
+  EXPECT_FALSE(decoder.next(&payload));
+  EXPECT_TRUE(decoder.failed());
+  EXPECT_FALSE(decoder.message().empty());
+  // A failed decoder stays failed; further bytes are ignored.
+  const std::string more(64, 'z');
+  decoder.feed(more.data(), more.size());
+  EXPECT_FALSE(decoder.next(&payload));
+  EXPECT_TRUE(decoder.failed());
+}
+
+TEST(FrameDecoder, ReportsPartialFrameAsPendingBytes) {
+  const FrameLimits limits;
+  FrameDecoder decoder(limits);
+  const auto prefix = bigEndianPrefix(10);
+  decoder.feed(prefix.data(), prefix.size());
+  decoder.feed("abc", 3);
+  std::string payload;
+  EXPECT_FALSE(decoder.next(&payload));
+  EXPECT_FALSE(decoder.failed());
+  // 4 header + 3 payload bytes buffered: an EOF now is a truncation.
+  EXPECT_EQ(decoder.pendingBytes(), 7u);
+}
+
+TEST(FrameDecoder, AppendFrameRefusesOversizedPayloadLocally) {
+  FrameLimits limits;
+  limits.maxPayloadBytes = 8;
+  std::string wire = "prefix-preserved";
+  const auto result = appendFrame(wire, std::string(64, 'y'), limits);
+  EXPECT_EQ(result.status, FrameStatus::TooLarge);
+  EXPECT_EQ(wire, "prefix-preserved");  // nothing partial appended
+}
+
+// --- Nonblocking socket primitives (the event-loop I/O path) ----------------
+
+TEST(Socket, ReadSomeReportsWouldBlockOnIdleNonblockingSocket) {
+  Pair pair;
+  ASSERT_TRUE(pair.b.setNonBlocking(true).ok());
+  char buffer[16];
+  EXPECT_EQ(pair.b.readSome(buffer, sizeof buffer).status,
+            IoStatus::WouldBlock);
+  // Data arriving later is picked up by a plain retry.
+  ASSERT_TRUE(pair.a.writeAll("xy", 2, Deadline::after(1s)).ok());
+  ASSERT_TRUE(pair.b.waitReadable(Deadline::after(1s)).ok());
+  const auto chunk = pair.b.readSome(buffer, sizeof buffer);
+  ASSERT_EQ(chunk.status, IoStatus::Ok);
+  EXPECT_EQ(chunk.bytes, 2u);
+}
+
+TEST(Socket, WriteSomeResumesAfterShortWriteOnTinySendBuffer) {
+  // The partial-write regression this pins: a nonblocking send into a full
+  // kernel buffer must report WouldBlock *with the count already
+  // transferred*, and resuming from that offset must reconstruct the exact
+  // byte stream.  Tiny SO_SNDBUF forces many short writes.
+  Pair pair;
+  const int tiny = 4096;
+  ASSERT_EQ(::setsockopt(pair.a.fd(), SOL_SOCKET, SO_SNDBUF, &tiny,
+                         sizeof tiny),
+            0);
+  ASSERT_TRUE(pair.a.setNonBlocking(true).ok());
+
+  std::string message(1 << 20, '\0');  // 1 MiB, patterned for verification
+  for (std::size_t i = 0; i < message.size(); ++i) {
+    message[i] = static_cast<char>('a' + (i % 23));
+  }
+  std::string received;
+  std::thread reader([&] {
+    char buffer[65536];
+    while (received.size() < message.size()) {
+      const auto chunk = pair.b.readSome(buffer, sizeof buffer);
+      ASSERT_EQ(chunk.status, IoStatus::Ok);
+      received.append(buffer, chunk.bytes);
+    }
+  });
+
+  std::size_t offset = 0;
+  std::size_t shortWrites = 0;
+  while (offset < message.size()) {
+    const auto chunk =
+        pair.a.writeSome(message.data() + offset, message.size() - offset);
+    ASSERT_NE(chunk.status, IoStatus::Closed);
+    ASSERT_NE(chunk.status, IoStatus::Error) << chunk.message;
+    offset += chunk.bytes;  // WouldBlock still reports progress
+    if (chunk.status == IoStatus::WouldBlock) {
+      ++shortWrites;
+      ASSERT_TRUE(pair.a.waitWritable(Deadline::after(5s)).ok());
+    }
+  }
+  reader.join();
+  EXPECT_EQ(received, message);
+  // The premise of the test: the buffer really was too small for one shot.
+  EXPECT_GT(shortWrites, 0u);
 }
 
 TEST(Socket, WriteToClosedPeerReportsClosedNotSigpipe) {

@@ -228,6 +228,345 @@ TEST(Service, ConcurrentClientsMatchInProcessReplayInArrivalOrder) {
   server.stop();
 }
 
+// The pipelined (wire v2) twin of the equivalence test above: 8 clients,
+// each with a window of in-flight negotiations on one connection, must
+// still produce exactly the in-process arbitrator's decisions when replayed
+// in stamped arrival order.  Run under TSan this also pins the event-loop /
+// worker / client-reader handoffs as race-free.
+TEST(Service, PipelinedClientsMatchInProcessReplayInArrivalOrder) {
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 25;
+  const int processors = 8;
+
+  NegotiationServer server(unixConfig(processors));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  struct Observed {
+    task::TunableJobSpec spec;
+    NegotiateResult result;
+  };
+  std::vector<std::vector<Observed>> perClient(kClients);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      PipelinedClient client(clientFor(server), /*window=*/8);
+      auto connectError = client.connect();
+      ASSERT_FALSE(connectError.has_value()) << connectError->message;
+      ASSERT_GE(client.grantedWindow(), 1u);
+      std::vector<std::pair<task::TunableJobSpec,
+                            PipelinedClient::ResponseFuture>>
+          submitted;
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const auto spec = makeSpec(c * kRequestsPerClient + r);
+        submitted.emplace_back(spec, client.negotiateAsync(spec, 0));
+      }
+      for (auto& [spec, future] : submitted) {
+        auto decision = extractResult<NegotiateResult>(future.get());
+        ASSERT_TRUE(decision.ok()) << decision.error.message;
+        perClient[static_cast<std::size_t>(c)].push_back(
+            {spec, *decision});
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  std::vector<const Observed*> byArrival;
+  for (const auto& observations : perClient) {
+    for (const auto& observed : observations) byArrival.push_back(&observed);
+  }
+  ASSERT_EQ(byArrival.size(),
+            static_cast<std::size_t>(kClients * kRequestsPerClient));
+  std::sort(byArrival.begin(), byArrival.end(),
+            [](const Observed* a, const Observed* b) {
+              return a->result.arrivalSeq < b->result.arrivalSeq;
+            });
+  // busy never executes and never draws a sequence number, so even under
+  // pipelining the executed sequence stays dense.
+  for (std::size_t i = 0; i < byArrival.size(); ++i) {
+    EXPECT_EQ(byArrival[i]->result.arrivalSeq, i);
+  }
+
+  qos::QoSArbitrator replay(processors);
+  for (const auto* observed : byArrival) {
+    const auto decision =
+        replay.submit(observed->spec, observed->result.release);
+    ASSERT_EQ(replay.lastJobId().value(), observed->result.jobId);
+    ASSERT_EQ(decision.admitted, observed->result.admitted)
+        << "arrivalSeq " << observed->result.arrivalSeq;
+    if (decision.admitted) {
+      EXPECT_EQ(decision.schedule.chainIndex, observed->result.chainIndex);
+      EXPECT_EQ(decision.quality, observed->result.quality);
+      EXPECT_EQ(decision.schedule.placements, observed->result.placements);
+    }
+  }
+  const auto replayReport = replay.verify();
+  EXPECT_TRUE(replayReport.ok) << replayReport.firstViolation;
+
+  EXPECT_EQ(server.counters().helloHandshakes,
+            static_cast<std::uint64_t>(kClients));
+  QoSAgentClient client(clientFor(server));
+  const auto verify = client.verify();
+  ASSERT_TRUE(verify.ok());
+  EXPECT_TRUE(verify->ok) << verify->firstViolation;
+  server.stop();
+}
+
+// One raw v2 connection against a sharded server: cheap STATS commands
+// (shard queue 0) interleaved with expensive NEGOTIATEs (home-shard queues)
+// must come back correlated by requestId — and, because the shards execute
+// in parallel, genuinely out of submission order.
+TEST(Service, V2ResponsesInterleaveOutOfOrderOnOneConnection) {
+  ServerConfig config = unixConfig(16);
+  config.shards = 4;
+  NegotiationServer server(config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  auto connected =
+      net::connectUnix(server.unixPath(), net::Deadline::after(1s));
+  ASSERT_TRUE(connected.ok()) << connected.error;
+  const net::FrameLimits limits;
+
+  Request hello;
+  hello.version = kProtocolVersionV2;
+  hello.command = Command::Hello;
+  hello.id = 1;
+  hello.payload = HelloRequest{64};
+  ASSERT_TRUE(net::writeFrame(connected.socket, encodeRequest(hello), limits,
+                              net::Deadline::after(1s))
+                  .ok());
+  auto helloFrame = net::readFrame(connected.socket, limits,
+                                   net::Deadline::after(1s),
+                                   net::Deadline::after(1s));
+  ASSERT_TRUE(helloFrame.ok()) << helloFrame.message;
+  auto helloDecoded = decodeResponse(helloFrame.payload);
+  ASSERT_TRUE(helloDecoded.ok()) << helloDecoded.error;
+  ASSERT_TRUE(helloDecoded.response->ok);
+  const auto* grant =
+      std::get_if<HelloResult>(&helloDecoded.response->result);
+  ASSERT_NE(grant, nullptr);
+  EXPECT_EQ(grant->version, kProtocolVersionV2);
+  EXPECT_EQ(grant->window, 64u);
+
+  // One pair at a time: a NEGOTIATE carrying dozens of chains (deliberately
+  // expensive to schedule, routed to its home-shard queue) followed in the
+  // same write by an O(1) STATS (queue 0).  Separate workers execute them
+  // concurrently, so the cheap command's response overtakes — exactly what
+  // requestId correlation exists for.  Waiting for both responses before
+  // the next pair keeps each race independent of queue batching.
+  constexpr int kPairs = 10;
+  std::size_t inversions = 0;
+  for (int i = 0; i < kPairs; ++i) {
+    task::TunableJobSpec heavy = makeSpec(i);
+    for (int extra = 0; extra < 48; ++extra) {
+      heavy.chains.push_back(makeSpec(i * 31 + extra)
+                                 .chains[static_cast<std::size_t>(extra % 2)]);
+    }
+    Request negotiate;
+    negotiate.command = Command::Negotiate;
+    negotiate.id = 100 + static_cast<std::uint64_t>(2 * i);
+    negotiate.payload = NegotiateRequest{std::move(heavy), 0};
+    Request stats;
+    stats.command = Command::Stats;
+    stats.id = 101 + static_cast<std::uint64_t>(2 * i);
+    std::string wire;
+    ASSERT_TRUE(net::appendFrame(wire, encodeRequest(negotiate), limits).ok());
+    ASSERT_TRUE(net::appendFrame(wire, encodeRequest(stats), limits).ok());
+    ASSERT_TRUE(connected.socket
+                    .writeAll(wire.data(), wire.size(),
+                              net::Deadline::after(5s))
+                    .ok());
+    std::vector<std::uint64_t> order;
+    for (int r = 0; r < 2; ++r) {
+      auto frame =
+          net::readFrame(connected.socket, limits, net::Deadline::after(5s),
+                         net::Deadline::after(5s));
+      ASSERT_TRUE(frame.ok()) << frame.message;
+      auto decoded = decodeResponse(frame.payload);
+      ASSERT_TRUE(decoded.ok()) << decoded.error;
+      ASSERT_TRUE(decoded.response->ok)
+          << decoded.response->error->code << ": "
+          << decoded.response->error->message;
+      order.push_back(decoded.response->id);
+    }
+    // Both responses, each exactly once, correlated by id.
+    ASSERT_NE(order[0], order[1]);
+    for (const auto id : order) {
+      ASSERT_TRUE(id == negotiate.id || id == stats.id) << id;
+    }
+    if (order[0] == stats.id) ++inversions;
+  }
+  // A v1 stream would force all ten pairs into submit order; v2 must let
+  // the cheap command win at least once (in practice: almost every time).
+  EXPECT_GT(inversions, 0u);
+
+  QoSAgentClient client(clientFor(server));
+  const auto verify = client.verify();
+  ASSERT_TRUE(verify.ok());
+  EXPECT_TRUE(verify->ok) << verify->firstViolation;
+  server.stop();
+}
+
+// A granted window of 1 plus a burst of frames in one write: everything
+// beyond the window gets the typed busy error, nothing desyncs, and the
+// connection keeps working afterwards.
+TEST(Service, WindowExceededGetsTypedBusyAndConnectionSurvives) {
+  NegotiationServer server(unixConfig(8));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  auto connected =
+      net::connectUnix(server.unixPath(), net::Deadline::after(1s));
+  ASSERT_TRUE(connected.ok()) << connected.error;
+  const net::FrameLimits limits;
+
+  Request hello;
+  hello.version = kProtocolVersionV2;
+  hello.command = Command::Hello;
+  hello.id = 1;
+  hello.payload = HelloRequest{1};  // deliberately tiny window
+  ASSERT_TRUE(net::writeFrame(connected.socket, encodeRequest(hello), limits,
+                              net::Deadline::after(1s))
+                  .ok());
+  auto helloFrame = net::readFrame(connected.socket, limits,
+                                   net::Deadline::after(1s),
+                                   net::Deadline::after(1s));
+  ASSERT_TRUE(helloFrame.ok());
+  auto helloDecoded = decodeResponse(helloFrame.payload);
+  ASSERT_TRUE(helloDecoded.ok());
+  ASSERT_TRUE(helloDecoded.response->ok);
+
+  // 20 STATS frames in a single write: the loop decodes them in batches,
+  // so all but the in-window head of each batch must bounce busy.
+  constexpr int kBurst = 20;
+  std::string wire;
+  for (int i = 0; i < kBurst; ++i) {
+    Request stats;
+    stats.command = Command::Stats;
+    stats.id = 100 + static_cast<std::uint64_t>(i);
+    ASSERT_TRUE(net::appendFrame(wire, encodeRequest(stats), limits).ok());
+  }
+  ASSERT_TRUE(connected.socket
+                  .writeAll(wire.data(), wire.size(),
+                            net::Deadline::after(1s))
+                  .ok());
+
+  int ok = 0;
+  int busy = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    auto frame =
+        net::readFrame(connected.socket, limits, net::Deadline::after(5s),
+                       net::Deadline::after(5s));
+    ASSERT_TRUE(frame.ok()) << frame.message;
+    auto decoded = decodeResponse(frame.payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.error;
+    if (decoded.response->ok) {
+      ++ok;
+    } else {
+      ASSERT_EQ(decoded.response->error->code, "busy");
+      ++busy;
+    }
+  }
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(busy, 1);
+  EXPECT_EQ(ok + busy, kBurst);
+  EXPECT_EQ(server.counters().busyRejections,
+            static_cast<std::uint64_t>(busy));
+
+  // busy is retriable: the same connection still serves requests.
+  Request again;
+  again.command = Command::Stats;
+  again.id = 999;
+  ASSERT_TRUE(net::writeFrame(connected.socket, encodeRequest(again), limits,
+                              net::Deadline::after(1s))
+                  .ok());
+  auto frame =
+      net::readFrame(connected.socket, limits, net::Deadline::after(5s),
+                     net::Deadline::after(5s));
+  ASSERT_TRUE(frame.ok());
+  auto decoded = decodeResponse(frame.payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.response->ok);
+  EXPECT_EQ(decoded.response->id, 999u);
+  server.stop();
+}
+
+// Tiny shard queue + pipelined burst: queue-full busy rejections never
+// execute, never draw a sequence number, and the executed subset still
+// replays to identical decisions.
+TEST(Service, TinyQueueBusyPreservesReplayEquivalence) {
+  ServerConfig config = unixConfig(8);
+  config.commandQueueCapacity = 1;
+  NegotiationServer server(config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  PipelinedClient client(clientFor(server), /*window=*/64);
+  auto connectError = client.connect();
+  ASSERT_FALSE(connectError.has_value()) << connectError->message;
+
+  struct Observed {
+    task::TunableJobSpec spec;
+    NegotiateResult result;
+  };
+  constexpr int kBurst = 200;
+  std::vector<std::pair<task::TunableJobSpec,
+                        PipelinedClient::ResponseFuture>>
+      submitted;
+  for (int r = 0; r < kBurst; ++r) {
+    const auto spec = makeSpec(r);
+    submitted.emplace_back(spec, client.negotiateAsync(spec, 0));
+  }
+  std::vector<Observed> executed;
+  int busy = 0;
+  for (auto& [spec, future] : submitted) {
+    auto decision = extractResult<NegotiateResult>(future.get());
+    if (decision.ok()) {
+      executed.push_back({spec, *decision});
+    } else {
+      ASSERT_EQ(decision.error.status, ClientStatus::Busy)
+          << decision.error.message;
+      ++busy;
+    }
+  }
+  // The queue of one must have bounced part of the burst, and the head of
+  // the burst always executes.
+  EXPECT_GT(busy, 0);
+  ASSERT_FALSE(executed.empty());
+  EXPECT_EQ(static_cast<int>(executed.size()) + busy, kBurst);
+  EXPECT_EQ(server.counters().busyRejections,
+            static_cast<std::uint64_t>(busy));
+
+  std::sort(executed.begin(), executed.end(),
+            [](const Observed& a, const Observed& b) {
+              return a.result.arrivalSeq < b.result.arrivalSeq;
+            });
+  qos::QoSArbitrator replay(config.processors);
+  for (std::size_t i = 0; i < executed.size(); ++i) {
+    // Dense sequence over executed commands only: rejected submissions
+    // left no gap behind.
+    ASSERT_EQ(executed[i].result.arrivalSeq, i);
+    const auto decision =
+        replay.submit(executed[i].spec, executed[i].result.release);
+    ASSERT_EQ(replay.lastJobId().value(), executed[i].result.jobId);
+    ASSERT_EQ(decision.admitted, executed[i].result.admitted);
+    if (decision.admitted) {
+      EXPECT_EQ(decision.quality, executed[i].result.quality);
+      EXPECT_EQ(decision.schedule.placements,
+                executed[i].result.placements);
+    }
+  }
+  const auto replayReport = replay.verify();
+  EXPECT_TRUE(replayReport.ok) << replayReport.firstViolation;
+
+  QoSAgentClient checker(clientFor(server));
+  const auto verify = checker.verify();
+  ASSERT_TRUE(verify.ok());
+  EXPECT_TRUE(verify->ok) << verify->firstViolation;
+  server.stop();
+}
+
 // Sharded admission end to end: concurrent clients against a 4-shard
 // server; every command is served, stats report the shard count, and the
 // cross-shard ledgers verify clean.
@@ -826,7 +1165,7 @@ TEST(Protocol, RequestAndResponseCodecsRoundTrip) {
 TEST(Protocol, DecodeRejectsGarbageWithoutAborting) {
   for (const std::string& bad :
        {std::string(""), std::string("null"), std::string("[]"),
-        std::string("{\"v\":2,\"id\":1,\"cmd\":\"STATS\"}"),
+        std::string("{\"v\":3,\"id\":1,\"cmd\":\"STATS\"}"),
         std::string("{\"v\":1,\"cmd\":\"STATS\"}"),
         std::string("{\"v\":1,\"id\":1,\"cmd\":\"NEGOTIATE\"}"),
         std::string("{\"v\":1,\"id\":1,\"cmd\":\"CANCEL\"}")}) {

@@ -18,6 +18,11 @@
 //       Replay the trace sequentially into a live daemon and print the same
 //       summary/fingerprint — run both modes and diff the fingerprints to
 //       check decision-identity between simulator and daemon.
+//       With --paced, honour the recorded inter-arrival deltas (deltaNanos)
+//       instead of replaying as fast as the daemon answers; --pace-scale=X
+//       multiplies the recorded gaps (0.5 = twice as fast, 2 = half speed).
+//       Pacing follows an absolute schedule, so a slow response does not
+//       push every later arrival out — bursts stay bursts.
 //
 //   --in=FILE --drive [--procs=P] [--shards=K] [--no-spill]
 //       Self-hosting verification: spins up a fresh in-process
@@ -29,9 +34,11 @@
 // Replay is sequential (one request at a time, trace order == arrivalSeq
 // order), which makes the decision stream a pure function of the trace and
 // the sizing — the property the scenario regression tier pins.
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <variant>
 #include <vector>
 
@@ -168,17 +175,22 @@ ReplaySummary replayInProcess(
       }
       case service::Command::Stats:
       case service::Command::Verify:
-        ++summary.other;  // read-only: no effect on decisions
+      case service::Command::Hello:
+        ++summary.other;  // read-only / handshake: no effect on decisions
         break;
     }
   }
   return summary;
 }
 
-/// Sequential replay through a live daemon connection.
+/// Sequential replay through a live daemon connection.  When `paced`, each
+/// record is released at startTime + paceScale * (cumulative deltaNanos) —
+/// an absolute schedule, so response latency never dilates the recorded
+/// arrival process.
 ReplaySummary replayIntoDaemon(
     const std::vector<service::WireTraceRecord>& records,
-    const service::ClientConfig& config) {
+    const service::ClientConfig& config, bool paced = false,
+    double paceScale = 1.0) {
   const auto requests = decodeAll(records);
   service::QoSAgentClient client(config);
   if (auto error = client.connect()) {
@@ -186,9 +198,19 @@ ReplaySummary replayIntoDaemon(
                  error->message.c_str());
     std::exit(1);
   }
+  const auto start = std::chrono::steady_clock::now();
+  double dueNanos = 0.0;
   ReplaySummary summary;
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const auto& request = requests[i];
+    if (paced) {
+      dueNanos += paceScale * static_cast<double>(records[i].deltaNanos);
+      const auto due =
+          start + std::chrono::nanoseconds(static_cast<std::int64_t>(dueNanos));
+      if (due > std::chrono::steady_clock::now()) {
+        std::this_thread::sleep_until(due);
+      }
+    }
     ++summary.records;
     switch (request.command) {
       case service::Command::Negotiate: {
@@ -237,7 +259,8 @@ ReplaySummary replayIntoDaemon(
       }
       case service::Command::Stats:
       case service::Command::Verify:
-        ++summary.other;
+      case service::Command::Hello:
+        ++summary.other;  // the blocking client handshakes on its own
         break;
     }
   }
@@ -360,7 +383,7 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto unknown = flags.unknownAgainst(
       {"in", "out", "gen", "jobs", "seed", "procs", "shards", "no-spill",
-       "unix", "tcp-port", "drive", "cat"});
+       "unix", "tcp-port", "drive", "cat", "paced", "pace-scale"});
   if (!unknown.empty()) {
     std::fprintf(stderr, "tprm_replay: unknown flag --%s\n",
                  unknown.front().c_str());
@@ -386,6 +409,7 @@ int main(int argc, char** argv) {
                  "       tprm_replay --in=FILE --cat\n"
                  "       tprm_replay --in=FILE [--procs --shards --no-spill]\n"
                  "       tprm_replay --in=FILE --unix=PATH | --tcp-port=PORT\n"
+                 "                   [--paced [--pace-scale=X]]\n"
                  "       tprm_replay --in=FILE --drive [--procs --shards]\n");
     return 2;
   }
@@ -400,6 +424,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const bool paced = flags.getBool("paced", false);
+  const double paceScale = flags.getDouble("pace-scale", 1.0);
+  if (paceScale <= 0.0) {
+    std::fprintf(stderr, "tprm_replay: --pace-scale must be > 0\n");
+    return 2;
+  }
+
   const std::string unixPath = flags.getString("unix", "");
   const bool haveTcp = flags.has("tcp-port");
   if (!unixPath.empty() || haveTcp) {
@@ -409,7 +440,7 @@ int main(int argc, char** argv) {
       client.tcpPort =
           static_cast<std::uint16_t>(flags.getInt("tcp-port", 0));
     }
-    const auto summary = replayIntoDaemon(records, client);
+    const auto summary = replayIntoDaemon(records, client, paced, paceScale);
     printSummary("daemon", summary);
     return 0;
   }
