@@ -1,0 +1,288 @@
+// Static-vs-dynamic ablation for elastic QoS (writes BENCH_elastic.json).
+//
+//   elastic_ablation --jobs=500 --seed=1 --procs=24 --loads=1,2,4
+//       --policy=min-quality-loss --out=BENCH_elastic.json
+//
+// For every canonical scenario family x load multiplier, the same generated
+// stream replays sequentially into two fresh arbitrators:
+//
+//  * static  — the paper's negotiation model: a contract is fixed at
+//    admission; a rejection is final.
+//  * dynamic — the same arbitrator with the elastic Reshaper attached:
+//    on admission failure, admitted-but-not-yet-started malleable jobs are
+//    demoted down their own offered chains to make room, and promoted back
+//    when load drops.
+//
+// Reported per leg: on-time throughput (admitted/offered — an admission IS
+// an on-time completion, and elastic moves only ever land on chains with
+// feasible guaranteed schedules), delivered quality (mean/min over the
+// *final* post-reshape qualities), demotion/promotion counts, floor
+// violations (must be zero: demotion cannot leave the offered set, and the
+// multi-tenant generator filters offers to the tenant floor), and a
+// replay-stable decision fingerprint covering moves.
+//
+// The suite asserts the tentpole claim and exits nonzero if it fails:
+// at the highest load, dynamic must strictly beat static on on-time
+// throughput for at least --require-dominance (default 2) scenario
+// families, with zero floor violations anywhere.
+//
+// Output schema: docs/elastic_schema.json (validated in CI by
+// tools/validate_elastic.py).
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/json.h"
+#include "elastic/reshaper.h"
+#include "qos/sharded.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using namespace tprm;
+
+void hashU64(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001B3ULL;
+  }
+}
+
+void hashDouble(std::uint64_t& h, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  hashU64(h, bits);
+}
+
+std::string hex64(std::uint64_t v) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016" PRIx64, v);
+  return buffer;
+}
+
+struct Leg {
+  std::string scenario;
+  double load = 1.0;
+  bool elastic = false;
+  std::uint64_t jobs = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t demotions = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t floorViolations = 0;
+  double qualitySum = 0.0;  // final (post-reshape) quality of admitted jobs
+  double qualityMin = 1.0;
+  std::uint64_t fingerprint = 0;
+};
+
+/// Sequential replay of one generated stream into a fresh arbitrator,
+/// static (policy == nullptr) or dynamic.  Delivered quality is the job's
+/// quality *after* every committed move, so the dynamic leg pays for its
+/// extra admissions visibly.
+Leg runLeg(const workload::Scenario& scenario, int processors, int shards,
+           double load, const qos::ReshapePolicy* policy) {
+  Leg leg;
+  leg.scenario = workload::toString(scenario.params.kind);
+  leg.load = load;
+  leg.elastic = policy != nullptr;
+
+  qos::ShardedOptions options;
+  options.shards = shards;
+  qos::ShardedArbitrator arbitrator(processors, options);
+  if (policy != nullptr) arbitrator.attachReshapePolicy(policy);
+
+  std::map<std::uint64_t, double> qualityByJob;
+  std::map<std::uint64_t, double> floorByJob;
+  std::uint64_t fingerprint = 1469598103934665603ULL;
+  std::vector<qos::QualityMove> moves;
+  for (const auto& job : scenario.jobs) {
+    ++leg.jobs;
+    const std::uint64_t jobId = arbitrator.reserveJobId();
+    Time effective = job.release;
+    moves.clear();
+    const auto decision =
+        arbitrator.submit(jobId, job.spec, job.release, &effective,
+                          policy != nullptr ? &moves : nullptr);
+    hashU64(fingerprint, jobId);
+    hashU64(fingerprint, decision.admitted ? 1 : 0);
+    for (const auto& move : moves) {
+      qualityByJob[move.jobId] = move.toQuality;
+      if (move.promotion) {
+        ++leg.promotions;
+      } else {
+        ++leg.demotions;
+      }
+      hashU64(fingerprint, move.jobId);
+      hashU64(fingerprint, move.promotion ? 1 : 0);
+      hashU64(fingerprint, move.toChain);
+      hashDouble(fingerprint, move.toQuality);
+    }
+    if (!decision.admitted) continue;
+    ++leg.admitted;
+    hashU64(fingerprint, decision.schedule.chainIndex);
+    hashDouble(fingerprint, decision.quality);
+    qualityByJob[jobId] = decision.quality;
+    floorByJob[jobId] =
+        job.tenant >= 0
+            ? scenario.tenants[static_cast<std::size_t>(job.tenant)]
+                  .qualityFloor
+            : 0.0;
+  }
+  leg.fingerprint = fingerprint;
+  for (const auto& [jobId, quality] : qualityByJob) {
+    leg.qualitySum += quality;
+    leg.qualityMin = std::min(leg.qualityMin, quality);
+    if (quality < floorByJob[jobId]) ++leg.floorViolations;
+  }
+  if (leg.admitted == 0) leg.qualityMin = 0.0;
+  return leg;
+}
+
+JsonValue legJson(const Leg& leg) {
+  JsonValue::Object doc;
+  doc["scenario"] = leg.scenario;
+  doc["load"] = leg.load;
+  doc["mode"] = leg.elastic ? std::string("dynamic") : std::string("static");
+  doc["jobs"] = static_cast<std::int64_t>(leg.jobs);
+  doc["admitted"] = static_cast<std::int64_t>(leg.admitted);
+  doc["rejected"] = static_cast<std::int64_t>(leg.jobs - leg.admitted);
+  doc["on_time_throughput"] =
+      leg.jobs == 0 ? 0.0
+                    : static_cast<double>(leg.admitted) /
+                          static_cast<double>(leg.jobs);
+  doc["mean_quality"] =
+      leg.admitted == 0 ? 0.0
+                        : leg.qualitySum / static_cast<double>(leg.admitted);
+  doc["min_quality"] = leg.qualityMin;
+  doc["demotions"] = static_cast<std::int64_t>(leg.demotions);
+  doc["promotions"] = static_cast<std::int64_t>(leg.promotions);
+  doc["floor_violations"] = static_cast<std::int64_t>(leg.floorViolations);
+  doc["decision_fingerprint"] = hex64(leg.fingerprint);
+  return JsonValue(std::move(doc));
+}
+
+std::vector<double> parseLoads(const std::string& csv) {
+  std::vector<double> loads;
+  std::string token;
+  for (const char c : csv + ",") {
+    if (c == ',') {
+      if (!token.empty()) loads.push_back(std::stod(token));
+      token.clear();
+    } else {
+      token += c;
+    }
+  }
+  return loads;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto unknown = flags.unknownAgainst({"jobs", "seed", "procs", "shards",
+                                             "loads", "policy", "out",
+                                             "require-dominance"});
+  if (!unknown.empty()) {
+    std::fprintf(stderr, "elastic_ablation: unknown flag --%s\n",
+                 unknown.front().c_str());
+    return 2;
+  }
+  const auto jobs = static_cast<std::size_t>(flags.getInt("jobs", 500));
+  const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 1));
+  const int processors = static_cast<int>(flags.getInt("procs", 24));
+  const int shards = static_cast<int>(flags.getInt("shards", 1));
+  const auto loads = parseLoads(flags.getString("loads", "1,2,4"));
+  const std::string policyName =
+      flags.getString("policy", "min-quality-loss");
+  const std::string outPath = flags.getString("out", "");
+  const auto requiredDominant =
+      static_cast<std::size_t>(flags.getInt("require-dominance", 2));
+  const auto policy = elastic::victimPolicyFromName(policyName);
+  if (!policy.has_value()) {
+    std::fprintf(stderr, "elastic_ablation: unknown --policy=%s\n",
+                 policyName.c_str());
+    return 2;
+  }
+  if (loads.empty()) {
+    std::fprintf(stderr, "elastic_ablation: --loads is empty\n");
+    return 2;
+  }
+  const elastic::Reshaper reshaper(*policy);
+  const double highLoad = *std::max_element(loads.begin(), loads.end());
+
+  bool floorsClean = true;
+  std::size_t dominantFamilies = 0;
+  JsonValue::Array legs;
+  for (const auto& name : workload::scenarioNames()) {
+    bool dominantAtHighLoad = false;
+    for (const double load : loads) {
+      auto params = workload::scenarioByName(name, seed, jobs);
+      params->baseRate *= load;
+      const auto scenario = workload::ScenarioGenerator(*params).generate();
+      const Leg stat = runLeg(scenario, processors, shards, load, nullptr);
+      const Leg dyn = runLeg(scenario, processors, shards, load, &reshaper);
+      std::printf(
+          "%s load=%.1f: static %" PRIu64 "/%" PRIu64
+          " (meanQ %.3f) | dynamic %" PRIu64 "/%" PRIu64
+          " (meanQ %.3f, %" PRIu64 " dem / %" PRIu64 " prom)\n",
+          name.c_str(), load, stat.admitted, stat.jobs,
+          stat.admitted == 0
+              ? 0.0
+              : stat.qualitySum / static_cast<double>(stat.admitted),
+          dyn.admitted, dyn.jobs,
+          dyn.admitted == 0
+              ? 0.0
+              : dyn.qualitySum / static_cast<double>(dyn.admitted),
+          dyn.demotions, dyn.promotions);
+      if (stat.floorViolations != 0 || dyn.floorViolations != 0) {
+        std::fprintf(stderr, "elastic_ablation: FLOOR VIOLATION in %s\n",
+                     name.c_str());
+        floorsClean = false;
+      }
+      if (load == highLoad && dyn.admitted > stat.admitted) {
+        dominantAtHighLoad = true;
+      }
+      legs.push_back(legJson(stat));
+      legs.push_back(legJson(dyn));
+    }
+    if (dominantAtHighLoad) ++dominantFamilies;
+  }
+
+  const bool dominanceOk = dominantFamilies >= requiredDominant;
+  std::printf(
+      "elastic_ablation: dynamic strictly dominates static at load=%.1f in "
+      "%zu/%zu families (need %zu) — %s; floors %s\n",
+      highLoad, dominantFamilies, workload::scenarioNames().size(),
+      requiredDominant, dominanceOk ? "ok" : "FAILED",
+      floorsClean ? "clean" : "VIOLATED");
+
+  JsonValue::Object doc;
+  doc["benchmark"] = "elastic_ablation";
+  doc["procs"] = processors;
+  doc["shards"] = shards;
+  doc["jobs_per_scenario"] = static_cast<std::int64_t>(jobs);
+  doc["seed"] = static_cast<std::int64_t>(seed);
+  doc["policy"] = elastic::toString(*policy);
+  doc["high_load"] = highLoad;
+  doc["legs"] = JsonValue(std::move(legs));
+  JsonValue::Object dominance;
+  dominance["families_dominant"] =
+      static_cast<std::int64_t>(dominantFamilies);
+  dominance["required"] = static_cast<std::int64_t>(requiredDominant);
+  dominance["ok"] = dominanceOk;
+  dominance["floors_clean"] = floorsClean;
+  doc["dominance"] = JsonValue(std::move(dominance));
+  if (!outPath.empty()) {
+    std::ofstream out(outPath);
+    out << JsonValue(std::move(doc)).dump() << "\n";
+    std::printf("elastic_ablation: wrote %s\n", outPath.c_str());
+  } else {
+    std::printf("%s\n", JsonValue(std::move(doc)).dump().c_str());
+  }
+  return (dominanceOk && floorsClean) ? 0 : 1;
+}

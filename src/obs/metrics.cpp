@@ -126,12 +126,28 @@ ArbitratorMetrics ArbitratorMetrics::fromRegistry(MetricsRegistry& registry,
   return m;
 }
 
+ElasticMetrics ElasticMetrics::fromRegistry(MetricsRegistry& registry,
+                                            const std::string& prefix) {
+  ElasticMetrics m;
+  m.demotions = &registry.counter(prefix + ".demotions");
+  m.promotions = &registry.counter(prefix + ".promotions");
+  m.reshapeAttempts = &registry.counter(prefix + ".reshape_attempts");
+  m.reshapeAdmitted = &registry.counter(prefix + ".reshape_admitted");
+  m.reshapeFailed = &registry.counter(prefix + ".reshape_failed");
+  m.demotionQualityDelta =
+      &registry.histogram(prefix + ".demotion_quality_delta", 0.0, 1.0, 100);
+  m.promotionQualityDelta =
+      &registry.histogram(prefix + ".promotion_quality_delta", 0.0, 1.0, 100);
+  return m;
+}
+
 NegotiationMetrics NegotiationMetrics::fromRegistry(MetricsRegistry& registry,
                                                     const std::string& prefix) {
   NegotiationMetrics m;
   m.profile = ProfileMetrics::fromRegistry(registry, prefix + ".profile");
   m.arbitrator =
       ArbitratorMetrics::fromRegistry(registry, prefix + ".heuristic");
+  m.elastic = ElasticMetrics::fromRegistry(registry, prefix + ".elastic");
   m.negotiations = &registry.counter(prefix + ".negotiations");
   m.admitted = &registry.counter(prefix + ".admitted");
   m.rejectedNoChain = &registry.counter(prefix + ".rejected_no_chain");

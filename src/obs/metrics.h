@@ -174,12 +174,29 @@ struct ArbitratorMetrics {
                                         const std::string& prefix);
 };
 
+/// Counters for arbitrator-initiated renegotiation (the elastic model):
+/// demotion/promotion commit counts, reshape outcomes, and the quality
+/// traded per move.
+struct ElasticMetrics {
+  Counter* demotions = nullptr;        // committed victim shrinks
+  Counter* promotions = nullptr;       // committed quality restorations
+  Counter* reshapeAttempts = nullptr;  // rejected newcomers offered a reshape
+  Counter* reshapeAdmitted = nullptr;  // reshapes that admitted the newcomer
+  Counter* reshapeFailed = nullptr;    // reshapes rolled back entirely
+  HistogramMetric* demotionQualityDelta = nullptr;   // quality lost per move
+  HistogramMetric* promotionQualityDelta = nullptr;  // quality regained
+
+  static ElasticMetrics fromRegistry(MetricsRegistry& registry,
+                                     const std::string& prefix);
+};
+
 /// Everything the QoSArbitrator reports, including admit/reject/drop counts
-/// by reason.  One bundle covers the arbitrator, its heuristic, and its
-/// availability profile.
+/// by reason.  One bundle covers the arbitrator, its heuristic, its
+/// availability profile, and the elastic reshape layer.
 struct NegotiationMetrics {
   ProfileMetrics profile;
   ArbitratorMetrics arbitrator;
+  ElasticMetrics elastic;
   Counter* negotiations = nullptr;  // submit() calls
   Counter* admitted = nullptr;
   Counter* rejectedNoChain = nullptr;  // reason: no schedulable chain

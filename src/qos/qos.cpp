@@ -12,9 +12,20 @@ namespace tprm::qos {
 // QoSArbitrator
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Elastic moves always maximize restored/retained quality; everything else
+/// (malleability, fit policy) follows the configured heuristic.
+sched::GreedyOptions elasticOptions(sched::GreedyOptions options) {
+  options.chainChoice = sched::ChainChoice::QualityFirst;
+  return options;
+}
+
+}  // namespace
+
 QoSArbitrator::QoSArbitrator(int processors, sched::GreedyOptions options)
     : profile_(processors), ledger_(processors), options_(options),
-      heuristic_(options) {}
+      heuristic_(options), elasticHeuristic_(elasticOptions(options)) {}
 
 void QoSArbitrator::attachMetrics(obs::NegotiationMetrics* metrics) {
   metrics_ = metrics;
@@ -46,19 +57,32 @@ void QoSArbitrator::record(std::uint64_t jobId, std::size_t chainIndex,
 }
 
 sched::AdmissionDecision QoSArbitrator::submit(
-    const task::TunableJobSpec& spec, Time release) {
+    const task::TunableJobSpec& spec, Time release,
+    std::vector<QualityMove>* moves) {
   TPRM_CHECK(release >= clock_,
              "negotiations must arrive in non-decreasing release order");
   clock_ = release;
   profile_.discardBefore(clock_);
   retireFinished();
 
+  // Elastic model: load may have dropped since the last demotion — walk
+  // demoted jobs back up the ladder before admitting new work.  Runs before
+  // the id draw so the newcomer's id (and with sharding, its route) does not
+  // depend on promotion outcomes.
+  promotePass(moves);
+
   task::JobInstance job;
   job.id = nextJobId_++;
   job.release = release;
   job.spec = spec;
   if (metrics_ != nullptr) metrics_->negotiations->add();
-  const auto decision = heuristic_.admit(job, profile_);
+  auto decision = heuristic_.admit(job, profile_);
+  if (!decision.admitted && policy_ != nullptr) {
+    // Elastic model: turn the rejection into a quality trade if the policy
+    // can name victims whose demotion makes room.
+    auto reshaped = reshapeAdmit(job, moves);
+    if (reshaped.admitted) decision = std::move(reshaped);
+  }
   if (!decision.admitted) {
     ++rejected_;
     if (metrics_ != nullptr) metrics_->rejectedNoChain->add();
@@ -68,11 +92,13 @@ sched::AdmissionDecision QoSArbitrator::submit(
   if (metrics_ != nullptr) metrics_->admitted->add();
   record(job.id, decision.schedule.chainIndex, decision.schedule.placements);
   live_[job.id] = LiveJob{spec, release, decision.schedule.chainIndex,
-                          decision.schedule.placements};
+                          decision.schedule.placements, decision.quality,
+                          decision.quality};
   return decision;
 }
 
-std::int64_t QoSArbitrator::cancel(std::uint64_t jobId) {
+std::int64_t QoSArbitrator::cancel(std::uint64_t jobId,
+                                   std::vector<QualityMove>* moves) {
   const auto it = live_.find(jobId);
   if (it == live_.end()) {
     if (metrics_ != nullptr) metrics_->cancelMisses->add();
@@ -94,6 +120,9 @@ std::int64_t QoSArbitrator::cancel(std::uint64_t jobId) {
   // commitment, so later admissions may legitimately reuse it.
   (void)ledger_.annul(jobId, clock_);
   live_.erase(it);
+  // Elastic model: the freed capacity is exactly the signal a demoted job is
+  // waiting on — promote immediately rather than on the next submission.
+  if (freed > 0) promotePass(moves);
   return freed;
 }
 
@@ -274,6 +303,7 @@ RenegotiationReport QoSArbitrator::resize(int processors, Time when) {
       job.chainIndex = originalChain[decision.schedule.chainIndex];
       job.release = earliestStart;
       job.placements = decision.schedule.placements;
+      job.currentQuality = decision.quality;
       record(jobId, job.chainIndex, job.placements);
     } else {
       job.placements.resize(firstFuture);
@@ -284,6 +314,193 @@ RenegotiationReport QoSArbitrator::resize(int processors, Time when) {
     }
   }
   return report;
+}
+
+// ---------------------------------------------------------------------------
+// Elastic renegotiation (arbitrator-initiated quality trades)
+// ---------------------------------------------------------------------------
+
+bool QoSArbitrator::notStarted(const LiveJob& job) const {
+  // Chain tasks are sequential, so the first placement is the earliest; a
+  // placement beginning exactly at the clock has consumed nothing yet (the
+  // same strictness resize() phase 1 uses).
+  return job.placements.empty() ||
+         job.placements.front().interval.begin >= clock_;
+}
+
+std::vector<ElasticCandidate> QoSArbitrator::elasticCandidates(
+    bool demotedOnly) const {
+  std::vector<ElasticCandidate> out;
+  for (const auto& [jobId, job] : live_) {
+    if (!notStarted(job)) continue;
+    if (demotedOnly && !(job.currentQuality < job.admittedQuality)) continue;
+    ElasticCandidate candidate;
+    candidate.jobId = jobId;
+    candidate.chainIndex = job.chainIndex;
+    candidate.quality = job.currentQuality;
+    candidate.admittedQuality = job.admittedQuality;
+    candidate.release = job.release;
+    candidate.floorQuality = job.currentQuality;
+    for (const auto& chain : job.spec.chains) {
+      const double q = chain.quality(job.spec.qualityComposition);
+      candidate.floorQuality = std::min(candidate.floorQuality, q);
+      if (q < job.currentQuality && q > candidate.nextQuality) {
+        candidate.nextQuality = q;
+      }
+    }
+    if (!demotedOnly && candidate.nextQuality < 0) continue;  // lowest rung
+    for (const auto& p : job.placements) {
+      candidate.futureArea += static_cast<std::int64_t>(p.processors) *
+                              p.interval.length();
+    }
+    out.push_back(std::move(candidate));
+  }
+  return out;
+}
+
+std::optional<QualityMove> QoSArbitrator::tryMoveInTrial(
+    resource::AvailabilityProfile::Trial& trial, std::uint64_t jobId,
+    const LiveJob& job, bool promote) {
+  const auto mark = trial.savepoint();
+  for (const auto& p : job.placements) {
+    profile_.release(p.interval, p.processors);
+  }
+
+  // Restrict the job to the target rung band, rebasing deadlines exactly as
+  // resize() does for unstarted jobs: absolute deadlines are preserved, only
+  // their anchor moves to the clock.  job.release is deliberately left alone
+  // by applyMove, so repeated moves keep rebasing against the original
+  // contract rather than compounding drift.
+  task::JobInstance instance;
+  instance.id = jobId;
+  instance.release = clock_;
+  instance.spec.name = job.spec.name;
+  instance.spec.qualityComposition = job.spec.qualityComposition;
+  std::vector<std::size_t> originalChain;
+  for (std::size_t c = 0; c < job.spec.chains.size(); ++c) {
+    const double q = job.spec.chains[c].quality(job.spec.qualityComposition);
+    const bool inBand = promote
+                            ? q > job.currentQuality &&
+                                  q <= job.admittedQuality
+                            : q < job.currentQuality;
+    if (!inBand) continue;
+    task::Chain chain = job.spec.chains[c];
+    bool chainFeasible = true;
+    for (auto& taskSpec : chain.tasks) {
+      if (taskSpec.relativeDeadline >= kTimeInfinity) continue;
+      const Time absolute = job.release + taskSpec.relativeDeadline;
+      if (absolute <= clock_ + taskSpec.request.duration) {
+        chainFeasible = false;
+        break;
+      }
+      taskSpec.relativeDeadline = absolute - clock_;
+    }
+    if (!chainFeasible) continue;
+    originalChain.push_back(c);
+    instance.spec.chains.push_back(std::move(chain));
+  }
+  if (instance.spec.chains.empty()) {
+    trial.rollbackTo(mark);
+    return std::nullopt;
+  }
+
+  auto decision = elasticHeuristic_.admitInTrial(instance, profile_, trial);
+  if (!decision.admitted) {
+    trial.rollbackTo(mark);
+    return std::nullopt;
+  }
+  QualityMove move;
+  move.jobId = jobId;
+  move.promotion = promote;
+  move.fromChain = job.chainIndex;
+  move.toChain = originalChain[decision.schedule.chainIndex];
+  move.fromQuality = job.currentQuality;
+  move.toQuality = decision.quality;
+  move.schedule = std::move(decision.schedule);
+  move.schedule.chainIndex = move.toChain;
+  return move;
+}
+
+void QoSArbitrator::applyMove(const QualityMove& move) {
+  auto& job = live_.at(move.jobId);
+  (void)ledger_.annul(move.jobId, clock_);
+  record(move.jobId, move.toChain, move.schedule.placements);
+  job.chainIndex = move.toChain;
+  job.placements = move.schedule.placements;
+  job.currentQuality = move.toQuality;
+  if (metrics_ != nullptr) {
+    if (move.promotion) {
+      metrics_->elastic.promotions->add();
+      metrics_->elastic.promotionQualityDelta->record(move.toQuality -
+                                                      move.fromQuality);
+    } else {
+      metrics_->elastic.demotions->add();
+      metrics_->elastic.demotionQualityDelta->record(move.fromQuality -
+                                                     move.toQuality);
+    }
+  }
+}
+
+sched::AdmissionDecision QoSArbitrator::reshapeAdmit(
+    const task::JobInstance& newcomer, std::vector<QualityMove>* moves) {
+  sched::AdmissionDecision rejected;
+  rejected.chainsConsidered = static_cast<int>(newcomer.spec.chains.size());
+  const auto candidates = elasticCandidates(/*demotedOnly=*/false);
+  if (candidates.empty()) return rejected;
+  const auto order =
+      policy_->demotionOrder(candidates, newcomer.spec, newcomer.release);
+  if (order.empty()) return rejected;
+  if (metrics_ != nullptr) metrics_->elastic.reshapeAttempts->add();
+
+  // One undo-log scope covers every victim shrink and the newcomer's
+  // placement: nothing is visible until the newcomer fits, and a failed
+  // reshape leaves no trace.  Ledger/live bookkeeping (not undo-logged) is
+  // deferred until after the commit.
+  resource::AvailabilityProfile::Trial trial(profile_);
+  std::vector<QualityMove> pending;
+  sched::AdmissionDecision decision;
+  for (const auto victimId : order) {
+    const auto it = live_.find(victimId);
+    if (it == live_.end() || victimId == newcomer.id) continue;
+    if (!notStarted(it->second)) continue;
+    auto move = tryMoveInTrial(trial, victimId, it->second,
+                               /*promote=*/false);
+    if (!move) continue;
+    pending.push_back(std::move(*move));
+    decision = heuristic_.admitInTrial(newcomer, profile_, trial);
+    if (decision.admitted) break;
+  }
+  if (!decision.admitted) {
+    if (metrics_ != nullptr) metrics_->elastic.reshapeFailed->add();
+    return rejected;  // ~Trial rolls every shrink back
+  }
+  trial.commit();
+  for (const auto& move : pending) {
+    applyMove(move);
+    if (moves != nullptr) moves->push_back(move);
+  }
+  if (metrics_ != nullptr) metrics_->elastic.reshapeAdmitted->add();
+  return decision;
+}
+
+void QoSArbitrator::promotePass(std::vector<QualityMove>* moves) {
+  if (policy_ == nullptr) return;
+  const auto demoted = elasticCandidates(/*demotedOnly=*/true);
+  if (demoted.empty()) return;
+  for (const auto jobId : policy_->promotionOrder(demoted)) {
+    const auto it = live_.find(jobId);
+    if (it == live_.end()) continue;
+    const auto& job = it->second;
+    if (!notStarted(job) || !(job.currentQuality < job.admittedQuality)) {
+      continue;
+    }
+    resource::AvailabilityProfile::Trial trial(profile_);
+    auto move = tryMoveInTrial(trial, jobId, job, /*promote=*/true);
+    if (!move) continue;  // ~Trial restores the job's reservations
+    trial.commit();
+    applyMove(*move);
+    if (moves != nullptr) moves->push_back(std::move(*move));
+  }
 }
 
 resource::VerificationReport QoSArbitrator::verify() const {

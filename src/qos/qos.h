@@ -59,6 +59,61 @@ struct RenegotiationReport {
   std::vector<std::uint64_t> dropped;
 };
 
+/// An admitted-but-not-yet-started malleable job the elastic layer may move
+/// along its quality ladder.  `quality`/`chainIndex` describe the current
+/// commitment; `admittedQuality` is the quality granted at original
+/// admission (the promotion ceiling); `floorQuality` is the lowest quality
+/// the job *offered* — its contract floor: demotion never goes below an
+/// offered chain, so the floor holds by construction.
+struct ElasticCandidate {
+  std::uint64_t jobId = 0;
+  std::size_t chainIndex = 0;
+  double quality = 0.0;
+  double admittedQuality = 0.0;
+  double floorQuality = 0.0;
+  /// Best strictly-lower offered chain quality (the next rung down);
+  /// negative when the job is already on its lowest rung.
+  double nextQuality = -1.0;
+  Time release = 0;
+  /// Reserved processor-ticks of the not-yet-started placements — what a
+  /// demotion could free.
+  std::int64_t futureArea = 0;
+};
+
+/// One committed quality move (demotion or promotion) of a live job.
+struct QualityMove {
+  std::uint64_t jobId = 0;
+  bool promotion = false;
+  std::size_t fromChain = 0;
+  std::size_t toChain = 0;
+  double fromQuality = 0.0;
+  double toQuality = 0.0;
+  /// The job's new schedule (chainIndex is in original-spec numbering).
+  sched::ChainSchedule schedule;
+};
+
+/// Victim-selection / fairness policy for arbitrator-initiated renegotiation
+/// (the elastic model).  The arbitrator owns the *mechanism* — undo-logged
+/// trial demotion, floor discipline, commit — and consults a policy only for
+/// ordering.  Implementations must be deterministic pure functions of their
+/// arguments (decisions replay byte-identically) and thread-safe (shards
+/// consult one shared instance concurrently, each under its own lock).
+class ReshapePolicy {
+ public:
+  virtual ~ReshapePolicy() = default;
+
+  /// Orders demotion victims for a rejected newcomer: the arbitrator demotes
+  /// greedily in this order, retrying the newcomer after each shrink, and
+  /// commits at the first fit.  Return an empty vector to decline.
+  [[nodiscard]] virtual std::vector<std::uint64_t> demotionOrder(
+      const std::vector<ElasticCandidate>& candidates,
+      const task::TunableJobSpec& spec, Time release) const = 0;
+
+  /// Fairness order for the promotion pass over currently-demoted jobs.
+  [[nodiscard]] virtual std::vector<std::uint64_t> promotionOrder(
+      const std::vector<ElasticCandidate>& demoted) const = 0;
+};
+
 /// System-wide QoS arbitrator: owns the machine's availability profile,
 /// performs admission control, and records every commitment.
 ///
@@ -74,12 +129,22 @@ class QoSArbitrator {
   /// Admission control + scheduling for a job that can run any chain of
   /// `spec`, released `release`.  On admission the reservations are
   /// committed.  Thread-compatible (callers serialize).
+  ///
+  /// With a ReshapePolicy attached, submission is *elastic*: a promotion
+  /// pass first walks demoted jobs back up the quality ladder, and a
+  /// rejection triggers a demotion reshape (shrink victims inside one trial
+  /// scope, commit only if the newcomer then fits).  Every committed move is
+  /// appended to `moves` when non-null.
   [[nodiscard]] sched::AdmissionDecision submit(
-      const task::TunableJobSpec& spec, Time release);
+      const task::TunableJobSpec& spec, Time release,
+      std::vector<QualityMove>* moves = nullptr);
 
   /// Cancels the remaining (not-yet-started) reservations of a job, freeing
   /// the capacity — the renegotiation hook.  Returns freed processor-ticks.
-  std::int64_t cancel(std::uint64_t jobId);
+  /// With a ReshapePolicy attached, freed capacity immediately feeds a
+  /// promotion pass (moves appended to `moves` when non-null).
+  std::int64_t cancel(std::uint64_t jobId,
+                      std::vector<QualityMove>* moves = nullptr);
 
   /// Changes the machine size at time `when` (>= clock), renegotiating every
   /// live commitment:
@@ -132,6 +197,18 @@ class QoSArbitrator {
   void attachMetrics(obs::NegotiationMetrics* metrics);
   [[nodiscard]] obs::NegotiationMetrics* metrics() const { return metrics_; }
 
+  /// Attaches (or with nullptr detaches) the elastic renegotiation policy.
+  /// The policy instance must outlive the arbitrator's use of it.
+  void attachReshapePolicy(const ReshapePolicy* policy) { policy_ = policy; }
+  [[nodiscard]] const ReshapePolicy* reshapePolicy() const { return policy_; }
+
+  /// Not-yet-started live jobs the elastic layer may move.  `demotedOnly`
+  /// restricts to jobs below their admitted quality (promotion candidates);
+  /// otherwise only jobs with a lower rung to move to are listed (demotion
+  /// candidates).  Ascending job id (deterministic).
+  [[nodiscard]] std::vector<ElasticCandidate> elasticCandidates(
+      bool demotedOnly) const;
+
  private:
   /// Everything needed to renegotiate a job after a resource-level change.
   struct LiveJob {
@@ -139,6 +216,10 @@ class QoSArbitrator {
     Time release = 0;
     std::size_t chainIndex = 0;
     std::vector<sched::TaskPlacement> placements;
+    /// Quality of the chain granted at original admission (promotion cap).
+    double admittedQuality = 0.0;
+    /// Quality of the currently committed chain.
+    double currentQuality = 0.0;
   };
 
   /// Retires finished jobs from the live map.
@@ -148,17 +229,49 @@ class QoSArbitrator {
               const std::vector<sched::TaskPlacement>& placements,
               std::size_t firstTaskIndex = 0);
 
+  /// True when no placement of the job has started (all movable).
+  [[nodiscard]] bool notStarted(const LiveJob& job) const;
+
+  /// Inside an open trial: releases the job's placements and re-admits it
+  /// restricted to offered chains with quality in (demote: below current;
+  /// promote: above current, at most admittedQuality), deadlines rebased to
+  /// the clock.  On success the new reservations are left pending in the
+  /// trial and the move is returned; otherwise the trial is rolled back to
+  /// the entry savepoint and the job is untouched.
+  [[nodiscard]] std::optional<QualityMove> tryMoveInTrial(
+      resource::AvailabilityProfile::Trial& trial, std::uint64_t jobId,
+      const LiveJob& job, bool promote);
+
+  /// Applies a committed move to the ledger and live map (after trial
+  /// commit; the ledger is not undo-logged, so this must not run before).
+  void applyMove(const QualityMove& move);
+
+  /// Demotion reshape for a rejected newcomer: consults the policy, shrinks
+  /// victims greedily inside one trial, commits only if the newcomer fits.
+  [[nodiscard]] sched::AdmissionDecision reshapeAdmit(
+      const task::JobInstance& newcomer, std::vector<QualityMove>* moves);
+
+  /// Promotion pass: walks demoted jobs in policy fairness order, restoring
+  /// quality where capacity allows (one trial per job, committed per job).
+  void promotePass(std::vector<QualityMove>* moves);
+
   resource::AvailabilityProfile profile_;
   resource::ReservationLedger ledger_;
   std::vector<resource::ReservationLedger> pastEras_;
   sched::GreedyOptions options_;
   sched::GreedyArbitrator heuristic_;
+  /// Quality-maximizing heuristic for elastic moves: a demotion lands on the
+  /// *best* lower rung and a promotion on the best restorable one.  Kept
+  /// separate from `heuristic_` so elastic probes never perturb admission
+  /// metrics or the Random chain choice's RNG stream.
+  sched::GreedyArbitrator elasticHeuristic_;
   Time clock_ = 0;
   std::uint64_t nextJobId_ = 0;
   std::uint64_t admitted_ = 0;
   std::uint64_t rejected_ = 0;
   std::map<std::uint64_t, LiveJob> live_;
   obs::NegotiationMetrics* metrics_ = nullptr;  // nullable observation hook
+  const ReshapePolicy* policy_ = nullptr;       // nullable elastic hook
 };
 
 /// Per-application QoS agent: wraps a tunable program, negotiates with the

@@ -65,9 +65,18 @@ std::vector<int> ShardedArbitrator::shardProcessors() const {
   return sizes;
 }
 
+void ShardedArbitrator::appendGlobalMoves(const Shard& shard,
+                                          std::vector<QualityMove> local,
+                                          std::vector<QualityMove>& out) {
+  for (auto& move : local) {
+    move.jobId = shard.toGlobal.at(move.jobId);
+    out.push_back(std::move(move));
+  }
+}
+
 sched::AdmissionDecision ShardedArbitrator::submit(
     std::uint64_t jobId, const task::TunableJobSpec& spec, Time release,
-    Time* effectiveRelease) {
+    Time* effectiveRelease, std::vector<QualityMove>* moves) {
   const Time r = advanceClock(release);
   const int home = homeShard(jobId);
   sched::AdmissionDecision decision;
@@ -79,7 +88,10 @@ sched::AdmissionDecision ShardedArbitrator::submit(
     // without forcing global serialization.
     const Time local = std::max(r, shard.arb.clock());
     if (effectiveRelease != nullptr) *effectiveRelease = local;
-    decision = shard.arb.submit(spec, local);
+    std::vector<QualityMove> localMoves;
+    decision = shard.arb.submit(
+        spec, local, moves != nullptr ? &localMoves : nullptr);
+    if (moves != nullptr) appendGlobalMoves(shard, std::move(localMoves), *moves);
     if (decision.admitted) {
       bindJob(jobId, home, shard.arb.lastJobId().value());
       admitted_.fetch_add(1, std::memory_order_relaxed);
@@ -110,7 +122,12 @@ sched::AdmissionDecision ShardedArbitrator::submit(
       auto& shard = *shards_[static_cast<std::size_t>(best)];
       std::lock_guard<std::mutex> lock(shard.mu);
       const Time local = std::max(r, shard.arb.clock());
-      const auto spilled = shard.arb.submit(spec, local);
+      std::vector<QualityMove> localMoves;
+      const auto spilled = shard.arb.submit(
+          spec, local, moves != nullptr ? &localMoves : nullptr);
+      if (moves != nullptr) {
+        appendGlobalMoves(shard, std::move(localMoves), *moves);
+      }
       if (spilled.admitted) {
         if (effectiveRelease != nullptr) *effectiveRelease = local;
         bindJob(jobId, best, shard.arb.lastJobId().value());
@@ -126,13 +143,17 @@ sched::AdmissionDecision ShardedArbitrator::submit(
   return decision;
 }
 
-std::int64_t ShardedArbitrator::cancel(std::uint64_t jobId) {
+std::int64_t ShardedArbitrator::cancel(std::uint64_t jobId,
+                                       std::vector<QualityMove>* moves) {
   if (shards_.size() == 1) {
     // Global and local ids coincide; forwarding unknown ids too preserves
     // the unsharded miss accounting exactly.
     auto& shard = *shards_[0];
     std::lock_guard<std::mutex> lock(shard.mu);
-    const auto freed = shard.arb.cancel(jobId);
+    std::vector<QualityMove> localMoves;
+    const auto freed =
+        shard.arb.cancel(jobId, moves != nullptr ? &localMoves : nullptr);
+    if (moves != nullptr) appendGlobalMoves(shard, std::move(localMoves), *moves);
     shard.toGlobal.erase(jobId);
     std::lock_guard<std::mutex> mapLock(mapMutex_);
     toLocal_.erase(jobId);
@@ -158,7 +179,10 @@ std::int64_t ShardedArbitrator::cancel(std::uint64_t jobId) {
   }
   auto& shard = *shards_[static_cast<std::size_t>(location->first)];
   std::lock_guard<std::mutex> lock(shard.mu);
-  const auto freed = shard.arb.cancel(location->second);
+  std::vector<QualityMove> localMoves;
+  const auto freed = shard.arb.cancel(
+      location->second, moves != nullptr ? &localMoves : nullptr);
+  if (moves != nullptr) appendGlobalMoves(shard, std::move(localMoves), *moves);
   shard.toGlobal.erase(location->second);
   std::lock_guard<std::mutex> mapLock(mapMutex_);
   toLocal_.erase(jobId);
@@ -270,6 +294,13 @@ resource::VerificationReport ShardedArbitrator::verify() const {
     if (!report.ok) return report;
   }
   return resource::VerificationReport{};
+}
+
+void ShardedArbitrator::attachReshapePolicy(const ReshapePolicy* policy) {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->arb.attachReshapePolicy(policy);
+  }
 }
 
 void ShardedArbitrator::attachMetrics(

@@ -123,9 +123,16 @@ class ShardedArbitrator {
   /// enabled) spills to the shard with the most free area.  `release` is
   /// clamped to the target shard's clock; the value actually used is
   /// returned through `effectiveRelease` when non-null.
+  ///
+  /// With a ReshapePolicy attached (attachReshapePolicy), each shard submit
+  /// is elastic: the home shard promotes/demotes under its own lock before
+  /// the spill scan ever runs, and the spill shard does the same before the
+  /// final rejection.  Committed moves are appended to `moves` (global job
+  /// ids) when non-null.
   [[nodiscard]] sched::AdmissionDecision submit(
       std::uint64_t jobId, const task::TunableJobSpec& spec, Time release,
-      Time* effectiveRelease = nullptr);
+      Time* effectiveRelease = nullptr,
+      std::vector<QualityMove>* moves = nullptr);
   /// Convenience overload that reserves the id itself (see lastJobId()).
   [[nodiscard]] sched::AdmissionDecision submit(
       const task::TunableJobSpec& spec, Time release) {
@@ -133,8 +140,17 @@ class ShardedArbitrator {
   }
 
   /// Cancels a job by global id wherever it was admitted.  Returns freed
-  /// processor-ticks (0 for unknown/finished jobs, as unsharded).
-  std::int64_t cancel(std::uint64_t jobId);
+  /// processor-ticks (0 for unknown/finished jobs, as unsharded).  With a
+  /// ReshapePolicy attached, freed capacity feeds the owning shard's
+  /// promotion pass (moves appended with global ids when non-null).
+  std::int64_t cancel(std::uint64_t jobId,
+                      std::vector<QualityMove>* moves = nullptr);
+
+  /// Attaches (or with nullptr detaches) the elastic renegotiation policy on
+  /// every shard.  The policy must be thread-safe: shards consult it
+  /// concurrently, each under its own lock.  With K=1 the behavior is
+  /// byte-identical to a single QoSArbitrator with the same policy.
+  void attachReshapePolicy(const ReshapePolicy* policy);
 
   /// Resizes the whole machine: splits `processors` evenly across shards and
   /// renegotiates each shard.  Reports global job ids.  Requires
@@ -187,6 +203,11 @@ class ShardedArbitrator {
 
   /// Advances the global clock to at least `t`; returns the new value.
   Time advanceClock(Time t);
+  /// Rewrites shard-local move ids to global ids and appends to `out`.
+  /// Caller holds the shard's lock.
+  static void appendGlobalMoves(const Shard& shard,
+                                std::vector<QualityMove> local,
+                                std::vector<QualityMove>& out);
   /// Registers a global<->local id binding.  Caller holds the shard's lock.
   void bindJob(std::uint64_t globalId, int shard, std::uint64_t localId);
   /// Locks every shard in index order.

@@ -374,6 +374,23 @@ void AvailabilityProfile::rollbackTrialImpl() {
   trialLog_.clear();
 }
 
+void AvailabilityProfile::rollbackTrialToImpl(std::size_t mark) {
+  TPRM_CHECK(inTrial_, "rollbackTo without an open trial");
+  TPRM_CHECK(mark <= trialLog_.size(), "savepoint from a different epoch");
+  if (mark == trialLog_.size()) return;
+  if (metrics_ != nullptr) {
+    metrics_->trialRollbacks->add();
+    metrics_->trialOpsUndone->add(trialLog_.size() - mark);
+  }
+  replaying_ = true;
+  while (trialLog_.size() > mark) {
+    const TrialOp op = trialLog_.back();
+    trialLog_.pop_back();
+    apply(op.iv, -op.delta);
+  }
+  replaying_ = false;
+}
+
 void AvailabilityProfile::commitTrialImpl() {
   TPRM_CHECK(inTrial_, "commit without an open trial");
   if (metrics_ != nullptr) metrics_->trialCommits->add();
@@ -394,6 +411,15 @@ AvailabilityProfile::Trial::~Trial() {
 }
 
 void AvailabilityProfile::Trial::rollback() { profile_->rollbackTrialImpl(); }
+
+AvailabilityProfile::Trial::Savepoint AvailabilityProfile::Trial::savepoint()
+    const {
+  return profile_->trialLog_.size();
+}
+
+void AvailabilityProfile::Trial::rollbackTo(Savepoint mark) {
+  profile_->rollbackTrialToImpl(mark);
+}
 
 void AvailabilityProfile::Trial::commit() {
   profile_->commitTrialImpl();

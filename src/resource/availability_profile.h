@@ -99,6 +99,20 @@ class AvailabilityProfile {
     /// last rollback).  The scope stays open.
     void rollback();
 
+    /// Opaque marker into the undo log (see savepoint/rollbackTo).
+    using Savepoint = std::size_t;
+
+    /// Marks the current undo-log position.  A later `rollbackTo` undoes
+    /// only the operations logged after the mark, keeping everything before
+    /// it — the building block for layered speculation (e.g. shrink a victim,
+    /// then try a newcomer, then abandon just the newcomer's placements).
+    /// Savepoints taken before a full `rollback()` are invalidated by it.
+    [[nodiscard]] Savepoint savepoint() const;
+
+    /// Undoes every operation logged after `mark` (most recent first).  The
+    /// scope stays open and operations logged before `mark` remain pending.
+    void rollbackTo(Savepoint mark);
+
     /// Accepts the logged operations and closes the scope.
     void commit();
 
@@ -236,6 +250,7 @@ class AvailabilityProfile {
 
   void beginTrialImpl();
   void rollbackTrialImpl();
+  void rollbackTrialToImpl(std::size_t mark);
   void commitTrialImpl();
 
   // Sorted by start; never empty; coalesced; last segment has avail total_.

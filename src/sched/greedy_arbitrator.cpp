@@ -136,6 +136,17 @@ std::optional<ChainSchedule> GreedyArbitrator::tryChain(
 
 AdmissionDecision GreedyArbitrator::admit(
     const task::JobInstance& job, resource::AvailabilityProfile& profile) {
+  // One trial scope serves the whole OR-graph of chains; the winner's
+  // reservations are left pending by admitInTrial and committed here.
+  resource::AvailabilityProfile::Trial trial(profile);
+  AdmissionDecision decision = admitInTrial(job, profile, trial);
+  if (decision.admitted) trial.commit();
+  return decision;
+}
+
+AdmissionDecision GreedyArbitrator::admitInTrial(
+    const task::JobInstance& job, resource::AvailabilityProfile& profile,
+    resource::AvailabilityProfile::Trial& trial) {
   AdmissionDecision decision;
   decision.chainsConsidered = static_cast<int>(job.spec.chains.size());
 
@@ -148,15 +159,15 @@ AdmissionDecision GreedyArbitrator::admit(
   };
   std::vector<Candidate> candidates;
 
-  // One trial scope serves the whole OR-graph of chains: each candidate's
-  // speculative reservations are rolled back before the next is evaluated,
-  // and the winner is re-reserved and committed at the end.
-  resource::AvailabilityProfile::Trial trial(profile);
+  // Each candidate's speculative reservations are rolled back to the entry
+  // savepoint before the next is evaluated, and the winner is re-reserved at
+  // the end.  Anything logged before entry (e.g. a victim shrink) survives.
+  const auto base = trial.savepoint();
 
   for (std::size_t c = 0; c < job.spec.chains.size(); ++c) {
     if (metrics_ != nullptr) metrics_->chainsEvaluated->add();
     auto schedule = placeChain(job, c, profile);
-    trial.rollback();  // profile is back to committed state either way
+    trial.rollbackTo(base);  // profile back to the entry state either way
     if (!schedule) continue;
     Candidate candidate;
     candidate.finish = schedule->finishTime();
@@ -249,7 +260,6 @@ AdmissionDecision GreedyArbitrator::admit(
   for (const auto& placement : winner.schedule.placements) {
     profile.reserve(placement.interval, placement.processors);
   }
-  trial.commit();
   if (metrics_ != nullptr) metrics_->jobsAdmitted->add();
   decision.admitted = true;
   decision.quality = job.spec.chains[winner.schedule.chainIndex].quality(

@@ -96,6 +96,17 @@ class GreedyArbitrator final : public Arbitrator {
   AdmissionDecision admit(const task::JobInstance& job,
                           resource::AvailabilityProfile& profile) override;
 
+  /// The admission heuristic run inside a caller-owned Trial scope: evaluates
+  /// every chain (rolling speculative placements back to a savepoint taken at
+  /// entry), and on success leaves the winner's reservations *pending in the
+  /// trial log* — the caller decides whether to commit.  On rejection the
+  /// profile is back at the entry savepoint.  This is the composition point
+  /// for elastic renegotiation, which stacks a victim shrink and a newcomer
+  /// admission inside one trial; `admit()` is exactly this plus commit.
+  AdmissionDecision admitInTrial(const task::JobInstance& job,
+                                 resource::AvailabilityProfile& profile,
+                                 resource::AvailabilityProfile::Trial& trial);
+
   [[nodiscard]] std::string name() const override;
 
   /// Places one chain speculatively (own Trial scope, rolled back before

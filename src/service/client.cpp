@@ -207,6 +207,12 @@ ClientResult<VerifyResult> QoSAgentClient::verify() {
   return extractResult<VerifyResult>(call(std::move(request)));
 }
 
+ClientResult<ReshapesResult> QoSAgentClient::reshapes() {
+  Request request;
+  request.command = Command::Reshapes;
+  return extractResult<ReshapesResult>(call(std::move(request)));
+}
+
 // --- PipelinedClient -------------------------------------------------------
 
 namespace {
@@ -293,11 +299,24 @@ std::optional<ClientError> PipelinedClient::connect() {
     return transportError(ClientStatus::ProtocolError,
                           "HELLO response is not a v2 grant");
   }
+  grantedWindow_ = granted->window;
   window_ = granted->window;
   stopping_.store(false);
   alive_.store(true);
   reader_ = std::thread([this] { readerMain(); });
   return std::nullopt;
+}
+
+std::uint32_t PipelinedClient::currentWindow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return window_;
+}
+
+std::vector<ReshapeEvent> PipelinedClient::drainReshapeEvents() {
+  std::vector<ReshapeEvent> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.swap(reshapes_);
+  return out;
 }
 
 void PipelinedClient::close() {
@@ -413,16 +432,40 @@ void PipelinedClient::readerMain() {
         failAll(transportError(ClientStatus::ProtocolError, decoded.error));
         return;
       }
+      Response& response = *decoded.response;
+      // Adaptive window: shrink to the server's re-advertisement; restore
+      // to the HELLO grant on the first unstamped frame.
+      const std::uint32_t effective =
+          response.advertisedWindow.has_value()
+              ? std::clamp<std::uint32_t>(*response.advertisedWindow, 1,
+                                          grantedWindow_)
+              : grantedWindow_;
+      if (response.ok) {
+        // Unsolicited RESHAPED push: queue for drainReshapeEvents(); it
+        // consumes no pending slot.
+        if (auto* reshaped = std::get_if<ReshapesResult>(&response.result);
+            reshaped != nullptr && reshaped->push) {
+          std::unique_lock<std::mutex> lock(mu_);
+          window_ = effective;
+          for (auto& event : reshaped->events) {
+            reshapes_.push_back(std::move(event));
+          }
+          lock.unlock();
+          windowOpen_.notify_all();
+          continue;
+        }
+      }
       std::unique_lock<std::mutex> lock(mu_);
-      auto node = pending_.extract(decoded.response->id);
+      window_ = effective;
+      auto node = pending_.extract(response.id);
       lock.unlock();
       windowOpen_.notify_all();
       if (node.empty()) continue;  // e.g. correlation id 0 after desync
       ClientResult<Response> out;
-      if (!decoded.response->ok) {
-        out.error = fromServerError(*decoded.response);
+      if (!response.ok) {
+        out.error = fromServerError(response);
       } else {
-        out.value = std::move(*decoded.response);
+        out.value = std::move(response);
       }
       node.mapped().set_value(std::move(out));
     }

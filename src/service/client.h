@@ -138,6 +138,10 @@ class QoSAgentClient {
   [[nodiscard]] ClientResult<ResizeResult> resize(int processors, Time when);
   [[nodiscard]] ClientResult<StatsResult> stats();
   [[nodiscard]] ClientResult<VerifyResult> verify();
+  /// Drains reshape events the server buffered for this connection's jobs
+  /// (elastic mode): v1 connections poll; v2 connections get pushes instead
+  /// (PipelinedClient::drainReshapeEvents).
+  [[nodiscard]] ClientResult<ReshapesResult> reshapes();
 
  private:
   /// Sends `request` and reads the matching response.  On transport failure
@@ -198,9 +202,18 @@ class PipelinedClient {
   [[nodiscard]] std::optional<ClientError> connect();
   [[nodiscard]] bool connected() const { return alive_.load(); }
   /// Window granted by the server's HELLO response (0 before connect()).
-  [[nodiscard]] std::uint32_t grantedWindow() const { return window_; }
+  [[nodiscard]] std::uint32_t grantedWindow() const { return grantedWindow_; }
+  /// Window currently honoured: the HELLO grant shrunk by the server's
+  /// latest adaptive re-advertisement (== grantedWindow() when the server
+  /// is unpressured).
+  [[nodiscard]] std::uint32_t currentWindow();
   /// Fails all outstanding futures (Disconnected) and joins the reader.
   void close();
+
+  /// Reshape events pushed by an elastic server (RESHAPED frames) since the
+  /// last drain, oldest first.  Pushes arrive on the reader thread for jobs
+  /// this connection negotiated.
+  [[nodiscard]] std::vector<ReshapeEvent> drainReshapeEvents();
 
   using ResponseFuture = std::future<ClientResult<Response>>;
 
@@ -229,7 +242,8 @@ class PipelinedClient {
 
   ClientConfig config_;
   std::uint32_t requestedWindow_;
-  std::uint32_t window_ = 0;
+  std::uint32_t grantedWindow_ = 0;  // HELLO grant (cap for window_)
+  std::uint32_t window_ = 0;         // honoured window; guarded by mu_
   bool corked_;
   net::FrameLimits frameLimits_;
   net::Socket socket_;
@@ -243,6 +257,7 @@ class PipelinedClient {
   std::string outbuf_;                       // guarded by mu_ (corked mode)
   std::unordered_map<std::uint64_t, std::promise<ClientResult<Response>>>
       pending_;                              // guarded by mu_
+  std::vector<ReshapeEvent> reshapes_;       // guarded by mu_
 };
 
 }  // namespace tprm::service

@@ -150,6 +150,7 @@ const char* toString(Command command) {
     case Command::Stats: return "STATS";
     case Command::Verify: return "VERIFY";
     case Command::Hello: return "HELLO";
+    case Command::Reshapes: return "RESHAPES";
   }
   return "UNKNOWN";
 }
@@ -184,6 +185,7 @@ std::string encodeRequest(const Request& request) {
     }
     case Command::Stats:
     case Command::Verify:
+    case Command::Reshapes:
       break;
   }
   return JsonValue(std::move(o)).dump();
@@ -247,6 +249,8 @@ RequestParseResult decodeRequest(const std::string& text) {
     request.command = Command::Stats;
   } else if (cmd == "VERIFY") {
     request.command = Command::Verify;
+  } else if (cmd == "RESHAPES") {
+    request.command = Command::Reshapes;
   } else if (cmd == "HELLO") {
     if (request.version < kProtocolVersionV2) {
       result.error = "HELLO requires protocol version 2";
@@ -273,6 +277,9 @@ std::string encodeResponse(const Response& response) {
   JsonValue::Object o;
   o["id"] = static_cast<std::int64_t>(response.id);
   o["ok"] = response.ok;
+  if (response.advertisedWindow.has_value()) {
+    o["window"] = static_cast<std::int64_t>(*response.advertisedWindow);
+  }
   if (!response.ok) {
     TPRM_CHECK(response.error.has_value(),
                "error responses must carry ErrorInfo");
@@ -342,6 +349,24 @@ std::string encodeResponse(const Response& response) {
     res["version"] = static_cast<std::int64_t>(hello->version);
     res["window"] = static_cast<std::int64_t>(hello->window);
     o["result"] = std::move(res);
+  } else if (const auto* reshapes =
+                 std::get_if<ReshapesResult>(&response.result)) {
+    o["cmd"] = reshapes->push ? "RESHAPED" : toString(Command::Reshapes);
+    JsonValue::Object res;
+    JsonValue::Array events;
+    for (const auto& event : reshapes->events) {
+      JsonValue::Object e;
+      e["jobId"] = static_cast<std::int64_t>(event.jobId);
+      e["promotion"] = event.promotion;
+      e["fromChain"] = static_cast<std::int64_t>(event.fromChain);
+      e["toChain"] = static_cast<std::int64_t>(event.toChain);
+      e["fromQuality"] = event.fromQuality;
+      e["toQuality"] = event.toQuality;
+      e["placements"] = placementsToJson(event.placements);
+      events.emplace_back(std::move(e));
+    }
+    res["events"] = JsonValue(std::move(events));
+    o["result"] = std::move(res);
   } else {
     TPRM_CHECK(false, "ok response without a result payload");
   }
@@ -368,6 +393,13 @@ ResponseParseResult decodeResponse(const std::string& text) {
   if (r.failed()) {
     out.error = r.error();
     return out;
+  }
+  // Adaptive-window re-advertisement; tolerated absent (older servers).
+  if (const auto* window = root.find("window")) {
+    if (window->isNumber() && window->asNumber() >= 1) {
+      response.advertisedWindow =
+          static_cast<std::uint32_t>(window->asNumber());
+    }
   }
   if (!response.ok) {
     const auto* error = root.find("error");
@@ -490,6 +522,38 @@ ResponseParseResult decodeResponse(const std::string& text) {
       return out;
     }
     response.result = hello;
+  } else if (cmd == "RESHAPES" || cmd == "RESHAPED") {
+    ReshapesResult reshapes;
+    reshapes.push = cmd == "RESHAPED";
+    const auto* events = result->find("events");
+    if (events == nullptr || !events->isArray()) {
+      out.error = "'events' must be an array";
+      return out;
+    }
+    for (const auto& item : events->asArray()) {
+      if (!item.isObject()) {
+        out.error = "reshape events must be objects";
+        return out;
+      }
+      Reader er(item);
+      ReshapeEvent event;
+      event.jobId = er.id("jobId");
+      event.promotion = er.boolean("promotion");
+      event.fromChain = static_cast<std::size_t>(er.id("fromChain"));
+      event.toChain = static_cast<std::size_t>(er.id("toChain"));
+      event.fromQuality = er.number("fromQuality");
+      event.toQuality = er.number("toQuality");
+      if (er.failed()) {
+        out.error = er.error();
+        return out;
+      }
+      if (!placementsFromJson(item.find("placements"), &event.placements,
+                              &out.error)) {
+        return out;
+      }
+      reshapes.events.push_back(std::move(event));
+    }
+    response.result = std::move(reshapes);
   } else {
     out.error = "unknown response command '" + cmd + "'";
     return out;

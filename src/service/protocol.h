@@ -9,6 +9,7 @@
 //   {"v": 1, "id": 9, "cmd": "RESIZE", "processors": 48, "when": 125.0}
 //   {"v": 1, "id": 10, "cmd": "STATS"}
 //   {"v": 1, "id": 11, "cmd": "VERIFY"}
+//   {"v": 1, "id": 12, "cmd": "RESHAPES"}   // drain buffered reshape events
 //
 // Responses echo the request id:
 //
@@ -57,7 +58,7 @@ inline constexpr std::uint32_t kProtocolVersion = 1;
 /// responses, typed `busy` backpressure.
 inline constexpr std::uint32_t kProtocolVersionV2 = 2;
 
-enum class Command { Negotiate, Cancel, Resize, Stats, Verify, Hello };
+enum class Command { Negotiate, Cancel, Resize, Stats, Verify, Hello, Reshapes };
 
 [[nodiscard]] const char* toString(Command command);
 
@@ -147,6 +148,29 @@ struct HelloResult {
   std::uint32_t window = 1;
 };
 
+/// One committed elastic quality move (arbitrator-initiated renegotiation):
+/// the job identified by `jobId` now runs chain `toChain` at `toQuality`.
+/// Delivered to the connection that negotiated the job — as an unsolicited
+/// RESHAPED push frame on v2 connections, or buffered until the next
+/// RESHAPES poll on v1 connections.
+struct ReshapeEvent {
+  std::uint64_t jobId = 0;
+  bool promotion = false;  // false = demotion
+  std::size_t fromChain = 0;
+  std::size_t toChain = 0;
+  double fromQuality = 0.0;
+  double toQuality = 0.0;
+  /// The job's placements after the move.
+  std::vector<sched::TaskPlacement> placements;
+};
+
+/// Reply to a RESHAPES poll (push == false) or an unsolicited RESHAPED
+/// server push (push == true, v2 only, correlation id 0).
+struct ReshapesResult {
+  bool push = false;
+  std::vector<ReshapeEvent> events;
+};
+
 struct ErrorInfo {
   std::string code;
   std::string message;
@@ -156,8 +180,13 @@ struct Response {
   std::uint64_t id = 0;
   bool ok = false;
   std::optional<ErrorInfo> error;  // set iff !ok
+  /// Adaptive-window re-advertisement (top-level "window"): when the server
+  /// is under queue pressure it stamps the in-flight window it currently
+  /// honours on v2 responses and busy errors; clients shrink to
+  /// min(granted, advertised) and restore on the first unstamped response.
+  std::optional<std::uint32_t> advertisedWindow;
   std::variant<std::monostate, NegotiateResult, CancelResult, ResizeResult,
-               StatsResult, VerifyResult, HelloResult>
+               StatsResult, VerifyResult, HelloResult, ReshapesResult>
       result;
 };
 

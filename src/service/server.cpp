@@ -1,6 +1,9 @@
 #include "service/server.h"
 
+#include <sys/uio.h>
+
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <utility>
 
@@ -20,6 +23,11 @@ constexpr std::chrono::milliseconds kPollSlice{50};
 /// (all v2 traffic, plus desynced-stream errors).
 constexpr std::uint64_t kUnordered = ~std::uint64_t{0};
 
+/// iovec entries per sendmsg in the scatter-gather flush.  Comfortably
+/// below IOV_MAX (1024 on Linux); a busy batch rarely exceeds a few dozen
+/// frames per connection.
+constexpr int kMaxIov = 64;
+
 using Clock = std::chrono::steady_clock;
 
 qos::ShardedOptions shardedOptions(const ServerConfig& config) {
@@ -31,6 +39,20 @@ qos::ShardedOptions shardedOptions(const ServerConfig& config) {
 }
 
 }  // namespace
+
+std::uint32_t adaptiveWindow(std::size_t queueDepth,
+                             std::size_t queueCapacity,
+                             std::uint32_t fullWindow) {
+  const std::uint32_t full = std::max<std::uint32_t>(fullWindow, 1);
+  if (queueCapacity == 0 || full == 1) return full;
+  if (queueDepth * 2 >= queueCapacity) {
+    return std::max<std::uint32_t>(1, full / 8);
+  }
+  if (queueDepth * 4 >= queueCapacity) {
+    return std::max<std::uint32_t>(1, full / 2);
+  }
+  return full;
+}
 
 /// One decoded command travelling from an event loop to a worker thread.
 /// Immutable once enqueued: the worker reads it, the loop never touches it
@@ -51,11 +73,17 @@ struct NegotiationServer::PendingCommand {
   std::uint64_t deliverSeq = 0;
 };
 
-/// A finished command's encoded response travelling worker -> loop.
+/// A finished command's encoded response — or a batch of reshape push
+/// events — travelling worker -> loop.
 struct NegotiationServer::ResponseMsg {
   std::uint64_t connId = 0;
   std::uint64_t deliverSeq = 0;
-  std::string payload;  // encoded response JSON
+  std::string payload;  // encoded response JSON (empty for push batches)
+  /// Unsolicited reshape notification: does not consume an in-flight slot.
+  /// The loop routes it by connection version — encoded as a RESHAPED push
+  /// frame (v2) or buffered for the next RESHAPES poll (v1).
+  bool push = false;
+  std::vector<ReshapeEvent> events;  // push batches only
 };
 
 /// Per-connection state, owned exclusively by its event-loop thread.
@@ -63,9 +91,12 @@ struct NegotiationServer::Connection {
   std::uint64_t id = 0;
   net::Socket socket;
   net::FrameDecoder decoder;
-  /// Buffered output: bytes [outOff, outbuf.size()) still to be written.
-  std::string outbuf;
+  /// Buffered output: framed responses awaiting the wire.  Flushed with
+  /// scatter-gather writev — one syscall covers many frames with no
+  /// coalescing copy; outOff is the bytes of the front frame already sent.
+  std::deque<std::string> outq;
   std::size_t outOff = 0;
+  std::size_t outBytes = 0;  // total unwritten bytes across outq
   bool wantWrite = false;   // EPOLLOUT armed
   bool readPaused = false;  // EPOLLIN disarmed (v1 queue backpressure)
   bool closing = false;     // close once every pending response has flushed
@@ -80,6 +111,9 @@ struct NegotiationServer::Connection {
   std::uint64_t nextSubmitSeq = 0;
   std::uint64_t nextDeliverSeq = 0;
   std::map<std::uint64_t, std::string> held;
+  /// v1 only: reshape events awaiting a RESHAPES poll (bounded by
+  /// config.reshapeEventBuffer; oldest dropped).
+  std::deque<ReshapeEvent> reshapes;
   Clock::time_point lastActivity{};
 };
 
@@ -123,6 +157,9 @@ struct NegotiationServer::ShardQueue {
   std::vector<std::pair<int, std::uint64_t>> throttled;
   /// "server.queue_depth" (shards == 1) / "server.queue_depth.shard<k>".
   obs::Gauge* depth = nullptr;
+  /// Lock-free mirror of queue.size() for the adaptive-window computation
+  /// (read on loop and worker threads without taking mu).
+  std::atomic<std::size_t> size{0};
   std::thread worker;
 };
 
@@ -132,6 +169,11 @@ NegotiationServer::NegotiationServer(ServerConfig config)
       arbitrator_(config_.processors, shardedOptions(config_)) {
   config_.eventLoops = std::max(config_.eventLoops, 1);
   config_.workerBatch = std::max<std::size_t>(config_.workerBatch, 1);
+  config_.reshapeEventBuffer =
+      std::max<std::size_t>(config_.reshapeEventBuffer, 1);
+  if (config_.reshapePolicy != nullptr) {
+    arbitrator_.attachReshapePolicy(config_.reshapePolicy);
+  }
   queues_.reserve(static_cast<std::size_t>(config_.shards));
   for (int k = 0; k < config_.shards; ++k) {
     queues_.push_back(std::make_unique<ShardQueue>());
@@ -308,6 +350,8 @@ ServerCounters NegotiationServer::counters() const {
   counters.disconnectsMidRequest = disconnectsMidRequest_.load();
   counters.busyRejections = busyRejections_.load();
   counters.helloHandshakes = helloHandshakes_.load();
+  counters.reshapeEventsDispatched = reshapeEventsDispatched_.load();
+  counters.reshapeEventsDropped = reshapeEventsDropped_.load();
   return counters;
 }
 
@@ -330,6 +374,10 @@ JsonValue NegotiationServer::observabilitySnapshot() const {
       static_cast<double>(server.busyRejections);
   serverObject["hello_handshakes"] =
       static_cast<double>(server.helloHandshakes);
+  serverObject["reshape_events_dispatched"] =
+      static_cast<double>(server.reshapeEventsDispatched);
+  serverObject["reshape_events_dropped"] =
+      static_cast<double>(server.reshapeEventsDropped);
 
   JsonValue::Object root;
   root["enabled"] = registry_ != nullptr;
@@ -418,7 +466,7 @@ void NegotiationServer::loopMain(Loop* loop) {
     if (loop->finishing) {
       bool allFlushed = true;
       for (const auto& [id, conn] : loop->conns) {
-        if (!conn->closed && conn->outbuf.size() > conn->outOff) {
+        if (!conn->closed && conn->outBytes > 0) {
           allFlushed = false;
           break;
         }
@@ -456,12 +504,46 @@ void NegotiationServer::processInbox(Loop* loop) {
   for (auto& msg : responses) {
     const auto it = loop->conns.find(msg.connId);
     if (it == loop->conns.end() || it->second->closed) {
+      if (msg.push) {
+        // Reshape events have no reader anymore; the moves themselves are
+        // committed arbitrator state either way.
+        reshapeEventsDropped_.fetch_add(msg.events.size());
+        std::lock_guard<std::mutex> lock(originMu_);
+        for (const auto& event : msg.events) originByJob_.erase(event.jobId);
+        continue;
+      }
       // Client vanished between submitting and reading the decision.  The
       // command already executed atomically; state stays consistent.
       disconnectsMidRequest_.fetch_add(1);
       continue;
     }
     Connection* conn = it->second.get();
+    if (msg.push) {
+      // Unsolicited notification: consumes no in-flight slot.  v2 peers
+      // get a RESHAPED push frame; v1 peers buffer until a RESHAPES poll.
+      if (conn->v2) {
+        Response response;
+        response.ok = true;
+        ReshapesResult result;
+        result.push = true;
+        result.events = std::move(msg.events);
+        response.result = std::move(result);
+        stampWindow(&response);
+        deliverResponse(loop, conn, kUnordered, encodeResponse(response));
+      } else {
+        for (auto& event : msg.events) {
+          if (conn->reshapes.size() >= config_.reshapeEventBuffer) {
+            conn->reshapes.pop_front();
+            reshapeEventsDropped_.fetch_add(1);
+          }
+          conn->reshapes.push_back(std::move(event));
+        }
+      }
+      if (std::find(touched.begin(), touched.end(), conn) == touched.end()) {
+        touched.push_back(conn);
+      }
+      continue;
+    }
     if (conn->inFlight > 0) --conn->inFlight;
     deliverResponse(loop, conn, msg.deliverSeq, msg.payload);
     if (std::find(touched.begin(), touched.end(), conn) == touched.end()) {
@@ -611,13 +693,36 @@ void NegotiationServer::handleFrame(Loop* loop, Connection* conn,
   }
 
   conn->sawFrame = true;
-  if (conn->v2 && conn->inFlight >= conn->window) {
-    busyRejections_.fetch_add(1);
-    deliverResponse(
-        loop, conn, kUnordered,
-        encodeResponse(makeError(request.id, "busy",
-                                 "in-flight window exceeded; retry")));
+  if (request.command == Command::Reshapes) {
+    // Answered inline on the loop thread — the buffered events live in
+    // loop-owned connection state.  Consumes no in-flight slot.
+    Response response;
+    response.id = request.id;
+    response.ok = true;
+    ReshapesResult result;
+    result.events.assign(std::make_move_iterator(conn->reshapes.begin()),
+                         std::make_move_iterator(conn->reshapes.end()));
+    conn->reshapes.clear();
+    response.result = std::move(result);
+    stampWindow(&response);
+    deliverResponse(loop, conn,
+                    conn->v2 ? kUnordered : conn->nextSubmitSeq++,
+                    encodeResponse(response));
     return;
+  }
+  if (conn->v2) {
+    // The honoured window shrinks with shard-queue pressure so pipelined
+    // clients throttle before the queues actually fill.
+    const std::uint32_t effective =
+        std::min(conn->window, dynamicWindowNow());
+    if (conn->inFlight >= effective) {
+      busyRejections_.fetch_add(1);
+      Response busy = makeError(request.id, "busy",
+                                "in-flight window exceeded; retry");
+      busy.advertisedWindow = effective;
+      deliverResponse(loop, conn, kUnordered, encodeResponse(busy));
+      return;
+    }
   }
 
   auto command = std::make_shared<PendingCommand>();
@@ -629,10 +734,10 @@ void NegotiationServer::handleFrame(Loop* loop, Connection* conn,
   switch (status) {
     case EnqueueStatus::Busy: {
       busyRejections_.fetch_add(1);
-      deliverResponse(
-          loop, conn, kUnordered,
-          encodeResponse(makeError(command->request.id, "busy",
-                                   "command queue full; retry")));
+      Response busy = makeError(command->request.id, "busy",
+                                "command queue full; retry");
+      busy.advertisedWindow = std::min(conn->window, dynamicWindowNow());
+      deliverResponse(loop, conn, kUnordered, encodeResponse(busy));
       return;
     }
     case EnqueueStatus::Closed: {
@@ -663,7 +768,8 @@ void NegotiationServer::deliverResponse(Loop* loop, Connection* conn,
                                         const std::string& payload) {
   if (conn->closed) return;
   auto append = [&](const std::string& encoded) {
-    const auto wrote = net::appendFrame(conn->outbuf, encoded, frameLimits_);
+    std::string framed;
+    const auto wrote = net::appendFrame(framed, encoded, frameLimits_);
     if (!wrote.ok()) {
       // A response over the frame limit cannot be sent; the stream would
       // desync if we dropped it silently mid-sequence, so drop the
@@ -672,6 +778,8 @@ void NegotiationServer::deliverResponse(Loop* loop, Connection* conn,
       closeConnection(loop, conn);
       return false;
     }
+    conn->outBytes += framed.size();
+    conn->outq.push_back(std::move(framed));
     return true;
   };
   if (deliverSeq == kUnordered) {
@@ -697,43 +805,58 @@ void NegotiationServer::deliverResponse(Loop* loop, Connection* conn,
 
 void NegotiationServer::flushOut(Loop* loop, Connection* conn) {
   if (conn->closed) return;
-  const std::size_t pending = conn->outbuf.size() - conn->outOff;
   const bool drained = conn->inFlight == 0 && conn->held.empty();
-  if (pending == 0) {
-    if (conn->closing && drained) closeConnection(loop, conn);
+  while (conn->outBytes > 0) {
+    // Scatter-gather over the queued frames: one sendmsg covers up to
+    // kMaxIov frames with no coalescing copy.
+    std::array<iovec, kMaxIov> iov;
+    int iovcnt = 0;
+    std::size_t off = conn->outOff;
+    for (const auto& frame : conn->outq) {
+      if (iovcnt == kMaxIov) break;
+      iov[static_cast<std::size_t>(iovcnt)].iov_base =
+          const_cast<char*>(frame.data() + off);
+      iov[static_cast<std::size_t>(iovcnt)].iov_len = frame.size() - off;
+      ++iovcnt;
+      off = 0;
+    }
+    const auto chunk = conn->socket.writevSome(iov.data(), iovcnt);
+    if (chunk.bytes > 0) {
+      conn->outBytes -= chunk.bytes;
+      conn->lastActivity = Clock::now();
+      std::size_t consumed = chunk.bytes;
+      while (consumed > 0) {
+        const std::size_t remain = conn->outq.front().size() - conn->outOff;
+        if (consumed >= remain) {
+          consumed -= remain;
+          conn->outq.pop_front();
+          conn->outOff = 0;
+        } else {
+          // Partial frame: resume mid-string on the next writable event.
+          conn->outOff += consumed;
+          consumed = 0;
+        }
+      }
+    }
+    if (chunk.status == net::IoStatus::Ok) continue;
+    if (chunk.status == net::IoStatus::WouldBlock) {
+      if (!conn->wantWrite) {
+        conn->wantWrite = true;
+        updateInterest(loop, conn);
+      }
+      return;
+    }
+    // Closed/Error with responses pending: the client vanished.  In-flight
+    // commands will surface as orphaned responses and are counted there.
+    if (conn->inFlight == 0) disconnectsMidRequest_.fetch_add(1);
+    closeConnection(loop, conn);
     return;
   }
-  const auto chunk =
-      conn->socket.writeSome(conn->outbuf.data() + conn->outOff, pending);
-  conn->outOff += chunk.bytes;
-  if (chunk.status == net::IoStatus::Ok) {
-    conn->outbuf.clear();
-    conn->outOff = 0;
-    conn->lastActivity = Clock::now();
-    if (conn->wantWrite) {
-      conn->wantWrite = false;
-      updateInterest(loop, conn);
-    }
-    if (conn->closing && drained) closeConnection(loop, conn);
-    return;
+  if (conn->wantWrite) {
+    conn->wantWrite = false;
+    updateInterest(loop, conn);
   }
-  if (chunk.status == net::IoStatus::WouldBlock) {
-    // Resumable short write: keep the unwritten tail buffered and let
-    // EPOLLOUT tell us when the kernel has room again.
-    if (conn->outOff > 0 && conn->outOff >= conn->outbuf.size() / 2) {
-      conn->outbuf.erase(0, conn->outOff);
-      conn->outOff = 0;
-    }
-    if (!conn->wantWrite) {
-      conn->wantWrite = true;
-      updateInterest(loop, conn);
-    }
-    return;
-  }
-  // Closed/Error with responses pending: the client vanished.  In-flight
-  // commands will surface as orphaned responses and are counted there.
-  if (conn->inFlight == 0) disconnectsMidRequest_.fetch_add(1);
-  closeConnection(loop, conn);
+  if (conn->closing && drained) closeConnection(loop, conn);
 }
 
 void NegotiationServer::updateInterest(Loop* loop, Connection* conn) {
@@ -765,7 +888,7 @@ void NegotiationServer::sweepIdle(Loop* loop) {
   for (auto& [id, conn] : loop->conns) {
     Connection* c = conn.get();
     if (c->closed || c->closing || c->readPaused) continue;
-    if (c->inFlight > 0 || c->outbuf.size() > c->outOff) continue;
+    if (c->inFlight > 0 || c->outBytes > 0) continue;
     if (now - c->lastActivity > config_.idleTimeout) {
       closeConnection(loop, c);
     }
@@ -802,6 +925,14 @@ NegotiationServer::EnqueueStatus NegotiationServer::enqueue(
   const std::uint64_t seq = nextArrivalSeq_++;
   command->arrivalSeq = seq;
   if (isNegotiate) command->presetJobId = arbitrator_.reserveJobId();
+  if (isNegotiate && config_.reshapePolicy != nullptr) {
+    // Remember who negotiated this job so later reshape moves can be
+    // routed back to its connection.  Entries die on CANCEL or when a
+    // dispatch finds the connection gone.
+    std::lock_guard<std::mutex> originLock(originMu_);
+    originByJob_[*command->presetJobId] = {command->loopIndex,
+                                           command->connId};
+  }
   if (traceWriter_.isOpen()) {
     // Re-encode through the canonical codec rather than echoing the client's
     // bytes: replay then decodes exactly what the server decoded, and the
@@ -826,6 +957,7 @@ NegotiationServer::EnqueueStatus NegotiationServer::enqueue(
   }
   if (trace_ != nullptr) command->enqueuedNs = obs::monotonicNanos();
   queue.queue.push_back(command);
+  queue.size.store(queue.queue.size(), std::memory_order_relaxed);
   if (queue.depth != nullptr) {
     queue.depth->set(static_cast<std::int64_t>(queue.queue.size()));
   }
@@ -863,6 +995,7 @@ void NegotiationServer::workerLoop(int shard) {
         batch.push_back(std::move(queue.queue.front()));
         queue.queue.pop_front();
       }
+      queue.size.store(queue.queue.size(), std::memory_order_relaxed);
       if (queue.depth != nullptr) {
         queue.depth->set(static_cast<std::int64_t>(queue.queue.size()));
       }
@@ -883,9 +1016,11 @@ void NegotiationServer::workerLoop(int shard) {
     for (const auto& command : batch) {
       const std::int64_t startNs =
           trace_ != nullptr ? obs::monotonicNanos() : 0;
+      std::vector<qos::QualityMove> moves;
       Response response = execute(command->request, command->arrivalSeq,
-                                  command->presetJobId);
+                                  command->presetJobId, &moves);
       response.id = command->request.id;
+      stampWindow(&response);
       commandsExecuted_.fetch_add(1);
       if (trace_ != nullptr) recordSpan(*command, response, startNs);
       ResponseMsg msg;
@@ -894,6 +1029,38 @@ void NegotiationServer::workerLoop(int shard) {
       msg.payload = encodeResponse(response);
       perLoop[static_cast<std::size_t>(command->loopIndex)].push_back(
           std::move(msg));
+      // Route each committed quality move to the connection that
+      // negotiated the moved job (it may be this command's own connection
+      // or any other).  Moves with no reachable owner are dropped — the
+      // arbitrator state is committed regardless.
+      for (const auto& move : moves) {
+        std::pair<int, std::uint64_t> origin;
+        {
+          std::lock_guard<std::mutex> originLock(originMu_);
+          const auto it = originByJob_.find(move.jobId);
+          if (it == originByJob_.end()) {
+            reshapeEventsDropped_.fetch_add(1);
+            continue;
+          }
+          origin = it->second;
+        }
+        ReshapeEvent event;
+        event.jobId = move.jobId;
+        event.promotion = move.promotion;
+        event.fromChain = move.fromChain;
+        event.toChain = move.toChain;
+        event.fromQuality = move.fromQuality;
+        event.toQuality = move.toQuality;
+        event.placements = move.schedule.placements;
+        ResponseMsg pushMsg;
+        pushMsg.connId = origin.second;
+        pushMsg.deliverSeq = kUnordered;
+        pushMsg.push = true;
+        pushMsg.events.push_back(std::move(event));
+        reshapeEventsDispatched_.fetch_add(1);
+        perLoop[static_cast<std::size_t>(origin.first)].push_back(
+            std::move(pushMsg));
+      }
     }
     // One inbox lock + one eventfd wakeup per loop per batch.
     for (std::size_t i = 0; i < perLoop.size(); ++i) {
@@ -952,9 +1119,32 @@ void NegotiationServer::recordSpan(const PendingCommand& command,
   trace_->record(std::move(span));
 }
 
+std::uint32_t NegotiationServer::dynamicWindowNow() const {
+  std::size_t depth = 0;
+  for (const auto& queue : queues_) {
+    depth = std::max(depth, queue->size.load(std::memory_order_relaxed));
+  }
+  const auto full = static_cast<std::uint32_t>(std::min<std::size_t>(
+      std::max<std::size_t>(config_.maxInFlightPerConnection, 1),
+      ~std::uint32_t{0}));
+  return adaptiveWindow(depth, config_.commandQueueCapacity, full);
+}
+
+void NegotiationServer::stampWindow(Response* response) const {
+  const auto full = static_cast<std::uint32_t>(std::min<std::size_t>(
+      std::max<std::size_t>(config_.maxInFlightPerConnection, 1),
+      ~std::uint32_t{0}));
+  const std::uint32_t dynamic = dynamicWindowNow();
+  // Stamp only under pressure: unpressured responses stay byte-identical
+  // to pre-adaptive servers, and clients restore their granted window on
+  // the first unstamped response.
+  if (dynamic < full) response->advertisedWindow = dynamic;
+}
+
 Response NegotiationServer::execute(
     const Request& request, std::uint64_t arrivalSeq,
-    const std::optional<std::uint64_t>& presetJobId) {
+    const std::optional<std::uint64_t>& presetJobId,
+    std::vector<qos::QualityMove>* moves) {
   Response response;
   response.ok = true;
   switch (request.command) {
@@ -966,7 +1156,7 @@ Response NegotiationServer::execute(
       Time effectiveRelease = payload.release;
       const auto decision = arbitrator_.submit(jobId, payload.spec,
                                                payload.release,
-                                               &effectiveRelease);
+                                               &effectiveRelease, moves);
       NegotiateResult result;
       result.admitted = decision.admitted;
       result.jobId = jobId;
@@ -987,7 +1177,11 @@ Response NegotiationServer::execute(
     case Command::Cancel: {
       const auto& payload = std::get<CancelRequest>(request.payload);
       CancelResult result;
-      result.freedTicks = arbitrator_.cancel(payload.jobId);
+      result.freedTicks = arbitrator_.cancel(payload.jobId, moves);
+      if (config_.reshapePolicy != nullptr) {
+        std::lock_guard<std::mutex> originLock(originMu_);
+        originByJob_.erase(payload.jobId);
+      }
       response.result = result;
       return response;
     }
@@ -1036,6 +1230,10 @@ Response NegotiationServer::execute(
       // Handshakes are handled on the loop thread and never enqueued.
       return makeError(request.id, "internal",
                        "HELLO reached the command queue");
+    case Command::Reshapes:
+      // Polls drain loop-owned buffers and are answered inline, like HELLO.
+      return makeError(request.id, "internal",
+                       "RESHAPES reached the command queue");
   }
   return makeError(request.id, "internal", "unhandled command");
 }

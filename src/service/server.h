@@ -131,7 +131,27 @@ struct ServerConfig {
   /// the sequence lock) to this file in the format of service/wiretrace.h.
   /// Empty = no recording.  start() fails if the file cannot be created.
   std::string recordPath;
+  /// Elastic renegotiation policy (e.g. an elastic::Reshaper); nullptr
+  /// keeps the paper's static negotiation model.  Owned by the embedder and
+  /// must outlive the server.  When set, a rejected NEGOTIATE may demote
+  /// admitted-but-not-started jobs to make room, and freed capacity
+  /// promotes demoted jobs back up their ladders; every committed move is
+  /// reported to the connection that negotiated the moved job (RESHAPED
+  /// push on v2, buffered for the next RESHAPES poll on v1).
+  const qos::ReshapePolicy* reshapePolicy = nullptr;
+  /// Per-connection cap on reshape events buffered for v1 RESHAPES polls;
+  /// oldest events are dropped (and counted) beyond it.
+  std::size_t reshapeEventBuffer = 256;
 };
+
+/// Adaptive pipeline window (pure, exposed for tests): the v2 in-flight
+/// window the server honours and re-advertises given the deepest shard
+/// queue.  Full window below a quarter of queue capacity, half up to half
+/// capacity, an eighth (>= 1) beyond — backpressure arrives before the
+/// queue is actually full, so pipelined clients throttle at the source.
+[[nodiscard]] std::uint32_t adaptiveWindow(std::size_t queueDepth,
+                                           std::size_t queueCapacity,
+                                           std::uint32_t fullWindow);
 
 /// Counters exposed for tests and the STATS command.  Snapshot semantics.
 struct ServerCounters {
@@ -146,6 +166,12 @@ struct ServerCounters {
   std::uint64_t busyRejections = 0;
   /// Successful HELLO handshakes (connections upgraded to v2).
   std::uint64_t helloHandshakes = 0;
+  /// Elastic reshape events delivered toward a client (pushed on v2 or
+  /// buffered for a v1 poll).
+  std::uint64_t reshapeEventsDispatched = 0;
+  /// Reshape events with no reachable owner (connection gone, or a v1
+  /// buffer overflow evicted the oldest event).
+  std::uint64_t reshapeEventsDropped = 0;
 };
 
 class NegotiationServer {
@@ -243,7 +269,18 @@ class NegotiationServer {
                         bool allowBusy);
 
   Response execute(const Request& request, std::uint64_t arrivalSeq,
-                   const std::optional<std::uint64_t>& presetJobId);
+                   const std::optional<std::uint64_t>& presetJobId,
+                   std::vector<qos::QualityMove>* moves);
+
+  /// Current adaptive v2 window: adaptiveWindow() over the deepest shard
+  /// queue.  Cheap (K relaxed atomic loads); called per frame and per
+  /// worker response.
+  [[nodiscard]] std::uint32_t dynamicWindowNow() const;
+
+  /// Stamps the adaptive-window re-advertisement on a response when the
+  /// server is under pressure (no-op at full window, so unpressured
+  /// responses are byte-identical to older servers').
+  void stampWindow(Response* response) const;
 
   /// Records one finished command into the histograms and the trace ring.
   /// Called on worker threads; requires observability on (both sinks are
@@ -284,6 +321,14 @@ class NegotiationServer {
   /// One command queue + worker thread per shard.
   std::vector<std::unique_ptr<ShardQueue>> queues_;
 
+  /// jobId -> (loopIndex, connId) of the connection that negotiated it;
+  /// reshape events for a job are routed to its negotiating connection.
+  /// Written at enqueue, read by workers, pruned on CANCEL and when a
+  /// dispatch finds the connection gone.
+  std::mutex originMu_;
+  std::unordered_map<std::uint64_t, std::pair<int, std::uint64_t>>
+      originByJob_;
+
   qos::ShardedArbitrator arbitrator_;
 
   // Observability (all null when config_.observability is false).  The
@@ -313,6 +358,8 @@ class NegotiationServer {
   std::atomic<std::uint64_t> disconnectsMidRequest_{0};
   std::atomic<std::uint64_t> busyRejections_{0};
   std::atomic<std::uint64_t> helloHandshakes_{0};
+  std::atomic<std::uint64_t> reshapeEventsDispatched_{0};
+  std::atomic<std::uint64_t> reshapeEventsDropped_{0};
 };
 
 }  // namespace tprm::service

@@ -5,6 +5,7 @@
 //   tprmd --procs=64 --unix=... --tcp-port=0
 //   tprmd --procs=64 --shards=4             # sharded parallel admission
 //   tprmd --event-loops=4 --max-inflight=64 # I/O and pipelining tuning
+//   tprmd --elastic=min-quality-loss        # arbitrator-initiated reshaping
 //
 // Event loop:
 //   Connections are served by --event-loops nonblocking epoll threads
@@ -18,6 +19,14 @@
 //   arbitrator with identical decisions).  --no-spill keeps rejected jobs
 //   on their home shard; --rebalance-interval-ms=N runs the capacity
 //   rebalancer every N ms (0, the default, disables it).
+//
+// Elastic mode:
+//   --elastic[=POLICY] turns rejections into quality trades: on admission
+//   failure the arbitrator demotes admitted-but-not-yet-started malleable
+//   jobs down their own offered chains to make room, and promotes them
+//   back when load drops.  POLICY is the victim order — min-quality-loss
+//   (default), most-recent-first, or proportional-share.  Wire protocol v2
+//   clients receive RESHAPED push frames; v1 clients poll with RESHAPES.
 //
 // Recording:
 //   --record-out=FILE appends every decoded request frame (arrival order,
@@ -40,6 +49,7 @@
 
 #include "common/flags.h"
 #include "common/log.h"
+#include "elastic/reshaper.h"
 #include "service/server.h"
 
 namespace {
@@ -60,7 +70,7 @@ int main(int argc, char** argv) {
        "max-sessions", "idle-timeout-ms", "io-timeout-ms", "verbose",
        "metrics-out", "metrics-interval-ms", "trace-cap", "no-metrics",
        "shards", "no-spill", "rebalance-interval-ms", "record-out",
-       "event-loops", "max-inflight", "worker-batch"});
+       "event-loops", "max-inflight", "worker-batch", "elastic"});
   if (!unknown.empty()) {
     std::fprintf(stderr, "tprmd: unknown flag --%s\n", unknown.front().c_str());
     return 2;
@@ -106,6 +116,27 @@ int main(int argc, char** argv) {
       std::chrono::milliseconds(flags.getInt("idle-timeout-ms", 30'000));
   config.ioTimeout =
       std::chrono::milliseconds(flags.getInt("io-timeout-ms", 5'000));
+  // The Reshaper outlives the server (ServerConfig holds a raw pointer); one
+  // instance serves every shard — its orders are pure functions.
+  std::optional<elastic::Reshaper> reshaper;
+  if (flags.has("elastic")) {
+    const std::string policyName = flags.getString("elastic", "");
+    auto policy = elastic::VictimPolicy::MinQualityLoss;
+    if (policyName != "true") {  // bare --elastic parses as "true"
+      const auto parsed = elastic::victimPolicyFromName(policyName);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr,
+                     "tprmd: --elastic=%s is not a policy (want "
+                     "min-quality-loss | most-recent-first | "
+                     "proportional-share)\n",
+                     policyName.c_str());
+        return 2;
+      }
+      policy = *parsed;
+    }
+    reshaper.emplace(policy);
+    config.reshapePolicy = &*reshaper;
+  }
   config.observability = !flags.getBool("no-metrics", false);
   config.traceCapacity =
       static_cast<std::size_t>(flags.getInt("trace-cap", 256));
@@ -156,6 +187,10 @@ int main(int argc, char** argv) {
                 config.processors, config.shards);
   } else {
     std::printf("tprmd: managing %d processors\n", config.processors);
+  }
+  if (reshaper.has_value()) {
+    std::printf("tprmd: elastic reshaping on (%s)\n",
+                elastic::toString(reshaper->policy()).c_str());
   }
   std::fflush(stdout);
 

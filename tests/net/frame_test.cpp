@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -327,6 +328,80 @@ TEST(Socket, WriteSomeResumesAfterShortWriteOnTinySendBuffer) {
   reader.join();
   EXPECT_EQ(received, message);
   // The premise of the test: the buffer really was too small for one shot.
+  EXPECT_GT(shortWrites, 0u);
+}
+
+TEST(Socket, WritevSomeResumesMidIovecAfterShortWriteOnTinySendBuffer) {
+  // The scatter-gather twin of the short-write regression above: the server
+  // flushes its outbound frame queue with one writev per wakeup, so a
+  // partial acceptance may land mid-iovec-entry and the caller resumes from
+  // an offset inside a frame.  The reassembled stream must be exact.
+  Pair pair;
+  const int tiny = 4096;
+  ASSERT_EQ(::setsockopt(pair.a.fd(), SOL_SOCKET, SO_SNDBUF, &tiny,
+                         sizeof tiny),
+            0);
+  ASSERT_TRUE(pair.a.setNonBlocking(true).ok());
+
+  // Many small patterned "frames" of irregular sizes, like a busy outq.
+  std::vector<std::string> frames;
+  std::string expected;
+  for (int i = 0; i < 400; ++i) {
+    std::string frame(static_cast<std::size_t>(64 + (i * 37) % 2048), '\0');
+    for (std::size_t j = 0; j < frame.size(); ++j) {
+      frame[j] = static_cast<char>('a' + ((j + frame.size()) % 23));
+    }
+    expected += frame;
+    frames.push_back(std::move(frame));
+  }
+
+  std::string received;
+  std::thread reader([&] {
+    char buffer[65536];
+    while (received.size() < expected.size()) {
+      const auto chunk = pair.b.readSome(buffer, sizeof buffer);
+      ASSERT_EQ(chunk.status, IoStatus::Ok);
+      received.append(buffer, chunk.bytes);
+    }
+  });
+
+  std::size_t frame = 0;    // first unsent frame
+  std::size_t offset = 0;   // bytes of frames[frame] already accepted
+  std::size_t shortWrites = 0;
+  while (frame < frames.size()) {
+    struct iovec iov[16];
+    int iovcnt = 0;
+    for (std::size_t f = frame; f < frames.size() && iovcnt < 16; ++f) {
+      const std::size_t skip = (f == frame) ? offset : 0;
+      iov[iovcnt].iov_base = const_cast<char*>(frames[f].data() + skip);
+      iov[iovcnt].iov_len = frames[f].size() - skip;
+      ++iovcnt;
+    }
+    const auto chunk = pair.a.writevSome(iov, iovcnt);
+    ASSERT_NE(chunk.status, IoStatus::Closed);
+    ASSERT_NE(chunk.status, IoStatus::Error) << chunk.message;
+    if (chunk.status == IoStatus::WouldBlock) {
+      ++shortWrites;
+      ASSERT_TRUE(pair.a.waitWritable(Deadline::after(5s)).ok());
+      continue;
+    }
+    std::size_t accepted = chunk.bytes;
+    while (accepted > 0) {
+      const std::size_t remaining = frames[frame].size() - offset;
+      if (accepted >= remaining) {
+        accepted -= remaining;
+        ++frame;
+        offset = 0;
+      } else {
+        offset += accepted;
+        accepted = 0;
+      }
+    }
+  }
+  reader.join();
+  EXPECT_EQ(received, expected);
+  // The premise: the kernel buffer was too small to take 400 frames in one
+  // writev, so partial acceptance (and mid-frame resumption) really ran.
   EXPECT_GT(shortWrites, 0u);
 }
 

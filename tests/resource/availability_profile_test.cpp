@@ -324,6 +324,36 @@ TEST(ProfileTrial, VersionAdvancesAcrossRollback) {
   trial.commit();
 }
 
+TEST(ProfileTrial, SavepointRollsBackOnlyTheSuffix) {
+  AvailabilityProfile p(8);
+  AvailabilityProfile::Trial trial(p);
+  p.reserve(TimeInterval{0, 10}, 3);
+  const auto mark = trial.savepoint();
+  p.reserve(TimeInterval{5, 25}, 4);
+  p.release(TimeInterval{0, 3}, 1);
+  trial.rollbackTo(mark);
+  // Ops after the savepoint are undone; the first reservation survives.
+  EXPECT_EQ(p.availableAt(6), 5);
+  EXPECT_EQ(p.availableAt(1), 5);
+  EXPECT_TRUE(p.inTrial());
+  // The savepoint stays valid for a second speculative attempt.
+  p.reserve(TimeInterval{0, 10}, 5);
+  trial.rollbackTo(mark);
+  EXPECT_EQ(p.minAvailable(TimeInterval{0, 10}), 5);
+  trial.commit();
+  EXPECT_EQ(p.availableAt(6), 5);
+}
+
+TEST(ProfileTrial, SavepointAtCurrentTipIsANoOp) {
+  AvailabilityProfile p(4);
+  AvailabilityProfile::Trial trial(p);
+  p.reserve(TimeInterval{0, 10}, 2);
+  const auto mark = trial.savepoint();
+  trial.rollbackTo(mark);  // nothing past the mark: must not disturb state
+  EXPECT_EQ(p.availableAt(5), 2);
+  trial.commit();
+}
+
 // ---------------------------------------------------------------------------
 // FitHint identity: a hint is only resumable on the profile that wrote it.
 // ---------------------------------------------------------------------------

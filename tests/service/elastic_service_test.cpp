@@ -1,0 +1,377 @@
+// Elastic mode across the wire: a real NegotiationServer with an
+// elastic::Reshaper attached, real client connections.  Pins the two
+// delivery paths for arbitrator-initiated quality moves — RESHAPED pushes
+// on wire protocol v2, buffered RESHAPES polls on v1 — plus the adaptive
+// pipeline window the v2 server re-advertises under queue pressure.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "elastic/reshaper.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+
+namespace tprm::service {
+namespace {
+
+using namespace std::chrono_literals;
+
+int gSocketCounter = 0;
+
+std::string freshSocketPath() {
+  return "/tmp/tprm-elastic-test-" + std::to_string(::getpid()) + "-" +
+         std::to_string(gSocketCounter++) + ".sock";
+}
+
+ServerConfig elasticConfig(int processors, const qos::ReshapePolicy* policy) {
+  ServerConfig config;
+  config.processors = processors;
+  config.unixPath = freshSocketPath();
+  config.reshapePolicy = policy;
+  return config;
+}
+
+ClientConfig clientFor(const NegotiationServer& server) {
+  ClientConfig config;
+  config.unixPath = server.unixPath();
+  return config;
+}
+
+/// A malleable contract on an 8-processor machine: a greedy full-machine
+/// rung and a 2-processor fallback at half quality.  The generous fallback
+/// deadline keeps demotion feasible whenever 2 processors are free.
+task::TunableJobSpec twoRungSpec() {
+  task::TunableJobSpec spec;
+  spec.name = "malleable";
+  task::Chain full;
+  full.name = "full";
+  full.tasks = {task::TaskSpec::rigid("w", 8, ticksFromUnits(50.0),
+                                      ticksFromUnits(80.0), 1.0)};
+  task::Chain lean;
+  lean.name = "lean";
+  lean.tasks = {task::TaskSpec::rigid("n", 2, ticksFromUnits(100.0),
+                                      ticksFromUnits(400.0), 0.5)};
+  spec.chains = {full, lean};
+  return spec;
+}
+
+/// Rigid, one chain, tight deadline: statically unschedulable behind the
+/// full-machine rung, admissible once the reshaper demotes it to lean.
+task::TunableJobSpec tightSpec() {
+  task::TunableJobSpec spec;
+  spec.name = "tight";
+  task::Chain only;
+  only.name = "only";
+  only.tasks = {task::TaskSpec::rigid("t", 4, ticksFromUnits(40.0),
+                                      ticksFromUnits(60.0), 1.0)};
+  spec.chains = {only};
+  return spec;
+}
+
+// v1 path: the server buffers this connection's reshape events; an explicit
+// RESHAPES poll drains them in order, and a second poll comes back empty.
+TEST(ElasticService, V1ClientPollsBufferedReshapeEvents) {
+  elastic::Reshaper reshaper;
+  NegotiationServer server(elasticConfig(8, &reshaper));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  QoSAgentClient client(clientFor(server));
+  const auto first = client.negotiate(twoRungSpec(), /*release=*/0);
+  ASSERT_TRUE(first.ok()) << first.error.message;
+  ASSERT_TRUE(first->admitted);
+  EXPECT_EQ(first->quality, 1.0);
+
+  const auto second = client.negotiate(tightSpec(), /*release=*/0);
+  ASSERT_TRUE(second.ok()) << second.error.message;
+  // Statically impossible; elastic admission demoted the first job.
+  ASSERT_TRUE(second->admitted);
+
+  const auto polled = client.reshapes();
+  ASSERT_TRUE(polled.ok()) << polled.error.message;
+  ASSERT_EQ(polled->events.size(), 1u);
+  const auto& demotion = polled->events[0];
+  EXPECT_EQ(demotion.jobId, first->jobId);
+  EXPECT_FALSE(demotion.promotion);
+  EXPECT_EQ(demotion.fromQuality, 1.0);
+  EXPECT_EQ(demotion.toQuality, 0.5);
+  EXPECT_FALSE(demotion.placements.empty());
+
+  // The poll drained the buffer.
+  const auto again = client.reshapes();
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->events.empty());
+
+  // Cancelling the newcomer frees the machine; the promotion pass walks the
+  // demoted job back to its full-quality rung and the event is buffered for
+  // the same connection.
+  ASSERT_TRUE(client.cancel(second->jobId).ok());
+  const auto promoted = client.reshapes();
+  ASSERT_TRUE(promoted.ok());
+  ASSERT_EQ(promoted->events.size(), 1u);
+  EXPECT_EQ(promoted->events[0].jobId, first->jobId);
+  EXPECT_TRUE(promoted->events[0].promotion);
+  EXPECT_EQ(promoted->events[0].toQuality, 1.0);
+
+  const auto verify = client.verify();
+  ASSERT_TRUE(verify.ok());
+  EXPECT_TRUE(verify->ok) << verify->firstViolation;
+  EXPECT_GE(server.counters().reshapeEventsDispatched, 2u);
+  server.stop();
+}
+
+// v2 path: the same trade arrives as an unsolicited RESHAPED push on the
+// connection that negotiated the demoted job — no polling.
+TEST(ElasticService, V2ClientReceivesReshapedPushes) {
+  elastic::Reshaper reshaper;
+  NegotiationServer server(elasticConfig(8, &reshaper));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  PipelinedClient client(clientFor(server), /*window=*/8);
+  auto connectError = client.connect();
+  ASSERT_FALSE(connectError.has_value()) << connectError->message;
+
+  auto first =
+      extractResult<NegotiateResult>(client.negotiateAsync(twoRungSpec(), 0)
+                                         .get());
+  ASSERT_TRUE(first.ok()) << first.error.message;
+  ASSERT_TRUE(first->admitted);
+
+  auto second =
+      extractResult<NegotiateResult>(client.negotiateAsync(tightSpec(), 0)
+                                         .get());
+  ASSERT_TRUE(second.ok()) << second.error.message;
+  ASSERT_TRUE(second->admitted);
+
+  // The push rides the same inbox batch as the newcomer's response but may
+  // land just after the future resolves; poll briefly.
+  std::vector<ReshapeEvent> events;
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (events.empty()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "RESHAPED push never arrived";
+    auto drained = client.drainReshapeEvents();
+    events.insert(events.end(), drained.begin(), drained.end());
+    if (events.empty()) std::this_thread::sleep_for(5ms);
+  }
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].jobId, first->jobId);
+  EXPECT_FALSE(events[0].promotion);
+  EXPECT_EQ(events[0].fromQuality, 1.0);
+  EXPECT_EQ(events[0].toQuality, 0.5);
+  EXPECT_FALSE(events[0].placements.empty());
+  client.close();
+
+  EXPECT_GE(server.counters().reshapeEventsDispatched, 1u);
+  server.stop();
+}
+
+// Without a policy the second job must be rejected — the pair of specs
+// above only admits through the reshaper (the ablation in miniature).
+TEST(ElasticService, StaticServerRejectsWhatElasticAdmits) {
+  ServerConfig config;
+  config.processors = 8;
+  config.unixPath = freshSocketPath();
+  NegotiationServer server(config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  QoSAgentClient client(clientFor(server));
+  const auto first = client.negotiate(twoRungSpec(), 0);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->admitted);
+  const auto second = client.negotiate(tightSpec(), 0);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->admitted);
+
+  // RESHAPES is a valid command on a static server; it just never has
+  // anything to report.
+  const auto polled = client.reshapes();
+  ASSERT_TRUE(polled.ok()) << polled.error.message;
+  EXPECT_TRUE(polled->events.empty());
+  server.stop();
+}
+
+// --- Adaptive pipeline window ----------------------------------------------
+
+TEST(AdaptiveWindow, MapsQueuePressureToWindow) {
+  // Unpressured: the full grant.
+  EXPECT_EQ(adaptiveWindow(0, 256, 64), 64u);
+  EXPECT_EQ(adaptiveWindow(63, 256, 64), 64u);
+  // Depth at a quarter of capacity: half the grant.
+  EXPECT_EQ(adaptiveWindow(64, 256, 64), 32u);
+  EXPECT_EQ(adaptiveWindow(127, 256, 64), 32u);
+  // Depth at half of capacity: an eighth of the grant.
+  EXPECT_EQ(adaptiveWindow(128, 256, 64), 8u);
+  EXPECT_EQ(adaptiveWindow(256, 256, 64), 8u);
+  // Never below one in-flight request.
+  EXPECT_EQ(adaptiveWindow(256, 256, 4), 1u);
+  EXPECT_EQ(adaptiveWindow(300, 256, 1), 1u);
+  // Degenerate configurations leave the window alone.
+  EXPECT_EQ(adaptiveWindow(10, 0, 64), 64u);
+  EXPECT_EQ(adaptiveWindow(0, 0, 0), 1u);
+}
+
+// Tiny queue + deliberately expensive negotiations on one raw v2
+// connection: every frame is answered exactly once (no deadlock, no lost
+// responses), the connection survives, and at least one response
+// re-advertises a window below the HELLO grant.
+TEST(AdaptiveWindow, TinyQueueBurstLosesNothingAndShrinksTheWindow) {
+  ServerConfig config;
+  config.processors = 8;
+  config.unixPath = freshSocketPath();
+  config.commandQueueCapacity = 2;
+  NegotiationServer server(config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  auto connected =
+      net::connectUnix(server.unixPath(), net::Deadline::after(1s));
+  ASSERT_TRUE(connected.ok()) << connected.error;
+  const net::FrameLimits limits;
+
+  Request hello;
+  hello.version = kProtocolVersionV2;
+  hello.command = Command::Hello;
+  hello.id = 1;
+  hello.payload = HelloRequest{64};
+  ASSERT_TRUE(net::writeFrame(connected.socket, encodeRequest(hello), limits,
+                              net::Deadline::after(1s))
+                  .ok());
+  auto helloFrame =
+      net::readFrame(connected.socket, limits, net::Deadline::after(1s),
+                     net::Deadline::after(1s));
+  ASSERT_TRUE(helloFrame.ok());
+  auto helloDecoded = decodeResponse(helloFrame.payload);
+  ASSERT_TRUE(helloDecoded.ok());
+  ASSERT_TRUE(helloDecoded.response->ok);
+  const auto* grant = std::get_if<HelloResult>(&helloDecoded.response->result);
+  ASSERT_NE(grant, nullptr);
+  const std::uint32_t granted = grant->window;
+  ASSERT_GE(granted, 2u);
+
+  // Heavy NEGOTIATEs (dozens of chains each) keep the two-slot queue full
+  // while the burst drains, so busy responses and window re-advertisements
+  // both fire.
+  constexpr int kBurst = 60;
+  std::string wire;
+  for (int i = 0; i < kBurst; ++i) {
+    task::TunableJobSpec heavy = twoRungSpec();
+    for (int extra = 0; extra < 24; ++extra) {
+      heavy.chains.push_back(
+          heavy.chains[static_cast<std::size_t>(extra % 2)]);
+    }
+    Request negotiate;
+    negotiate.command = Command::Negotiate;
+    negotiate.id = 100 + static_cast<std::uint64_t>(i);
+    negotiate.payload = NegotiateRequest{std::move(heavy), 0};
+    ASSERT_TRUE(net::appendFrame(wire, encodeRequest(negotiate), limits).ok());
+  }
+  ASSERT_TRUE(connected.socket
+                  .writeAll(wire.data(), wire.size(), net::Deadline::after(5s))
+                  .ok());
+
+  int ok = 0;
+  int busy = 0;
+  std::uint32_t minAdvertised = granted;
+  for (int i = 0; i < kBurst; ++i) {
+    auto frame =
+        net::readFrame(connected.socket, limits, net::Deadline::after(10s),
+                       net::Deadline::after(10s));
+    ASSERT_TRUE(frame.ok()) << frame.message;
+    auto decoded = decodeResponse(frame.payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.error;
+    if (decoded.response->advertisedWindow.has_value()) {
+      minAdvertised =
+          std::min(minAdvertised, *decoded.response->advertisedWindow);
+    }
+    if (decoded.response->ok) {
+      ++ok;
+    } else {
+      ASSERT_EQ(decoded.response->error->code, "busy");
+      ++busy;
+    }
+  }
+  EXPECT_GE(ok, 1);
+  EXPECT_GT(busy, 0);
+  EXPECT_EQ(ok + busy, kBurst);
+  // Pressure showed through: some response carried a shrunken window.
+  EXPECT_LT(minAdvertised, granted);
+
+  // The connection still works afterwards.
+  Request stats;
+  stats.command = Command::Stats;
+  stats.id = 9999;
+  ASSERT_TRUE(net::writeFrame(connected.socket, encodeRequest(stats), limits,
+                              net::Deadline::after(1s))
+                  .ok());
+  auto frame =
+      net::readFrame(connected.socket, limits, net::Deadline::after(5s),
+                     net::Deadline::after(5s));
+  ASSERT_TRUE(frame.ok());
+  auto decoded = decodeResponse(frame.payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.response->ok);
+  server.stop();
+}
+
+// The pipelined client obeys the re-advertised window and restores the
+// HELLO grant once pressure clears.
+TEST(AdaptiveWindow, PipelinedClientShrinksThenRestores) {
+  ServerConfig config;
+  config.processors = 8;
+  config.unixPath = freshSocketPath();
+  config.commandQueueCapacity = 2;
+  NegotiationServer server(config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  PipelinedClient client(clientFor(server), /*window=*/32);
+  auto connectError = client.connect();
+  ASSERT_FALSE(connectError.has_value()) << connectError->message;
+  const std::uint32_t granted = client.grantedWindow();
+  EXPECT_EQ(client.currentWindow(), granted);
+
+  constexpr int kBurst = 120;
+  std::vector<PipelinedClient::ResponseFuture> futures;
+  futures.reserve(kBurst);
+  for (int r = 0; r < kBurst; ++r) {
+    futures.push_back(client.negotiateAsync(twoRungSpec(), 0));
+  }
+  int answered = 0;
+  for (auto& future : futures) {
+    const auto result = future.get();
+    if (!result.ok()) {
+      ASSERT_EQ(result.error.status, ClientStatus::Busy)
+          << result.error.message;
+    }
+    ++answered;
+  }
+  EXPECT_EQ(answered, kBurst);
+
+  // Quiesce: cheap commands on the now-idle server come back unstamped and
+  // the client walks its window back to the grant.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (client.currentWindow() != granted) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "window never restored (stuck at " << client.currentWindow()
+        << " of " << granted << ")";
+    auto stats = client.statsAsync().get();
+    ASSERT_TRUE(stats.ok()) << stats.error.message;
+    std::this_thread::sleep_for(5ms);
+  }
+  client.close();
+  server.stop();
+}
+
+}  // namespace
+}  // namespace tprm::service

@@ -14,6 +14,13 @@
 //       Replay the trace sequentially into a fresh in-process
 //       ShardedArbitrator and print the decision summary + fingerprint.
 //
+//   --elastic[=POLICY]  (combines with every replay mode)
+//       Attach the elastic Reshaper (min-quality-loss | most-recent-first |
+//       proportional-share) to the replay arbitrator and/or the driven
+//       daemon.  Reshape moves join the decision stream: the fingerprint
+//       covers them, and --drive checks move-for-move identity (daemon
+//       moves are collected by polling RESHAPES after each mutation).
+//
 //   --in=FILE --unix=PATH | --in=FILE --tcp-port=PORT
 //       Replay the trace sequentially into a live daemon and print the same
 //       summary/fingerprint — run both modes and diff the fingerprints to
@@ -46,6 +53,7 @@
 
 #include "common/flags.h"
 #include "common/time.h"
+#include "elastic/reshaper.h"
 #include "qos/sharded.h"
 #include "service/client.h"
 #include "service/protocol.h"
@@ -67,12 +75,24 @@ struct Decision {
   Time release = 0;
 };
 
+/// One arbitrator-initiated quality move (elastic mode), normalized from
+/// either qos::QualityMove (in-process) or service::ReshapeEvent (daemon).
+struct Move {
+  std::uint64_t jobId = 0;
+  bool promotion = false;
+  std::size_t fromChain = 0;
+  std::size_t toChain = 0;
+  double fromQuality = 0.0;
+  double toQuality = 0.0;
+};
+
 struct ReplaySummary {
   std::uint64_t records = 0;
   std::uint64_t negotiates = 0;
   std::uint64_t cancels = 0;
   std::uint64_t other = 0;
   std::vector<Decision> decisions;
+  std::vector<Move> moves;  // elastic mode only; trace order
 };
 
 void hashU64(std::uint64_t& h, std::uint64_t v) {
@@ -82,20 +102,40 @@ void hashU64(std::uint64_t& h, std::uint64_t v) {
   }
 }
 
-std::uint64_t decisionFingerprint(const std::vector<Decision>& decisions) {
+void hashDouble(std::uint64_t& h, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  hashU64(h, bits);
+}
+
+std::uint64_t decisionFingerprint(const ReplaySummary& summary) {
   std::uint64_t h = 1469598103934665603ULL;
-  for (const auto& d : decisions) {
+  for (const auto& d : summary.decisions) {
     hashU64(h, d.traceSeq);
     hashU64(h, d.admitted ? 1 : 0);
     hashU64(h, d.jobId);
     hashU64(h, d.chainIndex);
-    std::uint64_t qualityBits;
-    static_assert(sizeof(qualityBits) == sizeof(d.quality));
-    __builtin_memcpy(&qualityBits, &d.quality, sizeof(qualityBits));
-    hashU64(h, qualityBits);
+    hashDouble(h, d.quality);
     hashU64(h, static_cast<std::uint64_t>(d.release));
   }
+  for (const auto& m : summary.moves) {
+    hashU64(h, m.jobId);
+    hashU64(h, m.promotion ? 1 : 0);
+    hashU64(h, m.fromChain);
+    hashU64(h, m.toChain);
+    hashDouble(h, m.fromQuality);
+    hashDouble(h, m.toQuality);
+  }
   return h;
+}
+
+void appendMoves(ReplaySummary& summary,
+                 const std::vector<qos::QualityMove>& moves) {
+  for (const auto& move : moves) {
+    summary.moves.push_back({move.jobId, move.promotion, move.fromChain,
+                             move.toChain, move.fromQuality, move.toQuality});
+  }
 }
 
 /// Decodes every record payload up front; exits the process on the first
@@ -129,10 +169,12 @@ qos::ShardedOptions shardedOptions(int shards, bool spill) {
 /// ids (and home shards) line up with a recorded daemon run.
 ReplaySummary replayInProcess(
     const std::vector<service::WireTraceRecord>& records, int processors,
-    int shards, bool spill) {
+    int shards, bool spill, const qos::ReshapePolicy* policy) {
   const auto requests = decodeAll(records);
   qos::ShardedArbitrator arbitrator(processors, shardedOptions(shards, spill));
+  if (policy != nullptr) arbitrator.attachReshapePolicy(policy);
   ReplaySummary summary;
+  std::vector<qos::QualityMove> moves;
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const auto& request = requests[i];
     ++summary.records;
@@ -143,8 +185,11 @@ ReplaySummary replayInProcess(
         ++summary.negotiates;
         const std::uint64_t jobId = arbitrator.reserveJobId();
         Time effective = payload.release;
-        const auto outcome = arbitrator.submit(jobId, payload.spec,
-                                               payload.release, &effective);
+        moves.clear();
+        const auto outcome =
+            arbitrator.submit(jobId, payload.spec, payload.release, &effective,
+                              policy != nullptr ? &moves : nullptr);
+        appendMoves(summary, moves);
         Decision decision;
         decision.traceSeq = records[i].arrivalSeq;
         decision.admitted = outcome.admitted;
@@ -159,8 +204,11 @@ ReplaySummary replayInProcess(
       }
       case service::Command::Cancel: {
         ++summary.cancels;
+        moves.clear();
         (void)arbitrator.cancel(
-            std::get<service::CancelRequest>(request.payload).jobId);
+            std::get<service::CancelRequest>(request.payload).jobId,
+            policy != nullptr ? &moves : nullptr);
+        appendMoves(summary, moves);
         break;
       }
       case service::Command::Resize: {
@@ -176,6 +224,7 @@ ReplaySummary replayInProcess(
       case service::Command::Stats:
       case service::Command::Verify:
       case service::Command::Hello:
+      case service::Command::Reshapes:
         ++summary.other;  // read-only / handshake: no effect on decisions
         break;
     }
@@ -190,7 +239,7 @@ ReplaySummary replayInProcess(
 ReplaySummary replayIntoDaemon(
     const std::vector<service::WireTraceRecord>& records,
     const service::ClientConfig& config, bool paced = false,
-    double paceScale = 1.0) {
+    double paceScale = 1.0, bool pollReshapes = false) {
   const auto requests = decodeAll(records);
   service::QoSAgentClient client(config);
   if (auto error = client.connect()) {
@@ -201,6 +250,24 @@ ReplaySummary replayIntoDaemon(
   const auto start = std::chrono::steady_clock::now();
   double dueNanos = 0.0;
   ReplaySummary summary;
+  // Elastic daemons buffer this connection's reshape events server-side (v1
+  // wire protocol); polling after every mutation keeps the collected move
+  // stream in trace order.  Buffering happens before the mutation's own
+  // response is flushed, so a sequential poll can never miss a move.
+  const auto drainReshapes = [&] {
+    if (!pollReshapes) return;
+    const auto events = client.reshapes();
+    if (!events.ok()) {
+      std::fprintf(stderr, "tprm_replay: RESHAPES failed: %s\n",
+                   events.error.message.c_str());
+      std::exit(1);
+    }
+    for (const auto& event : events->events) {
+      summary.moves.push_back({event.jobId, event.promotion, event.fromChain,
+                               event.toChain, event.fromQuality,
+                               event.toQuality});
+    }
+  };
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const auto& request = requests[i];
     if (paced) {
@@ -231,6 +298,7 @@ ReplaySummary replayIntoDaemon(
         decision.quality = result->quality;
         decision.release = result->release;
         summary.decisions.push_back(decision);
+        drainReshapes();
         break;
       }
       case service::Command::Cancel: {
@@ -242,6 +310,7 @@ ReplaySummary replayIntoDaemon(
                        result.error.message.c_str());
           std::exit(1);
         }
+        drainReshapes();
         break;
       }
       case service::Command::Resize: {
@@ -260,6 +329,7 @@ ReplaySummary replayIntoDaemon(
       case service::Command::Stats:
       case service::Command::Verify:
       case service::Command::Hello:
+      case service::Command::Reshapes:
         ++summary.other;  // the blocking client handshakes on its own
         break;
     }
@@ -277,8 +347,15 @@ void printSummary(const char* label, const ReplaySummary& summary) {
   for (const auto& d : summary.decisions) admitted += d.admitted ? 1 : 0;
   std::printf("%s: admitted=%" PRIu64 " rejected=%zu\n", label, admitted,
               summary.decisions.size() - admitted);
+  if (!summary.moves.empty()) {
+    std::uint64_t promotions = 0;
+    for (const auto& m : summary.moves) promotions += m.promotion ? 1 : 0;
+    std::printf("%s: reshapes=%zu (demotions=%zu promotions=%" PRIu64 ")\n",
+                label, summary.moves.size(),
+                summary.moves.size() - promotions, promotions);
+  }
   std::printf("%s: decision_fingerprint=%016" PRIx64 "\n", label,
-              decisionFingerprint(summary.decisions));
+              decisionFingerprint(summary));
 }
 
 bool decisionsMatch(const ReplaySummary& a, const ReplaySummary& b) {
@@ -301,6 +378,28 @@ bool decisionsMatch(const ReplaySummary& a, const ReplaySummary& b) {
                    i, x.traceSeq, x.admitted ? 1 : 0, y.admitted ? 1 : 0,
                    x.jobId, y.jobId, x.chainIndex, y.chainIndex, x.quality,
                    y.quality);
+      ok = false;
+    }
+  }
+  if (a.moves.size() != b.moves.size()) {
+    std::fprintf(stderr, "mismatch: %zu vs %zu reshape moves\n",
+                 a.moves.size(), b.moves.size());
+    return false;
+  }
+  for (std::size_t i = 0; i < a.moves.size(); ++i) {
+    const auto& x = a.moves[i];
+    const auto& y = b.moves[i];
+    if (x.jobId != y.jobId || x.promotion != y.promotion ||
+        x.fromChain != y.fromChain || x.toChain != y.toChain ||
+        x.fromQuality != y.fromQuality || x.toQuality != y.toQuality) {
+      std::fprintf(stderr,
+                   "mismatch at reshape #%zu: jobId %" PRIu64 "/%" PRIu64
+                   " promotion %d/%d chain %zu->%zu vs %zu->%zu quality "
+                   "%.17g->%.17g vs %.17g->%.17g\n",
+                   i, x.jobId, y.jobId, x.promotion ? 1 : 0,
+                   y.promotion ? 1 : 0, x.fromChain, x.toChain, y.fromChain,
+                   y.toChain, x.fromQuality, x.toQuality, y.fromQuality,
+                   y.toQuality);
       ok = false;
     }
   }
@@ -383,7 +482,7 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto unknown = flags.unknownAgainst(
       {"in", "out", "gen", "jobs", "seed", "procs", "shards", "no-spill",
-       "unix", "tcp-port", "drive", "cat", "paced", "pace-scale"});
+       "unix", "tcp-port", "drive", "cat", "paced", "pace-scale", "elastic"});
   if (!unknown.empty()) {
     std::fprintf(stderr, "tprm_replay: unknown flag --%s\n",
                  unknown.front().c_str());
@@ -431,6 +530,27 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  std::optional<elastic::Reshaper> reshaper;
+  if (flags.has("elastic")) {
+    const std::string policyName = flags.getString("elastic", "");
+    auto policy = elastic::VictimPolicy::MinQualityLoss;
+    if (policyName != "true") {  // bare --elastic parses as "true"
+      const auto parsed = elastic::victimPolicyFromName(policyName);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr,
+                     "tprm_replay: --elastic=%s is not a policy (want "
+                     "min-quality-loss | most-recent-first | "
+                     "proportional-share)\n",
+                     policyName.c_str());
+        return 2;
+      }
+      policy = *parsed;
+    }
+    reshaper.emplace(policy);
+  }
+  const qos::ReshapePolicy* reshapePolicy =
+      reshaper.has_value() ? &*reshaper : nullptr;
+
   const std::string unixPath = flags.getString("unix", "");
   const bool haveTcp = flags.has("tcp-port");
   if (!unixPath.empty() || haveTcp) {
@@ -440,7 +560,8 @@ int main(int argc, char** argv) {
       client.tcpPort =
           static_cast<std::uint16_t>(flags.getInt("tcp-port", 0));
     }
-    const auto summary = replayIntoDaemon(records, client, paced, paceScale);
+    const auto summary = replayIntoDaemon(records, client, paced, paceScale,
+                                          reshaper.has_value());
     printSummary("daemon", summary);
     return 0;
   }
@@ -452,6 +573,7 @@ int main(int argc, char** argv) {
     config.processors = processors;
     config.shards = shards;
     config.shardSpill = spill;
+    config.reshapePolicy = reshapePolicy;
     config.unixPath =
         "/tmp/tprm_replay_" + std::to_string(::getpid()) + ".sock";
     service::NegotiationServer server(config);
@@ -463,9 +585,11 @@ int main(int argc, char** argv) {
     }
     service::ClientConfig client;
     client.unixPath = config.unixPath;
-    const auto viaDaemon = replayIntoDaemon(records, client);
+    const auto viaDaemon =
+        replayIntoDaemon(records, client, false, 1.0, reshaper.has_value());
     server.stop();
-    const auto viaSim = replayInProcess(records, processors, shards, spill);
+    const auto viaSim =
+        replayInProcess(records, processors, shards, spill, reshapePolicy);
     printSummary("daemon", viaDaemon);
     printSummary("sim", viaSim);
     if (!decisionsMatch(viaSim, viaDaemon)) {
@@ -477,7 +601,8 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const auto summary = replayInProcess(records, processors, shards, spill);
+  const auto summary =
+      replayInProcess(records, processors, shards, spill, reshapePolicy);
   printSummary("sim", summary);
   return 0;
 }

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Validate an elastic-ablation artifact against docs/elastic_schema.json.
+
+Stdlib-only.  Schema checking reuses validate_metrics.py's implementation of
+the JSON Schema subset (type, required, properties, additionalProperties,
+items, minimum, enum), then adds the cross-field invariants a schema cannot
+express:
+
+  * every leg satisfies admitted + rejected == jobs and
+    on_time_throughput == admitted / jobs (to float round-trip precision);
+  * decision_fingerprint is a 16-hex-digit string;
+  * static legs report zero demotions and promotions (no policy attached);
+  * no leg reports quality-floor violations, and dominance.floors_clean
+    agrees with the per-leg counters;
+  * every (scenario, load) pair carries exactly one static and one dynamic
+    leg, and all four canonical scenario families appear;
+  * dominance.families_dominant matches a recount of the high-load legs
+    (dynamic admitted strictly greater than static admitted), and
+    dominance.ok agrees with families_dominant >= required;
+  * the headline claim holds: dominance.ok and dominance.floors_clean.
+
+Usage:
+    tools/validate_elastic.py BENCH_elastic.json \
+        [--schema docs/elastic_schema.json]
+
+Exit status: 0 when the document validates, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from validate_metrics import validate  # noqa: E402
+
+_CANONICAL_KINDS = {"diurnal", "flash-crowd", "heavy-tailed", "multi-tenant"}
+
+
+def _semantic_errors(document) -> list[str]:
+    errors: list[str] = []
+    kinds_seen: set[str] = set()
+    floors_dirty = False
+    by_pair: dict[tuple[str, float], dict[str, dict]] = {}
+    for index, leg in enumerate(document.get("legs", [])):
+        path = f"$.legs[{index}]"
+        kinds_seen.add(leg.get("scenario", ""))
+        jobs = leg.get("jobs", 0)
+        admitted = leg.get("admitted", 0)
+        rejected = leg.get("rejected", 0)
+        if admitted + rejected != jobs:
+            errors.append(
+                f"{path}: admitted ({admitted}) + rejected ({rejected}) "
+                f"!= jobs ({jobs})"
+            )
+        throughput = leg.get("on_time_throughput", 0.0)
+        if jobs and abs(throughput - admitted / jobs) > 1e-9:
+            errors.append(
+                f"{path}: on_time_throughput {throughput} inconsistent with "
+                f"admitted/jobs = {admitted / jobs}"
+            )
+        fingerprint = leg.get("decision_fingerprint", "")
+        if len(fingerprint) != 16 or any(
+            c not in "0123456789abcdef" for c in fingerprint
+        ):
+            errors.append(
+                f"{path}: decision_fingerprint {fingerprint!r} is not 16 "
+                "lowercase hex digits"
+            )
+        if leg.get("mode") == "static" and (
+            leg.get("demotions", 0) != 0 or leg.get("promotions", 0) != 0
+        ):
+            errors.append(
+                f"{path}: static leg reports reshaping "
+                f"({leg.get('demotions')} demotions, "
+                f"{leg.get('promotions')} promotions) with no policy attached"
+            )
+        if leg.get("floor_violations", 0) != 0:
+            floors_dirty = True
+            errors.append(
+                f"{path}: {leg['floor_violations']} quality-floor violations "
+                "(demotion may only land on chains the job itself offered, "
+                "so any violation is a reshape bug)"
+            )
+        pair = by_pair.setdefault(
+            (leg.get("scenario", ""), leg.get("load", 0.0)), {}
+        )
+        mode = leg.get("mode", "")
+        if mode in pair:
+            errors.append(f"{path}: duplicate {mode} leg for {pair}")
+        pair[mode] = leg
+
+    for (scenario, load), modes in sorted(by_pair.items()):
+        if set(modes) != {"static", "dynamic"}:
+            errors.append(
+                f"$.legs: ({scenario}, load={load}) has modes "
+                f"{sorted(modes)}, expected one static and one dynamic leg"
+            )
+    missing = _CANONICAL_KINDS - kinds_seen
+    if missing:
+        errors.append(f"$.legs: missing canonical kind(s): {sorted(missing)}")
+
+    dominance = document.get("dominance", {})
+    high_load = document.get("high_load", 0.0)
+    recount = 0
+    for scenario in sorted({scenario for scenario, _ in by_pair}):
+        modes = by_pair.get((scenario, high_load), {})
+        if "static" in modes and "dynamic" in modes and (
+            modes["dynamic"].get("admitted", 0)
+            > modes["static"].get("admitted", 0)
+        ):
+            recount += 1
+    if dominance.get("families_dominant") != recount:
+        errors.append(
+            f"$.dominance: families_dominant "
+            f"{dominance.get('families_dominant')} disagrees with a recount "
+            f"of the load={high_load} legs ({recount})"
+        )
+    expected_ok = recount >= dominance.get("required", 0)
+    if dominance.get("ok") != expected_ok:
+        errors.append(
+            f"$.dominance: ok={dominance.get('ok')} inconsistent with "
+            f"families_dominant >= required ({expected_ok})"
+        )
+    if dominance.get("floors_clean") != (not floors_dirty):
+        errors.append(
+            f"$.dominance: floors_clean={dominance.get('floors_clean')} "
+            f"disagrees with the per-leg floor_violations counters"
+        )
+    if not dominance.get("ok"):
+        errors.append(
+            "$.dominance: dynamic does not dominate static on enough "
+            "families — the tentpole claim fails"
+        )
+    if not dominance.get("floors_clean"):
+        errors.append("$.dominance: floors_clean is false")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifact", type=pathlib.Path)
+    parser.add_argument(
+        "--schema",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent
+        / "docs"
+        / "elastic_schema.json",
+    )
+    args = parser.parse_args()
+
+    schema = json.loads(args.schema.read_text())
+    document = json.loads(args.artifact.read_text())
+    errors = validate(document, schema)
+    # Cross-field checks assume the shape is right; skip them if it isn't.
+    if not errors:
+        errors = _semantic_errors(document)
+    for error in errors:
+        print(f"{args.artifact}: {error}", file=sys.stderr)
+    if errors:
+        print(f"FAIL: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    legs = len(document.get("legs", []))
+    dominant = document.get("dominance", {}).get("families_dominant", 0)
+    print(
+        f"OK: {legs} leg(s) match {args.schema}; dynamic dominates static "
+        f"in {dominant} family(ies) at high load with clean floors"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
