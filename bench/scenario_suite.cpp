@@ -1,8 +1,14 @@
 // Scenario suite: admission quality and decision latency across the four
 // canonical workload scenarios (workload/scenario.h), per shard count.
 //
-//   scenario_suite --jobs=600 --seed=1 --procs=32 --sweep=1,4
+//   scenario_suite --jobs=600 --seed=1 --procs=32 --sweep=1,4,8 --gang
 //       --out=BENCH_scenarios.json
+//
+// --gang turns on cross-shard gang admission (qos/sharded.h) for every
+// multi-shard leg: jobs whose narrowest chain is wider than a single
+// shard's partition are trial-reserved as width fragments across shards
+// instead of being rejected outright.  Each leg reports how many jobs the
+// gang path admitted.
 //
 // For every scenario x shard-count leg a fresh ShardedArbitrator replays
 // the generated stream sequentially (trace order = arrival order) and
@@ -88,16 +94,21 @@ struct Leg {
   double qualityMin = 1.0;
   double p50 = 0, p95 = 0, p99 = 0, pMax = 0;
   std::uint64_t fingerprint = 0;
+  bool gang = false;                 // cross-shard gang admission enabled
+  std::uint64_t gangAdmitted = 0;    // jobs admitted via the gang path
   std::vector<TenantStats> tenants;  // parallel to scenario.tenants
   bool paced = false;                // wall-clock paced daemon replay leg
   double paceScale = 0.0;            // ns of wall time per release tick
   bool ok = true;                    // paced leg: daemon replay healthy
 };
 
-Leg runLeg(const workload::Scenario& scenario, int processors, int shards) {
+Leg runLeg(const workload::Scenario& scenario, int processors, int shards,
+           bool gang) {
   qos::ShardedOptions options;
   options.shards = shards;
+  options.gang = gang;
   Leg leg;
+  leg.gang = gang;
   leg.scenario = scenario.params.name.empty()
                      ? workload::toString(scenario.params.kind)
                      : scenario.params.name;
@@ -145,6 +156,7 @@ Leg runLeg(const workload::Scenario& scenario, int processors, int shards) {
     }
   }
   leg.fingerprint = fingerprint;
+  leg.gangAdmitted = arbitrator.gangAdmittedCount();
   std::sort(latenciesUs.begin(), latenciesUs.end());
   leg.p50 = percentile(latenciesUs, 0.50);
   leg.p95 = percentile(latenciesUs, 0.95);
@@ -160,8 +172,9 @@ Leg runLeg(const workload::Scenario& scenario, int processors, int shards) {
 /// Sequential submission keeps trace order == arrival order, so decisions
 /// must be identical to the in-process leg at the same shard count.
 Leg runPacedDaemonLeg(const workload::Scenario& scenario, int processors,
-                      int shards, int durationMs) {
+                      int shards, bool gang, int durationMs) {
   Leg leg;
+  leg.gang = gang;
   leg.scenario = scenario.params.name.empty()
                      ? workload::toString(scenario.params.kind)
                      : scenario.params.name;
@@ -184,6 +197,7 @@ Leg runPacedDaemonLeg(const workload::Scenario& scenario, int processors,
   service::ServerConfig config;
   config.processors = processors;
   config.shards = shards;
+  config.shardGang = gang;
   config.unixPath = "/tmp/tprm-scenario-suite-" +
                     std::to_string(::getpid()) + ".sock";
   service::NegotiationServer server(config);
@@ -246,6 +260,7 @@ Leg runPacedDaemonLeg(const workload::Scenario& scenario, int processors,
   client.close();
   server.stop();
   leg.fingerprint = fingerprint;
+  leg.gangAdmitted = server.arbitrator().gangAdmittedCount();
   std::sort(latenciesUs.begin(), latenciesUs.end());
   leg.p50 = percentile(latenciesUs, 0.50);
   leg.p95 = percentile(latenciesUs, 0.95);
@@ -278,6 +293,10 @@ JsonValue legJson(const Leg& leg, const workload::Scenario& scenario) {
   latency["max_us"] = leg.pMax;
   doc["latency"] = JsonValue(std::move(latency));
   doc["decision_fingerprint"] = hex64(leg.fingerprint);
+  if (leg.gang) {
+    doc["gang"] = true;
+    doc["gang_admitted"] = static_cast<std::int64_t>(leg.gangAdmitted);
+  }
   if (leg.paced) {
     doc["paced"] = true;
     doc["pace_ns_per_tick"] = leg.paceScale;
@@ -321,7 +340,8 @@ std::vector<int> parseSweep(const std::string& sweep) {
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto unknown = flags.unknownAgainst(
-      {"jobs", "seed", "procs", "sweep", "out", "paced-duration-ms"});
+      {"jobs", "seed", "procs", "sweep", "out", "gang",
+       "paced-duration-ms"});
   if (!unknown.empty()) {
     std::fprintf(stderr, "scenario_suite: unknown flag --%s\n",
                  unknown.front().c_str());
@@ -332,6 +352,7 @@ int main(int argc, char** argv) {
   const int processors = static_cast<int>(flags.getInt("procs", 32));
   const auto sweep = parseSweep(flags.getString("sweep", "1,4"));
   const std::string outPath = flags.getString("out", "");
+  const bool gangFlag = flags.getBool("gang", false);
   const int pacedDurationMs =
       static_cast<int>(flags.getInt("paced-duration-ms", 250));
 
@@ -350,16 +371,17 @@ int main(int argc, char** argv) {
                      shards, processors);
         continue;
       }
-      const Leg leg = runLeg(scenario, processors, shards);
+      const bool gang = gangFlag && shards > 1;
+      const Leg leg = runLeg(scenario, processors, shards, gang);
       std::printf(
           "  shards=%d admitted=%" PRIu64 "/%" PRIu64
-          " meanQ=%.3f floorViol=%" PRIu64
+          " meanQ=%.3f floorViol=%" PRIu64 " gangAdmitted=%" PRIu64
           " latency us p50=%.1f p95=%.1f p99=%.1f\n",
           shards, leg.admitted, leg.jobs,
           leg.admitted == 0 ? 0.0
                             : leg.qualitySum /
                                   static_cast<double>(leg.admitted),
-          leg.floorViolations, leg.p50, leg.p95, leg.p99);
+          leg.floorViolations, leg.gangAdmitted, leg.p50, leg.p95, leg.p99);
       legs.push_back(legJson(leg, scenario));
 
       // Paced flash-crowd row: the same stream through a live tprmd under
@@ -368,7 +390,7 @@ int main(int argc, char** argv) {
       if (scenario.params.kind == workload::ScenarioKind::FlashCrowd &&
           shards == sweep.back() && pacedDurationMs > 0) {
         const Leg paced = runPacedDaemonLeg(scenario, processors, shards,
-                                            pacedDurationMs);
+                                            gang, pacedDurationMs);
         const bool identical = paced.ok && paced.jobs == leg.jobs &&
                                paced.fingerprint == leg.fingerprint;
         std::printf(
@@ -387,6 +409,7 @@ int main(int argc, char** argv) {
   doc["procs"] = processors;
   doc["jobs_per_scenario"] = static_cast<std::int64_t>(jobs);
   doc["seed"] = static_cast<std::int64_t>(seed);
+  doc["gang"] = gangFlag;
   doc["scenarios"] = JsonValue(std::move(legs));
   if (!outPath.empty()) {
     std::ofstream out(outPath);

@@ -22,6 +22,13 @@ std::string toString(VictimPolicy policy) {
 
 Reshaper::Reshaper(VictimPolicy policy) : policy_(policy) {}
 
+// Victim ordering is a pure function of the candidate list the arbitrator
+// offers.  Gang-admitted fragments (qos/sharded.h) are pinned and never
+// appear in that list — a per-shard fragment of a cross-shard gang must not
+// be demoted or promoted independently of its siblings, so the only
+// renegotiation a gang supports is whole-job cancel/drop at the sharded
+// layer.  No policy below needs gang awareness: by the time a candidate
+// reaches demotionOrder/promotionOrder the pinning filter already ran.
 std::vector<std::uint64_t> Reshaper::demotionOrder(
     const std::vector<qos::ElasticCandidate>& candidates,
     const task::TunableJobSpec& spec, Time release) const {

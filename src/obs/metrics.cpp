@@ -169,10 +169,16 @@ ShardedMetrics ShardedMetrics::fromRegistry(MetricsRegistry& registry,
   ShardedMetrics m;
   m.spillAttempts = &registry.counter(prefix + ".spill_attempts");
   m.spillAdmitted = &registry.counter(prefix + ".spill_admitted");
+  m.spillNoCandidate = &registry.counter(prefix + ".spill_no_candidate");
   m.rebalanceChecks = &registry.counter(prefix + ".rebalance_checks");
   m.rebalanceMoves = &registry.counter(prefix + ".rebalance_moves");
   m.rebalanceProcessorsMoved =
       &registry.counter(prefix + ".rebalance_processors_moved");
+  m.gangAttempts = &registry.counter(prefix + ".gang_attempts");
+  m.gangAdmitted = &registry.counter(prefix + ".gang_admitted");
+  m.gangRollbacks = &registry.counter(prefix + ".gang_rollbacks");
+  m.gangFragmentsPlaced =
+      &registry.counter(prefix + ".gang_fragments_placed");
   return m;
 }
 

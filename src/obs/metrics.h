@@ -220,11 +220,20 @@ struct NegotiationMetrics {
 /// NegotiationMetrics bundle per shard; these count only the events that
 /// span shards.
 struct ShardedMetrics {
-  Counter* spillAttempts = nullptr;  // home-shard rejections offered elsewhere
+  Counter* spillAttempts = nullptr;  // spill candidate submits actually run
   Counter* spillAdmitted = nullptr;  // spill offers that landed
+  /// Spill scans where no candidate submit ran (the chosen shard could not
+  /// fit any chain of the spec by width — a guaranteed rejection).
+  Counter* spillNoCandidate = nullptr;
   Counter* rebalanceChecks = nullptr;  // rebalance() invocations
   Counter* rebalanceMoves = nullptr;   // invocations that moved processors
   Counter* rebalanceProcessorsMoved = nullptr;
+  /// Cross-shard gang admission (two-phase trial reserve of width fragments
+  /// on several shards; see qos::ShardedArbitrator).
+  Counter* gangAttempts = nullptr;  // gang-eligible placements attempted
+  Counter* gangAdmitted = nullptr;  // gangs committed on every shard
+  Counter* gangRollbacks = nullptr;  // phase-1 reserves rolled back
+  Counter* gangFragmentsPlaced = nullptr;  // fragments committed, over gangs
 
   static ShardedMetrics fromRegistry(MetricsRegistry& registry,
                                      const std::string& prefix);

@@ -59,6 +59,8 @@ void QoSArbitrator::record(std::uint64_t jobId, std::size_t chainIndex,
 sched::AdmissionDecision QoSArbitrator::submit(
     const task::TunableJobSpec& spec, Time release,
     std::vector<QualityMove>* moves) {
+  TPRM_CHECK(gangTrial_ == nullptr,
+             "submit is forbidden while a gang reserve is open");
   TPRM_CHECK(release >= clock_,
              "negotiations must arrive in non-decreasing release order");
   clock_ = release;
@@ -99,6 +101,8 @@ sched::AdmissionDecision QoSArbitrator::submit(
 
 std::int64_t QoSArbitrator::cancel(std::uint64_t jobId,
                                    std::vector<QualityMove>* moves) {
+  TPRM_CHECK(gangTrial_ == nullptr,
+             "cancel is forbidden while a gang reserve is open");
   const auto it = live_.find(jobId);
   if (it == live_.end()) {
     if (metrics_ != nullptr) metrics_->cancelMisses->add();
@@ -127,6 +131,8 @@ std::int64_t QoSArbitrator::cancel(std::uint64_t jobId,
 }
 
 RenegotiationReport QoSArbitrator::resize(int processors, Time when) {
+  TPRM_CHECK(gangTrial_ == nullptr,
+             "resize is forbidden while a gang reserve is open");
   TPRM_CHECK(processors > 0, "machine needs at least one processor");
   TPRM_CHECK(when >= clock_, "resize cannot happen in the past");
   clock_ = when;
@@ -158,9 +164,10 @@ RenegotiationReport QoSArbitrator::resize(int processors, Time when) {
         const TimeInterval rest{clock_, p.interval.end};
         if (profile_.minAvailable(rest) >= p.processors) {
           profile_.reserve(rest, p.processors);
-          ledger_.add(resource::Reservation{jobId, static_cast<int>(t),
-                                            static_cast<int>(job.chainIndex),
-                                            rest, p.processors, p.deadline});
+          ledger_.add(resource::Reservation{
+              jobId, static_cast<int>(taskIndexOf(job, t)),
+              static_cast<int>(job.chainIndex), rest, p.processors,
+              p.deadline});
         } else {
           doomed.push_back(jobId);
         }
@@ -218,15 +225,29 @@ RenegotiationReport QoSArbitrator::resize(int processors, Time when) {
       }
       if (verbatim) {
         trial.commit();
-        record(jobId, job.chainIndex,
-               {job.placements.begin() +
-                    static_cast<std::ptrdiff_t>(firstFuture),
-                job.placements.end()},
-               firstFuture);
+        for (std::size_t k = firstFuture; k < job.placements.size(); ++k) {
+          const auto& p = job.placements[k];
+          ledger_.add(resource::Reservation{
+              jobId, static_cast<int>(taskIndexOf(job, k)),
+              static_cast<int>(job.chainIndex), p.interval, p.processors,
+              p.deadline});
+        }
         report.kept.push_back(jobId);
         if (metrics_ != nullptr) metrics_->resizeKept->add();
         continue;
       }
+    }
+
+    if (job.pinned) {
+      // A gang fragment is one shard's share of a cross-shard job; its spec
+      // describes the whole job, so renegotiating it here alone would
+      // desynchronise it from the sibling fragments on other shards (or
+      // re-admit the full job on this shard).  Verbatim-or-drop: the sharded
+      // wrapper cancels the siblings of a dropped fragment.
+      report.dropped.push_back(jobId);
+      live_.erase(jobId);
+      if (metrics_ != nullptr) metrics_->droppedRenegotiation->add();
+      continue;
     }
 
     // Full renegotiation.  If nothing has started, every chain of the
@@ -332,6 +353,7 @@ std::vector<ElasticCandidate> QoSArbitrator::elasticCandidates(
     bool demotedOnly) const {
   std::vector<ElasticCandidate> out;
   for (const auto& [jobId, job] : live_) {
+    if (job.pinned) continue;  // gang fragments never move independently
     if (!notStarted(job)) continue;
     if (demotedOnly && !(job.currentQuality < job.admittedQuality)) continue;
     ElasticCandidate candidate;
@@ -501,6 +523,66 @@ void QoSArbitrator::promotePass(std::vector<QualityMove>* moves) {
     applyMove(*move);
     if (moves != nullptr) moves->push_back(std::move(*move));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard gang fragment surface
+// ---------------------------------------------------------------------------
+
+bool QoSArbitrator::gangReserve(
+    const std::vector<sched::TaskPlacement>& placements) {
+  TPRM_CHECK(gangTrial_ == nullptr, "gang reserve already open");
+  TPRM_CHECK(!placements.empty(), "a gang fragment reserves something");
+  gangTrial_ =
+      std::make_unique<resource::AvailabilityProfile::Trial>(profile_);
+  for (const auto& p : placements) {
+    if (profile_.minAvailable(p.interval) < p.processors) {
+      gangTrial_.reset();  // ~Trial rolls the partial reserve back
+      return false;
+    }
+    profile_.reserve(p.interval, p.processors);
+  }
+  return true;
+}
+
+std::uint64_t QoSArbitrator::gangCommit(
+    const task::TunableJobSpec& spec, std::size_t chainIndex, double quality,
+    Time release, const std::vector<sched::TaskPlacement>& placements,
+    const std::vector<std::size_t>& taskIndices) {
+  TPRM_CHECK(gangTrial_ != nullptr, "gangCommit needs an open reserve");
+  TPRM_CHECK(placements.size() == taskIndices.size(),
+             "every gang placement needs its spec task index");
+  TPRM_CHECK(release >= clock_, "gang release cannot precede the clock");
+  gangTrial_->commit();
+  gangTrial_.reset();
+  clock_ = release;
+  profile_.discardBefore(clock_);
+  retireFinished();
+
+  const std::uint64_t jobId = nextJobId_++;
+  for (std::size_t k = 0; k < placements.size(); ++k) {
+    const auto& p = placements[k];
+    ledger_.add(resource::Reservation{
+        jobId, static_cast<int>(taskIndices[k]),
+        static_cast<int>(chainIndex), p.interval, p.processors, p.deadline});
+  }
+  LiveJob job;
+  job.spec = spec;
+  job.release = release;
+  job.chainIndex = chainIndex;
+  job.placements = placements;
+  job.admittedQuality = quality;
+  job.currentQuality = quality;
+  job.pinned = true;
+  job.taskIndices = taskIndices;
+  live_[jobId] = std::move(job);
+  ++admitted_;
+  return jobId;
+}
+
+void QoSArbitrator::gangAbort() {
+  TPRM_CHECK(gangTrial_ != nullptr, "gangAbort needs an open reserve");
+  gangTrial_.reset();  // ~Trial rolls back bit-for-bit
 }
 
 resource::VerificationReport QoSArbitrator::verify() const {

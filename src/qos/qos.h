@@ -205,9 +205,45 @@ class QoSArbitrator {
   /// Not-yet-started live jobs the elastic layer may move.  `demotedOnly`
   /// restricts to jobs below their admitted quality (promotion candidates);
   /// otherwise only jobs with a lower rung to move to are listed (demotion
-  /// candidates).  Ascending job id (deterministic).
+  /// candidates).  Pinned jobs (gang fragments) are never listed.
+  /// Ascending job id (deterministic).
   [[nodiscard]] std::vector<ElasticCandidate> elasticCandidates(
       bool demotedOnly) const;
+
+  // -- Cross-shard gang fragment surface (used by ShardedArbitrator) --------
+  //
+  // A gang admission places width fragments of one global job on several
+  // shards.  Each participating shard goes through a two-phase protocol:
+  // phase 1 opens an undo-log Trial and reserves this shard's fragments
+  // verbatim (gangReserve); phase 2 either commits them as a *pinned* local
+  // job (gangCommit) or rolls the profile back bit-for-bit (gangAbort).
+  // While a gang reserve is open no other operation may run on this
+  // arbitrator (the sharded wrapper holds every shard lock for the whole
+  // protocol).
+
+  /// Phase 1: opens a Trial and reserves `placements`.  Returns false — and
+  /// closes the trial, restoring the profile exactly — if any placement does
+  /// not fit.  Requires no gang reserve already open.
+  [[nodiscard]] bool gangReserve(
+      const std::vector<sched::TaskPlacement>& placements);
+
+  /// Phase 2 (success): commits the open reserve and registers the fragments
+  /// as one pinned live job on this shard — never demoted, promoted, or
+  /// renegotiated; verbatim-or-drop on resize.  `taskIndices[i]` is the spec
+  /// task index `placements[i]` is a fragment of (fragments skip tasks the
+  /// shard contributes nothing to).  Returns the local job id.
+  std::uint64_t gangCommit(const task::TunableJobSpec& spec,
+                           std::size_t chainIndex, double quality,
+                           Time release,
+                           const std::vector<sched::TaskPlacement>& placements,
+                           const std::vector<std::size_t>& taskIndices);
+
+  /// Phase 2 (failure): closes the open reserve, rolling every reserved
+  /// fragment back bit-for-bit.
+  void gangAbort();
+
+  /// True while a phase-1 gang reserve is open (diagnostics, tests).
+  [[nodiscard]] bool gangReserveOpen() const { return gangTrial_ != nullptr; }
 
  private:
   /// Everything needed to renegotiate a job after a resource-level change.
@@ -220,7 +256,21 @@ class QoSArbitrator {
     double admittedQuality = 0.0;
     /// Quality of the currently committed chain.
     double currentQuality = 0.0;
+    /// Gang fragment: the placements are one shard's share of a cross-shard
+    /// job.  Pinned jobs are invisible to the elastic layer and are
+    /// verbatim-or-drop on resize (a fragment renegotiated alone would
+    /// desynchronise from its siblings on other shards).
+    bool pinned = false;
+    /// Spec task index of each placement (empty: placement k is task k).
+    /// Non-trivial only for gang fragments, whose placements may skip tasks.
+    std::vector<std::size_t> taskIndices;
   };
+
+  /// Spec task index of `job.placements[k]`.
+  [[nodiscard]] static std::size_t taskIndexOf(const LiveJob& job,
+                                               std::size_t k) {
+    return job.taskIndices.empty() ? k : job.taskIndices[k];
+  }
 
   /// Retires finished jobs from the live map.
   void retireFinished();
@@ -270,6 +320,8 @@ class QoSArbitrator {
   std::uint64_t admitted_ = 0;
   std::uint64_t rejected_ = 0;
   std::map<std::uint64_t, LiveJob> live_;
+  /// Open phase-1 gang reserve (see gangReserve); destruction rolls back.
+  std::unique_ptr<resource::AvailabilityProfile::Trial> gangTrial_;
   obs::NegotiationMetrics* metrics_ = nullptr;  // nullable observation hook
   const ReshapePolicy* policy_ = nullptr;       // nullable elastic hook
 };

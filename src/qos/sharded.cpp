@@ -1,6 +1,8 @@
 #include "qos/sharded.h"
 
 #include <algorithm>
+#include <limits>
+#include <set>
 
 #include "common/check.h"
 #include "obs/metrics.h"
@@ -100,28 +102,69 @@ sched::AdmissionDecision ShardedArbitrator::submit(
   }
 
   if (options_.spill && shards_.size() > 1) {
-    if (shardedMetrics_ != nullptr) shardedMetrics_->spillAttempts->add();
     // Offer the job to the shard with the most free area near its release.
-    int best = -1;
-    std::int64_t bestFree = -1;
+    // Scoring takes each shard's lock briefly and releases it, so the score
+    // can go stale before the submit lock is re-acquired (a competing admit
+    // can land in the gap).  The submit therefore re-validates the free-area
+    // estimate under the held lock and falls back to the currently best
+    // candidate on mismatch, bounded to one re-rank per shard; a sequential
+    // caller always validates on the first pass and submits to exactly the
+    // shard the old single-scan argmax would have picked.
+    struct Candidate {
+      int shard = -1;
+      std::int64_t freeTicks = -1;
+    };
+    std::vector<Candidate> candidates;
+    candidates.reserve(shards_.size() - 1);
+    const int narrowest = minChainWidth(spec);
     for (int k = 0; k < shardCount(); ++k) {
       if (k == home) continue;
       auto& shard = *shards_[static_cast<std::size_t>(k)];
       std::lock_guard<std::mutex> lock(shard.mu);
       const Time from = std::max(r, shard.arb.clock());
       const TimeInterval window{from, from + options_.spillHorizon};
-      const std::int64_t freeTicks =
-          static_cast<std::int64_t>(shard.arb.processors()) * window.length() -
-          shard.arb.profile().busyProcessorTicks(window);
-      if (freeTicks > bestFree) {
-        bestFree = freeTicks;
-        best = k;
-      }
+      candidates.push_back(Candidate{
+          k,
+          static_cast<std::int64_t>(shard.arb.processors()) *
+                  window.length() -
+              shard.arb.profile().busyProcessorTicks(window)});
     }
-    if (best >= 0) {
-      auto& shard = *shards_[static_cast<std::size_t>(best)];
+    if (spillRaceSeam_) spillRaceSeam_();  // test-only score->submit gap
+    // Argmax by free ticks; ties to the lowest shard index (scan order).
+    const auto bestOf = [&candidates]() {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < candidates.size(); ++i) {
+        if (candidates[i].freeTicks > candidates[best].freeTicks) best = i;
+      }
+      return best;
+    };
+    for (int pass = 0; pass < shardCount() && !candidates.empty(); ++pass) {
+      auto& candidate = candidates[bestOf()];
+      auto& shard = *shards_[static_cast<std::size_t>(candidate.shard)];
       std::lock_guard<std::mutex> lock(shard.mu);
       const Time local = std::max(r, shard.arb.clock());
+      const TimeInterval window{local, local + options_.spillHorizon};
+      const std::int64_t freeNow =
+          static_cast<std::int64_t>(shard.arb.processors()) *
+              window.length() -
+          shard.arb.profile().busyProcessorTicks(window);
+      if (freeNow < candidate.freeTicks && pass + 1 < shardCount()) {
+        // Stale score: something was admitted here since the scan.  Re-rank
+        // with the fresh value; if another shard now leads, try it instead
+        // (the final pass submits regardless, guaranteeing progress).
+        candidate.freeTicks = freeNow;
+        if (&candidates[bestOf()] != &candidate) continue;
+      }
+      if (narrowest > shard.arb.processors()) {
+        // Even an idle shard of this size cannot hold any chain of the
+        // spec: the submit is a guaranteed rejection, so skip it and do not
+        // count a spill attempt.
+        if (shardedMetrics_ != nullptr) {
+          shardedMetrics_->spillNoCandidate->add();
+        }
+        break;
+      }
+      if (shardedMetrics_ != nullptr) shardedMetrics_->spillAttempts->add();
       std::vector<QualityMove> localMoves;
       const auto spilled = shard.arb.submit(
           spec, local, moves != nullptr ? &localMoves : nullptr);
@@ -130,16 +173,229 @@ sched::AdmissionDecision ShardedArbitrator::submit(
       }
       if (spilled.admitted) {
         if (effectiveRelease != nullptr) *effectiveRelease = local;
-        bindJob(jobId, best, shard.arb.lastJobId().value());
+        bindJob(jobId, candidate.shard, shard.arb.lastJobId().value());
         admitted_.fetch_add(1, std::memory_order_relaxed);
         spills_.fetch_add(1, std::memory_order_relaxed);
         if (shardedMetrics_ != nullptr) shardedMetrics_->spillAdmitted->add();
         return spilled;
       }
+      break;  // the chosen candidate rejected: final rejection, as before
     }
   }
 
+  if (options_.gang && shards_.size() > 1) {
+    auto gang = gangSubmit(jobId, spec, r, effectiveRelease);
+    if (gang.admitted) return gang;
+  }
+
   rejected_.fetch_add(1, std::memory_order_relaxed);
+  return decision;
+}
+
+int ShardedArbitrator::minChainWidth(const task::TunableJobSpec& spec) {
+  int narrowest = std::numeric_limits<int>::max();
+  for (const auto& chain : spec.chains) {
+    narrowest = std::min(narrowest, chain.maxProcessors());
+  }
+  return narrowest;
+}
+
+namespace {
+
+/// One shard's share of one task of a gang placement.
+struct GangFragment {
+  int shard = 0;
+  std::size_t taskIndex = 0;
+  sched::TaskPlacement placement;
+};
+
+/// A fully planned gang chain: the full-width schedule (the decision
+/// surface) plus its per-shard width fragments.
+struct GangPlan {
+  std::size_t chainIndex = 0;
+  double quality = 0.0;
+  Time finish = 0;
+  std::vector<sched::TaskPlacement> fullWidth;
+  std::vector<GangFragment> fragments;
+};
+
+}  // namespace
+
+sched::AdmissionDecision ShardedArbitrator::gangSubmit(
+    std::uint64_t jobId, const task::TunableJobSpec& spec, Time release,
+    Time* effectiveRelease) {
+  sched::AdmissionDecision rejection;
+  rejection.chainsConsidered = static_cast<int>(spec.chains.size());
+  const auto locks = lockAll();
+
+  // Gang eligibility: only jobs the regular per-shard path could never
+  // admit — no chain of the spec fits even the widest shard.  Everything
+  // narrower already had its shot at the home shard and the spill target.
+  int widestShard = 0;
+  for (const auto& shard : shards_) {
+    widestShard = std::max(widestShard, shard->arb.processors());
+  }
+  if (minChainWidth(spec) <= widestShard) return rejection;
+  if (shardedMetrics_ != nullptr) shardedMetrics_->gangAttempts->add();
+
+  // One common release for every fragment: no shard may be asked to commit
+  // behind its own clock.
+  Time rGang = release;
+  for (const auto& shard : shards_) {
+    rGang = std::max(rGang, shard->arb.clock());
+  }
+
+  // Availability changes only at profile breakpoints, so the earliest start
+  // of each task is either its predecessor's finish or a breakpoint (the
+  // planner is exact first-fit over the aggregated availability).  The
+  // profiles are immutable while every lock is held, so one merged list
+  // serves the whole plan.
+  std::set<Time> merged;
+  for (const auto& shard : shards_) {
+    for (const Time t : shard->arb.profile().breakpoints()) merged.insert(t);
+  }
+  const std::vector<Time> breakpoints(merged.begin(), merged.end());
+
+  // Plan each chain read-only; keep the best by quality, then earliest
+  // finish, then chain declaration order (gang admission is the machine's
+  // last word on a job, so it maximizes achieved quality like
+  // ChainChoice::QualityFirst).
+  std::optional<GangPlan> best;
+  int schedulable = 0;
+  for (std::size_t c = 0; c < spec.chains.size(); ++c) {
+    const auto& chain = spec.chains[c];
+    GangPlan plan;
+    plan.chainIndex = c;
+    plan.quality = chain.quality(spec.qualityComposition);
+    Time prevEnd = rGang;
+    bool feasible = true;
+    for (std::size_t t = 0; t < chain.tasks.size(); ++t) {
+      const auto& taskSpec = chain.tasks[t];
+      const int width = taskSpec.request.processors;
+      const Time duration = taskSpec.request.duration;
+      const Time deadline = taskSpec.relativeDeadline >= kTimeInfinity
+                                ? kTimeInfinity
+                                : rGang + taskSpec.relativeDeadline;
+      std::optional<Time> start;
+      Time candidateStart = prevEnd;
+      auto next = std::upper_bound(breakpoints.begin(), breakpoints.end(),
+                                   prevEnd);
+      while (true) {
+        if (deadline < kTimeInfinity && candidateStart + duration > deadline) {
+          break;  // later candidates only finish later
+        }
+        const TimeInterval window{candidateStart, candidateStart + duration};
+        int total = 0;
+        for (const auto& shard : shards_) {
+          total += shard->arb.profile().minAvailable(window);
+        }
+        if (total >= width) {
+          start = candidateStart;
+          break;
+        }
+        if (next == breakpoints.end()) break;
+        candidateStart = *next++;
+      }
+      if (!start.has_value()) {
+        feasible = false;
+        break;
+      }
+      const TimeInterval window{*start, *start + duration};
+      plan.fullWidth.push_back(
+          sched::TaskPlacement{window, width, deadline});
+      // Greedy fragmentation in shard index order: deterministic, and the
+      // sum of per-shard minima over the window covers the width by
+      // construction.
+      int remaining = width;
+      for (int k = 0; k < shardCount() && remaining > 0; ++k) {
+        const int take = std::min(
+            remaining,
+            shards_[static_cast<std::size_t>(k)]->arb.profile().minAvailable(
+                window));
+        if (take <= 0) continue;
+        plan.fragments.push_back(GangFragment{
+            k, t, sched::TaskPlacement{window, take, deadline}});
+        remaining -= take;
+      }
+      TPRM_CHECK(remaining == 0, "gang fragmentation lost width");
+      prevEnd = window.end;
+    }
+    if (!feasible) continue;
+    plan.finish = prevEnd;
+    ++schedulable;
+    if (!best.has_value() || plan.quality > best->quality ||
+        (plan.quality == best->quality && plan.finish < best->finish)) {
+      best = std::move(plan);
+    }
+  }
+  rejection.chainsSchedulable = schedulable;
+  if (!best.has_value()) return rejection;
+
+  // Group fragments per shard (they are already in shard index order).
+  std::vector<std::vector<sched::TaskPlacement>> perShard(
+      static_cast<std::size_t>(shardCount()));
+  std::vector<std::vector<std::size_t>> perShardTasks(
+      static_cast<std::size_t>(shardCount()));
+  for (const auto& fragment : best->fragments) {
+    perShard[static_cast<std::size_t>(fragment.shard)].push_back(
+        fragment.placement);
+    perShardTasks[static_cast<std::size_t>(fragment.shard)].push_back(
+        fragment.taskIndex);
+  }
+
+  // Phase 1: trial-reserve each participating shard's fragments under that
+  // shard's undo log, in shard index order.  Any failure aborts every
+  // reserve taken so far — the profiles come back bit-for-bit.
+  std::vector<int> reserved;
+  bool ok = true;
+  for (int k = 0; k < shardCount(); ++k) {
+    if (perShard[static_cast<std::size_t>(k)].empty()) continue;
+    if (shards_[static_cast<std::size_t>(k)]->arb.gangReserve(
+            perShard[static_cast<std::size_t>(k)])) {
+      reserved.push_back(k);
+    } else {
+      ok = false;
+      break;
+    }
+  }
+  if (!ok) {
+    for (const int k : reserved) {
+      shards_[static_cast<std::size_t>(k)]->arb.gangAbort();
+    }
+    if (shardedMetrics_ != nullptr) shardedMetrics_->gangRollbacks->add();
+    return rejection;
+  }
+
+  // Phase 2: commit every fragment and register the gang binding.
+  {
+    std::lock_guard<std::mutex> mapLock(mapMutex_);
+    auto& members = gangs_[jobId];
+    for (const int k : reserved) {
+      auto& shard = *shards_[static_cast<std::size_t>(k)];
+      const auto localId = shard.arb.gangCommit(
+          spec, best->chainIndex, best->quality, rGang,
+          perShard[static_cast<std::size_t>(k)],
+          perShardTasks[static_cast<std::size_t>(k)]);
+      shard.toGlobal[localId] = jobId;
+      members.push_back({k, localId});
+    }
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  gangAdmitted_.fetch_add(1, std::memory_order_relaxed);
+  if (shardedMetrics_ != nullptr) {
+    shardedMetrics_->gangAdmitted->add();
+    shardedMetrics_->gangFragmentsPlaced->add(
+        static_cast<std::uint64_t>(best->fragments.size()));
+  }
+  if (effectiveRelease != nullptr) *effectiveRelease = rGang;
+
+  sched::AdmissionDecision decision;
+  decision.admitted = true;
+  decision.quality = best->quality;
+  decision.chainsConsidered = static_cast<int>(spec.chains.size());
+  decision.chainsSchedulable = schedulable;
+  decision.schedule.chainIndex = best->chainIndex;
+  decision.schedule.placements = std::move(best->fullWidth);
   return decision;
 }
 
@@ -157,6 +413,33 @@ std::int64_t ShardedArbitrator::cancel(std::uint64_t jobId,
     shard.toGlobal.erase(jobId);
     std::lock_guard<std::mutex> mapLock(mapMutex_);
     toLocal_.erase(jobId);
+    return freed;
+  }
+
+  // Gang jobs first: the binding table makes every fragment one job, so a
+  // cancel releases all of them (in shard index order, one lock at a time).
+  std::vector<std::pair<int, std::uint64_t>> members;
+  {
+    std::lock_guard<std::mutex> mapLock(mapMutex_);
+    const auto it = gangs_.find(jobId);
+    if (it != gangs_.end()) {
+      members = std::move(it->second);
+      gangs_.erase(it);
+    }
+  }
+  if (!members.empty()) {
+    std::int64_t freed = 0;
+    for (const auto& [k, localId] : members) {
+      auto& shard = *shards_[static_cast<std::size_t>(k)];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      std::vector<QualityMove> localMoves;
+      freed += shard.arb.cancel(localId,
+                                moves != nullptr ? &localMoves : nullptr);
+      if (moves != nullptr) {
+        appendGlobalMoves(shard, std::move(localMoves), *moves);
+      }
+      shard.toGlobal.erase(localId);
+    }
     return freed;
   }
 
@@ -225,9 +508,52 @@ RenegotiationReport ShardedArbitrator::resize(int processors, Time when) {
       }
     }
   }
+  // Gang post-processing (locks still held): a gang whose fragment was
+  // dropped anywhere has lost its machine-wide guarantee — cancel the
+  // surviving sibling fragments and report the gang dropped exactly once.
+  // A gang kept on every shard is reported kept once (the per-shard loop
+  // listed it once per fragment); a gang whose fragments all finished is
+  // simply garbage-collected from the binding table.
+  {
+    std::lock_guard<std::mutex> mapLock(mapMutex_);
+    std::set<std::uint64_t> droppedIds(report.dropped.begin(),
+                                       report.dropped.end());
+    for (auto it = gangs_.begin(); it != gangs_.end();) {
+      const std::uint64_t globalId = it->first;
+      auto& members = it->second;
+      bool anyLive = false;
+      for (const auto& [k, localId] : members) {
+        if (shards_[static_cast<std::size_t>(k)]->arb.live(localId)) {
+          anyLive = true;
+        }
+      }
+      if (droppedIds.count(globalId) != 0) {
+        for (const auto& [k, localId] : members) {
+          auto& shard = *shards_[static_cast<std::size_t>(k)];
+          if (shard.arb.live(localId)) {
+            (void)shard.arb.cancel(localId, nullptr);
+            shard.toGlobal.erase(localId);
+          }
+        }
+        const auto keptEnd = std::remove(report.kept.begin(),
+                                         report.kept.end(), globalId);
+        report.kept.erase(keptEnd, report.kept.end());
+        it = gangs_.erase(it);
+      } else if (!anyLive) {
+        it = gangs_.erase(it);  // every fragment finished
+      } else {
+        ++it;
+      }
+    }
+  }
   std::sort(report.kept.begin(), report.kept.end());
+  report.kept.erase(std::unique(report.kept.begin(), report.kept.end()),
+                    report.kept.end());
   std::sort(report.reconfigured.begin(), report.reconfigured.end());
   std::sort(report.dropped.begin(), report.dropped.end());
+  report.dropped.erase(
+      std::unique(report.dropped.begin(), report.dropped.end()),
+      report.dropped.end());
   return report;
 }
 
@@ -236,6 +562,7 @@ ShardRebalanceReport ShardedArbitrator::rebalance(Time when) {
   if (shardCount() < 2) return report;
   if (shardedMetrics_ != nullptr) shardedMetrics_->rebalanceChecks->add();
   const Time w = advanceClock(when);
+  if (rebalanceRaceSeam_) rebalanceRaceSeam_();  // test-only clock->lock gap
   const auto locks = lockAll();
 
   // A shard's idle count is the capacity free from `when` on — processors
@@ -268,17 +595,27 @@ ShardRebalanceReport ShardedArbitrator::rebalance(Time when) {
                              donorArb.processors() - 1});
   if (move <= 0) return report;
 
-  const auto shrink = donorArb.resize(donorArb.processors() - move,
-                                      std::max(w, donorArb.clock()));
+  // Both resizes happen at one common instant — the later of the sweep time
+  // and both shard clocks — and the receiver grows before the donor shrinks,
+  // so machine-wide capacity never transiently dips below the total.  (The
+  // old per-shard times shrank the donor at max(w, donorClock) while the
+  // receiver only grew at max(w, receiverClock): with the receiver's clock
+  // ahead, the machine was short `move` processors over the interval between
+  // the two instants, and a submit racing the sweep could be spuriously
+  // rejected.)  Donor idleness measured from an earlier instant still holds
+  // from the later one: always-idle-from-t is always-idle-from-t' for any
+  // t' >= t.
+  const Time at = std::max({w, donorArb.clock(), receiverArb.clock()});
+  (void)receiverArb.resize(receiverArb.processors() + move, at);
+  const auto shrink = donorArb.resize(donorArb.processors() - move, at);
   // The donor only gives up always-idle processors, so the shrink must keep
   // every reservation in place.
   TPRM_CHECK(shrink.dropped.empty(), "rebalance shrink dropped a commitment");
-  (void)receiverArb.resize(receiverArb.processors() + move,
-                           std::max(w, receiverArb.clock()));
   report.moved = true;
   report.fromShard = donor;
   report.toShard = receiver;
   report.processors = move;
+  report.at = at;
   if (shardedMetrics_ != nullptr) {
     shardedMetrics_->rebalanceMoves->add();
     shardedMetrics_->rebalanceProcessorsMoved->add(

@@ -19,7 +19,17 @@
 //  * rebalance — a periodic sweep moves whole processors from the most-idle
 //    shard to the busiest one through the existing resize() hook, never
 //    dropping a commitment (the donor only gives up processors that are idle
-//    from now on).
+//    from now on);
+//  * gang (opt-in) — a job no single shard's partition could ever hold is
+//    placed as width fragments on several shards under a two-phase trial
+//    reserve: phase 1 reserves each fragment under its shard's undo-log
+//    Trial scope (shards visited in index order — the same total order every
+//    multi-shard path uses, so the protocol is deadlock-free without a
+//    global lock), phase 2 commits all fragments or rolls every one back
+//    bit-for-bit.  Fragments are pinned on their shards and tracked in a
+//    gang binding table: cancel releases all of them, resize treats them
+//    verbatim-or-drop (dropping one cancels the siblings), and the elastic
+//    layer never demotes or promotes a fragment independently.
 //
 // With K=1 every operation forwards to the single QoSArbitrator with the
 // same ids, clocks, and counters — byte-identical decisions to the unsharded
@@ -31,6 +41,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -60,6 +71,13 @@ struct ShardedOptions {
   /// rebalance() moves processors only when the most-idle and least-idle
   /// shards differ by at least this many always-free processors.
   int rebalanceThreshold = 2;
+  /// Cross-shard gang admission: when home and spill both reject and no
+  /// chain of the spec fits any single shard's partition by width, place one
+  /// chain as width fragments on several shards under a two-phase trial
+  /// reserve — every fragment commits or every fragment rolls back
+  /// bit-for-bit.  Only engages with shards > 1, so K=1 decisions stay
+  /// byte-identical to the unsharded arbitrator.
+  bool gang = false;
 };
 
 /// Outcome of one rebalance() sweep.
@@ -69,6 +87,11 @@ struct ShardRebalanceReport {
   int toShard = -1;
   /// Whole processors moved (0 unless `moved`).
   int processors = 0;
+  /// The single instant both shards resized at — the later of the sweep
+  /// time and both shard clocks (0 unless `moved`).  Resizing the donor and
+  /// the receiver at one common time is what keeps machine-wide capacity
+  /// from transiently dipping below the total.
+  Time at = 0;
   /// Idle processors (free from `when` on) of the extreme shards observed.
   int maxIdle = 0;
   int minIdle = 0;
@@ -178,6 +201,36 @@ class ShardedArbitrator {
     return spills_.load(std::memory_order_relaxed);
   }
 
+  /// Number of live gang-admitted jobs (diagnostics, tests).
+  [[nodiscard]] std::size_t gangCount() const {
+    std::lock_guard<std::mutex> lock(mapMutex_);
+    return gangs_.size();
+  }
+  /// Gang jobs admitted so far.
+  [[nodiscard]] std::uint64_t gangAdmittedCount() const {
+    return gangAdmitted_.load(std::memory_order_relaxed);
+  }
+  /// True while `jobId` is a live gang-admitted job.
+  [[nodiscard]] bool isGangJob(std::uint64_t jobId) const {
+    std::lock_guard<std::mutex> lock(mapMutex_);
+    return gangs_.count(jobId) != 0;
+  }
+
+  /// Test-only race seams, both invoked with no shard lock held: the spill
+  /// seam fires between the spill scoring scan and the candidate submit; the
+  /// rebalance seam fires between the rebalance clock advance and the
+  /// all-shard lock acquisition.  They deterministically reproduce the
+  /// score->submit and clock->lock interleavings the regression tests pin.
+  /// A seam that re-enters this arbitrator must not recurse into its own
+  /// trigger (e.g. a spill seam should only submit jobs their home shard
+  /// admits).  Production callers leave them unset (zero cost).
+  void setSpillRaceSeamForTest(std::function<void()> seam) {
+    spillRaceSeam_ = std::move(seam);
+  }
+  void setRebalanceRaceSeamForTest(std::function<void()> seam) {
+    rebalanceRaceSeam_ = std::move(seam);
+  }
+
   /// Per-shard negotiation counters plus the cross-shard bundle.
   /// `perShard` must be empty (detach) or hold shardCount() entries.  Note
   /// shard counters count *local* admission attempts: a spilled job shows up
@@ -212,6 +265,16 @@ class ShardedArbitrator {
   void bindJob(std::uint64_t globalId, int shard, std::uint64_t localId);
   /// Locks every shard in index order.
   [[nodiscard]] std::vector<std::unique_lock<std::mutex>> lockAll() const;
+  /// Narrowest chain of the spec, by widest task.  A shard with fewer
+  /// processors than this can never admit the job.
+  static int minChainWidth(const task::TunableJobSpec& spec);
+  /// Cross-shard gang admission: plans the best chain as width fragments
+  /// over all shards, then two-phase reserves/commits it (all locks taken
+  /// in index order for the whole protocol).  Returns a rejection when the
+  /// spec is not gang-eligible or no chain fits machine-wide.
+  [[nodiscard]] sched::AdmissionDecision gangSubmit(
+      std::uint64_t jobId, const task::TunableJobSpec& spec, Time release,
+      Time* effectiveRelease);
 
   ShardedOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -220,9 +283,19 @@ class ShardedArbitrator {
   std::atomic<std::uint64_t> admitted_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> spills_{0};
+  std::atomic<std::uint64_t> gangAdmitted_{0};
   /// Global job id -> (shard, local id), for live jobs.
   mutable std::mutex mapMutex_;
   std::unordered_map<std::uint64_t, std::pair<int, std::uint64_t>> toLocal_;
+  /// Gang binding table: global job id -> every (shard, local id) fragment,
+  /// in shard index order.  cancel/resize treat the members as one job — a
+  /// fragment is never cancelled, renegotiated, or rebalanced independently.
+  /// Guarded by mapMutex_.
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::pair<int, std::uint64_t>>>
+      gangs_;
+  std::function<void()> spillRaceSeam_;      // test-only, see setter
+  std::function<void()> rebalanceRaceSeam_;  // test-only, see setter
   obs::ShardedMetrics* shardedMetrics_ = nullptr;  // nullable observation hook
 };
 

@@ -35,6 +35,7 @@ qos::ShardedOptions shardedOptions(const ServerConfig& config) {
   options.shards = config.shards;
   options.greedy = config.options;
   options.spill = config.shardSpill;
+  options.gang = config.shardGang;
   return options;
 }
 

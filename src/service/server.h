@@ -88,6 +88,9 @@ struct ServerConfig {
   /// Offer home-shard rejections to the emptiest other shard before finally
   /// rejecting (shards > 1 only).
   bool shardSpill = true;
+  /// Admit jobs too wide for any single shard by gang-reserving width
+  /// fragments across shards (two-phase trial reserve; shards > 1 only).
+  bool shardGang = false;
   /// Period of the background capacity rebalancer; 0 disables it.  Only
   /// meaningful with shards > 1.
   int rebalanceIntervalMs = 0;

@@ -17,8 +17,10 @@
 //   --shards=K partitions the machine across K arbitrator shards with
 //   parallel admission (K=1, the default, is the classic single-writer
 //   arbitrator with identical decisions).  --no-spill keeps rejected jobs
-//   on their home shard; --rebalance-interval-ms=N runs the capacity
-//   rebalancer every N ms (0, the default, disables it).
+//   on their home shard; --gang admits jobs too wide for any single shard
+//   by reserving width fragments across shards (two-phase trial reserve);
+//   --rebalance-interval-ms=N runs the capacity rebalancer every N ms
+//   (0, the default, disables it).
 //
 // Elastic mode:
 //   --elastic[=POLICY] turns rejections into quality trades: on admission
@@ -69,7 +71,7 @@ int main(int argc, char** argv) {
       {"procs", "unix", "tcp-port", "max-frame-kb", "queue-cap",
        "max-sessions", "idle-timeout-ms", "io-timeout-ms", "verbose",
        "metrics-out", "metrics-interval-ms", "trace-cap", "no-metrics",
-       "shards", "no-spill", "rebalance-interval-ms", "record-out",
+       "shards", "no-spill", "gang", "rebalance-interval-ms", "record-out",
        "event-loops", "max-inflight", "worker-batch", "elastic"});
   if (!unknown.empty()) {
     std::fprintf(stderr, "tprmd: unknown flag --%s\n", unknown.front().c_str());
@@ -97,6 +99,11 @@ int main(int argc, char** argv) {
   config.workerBatch =
       static_cast<std::size_t>(flags.getInt("worker-batch", 32));
   config.shardSpill = !flags.getBool("no-spill", false);
+  config.shardGang = flags.getBool("gang", false);
+  if (config.shardGang && config.shards < 2) {
+    std::fprintf(stderr, "tprmd: --gang requires --shards >= 2\n");
+    return 2;
+  }
   config.rebalanceIntervalMs =
       static_cast<int>(flags.getInt("rebalance-interval-ms", 0));
   config.unixPath = flags.getString("unix", "");
@@ -183,8 +190,9 @@ int main(int argc, char** argv) {
                 static_cast<unsigned>(server.tcpPort()));
   }
   if (config.shards > 1) {
-    std::printf("tprmd: managing %d processors across %d shards\n",
-                config.processors, config.shards);
+    std::printf("tprmd: managing %d processors across %d shards%s\n",
+                config.processors, config.shards,
+                config.shardGang ? " (gang admission on)" : "");
   } else {
     std::printf("tprmd: managing %d processors\n", config.processors);
   }

@@ -50,10 +50,12 @@ std::vector<workload::ScenarioJob> scenarioJobs(const std::string& name,
 /// Records a trace by driving a live server with `clientCount` concurrent
 /// connections, each negotiating its slice of the scenario stream.
 void recordTrace(const std::string& tracePath, int shards, int clientCount,
-                 const std::vector<workload::ScenarioJob>& jobs) {
+                 const std::vector<workload::ScenarioJob>& jobs,
+                 bool gang = false) {
   ServerConfig config;
   config.processors = 32;
   config.shards = shards;
+  config.shardGang = gang;
   config.unixPath = socketPath("record" + std::to_string(shards));
   config.recordPath = tracePath;
   NegotiationServer server(config);
@@ -95,9 +97,10 @@ std::vector<Request> decodeTrace(const std::string& tracePath) {
 }
 
 std::vector<Decision> replayInProcess(const std::vector<Request>& requests,
-                                      int shards) {
+                                      int shards, bool gang = false) {
   qos::ShardedOptions options;
   options.shards = shards;
+  options.gang = gang;
   qos::ShardedArbitrator arbitrator(32, options);
   std::vector<Decision> decisions;
   for (const auto& request : requests) {
@@ -121,10 +124,11 @@ std::vector<Decision> replayInProcess(const std::vector<Request>& requests,
 }
 
 std::vector<Decision> replayIntoFreshDaemon(
-    const std::vector<Request>& requests, int shards) {
+    const std::vector<Request>& requests, int shards, bool gang = false) {
   ServerConfig config;
   config.processors = 32;
   config.shards = shards;
+  config.shardGang = gang;
   config.unixPath = socketPath("fresh" + std::to_string(shards));
   NegotiationServer server(config);
   std::string error;
@@ -192,6 +196,41 @@ TEST_P(TraceReplayEquivalence, RecordedTraceReplaysDecisionIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(ShardCounts, TraceReplayEquivalence,
                          testing::Values(1, 4));
+
+// Same acceptance loop with gang admission on: cross-shard gang decisions
+// must flow through the identical record/replay contract — a gang-admitted
+// job is one decision on the wire, and a fresh in-process replay and a
+// fresh daemon replay must reproduce it bit-for-bit.  multi-tenant offers
+// full-width-only chains wide enough to be gang-eligible at shards=8
+// (32 processors / 8 = 4 per shard); at shards=1 gang is inert and the
+// suite degenerates to the classic equivalence.
+class GangTraceReplayEquivalence : public testing::TestWithParam<int> {};
+
+TEST_P(GangTraceReplayEquivalence, RecordedTraceReplaysDecisionIdentical) {
+  const int shards = GetParam();
+  const auto jobs = scenarioJobs("multi-tenant", 120);
+  const std::string tracePath = testing::TempDir() + "replay_gang_" +
+                                std::to_string(shards) + "_" +
+                                std::to_string(::getpid()) + ".trace";
+  recordTrace(tracePath, shards, 4, jobs, /*gang=*/true);
+
+  const auto requests = decodeTrace(tracePath);
+  ASSERT_EQ(requests.size(), jobs.size());
+
+  const auto viaSim = replayInProcess(requests, shards, /*gang=*/true);
+  const auto viaDaemon = replayIntoFreshDaemon(requests, shards,
+                                               /*gang=*/true);
+  ASSERT_EQ(viaSim.size(), jobs.size());
+  expectIdentical(viaSim, viaDaemon);
+
+  std::size_t admitted = 0;
+  for (const auto& decision : viaSim) admitted += decision.admitted ? 1 : 0;
+  EXPECT_GT(admitted, 0u);
+  EXPECT_LT(admitted, viaSim.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, GangTraceReplayEquivalence,
+                         testing::Values(1, 4, 8));
 
 // The recorded decisions themselves (not just the replays) must match a
 // sequential replay when shards == 1: one queue, one worker, total order.

@@ -1,11 +1,14 @@
 // Tests for qos::ShardedArbitrator: the K=1 equivalence guarantee, the
 // jobId -> shard routing, the spill path, the capacity rebalancer, and
-// whole-machine resize through the shard layer.
+// whole-machine resize through the shard layer — plus the deterministic
+// race regressions (spill score staleness, rebalance capacity dip) driven
+// through the test-only seams.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "qos/sharded.h"
 
 namespace tprm::qos {
@@ -263,6 +266,129 @@ TEST(ShardedArbitrator, ResizeSplitsEvenlyAndReportsGlobalIds) {
         << "unknown id " << id;
   }
   EXPECT_TRUE(sharded.verify().ok);
+}
+
+// Regression (spill TOCTOU): the spill target is scored under its lock,
+// the lock is dropped, and a competing admit can fill the scored shard
+// before the submit re-acquires it.  The fixed path re-validates the score
+// under the held submit lock and falls back to the next-best candidate; the
+// old single-scan argmax submitted into the stale winner and rejected.
+TEST(ShardedArbitrator, SpillRevalidatesStaleScoreAndFallsBack) {
+  ShardedOptions options;
+  options.shards = 3;
+  ShardedArbitrator sharded(12, options);  // 4 + 4 + 4
+
+  // Shard 0 (home of id 0) is full for [0, 100); shard 2 carries a token
+  // job so shard 1 scores strictly best; shard 1 stays free for now.
+  ASSERT_TRUE(sharded.submit(0, rigidJob("fill0", 4, 100.0, 110.0), 0)
+                  .admitted);
+  (void)sharded.reserveJobId();  // id 0
+  (void)sharded.reserveJobId();  // id 1 (unused: keeps routing explicit)
+  ASSERT_TRUE(sharded.submit(2, rigidJob("token2", 4, 10.0, 1000.0), 0)
+                  .admitted);
+
+  // Between the scoring scan and the submit, a competing job lands on the
+  // scored-best shard 1 and fills it for [0, 100).
+  bool fired = false;
+  sharded.setSpillRaceSeamForTest([&] {
+    if (fired) return;
+    fired = true;
+    ASSERT_TRUE(sharded.submit(4, rigidJob("race1", 4, 100.0, 110.0), 0)
+                    .admitted);  // home shard 1: no spill recursion
+  });
+
+  // Id 3's home shard 0 is full and its deadline is too tight to queue;
+  // the spill must land on shard 2 (start 10, finish 60 == deadline) even
+  // though the scan ranked shard 1 first.
+  const auto decision = sharded.submit(3, rigidJob("spilled", 4, 50.0, 60.0),
+                                       0);
+  ASSERT_TRUE(fired);
+  ASSERT_TRUE(decision.admitted);
+  EXPECT_EQ(sharded.spillCount(), 1u);
+  EXPECT_EQ(sharded.shard(2).admittedCount(), 2u);
+  EXPECT_GT(sharded.cancel(3), 0);
+  EXPECT_TRUE(sharded.verify().ok);
+  sharded.setSpillRaceSeamForTest(nullptr);
+}
+
+// Regression (spillAttempts accounting): a spill scan whose chosen shard
+// cannot fit any chain of the spec by width is a guaranteed rejection — it
+// must count as spill_no_candidate, not as an attempt.  Attempts count only
+// candidate submits that actually run.
+TEST(ShardedArbitrator, SpillAttemptsCountsOnlyRealSubmits) {
+  ShardedOptions options;
+  options.shards = 2;
+  ShardedArbitrator sharded(8, options);  // 4 + 4
+  obs::MetricsRegistry registry;
+  auto metrics = obs::ShardedMetrics::fromRegistry(registry, "sharded");
+  sharded.attachMetrics({}, &metrics);
+
+  // 5 > 4 on both shards: home rejects, and the spill scan's chosen
+  // candidate is width-infeasible — no submit runs.
+  EXPECT_FALSE(sharded.submit(rigidJob("wide", 5, 10.0, 1000.0), 0)
+                   .admitted);
+  EXPECT_EQ(metrics.spillAttempts->value(), 0u);
+  EXPECT_EQ(metrics.spillNoCandidate->value(), 1u);
+
+  // A genuine spill still counts one attempt and one admission.
+  ASSERT_TRUE(sharded.submit(2, rigidJob("fill0", 4, 100.0, 110.0), 0)
+                  .admitted);
+  ASSERT_TRUE(sharded.submit(4, rigidJob("spilled", 4, 50.0, 60.0), 0)
+                  .admitted);
+  EXPECT_EQ(metrics.spillAttempts->value(), 1u);
+  EXPECT_EQ(metrics.spillAdmitted->value(), 1u);
+  EXPECT_EQ(metrics.spillNoCandidate->value(), 1u);
+}
+
+// Regression (rebalance capacity dip): the donor used to shrink at
+// max(w, donorClock) while the receiver grew at max(w, receiverClock); a
+// submit racing the sweep could push the receiver's clock ahead, opening an
+// interval where machine-wide capacity dipped and submits were spuriously
+// rejected.  Both shards now resize at the common later instant.
+TEST(ShardedArbitrator, RebalanceResizesBothShardsAtTheCommonInstant) {
+  ShardedOptions options;
+  options.shards = 2;
+  ShardedArbitrator sharded(16, options);  // 8 + 8
+  // Shard 0 is the busiest (receiver): full for [0, 500).
+  ASSERT_TRUE(sharded.submit(0, rigidJob("load", 8, 500.0, 1000.0), 0)
+                  .admitted);
+
+  // A submit lands between the sweep's clock advance and its lock grab,
+  // pushing the receiver's clock (5.0) past the sweep time (1.0).
+  bool fired = false;
+  sharded.setRebalanceRaceSeamForTest([&] {
+    if (fired) return;
+    fired = true;
+    ASSERT_TRUE(sharded
+                    .submit(2, rigidJob("racer", 1, 1.0, 10000.0),
+                            ticksFromUnits(5.0))
+                    .admitted);  // home shard 0: receiver clock -> 5.0
+  });
+
+  const auto report = sharded.rebalance(ticksFromUnits(1.0));
+  ASSERT_TRUE(fired);
+  ASSERT_TRUE(report.moved);
+  EXPECT_EQ(report.fromShard, 1);
+  EXPECT_EQ(report.toShard, 0);
+  EXPECT_EQ(report.processors, 4);
+  EXPECT_EQ(sharded.shardProcessors(), (std::vector<int>{12, 4}));
+
+  // The invariant: the donor's capacity must not drop before the receiver's
+  // rises.  Both resizes land at the single instant t=5.0 (the racer pushed
+  // the receiver's clock there), so the donor still offered all 8
+  // processors over [1.0, 5.0) and both shard clocks agree afterwards.  The
+  // old code shrank the donor at t=1.0 while the receiver only grew at
+  // t=5.0, leaving the donor's clock behind (1.0 != 5.0) and the machine 4
+  // processors short for the whole skew interval.
+  EXPECT_EQ(report.at, ticksFromUnits(5.0));
+  EXPECT_EQ(sharded.shard(0).clock(), sharded.shard(1).clock());
+  EXPECT_EQ(sharded.shard(0).clock(), ticksFromUnits(5.0));
+  // From the common instant on, the post-move capacities are in force.
+  EXPECT_EQ(sharded.shard(1).profile().minAvailable(
+                TimeInterval{ticksFromUnits(5.0), ticksFromUnits(6.0)}),
+            4);
+  EXPECT_TRUE(sharded.verify().ok);
+  sharded.setRebalanceRaceSeamForTest(nullptr);
 }
 
 TEST(ShardedArbitratorDeath, InvalidArguments) {

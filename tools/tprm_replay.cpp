@@ -10,9 +10,10 @@
 //   --in=FILE --cat
 //       Dump the trace, one line per record.
 //
-//   --in=FILE [--procs=P] [--shards=K] [--no-spill]
+//   --in=FILE [--procs=P] [--shards=K] [--no-spill] [--gang]
 //       Replay the trace sequentially into a fresh in-process
 //       ShardedArbitrator and print the decision summary + fingerprint.
+//       --gang enables cross-shard gang admission (shards > 1).
 //
 //   --elastic[=POLICY]  (combines with every replay mode)
 //       Attach the elastic Reshaper (min-quality-loss | most-recent-first |
@@ -31,7 +32,7 @@
 //       Pacing follows an absolute schedule, so a slow response does not
 //       push every later arrival out — bursts stay bursts.
 //
-//   --in=FILE --drive [--procs=P] [--shards=K] [--no-spill]
+//   --in=FILE --drive [--procs=P] [--shards=K] [--no-spill] [--gang]
 //       Self-hosting verification: spins up a fresh in-process
 //       NegotiationServer with the given sizing, replays the trace through a
 //       real client connection, replays it again into a fresh in-process
@@ -157,10 +158,11 @@ std::vector<service::Request> decodeAll(
   return requests;
 }
 
-qos::ShardedOptions shardedOptions(int shards, bool spill) {
+qos::ShardedOptions shardedOptions(int shards, bool spill, bool gang) {
   qos::ShardedOptions options;
   options.shards = shards;
   options.spill = spill;
+  options.gang = gang;
   return options;
 }
 
@@ -169,9 +171,10 @@ qos::ShardedOptions shardedOptions(int shards, bool spill) {
 /// ids (and home shards) line up with a recorded daemon run.
 ReplaySummary replayInProcess(
     const std::vector<service::WireTraceRecord>& records, int processors,
-    int shards, bool spill, const qos::ReshapePolicy* policy) {
+    int shards, bool spill, bool gang, const qos::ReshapePolicy* policy) {
   const auto requests = decodeAll(records);
-  qos::ShardedArbitrator arbitrator(processors, shardedOptions(shards, spill));
+  qos::ShardedArbitrator arbitrator(processors,
+                                    shardedOptions(shards, spill, gang));
   if (policy != nullptr) arbitrator.attachReshapePolicy(policy);
   ReplaySummary summary;
   std::vector<qos::QualityMove> moves;
@@ -482,7 +485,8 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto unknown = flags.unknownAgainst(
       {"in", "out", "gen", "jobs", "seed", "procs", "shards", "no-spill",
-       "unix", "tcp-port", "drive", "cat", "paced", "pace-scale", "elastic"});
+       "gang", "unix", "tcp-port", "drive", "cat", "paced", "pace-scale",
+       "elastic"});
   if (!unknown.empty()) {
     std::fprintf(stderr, "tprm_replay: unknown flag --%s\n",
                  unknown.front().c_str());
@@ -506,7 +510,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: tprm_replay --gen=NAME --out=FILE [--jobs --seed]\n"
                  "       tprm_replay --in=FILE --cat\n"
-                 "       tprm_replay --in=FILE [--procs --shards --no-spill]\n"
+                 "       tprm_replay --in=FILE [--procs --shards --no-spill --gang]\n"
                  "       tprm_replay --in=FILE --unix=PATH | --tcp-port=PORT\n"
                  "                   [--paced [--pace-scale=X]]\n"
                  "       tprm_replay --in=FILE --drive [--procs --shards]\n");
@@ -518,6 +522,7 @@ int main(int argc, char** argv) {
   const int processors = static_cast<int>(flags.getInt("procs", 32));
   const int shards = static_cast<int>(flags.getInt("shards", 1));
   const bool spill = !flags.getBool("no-spill", false);
+  const bool gang = flags.getBool("gang", false);
   if (shards < 1 || shards > processors) {
     std::fprintf(stderr, "tprm_replay: --shards must be in [1, --procs]\n");
     return 2;
@@ -573,6 +578,7 @@ int main(int argc, char** argv) {
     config.processors = processors;
     config.shards = shards;
     config.shardSpill = spill;
+    config.shardGang = gang;
     config.reshapePolicy = reshapePolicy;
     config.unixPath =
         "/tmp/tprm_replay_" + std::to_string(::getpid()) + ".sock";
@@ -589,7 +595,8 @@ int main(int argc, char** argv) {
         replayIntoDaemon(records, client, false, 1.0, reshaper.has_value());
     server.stop();
     const auto viaSim =
-        replayInProcess(records, processors, shards, spill, reshapePolicy);
+        replayInProcess(records, processors, shards, spill, gang,
+                        reshapePolicy);
     printSummary("daemon", viaDaemon);
     printSummary("sim", viaSim);
     if (!decisionsMatch(viaSim, viaDaemon)) {
@@ -602,7 +609,7 @@ int main(int argc, char** argv) {
   }
 
   const auto summary =
-      replayInProcess(records, processors, shards, spill, reshapePolicy);
+      replayInProcess(records, processors, shards, spill, gang, reshapePolicy);
   printSummary("sim", summary);
   return 0;
 }

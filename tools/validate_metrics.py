@@ -11,6 +11,12 @@ Usage:
 The snapshot file may be a single JSON document or JSON-lines (as written by
 `tprmd --metrics-out`); with JSON-lines every line is validated.
 
+Beyond the schema, cross-counter invariants of the sharded.* family are
+checked: spill_admitted <= spill_attempts (an attempt is a candidate submit
+that actually ran; spill_no_candidate counts scans that skipped the submit),
+gang_admitted <= gang_attempts, and gang_fragments_placed >= 2 *
+gang_admitted (a gang spans at least two shards by construction).
+
 Exit status: 0 when every document validates, 1 otherwise.
 """
 
@@ -87,6 +93,38 @@ def validate(value, schema: dict, path: str = "$") -> list[str]:
     return errors
 
 
+def _counter_errors(document) -> list[str]:
+    """Cross-counter invariants the schema cannot express."""
+    counters = document.get("counters")
+    if not isinstance(counters, dict):
+        return []
+    errors: list[str] = []
+
+    def check(lower: str, upper: str, scale: int = 1) -> None:
+        if lower in counters and upper in counters:
+            if counters[upper] * scale < counters[lower]:
+                errors.append(
+                    f"$.counters: {lower} ({counters[lower]}) exceeds "
+                    f"{scale} * {upper} ({counters[upper]})"
+                )
+
+    check("sharded.spill_admitted", "sharded.spill_attempts")
+    check("sharded.gang_admitted", "sharded.gang_attempts")
+    # Every committed gang spans >= 2 shards, so fragments >= 2 * gangs.
+    if (
+        "sharded.gang_fragments_placed" in counters
+        and "sharded.gang_admitted" in counters
+        and counters["sharded.gang_fragments_placed"]
+        < 2 * counters["sharded.gang_admitted"]
+    ):
+        errors.append(
+            "$.counters: sharded.gang_fragments_placed "
+            f"({counters['sharded.gang_fragments_placed']}) below 2 * "
+            f"sharded.gang_admitted ({counters['sharded.gang_admitted']})"
+        )
+    return errors
+
+
 def _documents(text: str):
     """Yields (label, parsed) for a single document or JSON-lines input."""
     stripped = text.strip()
@@ -120,7 +158,10 @@ def main() -> int:
     checked = 0
     for label, document in _documents(args.snapshot.read_text()):
         checked += 1
-        for error in validate(document, schema):
+        errors = validate(document, schema)
+        if not errors:
+            errors = _counter_errors(document)
+        for error in errors:
             print(f"{args.snapshot}:{label}: {error}", file=sys.stderr)
             failures += 1
     if failures:

@@ -11,6 +11,9 @@ express:
   * decision_fingerprint is a 16-hex-digit string;
   * per-tenant counters are consistent (admitted <= offered, offered sums
     to the leg's job count) and no leg reports quality-floor violations;
+  * gang fields are consistent: gang_admitted only appears on gang legs,
+    never exceeds admitted, and when the artifact was produced with --gang
+    every canonical kind has a shards >= 8 leg (the K=8 sweep row);
   * all four canonical scenario kinds are present.
 
 Usage:
@@ -36,9 +39,12 @@ _CANONICAL_KINDS = {"diurnal", "flash-crowd", "heavy-tailed", "multi-tenant"}
 def _semantic_errors(document) -> list[str]:
     errors: list[str] = []
     kinds_seen: set[str] = set()
+    wide_kinds: set[str] = set()  # kinds with a shards >= 8 leg
     for index, leg in enumerate(document.get("scenarios", [])):
         path = f"$.scenarios[{index}]"
         kinds_seen.add(leg.get("kind", ""))
+        if leg.get("shards", 0) >= 8:
+            wide_kinds.add(leg.get("kind", ""))
         jobs = leg.get("jobs", 0)
         admitted = leg.get("admitted", 0)
         rejected = leg.get("rejected", 0)
@@ -83,11 +89,28 @@ def _semantic_errors(document) -> list[str]:
                     f"{path}: per-tenant offered sums to {offered_total}, "
                     f"expected {jobs}"
                 )
+        gang_admitted = leg.get("gang_admitted")
+        if gang_admitted is not None and not leg.get("gang", False):
+            errors.append(
+                f"{path}: gang_admitted present on a non-gang leg"
+            )
+        if gang_admitted is not None and gang_admitted > admitted:
+            errors.append(
+                f"{path}: gang_admitted ({gang_admitted}) exceeds "
+                f"admitted ({admitted})"
+            )
     missing = _CANONICAL_KINDS - kinds_seen
     if missing:
         errors.append(
             f"$.scenarios: missing canonical kind(s): {sorted(missing)}"
         )
+    if document.get("gang", False):
+        missing_wide = _CANONICAL_KINDS - wide_kinds
+        if missing_wide:
+            errors.append(
+                "$.scenarios: --gang artifact lacks a shards >= 8 leg for "
+                f"kind(s): {sorted(missing_wide)}"
+            )
     return errors
 
 
