@@ -1,0 +1,24 @@
+#include "qos/command_queue.h"
+
+namespace tprm::qos {
+
+std::optional<QueueKind> queueKindFromName(const std::string& name) {
+  if (name == "mutex") return QueueKind::Mutex;
+  if (name == "mpsc") return QueueKind::Mpsc;
+  if (name == "steal") return QueueKind::Steal;
+  return std::nullopt;
+}
+
+const char* toString(QueueKind kind) {
+  switch (kind) {
+    case QueueKind::Mutex:
+      return "mutex";
+    case QueueKind::Mpsc:
+      return "mpsc";
+    case QueueKind::Steal:
+      return "steal";
+  }
+  return "mutex";
+}
+
+}  // namespace tprm::qos

@@ -443,33 +443,50 @@ std::int64_t ShardedArbitrator::cancel(std::uint64_t jobId,
     return freed;
   }
 
-  std::optional<std::pair<int, std::uint64_t>> location;
-  {
-    std::lock_guard<std::mutex> mapLock(mapMutex_);
-    const auto it = toLocal_.find(jobId);
-    if (it != toLocal_.end()) location = it->second;
-  }
-  if (!location.has_value()) {
-    // Unknown, rejected, or already finished: account the miss on the home
-    // shard, like the unsharded arbitrator would.
-    auto& shard = *shards_[static_cast<std::size_t>(homeShard(jobId))];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto* metrics = shard.arb.metrics();
-    if (metrics != nullptr && metrics->cancelMisses != nullptr) {
-      metrics->cancelMisses->add();
+  // TOCTOU guard: the binding is read under mapMutex_, but the shard lock
+  // is taken *afterwards* — a concurrent resize (which prunes dropped
+  // jobs' bindings) or a racing cancel can retire the job, and a future
+  // migration could move it, in that gap.  Re-validate the binding under
+  // the held shard lock (the same pattern as the spill revalidation fix)
+  // and retry from the map on a move; a retired binding falls through to
+  // the miss path below.  Lock order stays shard.mu -> mapMutex_.
+  for (;;) {
+    std::optional<std::pair<int, std::uint64_t>> location;
+    {
+      std::lock_guard<std::mutex> mapLock(mapMutex_);
+      const auto it = toLocal_.find(jobId);
+      if (it != toLocal_.end()) location = it->second;
     }
-    return 0;
+    if (!location.has_value()) break;  // unknown or retired -> miss path
+    if (cancelRaceSeam_) cancelRaceSeam_();
+    auto& shard = *shards_[static_cast<std::size_t>(location->first)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    {
+      std::lock_guard<std::mutex> mapLock(mapMutex_);
+      const auto it = toLocal_.find(jobId);
+      if (it == toLocal_.end()) break;         // retired in the gap
+      if (it->second != *location) continue;   // moved in the gap: retry
+      toLocal_.erase(it);
+    }
+    std::vector<QualityMove> localMoves;
+    const auto freed = shard.arb.cancel(
+        location->second, moves != nullptr ? &localMoves : nullptr);
+    if (moves != nullptr) {
+      appendGlobalMoves(shard, std::move(localMoves), *moves);
+    }
+    shard.toGlobal.erase(location->second);
+    return freed;
   }
-  auto& shard = *shards_[static_cast<std::size_t>(location->first)];
+  // Unknown, rejected, already finished, or retired while we raced for the
+  // shard lock: account the miss on the home shard, like the unsharded
+  // arbitrator would.
+  auto& shard = *shards_[static_cast<std::size_t>(homeShard(jobId))];
   std::lock_guard<std::mutex> lock(shard.mu);
-  std::vector<QualityMove> localMoves;
-  const auto freed = shard.arb.cancel(
-      location->second, moves != nullptr ? &localMoves : nullptr);
-  if (moves != nullptr) appendGlobalMoves(shard, std::move(localMoves), *moves);
-  shard.toGlobal.erase(location->second);
-  std::lock_guard<std::mutex> mapLock(mapMutex_);
-  toLocal_.erase(jobId);
-  return freed;
+  auto* metrics = shard.arb.metrics();
+  if (metrics != nullptr && metrics->cancelMisses != nullptr) {
+    metrics->cancelMisses->add();
+  }
+  return 0;
 }
 
 RenegotiationReport ShardedArbitrator::resize(int processors, Time when) {

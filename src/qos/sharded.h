@@ -216,11 +216,13 @@ class ShardedArbitrator {
     return gangs_.count(jobId) != 0;
   }
 
-  /// Test-only race seams, both invoked with no shard lock held: the spill
+  /// Test-only race seams, all invoked with no shard lock held: the spill
   /// seam fires between the spill scoring scan and the candidate submit; the
   /// rebalance seam fires between the rebalance clock advance and the
-  /// all-shard lock acquisition.  They deterministically reproduce the
-  /// score->submit and clock->lock interleavings the regression tests pin.
+  /// all-shard lock acquisition; the cancel seam fires between the
+  /// jobToShard map read and the shard lock acquisition.  They
+  /// deterministically reproduce the score->submit, clock->lock and
+  /// read->lock interleavings the regression tests pin.
   /// A seam that re-enters this arbitrator must not recurse into its own
   /// trigger (e.g. a spill seam should only submit jobs their home shard
   /// admits).  Production callers leave them unset (zero cost).
@@ -229,6 +231,9 @@ class ShardedArbitrator {
   }
   void setRebalanceRaceSeamForTest(std::function<void()> seam) {
     rebalanceRaceSeam_ = std::move(seam);
+  }
+  void setCancelRaceSeamForTest(std::function<void()> seam) {
+    cancelRaceSeam_ = std::move(seam);
   }
 
   /// Per-shard negotiation counters plus the cross-shard bundle.
@@ -296,6 +301,7 @@ class ShardedArbitrator {
       gangs_;
   std::function<void()> spillRaceSeam_;      // test-only, see setter
   std::function<void()> rebalanceRaceSeam_;  // test-only, see setter
+  std::function<void()> cancelRaceSeam_;     // test-only, see setter
   obs::ShardedMetrics* shardedMetrics_ = nullptr;  // nullable observation hook
 };
 

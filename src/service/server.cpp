@@ -144,23 +144,23 @@ struct NegotiationServer::Loop {
   Clock::time_point lastSweep{};
 };
 
-/// One shard's command queue and the worker draining it.  The deque is
-/// soft-bounded: producers never block on it (the loop threads must not
-/// stall); at/above commandQueueCapacity v1 producers pause reading and v2
-/// producers get `busy` instead.
+/// One shard's command queue and the worker draining it.  The queue itself
+/// is pluggable (config.queueKind, qos/command_queue.h); every kind is
+/// soft-bounded from the server's point of view: producers never block (the
+/// loop threads must not stall); at/above commandQueueCapacity v1 producers
+/// pause reading and v2 producers get `busy` instead.
 struct NegotiationServer::ShardQueue {
-  std::mutex mu;
-  std::condition_variable notEmpty;
-  std::deque<std::shared_ptr<PendingCommand>> queue;
+  std::unique_ptr<qos::CommandQueue<std::shared_ptr<PendingCommand>>> impl;
   /// (loopIndex, connId) of v1 connections paused on this queue's
-  /// backpressure; the worker flushes the list once it drains below
-  /// capacity.
-  std::vector<std::pair<int, std::uint64_t>> throttled;
+  /// backpressure; whoever drains the queue below capacity (its worker or,
+  /// in steal mode, a thief) flushes the list.
+  std::mutex throttledMu;
+  std::vector<std::pair<int, std::uint64_t>> throttled;  // guarded by ^
   /// "server.queue_depth" (shards == 1) / "server.queue_depth.shard<k>".
+  /// Sampled at enqueue from the depth the push itself observed, so the
+  /// high-water mark catches every peak even when the worker drains whole
+  /// batches between samples.
   obs::Gauge* depth = nullptr;
-  /// Lock-free mirror of queue.size() for the adaptive-window computation
-  /// (read on loop and worker threads without taking mu).
-  std::atomic<std::size_t> size{0};
   std::thread worker;
 };
 
@@ -177,7 +177,10 @@ NegotiationServer::NegotiationServer(ServerConfig config)
   }
   queues_.reserve(static_cast<std::size_t>(config_.shards));
   for (int k = 0; k < config_.shards; ++k) {
-    queues_.push_back(std::make_unique<ShardQueue>());
+    auto queue = std::make_unique<ShardQueue>();
+    queue->impl = qos::makeCommandQueue<std::shared_ptr<PendingCommand>>(
+        config_.queueKind, config_.commandQueueCapacity);
+    queues_.push_back(std::move(queue));
   }
   if (config_.observability) {
     registry_ = std::make_unique<obs::MetricsRegistry>();
@@ -303,17 +306,13 @@ void NegotiationServer::stop() {
 
   // 3. No producers remain: close the queues and join each worker after it
   // has executed everything already admitted.  seqMutex_ serialises the
-  // close against any straggling enqueue.
+  // close against any straggling enqueue; close() wakes parked consumers
+  // AND blocked bounded producers (both CVs — the lost-wakeup fix).
   {
     std::lock_guard<std::mutex> lock(seqMutex_);
     queueClosed_.store(true);
   }
-  for (auto& queue : queues_) {
-    {
-      std::lock_guard<std::mutex> lock(queue->mu);
-    }
-    queue->notEmpty.notify_all();
-  }
+  for (auto& queue : queues_) queue->impl->close();
   for (auto& queue : queues_) {
     if (queue->worker.joinable()) queue->worker.join();
   }
@@ -351,6 +350,7 @@ ServerCounters NegotiationServer::counters() const {
   counters.disconnectsMidRequest = disconnectsMidRequest_.load();
   counters.busyRejections = busyRejections_.load();
   counters.helloHandshakes = helloHandshakes_.load();
+  counters.batchesStolen = batchesStolen_.load();
   counters.reshapeEventsDispatched = reshapeEventsDispatched_.load();
   counters.reshapeEventsDropped = reshapeEventsDropped_.load();
   return counters;
@@ -916,11 +916,12 @@ NegotiationServer::EnqueueStatus NegotiationServer::enqueue(
         std::get<CancelRequest>(command->request.payload).jobId));
   }
   auto& queue = *queues_[target];
-  std::unique_lock<std::mutex> lock(queue.mu);
-  if (allowBusy && queue.queue.size() >= config_.commandQueueCapacity) {
+  if (allowBusy &&
+      queue.impl->approxDepth() >= config_.commandQueueCapacity) {
     // v2 backpressure: refuse before drawing a sequence number or job id,
     // so the wire trace and the replayed id stream only ever contain
-    // commands that executed.
+    // commands that executed.  approxDepth is exact on the producer side —
+    // every push happens under seqMutex_, held here.
     return EnqueueStatus::Busy;
   }
   const std::uint64_t seq = nextArrivalSeq_++;
@@ -957,126 +958,189 @@ NegotiationServer::EnqueueStatus NegotiationServer::enqueue(
     }
   }
   if (trace_ != nullptr) command->enqueuedNs = obs::monotonicNanos();
-  queue.queue.push_back(command);
-  queue.size.store(queue.queue.size(), std::memory_order_relaxed);
+  const auto pushed = queue.impl->push(command, /*refuseAtCapacity=*/false);
+  if (pushed.status == qos::QueuePush::Closed) {
+    // Unreachable in practice — close happens under seqMutex_, checked at
+    // entry — but the contract allows it, so don't mislead the caller.
+    return EnqueueStatus::Closed;
+  }
   if (queue.depth != nullptr) {
-    queue.depth->set(static_cast<std::int64_t>(queue.queue.size()));
+    // Sample the depth the push itself observed (not a later re-read): the
+    // high-water gauge then sees every peak even when the worker drains a
+    // whole batch before the next enqueue (the undercount bugfix).
+    queue.depth->set(static_cast<std::int64_t>(pushed.depth));
   }
   EnqueueStatus status = EnqueueStatus::Ok;
-  if (!allowBusy && queue.queue.size() >= config_.commandQueueCapacity) {
+  if (!allowBusy && pushed.status == qos::QueuePush::OkAtCapacity) {
     // v1 backpressure: the command is in (order preserved), but the
     // connection must stop producing until the worker drains the queue.
-    queue.throttled.emplace_back(command->loopIndex, command->connId);
+    {
+      std::lock_guard<std::mutex> lock(queue.throttledMu);
+      queue.throttled.emplace_back(command->loopIndex, command->connId);
+    }
     status = EnqueueStatus::OkThrottle;
+    // Lost-resume closure: the worker flushes `throttled` only on drains
+    // that leave the queue under capacity, and it may have drained this
+    // very command before the registration above landed — then nothing
+    // would ever resume the connection.  Each side writes before it reads
+    // (we publish the entry, then re-read depth; the worker drains, then
+    // reads the list), so at least one observes the other: either the
+    // worker saw our entry and resumes, or we see the drained queue here
+    // and retract the pause before it starts.  A resume racing this
+    // retraction is discarded by the loop's !readPaused guard.
+    if (queue.impl->approxDepth() < config_.commandQueueCapacity) {
+      std::lock_guard<std::mutex> lock(queue.throttledMu);
+      const auto entry =
+          std::make_pair(command->loopIndex, command->connId);
+      const auto it = std::find(queue.throttled.begin(),
+                                queue.throttled.end(), entry);
+      if (it != queue.throttled.end()) queue.throttled.erase(it);
+      status = EnqueueStatus::Ok;
+    }
   }
-  lock.unlock();
-  queue.notEmpty.notify_one();
   return status;
 }
 
 void NegotiationServer::workerLoop(int shard) {
-  auto& queue = *queues_[static_cast<std::size_t>(shard)];
+  auto& own = *queues_[static_cast<std::size_t>(shard)];
   std::vector<std::shared_ptr<PendingCommand>> batch;
   std::vector<std::pair<int, std::uint64_t>> resumes;
   std::vector<std::vector<ResponseMsg>> perLoop(loops_.size());
+  const bool stealing =
+      config_.queueKind == qos::QueueKind::Steal && queues_.size() > 1;
   for (;;) {
-    batch.clear();
-    resumes.clear();
+    if (drainAndExecute(&own, &batch, &resumes, &perLoop)) continue;
+    if (stealing) {
+      // Idle: help the deepest sibling instead of sleeping.  Claiming its
+      // consumer token — and holding it across execution — keeps that
+      // shard's commands in arrivalSeq order even though a foreign worker
+      // runs them, which is what lets stealing absorb queue imbalance
+      // without touching the arbitrator's spill logic.
+      std::size_t deepest = 0;
+      int victim = -1;
+      for (std::size_t k = 0; k < queues_.size(); ++k) {
+        if (static_cast<int>(k) == shard) continue;
+        const std::size_t d = queues_[k]->impl->approxDepth();
+        if (d > deepest) {
+          deepest = d;
+          victim = static_cast<int>(k);
+        }
+      }
+      if (victim >= 0 &&
+          drainAndExecute(queues_[static_cast<std::size_t>(victim)].get(),
+                          &batch, &resumes, &perLoop)) {
+        batchesStolen_.fetch_add(1);
+        continue;
+      }
+    }
+    if (own.impl->closed() && own.impl->approxDepth() == 0) return;
+    // Steal mode polls so an idle worker notices sibling depth; otherwise
+    // sleep until a producer or close() wakes this queue.
+    own.impl->waitNonEmpty(stealing ? std::chrono::milliseconds(1)
+                                    : qos::kWaitForever);
+  }
+}
+
+bool NegotiationServer::drainAndExecute(
+    ShardQueue* queue, std::vector<std::shared_ptr<PendingCommand>>* batchPtr,
+    std::vector<std::pair<int, std::uint64_t>>* resumesPtr,
+    std::vector<std::vector<ResponseMsg>>* perLoopPtr) {
+  auto& batch = *batchPtr;
+  auto& resumes = *resumesPtr;
+  auto& perLoop = *perLoopPtr;
+  if (!queue->impl->tryClaimConsumer()) return false;
+  batch.clear();
+  resumes.clear();
+  // Batched handoff: one claim drains up to workerBatch commands (FIFO, so
+  // drain order == arrivalSeq order per shard).
+  const std::size_t n = queue->impl->tryDrainUpTo(config_.workerBatch, &batch);
+  if (n == 0) {
+    queue->impl->releaseConsumer();
+    return false;
+  }
+  const std::size_t depthNow = queue->impl->approxDepth();
+  if (queue->depth != nullptr) {
+    queue->depth->set(static_cast<std::int64_t>(depthNow));
+  }
+  if (depthNow < config_.commandQueueCapacity) {
+    std::lock_guard<std::mutex> lock(queue->throttledMu);
+    if (!queue->throttled.empty()) resumes.swap(queue->throttled);
+  }
+  // Wake paused readers before the (comparatively slow) execution pass.
+  for (const auto& [loopIndex, connId] : resumes) {
+    auto& loop = *loops_[static_cast<std::size_t>(loopIndex)];
     {
-      std::unique_lock<std::mutex> lock(queue.mu);
-      queue.notEmpty.wait(lock, [&] {
-        return !queue.queue.empty() || queueClosed_.load();
-      });
-      if (queue.queue.empty()) return;  // closed and drained
-      // Batched handoff: one lock acquisition drains up to workerBatch
-      // commands (FIFO, so drain order == arrivalSeq order per shard).
-      const std::size_t n =
-          std::min(queue.queue.size(), config_.workerBatch);
-      for (std::size_t i = 0; i < n; ++i) {
-        batch.push_back(std::move(queue.queue.front()));
-        queue.queue.pop_front();
-      }
-      queue.size.store(queue.queue.size(), std::memory_order_relaxed);
-      if (queue.depth != nullptr) {
-        queue.depth->set(static_cast<std::int64_t>(queue.queue.size()));
-      }
-      if (queue.queue.size() < config_.commandQueueCapacity &&
-          !queue.throttled.empty()) {
-        resumes.swap(queue.throttled);
-      }
+      std::lock_guard<std::mutex> lock(loop.inboxMu);
+      loop.pendingResumes.push_back(connId);
     }
-    // Wake paused readers before the (comparatively slow) execution pass.
-    for (const auto& [loopIndex, connId] : resumes) {
-      auto& loop = *loops_[static_cast<std::size_t>(loopIndex)];
+    loop.wakeup.signal();
+  }
+  if (config_.workerSeamForTest) config_.workerSeamForTest();
+  for (const auto& command : batch) {
+    const std::int64_t startNs = trace_ != nullptr ? obs::monotonicNanos() : 0;
+    std::vector<qos::QualityMove> moves;
+    Response response = execute(command->request, command->arrivalSeq,
+                                command->presetJobId, &moves);
+    response.id = command->request.id;
+    stampWindow(&response);
+    commandsExecuted_.fetch_add(1);
+    if (trace_ != nullptr) recordSpan(*command, response, startNs);
+    ResponseMsg msg;
+    msg.connId = command->connId;
+    msg.deliverSeq = command->deliverSeq;
+    msg.payload = encodeResponse(response);
+    perLoop[static_cast<std::size_t>(command->loopIndex)].push_back(
+        std::move(msg));
+    // Route each committed quality move to the connection that
+    // negotiated the moved job (it may be this command's own connection
+    // or any other).  Moves with no reachable owner are dropped — the
+    // arbitrator state is committed regardless.
+    for (const auto& move : moves) {
+      std::pair<int, std::uint64_t> origin;
       {
-        std::lock_guard<std::mutex> lock(loop.inboxMu);
-        loop.pendingResumes.push_back(connId);
-      }
-      loop.wakeup.signal();
-    }
-    for (const auto& command : batch) {
-      const std::int64_t startNs =
-          trace_ != nullptr ? obs::monotonicNanos() : 0;
-      std::vector<qos::QualityMove> moves;
-      Response response = execute(command->request, command->arrivalSeq,
-                                  command->presetJobId, &moves);
-      response.id = command->request.id;
-      stampWindow(&response);
-      commandsExecuted_.fetch_add(1);
-      if (trace_ != nullptr) recordSpan(*command, response, startNs);
-      ResponseMsg msg;
-      msg.connId = command->connId;
-      msg.deliverSeq = command->deliverSeq;
-      msg.payload = encodeResponse(response);
-      perLoop[static_cast<std::size_t>(command->loopIndex)].push_back(
-          std::move(msg));
-      // Route each committed quality move to the connection that
-      // negotiated the moved job (it may be this command's own connection
-      // or any other).  Moves with no reachable owner are dropped — the
-      // arbitrator state is committed regardless.
-      for (const auto& move : moves) {
-        std::pair<int, std::uint64_t> origin;
-        {
-          std::lock_guard<std::mutex> originLock(originMu_);
-          const auto it = originByJob_.find(move.jobId);
-          if (it == originByJob_.end()) {
-            reshapeEventsDropped_.fetch_add(1);
-            continue;
-          }
-          origin = it->second;
+        std::lock_guard<std::mutex> originLock(originMu_);
+        const auto it = originByJob_.find(move.jobId);
+        if (it == originByJob_.end()) {
+          reshapeEventsDropped_.fetch_add(1);
+          continue;
         }
-        ReshapeEvent event;
-        event.jobId = move.jobId;
-        event.promotion = move.promotion;
-        event.fromChain = move.fromChain;
-        event.toChain = move.toChain;
-        event.fromQuality = move.fromQuality;
-        event.toQuality = move.toQuality;
-        event.placements = move.schedule.placements;
-        ResponseMsg pushMsg;
-        pushMsg.connId = origin.second;
-        pushMsg.deliverSeq = kUnordered;
-        pushMsg.push = true;
-        pushMsg.events.push_back(std::move(event));
-        reshapeEventsDispatched_.fetch_add(1);
-        perLoop[static_cast<std::size_t>(origin.first)].push_back(
-            std::move(pushMsg));
+        origin = it->second;
       }
-    }
-    // One inbox lock + one eventfd wakeup per loop per batch.
-    for (std::size_t i = 0; i < perLoop.size(); ++i) {
-      if (perLoop[i].empty()) continue;
-      auto& loop = *loops_[i];
-      {
-        std::lock_guard<std::mutex> lock(loop.inboxMu);
-        for (auto& msg : perLoop[i]) {
-          loop.pendingResponses.push_back(std::move(msg));
-        }
-      }
-      loop.wakeup.signal();
-      perLoop[i].clear();
+      ReshapeEvent event;
+      event.jobId = move.jobId;
+      event.promotion = move.promotion;
+      event.fromChain = move.fromChain;
+      event.toChain = move.toChain;
+      event.fromQuality = move.fromQuality;
+      event.toQuality = move.toQuality;
+      event.placements = move.schedule.placements;
+      ResponseMsg pushMsg;
+      pushMsg.connId = origin.second;
+      pushMsg.deliverSeq = kUnordered;
+      pushMsg.push = true;
+      pushMsg.events.push_back(std::move(event));
+      reshapeEventsDispatched_.fetch_add(1);
+      perLoop[static_cast<std::size_t>(origin.first)].push_back(
+          std::move(pushMsg));
     }
   }
+  // One inbox lock + one eventfd wakeup per loop per batch.
+  for (std::size_t i = 0; i < perLoop.size(); ++i) {
+    if (perLoop[i].empty()) continue;
+    auto& loop = *loops_[i];
+    {
+      std::lock_guard<std::mutex> lock(loop.inboxMu);
+      for (auto& msg : perLoop[i]) {
+        loop.pendingResponses.push_back(std::move(msg));
+      }
+    }
+    loop.wakeup.signal();
+    perLoop[i].clear();
+  }
+  // Release only after execution: the claim token is what serialises
+  // per-shard execution across owner and thieves.
+  queue->impl->releaseConsumer();
+  return true;
 }
 
 void NegotiationServer::rebalanceLoop() {
@@ -1123,7 +1187,7 @@ void NegotiationServer::recordSpan(const PendingCommand& command,
 std::uint32_t NegotiationServer::dynamicWindowNow() const {
   std::size_t depth = 0;
   for (const auto& queue : queues_) {
-    depth = std::max(depth, queue->size.load(std::memory_order_relaxed));
+    depth = std::max(depth, queue->impl->approxDepth());
   }
   const auto full = static_cast<std::uint32_t>(std::min<std::size_t>(
       std::max<std::size_t>(config_.maxInFlightPerConnection, 1),

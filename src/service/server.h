@@ -54,6 +54,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -70,6 +71,7 @@
 #include "net/socket.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "qos/command_queue.h"
 #include "qos/sharded.h"
 #include "service/protocol.h"
 #include "service/wiretrace.h"
@@ -145,6 +147,17 @@ struct ServerConfig {
   /// Per-connection cap on reshape events buffered for v1 RESHAPES polls;
   /// oldest events are dropped (and counted) beyond it.
   std::size_t reshapeEventBuffer = 256;
+  /// Server→shard handoff queue implementation (qos/command_queue.h).
+  /// Mutex is the decision-identical baseline; Mpsc swaps in the lock-free
+  /// linked intake; Steal additionally lets idle shard workers drain (and
+  /// execute, under the victim's consumer claim — per-shard arrivalSeq
+  /// order holds) batches from the deepest sibling queue.
+  qos::QueueKind queueKind = qos::QueueKind::Mutex;
+  /// Test-only seam: when set, a shard worker calls it after draining a
+  /// batch and before executing it.  Lets tests hold a worker mid-batch to
+  /// deterministically fill a queue (gauge high-water, shutdown-wedge
+  /// regressions).  Production callers leave it unset.
+  std::function<void()> workerSeamForTest;
 };
 
 /// Adaptive pipeline window (pure, exposed for tests): the v2 in-flight
@@ -169,6 +182,9 @@ struct ServerCounters {
   std::uint64_t busyRejections = 0;
   /// Successful HELLO handshakes (connections upgraded to v2).
   std::uint64_t helloHandshakes = 0;
+  /// Steal-mode only: batches a shard worker drained from a sibling's
+  /// queue instead of its own.
+  std::uint64_t batchesStolen = 0;
   /// Elastic reshape events delivered toward a client (pushed on v2 or
   /// buffered for a v1 poll).
   std::uint64_t reshapeEventsDispatched = 0;
@@ -244,6 +260,16 @@ class NegotiationServer {
   void acceptLoop(net::Listener* listener);
   void loopMain(Loop* loop);
   void workerLoop(int shard);
+  /// Claims `queue`'s consumer token, drains up to workerBatch commands
+  /// and executes them with the token still held (so per-shard commands
+  /// execute in arrivalSeq order no matter which worker drains), posts
+  /// responses and throttle resumes, then releases the token.  Returns
+  /// false — with nothing drained — when the token is taken or the queue
+  /// is empty.  `batch`/`resumes`/`perLoop` are caller-owned scratch.
+  bool drainAndExecute(ShardQueue* queue,
+                       std::vector<std::shared_ptr<PendingCommand>>* batch,
+                       std::vector<std::pair<int, std::uint64_t>>* resumes,
+                       std::vector<std::vector<ResponseMsg>>* perLoop);
   void rebalanceLoop();
 
   // --- Loop-thread helpers (each touches only `loop`-owned state). ---
@@ -361,6 +387,7 @@ class NegotiationServer {
   std::atomic<std::uint64_t> disconnectsMidRequest_{0};
   std::atomic<std::uint64_t> busyRejections_{0};
   std::atomic<std::uint64_t> helloHandshakes_{0};
+  std::atomic<std::uint64_t> batchesStolen_{0};
   std::atomic<std::uint64_t> reshapeEventsDispatched_{0};
   std::atomic<std::uint64_t> reshapeEventsDropped_{0};
 };

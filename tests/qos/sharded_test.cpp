@@ -391,6 +391,51 @@ TEST(ShardedArbitrator, RebalanceResizesBothShardsAtTheCommonInstant) {
   sharded.setRebalanceRaceSeamForTest(nullptr);
 }
 
+// Regression (cancel TOCTOU): the jobToShard binding is read under
+// mapMutex_, the map lock is dropped, and only then is the shard lock
+// taken — a racing cancel (or a resize pruning dropped jobs) can retire
+// the binding in that gap.  The old path blindly cancelled the stale local
+// id on the remembered shard; the fixed path re-validates the binding
+// under the held shard lock and falls through to the miss path.
+TEST(ShardedArbitrator, CancelRevalidatesBindingRetiredInTheLockGap) {
+  ShardedOptions options;
+  options.shards = 2;
+  ShardedArbitrator sharded(8, options);  // 4 + 4
+  obs::MetricsRegistry registry;
+  auto metrics0 = obs::NegotiationMetrics::fromRegistry(registry, "shard0");
+  auto metrics1 = obs::NegotiationMetrics::fromRegistry(registry, "shard1");
+  sharded.attachMetrics({&metrics0, &metrics1}, nullptr);
+
+  ASSERT_TRUE(sharded.submit(0, rigidJob("victim", 2, 10.0, 1000.0), 0)
+                  .admitted);
+
+  // Between the map read and the shard lock, a racing cancel of the SAME
+  // job wins the race and retires the binding.  The seam guard keeps the
+  // inner cancel from re-entering itself.
+  bool fired = false;
+  std::int64_t racerFreed = 0;
+  sharded.setCancelRaceSeamForTest([&] {
+    if (fired) return;
+    fired = true;
+    racerFreed = sharded.cancel(0);
+  });
+
+  const auto freed = sharded.cancel(0);
+  ASSERT_TRUE(fired);
+  EXPECT_GT(racerFreed, 0);  // the racer did the real cancel...
+  EXPECT_EQ(freed, 0);       // ...so the outer call is a clean miss
+  EXPECT_EQ(metrics0.cancelMisses->value(), 1u);  // home shard of id 0
+  EXPECT_EQ(metrics1.cancelMisses->value(), 0u);
+  EXPECT_TRUE(sharded.verify().ok);
+  sharded.setCancelRaceSeamForTest(nullptr);
+
+  // A cancel with no race still works through the revalidating path.
+  ASSERT_TRUE(sharded.submit(2, rigidJob("clean", 2, 10.0, 1000.0), 0)
+                  .admitted);
+  EXPECT_GT(sharded.cancel(2), 0);
+  EXPECT_TRUE(sharded.verify().ok);
+}
+
 TEST(ShardedArbitratorDeath, InvalidArguments) {
   ShardedOptions options;
   options.shards = 4;

@@ -880,6 +880,206 @@ TEST(Service, BackpressureWithTinyQueueStillCompletesEverything) {
   server.stop();
 }
 
+// Regression (gauge undercount under batching): the depth gauge used to be
+// sampled by the worker, so a worker draining whole batches between
+// samples hid every intermediate peak.  It is now set from the depth each
+// push itself observed.  The seam wedges the worker after its first drain;
+// five more commands then stack up, and the high-water mark must see all
+// of them even though the worker never sampled the queue in between.
+TEST(Service, QueueDepthGaugeSeesEveryPeakUnderBatching) {
+  auto config = unixConfig(8);
+  std::atomic<bool> seamEntered{false};
+  std::atomic<bool> seamRelease{false};
+  std::atomic<int> seamCalls{0};
+  config.workerSeamForTest = [&] {
+    if (seamCalls.fetch_add(1) != 0) return;  // wedge the first batch only
+    seamEntered.store(true);
+    while (!seamRelease.load()) std::this_thread::sleep_for(1ms);
+  };
+  NegotiationServer server(config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  auto* registry = server.metricsRegistry();
+  ASSERT_NE(registry, nullptr);
+  auto& gauge = registry->gauge("server.queue_depth");
+
+  PipelinedClient client(clientFor(server), /*window=*/16);
+  auto connectError = client.connect();
+  ASSERT_FALSE(connectError.has_value()) << connectError->message;
+
+  std::vector<PipelinedClient::ResponseFuture> futures;
+  futures.push_back(client.negotiateAsync(makeSpec(0), 0));
+  // The worker drains the first command and wedges in the seam...
+  for (int i = 0; i < 500 && !seamEntered.load(); ++i) {
+    std::this_thread::sleep_for(2ms);
+  }
+  ASSERT_TRUE(seamEntered.load());
+  // ...so the next five pushes stack up with nobody draining.
+  for (int r = 1; r <= 5; ++r) {
+    futures.push_back(client.negotiateAsync(makeSpec(r), 0));
+  }
+  for (int i = 0; i < 500 && gauge.max() < 5; ++i) {
+    std::this_thread::sleep_for(2ms);
+  }
+  seamRelease.store(true);
+  for (auto& future : futures) {
+    auto decision = extractResult<NegotiateResult>(future.get());
+    ASSERT_TRUE(decision.ok()) << decision.error.message;
+  }
+  EXPECT_GE(gauge.max(), 5);
+  server.stop();
+}
+
+// Regression (shutdown lost wakeup): stop the server while the tiny queue
+// is full, the worker is wedged mid-batch, and a v1 client with unread
+// pipelined frames is paused by backpressure.  close() must wake the
+// worker, everything admitted before the close must still execute and
+// answer (the closeAndDrain contract), and the connection must end in a
+// clean EOF — the old single-CV notify left this configuration hung.
+TEST(Service, StopWhileClientWedgedAgainstFullTinyQueueDrainsAdmitted) {
+  auto config = unixConfig(8);
+  config.commandQueueCapacity = 1;
+  std::atomic<bool> seamEntered{false};
+  std::atomic<bool> seamRelease{false};
+  std::atomic<int> seamCalls{0};
+  // Wedge the worker on its SECOND drained batch: command 1 executes and
+  // answers normally, command 2 is drained and then held hostage — so by
+  // the time the seam is entered, two commands are provably admitted and
+  // one of them can only be answered if the shutdown path wakes the
+  // pipeline and drains what was admitted.
+  config.workerSeamForTest = [&] {
+    if (seamCalls.fetch_add(1) != 1) return;
+    seamEntered.store(true);
+    while (!seamRelease.load()) std::this_thread::sleep_for(1ms);
+  };
+  NegotiationServer server(config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  // Four v1 negotiate frames in one write, no reads: the client is wedged.
+  auto connected =
+      net::connectUnix(server.unixPath(), net::Deadline::after(1s));
+  ASSERT_TRUE(connected.ok()) << connected.error;
+  const net::FrameLimits limits;
+  std::string wire;
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    Request request;
+    request.command = Command::Negotiate;
+    request.id = id;
+    request.payload =
+        NegotiateRequest{makeSpec(static_cast<int>(id)), 0};
+    ASSERT_TRUE(net::appendFrame(wire, encodeRequest(request), limits).ok());
+  }
+  ASSERT_TRUE(connected.socket
+                  .writeAll(wire.data(), wire.size(), net::Deadline::after(1s))
+                  .ok());
+
+  // Command 1 answers; command 2 is drained and wedged in the worker's
+  // hands; command 3 then refills the queue of one and re-pauses the
+  // connection's reads, leaving frame 4 unread.
+  for (int i = 0; i < 500 && !seamEntered.load(); ++i) {
+    std::this_thread::sleep_for(2ms);
+  }
+  ASSERT_TRUE(seamEntered.load());
+  // Give the (resumed) loop a beat to admit command 3 against the full
+  // queue — not asserted, the prefix check below absorbs either outcome.
+  std::this_thread::sleep_for(30ms);
+
+  std::thread stopper([&] { server.stop(); });
+  // Give stop() time to reach the queue close, then un-wedge the worker;
+  // the close must be what wakes the pipeline the rest of the way.
+  std::this_thread::sleep_for(50ms);
+  seamRelease.store(true);
+  stopper.join();
+
+  // Every admitted command answered, in order, then EOF.  Commands 1 and 2
+  // were admitted before the stop; 3 and 4 may or may not have slipped in
+  // depending on when the loops stopped reading, but whatever was admitted
+  // must be answered and nothing may be answered out of order.
+  std::vector<std::uint64_t> answered;
+  for (;;) {
+    auto frame = net::readFrame(connected.socket, limits,
+                                net::Deadline::after(2s),
+                                net::Deadline::after(2s));
+    if (!frame.ok()) break;  // clean EOF after the flush
+    auto decoded = decodeResponse(frame.payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.error;
+    ASSERT_TRUE(decoded.response->ok);
+    answered.push_back(decoded.response->id);
+  }
+  ASSERT_GE(answered.size(), 2u);
+  for (std::size_t i = 0; i < answered.size(); ++i) {
+    EXPECT_EQ(answered[i], i + 1);
+  }
+}
+
+// Decision-identity smoke across the pluggable handoff queues: the same
+// concurrent burst against --queue=mutex, mpsc, and steal servers must
+// stamp a dense arrival sequence and replay exactly into an in-process
+// arbitrator, whichever implementation carried the handoff.
+TEST(Service, QueueKindsPreserveReplayEquivalence) {
+  for (const auto kind : {qos::QueueKind::Mutex, qos::QueueKind::Mpsc,
+                          qos::QueueKind::Steal}) {
+    SCOPED_TRACE(qos::toString(kind));
+    constexpr int kClients = 4;
+    constexpr int kRequestsPerClient = 15;
+    const int processors = 8;
+    auto config = unixConfig(processors);
+    config.queueKind = kind;
+    config.shards = kind == qos::QueueKind::Steal ? 2 : 1;
+    NegotiationServer server(config);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    struct Observed {
+      task::TunableJobSpec spec;
+      NegotiateResult result;
+    };
+    std::vector<std::vector<Observed>> perClient(kClients);
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        QoSAgentClient client(clientFor(server));
+        for (int r = 0; r < kRequestsPerClient; ++r) {
+          const auto spec = makeSpec(c * kRequestsPerClient + r);
+          const auto decision = client.negotiate(spec, 0);
+          ASSERT_TRUE(decision.ok()) << decision.error.message;
+          perClient[static_cast<std::size_t>(c)].push_back({spec, *decision});
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+
+    std::vector<const Observed*> byArrival;
+    for (const auto& observations : perClient) {
+      for (const auto& observed : observations) byArrival.push_back(&observed);
+    }
+    std::sort(byArrival.begin(), byArrival.end(),
+              [](const Observed* a, const Observed* b) {
+                return a->result.arrivalSeq < b->result.arrivalSeq;
+              });
+    for (std::size_t i = 0; i < byArrival.size(); ++i) {
+      ASSERT_EQ(byArrival[i]->result.arrivalSeq, i);
+    }
+    if (config.shards == 1) {
+      qos::QoSArbitrator replay(processors);
+      for (const auto* observed : byArrival) {
+        const auto decision =
+            replay.submit(observed->spec, observed->result.release);
+        ASSERT_EQ(replay.lastJobId().value(), observed->result.jobId);
+        ASSERT_EQ(decision.admitted, observed->result.admitted)
+            << "arrivalSeq " << observed->result.arrivalSeq;
+      }
+      EXPECT_TRUE(replay.verify().ok);
+    }
+    QoSAgentClient checker(clientFor(server));
+    const auto verify = checker.verify();
+    ASSERT_TRUE(verify.ok());
+    EXPECT_TRUE(verify->ok) << verify->firstViolation;
+    server.stop();
+  }
+}
+
 // stop() waits for in-flight work, then refuses new connections; idle open
 // sessions do not stall the drain.
 TEST(Service, GracefulDrainCompletesInFlightAndRefusesNewWork) {

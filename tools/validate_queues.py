@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Validate a queue-harness artifact against docs/queues_schema.json.
+
+Stdlib-only.  Schema checking reuses validate_metrics.py's implementation of
+the JSON Schema subset (type, required, properties, additionalProperties,
+items, minimum, enum), then adds the cross-field invariants a schema cannot
+express:
+
+  * correctness is non-negotiable: every row (contention and imbalance)
+    reports lost == 0 and fifo_violations == 0;
+  * every contention row's consumed equals producers * ops_per_producer;
+  * quantiles are ordered: p50 <= p95 <= p99 <= max per row;
+  * every requested kind appears in both trial families, and the three
+    canonical kinds (mutex, mpsc, steal) are all present unless --kinds
+    narrowed the sweep (pass --allow-partial for such smoke artifacts);
+  * only steal rows may report stolen_batches > 0;
+  * the comparison block, when present, matches the rows it summarizes.
+
+The acceptance criterion (mpsc p99 < mutex p99 at >= 4 producers) is
+*recorded*, not gated: single-core CI boxes serialize producers and may
+legitimately show parity, per the PR 7 note.
+
+Usage:
+    tools/validate_queues.py BENCH_queues.json \
+        [--schema docs/queues_schema.json] [--allow-partial]
+
+Exit status: 0 when the document validates, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from validate_metrics import validate  # noqa: E402
+
+_CANONICAL_KINDS = {"mutex", "mpsc", "steal"}
+
+
+def _quantile_errors(path: str, row: dict, prefix: str) -> list[str]:
+    p50 = row.get(f"{prefix}_p50", 0)
+    p95 = row.get(f"{prefix}_p95", p50)
+    p99 = row.get(f"{prefix}_p99", p95)
+    top = row.get(f"{prefix}_max", p99)
+    if not (p50 <= p95 <= p99 <= top):
+        return [
+            f"{path}: {prefix} quantiles out of order "
+            f"(p50={p50}, p95={p95}, p99={p99}, max={top})"
+        ]
+    return []
+
+
+def _semantic_errors(document, allow_partial: bool) -> list[str]:
+    errors: list[str] = []
+    row_kinds: set[str] = set()
+    for index, row in enumerate(document.get("rows", [])):
+        path = f"$.rows[{index}]"
+        row_kinds.add(row.get("kind", ""))
+        if row.get("lost", 0) != 0:
+            errors.append(f"{path}: lost {row['lost']} item(s)")
+        if row.get("fifo_violations", 0) != 0:
+            errors.append(
+                f"{path}: {row['fifo_violations']} FIFO-per-producer "
+                "violation(s)"
+            )
+        expected = row.get("producers", 0) * row.get("ops_per_producer", 0)
+        if row.get("consumed", 0) != expected:
+            errors.append(
+                f"{path}: consumed {row.get('consumed')} != "
+                f"producers * ops = {expected}"
+            )
+        errors.extend(_quantile_errors(path, row, "push_ns"))
+
+    imbalance_kinds: set[str] = set()
+    for index, row in enumerate(document.get("imbalance", [])):
+        path = f"$.imbalance[{index}]"
+        imbalance_kinds.add(row.get("kind", ""))
+        if row.get("lost", 0) != 0:
+            errors.append(f"{path}: lost {row['lost']} item(s)")
+        if row.get("fifo_violations", 0) != 0:
+            errors.append(
+                f"{path}: {row['fifo_violations']} FIFO-per-producer "
+                "violation(s)"
+            )
+        if row.get("kind") != "steal" and row.get("stolen_batches", 0) != 0:
+            errors.append(
+                f"{path}: non-steal kind reports "
+                f"{row['stolen_batches']} stolen batch(es)"
+            )
+
+    if not allow_partial:
+        for family, kinds in (("rows", row_kinds), ("imbalance", imbalance_kinds)):
+            missing = _CANONICAL_KINDS - kinds
+            if missing:
+                errors.append(
+                    f"$.{family}: missing canonical kind(s): {sorted(missing)}"
+                )
+    if row_kinds != imbalance_kinds:
+        errors.append(
+            "$: rows and imbalance cover different kinds "
+            f"({sorted(row_kinds)} vs {sorted(imbalance_kinds)})"
+        )
+
+    comparison = document.get("comparison")
+    if comparison is not None:
+        probe = comparison.get("producers")
+        for kind, key in (("mutex", "mutex_push_p99_ns"),
+                          ("mpsc", "mpsc_push_p99_ns")):
+            match = [
+                row
+                for row in document.get("rows", [])
+                if row.get("kind") == kind and row.get("producers") == probe
+            ]
+            if not match:
+                errors.append(
+                    f"$.comparison: no {kind} row at producers={probe}"
+                )
+            elif abs(match[0].get("push_ns_p99", -1) - comparison.get(key, -2)) > 1e-9:
+                errors.append(
+                    f"$.comparison: {key} ({comparison.get(key)}) does not "
+                    f"match the {kind} row's push_ns_p99 "
+                    f"({match[0].get('push_ns_p99')})"
+                )
+        expected_flag = (
+            comparison.get("mpsc_push_p99_ns", 0)
+            < comparison.get("mutex_push_p99_ns", 0)
+        )
+        if comparison.get("mpsc_beats_mutex_p99") != expected_flag:
+            errors.append(
+                "$.comparison: mpsc_beats_mutex_p99 flag inconsistent with "
+                "the recorded p99 values"
+            )
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifact", type=pathlib.Path)
+    parser.add_argument(
+        "--schema",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent
+        / "docs"
+        / "queues_schema.json",
+    )
+    parser.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="accept artifacts that swept a subset of the canonical kinds",
+    )
+    args = parser.parse_args()
+
+    schema = json.loads(args.schema.read_text())
+    document = json.loads(args.artifact.read_text())
+    errors = validate(document, schema)
+    # Cross-field checks assume the shape is right; skip them if it isn't.
+    if not errors:
+        errors = _semantic_errors(document, args.allow_partial)
+    for error in errors:
+        print(f"{args.artifact}: {error}", file=sys.stderr)
+    if errors:
+        print(f"FAIL: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    rows = len(document.get("rows", []))
+    imbalance = len(document.get("imbalance", []))
+    print(
+        f"OK: {rows} contention row(s) + {imbalance} imbalance row(s) "
+        f"match {args.schema}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
